@@ -1,0 +1,162 @@
+//! The external load generator.
+//!
+//! The paper measures server-side throughput with an external client
+//! machine. [`Client`] is exactly that: its own simulated [`Machine`]
+//! (own clock — client work never pollutes the server's cycle count)
+//! running only a network stack, connected to the server by a [`Link`].
+
+use crate::os::Os;
+use flexos_machine::{Addr, Machine, PageFlags, ProtKey, VcpuId, VmId};
+use flexos_net::nic::{Link, Nic};
+use flexos_net::stack::{NetError, NetResult, NetStack, SocketId};
+use flexos_net::wire::Mac;
+
+/// The client endpoint (IP used by every harness).
+pub const CLIENT_IP: u32 = 0x0a00_0002;
+
+/// The server endpoint.
+pub const SERVER_IP: u32 = 0x0a00_0001;
+
+/// An external client with its own machine and clock.
+#[derive(Debug)]
+pub struct Client {
+    /// The client's machine (separate clock).
+    pub m: Machine,
+    /// The client's network stack.
+    pub net: NetStack,
+    /// The vCPU the client runs on.
+    pub vcpu: VcpuId,
+    /// A staging buffer in the client's simulated memory.
+    pub buf: Addr,
+    buf_len: u64,
+}
+
+impl Client {
+    /// Boots a client with address [`CLIENT_IP`].
+    pub fn new(nic_id: u8) -> Self {
+        let mut m = Machine::with_defaults();
+        let pool = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .expect("client pool");
+        let buf_len = 1 << 18;
+        let buf = m
+            .alloc_region(VmId(0), buf_len, ProtKey(0), PageFlags::RW)
+            .expect("client buffer");
+        let net = NetStack::new(CLIENT_IP, Nic::new(Mac::of_nic(nic_id)), pool, 1 << 20);
+        Self { m, net, vcpu: VcpuId(0), buf, buf_len }
+    }
+
+    /// Starts a connection to the server.
+    pub fn connect(&mut self, port: u16) -> NetResult<SocketId> {
+        self.net.tcp_connect(SERVER_IP, port)
+    }
+
+    /// Whether the connection completed its handshake.
+    pub fn established(&mut self, sid: SocketId) -> bool {
+        self.net.tcp_is_established(sid).unwrap_or(false)
+    }
+
+    /// One stack iteration on the client side.
+    pub fn poll(&mut self) {
+        self.net.poll(&mut self.m, self.vcpu).expect("client poll");
+    }
+
+    /// Sends `data` (bounded by the staging buffer); returns bytes
+    /// accepted (0 when the transmit path is full).
+    pub fn send_bytes(&mut self, sid: SocketId, data: &[u8]) -> u64 {
+        let n = (data.len() as u64).min(self.buf_len);
+        self.m.write(self.vcpu, self.buf, &data[..n as usize]).expect("client write");
+        match self.net.tcp_send(&mut self.m, self.vcpu, sid, self.buf, n) {
+            Ok(sent) => sent,
+            Err(NetError::WouldBlock) => 0,
+            Err(e) => panic!("client send failed: {e}"),
+        }
+    }
+
+    /// Keeps the transmit pipe full with `chunk` zero bytes.
+    pub fn pump_zeroes(&mut self, sid: SocketId, chunk: u64) -> u64 {
+        let n = chunk.min(self.buf_len);
+        match self.net.tcp_send(&mut self.m, self.vcpu, sid, self.buf, n) {
+            Ok(sent) => sent,
+            Err(NetError::WouldBlock) => 0,
+            Err(NetError::Closed) => 0,
+            Err(e) => panic!("client send failed: {e}"),
+        }
+    }
+
+    /// Receives whatever is available, as host bytes.
+    pub fn recv_bytes(&mut self, sid: SocketId, max: u64) -> Vec<u8> {
+        let max = max.min(self.buf_len);
+        match self.net.tcp_recv(&mut self.m, self.vcpu, sid, self.buf, max) {
+            Ok(n) => {
+                let mut out = vec![0u8; n as usize];
+                self.m.read(self.vcpu, self.buf, &mut out).expect("client read");
+                out
+            }
+            Err(NetError::WouldBlock) => Vec::new(),
+            Err(e) => panic!("client recv failed: {e}"),
+        }
+    }
+
+    /// Half-closes the connection.
+    pub fn close(&mut self, sid: SocketId) {
+        let _ = self.net.close(sid);
+    }
+
+    /// Advances the client clock (lets client-side RTO timers fire).
+    pub fn advance(&mut self, cycles: u64) {
+        self.m.charge(cycles);
+    }
+}
+
+/// Moves frames across the link in both directions.
+pub fn exchange(link: &mut Link, client: &mut Client, os: &mut Os) -> usize {
+    link.transfer(&mut client.net.nic, &mut os.net.nic)
+        + link.transfer(&mut os.net.nic, &mut client.net.nic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{evaluation_image, CompartmentModel, SchedKind};
+    use flexos::build::{plan, BackendChoice};
+
+    #[test]
+    fn client_connects_to_a_flexos_server() {
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Coop,
+        );
+        let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
+        let mut client = Client::new(2);
+        let mut link = Link::new();
+
+        os.listen(5201).unwrap();
+        let csid = client.connect(5201).unwrap();
+        for _ in 0..6 {
+            client.poll();
+            os.poll_net().unwrap();
+            exchange(&mut link, &mut client, &mut os);
+        }
+        assert!(client.established(csid));
+        // Server side accepted the connection.
+        // (accept goes through the listener backlog)
+    }
+
+    #[test]
+    fn client_clock_is_independent_of_the_server() {
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Coop,
+        );
+        let os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
+        let mut client = Client::new(2);
+        client.advance(1_000_000);
+        assert!(client.m.clock().cycles() >= 1_000_000);
+        assert!(os.img.machine.clock().cycles() < 1_000_000);
+    }
+}

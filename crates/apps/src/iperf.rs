@@ -1,0 +1,290 @@
+//! The iperf workload: a TCP throughput server on FlexOS (paper §4,
+//! Figure 3 and Table 1).
+//!
+//! "we created an iperf server where an untrusted network stack is
+//! isolated from the rest of the OS image … At the server side, we vary
+//! the size of the buffer passed to recv." (§4)
+//!
+//! [`run_iperf`] builds the requested image (compartment model ×
+//! backend × hypervisor × per-library SH × scheduler), boots it, drives
+//! an external client at it, and reports server-side throughput derived
+//! purely from the server machine's cycle clock.
+
+use crate::client::{exchange, Client, SERVER_IP};
+use crate::os::Os;
+use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
+use flexos::build::{plan, BackendChoice, Hypervisor};
+use flexos_kernel::exec::{Executor, Step};
+use flexos_kernel::sched::{CoopScheduler, RunQueue, VerifiedScheduler};
+use flexos_machine::throughput_mbps;
+use flexos_net::nic::Link;
+use flexos_net::stack::{NetError, SocketId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The iperf control/data port.
+pub const IPERF_PORT: u16 = 5201;
+
+/// Parameters of one iperf run.
+#[derive(Debug, Clone)]
+pub struct IperfParams {
+    /// Compartment model.
+    pub model: CompartmentModel,
+    /// Isolation backend (ignored for the baseline model).
+    pub backend: BackendChoice,
+    /// Scheduler implementation.
+    pub sched: SchedKind,
+    /// Hypervisor underneath.
+    pub hypervisor: Hypervisor,
+    /// Libraries to run with the GCC SH set.
+    pub sh_on: Vec<String>,
+    /// Force dedicated (per-compartment) allocators.
+    pub dedicated_allocators: bool,
+    /// Size of the buffer passed to `recv` (the Figure 3 x-axis).
+    pub recv_buf: u64,
+    /// Bytes to transfer before stopping.
+    pub total_bytes: u64,
+}
+
+impl Default for IperfParams {
+    fn default() -> Self {
+        Self {
+            model: CompartmentModel::Baseline,
+            backend: BackendChoice::None,
+            sched: SchedKind::Coop,
+            hypervisor: Hypervisor::Kvm,
+            sh_on: Vec::new(),
+            dedicated_allocators: false,
+            recv_buf: 16 * 1024,
+            total_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// The outcome of one iperf run.
+#[derive(Debug, Clone, Copy)]
+pub struct IperfResult {
+    /// Bytes the server received.
+    pub bytes: u64,
+    /// Server cycles spent during the measured transfer.
+    pub cycles: u64,
+    /// Server-side throughput in Mb/s.
+    pub mbps: f64,
+    /// Gate crossings on the server.
+    pub crossings: u64,
+    /// Context switches on the server.
+    pub switches: u64,
+}
+
+fn make_executor(kind: SchedKind) -> Executor<Os> {
+    let rq: Box<dyn RunQueue> = match kind {
+        SchedKind::Coop => Box::new(CoopScheduler::new()),
+        SchedKind::Verified => Box::new(VerifiedScheduler::new()),
+    };
+    Executor::new(rq)
+}
+
+/// Builds the image config for `params`.
+pub fn iperf_image(params: &IperfParams) -> flexos::build::ImageConfig {
+    let mut cfg = evaluation_image("iperf", params.model, params.backend, params.sched)
+        .on(params.hypervisor);
+    for name in &params.sh_on {
+        cfg = harden(cfg, name);
+    }
+    if params.dedicated_allocators {
+        cfg.dedicated_allocators = true;
+    }
+    cfg
+}
+
+/// Runs iperf end to end and reports server-side throughput.
+///
+/// # Panics
+///
+/// Panics if the transfer makes no progress (a harness bug, not a
+/// recoverable condition).
+pub fn run_iperf(params: &IperfParams) -> IperfResult {
+    let image = plan(iperf_image(params)).expect("iperf image plans");
+    let mut os = Os::boot(image, SERVER_IP, 1).expect("iperf image boots");
+    let mut exec = make_executor(params.sched);
+    let mut client = Client::new(2);
+    let mut link = Link::new();
+
+    // Server application task: accept, then recv in a loop counting
+    // bytes, blocking on the socket semaphore when the buffer runs dry.
+    let received = Rc::new(Cell::new(0u64));
+    let received_task = Rc::clone(&received);
+    let listener = os.listen(IPERF_PORT).expect("listen");
+    let recv_buf_len = params.recv_buf;
+    let app_buf = os.alloc_shared_buf(recv_buf_len.max(64)).expect("app buffer");
+    let c_app = os.roles.app;
+    let mut sid: Option<SocketId> = None;
+    let task = move |os: &mut Os, tid| {
+        // Accept phase.
+        if sid.is_none() {
+            match os.accept(listener) {
+                Ok(Some(s)) => sid = Some(s),
+                Ok(None) => return Ok(Step::Yield),
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+        let s = sid.expect("accepted");
+        // Receive a bounded burst per quantum, then yield.
+        for _ in 0..8 {
+            match os.recv(s, app_buf, recv_buf_len) {
+                Ok(0) => return Ok(Step::Done), // EOF
+                Ok(n) => {
+                    received_task.set(received_task.get() + n);
+                    // Per-recv application work (iperf's accounting).
+                    let work = os.img.machine.costs().app_request;
+                    os.app_compute(work);
+                }
+                Err(NetError::WouldBlock) => match os.wait_readable(tid, s)? {
+                    Some(ch) => return Ok(Step::Block(ch)),
+                    None => continue,
+                },
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        Ok(Step::Yield)
+    };
+    exec.spawn(c_app, Box::new(task)).expect("spawn iperf server");
+
+    // Client connects and then keeps the pipe full.
+    let csid = client.connect(IPERF_PORT).expect("client connect");
+    for _ in 0..8 {
+        client.poll();
+        exchange(&mut link, &mut client, &mut os);
+        os.poll_net().expect("server poll");
+        exec.run(&mut os, 16).expect("exec");
+        exchange(&mut link, &mut client, &mut os);
+    }
+    assert!(client.established(csid), "handshake did not complete");
+
+    // Measured transfer.
+    let start_cycles = os.img.machine.clock().cycles();
+    let start_crossings = os.img.gates.stats().crossings;
+    let mut sent = 0u64;
+    let mut idle_rounds = 0u32;
+    while received.get() < params.total_bytes {
+        if sent < params.total_bytes {
+            sent += client.pump_zeroes(csid, 32 * 1024);
+        }
+        client.poll();
+        exchange(&mut link, &mut client, &mut os);
+        os.poll_net().expect("server poll");
+        let before = received.get();
+        exec.run(&mut os, 64).expect("exec");
+        os.poll_net().expect("server poll 2");
+        exchange(&mut link, &mut client, &mut os);
+        if received.get() == before {
+            idle_rounds += 1;
+            // Nudge retransmission timers if we are somehow stuck.
+            if idle_rounds > 200 {
+                client.advance(30_000_000);
+                os.img.machine.charge(30_000_000);
+            }
+            assert!(idle_rounds < 5_000, "iperf made no progress");
+        } else {
+            idle_rounds = 0;
+        }
+    }
+    let cycles = os.img.machine.clock().cycles() - start_cycles;
+    let bytes = received.get();
+    IperfResult {
+        bytes,
+        cycles,
+        mbps: throughput_mbps(bytes, cycles),
+        crossings: os.img.gates.stats().crossings - start_crossings,
+        switches: exec.summary().switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(params: IperfParams) -> IperfResult {
+        run_iperf(&IperfParams { total_bytes: 256 * 1024, ..params })
+    }
+
+    #[test]
+    fn baseline_transfers_all_bytes() {
+        let r = quick(IperfParams::default());
+        assert!(r.bytes >= 256 * 1024);
+        assert!(r.mbps > 0.0);
+    }
+
+    #[test]
+    fn mpk_isolation_is_slower_than_baseline_at_small_buffers() {
+        let base = quick(IperfParams { recv_buf: 256, ..IperfParams::default() });
+        let mpk = quick(IperfParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::MpkShared,
+            recv_buf: 256,
+            ..IperfParams::default()
+        });
+        assert!(
+            mpk.mbps < base.mbps,
+            "MPK ({:.0} Mb/s) should trail baseline ({:.0} Mb/s) at 256 B",
+            mpk.mbps,
+            base.mbps
+        );
+        assert!(mpk.crossings > base.crossings);
+    }
+
+    #[test]
+    fn vm_rpc_is_slower_than_mpk() {
+        let mpk = quick(IperfParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::MpkShared,
+            recv_buf: 1024,
+            ..IperfParams::default()
+        });
+        let vm = quick(IperfParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::VmRpc,
+            recv_buf: 1024,
+            ..IperfParams::default()
+        });
+        assert!(vm.mbps < mpk.mbps);
+    }
+
+    #[test]
+    fn sh_on_everything_is_much_slower_than_sh_on_scheduler() {
+        let sched_only = quick(IperfParams {
+            sh_on: vec!["uksched".into()],
+            ..IperfParams::default()
+        });
+        let all = quick(IperfParams {
+            sh_on: vec![
+                "iperf".into(),
+                "libc".into(),
+                "ukalloc".into(),
+                "uknetdev".into(),
+                "lwip".into(),
+                "uksched".into(),
+            ],
+            ..IperfParams::default()
+        });
+        assert!(all.mbps < sched_only.mbps);
+    }
+
+    #[test]
+    fn xen_baseline_trails_kvm_baseline() {
+        let kvm = quick(IperfParams::default());
+        let xen = quick(IperfParams { hypervisor: Hypervisor::Xen, ..IperfParams::default() });
+        assert!(xen.mbps < kvm.mbps);
+    }
+
+    #[test]
+    fn verified_scheduler_costs_little_for_iperf() {
+        let coop = quick(IperfParams::default());
+        let verified =
+            quick(IperfParams { sched: SchedKind::Verified, ..IperfParams::default() });
+        // Slower, but within a few percent (switch costs are a small
+        // share of the packet-processing work).
+        assert!(verified.mbps <= coop.mbps);
+        assert!(verified.mbps > coop.mbps * 0.85);
+    }
+}

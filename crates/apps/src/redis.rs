@@ -1,0 +1,510 @@
+//! The Redis-style workload (paper §4, Figures 4 and 5).
+//!
+//! A RESP key-value server running as a FlexOS application: values live
+//! in the application compartment's simulated heap (so `SET`/`GET` hit
+//! the — possibly instrumented — allocator, which is the whole point of
+//! Figure 4's global-vs-local allocator comparison), requests arrive
+//! pipelined over TCP from an external client, and every socket
+//! operation crosses the image's gates.
+
+use crate::client::{exchange, Client, SERVER_IP};
+use crate::os::Os;
+use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
+use crate::resp::{encode, encode_command, RespParser, RespValue};
+use flexos::build::{plan, BackendChoice, Hypervisor};
+use flexos::gate::CompartmentId;
+use flexos_kernel::exec::{Executor, Step};
+use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
+use flexos_machine::Addr;
+use flexos_net::nic::Link;
+use flexos_net::stack::{NetError, SocketId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The Redis port.
+pub const REDIS_PORT: u16 = 6379;
+
+/// Request mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Only `SET key value`.
+    Set,
+    /// Only `GET key` (keys preloaded).
+    Get,
+}
+
+impl Mix {
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::Set => "SET",
+            Mix::Get => "GET",
+        }
+    }
+}
+
+/// Parameters of one Redis run.
+#[derive(Debug, Clone)]
+pub struct RedisParams {
+    /// Compartment model.
+    pub model: CompartmentModel,
+    /// Isolation backend.
+    pub backend: BackendChoice,
+    /// Scheduler implementation.
+    pub sched: SchedKind,
+    /// Hypervisor.
+    pub hypervisor: Hypervisor,
+    /// Libraries hardened with the GCC SH set.
+    pub sh_on: Vec<String>,
+    /// Per-compartment allocators (Figure 4's "local allocator").
+    pub dedicated_allocators: bool,
+    /// Value payload size in bytes (5 / 50 / 500 in the paper).
+    pub payload: usize,
+    /// Request mix.
+    pub mix: Mix,
+    /// Requests to complete during measurement.
+    pub ops: u64,
+    /// Pipeline depth.
+    pub pipeline: usize,
+}
+
+impl Default for RedisParams {
+    fn default() -> Self {
+        Self {
+            model: CompartmentModel::Baseline,
+            backend: BackendChoice::None,
+            sched: SchedKind::Coop,
+            hypervisor: Hypervisor::Kvm,
+            sh_on: Vec::new(),
+            dedicated_allocators: false,
+            payload: 50,
+            mix: Mix::Get,
+            ops: 2_000,
+            pipeline: 16,
+        }
+    }
+}
+
+/// The outcome of one Redis run.
+#[derive(Debug, Clone, Copy)]
+pub struct RedisResult {
+    /// Requests completed (measured phase).
+    pub ops: u64,
+    /// Server cycles spent.
+    pub cycles: u64,
+    /// Throughput in mega-requests per second (the paper's MTps axis).
+    pub mreq_per_s: f64,
+    /// Gate crossings on the server during measurement.
+    pub crossings: u64,
+}
+
+/// The in-image Redis server state.
+struct RedisServer {
+    store: HashMap<Vec<u8>, (Addr, u64)>,
+    parser: RespParser,
+    out_host: Vec<u8>,
+    c_app: CompartmentId,
+    rx_buf: Addr,
+    tx_buf: Addr,
+    io_buf_len: u64,
+    /// Commands executed.
+    ops: u64,
+}
+
+impl RedisServer {
+    fn execute(&mut self, os: &mut Os, args: &[Vec<u8>]) -> RespValue {
+        // Per-request application work (command dispatch, hashing).
+        let work = os.img.machine.costs().app_request;
+        os.app_compute(work);
+        self.ops += 1;
+        let cmd = args.first().map(|c| c.to_ascii_uppercase()).unwrap_or_default();
+        match (cmd.as_slice(), args.len()) {
+            (b"PING", 1) => RespValue::Simple("PONG".into()),
+            (b"SET", 3) => {
+                let value = &args[2];
+                match os.malloc_in(self.c_app, value.len().max(1) as u64) {
+                    Ok(addr) => {
+                        if let Err(f) = os.img.write(addr, value) {
+                            return RespValue::Error(format!("ERR fault: {f}"));
+                        }
+                        if let Some((old, _)) = self.store.insert(args[1].clone(), (addr, value.len() as u64))
+                        {
+                            let _ = os.free_in(self.c_app, old);
+                        }
+                        RespValue::Simple("OK".into())
+                    }
+                    Err(f) => RespValue::Error(format!("ERR oom: {f}")),
+                }
+            }
+            (b"GET", 2) => match self.store.get(&args[1]).copied() {
+                Some((addr, len)) => {
+                    // Redis builds the reply in a freshly allocated
+                    // object (sds string) — so GETs hit the allocator
+                    // too, instrumented or not.
+                    let reply = match os.malloc_in(self.c_app, len.max(1)) {
+                        Ok(r) => r,
+                        Err(f) => return RespValue::Error(format!("ERR oom: {f}")),
+                    };
+                    let mut value = vec![0u8; len as usize];
+                    let read = os
+                        .img
+                        .read(addr, &mut value)
+                        .and_then(|()| os.img.copy(reply, addr, len));
+                    let _ = os.free_in(self.c_app, reply);
+                    if let Err(f) = read {
+                        return RespValue::Error(format!("ERR fault: {f}"));
+                    }
+                    RespValue::Bulk(Some(value))
+                }
+                None => RespValue::Bulk(None),
+            },
+            (b"DEL", 2) => match self.store.remove(&args[1]) {
+                Some((addr, _)) => {
+                    let _ = os.free_in(self.c_app, addr);
+                    RespValue::Integer(1)
+                }
+                None => RespValue::Integer(0),
+            },
+            (b"EXISTS", 2) => {
+                RespValue::Integer(i64::from(self.store.contains_key(&args[1])))
+            }
+            _ => RespValue::Error(format!(
+                "ERR unknown command '{}'",
+                String::from_utf8_lossy(&cmd)
+            )),
+        }
+    }
+
+    /// One service quantum on socket `sid`: drain input, execute, flush
+    /// replies. Returns `Ok(None)` to yield, `Ok(Some(step))` to return.
+    fn service(
+        &mut self,
+        os: &mut Os,
+        tid: ThreadId,
+        sid: SocketId,
+    ) -> flexos_machine::Result<Step> {
+        // Flush pending replies first.
+        while !self.out_host.is_empty() {
+            let n = (self.out_host.len() as u64).min(self.io_buf_len);
+            os.img.write(self.tx_buf, &self.out_host[..n as usize])?;
+            match os.send(sid, self.tx_buf, n) {
+                Ok(sent) => {
+                    self.out_host.drain(..sent as usize);
+                }
+                Err(NetError::WouldBlock) => return Ok(Step::Yield),
+                Err(NetError::Closed) => return Ok(Step::Done),
+                Err(e) => panic!("redis send failed: {e}"),
+            }
+        }
+        // Pull in new request bytes.
+        match os.recv(sid, self.rx_buf, self.io_buf_len) {
+            Ok(0) => return Ok(Step::Done),
+            Ok(n) => {
+                let mut host = vec![0u8; n as usize];
+                os.img.read(self.rx_buf, &mut host)?;
+                self.parser.feed(&host);
+            }
+            Err(NetError::WouldBlock) => {
+                if self.parser.pending() == 0 {
+                    return match os.wait_readable(tid, sid)? {
+                        Some(ch) => Ok(Step::Block(ch)),
+                        None => Ok(Step::Yield),
+                    };
+                }
+            }
+            Err(e) => panic!("redis recv failed: {e}"),
+        }
+        // Execute everything parseable.
+        while let Some(args) = self.parser.parse_command() {
+            let reply = if args.is_empty() {
+                RespValue::Error("ERR protocol error".into())
+            } else {
+                self.execute(os, &args)
+            };
+            self.out_host.extend_from_slice(&encode(&reply));
+        }
+        Ok(Step::Yield)
+    }
+}
+
+fn make_executor(kind: SchedKind) -> Executor<Os> {
+    let rq: Box<dyn RunQueue> = match kind {
+        SchedKind::Coop => Box::new(CoopScheduler::new()),
+        SchedKind::Verified => Box::new(VerifiedScheduler::new()),
+    };
+    Executor::new(rq)
+}
+
+/// Builds the image config for `params`.
+pub fn redis_image(params: &RedisParams) -> flexos::build::ImageConfig {
+    let mut cfg = evaluation_image("redis", params.model, params.backend, params.sched)
+        .on(params.hypervisor);
+    for name in &params.sh_on {
+        cfg = harden(cfg, name);
+    }
+    if params.dedicated_allocators {
+        cfg.dedicated_allocators = true;
+    }
+    cfg
+}
+
+/// The external Redis load generator (pipelined).
+struct LoadGen {
+    replies: RespParser,
+    completed: u64,
+    inflight: u64,
+    payload: Vec<u8>,
+    keys: Vec<Vec<u8>>,
+    next: usize,
+    mix: Mix,
+    pipeline: usize,
+}
+
+impl LoadGen {
+    fn new(payload: usize, mix: Mix, pipeline: usize) -> Self {
+        Self {
+            replies: RespParser::new(),
+            completed: 0,
+            inflight: 0,
+            payload: vec![b'v'; payload.max(1)],
+            keys: (0..16).map(|i| format!("key:{i:04}").into_bytes()).collect(),
+            next: 0,
+            mix,
+            pipeline,
+        }
+    }
+
+    fn batch(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        while self.inflight < self.pipeline as u64 {
+            let key = &self.keys[self.next % self.keys.len()];
+            self.next += 1;
+            match self.mix {
+                Mix::Set => out.extend_from_slice(&encode_command(&[b"SET", key, &self.payload])),
+                Mix::Get => out.extend_from_slice(&encode_command(&[b"GET", key])),
+            }
+            self.inflight += 1;
+        }
+        out
+    }
+
+    fn consume(&mut self, bytes: &[u8]) {
+        self.replies.feed(bytes);
+        while let Some(v) = self.replies.parse_value() {
+            if let RespValue::Error(e) = &v {
+                panic!("redis server replied with error: {e}");
+            }
+            self.completed += 1;
+            self.inflight = self.inflight.saturating_sub(1);
+        }
+    }
+}
+
+/// Runs the Redis workload and reports server-side request throughput.
+///
+/// # Panics
+///
+/// Panics if the run makes no progress or the server replies with an
+/// error (harness bugs, not recoverable conditions).
+pub fn run_redis(params: &RedisParams) -> RedisResult {
+    let image = plan(redis_image(params)).expect("redis image plans");
+    let mut os = Os::boot(image, SERVER_IP, 1).expect("redis image boots");
+    let mut exec = make_executor(params.sched);
+    let mut client = Client::new(2);
+    let mut link = Link::new();
+
+    let io_buf_len = 16 * 1024u64;
+    let rx_buf = os.alloc_shared_buf(io_buf_len).expect("rx buffer");
+    let tx_buf = os.alloc_shared_buf(io_buf_len).expect("tx buffer");
+    let c_app = os.roles.app;
+    let listener = os.listen(REDIS_PORT).expect("listen");
+
+    let server = Rc::new(RefCell::new(RedisServer {
+        store: HashMap::new(),
+        parser: RespParser::new(),
+        out_host: Vec::new(),
+        c_app,
+        rx_buf,
+        tx_buf,
+        io_buf_len,
+        ops: 0,
+    }));
+    let server_task = Rc::clone(&server);
+    let mut sid: Option<SocketId> = None;
+    let task = move |os: &mut Os, tid| {
+        if sid.is_none() {
+            match os.accept(listener) {
+                Ok(Some(s)) => sid = Some(s),
+                Ok(None) => return Ok(Step::Yield),
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+        server_task.borrow_mut().service(os, tid, sid.expect("accepted"))
+    };
+    exec.spawn(c_app, Box::new(task)).expect("spawn redis server");
+
+    let csid = client.connect(REDIS_PORT).expect("client connect");
+    for _ in 0..8 {
+        client.poll();
+        exchange(&mut link, &mut client, &mut os);
+        os.poll_net().expect("server poll");
+        exec.run(&mut os, 16).expect("exec");
+        exchange(&mut link, &mut client, &mut os);
+    }
+    assert!(client.established(csid), "handshake did not complete");
+
+    let mut load = LoadGen::new(params.payload, params.mix, params.pipeline);
+    let drive = |os: &mut Os,
+                     exec: &mut Executor<Os>,
+                     client: &mut Client,
+                     link: &mut Link,
+                     load: &mut LoadGen,
+                     target: u64| {
+        let mut idle = 0u32;
+        while load.completed < target {
+            let batch = load.batch();
+            if !batch.is_empty() {
+                client.send_bytes(csid, &batch);
+            }
+            client.poll();
+            exchange(link, client, os);
+            os.poll_net().expect("server poll");
+            exec.run(os, 64).expect("exec");
+            os.poll_net().expect("server poll 2");
+            exchange(link, client, os);
+            client.poll();
+            let replies = client.recv_bytes(csid, 64 * 1024);
+            let before = load.completed;
+            load.consume(&replies);
+            if load.completed == before {
+                idle += 1;
+                if idle > 200 {
+                    client.advance(30_000_000);
+                    os.img.machine.charge(30_000_000);
+                }
+                assert!(idle < 5_000, "redis made no progress");
+            } else {
+                idle = 0;
+            }
+        }
+    };
+
+    // Preload phase (GET mixes need populated keys); not measured.
+    if params.mix == Mix::Get {
+        let mut preload = LoadGen::new(params.payload, Mix::Set, 16);
+        drive(&mut os, &mut exec, &mut client, &mut link, &mut preload, 16);
+    }
+
+    // Measured phase.
+    let start_cycles = os.img.machine.clock().cycles();
+    let start_crossings = os.img.gates.stats().crossings;
+    drive(&mut os, &mut exec, &mut client, &mut link, &mut load, params.ops);
+    let cycles = os.img.machine.clock().cycles() - start_cycles;
+    let ops = load.completed;
+    RedisResult {
+        ops,
+        cycles,
+        mreq_per_s: ops as f64 / (cycles as f64 / flexos_machine::CPU_FREQ_HZ as f64) / 1e6,
+        crossings: os.img.gates.stats().crossings - start_crossings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(params: RedisParams) -> RedisResult {
+        run_redis(&RedisParams { ops: 300, ..params })
+    }
+
+    #[test]
+    fn get_and_set_complete_against_the_server() {
+        for mix in [Mix::Set, Mix::Get] {
+            let r = quick(RedisParams { mix, ..RedisParams::default() });
+            assert!(r.ops >= 300);
+            assert!(r.mreq_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn isolation_reduces_redis_throughput() {
+        let base = quick(RedisParams::default());
+        let nw = quick(RedisParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::MpkShared,
+            ..RedisParams::default()
+        });
+        assert!(nw.mreq_per_s < base.mreq_per_s);
+        assert!(nw.crossings > base.crossings);
+    }
+
+    #[test]
+    fn switched_stacks_cost_more_than_shared() {
+        let shared = quick(RedisParams {
+            model: CompartmentModel::NwSchedRest,
+            backend: BackendChoice::MpkShared,
+            ..RedisParams::default()
+        });
+        let switched = quick(RedisParams {
+            model: CompartmentModel::NwSchedRest,
+            backend: BackendChoice::MpkSwitched,
+            ..RedisParams::default()
+        });
+        assert!(switched.mreq_per_s < shared.mreq_per_s);
+    }
+
+    #[test]
+    fn merging_nw_and_sched_does_not_recover_throughput() {
+        // The paper's Figure 5 finding: semaphores live in LibC, so
+        // putting the stack and scheduler together does not help.
+        let separate = quick(RedisParams {
+            model: CompartmentModel::NwSchedRest,
+            backend: BackendChoice::MpkShared,
+            ..RedisParams::default()
+        });
+        let merged = quick(RedisParams {
+            model: CompartmentModel::NwAndSchedRest,
+            backend: BackendChoice::MpkShared,
+            ..RedisParams::default()
+        });
+        // Merged is not meaningfully faster (within 10%).
+        assert!(merged.mreq_per_s < separate.mreq_per_s * 1.10);
+    }
+
+    #[test]
+    fn local_allocator_beats_global_under_sh() {
+        // Figure 4's configuration: SH on the network stack, no hardware
+        // isolation; the NW-only model provides the allocator domain.
+        let global = quick(RedisParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::None,
+            sh_on: vec!["lwip".into()],
+            dedicated_allocators: false,
+            mix: Mix::Set,
+            ..RedisParams::default()
+        });
+        let local = quick(RedisParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::None,
+            sh_on: vec!["lwip".into()],
+            dedicated_allocators: true,
+            mix: Mix::Set,
+            ..RedisParams::default()
+        });
+        assert!(
+            local.mreq_per_s > global.mreq_per_s,
+            "local {:.3} vs global {:.3} MTps",
+            local.mreq_per_s,
+            global.mreq_per_s
+        );
+    }
+
+    #[test]
+    fn verified_scheduler_overhead_is_small_for_redis() {
+        let coop = quick(RedisParams::default());
+        let verified = quick(RedisParams { sched: SchedKind::Verified, ..RedisParams::default() });
+        assert!(verified.mreq_per_s <= coop.mreq_per_s);
+        assert!(verified.mreq_per_s > coop.mreq_per_s * 0.9);
+    }
+}

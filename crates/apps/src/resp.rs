@@ -1,0 +1,266 @@
+//! The RESP protocol (REdis Serialization Protocol), v2.
+//!
+//! Implements the subset Redis clients use for the paper's workloads:
+//! command arrays of bulk strings in, simple strings / errors / integers
+//! / bulk strings out — with an incremental parser that tolerates
+//! partial input (TCP delivers byte streams, not messages).
+
+use std::fmt;
+
+/// A RESP reply value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`, or `$-1\r\n` for nil.
+    Bulk(Option<Vec<u8>>),
+    /// `*N\r\n...`
+    Array(Vec<RespValue>),
+}
+
+impl fmt::Display for RespValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RespValue::Simple(s) => write!(f, "+{s}"),
+            RespValue::Error(e) => write!(f, "-{e}"),
+            RespValue::Integer(i) => write!(f, ":{i}"),
+            RespValue::Bulk(Some(b)) => write!(f, "${}", String::from_utf8_lossy(b)),
+            RespValue::Bulk(None) => write!(f, "$nil"),
+            RespValue::Array(items) => write!(f, "*[{}]", items.len()),
+        }
+    }
+}
+
+/// Encodes a reply value to wire bytes.
+pub fn encode(v: &RespValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(v, &mut out);
+    out
+}
+
+fn encode_into(v: &RespValue, out: &mut Vec<u8>) {
+    match v {
+        RespValue::Simple(s) => {
+            out.push(b'+');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Error(e) => {
+            out.push(b'-');
+            out.extend_from_slice(e.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Integer(i) => {
+            out.push(b':');
+            out.extend_from_slice(i.to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Bulk(Some(b)) => {
+            out.push(b'$');
+            out.extend_from_slice(b.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(b);
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Bulk(None) => out.extend_from_slice(b"$-1\r\n"),
+        RespValue::Array(items) => {
+            out.push(b'*');
+            out.extend_from_slice(items.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+    }
+}
+
+/// Encodes a client command (array of bulk strings).
+pub fn encode_command(args: &[&[u8]]) -> Vec<u8> {
+    let items: Vec<RespValue> = args.iter().map(|a| RespValue::Bulk(Some(a.to_vec()))).collect();
+    encode(&RespValue::Array(items))
+}
+
+/// An incremental RESP parser over a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct RespParser {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl RespParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered and not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn line(&self, from: usize) -> Option<(&[u8], usize)> {
+        let rest = &self.buf[from..];
+        let nl = rest.windows(2).position(|w| w == b"\r\n")?;
+        Some((&rest[..nl], from + nl + 2))
+    }
+
+    fn parse_value_at(&self, from: usize) -> Option<(RespValue, usize)> {
+        let (line, after) = self.line(from)?;
+        let (tag, body) = line.split_first()?;
+        let text = std::str::from_utf8(body).ok()?;
+        match tag {
+            b'+' => Some((RespValue::Simple(text.to_string()), after)),
+            b'-' => Some((RespValue::Error(text.to_string()), after)),
+            b':' => Some((RespValue::Integer(text.parse().ok()?), after)),
+            b'$' => {
+                let n: i64 = text.parse().ok()?;
+                if n < 0 {
+                    return Some((RespValue::Bulk(None), after));
+                }
+                let n = n as usize;
+                if self.buf.len() < after + n + 2 {
+                    return None; // partial
+                }
+                if &self.buf[after + n..after + n + 2] != b"\r\n" {
+                    return None;
+                }
+                Some((RespValue::Bulk(Some(self.buf[after..after + n].to_vec())), after + n + 2))
+            }
+            b'*' => {
+                let n: i64 = text.parse().ok()?;
+                if n < 0 {
+                    return Some((RespValue::Array(Vec::new()), after));
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                let mut cursor = after;
+                for _ in 0..n {
+                    let (item, next) = self.parse_value_at(cursor)?;
+                    items.push(item);
+                    cursor = next;
+                }
+                Some((RespValue::Array(items), cursor))
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses one complete value, if buffered.
+    pub fn parse_value(&mut self) -> Option<RespValue> {
+        let (v, next) = self.parse_value_at(self.pos)?;
+        self.pos = next;
+        self.compact();
+        Some(v)
+    }
+
+    /// Parses one complete client *command* (array of bulk strings) into
+    /// its argument list.
+    pub fn parse_command(&mut self) -> Option<Vec<Vec<u8>>> {
+        let start = self.pos;
+        match self.parse_value()? {
+            RespValue::Array(items) => {
+                let mut args = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        RespValue::Bulk(Some(b)) => args.push(b),
+                        _ => {
+                            // Malformed command: rewind and drop the value.
+                            let _ = start;
+                            return Some(Vec::new());
+                        }
+                    }
+                }
+                Some(args)
+            }
+            _ => Some(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for v in [
+            RespValue::Simple("OK".into()),
+            RespValue::Error("ERR no such key".into()),
+            RespValue::Integer(-42),
+            RespValue::Bulk(Some(b"hello\r\nworld".to_vec())),
+            RespValue::Bulk(None),
+            RespValue::Array(vec![
+                RespValue::Bulk(Some(b"GET".to_vec())),
+                RespValue::Bulk(Some(b"key".to_vec())),
+            ]),
+        ] {
+            let mut p = RespParser::new();
+            p.feed(&encode(&v));
+            assert_eq!(p.parse_value().unwrap(), v);
+            assert_eq!(p.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn command_encoding_matches_redis_wire_format() {
+        let cmd = encode_command(&[b"SET", b"k", b"v1"]);
+        assert_eq!(cmd, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nv1\r\n");
+    }
+
+    #[test]
+    fn partial_input_returns_none_until_complete() {
+        let full = encode_command(&[b"SET", b"key", b"value"]);
+        let mut p = RespParser::new();
+        for (i, chunk) in full.chunks(3).enumerate() {
+            p.feed(chunk);
+            let done = (i + 1) * 3 >= full.len();
+            if !done {
+                assert!(p.parse_command().is_none(), "parsed too early at chunk {i}");
+            }
+        }
+        let args = p.parse_command().unwrap();
+        assert_eq!(args, vec![b"SET".to_vec(), b"key".to_vec(), b"value".to_vec()]);
+    }
+
+    #[test]
+    fn pipelined_commands_parse_in_sequence() {
+        let mut p = RespParser::new();
+        p.feed(&encode_command(&[b"PING"]));
+        p.feed(&encode_command(&[b"GET", b"k"]));
+        assert_eq!(p.parse_command().unwrap(), vec![b"PING".to_vec()]);
+        assert_eq!(p.parse_command().unwrap(), vec![b"GET".to_vec(), b"k".to_vec()]);
+        assert!(p.parse_command().is_none());
+    }
+
+    #[test]
+    fn binary_safe_values_survive() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let cmd = encode_command(&[b"SET", b"bin", &payload]);
+        let mut p = RespParser::new();
+        p.feed(&cmd);
+        let args = p.parse_command().unwrap();
+        assert_eq!(args[2], payload);
+    }
+
+    #[test]
+    fn nil_bulk_parses() {
+        let mut p = RespParser::new();
+        p.feed(b"$-1\r\n");
+        assert_eq!(p.parse_value().unwrap(), RespValue::Bulk(None));
+    }
+}

@@ -1,0 +1,428 @@
+//! Plan instantiation: from an [`ImagePlan`] to a booted [`BootImage`].
+//!
+//! This is the runtime half of FlexOS's builder: "Using this information,
+//! FlexOS's builder will generate the required protection domains (one
+//! per compartment) and replace the call gate placeholders with the
+//! relevant code." (paper §2). Given a validated plan, [`instantiate`]
+//! boots a simulated machine, creates one protection domain per
+//! compartment under the chosen backend (MPK keys in one VM, or one VM
+//! per compartment), wires the per-compartment or global heap
+//! allocators, maps the shared window, and installs the backend's gate
+//! into a [`GateRuntime`].
+
+use crate::mpk::{MpkSharedGate, MpkSwitchedGate};
+use crate::vmrpc::VmRpcGate;
+use flexos::build::{BackendChoice, ImagePlan, LibRole};
+use flexos::gate::{CompartmentCtx, CompartmentId, DirectGate, Gate, GateRuntime};
+use flexos_machine::{
+    Addr, Fault, Machine, MachineConfig, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId,
+};
+use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
+use std::rc::Rc;
+
+/// Sizing knobs for instantiation.
+#[derive(Debug, Clone)]
+pub struct BootOptions {
+    /// Physical frames for the whole machine (default 64 MiB).
+    pub phys_frames: u64,
+    /// Private heap bytes per compartment (default 2 MiB).
+    pub heap_per_compartment: u64,
+    /// Shared-window heap bytes (default 1 MiB).
+    pub shared_heap: u64,
+    /// Per-thread stack bytes (default 64 KiB).
+    pub stack_size: u64,
+}
+
+impl Default for BootOptions {
+    fn default() -> Self {
+        Self {
+            phys_frames: 16384,
+            heap_per_compartment: 2 * 1024 * 1024,
+            shared_heap: 1024 * 1024,
+            stack_size: 64 * 1024,
+        }
+    }
+}
+
+/// A booted FlexOS image: machine + compartments + gates + heaps.
+///
+/// This is the substrate the kernel services, network stack and
+/// applications run on. All of its memory operations execute as the
+/// *current* compartment (per the gate runtime), so protection is
+/// enforced end to end.
+#[derive(Debug)]
+pub struct BootImage {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The gate dispatcher.
+    pub gates: GateRuntime,
+    /// The malloc service (global or per-compartment).
+    pub heaps: HeapService,
+    /// The plan this image was built from.
+    pub plan: ImagePlan,
+    /// Allocator over the shared window (the `[Requires] Shared` region;
+    /// programmers "annotate data shared with other micro-libs so that
+    /// they are allocated in shared areas").
+    shared_alloc: FreeListAllocator,
+    stack_size: u64,
+}
+
+impl BootImage {
+    /// The shared window as `(base, len)`.
+    pub fn shared_region(&self) -> (Addr, u64) {
+        self.shared_alloc.region()
+    }
+}
+
+impl BootImage {
+    /// The compartment a library was placed in, by library name.
+    pub fn compartment_of_lib(&self, name: &str) -> Option<CompartmentId> {
+        let idx = self
+            .plan
+            .config
+            .libraries
+            .iter()
+            .position(|l| l.spec.name == name)?;
+        Some(CompartmentId(self.plan.compartment_of[idx] as u16))
+    }
+
+    /// The compartment hosting the first library with `role`.
+    pub fn compartment_of_role(&self, role: LibRole) -> Option<CompartmentId> {
+        self.plan.compartment_of_role(role).map(|c| CompartmentId(c as u16))
+    }
+
+    /// Allocates from the *current* compartment's heap.
+    pub fn malloc(&mut self, size: u64, align: u64) -> Result<Addr> {
+        let c = self.gates.current();
+        self.heaps.alloc(&mut self.machine, c, size, align)
+    }
+
+    /// Frees into the *current* compartment's heap.
+    pub fn free(&mut self, addr: Addr) -> Result<()> {
+        let c = self.gates.current();
+        self.heaps.free(&mut self.machine, c, addr)
+    }
+
+    /// Allocates shared data visible to every compartment.
+    pub fn malloc_shared(&mut self, size: u64, align: u64) -> Result<Addr> {
+        self.shared_alloc.alloc(&mut self.machine, size, align)
+    }
+
+    /// Frees shared data.
+    pub fn free_shared(&mut self, addr: Addr) -> Result<()> {
+        self.shared_alloc.free(&mut self.machine, addr)
+    }
+
+    /// Writes as the current compartment.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) -> Result<()> {
+        let vcpu = self.gates.current_ctx().vcpu;
+        self.machine.write(vcpu, addr, data)
+    }
+
+    /// Reads as the current compartment.
+    pub fn read(&mut self, addr: Addr, buf: &mut [u8]) -> Result<()> {
+        let vcpu = self.gates.current_ctx().vcpu;
+        self.machine.read(vcpu, addr, buf)
+    }
+
+    /// Copies within simulated memory as the current compartment.
+    pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<()> {
+        let vcpu = self.gates.current_ctx().vcpu;
+        self.machine.copy(vcpu, dst, src, len)
+    }
+
+    /// Allocates a thread stack for `compartment`, honoring the backend's
+    /// stack policy: shared-stack gates place stacks in the domain shared
+    /// by all compartments; switched-stack and VM gates keep them private.
+    pub fn alloc_stack(&mut self, compartment: CompartmentId) -> Result<(Addr, u64)> {
+        let mech = self.plan.config.backend.mechanism();
+        let size = self.stack_size;
+        if mech.stacks_shared() {
+            let base = self.machine.alloc_shared_region(size, ProtKey(0))?;
+            Ok((base, size))
+        } else {
+            let ctx = self.gates.ctx(compartment).clone();
+            let key = ctx.keys.first().copied().unwrap_or(ProtKey(0));
+            let base = self.machine.alloc_region(ctx.vm, size, key, PageFlags::RW)?;
+            Ok((base, size))
+        }
+    }
+
+    /// Crosses into the compartment hosting `lib` and runs `f` there —
+    /// the runtime analogue of the `uk_gate_r(...)` placeholder.
+    pub fn call_lib<R>(
+        &mut self,
+        lib: &str,
+        arg_bytes: u64,
+        ret_bytes: u64,
+        f: impl FnOnce(&mut Machine, &mut GateRuntime) -> Result<R>,
+    ) -> Result<R> {
+        let target = self.compartment_of_lib(lib).ok_or_else(|| Fault::HardeningAbort {
+            mechanism: "gate",
+            reason: format!("unknown library `{lib}`"),
+        })?;
+        self.gates.cross(&mut self.machine, target, arg_bytes, ret_bytes, f)
+    }
+}
+
+/// Boots `plan` with default sizing.
+pub fn instantiate(plan: ImagePlan) -> Result<BootImage> {
+    instantiate_with(plan, BootOptions::default())
+}
+
+/// Boots `plan` with explicit sizing.
+pub fn instantiate_with(plan: ImagePlan, opts: BootOptions) -> Result<BootImage> {
+    let mut machine = Machine::new(MachineConfig {
+        phys_frames: opts.phys_frames,
+        ..MachineConfig::default()
+    });
+    let n = plan.num_compartments;
+    let backend = plan.config.backend;
+
+    // --- protection domains -------------------------------------------------
+    let mut vms = vec![VmId(0); n];
+    let mut vcpus = vec![VcpuId(0); n];
+    let mut keys: Vec<Vec<ProtKey>> = vec![Vec::new(); n];
+    let mut pkrus = vec![Pkru::ALLOW_ALL; n];
+    match backend {
+        BackendChoice::None => {}
+        BackendChoice::MpkShared | BackendChoice::MpkSwitched | BackendChoice::Cheri => {
+            // The CHERI backend reuses the per-page tags to model each
+            // compartment's capability reach: the PKRU-visible set of a
+            // compartment equals the memory its capabilities span.
+            for c in 0..n {
+                let key = ProtKey::new((c + 1) as u8).ok_or(Fault::HardeningAbort {
+                    mechanism: "mpk",
+                    reason: "compartment count exceeds the MPK key budget".into(),
+                })?;
+                keys[c] = vec![key];
+                pkrus[c] = Pkru::deny_all_except(&[ProtKey(0), key], &[]);
+            }
+        }
+        BackendChoice::VmRpc => {
+            for c in 1..n {
+                let vm = machine.add_vm(false);
+                vms[c] = vm;
+                vcpus[c] = machine.add_vcpu(vm);
+            }
+        }
+    }
+
+    // --- memory: shared window + per-compartment heaps ----------------------
+    let rpc_area = if backend == BackendChoice::VmRpc {
+        VmRpcGate::area_bytes(n as u16)
+    } else {
+        0
+    };
+    let shared_base = machine.alloc_shared_region(opts.shared_heap + rpc_area, ProtKey(0))?;
+    let rpc_base = Addr(shared_base.0 + opts.shared_heap);
+    let shared_alloc = FreeListAllocator::new(shared_base, opts.shared_heap);
+
+    // Isolating backends with >1 compartment require split heaps (the MPK
+    // backend isolates each compartment's heap; the VM backend cannot even
+    // express a cross-VM heap).
+    let dedicated = plan.config.dedicated_allocators || (backend.isolates() && n > 1);
+    let mut compartments = Vec::with_capacity(n);
+    let mut allocators: Vec<Box<dyn Allocator>> = Vec::new();
+    if dedicated {
+        for c in 0..n {
+            let key = keys[c].first().copied().unwrap_or(ProtKey(0));
+            let base =
+                machine.alloc_region(vms[c], opts.heap_per_compartment, key, PageFlags::RW)?;
+            allocators.push(Box::new(FreeListAllocator::new(base, opts.heap_per_compartment)));
+        }
+    } else {
+        let base =
+            machine.alloc_region(VmId(0), opts.heap_per_compartment, ProtKey(0), PageFlags::RW)?;
+        allocators.push(Box::new(FreeListAllocator::new(base, opts.heap_per_compartment)));
+    }
+
+    for c in 0..n {
+        let (heap_base, heap_size) = if dedicated {
+            allocators[c].region()
+        } else {
+            allocators[0].region()
+        };
+        compartments.push(CompartmentCtx {
+            id: CompartmentId(c as u16),
+            name: plan.compartment_names[c].clone(),
+            vm: vms[c],
+            vcpu: vcpus[c],
+            pkru: pkrus[c],
+            keys: keys[c].clone(),
+            sh: plan.compartment_sh[c].clone(),
+            heap_base,
+            heap_size,
+        });
+    }
+    let heaps = if dedicated {
+        HeapService::per_compartment(allocators)
+    } else {
+        HeapService::global(allocators.remove(0))
+    };
+
+    // --- gates ---------------------------------------------------------------
+    let token = machine.gate_token();
+    let gate: Rc<dyn Gate> = match backend {
+        BackendChoice::None => Rc::new(DirectGate),
+        BackendChoice::MpkShared => Rc::new(MpkSharedGate::new(token)),
+        BackendChoice::MpkSwitched => Rc::new(MpkSwitchedGate::new(token)),
+        BackendChoice::VmRpc => Rc::new(VmRpcGate::new(rpc_base, n as u16)),
+        BackendChoice::Cheri => Rc::new(crate::cheri::CheriGate::new(token)),
+    };
+    let initial = plan
+        .compartment_of_role(LibRole::App)
+        .map(|c| CompartmentId(c as u16))
+        .unwrap_or(CompartmentId(0));
+    let mut gates = GateRuntime::new(compartments, gate, initial);
+
+    // Load the initial compartment's protection view.
+    gates.resume_in(&mut machine, initial)?;
+
+    Ok(BootImage {
+        machine,
+        gates,
+        heaps,
+        plan,
+        shared_alloc,
+        stack_size: opts.stack_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos::build::{plan, ImageConfig, LibraryConfig};
+    use flexos::spec::LibSpec;
+
+    fn three_lib_plan(backend: BackendChoice) -> ImagePlan {
+        let cfg = ImageConfig::new("test", backend)
+            .with_library(LibraryConfig::new(
+                LibSpec::verified_scheduler(),
+                LibRole::Scheduler,
+            ))
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("netstack"), LibRole::NetStack))
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+        plan(cfg).unwrap()
+    }
+
+    #[test]
+    fn baseline_boots_single_compartment() {
+        let img = instantiate(three_lib_plan(BackendChoice::None)).unwrap();
+        assert_eq!(img.gates.len(), 1);
+        assert_eq!(img.compartment_of_lib("netstack"), Some(CompartmentId(0)));
+    }
+
+    #[test]
+    fn mpk_boot_separates_heaps_by_key() {
+        let mut img = instantiate(three_lib_plan(BackendChoice::MpkShared)).unwrap();
+        assert!(img.gates.len() >= 2);
+        // Current compartment (app's) heap works.
+        let a = img.malloc(64, 8).unwrap();
+        img.write(a, b"ok").unwrap();
+        // The scheduler compartment's heap is unreachable from here.
+        let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
+        assert_ne!(sched_c, img.gates.current());
+        let sched_heap = img.gates.ctx(sched_c).heap_base;
+        assert!(img.write(sched_heap, b"attack").is_err());
+        // …but reachable after crossing the gate.
+        img.call_lib("uksched_verified", 8, 8, |m, rt| {
+            let vcpu = rt.current_ctx().vcpu;
+            m.write(vcpu, sched_heap, b"legit")
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn vm_backend_gives_each_compartment_its_own_vm() {
+        let img = instantiate(three_lib_plan(BackendChoice::VmRpc)).unwrap();
+        let n = img.gates.len();
+        assert!(n >= 2);
+        let mut vms: Vec<_> = (0..n).map(|c| img.gates.ctx(CompartmentId(c as u16)).vm).collect();
+        vms.dedup();
+        assert_eq!(vms.len(), n, "each compartment runs in its own VM");
+        assert_eq!(img.machine.vm_count(), n);
+    }
+
+    #[test]
+    fn shared_heap_is_visible_across_compartments() {
+        let mut img = instantiate(three_lib_plan(BackendChoice::VmRpc)).unwrap();
+        let s = img.malloc_shared(128, 8).unwrap();
+        img.write(s, b"shared-data").unwrap();
+        let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
+        let got = img
+            .gates
+            .cross(&mut img.machine, sched_c, 0, 0, |m, rt| {
+                let vcpu = rt.current_ctx().vcpu;
+                let mut buf = [0u8; 11];
+                m.read(vcpu, s, &mut buf)?;
+                Ok(buf)
+            })
+            .unwrap();
+        assert_eq!(&got, b"shared-data");
+    }
+
+    #[test]
+    fn crossing_charges_backend_costs() {
+        for (backend, min_cost) in [
+            (BackendChoice::MpkShared, 2 * CostTableProbe::shared()),
+            (BackendChoice::VmRpc, 2 * CostTableProbe::notify()),
+        ] {
+            let mut img = instantiate(three_lib_plan(backend)).unwrap();
+            let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
+            let t0 = img.machine.clock().cycles();
+            img.gates.cross(&mut img.machine, sched_c, 16, 8, |_, _| Ok(())).unwrap();
+            let spent = img.machine.clock().cycles() - t0;
+            assert!(spent >= min_cost, "{backend:?}: {spent} < {min_cost}");
+        }
+    }
+
+    struct CostTableProbe;
+    impl CostTableProbe {
+        fn shared() -> u64 {
+            flexos_machine::CostTable::default().mpk_shared_gate()
+        }
+        fn notify() -> u64 {
+            flexos_machine::CostTable::default().vm_notify
+        }
+    }
+
+    #[test]
+    fn stacks_follow_the_gate_policy() {
+        // Shared-stack: stack readable from every compartment.
+        let mut img = instantiate(three_lib_plan(BackendChoice::MpkShared)).unwrap();
+        let c0 = img.gates.current();
+        let (stack, _) = img.alloc_stack(c0).unwrap();
+        img.write(stack, b"frame").unwrap();
+        let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
+        img.gates
+            .cross(&mut img.machine, sched_c, 0, 0, |m, rt| {
+                let mut b = [0u8; 5];
+                m.read(rt.current_ctx().vcpu, stack, &mut b)
+            })
+            .unwrap();
+
+        // Switched-stack: per-compartment stacks are private.
+        let mut img = instantiate(three_lib_plan(BackendChoice::MpkSwitched)).unwrap();
+        let c0 = img.gates.current();
+        let (stack, _) = img.alloc_stack(c0).unwrap();
+        img.write(stack, b"frame").unwrap();
+        let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
+        let err = img
+            .gates
+            .cross(&mut img.machine, sched_c, 0, 0, |m, rt| {
+                let mut b = [0u8; 5];
+                m.read(rt.current_ctx().vcpu, stack, &mut b)
+            })
+            .unwrap_err();
+        assert!(err.is_protection_fault());
+    }
+
+    #[test]
+    fn global_allocator_mode_without_isolation() {
+        let img = instantiate(three_lib_plan(BackendChoice::None)).unwrap();
+        assert_eq!(img.heaps.mode(), flexos_kernel::AllocMode::Global);
+        let img = instantiate(three_lib_plan(BackendChoice::MpkShared)).unwrap();
+        assert_eq!(img.heaps.mode(), flexos_kernel::AllocMode::PerCompartment);
+    }
+}

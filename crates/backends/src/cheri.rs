@@ -1,0 +1,164 @@
+//! The CHERI capability backend (heterogeneous-hardware extension).
+//!
+//! The paper motivates FlexOS precisely with this scenario: "computer
+//! hardware is becoming heterogeneous and certain primitives are
+//! hardware-dependent (e.g. Memory Protection Keys)" — with CHERI
+//! \[55\] the second example. A FlexOS image should be able to retarget
+//! from MPK gates to capability gates *without touching the OS code*;
+//! this backend makes `BackendChoice::Cheri` exactly such a drop-in.
+//!
+//! Model: each compartment's *capability reach* is the set of memory it
+//! holds capabilities for (its own domain + the shared region); a gate
+//! crossing is a sealed-capability invoke (`CSeal`/`CInvoke`) that
+//! atomically swaps the executing reach. The simulation reuses the
+//! machine's per-page tags to represent reachability — a compartment's
+//! permitted tag set equals the span of its capabilities — so stray
+//! pointers into foreign compartments fault exactly as unforgeable
+//! capabilities dictate. Per-access capability checks (tag+bounds) are
+//! nearly free in hardware (`cap_check`); the crossing costs
+//! `cheri_gate` per direction — cheaper than MPK (no PKRU
+//! serialization), far cheaper than a VM exit.
+
+use flexos::gate::{CompartmentCtx, Gate, GateMechanism};
+use flexos_machine::cap::{CapPerms, Capability, OType};
+use flexos_machine::{GateToken, Machine, Result};
+
+/// The sealed-capability gate.
+#[derive(Debug, Clone, Copy)]
+pub struct CheriGate {
+    token: GateToken,
+}
+
+impl CheriGate {
+    /// Creates the gate; `token` authorizes the reach switch (the
+    /// analogue of holding the sealed domain-transition capability).
+    pub fn new(token: GateToken) -> Self {
+        Self { token }
+    }
+
+    /// Builds the sealed entry capability for a compartment (what a
+    /// caller holds: opaque until invoked).
+    pub fn entry_capability(ctx: &CompartmentCtx) -> Result<Capability> {
+        Capability::root(ctx.heap_base, ctx.heap_size)
+            .derive(0, ctx.heap_size, CapPerms::RW)?
+            .seal(OType(u32::from(ctx.id.0)))
+    }
+
+    fn switch_to(&self, m: &mut Machine, to: &CompartmentCtx) -> Result<()> {
+        // The CInvoke: unseal the target's entry capability (checked),
+        // then install its reach. Charged as one domain transition; the
+        // underlying register write is covered by the same budget.
+        let sealed = Self::entry_capability(to)?;
+        let _unsealed = sealed.unseal(OType(u32::from(to.id.0)))?;
+        let gate_cost = m.costs().cheri_gate.saturating_sub(m.costs().wrpkru);
+        m.charge(gate_cost);
+        // Reach switch, modelled on the page tags (see module docs).
+        m.wrpkru(to.vcpu, to.pkru, Some(self.token))
+    }
+}
+
+impl Gate for CheriGate {
+    fn mechanism(&self) -> GateMechanism {
+        GateMechanism::Cheri
+    }
+
+    fn enter(
+        &self,
+        m: &mut Machine,
+        _from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        _arg_bytes: u64,
+    ) -> Result<()> {
+        // Arguments are passed *by capability* (no copy): the caller
+        // derives a bounded capability over the argument buffer and the
+        // callee uses it directly — one of CHERI's selling points.
+        self.switch_to(m, to)
+    }
+
+    fn exit(
+        &self,
+        m: &mut Machine,
+        _callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        _ret_bytes: u64,
+    ) -> Result<()> {
+        self.switch_to(m, caller)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos::gate::CompartmentId;
+    use flexos::spec::ShSet;
+    use flexos_machine::{PageFlags, Pkru, ProtKey, VcpuId, VmId};
+
+    fn ctx(id: u16, key: u8, m: &mut Machine) -> CompartmentCtx {
+        let heap = m.alloc_region(VmId(0), 8192, ProtKey(key), PageFlags::RW).unwrap();
+        CompartmentCtx {
+            id: CompartmentId(id),
+            name: format!("c{id}"),
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            pkru: Pkru::deny_all_except(&[ProtKey(0), ProtKey(key)], &[]),
+            keys: vec![ProtKey(key)],
+            sh: ShSet::none(),
+            heap_base: heap,
+            heap_size: 8192,
+        }
+    }
+
+    #[test]
+    fn crossing_costs_the_cheri_budget() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let gate = CheriGate::new(m.gate_token());
+        let t0 = m.clock().cycles();
+        gate.enter(&mut m, &a, &b, 64).unwrap();
+        assert_eq!(m.clock().cycles() - t0, m.costs().cheri_gate);
+        // Cheaper than an MPK crossing, far cheaper than VM RPC.
+        assert!(m.costs().cheri_gate < m.costs().mpk_shared_gate());
+        assert!(m.costs().cheri_gate * 10 < m.costs().vm_rpc_gate());
+    }
+
+    #[test]
+    fn reach_is_enforced_after_the_crossing() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let gate = CheriGate::new(m.gate_token());
+        gate.enter(&mut m, &a, &b, 0).unwrap();
+        // Inside b's reach, a's heap is unreachable.
+        assert!(m.write(VcpuId(0), a.heap_base, b"stray").is_err());
+        m.write(VcpuId(0), b.heap_base, b"own").unwrap();
+    }
+
+    #[test]
+    fn entry_capabilities_are_sealed_and_compartment_typed() {
+        let mut m = Machine::with_defaults();
+        let b = ctx(1, 2, &mut m);
+        let sealed = CheriGate::entry_capability(&b).unwrap();
+        assert!(sealed.is_sealed());
+        // Cannot dereference or unseal with the wrong compartment type.
+        assert!(sealed.check_access(0, 8, false).is_err());
+        assert!(sealed.unseal(OType(0)).is_err());
+        assert!(sealed.unseal(OType(1)).is_ok());
+    }
+
+    #[test]
+    fn argument_capabilities_bound_what_the_callee_may_touch() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        // The caller derives a 64-byte RO view of its buffer for the callee.
+        let arg = Capability::root(a.heap_base, a.heap_size)
+            .derive(128, 64, CapPerms::RO)
+            .unwrap();
+        let mut buf = [0u8; 16];
+        m.read_via_cap(VcpuId(0), &arg, 0, &mut buf).unwrap();
+        // Out of bounds / wrong permission through the capability: caught
+        // even though the underlying pages would allow it.
+        assert!(m.read_via_cap(VcpuId(0), &arg, 60, &mut buf).is_err());
+        assert!(m.write_via_cap(VcpuId(0), &arg, 0, b"x").is_err());
+    }
+}

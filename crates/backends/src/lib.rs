@@ -1,0 +1,27 @@
+//! # flexos-backends — isolation backends and image instantiation
+//!
+//! The concrete gate implementations of the paper's §3 prototype:
+//!
+//! * [`mpk::MpkSharedGate`] — ERIM-style: PKRU switch, shared stacks;
+//! * [`mpk::MpkSwitchedGate`] — Hodor-style: PKRU switch + per-compartment
+//!   stack switch with parameter copying;
+//! * [`vmrpc::VmRpcGate`] — one VM per compartment, RPC over inter-VM
+//!   notifications with a shared window mapped at identical addresses;
+//!
+//! plus [`boot::instantiate`], which turns a validated
+//! [`ImagePlan`](flexos::build::ImagePlan) into a booted
+//! [`boot::BootImage`]: protection domains created, heaps wired
+//! (global or per-compartment), shared window mapped, gate installed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod cheri;
+pub mod mpk;
+pub mod vmrpc;
+
+pub use boot::{instantiate, instantiate_with, BootImage, BootOptions};
+pub use cheri::CheriGate;
+pub use mpk::{MpkSharedGate, MpkSwitchedGate};
+pub use vmrpc::VmRpcGate;

@@ -1,0 +1,200 @@
+//! The Intel MPK isolation backend: shared-stack and switched-stack gates.
+//!
+//! "Our MPK backend places each compartment in its own MPK memory region,
+//! including static memory, heap, stack, and TLS. … Our MPK backend
+//! supports two types of gates. In the shared-stack gate, heap and static
+//! memory are isolated and only shared data is accessible from all
+//! compartments …; thread stacks are located in a domain shared by all
+//! compartments. This gate is similar to ERIM's. With the switched stack
+//! gate, the heap, stacks, and static memory are all isolated. There is
+//! one stack per thread per compartment and the stack is switched at
+//! domain boundaries. Parameters are copied to the target domain stack
+//! … This gate is similar to HODOR's." (paper §3)
+//!
+//! Both gates carry the machine's [`GateToken`], modelling the vetted
+//! `wrpkru` call sites: only gate code may change PKRU (the paper's
+//! defense against unauthorized PKRU writes).
+
+use flexos::gate::{CompartmentCtx, Gate, GateMechanism};
+use flexos_machine::{GateToken, Machine, Result};
+
+/// ERIM-style MPK gate: PKRU switch, shared stacks, no argument copying
+/// (arguments stay on the shared stack domain).
+#[derive(Debug, Clone, Copy)]
+pub struct MpkSharedGate {
+    token: GateToken,
+}
+
+impl MpkSharedGate {
+    /// Creates the gate; `token` authorizes its `wrpkru` call sites.
+    pub fn new(token: GateToken) -> Self {
+        Self { token }
+    }
+
+    fn switch_to(&self, m: &mut Machine, to: &CompartmentCtx) -> Result<()> {
+        // Call-site validation + register clearing, then the PKRU write
+        // itself (the machine charges `wrpkru`).
+        m.charge(m.costs().pkru_guard_check + m.costs().mpk_gate_overhead);
+        m.wrpkru(to.vcpu, to.pkru, Some(self.token))
+    }
+}
+
+impl Gate for MpkSharedGate {
+    fn mechanism(&self) -> GateMechanism {
+        GateMechanism::MpkSharedStack
+    }
+
+    fn enter(
+        &self,
+        m: &mut Machine,
+        _from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        _arg_bytes: u64,
+    ) -> Result<()> {
+        self.switch_to(m, to)
+    }
+
+    fn exit(
+        &self,
+        m: &mut Machine,
+        _callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        _ret_bytes: u64,
+    ) -> Result<()> {
+        self.switch_to(m, caller)
+    }
+}
+
+/// Hodor-style MPK gate: PKRU switch **plus** a stack switch; parameters
+/// are copied to the target domain's stack and shared stack data is
+/// placed on a shared heap.
+#[derive(Debug, Clone, Copy)]
+pub struct MpkSwitchedGate {
+    token: GateToken,
+}
+
+impl MpkSwitchedGate {
+    /// Creates the gate; `token` authorizes its `wrpkru` call sites.
+    pub fn new(token: GateToken) -> Self {
+        Self { token }
+    }
+
+    fn switch_to(&self, m: &mut Machine, to: &CompartmentCtx, copied_bytes: u64) -> Result<()> {
+        m.charge(
+            m.costs().pkru_guard_check
+                + m.costs().mpk_gate_overhead
+                + m.costs().stack_switch
+                + m.costs().copy_cost(copied_bytes),
+        );
+        m.wrpkru(to.vcpu, to.pkru, Some(self.token))
+    }
+}
+
+impl Gate for MpkSwitchedGate {
+    fn mechanism(&self) -> GateMechanism {
+        GateMechanism::MpkSwitchedStack
+    }
+
+    fn enter(
+        &self,
+        m: &mut Machine,
+        _from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        arg_bytes: u64,
+    ) -> Result<()> {
+        // Parameters are copied to the target domain stack.
+        self.switch_to(m, to, arg_bytes)
+    }
+
+    fn exit(
+        &self,
+        m: &mut Machine,
+        _callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        ret_bytes: u64,
+    ) -> Result<()> {
+        // The return value is copied back to the caller's stack.
+        self.switch_to(m, caller, ret_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos::gate::CompartmentId;
+    use flexos::spec::ShSet;
+    use flexos_machine::{PageFlags, Pkru, ProtKey, VcpuId, VmId};
+
+    fn ctx(id: u16, key: u8, m: &mut Machine) -> CompartmentCtx {
+        let heap = m
+            .alloc_region(VmId(0), 4096, ProtKey(key), PageFlags::RW)
+            .unwrap();
+        CompartmentCtx {
+            id: CompartmentId(id),
+            name: format!("c{id}"),
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            pkru: Pkru::deny_all_except(&[ProtKey(0), ProtKey(key)], &[]),
+            keys: vec![ProtKey(key)],
+            sh: ShSet::none(),
+            heap_base: heap,
+            heap_size: 4096,
+        }
+    }
+
+    #[test]
+    fn shared_gate_switches_pkru_and_charges_one_way_cost() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let gate = MpkSharedGate::new(m.gate_token());
+        let c0 = m.clock().cycles();
+        gate.enter(&mut m, &a, &b, 64).unwrap();
+        assert_eq!(m.clock().cycles() - c0, m.costs().mpk_shared_gate());
+        assert_eq!(m.rdpkru(VcpuId(0)), b.pkru);
+        gate.exit(&mut m, &b, &a, 8).unwrap();
+        assert_eq!(m.rdpkru(VcpuId(0)), a.pkru);
+    }
+
+    #[test]
+    fn switched_gate_charges_stack_switch_and_arg_copy() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let gate = MpkSwitchedGate::new(m.gate_token());
+        let c0 = m.clock().cycles();
+        gate.enter(&mut m, &a, &b, 128).unwrap();
+        let charged = m.clock().cycles() - c0;
+        assert_eq!(charged, m.costs().mpk_switched_gate() + m.costs().copy_cost(128));
+        assert!(charged > m.costs().mpk_shared_gate());
+    }
+
+    #[test]
+    fn entered_compartment_cannot_touch_foreign_heap() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let gate = MpkSharedGate::new(m.gate_token());
+        gate.enter(&mut m, &a, &b, 0).unwrap();
+        // Inside compartment b, heap of a (key 1) is unreachable.
+        assert!(m.write(VcpuId(0), a.heap_base, b"attack").is_err());
+        // Its own heap works.
+        m.write(VcpuId(0), b.heap_base, b"fine").unwrap();
+    }
+
+    #[test]
+    fn forged_gate_without_valid_token_is_rejected() {
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        // A gate built with another machine's token is useless here:
+        // tokens are per-image (per vetted binary).
+        let stolen = Machine::with_defaults().gate_token();
+        let forged = MpkSharedGate::new(stolen);
+        let err = forged.enter(&mut m, &a, &b, 0).unwrap_err();
+        assert!(matches!(err, flexos_machine::Fault::UnauthorizedPkruWrite { .. }));
+        // Direct wrpkru without any token fails too (PKU-pitfalls defense).
+        let err = m.wrpkru(VcpuId(0), b.pkru, None).unwrap_err();
+        assert!(matches!(err, flexos_machine::Fault::UnauthorizedPkruWrite { .. }));
+    }
+}

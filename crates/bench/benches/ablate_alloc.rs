@@ -1,0 +1,82 @@
+//! Ablation: allocator designs and topologies (DESIGN.md §6.3).
+//!
+//! Compares the three allocator implementations under a mixed workload,
+//! and the global-vs-per-compartment topology under instrumentation —
+//! the mechanism behind Figure 4's allocator result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexos::build::BackendChoice;
+use flexos_apps::redis::{run_redis, Mix, RedisParams};
+use flexos_apps::CompartmentModel;
+use flexos_kernel::alloc::{Allocator, BuddyAllocator, BumpAllocator, FreeListAllocator};
+use flexos_machine::{Machine, PageFlags, ProtKey, VmId};
+
+fn mixed_workload(a: &mut dyn Allocator, m: &mut Machine) {
+    let mut live = Vec::new();
+    for i in 0..256u64 {
+        let size = 16 + (i * 37) % 480;
+        if let Ok(p) = a.alloc(m, size, 16) {
+            live.push(p);
+        }
+        if i % 3 == 2 {
+            if let Some(p) = live.pop() {
+                a.free(m, p).unwrap();
+            }
+        }
+    }
+    for p in live {
+        a.free(m, p).unwrap();
+    }
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_designs");
+    g.bench_function("freelist", |b| {
+        let mut m = Machine::with_defaults();
+        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        b.iter(|| mixed_workload(&mut FreeListAllocator::new(base, 1 << 20), &mut m))
+    });
+    g.bench_function("buddy", |b| {
+        let mut m = Machine::with_defaults();
+        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        b.iter(|| mixed_workload(&mut BuddyAllocator::new(base, 1 << 20), &mut m))
+    });
+    g.bench_function("bump_with_reset", |b| {
+        let mut m = Machine::with_defaults();
+        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        b.iter(|| {
+            let mut a = BumpAllocator::new(base, 1 << 20);
+            for i in 0..256u64 {
+                let _ = a.alloc(&mut m, 16 + (i * 37) % 480, 16);
+            }
+            a.reset();
+        })
+    });
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_topology_under_sh");
+    g.sample_size(10);
+    for (name, dedicated) in [("global", false), ("per_compartment", true)] {
+        let params = RedisParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::None,
+            sh_on: vec!["lwip".into()],
+            dedicated_allocators: dedicated,
+            mix: Mix::Set,
+            ops: 200,
+            ..RedisParams::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_redis(&params);
+                r.mreq_per_s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_topology);
+criterion_main!(benches);

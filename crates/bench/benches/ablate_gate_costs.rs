@@ -1,0 +1,67 @@
+//! Ablation: sweep the gate-cost calibration constants and check the
+//! paper's qualitative conclusions are robust to them (DESIGN.md §6.1).
+//!
+//! For every sweep point, the cost model must preserve the ordering
+//! `direct < MPK shared < MPK switched < VM RPC` — i.e. the figures'
+//! who-wins story does not depend on the exact calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+use flexos::explore::{estimate_request_cycles, CallProfile};
+use flexos::spec::{Analysis, LibSpec};
+use flexos_machine::CostTable;
+
+fn image(backend: BackendChoice) -> flexos::build::ImagePlan {
+    let cfg = ImageConfig::new("ablate", backend)
+        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(
+            LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
+                .with_analysis(Analysis::well_behaved()),
+        );
+    plan(cfg).expect("plans")
+}
+
+fn profile() -> CallProfile {
+    CallProfile::default()
+        .with_calls("lwip", "uksched_verified", 6)
+        .with_work("lwip", 3000)
+        .with_work("uksched_verified", 500)
+}
+
+fn ordering_holds(costs: &CostTable) -> bool {
+    let prof = profile();
+    let cycles: Vec<u64> = [
+        BackendChoice::None,
+        BackendChoice::MpkShared,
+        BackendChoice::MpkSwitched,
+        BackendChoice::VmRpc,
+    ]
+    .iter()
+    .map(|&b| estimate_request_cycles(&image(b), &prof, costs))
+    .collect();
+    cycles.windows(2).all(|w| w[0] < w[1])
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_gate_costs");
+    // Sweep wrpkru cost 2x down/up, vm_notify 4x down/up: the ordering
+    // conclusion must hold everywhere.
+    for wrpkru in [15u64, 30, 60, 120] {
+        for vm_notify in [875u64, 3500, 14000] {
+            let costs = CostTable { wrpkru, vm_notify, ..CostTable::default() };
+            assert!(
+                ordering_holds(&costs),
+                "gate ordering broke at wrpkru={wrpkru}, vm_notify={vm_notify}"
+            );
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("wrpkru{wrpkru}_notify{vm_notify}")),
+                &costs,
+                |b, costs| b.iter(|| ordering_holds(costs)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Context-switch bench (§4 "Verified Scheduler"): the C scheduler vs
+//! the verified scheduler, both as simulated latency (reported via the
+//! `reproduce` binary: 76.6 ns vs 218.6 ns) and as host-side cost of the
+//! run-queue operations themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexos_bench::experiments::ctx_switch;
+use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
+
+fn bench_sim_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctx_switch_sim");
+    g.sample_size(20);
+    g.bench_function("ping_pong_both_schedulers", |b| {
+        b.iter(|| {
+            let r = ctx_switch(2_000);
+            assert!(r.verified_ns > r.coop_ns);
+            (r.coop_ns, r.verified_ns)
+        })
+    });
+    g.finish();
+}
+
+fn run_ops(mut rq: impl RunQueue, rounds: u32) {
+    for i in 0..8 {
+        rq.thread_add(ThreadId(i)).unwrap();
+    }
+    for _ in 0..rounds {
+        let t = rq.pick_next().unwrap();
+        rq.yield_back(t).unwrap();
+    }
+    for i in 0..8 {
+        rq.thread_rm(ThreadId(i)).unwrap();
+    }
+}
+
+fn bench_runqueue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runqueue_ops");
+    g.bench_function("coop_1000_yields", |b| {
+        b.iter(|| run_ops(CoopScheduler::new(), 1000))
+    });
+    g.bench_function("verified_1000_yields", |b| {
+        b.iter(|| run_ops(VerifiedScheduler::new(), 1000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_latency, bench_runqueue_ops);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 bench: iperf throughput across isolation configurations.
+//!
+//! Criterion tracks the wall-clock cost of simulating each configuration;
+//! the simulated throughput itself (the figure's y-axis) is printed by
+//! `cargo run -p flexos-bench --bin reproduce -- fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos_bench::experiments::Fig3Config;
+use flexos_apps::iperf::run_iperf;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_iperf");
+    g.sample_size(10);
+    for config in Fig3Config::ALL {
+        for recv_buf in [64u64, 16 * 1024] {
+            let params = config.params(recv_buf, 128 * 1024);
+            g.bench_with_input(
+                BenchmarkId::new(config.label(), recv_buf),
+                &params,
+                |b, params| {
+                    b.iter(|| {
+                        let r = run_iperf(params);
+                        assert!(r.bytes >= 128 * 1024);
+                        r.mbps
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 4 bench: Redis under SH/allocator configurations and the
+//! verified scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos_apps::redis::{run_redis, Mix};
+use flexos_bench::experiments::Fig4Config;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_redis_sh");
+    g.sample_size(10);
+    for config in Fig4Config::ALL {
+        for mix in [Mix::Set, Mix::Get] {
+            let params = config.params(mix, 50, 200);
+            g.bench_with_input(
+                BenchmarkId::new(config.label(), mix.label()),
+                &params,
+                |b, params| {
+                    b.iter(|| {
+                        let r = run_redis(params);
+                        assert!(r.ops >= 200);
+                        r.mreq_per_s
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 5 bench: Redis across MPK compartmentalization models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos::build::BackendChoice;
+use flexos_apps::redis::{run_redis, Mix, RedisParams};
+use flexos_apps::CompartmentModel;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_redis_mpk");
+    g.sample_size(10);
+    let mut cases: Vec<(String, RedisParams)> = vec![(
+        "No-Isol".into(),
+        RedisParams { mix: Mix::Get, ops: 200, ..RedisParams::default() },
+    )];
+    for model in [
+        CompartmentModel::NwOnly,
+        CompartmentModel::NwSchedRest,
+        CompartmentModel::NwAndSchedRest,
+    ] {
+        for (stacks, backend) in
+            [("Sh", BackendChoice::MpkShared), ("Sw", BackendChoice::MpkSwitched)]
+        {
+            cases.push((
+                format!("{}-{stacks}", model.label()),
+                RedisParams { model, backend, mix: Mix::Get, ops: 200, ..RedisParams::default() },
+            ));
+        }
+    }
+    for (name, params) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(&name), &params, |b, params| {
+            b.iter(|| {
+                let r = run_redis(params);
+                assert!(r.ops >= 200);
+                r.mreq_per_s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the FlexOS framework itself: spec parsing,
+//! compatibility checking, graph coloring and deployment enumeration —
+//! the build-time machinery whose cost a FlexOS user pays per build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos::compat::{color, dsatur, exact, Graph, IncompatGraph};
+use flexos::compat::enumerate_deployments;
+use flexos::spec::{parse, print, Analysis, LibSpec};
+
+fn scheduler_text() -> String {
+    print(&LibSpec::verified_scheduler())
+}
+
+fn bench_spec(c: &mut Criterion) {
+    let text = scheduler_text();
+    let mut g = c.benchmark_group("spec");
+    g.bench_function("parse_scheduler_spec", |b| b.iter(|| parse(&text).unwrap()));
+    let spec = LibSpec::verified_scheduler();
+    g.bench_function("print_scheduler_spec", |b| b.iter(|| print(&spec)));
+    g.finish();
+}
+
+fn bench_compat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compat");
+    // A realistic unikernel image: a dozen libraries, some constrained.
+    let mut specs = vec![LibSpec::verified_scheduler()];
+    for i in 0..11 {
+        let mut s = if i % 3 == 0 {
+            LibSpec::unsafe_c(format!("lib{i}"))
+        } else {
+            let mut s = LibSpec::verified_scheduler();
+            s.name = format!("safe{i}");
+            s
+        };
+        s.name = format!("lib{i}");
+        specs.push(s);
+    }
+    g.bench_function("incompat_graph_12_libs", |b| b.iter(|| IncompatGraph::build(&specs)));
+    g.finish();
+}
+
+fn random_graph(n: usize, density_pct: u64) -> Graph {
+    let mut g = Graph::new(n);
+    let mut state = 0x12345678u64;
+    for i in 0..n {
+        for j in 0..i {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (state >> 33) % 100 < density_pct {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coloring");
+    for &n in &[12usize, 20, 32] {
+        let graph = random_graph(n, 30);
+        g.bench_with_input(BenchmarkId::new("dsatur", n), &graph, |b, graph| {
+            b.iter(|| dsatur(graph))
+        });
+        if n <= 20 {
+            g.bench_with_input(BenchmarkId::new("exact", n), &graph, |b, graph| {
+                b.iter(|| exact(graph))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("auto", n), &graph, |b, graph| {
+            b.iter(|| color(graph))
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployment_enumeration");
+    let libs: Vec<(LibSpec, Analysis)> = (0..6)
+        .map(|i| {
+            let spec = if i % 2 == 0 {
+                LibSpec::unsafe_c(format!("lib{i}"))
+            } else {
+                let mut s = LibSpec::verified_scheduler();
+                s.name = format!("lib{i}");
+                s
+            };
+            (spec, Analysis::well_behaved())
+        })
+        .collect();
+    g.bench_function("six_libs_with_sh_variants", |b| b.iter(|| enumerate_deployments(&libs)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spec, bench_compat, bench_coloring, bench_enumeration);
+criterion_main!(benches);

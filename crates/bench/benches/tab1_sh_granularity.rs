@@ -1,0 +1,35 @@
+//! Table 1 bench: iperf with SH at micro-library granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexos_apps::iperf::{run_iperf, IperfParams};
+use flexos_bench::experiments::ALL_LIBS;
+
+fn params(sh_on: Vec<String>) -> IperfParams {
+    IperfParams { recv_buf: 8 * 1024, total_bytes: 128 * 1024, sh_on, ..IperfParams::default() }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab1_sh");
+    g.sample_size(10);
+    let cases: Vec<(&str, Vec<String>)> = vec![
+        ("baseline", Vec::new()),
+        ("sh_scheduler_only", vec!["uksched".into()]),
+        ("sh_netstack_only", vec!["lwip".into()]),
+        ("sh_libc_only", vec!["libc".into()]),
+        ("sh_everything", ALL_LIBS.iter().map(|s| s.to_string()).collect()),
+    ];
+    for (name, sh_on) in cases {
+        let p = params(sh_on);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_iperf(&p);
+                assert!(r.bytes >= 128 * 1024);
+                r.mbps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

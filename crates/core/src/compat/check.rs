@@ -1,0 +1,288 @@
+//! Pairwise compatibility checking between library specs.
+//!
+//! "Given two libraries and their metadata, we now have enough information
+//! to automatically decide whether they can run in the same compartment.
+//! If both libraries have no Requires clause, the answer is yes. If any of
+//! the libraries has such clauses, each clause can be automatically
+//! checked in the presence of the other library." (paper §2)
+//!
+//! The check is directional: [`violations`] lists what `offender`'s
+//! declared (possibly adversarial) behaviour would do to `victim` beyond
+//! what `victim`'s `[Requires]` grants. Two libraries are compatible iff
+//! neither direction produces violations.
+
+use crate::spec::model::{CallBehavior, GrantKind, LibSpec, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One way `offender` exceeds `victim`'s grants when co-located.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The library whose safety expectation is broken.
+    pub victim: String,
+    /// The library whose behaviour breaks it.
+    pub offender: String,
+    /// What exactly is not granted.
+    pub kind: ViolationKind,
+}
+
+/// The specific un-granted behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Offender may read a region of victim that victim does not grant.
+    UngrantedRead(Region),
+    /// Offender may write a region of victim that victim does not grant.
+    UngrantedWrite(Region),
+    /// Offender may call arbitrary victim code but victim restricts entry
+    /// points.
+    UngrantedArbitraryCall,
+    /// Offender calls a specific function the victim does not grant.
+    UngrantedCall(String),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::UngrantedRead(r) => write!(
+                f,
+                "{} may read {}'s {r} memory, which {} does not grant",
+                self.offender, self.victim, self.victim
+            ),
+            ViolationKind::UngrantedWrite(r) => write!(
+                f,
+                "{} may write {}'s {r} memory, which {} does not grant",
+                self.offender, self.victim, self.victim
+            ),
+            ViolationKind::UngrantedArbitraryCall => write!(
+                f,
+                "{} may execute arbitrary code in {}, which restricts its entry points",
+                self.offender, self.victim
+            ),
+            ViolationKind::UngrantedCall(func) => write!(
+                f,
+                "{} calls {}::{func}, which {} does not grant",
+                self.offender, self.victim, self.victim
+            ),
+        }
+    }
+}
+
+/// Lists everything `offender` may do to `victim` (per its declared,
+/// worst-case behaviour) that `victim`'s `[Requires]` does not grant.
+///
+/// Region semantics: `offender`'s `Own`/`Shared` accesses are relative to
+/// *itself*; only the wildcard `*` reaches `victim`'s `Own` memory.
+/// Accesses to `Shared` touch the common segment and therefore need the
+/// victim's `Shared` grant (the victim may depend on shared state it
+/// reads not being written by others).
+pub fn violations(victim: &LibSpec, offender: &LibSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !victim.requires.is_constrained() {
+        return out;
+    }
+    let mut push = |kind: ViolationKind| {
+        out.push(Violation {
+            victim: victim.name.clone(),
+            offender: offender.name.clone(),
+            kind,
+        });
+    };
+
+    // --- memory ----------------------------------------------------------
+    let read = &offender.mem.read;
+    if read.is_star() && !victim.requires.permits(&offender.name, &GrantKind::Read(Region::Own)) {
+        push(ViolationKind::UngrantedRead(Region::Own));
+    }
+    if read.contains(Region::Shared)
+        && !victim.requires.permits(&offender.name, &GrantKind::Read(Region::Shared))
+    {
+        push(ViolationKind::UngrantedRead(Region::Shared));
+    }
+    let write = &offender.mem.write;
+    if write.is_star() && !victim.requires.permits(&offender.name, &GrantKind::Write(Region::Own)) {
+        push(ViolationKind::UngrantedWrite(Region::Own));
+    }
+    if write.contains(Region::Shared)
+        && !victim.requires.permits(&offender.name, &GrantKind::Write(Region::Shared))
+    {
+        push(ViolationKind::UngrantedWrite(Region::Shared));
+    }
+
+    // --- control flow -----------------------------------------------------
+    match &offender.call {
+        CallBehavior::Star => {
+            if !victim.requires.permits(&offender.name, &GrantKind::CallAny) {
+                push(ViolationKind::UngrantedArbitraryCall);
+            }
+        }
+        CallBehavior::Funcs(funcs) => {
+            for f in funcs {
+                if f.lib == victim.name
+                    && !victim.requires.permits(&offender.name, &GrantKind::Call(f.func.clone()))
+                {
+                    push(ViolationKind::UngrantedCall(f.func.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether two libraries may share a compartment.
+pub fn compatible(a: &LibSpec, b: &LibSpec) -> bool {
+    violations(a, b).is_empty() && violations(b, a).is_empty()
+}
+
+/// Both directions of violations, for diagnostics.
+pub fn incompatibilities(a: &LibSpec, b: &LibSpec) -> Vec<Violation> {
+    let mut v = violations(a, b);
+    v.extend(violations(b, a));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::model::{Grant, GrantSubject, MemBehavior, Requires};
+    use crate::spec::transform::{apply_sh, suggest_sh, Analysis};
+
+    fn sched() -> LibSpec {
+        LibSpec::verified_scheduler()
+    }
+
+    fn rawlib() -> LibSpec {
+        LibSpec::unsafe_c("rawlib")
+    }
+
+    #[test]
+    fn paper_example_scheduler_vs_unsafe_c_is_incompatible() {
+        // "these two libraries cannot be run in the same compartment".
+        assert!(!compatible(&sched(), &rawlib()));
+        let v = violations(&sched(), &rawlib());
+        assert!(v
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
+    }
+
+    #[test]
+    fn two_unconstrained_libraries_are_compatible() {
+        // "If both libraries have no Requires clause, the answer is yes."
+        assert!(compatible(&rawlib(), &LibSpec::unsafe_c("other")));
+    }
+
+    #[test]
+    fn two_schedule_like_libraries_are_compatible() {
+        let mut other = sched();
+        other.name = "uklock".into();
+        // `other` calls only alloc functions, reads/writes Own+Shared;
+        // sched grants Read(Own)+Shared both ways.
+        assert!(compatible(&sched(), &other));
+    }
+
+    #[test]
+    fn sh_makes_the_unsafe_library_cohabitable() {
+        // Paper: "the SH version will be able to share a compartment with
+        // the scheduler, while the original version will require a
+        // separate compartment."
+        let raw = rawlib();
+        let hardened = apply_sh(
+            &raw,
+            &suggest_sh(&raw),
+            &Analysis {
+                call_targets: Some(
+                    [crate::spec::model::FuncRef::new("uksched_verified", "yield")].into(),
+                ),
+                ..Analysis::well_behaved()
+            },
+        );
+        assert!(compatible(&sched(), &hardened));
+        assert!(!compatible(&sched(), &raw));
+    }
+
+    #[test]
+    fn ungranted_shared_write_is_flagged() {
+        let mut victim = sched();
+        // Victim revokes the shared-write grant.
+        victim.requires = Requires::granting(vec![
+            Grant::any(GrantKind::Read(Region::Own)),
+            Grant::any(GrantKind::Read(Region::Shared)),
+        ]);
+        let mut writer = sched();
+        writer.name = "writer".into();
+        let v = violations(&victim, &writer);
+        assert!(v
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Shared)));
+    }
+
+    #[test]
+    fn call_grants_are_per_function() {
+        let victim = sched();
+        let mut caller = LibSpec {
+            name: "caller".into(),
+            mem: MemBehavior::well_behaved(),
+            call: CallBehavior::funcs([("uksched_verified", "thread_add")]),
+            api: Vec::new(),
+            requires: Requires::unconstrained(),
+        };
+        assert!(compatible(&victim, &caller));
+        // Calling a non-granted internal function is a violation.
+        caller.call = CallBehavior::funcs([("uksched_verified", "internal_requeue")]);
+        let v = violations(&victim, &caller);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, ViolationKind::UngrantedCall(_)));
+    }
+
+    #[test]
+    fn arbitrary_execution_needs_call_any_grant() {
+        let mut victim = sched();
+        let hijackable = rawlib();
+        assert!(violations(&victim, &hijackable)
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedArbitraryCall));
+        // Granting Call(*) silences that specific violation.
+        victim
+            .requires
+            .grants
+            .as_mut()
+            .unwrap()
+            .push(Grant::any(GrantKind::CallAny));
+        assert!(!violations(&victim, &hijackable)
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedArbitraryCall));
+    }
+
+    #[test]
+    fn lib_scoped_grants_distinguish_offenders() {
+        let mut victim = sched();
+        victim.requires.grants.as_mut().unwrap().push(Grant {
+            subject: GrantSubject::Lib("trusted_writer".into()),
+            kind: GrantKind::Write(Region::Own),
+        });
+        let mut trusted = rawlib();
+        trusted.name = "trusted_writer".into();
+        let v = violations(&victim, &trusted);
+        assert!(!v.iter().any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
+        // A different star-writer still violates.
+        let v = violations(&victim, &rawlib());
+        assert!(v.iter().any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        let libs = [sched(), rawlib(), LibSpec::unsafe_c("x")];
+        for a in &libs {
+            for b in &libs {
+                assert_eq!(compatible(a, b), compatible(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn violations_display_names_both_parties() {
+        let v = violations(&sched(), &rawlib());
+        let text = v[0].to_string();
+        assert!(text.contains("rawlib"));
+        assert!(text.contains("uksched_verified"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Graph coloring: deriving the minimal compartmentalization.
+//!
+//! "Graph coloring assigns the smallest number of colors to the vertices
+//! of a graph such that no two adjacent vertices have the same color. For
+//! each color, we will instantiate a separate compartment." (paper §2)
+//!
+//! Two algorithms are provided:
+//!
+//! * [`dsatur`] — the classic saturation-degree greedy heuristic,
+//!   linear-ish and good in practice;
+//! * [`exact`] — branch-and-bound exact chromatic coloring, feasible for
+//!   the graph sizes unikernel images produce (tens of vertices, sparse).
+//!
+//! [`color`] picks `exact` for small graphs and falls back to `dsatur`,
+//! and the property tests check `dsatur` never beats `exact` and both are
+//! always valid.
+
+use super::graph::Graph;
+
+/// A proper coloring: `colors[v]` is the compartment index of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color (compartment) per vertex.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors used.
+    pub num_colors: usize,
+}
+
+impl Coloring {
+    /// Groups vertices by color: `groups()[c]` lists the vertices painted
+    /// `c`.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_colors];
+        for (v, &c) in self.colors.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+}
+
+/// Checks that `coloring` is proper for `g` and uses exactly
+/// `num_colors` color values in `0..num_colors`.
+pub fn is_valid(g: &Graph, coloring: &Coloring) -> bool {
+    if coloring.colors.len() != g.len() {
+        return false;
+    }
+    let mut seen = vec![false; coloring.num_colors];
+    for v in 0..g.len() {
+        let c = coloring.colors[v];
+        if c >= coloring.num_colors {
+            return false;
+        }
+        seen[c] = true;
+        for u in 0..v {
+            if g.has_edge(u, v) && coloring.colors[u] == c {
+                return false;
+            }
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+/// DSATUR greedy coloring (Brélaz 1979): repeatedly color the vertex with
+/// the highest *saturation degree* (number of distinct neighbour colors),
+/// breaking ties by degree.
+pub fn dsatur(g: &Graph) -> Coloring {
+    let n = g.len();
+    if n == 0 {
+        return Coloring { colors: Vec::new(), num_colors: 0 };
+    }
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    // Bitmask of colors used by each vertex's neighbours.
+    let mut nbr_colors: Vec<u64> = vec![0; n];
+    let mut num_colors = 0usize;
+
+    for _ in 0..n {
+        // Pick the uncolored vertex with max saturation, tie-break by degree.
+        let v = (0..n)
+            .filter(|&v| colors[v].is_none())
+            .max_by_key(|&v| (nbr_colors[v].count_ones(), g.degree(v)))
+            .expect("an uncolored vertex exists");
+        // Smallest color not used by neighbours.
+        let c = (0..).find(|&c| nbr_colors[v] & (1 << c) == 0).expect("color < 64 exists");
+        colors[v] = Some(c);
+        num_colors = num_colors.max(c + 1);
+        let mut nbrs = g.neighbors(v);
+        while nbrs != 0 {
+            let u = nbrs.trailing_zeros() as usize;
+            nbrs &= nbrs - 1;
+            nbr_colors[u] |= 1 << c;
+        }
+    }
+    Coloring { colors: colors.into_iter().map(|c| c.expect("all colored")).collect(), num_colors }
+}
+
+/// Exact chromatic coloring by iterative-deepening backtracking: try
+/// `k = clique_lower_bound..=dsatur_upper_bound` and return the first
+/// feasible assignment.
+///
+/// Worst case is exponential; unikernel-scale graphs (≤ ~32 sparse
+/// vertices) solve instantly. For larger/denser graphs prefer [`dsatur`].
+pub fn exact(g: &Graph) -> Coloring {
+    let n = g.len();
+    if n == 0 {
+        return Coloring { colors: Vec::new(), num_colors: 0 };
+    }
+    let upper = dsatur(g);
+    let lower = greedy_clique_size(g).max(1);
+    for k in lower..upper.num_colors {
+        if let Some(colors) = try_k_coloring(g, k) {
+            return Coloring { colors, num_colors: k };
+        }
+    }
+    upper
+}
+
+/// Colors the graph: exact for ≤ [`EXACT_THRESHOLD`] vertices, DSATUR
+/// beyond.
+pub fn color(g: &Graph) -> Coloring {
+    if g.len() <= EXACT_THRESHOLD {
+        exact(g)
+    } else {
+        dsatur(g)
+    }
+}
+
+/// Vertex-count threshold below which [`color`] runs the exact solver.
+pub const EXACT_THRESHOLD: usize = 24;
+
+/// Size of a greedily grown clique — a cheap lower bound on the chromatic
+/// number.
+fn greedy_clique_size(g: &Graph) -> usize {
+    let n = g.len();
+    let mut best = 0;
+    for seed in 0..n {
+        let mut clique = 1usize;
+        let mut candidates = g.neighbors(seed);
+        let mut in_clique: u64 = 1 << seed;
+        while candidates != 0 {
+            // Pick the candidate with the most edges into remaining candidates.
+            let mut pick = None;
+            let mut pick_score = 0u32;
+            let mut c = candidates;
+            while c != 0 {
+                let v = c.trailing_zeros() as usize;
+                c &= c - 1;
+                let score = (g.neighbors(v) & candidates).count_ones();
+                if pick.is_none() || score > pick_score {
+                    pick = Some(v);
+                    pick_score = score;
+                }
+            }
+            let v = pick.expect("candidates nonempty");
+            in_clique |= 1 << v;
+            clique += 1;
+            candidates &= g.neighbors(v);
+            candidates &= !in_clique;
+        }
+        best = best.max(clique);
+    }
+    best
+}
+
+/// Backtracking k-colorability with vertex ordering by degree (descending)
+/// and symmetry breaking (a vertex may use at most one brand-new color).
+fn try_k_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+
+    fn backtrack(
+        g: &Graph,
+        order: &[usize],
+        pos: usize,
+        k: usize,
+        used_so_far: usize,
+        colors: &mut Vec<Option<usize>>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        // Colors to try: all already-introduced colors plus one fresh one.
+        let limit = (used_so_far + 1).min(k);
+        'next_color: for c in 0..limit {
+            let mut nbrs = g.neighbors(v);
+            while nbrs != 0 {
+                let u = nbrs.trailing_zeros() as usize;
+                nbrs &= nbrs - 1;
+                if colors[u] == Some(c) {
+                    continue 'next_color;
+                }
+            }
+            colors[v] = Some(c);
+            let new_used = used_so_far.max(c + 1);
+            if backtrack(g, order, pos + 1, k, new_used, colors) {
+                return true;
+            }
+            colors[v] = None;
+        }
+        false
+    }
+
+    if backtrack(g, &order, 0, k, 0, &mut colors) {
+        // Normalize: colors already in 0..k, may use fewer than k — remap
+        // to a dense 0..m range.
+        let raw: Vec<usize> = colors.into_iter().map(|c| c.expect("complete")).collect();
+        let mut remap = std::collections::BTreeMap::new();
+        let mut dense = Vec::with_capacity(raw.len());
+        for c in raw {
+            let next = remap.len();
+            let d = *remap.entry(c).or_insert(next);
+            dense.push(d);
+        }
+        Some(dense)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in 0..i {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn edgeless_graph_is_one_color() {
+        let g = Graph::new(5);
+        let c = color(&g);
+        assert_eq!(c.num_colors, 1);
+        assert!(is_valid(&g, &c));
+    }
+
+    #[test]
+    fn empty_graph_is_zero_colors() {
+        let g = Graph::new(0);
+        assert_eq!(color(&g).num_colors, 0);
+        assert_eq!(dsatur(&g).num_colors, 0);
+    }
+
+    #[test]
+    fn even_cycle_needs_two_colors() {
+        let g = cycle(6);
+        let c = exact(&g);
+        assert_eq!(c.num_colors, 2);
+        assert!(is_valid(&g, &c));
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let g = cycle(7);
+        let c = exact(&g);
+        assert_eq!(c.num_colors, 3);
+        assert!(is_valid(&g, &c));
+        // DSATUR also gets odd cycles right.
+        let d = dsatur(&g);
+        assert_eq!(d.num_colors, 3);
+        assert!(is_valid(&g, &d));
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        // "In the worst case where all libraries have conflicts, each
+        // library will be instantiated in its own compartment."
+        for n in 1..=8 {
+            let g = complete(n);
+            let c = exact(&g);
+            assert_eq!(c.num_colors, n);
+            assert!(is_valid(&g, &c));
+        }
+    }
+
+    #[test]
+    fn petersen_graph_is_three_chromatic() {
+        // A classic case where naive greedy orderings can use 4.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        let c = exact(&g);
+        assert_eq!(c.num_colors, 3);
+        assert!(is_valid(&g, &c));
+    }
+
+    #[test]
+    fn star_graph_is_two_chromatic() {
+        let mut g = Graph::new(9);
+        for i in 1..9 {
+            g.add_edge(0, i);
+        }
+        assert_eq!(exact(&g).num_colors, 2);
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = cycle(5);
+        let c = exact(&g);
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        for (color, group) in groups.iter().enumerate() {
+            for &v in group {
+                assert_eq!(c.colors[v], color);
+            }
+        }
+    }
+
+    #[test]
+    fn is_valid_rejects_monochromatic_edges() {
+        let g = cycle(4);
+        let bad = Coloring { colors: vec![0, 0, 1, 1], num_colors: 2 };
+        assert!(!is_valid(&g, &bad)); // edge (0,1) monochromatic
+    }
+
+    #[test]
+    fn is_valid_rejects_unused_color_counts() {
+        let g = Graph::new(2);
+        let bad = Coloring { colors: vec![0, 0], num_colors: 2 };
+        assert!(!is_valid(&g, &bad));
+    }
+}

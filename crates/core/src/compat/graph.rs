@@ -1,0 +1,158 @@
+//! The incompatibility graph over a set of library specs.
+//!
+//! "Armed with information about pair-wise incompatibility, selecting the
+//! smallest number of compartments in a FlexOS image can be reduced to the
+//! classical graph coloring problem: each library is a vertex, and an edge
+//! connects two incompatible libraries." (paper §2)
+
+use super::check::{incompatibilities, Violation};
+use crate::spec::model::LibSpec;
+use std::collections::BTreeMap;
+
+/// An undirected graph over `n` vertices, adjacency stored as bitmasks
+/// (supports up to 64 vertices — far beyond any unikernel image's
+/// micro-library count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<u64>,
+}
+
+impl Graph {
+    /// Maximum supported vertex count.
+    pub const MAX_VERTICES: usize = 64;
+
+    /// Creates an edgeless graph with `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= Self::MAX_VERTICES, "graph supports at most 64 vertices");
+        Self { n, adj: vec![0; n] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge `(a, b)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.adj[a] |= 1 << b;
+        self.adj[b] |= 1 << a;
+    }
+
+    /// Whether `(a, b)` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a != b && self.adj[a] & (1 << b) != 0
+    }
+
+    /// Neighbour bitmask of `v`.
+    pub fn neighbors(&self, v: usize) -> u64 {
+        self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> u32 {
+        self.adj[v].count_ones()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+}
+
+/// The incompatibility graph for a concrete set of specs, with the
+/// per-edge violations kept for diagnostics.
+#[derive(Debug, Clone)]
+pub struct IncompatGraph {
+    /// Library names, index-aligned with graph vertices.
+    pub names: Vec<String>,
+    /// The underlying conflict graph.
+    pub graph: Graph,
+    /// For each conflicting pair `(i, j)` with `i < j`, why.
+    pub reasons: BTreeMap<(usize, usize), Vec<Violation>>,
+}
+
+impl IncompatGraph {
+    /// Builds the graph by checking every pair of specs.
+    pub fn build(specs: &[LibSpec]) -> Self {
+        let n = specs.len();
+        let mut graph = Graph::new(n);
+        let mut reasons = BTreeMap::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = incompatibilities(&specs[i], &specs[j]);
+                if !v.is_empty() {
+                    graph.add_edge(i, j);
+                    reasons.insert((i, j), v);
+                }
+            }
+        }
+        Self { names: specs.iter().map(|s| s.name.clone()).collect(), graph, reasons }
+    }
+
+    /// The violations that put the edge `(a, b)` in the graph, if any.
+    pub fn why(&self, a: usize, b: usize) -> Option<&[Violation]> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.reasons.get(&key).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_edges_are_undirected() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn degree_counts_neighbors() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn incompat_graph_of_paper_example() {
+        let specs =
+            vec![LibSpec::verified_scheduler(), LibSpec::unsafe_c("rawlib"), LibSpec::unsafe_c("x")];
+        let g = IncompatGraph::build(&specs);
+        // sched conflicts with both unsafe libs; they don't conflict with
+        // each other.
+        assert!(g.graph.has_edge(0, 1));
+        assert!(g.graph.has_edge(0, 2));
+        assert!(!g.graph.has_edge(1, 2));
+        assert!(g.why(0, 1).is_some());
+        assert!(g.why(1, 0).is_some()); // order-insensitive lookup
+        assert!(g.why(1, 2).is_none());
+    }
+}

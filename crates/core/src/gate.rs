@@ -1,0 +1,440 @@
+//! Gates: the isolation abstraction between compartments.
+//!
+//! "Compartments in FlexOS are separated via gates which are made up of
+//! the API each compartment exposes. The gates also implement isolation
+//! between compartments, and can leverage different isolation mechanisms
+//! … Implementations vary from cheap function calls all the way to
+//! expensive RPC across VM boundaries." (paper §2)
+//!
+//! This module defines the [`Gate`] trait that isolation backends
+//! implement, the [`CompartmentCtx`] runtime state of one compartment,
+//! and the [`GateRuntime`] dispatcher that replaces FlexOS's link-time
+//! gate substitution: library code calls [`GateRuntime::cross`] (the
+//! analogue of the `uk_gate_r(rc, listen, sockfd, 5)` placeholder) and
+//! the runtime either performs a plain function call (same compartment)
+//! or drives the configured backend's enter/exit sequence.
+
+use crate::spec::transform::ShSet;
+use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a compartment within an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CompartmentId(pub u16);
+
+impl fmt::Display for CompartmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compartment{}", self.0)
+    }
+}
+
+/// The isolation mechanism a gate implements (Figure 2's gate library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateMechanism {
+    /// Plain function call — no protection-domain switch.
+    DirectCall,
+    /// Intel MPK with a shared stack domain (ERIM-style).
+    MpkSharedStack,
+    /// Intel MPK with per-compartment stacks switched at the boundary
+    /// (Hodor-style).
+    MpkSwitchedStack,
+    /// RPC across VM (EPT) boundaries via inter-VM notifications.
+    VmRpc,
+    /// CHERI sealed-capability domain transition (CompartOS-style) —
+    /// the paper's other "heterogeneous hardware" example.
+    Cheri,
+}
+
+impl GateMechanism {
+    /// Human-readable name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            GateMechanism::DirectCall => "function call",
+            GateMechanism::MpkSharedStack => "MPK (shared stack)",
+            GateMechanism::MpkSwitchedStack => "MPK (switched stack)",
+            GateMechanism::VmRpc => "VM RPC (EPT)",
+            GateMechanism::Cheri => "CHERI (sealed caps)",
+        }
+    }
+
+    /// Where thread stacks live under this mechanism: `true` if stacks sit
+    /// in a domain shared by all compartments (the shared-stack gate), in
+    /// which case stack memory cannot be assumed private.
+    pub fn stacks_shared(self) -> bool {
+        matches!(self, GateMechanism::DirectCall | GateMechanism::MpkSharedStack)
+    }
+}
+
+/// Runtime state of one compartment.
+#[derive(Debug, Clone)]
+pub struct CompartmentCtx {
+    /// The compartment's identity.
+    pub id: CompartmentId,
+    /// Human-readable name (e.g. `"net"` or joined library names).
+    pub name: String,
+    /// The VM the compartment executes in (VM 0 for intra-address-space
+    /// backends; its own VM for the VM backend).
+    pub vm: VmId,
+    /// The vCPU the compartment executes on ("Compartments do not share a
+    /// single address space anymore, and run on different vCPUs" — VM
+    /// backend; a single vCPU otherwise).
+    pub vcpu: VcpuId,
+    /// The PKRU view the compartment runs with (MPK backends).
+    pub pkru: Pkru,
+    /// Protection keys owned by this compartment (its private domain).
+    pub keys: Vec<ProtKey>,
+    /// Software hardening applied to this compartment.
+    pub sh: ShSet,
+    /// Base of this compartment's private heap region.
+    pub heap_base: Addr,
+    /// Size in bytes of the private heap region.
+    pub heap_size: u64,
+}
+
+/// An isolation backend's gate implementation.
+///
+/// `enter` is executed when control crosses *into* `to` from `from`
+/// carrying `arg_bytes` of arguments; `exit` when control returns,
+/// carrying `ret_bytes`. Implementations charge their cycle costs on the
+/// machine clock and perform the actual domain switch (PKRU write, vCPU
+/// handoff, notification, …) so that enforcement matches the mechanism.
+pub trait Gate: fmt::Debug {
+    /// The mechanism this gate implements.
+    fn mechanism(&self) -> GateMechanism;
+
+    /// Crosses from `from` into `to`.
+    fn enter(
+        &self,
+        m: &mut Machine,
+        from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        arg_bytes: u64,
+    ) -> Result<()>;
+
+    /// Returns from `callee` back into `caller`.
+    fn exit(
+        &self,
+        m: &mut Machine,
+        callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        ret_bytes: u64,
+    ) -> Result<()>;
+}
+
+/// The trivial gate: a plain function call. Used within a compartment and
+/// by the "no isolation" baseline configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectGate;
+
+impl Gate for DirectGate {
+    fn mechanism(&self) -> GateMechanism {
+        GateMechanism::DirectCall
+    }
+
+    fn enter(
+        &self,
+        m: &mut Machine,
+        _from: &CompartmentCtx,
+        _to: &CompartmentCtx,
+        _arg_bytes: u64,
+    ) -> Result<()> {
+        m.charge(m.costs().func_call);
+        Ok(())
+    }
+
+    fn exit(
+        &self,
+        _m: &mut Machine,
+        _callee: &CompartmentCtx,
+        _caller: &CompartmentCtx,
+        _ret_bytes: u64,
+    ) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Cumulative gate-crossing statistics (reported by the bench harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Cross-compartment crossings (round trips).
+    pub crossings: u64,
+    /// Same-compartment calls that compiled down to direct calls.
+    pub direct_calls: u64,
+    /// Total argument + return bytes moved through gates.
+    pub bytes_marshalled: u64,
+    /// Cycles spent inside gate enter/exit sequences.
+    pub gate_cycles: u64,
+}
+
+/// The per-image gate dispatcher.
+///
+/// Holds every compartment's context, the configured backend gate (plus
+/// optional per-pair overrides — Figure 2 shows different gate types can
+/// coexist in one image), and the current call stack of compartments.
+pub struct GateRuntime {
+    compartments: Vec<CompartmentCtx>,
+    default_gate: Rc<dyn Gate>,
+    pair_gates: BTreeMap<(CompartmentId, CompartmentId), Rc<dyn Gate>>,
+    stack: Vec<CompartmentId>,
+    stats: GateStats,
+}
+
+impl fmt::Debug for GateRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GateRuntime")
+            .field("compartments", &self.compartments.len())
+            .field("current", &self.current())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl GateRuntime {
+    /// Creates a runtime over `compartments` using `default_gate` for all
+    /// cross-compartment calls, starting execution in `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compartments` is empty or `initial` is out of range.
+    pub fn new(
+        compartments: Vec<CompartmentCtx>,
+        default_gate: Rc<dyn Gate>,
+        initial: CompartmentId,
+    ) -> Self {
+        assert!(!compartments.is_empty(), "an image has at least one compartment");
+        assert!((initial.0 as usize) < compartments.len(), "unknown initial compartment");
+        Self {
+            compartments,
+            default_gate,
+            pair_gates: BTreeMap::new(),
+            stack: vec![initial],
+            stats: GateStats::default(),
+        }
+    }
+
+    /// Overrides the gate used between `a` and `b` (both directions).
+    pub fn set_pair_gate(&mut self, a: CompartmentId, b: CompartmentId, gate: Rc<dyn Gate>) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_gates.insert(key, gate);
+    }
+
+    fn gate_for(&self, a: CompartmentId, b: CompartmentId) -> Rc<dyn Gate> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_gates.get(&key).cloned().unwrap_or_else(|| Rc::clone(&self.default_gate))
+    }
+
+    /// The compartment currently executing.
+    pub fn current(&self) -> CompartmentId {
+        *self.stack.last().expect("compartment stack never empty")
+    }
+
+    /// Context of the current compartment.
+    pub fn current_ctx(&self) -> &CompartmentCtx {
+        &self.compartments[self.current().0 as usize]
+    }
+
+    /// Context of a specific compartment.
+    pub fn ctx(&self, id: CompartmentId) -> &CompartmentCtx {
+        &self.compartments[id.0 as usize]
+    }
+
+    /// Number of compartments.
+    pub fn len(&self) -> usize {
+        self.compartments.len()
+    }
+
+    /// Whether the image has a single compartment.
+    pub fn is_empty(&self) -> bool {
+        self.compartments.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> GateStats {
+        self.stats
+    }
+
+    /// Resets statistics (benchmark warm-up support).
+    pub fn reset_stats(&mut self) {
+        self.stats = GateStats::default();
+    }
+
+    /// The gate-call placeholder: runs `f` inside `target`.
+    ///
+    /// If `target` is the current compartment this is a direct function
+    /// call (FlexOS replaces the placeholder with a plain call at link
+    /// time). Otherwise the configured gate's `enter` sequence runs, `f`
+    /// executes with the target compartment current, and `exit` restores
+    /// the caller — including on error paths.
+    ///
+    /// `arg_bytes`/`ret_bytes` are the marshalled argument and return
+    /// sizes ("gates take care of executing the function call in the
+    /// foreign compartment, and of copying the return value back").
+    pub fn cross<R>(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        arg_bytes: u64,
+        ret_bytes: u64,
+        f: impl FnOnce(&mut Machine, &mut GateRuntime) -> Result<R>,
+    ) -> Result<R> {
+        let from = self.current();
+        if from == target {
+            m.charge(m.costs().func_call);
+            self.stats.direct_calls += 1;
+            return f(m, self);
+        }
+        assert!((target.0 as usize) < self.compartments.len(), "unknown {target}");
+
+        let gate = self.gate_for(from, target);
+        let t0 = m.clock().cycles();
+        {
+            let (from_ctx, to_ctx) =
+                (&self.compartments[from.0 as usize], &self.compartments[target.0 as usize]);
+            gate.enter(m, from_ctx, to_ctx, arg_bytes)?;
+        }
+        self.stats.gate_cycles += m.clock().cycles() - t0;
+        self.stack.push(target);
+
+        let result = f(m, self);
+
+        self.stack.pop();
+        let t1 = m.clock().cycles();
+        {
+            let (callee_ctx, caller_ctx) =
+                (&self.compartments[target.0 as usize], &self.compartments[from.0 as usize]);
+            gate.exit(m, callee_ctx, caller_ctx, ret_bytes)?;
+        }
+        self.stats.gate_cycles += m.clock().cycles() - t1;
+        self.stats.crossings += 1;
+        self.stats.bytes_marshalled += arg_bytes + ret_bytes;
+        result
+    }
+
+    /// Restores the current compartment's protection view on the machine.
+    ///
+    /// The scheduler calls this after a context switch: the incoming
+    /// thread resumes in some compartment, and (for MPK backends) its
+    /// saved PKRU must be loaded — "the scheduler holds the value of the
+    /// PKRU for threads that are not currently running" (paper §3).
+    pub fn resume_in(&mut self, m: &mut Machine, id: CompartmentId) -> Result<()> {
+        assert!((id.0 as usize) < self.compartments.len(), "unknown {id}");
+        let ctx = &self.compartments[id.0 as usize];
+        let tok = m.gate_token();
+        let vcpu = ctx.vcpu;
+        let pkru = ctx.pkru;
+        // Skip the (costed) `wrpkru` when the register already holds the
+        // right value — e.g. the VM backend never changes PKRU.
+        if m.rdpkru(vcpu) != pkru {
+            m.restore_pkru(vcpu, pkru, tok)?;
+        }
+        self.stack.clear();
+        self.stack.push(id);
+        Ok(())
+    }
+}
+
+/// A convenience error for gate misuse surfaced to library authors.
+pub fn not_an_entry_point(lib: &str, func: &str) -> Fault {
+    Fault::HardeningAbort {
+        mechanism: "gate",
+        reason: format!("{func} is not an exposed entry point of {lib}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_machine::PageFlags;
+
+    fn two_compartments(m: &mut Machine) -> Vec<CompartmentCtx> {
+        let heap0 = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
+        let heap1 = m.alloc_region(VmId(0), 4096, ProtKey(2), PageFlags::RW).unwrap();
+        vec![
+            CompartmentCtx {
+                id: CompartmentId(0),
+                name: "rest".into(),
+                vm: VmId(0),
+                vcpu: VcpuId(0),
+                pkru: Pkru::ALLOW_ALL,
+                keys: vec![ProtKey(1)],
+                sh: ShSet::none(),
+                heap_base: heap0,
+                heap_size: 4096,
+            },
+            CompartmentCtx {
+                id: CompartmentId(1),
+                name: "net".into(),
+                vm: VmId(0),
+                vcpu: VcpuId(0),
+                pkru: Pkru::ALLOW_ALL,
+                keys: vec![ProtKey(2)],
+                sh: ShSet::none(),
+                heap_base: heap1,
+                heap_size: 4096,
+            },
+        ]
+    }
+
+    #[test]
+    fn same_compartment_cross_is_a_direct_call() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let before = m.clock().cycles();
+        let v = rt.cross(&mut m, CompartmentId(0), 16, 8, |_, _| Ok(42)).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(m.clock().cycles() - before, m.costs().func_call);
+        assert_eq!(rt.stats().direct_calls, 1);
+        assert_eq!(rt.stats().crossings, 0);
+    }
+
+    #[test]
+    fn cross_switches_current_and_restores_it() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        rt.cross(&mut m, CompartmentId(1), 0, 0, |m, rt| {
+            assert_eq!(rt.current(), CompartmentId(1));
+            // Nested crossing back.
+            rt.cross(m, CompartmentId(0), 0, 0, |_, rt| {
+                assert_eq!(rt.current(), CompartmentId(0));
+                Ok(())
+            })
+        })
+        .unwrap();
+        assert_eq!(rt.current(), CompartmentId(0));
+        assert_eq!(rt.stats().crossings, 2);
+    }
+
+    #[test]
+    fn cross_restores_caller_on_error() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let err = rt
+            .cross(&mut m, CompartmentId(1), 0, 0, |_, _| {
+                Err::<(), _>(Fault::OutOfMemory { requested_pages: 1 })
+            })
+            .unwrap_err();
+        assert!(matches!(err, Fault::OutOfMemory { .. }));
+        assert_eq!(rt.current(), CompartmentId(0));
+    }
+
+    #[test]
+    fn stats_accumulate_bytes() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        rt.cross(&mut m, CompartmentId(1), 100, 28, |_, _| Ok(())).unwrap();
+        assert_eq!(rt.stats().bytes_marshalled, 128);
+    }
+
+    #[test]
+    fn mechanism_stack_policy() {
+        assert!(GateMechanism::MpkSharedStack.stacks_shared());
+        assert!(!GateMechanism::MpkSwitchedStack.stacks_shared());
+        assert!(!GateMechanism::VmRpc.stacks_shared());
+    }
+}

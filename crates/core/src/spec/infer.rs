@@ -1,0 +1,272 @@
+//! Semi-automatic metadata generation from observed behaviour.
+//!
+//! The paper's §5: "The process of writing metadata is error prone, and
+//! methods for (semi-)automatically generating them should be
+//! explored." This module is that exploration: record a library's
+//! behaviour during representative runs into a [`BehaviorTrace`], then
+//! [`infer_spec`] derives a `LibSpec` (and [`infer_analysis`] the
+//! analysis inputs for SH transformations) from it.
+//!
+//! Inference is *semi*-automatic by design:
+//!
+//! * outgoing behaviour (`[Memory access]`, `[Call]`) is inferred
+//!   **conservatively upward**: any observed foreign touch or suspected
+//!   hijack widens to `*` — a trace proves presence, not absence;
+//! * incoming behaviour (`[Requires]`, `[API]`) is inferred
+//!   **downward**: only grants actually exercised during the trace are
+//!   emitted, so an unrepresentative trace yields a spec that is too
+//!   strict, never too lax — the safe failure mode (a too-strict spec
+//!   splits compartments; a too-lax one would merge incompatible ones).
+//!
+//! The author reviews and edits the result (that is the "semi").
+
+use super::model::{
+    ApiFunc, CallBehavior, FuncRef, Grant, GrantKind, LibSpec, MemBehavior, Region, RegionSet,
+    Requires,
+};
+use super::transform::Analysis;
+use std::collections::BTreeSet;
+
+/// A memory region as seen by the tracer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObservedRegion {
+    /// The library's own data.
+    Own,
+    /// The shared segment.
+    Shared,
+    /// Another library's private data (evidence of `*` behaviour).
+    Foreign(String),
+}
+
+/// Recorded behaviour of one library across representative runs.
+#[derive(Debug, Clone, Default)]
+pub struct BehaviorTrace {
+    /// The traced library's name.
+    pub lib: String,
+    /// Regions it read.
+    pub reads: BTreeSet<ObservedRegion>,
+    /// Regions it wrote.
+    pub writes: BTreeSet<ObservedRegion>,
+    /// Functions it called.
+    pub calls: BTreeSet<FuncRef>,
+    /// Entry points through which other libraries entered it.
+    pub entered_via: BTreeSet<String>,
+    /// Incoming accesses other libraries performed on this library's
+    /// memory / the shared segment while co-resident.
+    pub incoming: BTreeSet<GrantKind>,
+    /// Evidence of control-flow corruption during tracing (unknown
+    /// indirect-call targets, smashed canaries): forces `Call(*)`.
+    pub hijack_suspected: bool,
+}
+
+impl BehaviorTrace {
+    /// Starts an empty trace for `lib`.
+    pub fn new(lib: impl Into<String>) -> Self {
+        Self { lib: lib.into(), ..Self::default() }
+    }
+
+    /// Records a read.
+    pub fn read(&mut self, region: ObservedRegion) -> &mut Self {
+        self.reads.insert(region);
+        self
+    }
+
+    /// Records a write.
+    pub fn write(&mut self, region: ObservedRegion) -> &mut Self {
+        self.writes.insert(region);
+        self
+    }
+
+    /// Records an outgoing call.
+    pub fn call(&mut self, lib: impl Into<String>, func: impl Into<String>) -> &mut Self {
+        self.calls.insert(FuncRef::new(lib, func));
+        self
+    }
+
+    /// Records an inbound entry through `func`.
+    pub fn entered(&mut self, func: impl Into<String>) -> &mut Self {
+        self.entered_via.insert(func.into());
+        self
+    }
+
+    /// Records an incoming access by a co-resident library.
+    pub fn inbound(&mut self, kind: GrantKind) -> &mut Self {
+        self.incoming.insert(kind);
+        self
+    }
+}
+
+fn region_set(observed: &BTreeSet<ObservedRegion>) -> RegionSet {
+    if observed.iter().any(|r| matches!(r, ObservedRegion::Foreign(_))) {
+        return RegionSet::Star;
+    }
+    let mut set = BTreeSet::new();
+    for r in observed {
+        match r {
+            ObservedRegion::Own => {
+                set.insert(Region::Own);
+            }
+            ObservedRegion::Shared => {
+                set.insert(Region::Shared);
+            }
+            ObservedRegion::Foreign(_) => unreachable!("handled above"),
+        }
+    }
+    RegionSet::Set(set)
+}
+
+/// Derives a library spec from a trace.
+pub fn infer_spec(trace: &BehaviorTrace) -> LibSpec {
+    let call = if trace.hijack_suspected {
+        CallBehavior::Star
+    } else {
+        CallBehavior::Funcs(trace.calls.clone())
+    };
+    let api: Vec<ApiFunc> = trace.entered_via.iter().map(|f| ApiFunc::named(f.clone())).collect();
+    // Grants: exactly the incoming behaviour exercised, plus calling the
+    // observed entry points.
+    let mut grants: Vec<Grant> = trace.incoming.iter().cloned().map(Grant::any).collect();
+    for func in &trace.entered_via {
+        let g = GrantKind::Call(func.clone());
+        if !trace.incoming.contains(&g) {
+            grants.push(Grant::any(g));
+        }
+    }
+    LibSpec {
+        name: trace.lib.clone(),
+        mem: MemBehavior { read: region_set(&trace.reads), write: region_set(&trace.writes) },
+        call,
+        api,
+        requires: Requires::granting(grants),
+    }
+}
+
+/// Derives SH-transformation analysis inputs from a trace (the dynamic
+/// stand-in for the static CFG/DFG analyses of §2).
+pub fn infer_analysis(trace: &BehaviorTrace) -> Analysis {
+    Analysis {
+        call_targets: (!trace.hijack_suspected).then(|| trace.calls.clone()),
+        write_regions: Some(region_set(
+            &trace
+                .writes
+                .iter()
+                .filter(|r| !matches!(r, ObservedRegion::Foreign(_)))
+                .cloned()
+                .collect(),
+        )),
+        read_regions: Some(region_set(
+            &trace
+                .reads
+                .iter()
+                .filter(|r| !matches!(r, ObservedRegion::Foreign(_)))
+                .cloned()
+                .collect(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::compatible;
+    use crate::spec::transform::{apply_sh, suggest_sh};
+
+    /// A trace of the verified scheduler behaving exactly as its
+    /// handwritten spec describes.
+    fn scheduler_trace() -> BehaviorTrace {
+        let mut t = BehaviorTrace::new("uksched_verified");
+        t.read(ObservedRegion::Own)
+            .read(ObservedRegion::Shared)
+            .write(ObservedRegion::Own)
+            .write(ObservedRegion::Shared)
+            .call("alloc", "malloc")
+            .call("alloc", "free")
+            .entered("thread_add")
+            .entered("thread_rm")
+            .entered("yield")
+            .inbound(GrantKind::Read(Region::Own))
+            .inbound(GrantKind::Read(Region::Shared))
+            .inbound(GrantKind::Write(Region::Shared));
+        t
+    }
+
+    #[test]
+    fn inferred_scheduler_spec_matches_the_handwritten_one_structurally() {
+        let inferred = infer_spec(&scheduler_trace());
+        let handwritten = LibSpec::verified_scheduler();
+        assert_eq!(inferred.mem, handwritten.mem);
+        assert_eq!(inferred.call, handwritten.call);
+        assert_eq!(
+            inferred.api.iter().map(|a| &a.name).collect::<BTreeSet<_>>(),
+            handwritten.api.iter().map(|a| &a.name).collect::<BTreeSet<_>>()
+        );
+        // Same compatibility verdicts against the paper's other example.
+        let raw = LibSpec::unsafe_c("rawlib");
+        assert_eq!(compatible(&inferred, &raw), compatible(&handwritten, &raw));
+        // And against a well-behaved sibling.
+        let mut sibling = handwritten.clone();
+        sibling.name = "uklock".into();
+        assert_eq!(compatible(&inferred, &sibling), compatible(&handwritten, &sibling));
+    }
+
+    #[test]
+    fn foreign_touches_widen_to_star() {
+        let mut t = BehaviorTrace::new("buggy");
+        t.write(ObservedRegion::Own).write(ObservedRegion::Foreign("uksched".into()));
+        let spec = infer_spec(&t);
+        assert!(spec.mem.write.is_star());
+        assert!(!spec.mem.read.is_star());
+    }
+
+    #[test]
+    fn hijack_evidence_forces_call_star() {
+        let mut t = BehaviorTrace::new("pwned");
+        t.call("alloc", "malloc");
+        t.hijack_suspected = true;
+        let spec = infer_spec(&t);
+        assert!(spec.call.is_star());
+        // …and the inferred analysis refuses to supply a CFG for CFI.
+        assert!(infer_analysis(&t).call_targets.is_none());
+    }
+
+    #[test]
+    fn inference_is_strict_on_the_requires_side() {
+        // A trace where nobody ever wrote our shared state: the inferred
+        // spec does NOT grant Write(Shared) — too strict is the safe
+        // failure mode.
+        let mut t = BehaviorTrace::new("quiet");
+        t.read(ObservedRegion::Own).write(ObservedRegion::Own).entered("poke");
+        let spec = infer_spec(&t);
+        assert!(spec.requires.is_constrained());
+        assert!(!spec.requires.permits("x", &GrantKind::Write(Region::Shared)));
+        assert!(spec.requires.permits("x", &GrantKind::Call("poke".into())));
+        assert!(!spec.requires.permits("x", &GrantKind::Call("other".into())));
+    }
+
+    #[test]
+    fn inferred_analysis_feeds_the_sh_transformations() {
+        // A library whose *trace* is clean but whose static spec is
+        // adversarial: the inferred analysis lets DFI/CFI tighten it.
+        let mut t = BehaviorTrace::new("rawlib");
+        t.read(ObservedRegion::Own)
+            .write(ObservedRegion::Own)
+            .write(ObservedRegion::Shared)
+            .call("uksched_verified", "yield");
+        let analysis = infer_analysis(&t);
+        let raw = LibSpec::unsafe_c("rawlib");
+        let hardened = apply_sh(&raw, &suggest_sh(&raw), &analysis);
+        assert!(!hardened.mem.write.is_star());
+        assert!(!hardened.call.is_star());
+        assert!(compatible(&LibSpec::verified_scheduler(), &hardened));
+    }
+
+    #[test]
+    fn empty_trace_yields_a_hermit_spec() {
+        let spec = infer_spec(&BehaviorTrace::new("hermit"));
+        assert_eq!(spec.mem.read, RegionSet::none());
+        assert_eq!(spec.call, CallBehavior::none());
+        assert!(spec.api.is_empty());
+        // Grants nothing — maximally suspicious of co-residents.
+        assert!(spec.requires.is_constrained());
+    }
+}

@@ -1,0 +1,22 @@
+//! The FlexOS library-metadata language: model, parser, printer, and
+//! SH spec-transformations.
+//!
+//! See the paper's §2: metadata specify "1) the expected memory access
+//! behavior of other components running in the same compartment …; 2) the
+//! areas of memory this library can access in normal but also adversarial
+//! operation …; and 3) API specific information".
+
+pub mod infer;
+pub mod model;
+pub mod parse;
+pub mod print;
+pub mod transform;
+
+pub use infer::{infer_analysis, infer_spec, BehaviorTrace, ObservedRegion};
+pub use model::{
+    ApiFunc, CallBehavior, FuncRef, Grant, GrantKind, GrantSubject, LibSpec, MemBehavior, Region,
+    RegionSet, Requires,
+};
+pub use parse::{parse, parse_with_name, ParseError};
+pub use print::print;
+pub use transform::{apply_sh, suggest_sh, variants_for, Analysis, ShMechanism, ShSet, ShVariant};

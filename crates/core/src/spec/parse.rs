@@ -1,0 +1,436 @@
+//! Parser for the textual library-metadata language.
+//!
+//! The grammar follows the paper's listings:
+//!
+//! ```text
+//! [Library] uksched_verified
+//! [Memory access] Read(Own,Shared); Write(Own,Shared)
+//! [Call] alloc::malloc, alloc::free
+//! [API] thread_add(t) requires "thread not already added"; thread_rm(t); yield()
+//! [Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add)
+//! ```
+//!
+//! Sections may appear in any order and may span multiple lines (a section
+//! runs until the next `[...]` header). `#`-prefixed lines are comments.
+//! The wildcard `*` is accepted for memory regions (`Read(*)`), call
+//! behaviour (`[Call] *`), grant subjects (`*(Read,Own)`) and call grants
+//! (`*(Call, *)`).
+
+use super::model::{
+    ApiFunc, CallBehavior, FuncRef, Grant, GrantKind, GrantSubject, LibSpec, MemBehavior, Region,
+    RegionSet, Requires,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parses a spec whose name is given by a `[Library]` section in the text.
+pub fn parse(input: &str) -> Result<LibSpec, ParseError> {
+    parse_named(input, None)
+}
+
+/// Parses a spec, using `default_name` when no `[Library]` section exists.
+pub fn parse_with_name(input: &str, default_name: &str) -> Result<LibSpec, ParseError> {
+    parse_named(input, Some(default_name))
+}
+
+struct Section {
+    header: String,
+    body: String,
+    line: usize,
+}
+
+fn split_sections(input: &str) -> Result<Vec<Section>, ParseError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let close = match rest.find(']') {
+                Some(c) => c,
+                None => return err(line_no, "unterminated section header"),
+            };
+            let header = rest[..close].trim().to_string();
+            let body = rest[close + 1..].trim().to_string();
+            sections.push(Section { header, body, line: line_no });
+        } else {
+            match sections.last_mut() {
+                Some(s) => {
+                    if !s.body.is_empty() {
+                        s.body.push(' ');
+                    }
+                    s.body.push_str(line);
+                }
+                None => return err(line_no, "content before first section header"),
+            }
+        }
+    }
+    Ok(sections)
+}
+
+/// Splits on `sep` at depth 0 (outside parentheses and quotes).
+fn split_top_level(s: &str, seps: &[char]) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    for ch in s.chars() {
+        match ch {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(ch);
+            }
+            '(' if !in_quote => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' if !in_quote => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if !in_quote && depth == 0 && seps.contains(&c) => {
+                if !cur.trim().is_empty() {
+                    parts.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn parse_region(tok: &str, line: usize) -> Result<Region, ParseError> {
+    match tok.trim() {
+        "Own" | "own" => Ok(Region::Own),
+        "Shared" | "shared" => Ok(Region::Shared),
+        other => err(line, format!("unknown region `{other}` (expected Own/Shared/*)")),
+    }
+}
+
+fn parse_region_set(body: &str, line: usize) -> Result<RegionSet, ParseError> {
+    let body = body.trim();
+    if body == "*" {
+        return Ok(RegionSet::Star);
+    }
+    if body.is_empty() {
+        return Ok(RegionSet::none());
+    }
+    let mut set = BTreeSet::new();
+    for tok in body.split(',') {
+        set.insert(parse_region(tok, line)?);
+    }
+    Ok(RegionSet::Set(set))
+}
+
+fn parse_mem(body: &str, line: usize) -> Result<MemBehavior, ParseError> {
+    let mut mem = MemBehavior { read: RegionSet::none(), write: RegionSet::none() };
+    for item in split_top_level(body, &[';']) {
+        let open = item
+            .find('(')
+            .ok_or_else(|| ParseError { line, message: format!("expected `Kind(...)` in `{item}`") })?;
+        if !item.ends_with(')') {
+            return err(line, format!("missing `)` in `{item}`"));
+        }
+        let kind = item[..open].trim();
+        let inner = &item[open + 1..item.len() - 1];
+        let set = parse_region_set(inner, line)?;
+        match kind {
+            "Read" | "read" => mem.read = set,
+            "Write" | "write" => mem.write = set,
+            other => return err(line, format!("unknown access kind `{other}`")),
+        }
+    }
+    Ok(mem)
+}
+
+fn parse_call(body: &str, line: usize) -> Result<CallBehavior, ParseError> {
+    let body = body.trim();
+    if body == "*" {
+        return Ok(CallBehavior::Star);
+    }
+    let mut funcs = BTreeSet::new();
+    for item in split_top_level(body, &[',', ';']) {
+        let (lib, func) = item
+            .split_once("::")
+            .ok_or_else(|| ParseError { line, message: format!("expected `lib::func`, got `{item}`") })?;
+        if lib.trim().is_empty() || func.trim().is_empty() {
+            return err(line, format!("empty library or function in `{item}`"));
+        }
+        funcs.insert(FuncRef::new(lib.trim(), func.trim()));
+    }
+    Ok(CallBehavior::Funcs(funcs))
+}
+
+fn parse_api(body: &str, line: usize) -> Result<Vec<ApiFunc>, ParseError> {
+    let mut api = Vec::new();
+    for item in split_top_level(body, &[';']) {
+        // `name(params)` optionally followed by `requires "..."` clauses.
+        let (sig, rest) = match item.find(')') {
+            Some(close) => (&item[..=close], item[close + 1..].trim()),
+            None => (item.as_str(), ""),
+        };
+        let (name, params) = match sig.find('(') {
+            Some(open) => {
+                if !sig.ends_with(')') {
+                    return err(line, format!("missing `)` in `{sig}`"));
+                }
+                let inner = &sig[open + 1..sig.len() - 1];
+                let params: Vec<String> = inner
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty() && p != "...")
+                    .collect();
+                (sig[..open].trim().to_string(), params)
+            }
+            None => (sig.trim().to_string(), Vec::new()),
+        };
+        if name.is_empty() {
+            return err(line, format!("API entry with empty name in `{item}`"));
+        }
+        let mut preconditions = Vec::new();
+        let mut rest = rest;
+        while let Some(after) = rest.strip_prefix("requires") {
+            let after = after.trim_start();
+            let Some(stripped) = after.strip_prefix('"') else {
+                return err(line, "expected quoted string after `requires`");
+            };
+            let Some(end) = stripped.find('"') else {
+                return err(line, "unterminated precondition string");
+            };
+            preconditions.push(stripped[..end].to_string());
+            rest = stripped[end + 1..].trim_start();
+        }
+        if !rest.is_empty() {
+            return err(line, format!("trailing content after API entry: `{rest}`"));
+        }
+        api.push(ApiFunc { name, params, preconditions });
+    }
+    Ok(api)
+}
+
+fn parse_requires(body: &str, line: usize) -> Result<Requires, ParseError> {
+    let mut grants = Vec::new();
+    for item in split_top_level(body, &[',']) {
+        // Tolerate the paper's trailing ellipsis `*...`.
+        if item == "*..." || item == "..." {
+            continue;
+        }
+        let open = item.find('(').ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `subject(kind, arg)`, got `{item}`"),
+        })?;
+        if !item.ends_with(')') {
+            return err(line, format!("missing `)` in `{item}`"));
+        }
+        let subject = match item[..open].trim() {
+            "*" => GrantSubject::Any,
+            name if !name.is_empty() => GrantSubject::Lib(name.to_string()),
+            _ => return err(line, format!("empty grant subject in `{item}`")),
+        };
+        let inner = &item[open + 1..item.len() - 1];
+        let parts: Vec<&str> = inner.splitn(2, ',').map(str::trim).collect();
+        if parts.len() != 2 {
+            return err(line, format!("grant needs two arguments: `{item}`"));
+        }
+        let kind = match parts[0] {
+            "Read" | "read" => GrantKind::Read(parse_region(parts[1], line)?),
+            "Write" | "write" => GrantKind::Write(parse_region(parts[1], line)?),
+            "Call" | "call" => {
+                if parts[1] == "*" {
+                    GrantKind::CallAny
+                } else {
+                    GrantKind::Call(parts[1].to_string())
+                }
+            }
+            other => return err(line, format!("unknown grant kind `{other}`")),
+        };
+        grants.push(Grant { subject, kind });
+    }
+    Ok(Requires::granting(grants))
+}
+
+fn parse_named(input: &str, default_name: Option<&str>) -> Result<LibSpec, ParseError> {
+    let sections = split_sections(input)?;
+    let mut name: Option<String> = default_name.map(str::to_string);
+    let mut mem: Option<MemBehavior> = None;
+    let mut call: Option<CallBehavior> = None;
+    let mut api: Vec<ApiFunc> = Vec::new();
+    let mut requires = Requires::unconstrained();
+
+    for s in &sections {
+        match s.header.to_ascii_lowercase().as_str() {
+            "library" => {
+                let n = s.body.trim();
+                if n.is_empty() {
+                    return err(s.line, "[Library] section requires a name");
+                }
+                name = Some(n.to_string());
+            }
+            "memory access" => mem = Some(parse_mem(&s.body, s.line)?),
+            "call" => call = Some(parse_call(&s.body, s.line)?),
+            "api" => api = parse_api(&s.body, s.line)?,
+            "requires" => requires = parse_requires(&s.body, s.line)?,
+            other => return err(s.line, format!("unknown section `[{other}]`")),
+        }
+    }
+
+    let name = match name {
+        Some(n) => n,
+        None => return err(1, "no [Library] section and no default name given"),
+    };
+    Ok(LibSpec {
+        name,
+        mem: mem.unwrap_or_else(MemBehavior::adversarial),
+        call: call.unwrap_or(CallBehavior::Star),
+        api,
+        requires,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHED: &str = r#"
+        [Library] uksched_verified
+        [Memory access] Read(Own,Shared); Write(Own,Shared)
+        [Call] alloc::malloc, alloc::free
+        [API] thread_add(t) requires "thread not already added"; thread_rm(t); yield()
+        [Requires] *(Read,Own), *(Write,Shared), *(Read,Shared),
+                   *(Call, thread_add), *(Call, thread_rm), *(Call, yield)
+    "#;
+
+    #[test]
+    fn parses_the_paper_scheduler_example() {
+        let spec = parse(SCHED).unwrap();
+        assert_eq!(spec.name, "uksched_verified");
+        assert_eq!(spec.mem, MemBehavior::well_behaved());
+        assert_eq!(
+            spec.call,
+            CallBehavior::funcs([("alloc", "malloc"), ("alloc", "free")])
+        );
+        assert_eq!(spec.api.len(), 3);
+        assert_eq!(spec.api[0].preconditions, vec!["thread not already added"]);
+        assert!(spec.requires.permits("x", &GrantKind::Read(Region::Own)));
+        assert!(!spec.requires.permits("x", &GrantKind::Write(Region::Own)));
+        assert!(spec.requires.permits("x", &GrantKind::Call("yield".into())));
+    }
+
+    #[test]
+    fn parses_the_paper_unsafe_c_example() {
+        let spec = parse_with_name("[Memory access] Read(*); Write(*)\n[Call] *", "rawlib").unwrap();
+        assert_eq!(spec.name, "rawlib");
+        assert!(spec.mem.read.is_star());
+        assert!(spec.mem.write.is_star());
+        assert!(spec.call.is_star());
+        assert!(!spec.requires.is_constrained());
+    }
+
+    #[test]
+    fn missing_sections_default_to_adversarial() {
+        let spec = parse_with_name("", "empty").unwrap();
+        assert_eq!(spec.mem, MemBehavior::adversarial());
+        assert!(spec.call.is_star());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = parse_with_name(
+            "# top comment\n\n[Memory access] Read(Own)\n# inline\n[Call] a::b\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(spec.mem.read, RegionSet::own());
+    }
+
+    #[test]
+    fn multi_line_sections_accumulate() {
+        let spec = parse_with_name("[Call] a::b,\n c::d,\n e::f", "x").unwrap();
+        match spec.call {
+            CallBehavior::Funcs(fs) => assert_eq!(fs.len(), 3),
+            _ => panic!("expected funcs"),
+        }
+    }
+
+    #[test]
+    fn trailing_ellipsis_in_requires_is_tolerated() {
+        let spec = parse_with_name("[Requires] *(Read,Own), *...", "x").unwrap();
+        assert!(spec.requires.is_constrained());
+        assert_eq!(spec.requires.grants.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_requires_section_grants_nothing() {
+        let spec = parse_with_name("[Requires]", "x").unwrap();
+        assert!(spec.requires.is_constrained());
+        assert!(!spec.requires.permits("y", &GrantKind::Read(Region::Own)));
+    }
+
+    #[test]
+    fn lib_scoped_grant_subjects() {
+        let spec = parse_with_name("[Requires] libc(Write,Own), *(Read,Own)", "x").unwrap();
+        assert!(spec.requires.permits("libc", &GrantKind::Write(Region::Own)));
+        assert!(!spec.requires.permits("net", &GrantKind::Write(Region::Own)));
+        assert!(spec.requires.permits("net", &GrantKind::Read(Region::Own)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_with_name("[Memory access] Read(Bogus)", "x").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("Bogus"));
+
+        let e = parse("[Call] nodoublecolon").unwrap_err();
+        assert!(e.message.contains("lib::func"));
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        assert!(parse_with_name("[Bogus] x", "x").is_err());
+    }
+
+    #[test]
+    fn content_before_header_is_an_error() {
+        assert!(parse("orphan line").is_err());
+    }
+
+    #[test]
+    fn api_variadic_ellipsis_is_dropped_from_params() {
+        let spec = parse_with_name("[API] thread_add (...) ; yield()", "x").unwrap();
+        assert_eq!(spec.api[0].name, "thread_add");
+        assert!(spec.api[0].params.is_empty());
+    }
+
+    #[test]
+    fn call_grant_star_parses_to_call_any() {
+        let spec = parse_with_name("[Requires] *(Call, *)", "x").unwrap();
+        assert!(spec.requires.permits("y", &GrantKind::Call("anything".into())));
+    }
+}

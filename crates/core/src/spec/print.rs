@@ -1,0 +1,124 @@
+//! Canonical printer for library specs.
+//!
+//! `print` emits the textual form accepted by [`super::parse`], such that
+//! `parse(print(spec)) == spec` (verified by a property test). This is
+//! what FlexOS tooling uses to persist derived (e.g. SH-transformed)
+//! specs next to a library's sources.
+
+use super::model::{CallBehavior, GrantKind, GrantSubject, LibSpec, Region, RegionSet};
+use std::fmt::Write as _;
+
+fn region_str(r: Region) -> &'static str {
+    match r {
+        Region::Own => "Own",
+        Region::Shared => "Shared",
+    }
+}
+
+fn region_set_str(s: &RegionSet) -> String {
+    match s {
+        RegionSet::Star => "*".to_string(),
+        RegionSet::Set(set) => {
+            set.iter().map(|&r| region_str(r)).collect::<Vec<_>>().join(",")
+        }
+    }
+}
+
+/// Renders `spec` in canonical textual form.
+pub fn print(spec: &LibSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[Library] {}", spec.name);
+    let _ = writeln!(
+        out,
+        "[Memory access] Read({}); Write({})",
+        region_set_str(&spec.mem.read),
+        region_set_str(&spec.mem.write)
+    );
+    match &spec.call {
+        CallBehavior::Star => {
+            let _ = writeln!(out, "[Call] *");
+        }
+        CallBehavior::Funcs(fs) => {
+            let items: Vec<String> = fs.iter().map(|f| f.to_string()).collect();
+            let _ = writeln!(out, "[Call] {}", items.join(", "));
+        }
+    }
+    if !spec.api.is_empty() {
+        let items: Vec<String> = spec
+            .api
+            .iter()
+            .map(|a| {
+                let mut s = format!("{}({})", a.name, a.params.join(", "));
+                for pre in &a.preconditions {
+                    let _ = write!(s, " requires \"{pre}\"");
+                }
+                s
+            })
+            .collect();
+        let _ = writeln!(out, "[API] {}", items.join("; "));
+    }
+    if let Some(grants) = &spec.requires.grants {
+        let items: Vec<String> = grants
+            .iter()
+            .map(|g| {
+                let subject = match &g.subject {
+                    GrantSubject::Any => "*".to_string(),
+                    GrantSubject::Lib(l) => l.clone(),
+                };
+                let kind = match &g.kind {
+                    GrantKind::Read(r) => format!("Read,{}", region_str(*r)),
+                    GrantKind::Write(r) => format!("Write,{}", region_str(*r)),
+                    GrantKind::Call(f) => format!("Call, {f}"),
+                    GrantKind::CallAny => "Call, *".to_string(),
+                };
+                format!("{subject}({kind})")
+            })
+            .collect();
+        let _ = writeln!(out, "[Requires] {}", items.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::model::{ApiFunc, Grant, LibSpec, MemBehavior, Requires};
+    use crate::spec::parse::parse;
+
+    #[test]
+    fn print_parse_round_trips_the_scheduler() {
+        let spec = LibSpec::verified_scheduler();
+        let text = print(&spec);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn print_parse_round_trips_unsafe_c() {
+        let spec = LibSpec::unsafe_c("rawlib");
+        let reparsed = parse(&print(&spec)).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn empty_grant_list_round_trips_as_constrained() {
+        let spec = LibSpec {
+            name: "locked".into(),
+            mem: MemBehavior::well_behaved(),
+            call: crate::spec::model::CallBehavior::none(),
+            api: vec![ApiFunc::named("poke")],
+            requires: Requires::granting(Vec::<Grant>::new()),
+        };
+        let reparsed = parse(&print(&spec)).unwrap();
+        assert_eq!(reparsed, spec);
+        assert!(reparsed.requires.is_constrained());
+    }
+
+    #[test]
+    fn preconditions_survive_round_trip() {
+        let mut spec = LibSpec::verified_scheduler();
+        spec.api[0].preconditions.push("interrupts disabled".into());
+        let reparsed = parse(&print(&spec)).unwrap();
+        assert_eq!(reparsed.api[0].preconditions.len(), 2);
+    }
+}

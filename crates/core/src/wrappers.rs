@@ -1,0 +1,294 @@
+//! On-demand API wrappers: trust-boundary checks only where needed.
+//!
+//! The paper's §5 ("Isolation alone is not enough"): kernel-internal
+//! APIs were never designed as trust boundaries, so compartmentalizing
+//! them requires argument/precondition checks at the gate — but "we only
+//! want to execute such checks when they are really needed, depending on
+//! the instantiated kernel configuration: if component A is together
+//! with component B in the same trust domain, then checks are not
+//! necessary, but they are when component C (in another domain) calls
+//! component B. … by enriching all microlibraries with API metadata, the
+//! build system could possess sufficient information to automatically
+//! generate wrappers that would include or exclude these checks
+//! on-demand."
+//!
+//! [`generate_wrappers`] implements exactly that: for every exposed API
+//! function of every library in a plan, it determines — from the
+//! libraries' `[Call]` metadata and the compartment assignment — whether
+//! any caller sits in a *different* compartment, and emits a wrapper
+//! descriptor with checks enabled or elided accordingly.
+
+use crate::build::ImagePlan;
+use crate::spec::model::CallBehavior;
+use flexos_machine::CostTable;
+use std::collections::BTreeMap;
+
+/// Why a wrapper's checks are enabled (or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckReason {
+    /// Every caller shares the callee's compartment: checks elided.
+    AllCallersTrusted,
+    /// These libraries call from foreign compartments: checks included.
+    ForeignCallers(Vec<String>),
+    /// A library with `Call(*)` lives in a foreign compartment — any
+    /// entry point may be invoked from outside: checks included.
+    ArbitraryForeignCaller(String),
+    /// Nothing calls this function at all (dead entry point or external
+    /// API surface): checks elided, flagged for review.
+    NoKnownCallers,
+}
+
+impl CheckReason {
+    /// Whether this reason enables the checks.
+    pub fn checks_enabled(&self) -> bool {
+        matches!(
+            self,
+            CheckReason::ForeignCallers(_) | CheckReason::ArbitraryForeignCaller(_)
+        )
+    }
+}
+
+/// One generated wrapper descriptor.
+#[derive(Debug, Clone)]
+pub struct ApiWrapper {
+    /// The library exposing the function.
+    pub lib: String,
+    /// The function name.
+    pub func: String,
+    /// The human-readable preconditions to check (from the `[API]`
+    /// metadata; empty means the wrapper only validates the crossing).
+    pub preconditions: Vec<String>,
+    /// Why checks are on or off.
+    pub reason: CheckReason,
+}
+
+impl ApiWrapper {
+    /// Whether this wrapper executes its checks at runtime.
+    pub fn checks_enabled(&self) -> bool {
+        self.reason.checks_enabled()
+    }
+
+    /// Cycle cost of the wrapper per call: free when elided, otherwise
+    /// one contract check per precondition plus argument validation.
+    pub fn glue_cycles(&self, costs: &CostTable) -> u64 {
+        if !self.checks_enabled() {
+            return 0;
+        }
+        // Argument validation (bounds/ownership of marshalled args) +
+        // one verified-style check per declared precondition.
+        costs.ubsan_check * 2
+            + costs.verified_contract_check / 4 * self.preconditions.len() as u64
+    }
+}
+
+/// The generated wrapper set for one image, indexed by `(lib, func)`.
+#[derive(Debug, Clone, Default)]
+pub struct WrapperTable {
+    wrappers: BTreeMap<(String, String), ApiWrapper>,
+}
+
+impl WrapperTable {
+    /// Looks up the wrapper for `lib::func`.
+    pub fn get(&self, lib: &str, func: &str) -> Option<&ApiWrapper> {
+        self.wrappers.get(&(lib.to_string(), func.to_string()))
+    }
+
+    /// Iterates over all wrappers.
+    pub fn iter(&self) -> impl Iterator<Item = &ApiWrapper> {
+        self.wrappers.values()
+    }
+
+    /// Number of wrappers with checks enabled.
+    pub fn enabled_count(&self) -> usize {
+        self.wrappers.values().filter(|w| w.checks_enabled()).count()
+    }
+
+    /// Total wrappers generated.
+    pub fn len(&self) -> usize {
+        self.wrappers.len()
+    }
+
+    /// Whether no wrappers were generated.
+    pub fn is_empty(&self) -> bool {
+        self.wrappers.is_empty()
+    }
+}
+
+/// Generates the wrapper table for a compartmentalization plan.
+pub fn generate_wrappers(plan: &ImagePlan) -> WrapperTable {
+    let libs = &plan.config.libraries;
+    let mut table = WrapperTable::default();
+    for (callee_idx, callee) in libs.iter().enumerate() {
+        let callee_cpt = plan.compartment_of[callee_idx];
+        for api in &callee.spec.api {
+            let mut foreign: Vec<String> = Vec::new();
+            let mut arbitrary_foreign: Option<String> = None;
+            let mut any_caller = false;
+            for (caller_idx, caller) in libs.iter().enumerate() {
+                if caller_idx == callee_idx {
+                    continue;
+                }
+                let caller_cpt = plan.compartment_of[caller_idx];
+                match &caller.effective_spec().call {
+                    CallBehavior::Star => {
+                        any_caller = true;
+                        if caller_cpt != callee_cpt && arbitrary_foreign.is_none() {
+                            arbitrary_foreign = Some(caller.spec.name.clone());
+                        }
+                    }
+                    CallBehavior::Funcs(funcs) => {
+                        let calls_this = funcs
+                            .iter()
+                            .any(|f| f.lib == callee.spec.name && f.func == api.name);
+                        if calls_this {
+                            any_caller = true;
+                            if caller_cpt != callee_cpt {
+                                foreign.push(caller.spec.name.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            let reason = if !foreign.is_empty() {
+                CheckReason::ForeignCallers(foreign)
+            } else if let Some(lib) = arbitrary_foreign {
+                CheckReason::ArbitraryForeignCaller(lib)
+            } else if any_caller {
+                CheckReason::AllCallersTrusted
+            } else {
+                CheckReason::NoKnownCallers
+            };
+            table.wrappers.insert(
+                (callee.spec.name.clone(), api.name.clone()),
+                ApiWrapper {
+                    lib: callee.spec.name.clone(),
+                    func: api.name.clone(),
+                    preconditions: api.preconditions.clone(),
+                    reason,
+                },
+            );
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+    use crate::spec::model::{CallBehavior, LibSpec, MemBehavior, Requires};
+    use crate::spec::transform::Analysis;
+
+    fn caller_of(name: &str, target_lib: &str, target_fn: &str) -> LibraryConfig {
+        let spec = LibSpec {
+            name: name.into(),
+            mem: MemBehavior::well_behaved(),
+            call: CallBehavior::funcs([(target_lib, target_fn)]),
+            api: Vec::new(),
+            requires: Requires::unconstrained(),
+        };
+        LibraryConfig::new(spec, LibRole::Other)
+    }
+
+    fn sched() -> LibraryConfig {
+        LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler)
+    }
+
+    #[test]
+    fn same_compartment_callers_elide_checks() {
+        // Everything in one domain: no trust boundary, no checks.
+        let cfg = ImageConfig::new("same", BackendChoice::None)
+            .with_library(sched().in_compartment(0))
+            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(0));
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        let w = t.get("uksched_verified", "thread_add").unwrap();
+        assert_eq!(w.reason, CheckReason::AllCallersTrusted);
+        assert!(!w.checks_enabled());
+        assert_eq!(w.glue_cycles(&CostTable::default()), 0);
+    }
+
+    #[test]
+    fn cross_compartment_callers_enable_checks() {
+        let cfg = ImageConfig::new("split", BackendChoice::MpkShared)
+            .with_library(sched().in_compartment(0))
+            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1));
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        let w = t.get("uksched_verified", "thread_add").unwrap();
+        assert_eq!(w.reason, CheckReason::ForeignCallers(vec!["netstack".into()]));
+        assert!(w.checks_enabled());
+        // The paper example's precondition rides along.
+        assert_eq!(w.preconditions, vec!["thread not already added"]);
+        assert!(w.glue_cycles(&CostTable::default()) > 0);
+    }
+
+    #[test]
+    fn uncalled_entry_points_are_flagged_not_checked() {
+        let cfg = ImageConfig::new("dead", BackendChoice::MpkShared)
+            .with_library(sched().in_compartment(0))
+            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1));
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        // `thread_rm` is exposed but nobody calls it.
+        let w = t.get("uksched_verified", "thread_rm").unwrap();
+        assert_eq!(w.reason, CheckReason::NoKnownCallers);
+        assert!(!w.checks_enabled());
+    }
+
+    #[test]
+    fn star_callers_in_foreign_compartments_force_checks_everywhere() {
+        let raw = LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other);
+        let cfg = ImageConfig::new("star", BackendChoice::MpkShared)
+            .with_library(sched().in_compartment(0))
+            .with_library(raw.in_compartment(1));
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        for func in ["thread_add", "thread_rm", "yield"] {
+            let w = t.get("uksched_verified", func).unwrap();
+            assert!(
+                matches!(w.reason, CheckReason::ArbitraryForeignCaller(_)),
+                "{func}: {:?}",
+                w.reason
+            );
+        }
+        assert_eq!(t.enabled_count(), 3);
+    }
+
+    #[test]
+    fn hardening_the_star_caller_relaxes_the_wrappers() {
+        // CFI bounds the caller's call graph; if the bounded graph never
+        // reaches the scheduler, the wrappers relax (effective specs are
+        // used, mirroring the compatibility analysis).
+        let raw = LibSpec::unsafe_c("rawlib");
+        let sh = crate::spec::transform::suggest_sh(&raw);
+        let analysis = Analysis {
+            call_targets: Some([crate::spec::model::FuncRef::new("alloc", "malloc")].into()),
+            ..Analysis::well_behaved()
+        };
+        let cfg = ImageConfig::new("cfi", BackendChoice::MpkShared)
+            .with_library(sched().in_compartment(0))
+            .with_library(
+                LibraryConfig::new(raw, LibRole::Other)
+                    .with_sh(sh)
+                    .with_analysis(analysis)
+                    .in_compartment(1),
+            );
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        let w = t.get("uksched_verified", "thread_add").unwrap();
+        assert!(!w.checks_enabled(), "{:?}", w.reason);
+    }
+
+    #[test]
+    fn the_verified_scheduler_image_generates_a_full_table() {
+        let cfg = ImageConfig::new("full", BackendChoice::MpkShared)
+            .with_library(sched())
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+        let p = plan(cfg).unwrap();
+        let t = generate_wrappers(&p);
+        assert_eq!(t.len(), 3); // the scheduler's three entry points
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|w| w.lib == "uksched_verified"));
+    }
+}

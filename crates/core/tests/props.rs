@@ -1,0 +1,238 @@
+//! Property tests for the FlexOS framework: spec round-trips, coloring
+//! correctness/optimality, and SH-transformation monotonicity.
+
+use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+use flexos::compat::{color, dsatur, exact, is_valid, violations, Graph, IncompatGraph};
+use flexos::explore::security_score;
+use flexos::spec::{
+    apply_sh, parse, print, Analysis, ApiFunc, CallBehavior, FuncRef, Grant, GrantKind,
+    GrantSubject, LibSpec, MemBehavior, Region, RegionSet, Requires, ShMechanism, ShSet,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---- strategies -------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn arb_region_set() -> impl Strategy<Value = RegionSet> {
+    prop_oneof![
+        Just(RegionSet::Star),
+        prop::collection::btree_set(
+            prop_oneof![Just(Region::Own), Just(Region::Shared)],
+            0..=2
+        )
+        .prop_map(RegionSet::Set),
+    ]
+}
+
+fn arb_call() -> impl Strategy<Value = CallBehavior> {
+    prop_oneof![
+        Just(CallBehavior::Star),
+        prop::collection::btree_set((arb_name(), arb_name()), 0..4).prop_map(|s| {
+            CallBehavior::Funcs(s.into_iter().map(|(l, f)| FuncRef::new(l, f)).collect())
+        }),
+    ]
+}
+
+fn arb_grant() -> impl Strategy<Value = Grant> {
+    let subject = prop_oneof![Just(GrantSubject::Any), arb_name().prop_map(GrantSubject::Lib)];
+    let kind = prop_oneof![
+        Just(GrantKind::Read(Region::Own)),
+        Just(GrantKind::Read(Region::Shared)),
+        Just(GrantKind::Write(Region::Own)),
+        Just(GrantKind::Write(Region::Shared)),
+        Just(GrantKind::CallAny),
+        arb_name().prop_map(GrantKind::Call),
+    ];
+    (subject, kind).prop_map(|(subject, kind)| Grant { subject, kind })
+}
+
+fn arb_spec() -> impl Strategy<Value = LibSpec> {
+    (
+        arb_name(),
+        arb_region_set(),
+        arb_region_set(),
+        arb_call(),
+        prop::collection::vec((arb_name(), prop::collection::vec(arb_name(), 0..3)), 0..3),
+        prop::option::of(prop::collection::vec(arb_grant(), 0..5)),
+    )
+        .prop_map(|(name, read, write, call, api, grants)| LibSpec {
+            name,
+            mem: MemBehavior { read, write },
+            call,
+            api: api
+                .into_iter()
+                .map(|(name, params)| ApiFunc { name, params, preconditions: Vec::new() })
+                .collect(),
+            requires: Requires { grants },
+        })
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in 0..i {
+                    if edges[k] {
+                        g.add_edge(i, j);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Brute-force chromatic number for tiny graphs (test oracle).
+fn brute_chromatic_clean(g: &Graph) -> usize {
+    fn feasible(g: &Graph, k: usize, v: usize, colors: &mut Vec<usize>) -> bool {
+        if v == g.len() {
+            return true;
+        }
+        for c in 0..k {
+            if (0..v).all(|u| !g.has_edge(u, v) || colors[u] != c) {
+                colors[v] = c;
+                if feasible(g, k, v + 1, colors) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    for k in 1..=g.len() {
+        let mut colors = vec![0; g.len()];
+        if feasible(g, k, 0, &mut colors) {
+            return k;
+        }
+    }
+    g.len()
+}
+
+proptest! {
+    /// The canonical printer and the parser are inverse.
+    #[test]
+    fn print_parse_round_trip(spec in arb_spec()) {
+        let text = print(&spec);
+        let reparsed = parse(&text).expect("canonical text parses");
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    /// Exact coloring is proper and matches the brute-force chromatic
+    /// number; DSATUR is proper and never beats it.
+    #[test]
+    fn coloring_is_correct_and_optimal(g in arb_graph(7)) {
+        let chi = brute_chromatic_clean(&g);
+        let e = exact(&g);
+        prop_assert!(is_valid(&g, &e));
+        prop_assert_eq!(e.num_colors, chi);
+        let d = dsatur(&g);
+        prop_assert!(is_valid(&g, &d));
+        prop_assert!(d.num_colors >= chi);
+        let c = color(&g);
+        prop_assert!(is_valid(&g, &c));
+        prop_assert_eq!(c.num_colors, chi); // small graphs use the exact path
+    }
+
+    /// Compatibility is symmetric, and a library is always compatible
+    /// with itself modulo its own grants — more precisely, the check
+    /// never panics and is order-independent.
+    #[test]
+    fn compatibility_is_symmetric(a in arb_spec(), b in arb_spec()) {
+        let ab = violations(&a, &b).is_empty() && violations(&b, &a).is_empty();
+        let ba = violations(&b, &a).is_empty() && violations(&a, &b).is_empty();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Hardening never *creates* violations: for any victim, the
+    /// SH-transformed offender violates at most what the plain offender
+    /// violated (the rewrite only tightens behaviour).
+    #[test]
+    fn sh_transform_is_monotone(victim in arb_spec(), offender in arb_spec(),
+                                cfi in any::<bool>(), dfi in any::<bool>(), asan in any::<bool>()) {
+        let mut mechs = BTreeSet::new();
+        if cfi { mechs.insert(ShMechanism::Cfi); }
+        if dfi { mechs.insert(ShMechanism::Dfi); }
+        if asan { mechs.insert(ShMechanism::Asan); }
+        let sh = ShSet(mechs);
+        let analysis = Analysis::well_behaved();
+        let hardened = apply_sh(&offender, &sh, &analysis);
+        let before = violations(&victim, &offender).len();
+        let after = violations(&victim, &hardened).len();
+        prop_assert!(after <= before,
+            "hardening increased violations: {before} -> {after}");
+    }
+
+    /// The incompatibility graph's edges are exactly the incompatible
+    /// pairs (no spurious or missing edges).
+    #[test]
+    fn incompat_graph_matches_pairwise_checks(specs in prop::collection::vec(arb_spec(), 2..5)) {
+        // Deduplicate names (the graph is name-keyed for diagnostics).
+        let mut specs = specs;
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.name = format!("lib{i}");
+        }
+        let g = IncompatGraph::build(&specs);
+        for i in 0..specs.len() {
+            for j in 0..i {
+                let incompatible = !violations(&specs[i], &specs[j]).is_empty()
+                    || !violations(&specs[j], &specs[i]).is_empty();
+                prop_assert_eq!(g.graph.has_edge(i, j), incompatible);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The DSL parser never panics, whatever bytes it is fed.
+    #[test]
+    fn parser_never_panics(input in ".{0,400}") {
+        let _ = parse(&input);
+        let _ = flexos::spec::parse_with_name(&input, "fuzz");
+    }
+
+    /// Moving from no isolation to an isolating backend never lowers the
+    /// security score (with automatic placement).
+    #[test]
+    fn isolation_never_lowers_security(specs in prop::collection::vec(arb_spec(), 2..4)) {
+        let mut specs = specs;
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.name = format!("lib{i}");
+        }
+        let mk = |backend| {
+            let mut cfg = ImageConfig::new("prop", backend);
+            for s in &specs {
+                cfg = cfg.with_library(LibraryConfig::new(s.clone(), LibRole::Other));
+            }
+            plan(cfg)
+        };
+        let (Ok(none), Ok(mpk)) = (mk(BackendChoice::None), mk(BackendChoice::MpkShared)) else {
+            return Ok(()); // key-budget rejections are fine
+        };
+        prop_assert!(security_score(&mpk) >= security_score(&none));
+        // Auto-derived isolating plans fully mitigate every threat.
+        prop_assert!((security_score(&mpk) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn brute_force_helper_agrees_on_known_graphs() {
+    // Sanity-check the test oracle itself.
+    let mut c5 = Graph::new(5);
+    for i in 0..5 {
+        c5.add_edge(i, (i + 1) % 5);
+    }
+    assert_eq!(brute_chromatic_clean(&c5), 3);
+    let mut k4 = Graph::new(4);
+    for i in 0..4 {
+        for j in 0..i {
+            k4.add_edge(i, j);
+        }
+    }
+    assert_eq!(brute_chromatic_clean(&k4), 4);
+}

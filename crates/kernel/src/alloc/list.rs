@@ -1,0 +1,267 @@
+//! First-fit free-list allocator with coalescing — the general-purpose
+//! heap (the role Unikraft's default allocator plays).
+
+use super::{align_up, heap_exhausted, AllocStats, Allocator};
+use flexos_machine::{Addr, Fault, Machine, Result};
+use std::collections::BTreeMap;
+
+/// Minimum block granularity (keeps fragmentation bookkeeping sane).
+const GRAIN: u64 = 16;
+
+/// A first-fit allocator over `[base, base+len)` with free-block
+/// coalescing on `free`.
+///
+/// Bookkeeping is exact: every byte of the region is, at all times, in
+/// exactly one free block or one live block (live blocks may include
+/// sub-[`GRAIN`] padding around the payload).
+#[derive(Debug)]
+pub struct FreeListAllocator {
+    base: Addr,
+    len: u64,
+    /// Free blocks: offset → length; disjoint and coalesced.
+    free: BTreeMap<u64, u64>,
+    /// Live blocks: payload offset → (block offset, block length,
+    /// requested size).
+    live: BTreeMap<u64, (u64, u64, u64)>,
+    stats: AllocStats,
+}
+
+impl FreeListAllocator {
+    /// Creates an allocator over the region.
+    pub fn new(base: Addr, len: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if len > 0 {
+            free.insert(0, len);
+        }
+        Self { base, len, free, live: BTreeMap::new(), stats: AllocStats::default() }
+    }
+
+    /// Number of free blocks (fragmentation indicator).
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Checks internal invariants: free and live blocks are disjoint,
+    /// coalesced (free side), and exactly cover the region.
+    pub fn audit(&self) -> bool {
+        let mut blocks: Vec<(u64, u64, bool)> = self
+            .free
+            .iter()
+            .map(|(&o, &l)| (o, l, true))
+            .chain(self.live.values().map(|&(o, l, _)| (o, l, false)))
+            .collect();
+        blocks.sort_unstable();
+        let mut cursor = 0u64;
+        let mut prev_free = false;
+        for (off, len, is_free) in blocks {
+            if off != cursor || len == 0 {
+                return false;
+            }
+            if is_free && prev_free {
+                return false; // uncoalesced neighbours
+            }
+            prev_free = is_free;
+            cursor = off + len;
+        }
+        cursor == self.len
+    }
+
+    fn insert_free_coalescing(&mut self, mut start: u64, mut len: u64) {
+        if let Some((&poff, &plen)) = self.free.range(..start).next_back() {
+            if poff + plen == start {
+                self.free.remove(&poff);
+                start = poff;
+                len += plen;
+            }
+        }
+        if let Some((&noff, &nlen)) = self.free.range(start..).next() {
+            if noff == start + len {
+                self.free.remove(&noff);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+    }
+}
+
+impl Allocator for FreeListAllocator {
+    fn alloc(&mut self, m: &mut Machine, size: u64, align: u64) -> Result<Addr> {
+        m.charge(m.costs().alloc_op);
+        let size = size.max(1);
+        // First fit: the lowest free block that can host an aligned payload.
+        let mut found: Option<(u64, u64, u64)> = None; // (block_off, block_len, payload_off)
+        for (&off, &blen) in &self.free {
+            let payload = align_up(self.base.0 + off, align) - self.base.0;
+            let head_pad = payload - off;
+            if head_pad <= blen && blen - head_pad >= size {
+                found = Some((off, blen, payload));
+                break;
+            }
+        }
+        let Some((off, blen, payload)) = found else {
+            return Err(heap_exhausted(size));
+        };
+        self.free.remove(&off);
+
+        // Return a head split if it is big enough to be useful.
+        let head_pad = payload - off;
+        let block_off = if head_pad >= GRAIN {
+            self.free.insert(off, head_pad);
+            payload
+        } else {
+            off
+        };
+        // Return a tail split if big enough; otherwise keep it in the block.
+        let used_end = payload + size;
+        let tail = off + blen - used_end;
+        let block_end = if tail >= GRAIN {
+            self.free.insert(used_end, tail);
+            used_end
+        } else {
+            off + blen
+        };
+
+        self.live.insert(payload, (block_off, block_end - block_off, size));
+        self.stats.on_alloc(size);
+        Ok(Addr(self.base.0 + payload))
+    }
+
+    fn free(&mut self, m: &mut Machine, addr: Addr) -> Result<()> {
+        m.charge(m.costs().alloc_op);
+        let payload = addr.0.wrapping_sub(self.base.0);
+        let Some((block_off, block_len, size)) = self.live.remove(&payload) else {
+            return Err(Fault::HardeningAbort {
+                mechanism: "alloc",
+                reason: format!("invalid or double free of {addr}"),
+            });
+        };
+        self.stats.on_free(size);
+        self.insert_free_coalescing(block_off, block_len);
+        Ok(())
+    }
+
+    fn size_of(&self, addr: Addr) -> Option<u64> {
+        self.live.get(&addr.0.wrapping_sub(self.base.0)).map(|&(_, _, size)| size)
+    }
+
+    fn region(&self) -> (Addr, u64) {
+        (self.base, self.len)
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "freelist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::testutil::{check_no_overlap, region};
+
+    #[test]
+    fn alloc_free_reuses_memory() {
+        let (mut m, base) = region(4096);
+        let mut a = FreeListAllocator::new(base, 256);
+        let x = a.alloc(&mut m, 200, 8).unwrap();
+        assert!(a.alloc(&mut m, 200, 8).is_err());
+        a.free(&mut m, x).unwrap();
+        a.alloc(&mut m, 200, 8).unwrap();
+        assert!(a.audit());
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let (mut m, base) = region(4096);
+        let mut a = FreeListAllocator::new(base, 4096);
+        let blocks: Vec<_> = (0..8).map(|_| a.alloc(&mut m, 512, 16).unwrap()).collect();
+        assert!(a.alloc(&mut m, 512, 16).is_err());
+        // Free in a scrambled order to exercise both coalescing sides.
+        for &i in &[3usize, 1, 7, 5, 0, 2, 6, 4] {
+            a.free(&mut m, blocks[i]).unwrap();
+        }
+        assert!(a.audit());
+        assert_eq!(a.free_blocks(), 1);
+        a.alloc(&mut m, 4096, 16).unwrap();
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let (mut m, base) = region(4096);
+        let mut a = FreeListAllocator::new(base, 4096);
+        let x = a.alloc(&mut m, 64, 8).unwrap();
+        a.free(&mut m, x).unwrap();
+        assert!(a.free(&mut m, x).is_err());
+    }
+
+    #[test]
+    fn alignment_is_respected_and_accounted() {
+        let (mut m, base) = region(8192);
+        let mut a = FreeListAllocator::new(base, 8192);
+        a.alloc(&mut m, 3, 8).unwrap();
+        let x = a.alloc(&mut m, 64, 256).unwrap();
+        assert_eq!(x.0 % 256, 0);
+        assert!(a.audit());
+    }
+
+    #[test]
+    fn no_overlap_under_mixed_workload() {
+        let (mut m, base) = region(64 * 1024);
+        let a = FreeListAllocator::new(base, 64 * 1024);
+        check_no_overlap(a, &mut m);
+    }
+
+    #[test]
+    fn free_bytes_conserved_after_full_release() {
+        let (mut m, base) = region(4096);
+        let mut a = FreeListAllocator::new(base, 4096);
+        let before = a.free_bytes();
+        let x = a.alloc(&mut m, 100, 8).unwrap();
+        let y = a.alloc(&mut m, 300, 64).unwrap();
+        let z = a.alloc(&mut m, 7, 8).unwrap();
+        for p in [y, x, z] {
+            a.free(&mut m, p).unwrap();
+        }
+        assert!(a.audit());
+        assert_eq!(a.free_bytes(), before);
+        assert_eq!(a.free_blocks(), 1);
+    }
+
+    #[test]
+    fn zero_size_allocs_are_valid() {
+        let (mut m, base) = region(4096);
+        let mut a = FreeListAllocator::new(base, 4096);
+        let x = a.alloc(&mut m, 0, 8).unwrap();
+        assert!(a.size_of(x).is_some());
+        a.free(&mut m, x).unwrap();
+        assert!(a.audit());
+    }
+
+    #[test]
+    fn audit_holds_at_every_step() {
+        let (mut m, base) = region(16 * 1024);
+        let mut a = FreeListAllocator::new(base, 16 * 1024);
+        let mut live = Vec::new();
+        for i in 0..40u64 {
+            if i % 3 == 2 && !live.is_empty() {
+                let p = live.remove(live.len() / 2);
+                a.free(&mut m, p).unwrap();
+            } else {
+                let sz = 17 + (i * 37) % 400;
+                let al = 1 << (i % 6);
+                if let Ok(p) = a.alloc(&mut m, sz, al) {
+                    live.push(p);
+                }
+            }
+            assert!(a.audit(), "invariant broken at step {i}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Message-queue micro-library over simulated shared memory.
+//!
+//! The paper lists "a message queue" among Unikraft's micro-libs (§2).
+//! This one is a single-producer/single-consumer ring of fixed-size slots
+//! living in *simulated* memory — so cross-compartment queues are subject
+//! to the same protection-key/VM enforcement as any other data, and
+//! enqueue/dequeue costs (slot copies) land on the machine clock.
+//!
+//! Layout in simulated memory, from `base`:
+//!
+//! ```text
+//! +0   head (u64)     — next slot to read  (consumer-owned)
+//! +8   tail (u64)     — next slot to write (producer-owned)
+//! +16  slot 0 .. slot N-1, each `slot_size` bytes:
+//!        [len: u64][payload: slot_size-8 bytes]
+//! ```
+
+use flexos_machine::{Addr, Fault, Machine, Result, VcpuId};
+
+const HDR: u64 = 16;
+
+/// A SPSC ring buffer of fixed-size messages in simulated memory.
+#[derive(Debug, Clone)]
+pub struct MsgQueue {
+    base: Addr,
+    slots: u64,
+    slot_size: u64,
+}
+
+impl MsgQueue {
+    /// Bytes of backing memory needed for `slots` slots of `slot_size`.
+    pub fn bytes_needed(slots: u64, slot_size: u64) -> u64 {
+        HDR + slots * slot_size
+    }
+
+    /// Creates a queue over pre-allocated memory at `base` and zeroes the
+    /// indices. `slot_size` must exceed the 8-byte length header.
+    pub fn init(
+        m: &mut Machine,
+        vcpu: VcpuId,
+        base: Addr,
+        slots: u64,
+        slot_size: u64,
+    ) -> Result<Self> {
+        assert!(slot_size > 8, "slot must fit the length header");
+        assert!(slots > 0, "queue needs at least one slot");
+        m.write_u64(vcpu, base, 0)?;
+        m.write_u64(vcpu, Addr(base.0 + 8), 0)?;
+        Ok(Self { base, slots, slot_size })
+    }
+
+    /// Maximum payload bytes per message.
+    pub fn max_payload(&self) -> u64 {
+        self.slot_size - 8
+    }
+
+    fn slot_addr(&self, idx: u64) -> Addr {
+        Addr(self.base.0 + HDR + (idx % self.slots) * self.slot_size)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self, m: &mut Machine, vcpu: VcpuId) -> Result<u64> {
+        let head = m.read_u64(vcpu, self.base)?;
+        let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
+        Ok(tail - head)
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, m: &mut Machine, vcpu: VcpuId) -> Result<bool> {
+        Ok(self.len(m, vcpu)? == 0)
+    }
+
+    /// Attempts to enqueue `payload`. Returns `false` if the ring is full.
+    pub fn try_send(&self, m: &mut Machine, vcpu: VcpuId, payload: &[u8]) -> Result<bool> {
+        if payload.len() as u64 > self.max_payload() {
+            return Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                reason: format!(
+                    "message of {} bytes exceeds slot payload {}",
+                    payload.len(),
+                    self.max_payload()
+                ),
+            });
+        }
+        let head = m.read_u64(vcpu, self.base)?;
+        let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
+        if tail - head == self.slots {
+            return Ok(false);
+        }
+        let slot = self.slot_addr(tail);
+        m.write_u64(vcpu, slot, payload.len() as u64)?;
+        m.write(vcpu, Addr(slot.0 + 8), payload)?;
+        m.write_u64(vcpu, Addr(self.base.0 + 8), tail + 1)?;
+        Ok(true)
+    }
+
+    /// Attempts to dequeue a message into `buf`; returns the payload
+    /// length, or `None` if the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is smaller than the queued message.
+    pub fn try_recv(&self, m: &mut Machine, vcpu: VcpuId, buf: &mut [u8]) -> Result<Option<usize>> {
+        let head = m.read_u64(vcpu, self.base)?;
+        let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
+        if head == tail {
+            return Ok(None);
+        }
+        let slot = self.slot_addr(head);
+        let len = m.read_u64(vcpu, slot)? as usize;
+        assert!(buf.len() >= len, "receive buffer too small ({} < {len})", buf.len());
+        m.read(vcpu, Addr(slot.0 + 8), &mut buf[..len])?;
+        m.write_u64(vcpu, self.base, head + 1)?;
+        Ok(Some(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_machine::{PageFlags, ProtKey, VmId};
+
+    fn queue(slots: u64, slot_size: u64) -> (Machine, MsgQueue) {
+        let mut m = Machine::with_defaults();
+        let bytes = MsgQueue::bytes_needed(slots, slot_size);
+        let base = m.alloc_region(VmId(0), bytes, ProtKey(0), PageFlags::RW).unwrap();
+        let q = MsgQueue::init(&mut m, VcpuId(0), base, slots, slot_size).unwrap();
+        (m, q)
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (mut m, q) = queue(4, 64);
+        assert!(q.try_send(&mut m, VcpuId(0), b"hello").unwrap());
+        let mut buf = [0u8; 64];
+        let n = q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap().unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        assert!(q.is_empty(&mut m, VcpuId(0)).unwrap());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (mut m, q) = queue(8, 32);
+        for i in 0..5u8 {
+            q.try_send(&mut m, VcpuId(0), &[i; 3]).unwrap();
+        }
+        let mut buf = [0u8; 32];
+        for i in 0..5u8 {
+            let n = q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap().unwrap();
+            assert_eq!(&buf[..n], &[i; 3]);
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_and_empty_returns_none() {
+        let (mut m, q) = queue(2, 32);
+        assert!(q.try_send(&mut m, VcpuId(0), b"a").unwrap());
+        assert!(q.try_send(&mut m, VcpuId(0), b"b").unwrap());
+        assert!(!q.try_send(&mut m, VcpuId(0), b"c").unwrap());
+        let mut buf = [0u8; 32];
+        q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap();
+        assert!(q.try_send(&mut m, VcpuId(0), b"c").unwrap());
+        q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap();
+        q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap();
+        assert!(q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let (mut m, q) = queue(2, 32);
+        let mut buf = [0u8; 32];
+        for round in 0..10u8 {
+            q.try_send(&mut m, VcpuId(0), &[round]).unwrap();
+            let n = q.try_recv(&mut m, VcpuId(0), &mut buf).unwrap().unwrap();
+            assert_eq!(&buf[..n], &[round]);
+        }
+    }
+
+    #[test]
+    fn oversized_message_faults() {
+        let (mut m, q) = queue(2, 16);
+        assert!(q.try_send(&mut m, VcpuId(0), &[0u8; 9]).is_err());
+        assert!(q.try_send(&mut m, VcpuId(0), &[0u8; 8]).unwrap());
+    }
+
+    #[test]
+    fn queue_respects_protection_keys() {
+        // A queue in a key-3 region is unreachable once PKRU denies key 3.
+        let mut m = Machine::with_defaults();
+        let base = m
+            .alloc_region(VmId(0), MsgQueue::bytes_needed(2, 32), ProtKey(3), PageFlags::RW)
+            .unwrap();
+        let q = MsgQueue::init(&mut m, VcpuId(0), base, 2, 32).unwrap();
+        let tok = m.gate_token();
+        m.wrpkru(
+            VcpuId(0),
+            flexos_machine::Pkru::deny_all_except(&[ProtKey(0)], &[]),
+            Some(tok),
+        )
+        .unwrap();
+        assert!(matches!(
+            q.try_send(&mut m, VcpuId(0), b"x"),
+            Err(Fault::PkeyViolation { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Scheduler micro-libraries.
+//!
+//! Two interchangeable cooperative schedulers implement the [`RunQueue`]
+//! interface (the `uksched` API of the paper's listings — `thread_add`,
+//! `thread_rm`, `yield`):
+//!
+//! * [`coop::CoopScheduler`] — the plain C-style round-robin scheduler
+//!   (76.6 ns context switch in the paper);
+//! * [`verified::VerifiedScheduler`] — the contract-checked port of the
+//!   paper's Dafny scheduler (218.6 ns), semantically identical but
+//!   re-validating pre/post-conditions and invariants on every operation.
+//!
+//! Under the MPK backend the scheduler is trusted: it holds the saved
+//! PKRU of non-running threads, which the executor restores through the
+//! gate runtime on every switch.
+
+pub mod coop;
+pub mod verified;
+
+pub use coop::CoopScheduler;
+pub use verified::VerifiedScheduler;
+
+use flexos_machine::{CostTable, Result};
+use std::fmt;
+
+/// Identifier of a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread{}", self.0)
+    }
+}
+
+/// The scheduler micro-library interface (the paper's `uksched` API).
+///
+/// Semantics: a thread known to the scheduler is either *ready* (in the
+/// run queue) or *off-queue* (currently running, or blocked on a wait
+/// channel). `pick_next` pops the head of the ready queue; the caller is
+/// then responsible for re-inserting it via `yield_back` (cooperative
+/// yield) or parking it via `block`.
+pub trait RunQueue: fmt::Debug {
+    /// Registers a new thread and makes it ready.
+    ///
+    /// Precondition (verified scheduler): the thread is not already known
+    /// ("one of `thread_add`'s preconditions is to not add a thread that
+    /// has already been added", §2).
+    fn thread_add(&mut self, t: ThreadId) -> Result<()>;
+
+    /// Removes a thread entirely.
+    fn thread_rm(&mut self, t: ThreadId) -> Result<()>;
+
+    /// Pops the next ready thread, if any.
+    fn pick_next(&mut self) -> Option<ThreadId>;
+
+    /// Re-queues a thread that cooperatively yielded.
+    fn yield_back(&mut self, t: ThreadId) -> Result<()>;
+
+    /// Parks a running thread (leaves it known but not ready).
+    fn block(&mut self, t: ThreadId) -> Result<()>;
+
+    /// Makes a parked thread ready again.
+    fn wake(&mut self, t: ThreadId) -> Result<()>;
+
+    /// Whether the scheduler knows `t` (ready or parked).
+    fn contains(&self, t: ThreadId) -> bool;
+
+    /// Number of ready threads.
+    fn ready_len(&self) -> usize;
+
+    /// Number of known threads (ready + parked).
+    fn len(&self) -> usize;
+
+    /// Whether no threads are known.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cycle cost of one context switch under this scheduler.
+    fn switch_cost(&self, costs: &CostTable) -> u64;
+
+    /// Implementation name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared behavioural tests run against every `RunQueue` impl.
+    use super::*;
+
+    pub fn round_robin_order(mut s: impl RunQueue) {
+        for i in 0..3 {
+            s.thread_add(ThreadId(i)).unwrap();
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let t = s.pick_next().unwrap();
+            order.push(t.0);
+            s.yield_back(t).unwrap();
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    pub fn block_wake_cycle(mut s: impl RunQueue) {
+        s.thread_add(ThreadId(1)).unwrap();
+        s.thread_add(ThreadId(2)).unwrap();
+        let t = s.pick_next().unwrap();
+        assert_eq!(t, ThreadId(1));
+        s.block(t).unwrap();
+        assert_eq!(s.ready_len(), 1);
+        assert!(s.contains(ThreadId(1)));
+        // Only thread 2 is schedulable while 1 is parked.
+        let t2 = s.pick_next().unwrap();
+        assert_eq!(t2, ThreadId(2));
+        s.yield_back(t2).unwrap();
+        s.wake(ThreadId(1)).unwrap();
+        // 2 was re-queued before 1 woke.
+        assert_eq!(s.pick_next().unwrap(), ThreadId(2));
+        s.yield_back(ThreadId(2)).unwrap();
+        assert_eq!(s.pick_next().unwrap(), ThreadId(1));
+    }
+
+    pub fn removal_forgets_thread(mut s: impl RunQueue) {
+        s.thread_add(ThreadId(7)).unwrap();
+        s.thread_rm(ThreadId(7)).unwrap();
+        assert!(!s.contains(ThreadId(7)));
+        assert!(s.pick_next().is_none());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Synchronization micro-library: semaphores, wait queues, mutexes.
+//!
+//! **Placement matters.** In the paper's Redis experiment, co-locating the
+//! network stack and the scheduler did *not* recover performance because
+//! "semaphores [are] implemented in another compartment (LibC)" (§4) —
+//! every wait-queue operation still crossed a gate. In this reproduction
+//! the same wiring is used: the network stack's wait queues call into the
+//! semaphore service, and the apps crate routes those calls through the
+//! gate runtime into the LibC compartment (see `flexos-apps::os`).
+//!
+//! The primitives here are pure run-queue-side data structures: blocking
+//! is cooperative (a failed `try_down` enqueues the thread and the caller
+//! returns [`Step::Block`](crate::exec::Step) from its task).
+
+use crate::sched::ThreadId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A wait channel identifier: what a blocked thread is waiting on.
+/// Semaphore `i` in the [`SemTable`] maps to channel `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WaitChannel(pub u64);
+
+impl fmt::Display for WaitChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan{}", self.0)
+    }
+}
+
+/// A counting semaphore with a FIFO waiter queue.
+#[derive(Debug, Default)]
+pub struct Semaphore {
+    count: i64,
+    waiters: VecDeque<ThreadId>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with an initial count.
+    pub fn new(count: i64) -> Self {
+        Self { count, waiters: VecDeque::new() }
+    }
+
+    /// Attempts to decrement. On success returns `true`; otherwise the
+    /// thread is enqueued as a waiter and the caller must block.
+    pub fn try_down(&mut self, tid: ThreadId) -> bool {
+        if self.count > 0 {
+            self.count -= 1;
+            true
+        } else {
+            if !self.waiters.contains(&tid) {
+                self.waiters.push_back(tid);
+            }
+            false
+        }
+    }
+
+    /// Increments; if a waiter exists, transfers the token to it and
+    /// returns it (the caller wakes it).
+    pub fn up(&mut self) -> Option<ThreadId> {
+        match self.waiters.pop_front() {
+            Some(t) => Some(t), // token handed directly to the waiter
+            None => {
+                self.count += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes a thread from the waiter queue (timeout/kill paths).
+    pub fn cancel(&mut self, tid: ThreadId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|&t| t != tid);
+        before != self.waiters.len()
+    }
+
+    /// Current count.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Number of blocked waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+/// Identifier of a semaphore in a [`SemTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SemId(pub usize);
+
+impl SemId {
+    /// The wait channel blocked threads on this semaphore use.
+    pub fn channel(self) -> WaitChannel {
+        WaitChannel(self.0 as u64)
+    }
+}
+
+/// The semaphore service (lives in the LibC micro-library).
+#[derive(Debug, Default)]
+pub struct SemTable {
+    sems: Vec<Semaphore>,
+    /// Total down/up operations (the bench harness reports crossings into
+    /// LibC per request from this).
+    pub ops: u64,
+}
+
+impl SemTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a semaphore with an initial count.
+    pub fn create(&mut self, count: i64) -> SemId {
+        self.sems.push(Semaphore::new(count));
+        SemId(self.sems.len() - 1)
+    }
+
+    /// `try_down` on semaphore `id`.
+    pub fn try_down(&mut self, id: SemId, tid: ThreadId) -> bool {
+        self.ops += 1;
+        self.sems[id.0].try_down(tid)
+    }
+
+    /// `up` on semaphore `id`; returns the thread to wake, if any.
+    pub fn up(&mut self, id: SemId) -> Option<ThreadId> {
+        self.ops += 1;
+        self.sems[id.0].up()
+    }
+
+    /// Shared view of a semaphore.
+    pub fn get(&self, id: SemId) -> &Semaphore {
+        &self.sems[id.0]
+    }
+
+    /// Number of semaphores.
+    pub fn len(&self) -> usize {
+        self.sems.len()
+    }
+
+    /// Whether no semaphores exist.
+    pub fn is_empty(&self) -> bool {
+        self.sems.is_empty()
+    }
+}
+
+/// A wait queue (condition-variable flavour): threads park until an event
+/// wakes one or all.
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    waiters: VecDeque<ThreadId>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a thread (idempotent).
+    pub fn wait(&mut self, tid: ThreadId) {
+        if !self.waiters.contains(&tid) {
+            self.waiters.push_back(tid);
+        }
+    }
+
+    /// Wakes the oldest waiter.
+    pub fn wake_one(&mut self) -> Option<ThreadId> {
+        self.waiters.pop_front()
+    }
+
+    /// Wakes everyone.
+    pub fn wake_all(&mut self) -> Vec<ThreadId> {
+        self.waiters.drain(..).collect()
+    }
+
+    /// Number of parked threads.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Whether nobody waits.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+}
+
+/// A mutex built over [`Semaphore`] (binary semaphore + owner tracking).
+#[derive(Debug)]
+pub struct Mutex {
+    sem: Semaphore,
+    owner: Option<ThreadId>,
+}
+
+impl Default for Mutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        Self { sem: Semaphore::new(1), owner: None }
+    }
+
+    /// Attempts to take the lock; enqueues as waiter on failure.
+    pub fn try_lock(&mut self, tid: ThreadId) -> bool {
+        if self.sem.try_down(tid) {
+            self.owner = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the lock; returns the next owner to wake, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not the current owner (lock-discipline bug in
+    /// the caller).
+    pub fn unlock(&mut self, tid: ThreadId) -> Option<ThreadId> {
+        assert_eq!(self.owner, Some(tid), "unlock by non-owner");
+        let next = self.sem.up();
+        self.owner = next;
+        next
+    }
+
+    /// The current owner.
+    pub fn owner(&self) -> Option<ThreadId> {
+        self.owner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+    const T3: ThreadId = ThreadId(3);
+
+    #[test]
+    fn semaphore_counts_and_blocks() {
+        let mut s = Semaphore::new(2);
+        assert!(s.try_down(T1));
+        assert!(s.try_down(T2));
+        assert!(!s.try_down(T3));
+        assert_eq!(s.waiter_count(), 1);
+        // up() transfers the token to the waiter, not the count.
+        assert_eq!(s.up(), Some(T3));
+        assert_eq!(s.count(), 0);
+        // A further up with no waiters restores the count.
+        assert_eq!(s.up(), None);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn semaphore_waiters_are_fifo() {
+        let mut s = Semaphore::new(0);
+        assert!(!s.try_down(T1));
+        assert!(!s.try_down(T2));
+        assert_eq!(s.up(), Some(T1));
+        assert_eq!(s.up(), Some(T2));
+    }
+
+    #[test]
+    fn duplicate_waiters_are_not_enqueued_twice() {
+        let mut s = Semaphore::new(0);
+        assert!(!s.try_down(T1));
+        assert!(!s.try_down(T1));
+        assert_eq!(s.waiter_count(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_a_waiter() {
+        let mut s = Semaphore::new(0);
+        s.try_down(T1);
+        s.try_down(T2);
+        assert!(s.cancel(T1));
+        assert!(!s.cancel(T1));
+        assert_eq!(s.up(), Some(T2));
+    }
+
+    #[test]
+    fn sem_table_tracks_ops_for_crossing_accounting() {
+        let mut t = SemTable::new();
+        let id = t.create(1);
+        assert!(t.try_down(id, T1));
+        t.up(id);
+        assert_eq!(t.ops, 2);
+        assert_eq!(id.channel(), WaitChannel(0));
+    }
+
+    #[test]
+    fn wait_queue_wake_one_and_all() {
+        let mut q = WaitQueue::new();
+        q.wait(T1);
+        q.wait(T2);
+        q.wait(T1); // idempotent
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.wake_one(), Some(T1));
+        q.wait(T3);
+        assert_eq!(q.wake_all(), vec![T2, T3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mutex_enforces_ownership_handoff() {
+        let mut m = Mutex::new();
+        assert!(m.try_lock(T1));
+        assert!(!m.try_lock(T2));
+        let next = m.unlock(T1);
+        assert_eq!(next, Some(T2));
+        assert_eq!(m.owner(), Some(T2));
+        assert_eq!(m.unlock(T2), None);
+        assert_eq!(m.owner(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn mutex_unlock_by_non_owner_panics() {
+        let mut m = Mutex::new();
+        m.try_lock(T1);
+        let _ = m.unlock(T2);
+    }
+}

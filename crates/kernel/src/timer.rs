@@ -1,0 +1,208 @@
+//! Timer micro-library (`uktime` role): deadline queue over the
+//! simulated cycle clock.
+//!
+//! Cooperative unikernels drive timeouts (TCP retransmission, semaphore
+//! timeouts, sleeps) from a central deadline queue polled on the idle
+//! path. Deadlines are machine cycles, so timer behaviour is exactly as
+//! deterministic as everything else in the simulation.
+
+use crate::sync::WaitChannel;
+use std::collections::BTreeMap;
+
+/// Identifier of an armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// What to do when a timer fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimerAction {
+    /// Wake every thread parked on the channel.
+    WakeChannel(WaitChannel),
+    /// Surface an opaque event word to the poller (protocol timers).
+    Event(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    id: TimerId,
+    action: TimerAction,
+    /// Re-arm period (cycles) for periodic timers.
+    period: Option<u64>,
+}
+
+/// A deadline queue ordered by expiry cycle.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    /// (deadline, sequence) → entry; the sequence breaks ties FIFO.
+    queue: BTreeMap<(u64, u64), Entry>,
+    next_id: u64,
+    seq: u64,
+    /// Timers cancelled before firing.
+    pub cancelled: u64,
+    /// Timers fired.
+    pub fired: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot timer at absolute cycle `deadline`.
+    pub fn arm(&mut self, deadline: u64, action: TimerAction) -> TimerId {
+        self.arm_inner(deadline, action, None)
+    }
+
+    /// Arms a periodic timer first firing at `deadline`, then every
+    /// `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (a zero-period timer would livelock
+    /// the poll loop).
+    pub fn arm_periodic(&mut self, deadline: u64, period: u64, action: TimerAction) -> TimerId {
+        assert!(period > 0, "periodic timer needs a nonzero period");
+        self.arm_inner(deadline, action, Some(period))
+    }
+
+    fn arm_inner(&mut self, deadline: u64, action: TimerAction, period: Option<u64>) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.queue.insert((deadline, self.seq), Entry { id, action, period });
+        id
+    }
+
+    /// Cancels a timer; returns `true` if it was still armed.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        let key = self.queue.iter().find(|(_, e)| e.id == id).map(|(&k, _)| k);
+        match key {
+            Some(k) => {
+                self.queue.remove(&k);
+                self.cancelled += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The next deadline, if any (the idle loop sleeps until it).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.queue.keys().next().map(|&(d, _)| d)
+    }
+
+    /// Fires every timer with `deadline <= now`, re-arming periodic ones.
+    /// Returns the actions in deadline order.
+    pub fn poll(&mut self, now: u64) -> Vec<TimerAction> {
+        let mut out = Vec::new();
+        loop {
+            let Some((&key @ (deadline, _), _)) = self.queue.iter().next() else { break };
+            if deadline > now {
+                break;
+            }
+            let entry = self.queue.remove(&key).expect("key just observed");
+            self.fired += 1;
+            out.push(entry.action.clone());
+            if let Some(period) = entry.period {
+                // Skip missed periods instead of flooding (a poll after a
+                // long gap fires once, like a real tickless kernel).
+                let mut next = deadline;
+                while next <= now {
+                    next += period;
+                }
+                self.seq += 1;
+                self.queue.insert((next, self.seq), entry);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CH: WaitChannel = WaitChannel(9);
+
+    #[test]
+    fn one_shot_fires_once_at_deadline() {
+        let mut w = TimerWheel::new();
+        w.arm(100, TimerAction::WakeChannel(CH));
+        assert!(w.poll(99).is_empty());
+        assert_eq!(w.poll(100), vec![TimerAction::WakeChannel(CH)]);
+        assert!(w.poll(1000).is_empty());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order_with_fifo_ties() {
+        let mut w = TimerWheel::new();
+        w.arm(200, TimerAction::Event(2));
+        w.arm(100, TimerAction::Event(1));
+        w.arm(200, TimerAction::Event(3)); // same deadline, armed later
+        let actions = w.poll(500);
+        assert_eq!(
+            actions,
+            vec![TimerAction::Event(1), TimerAction::Event(2), TimerAction::Event(3)]
+        );
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut w = TimerWheel::new();
+        let a = w.arm(100, TimerAction::Event(1));
+        let _b = w.arm(100, TimerAction::Event(2));
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a)); // already gone
+        assert_eq!(w.poll(100), vec![TimerAction::Event(2)]);
+        assert_eq!(w.cancelled, 1);
+    }
+
+    #[test]
+    fn periodic_timers_rearm_and_skip_missed_periods() {
+        let mut w = TimerWheel::new();
+        w.arm_periodic(10, 10, TimerAction::Event(7));
+        assert_eq!(w.poll(10).len(), 1);
+        assert_eq!(w.poll(20).len(), 1);
+        // A long gap: fires once, next deadline is after `now`.
+        assert_eq!(w.poll(95).len(), 1);
+        assert_eq!(w.next_deadline(), Some(100));
+        assert_eq!(w.fired, 3);
+    }
+
+    #[test]
+    fn next_deadline_supports_tickless_idle() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.next_deadline(), None);
+        w.arm(500, TimerAction::Event(0));
+        w.arm(300, TimerAction::Event(1));
+        assert_eq!(w.next_deadline(), Some(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero period")]
+    fn zero_period_is_rejected() {
+        let mut w = TimerWheel::new();
+        w.arm_periodic(10, 0, TimerAction::Event(0));
+    }
+
+    #[test]
+    fn cancelling_a_periodic_timer_stops_it() {
+        let mut w = TimerWheel::new();
+        let t = w.arm_periodic(10, 10, TimerAction::Event(1));
+        w.poll(10);
+        assert!(w.cancel(t));
+        assert!(w.poll(100).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulated virtual CPUs.
+//!
+//! A vCPU carries the architectural state FlexOS cares about: which VM's
+//! address space is active and the current PKRU value. In the MPK backend
+//! all compartments share VM 0 and gates rewrite PKRU; in the VM backend
+//! each compartment's vCPU lives in its own VM and PKRU is unused.
+
+use crate::pkey::Pkru;
+use crate::vm::VmId;
+use core::fmt;
+
+/// Identifier of a simulated vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VcpuId(pub u8);
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcpu{}", self.0)
+    }
+}
+
+/// Architectural state of one simulated vCPU.
+#[derive(Debug, Clone)]
+pub struct Vcpu {
+    /// This vCPU's identity.
+    pub id: VcpuId,
+    /// The VM whose address space is active.
+    pub vm: VmId,
+    /// Current protection-key rights register.
+    pub pkru: Pkru,
+}
+
+impl Vcpu {
+    /// Creates a vCPU attached to `vm` with an allow-all PKRU.
+    pub fn new(id: VcpuId, vm: VmId) -> Self {
+        Self { id, vm, pkru: Pkru::ALLOW_ALL }
+    }
+}
+
+/// How the machine guards writes to PKRU (paper §3: the MPK backend "has
+/// to prevent such unauthorized writes; it can do so via static analysis,
+/// runtime checks or page-table sealing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PkruGuard {
+    /// No guard: any code may execute `wrpkru`. This reproduces the *PKU
+    /// pitfalls* attack surface and exists so tests can show the attack
+    /// succeeding when the guard is off.
+    Off,
+    /// Only call sites holding the gate capability may write PKRU
+    /// (models ERIM-style binary inspection / Hodor-style runtime checks).
+    #[default]
+    GateCapability,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vcpu_starts_permissive() {
+        let v = Vcpu::new(VcpuId(0), VmId(0));
+        assert_eq!(v.pkru, Pkru::ALLOW_ALL);
+        assert_eq!(v.vm, VmId(0));
+    }
+
+    #[test]
+    fn default_guard_is_capability_based() {
+        assert_eq!(PkruGuard::default(), PkruGuard::GateCapability);
+    }
+}

@@ -1,0 +1,164 @@
+//! Physical frame allocator (bitmap-based).
+//!
+//! The machine owns a fixed pool of physical frames; VMs map virtual pages
+//! onto frames handed out here. A simple first-fit bitmap is plenty for the
+//! simulation (allocation happens at boot and on heap growth, never on the
+//! data path), and makes the no-double-allocation invariant easy to audit.
+
+use crate::addr::Pfn;
+use crate::fault::{Fault, Result};
+
+/// Bitmap allocator over the machine's physical frames.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    /// One bit per frame; `true` = allocated.
+    bits: Vec<u64>,
+    total: u64,
+    allocated: u64,
+    /// Rotating search cursor (next-fit) to keep allocation O(1) amortized.
+    cursor: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `total` frames, all free.
+    pub fn new(total: u64) -> Self {
+        let words = (total as usize).div_ceil(64);
+        Self { bits: vec![0; words], total, allocated: 0, cursor: 0 }
+    }
+
+    /// Total number of frames managed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of frames currently free.
+    pub fn free(&self) -> u64 {
+        self.total - self.allocated
+    }
+
+    #[inline]
+    fn is_set(&self, f: u64) -> bool {
+        self.bits[(f / 64) as usize] & (1 << (f % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, f: u64) {
+        self.bits[(f / 64) as usize] |= 1 << (f % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, f: u64) {
+        self.bits[(f / 64) as usize] &= !(1 << (f % 64));
+    }
+
+    /// Allocates one frame.
+    pub fn alloc(&mut self) -> Result<Pfn> {
+        if self.allocated >= self.total {
+            return Err(Fault::OutOfMemory { requested_pages: 1 });
+        }
+        // Next-fit scan starting at the cursor.
+        for i in 0..self.total {
+            let f = (self.cursor + i) % self.total;
+            if !self.is_set(f) {
+                self.set(f);
+                self.allocated += 1;
+                self.cursor = (f + 1) % self.total;
+                return Ok(Pfn(f));
+            }
+        }
+        Err(Fault::OutOfMemory { requested_pages: 1 })
+    }
+
+    /// Allocates `n` frames (not necessarily contiguous).
+    pub fn alloc_many(&mut self, n: u64) -> Result<Vec<Pfn>> {
+        if self.free() < n {
+            return Err(Fault::OutOfMemory { requested_pages: n });
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            // Cannot fail: we checked `free()` and nothing frees in between.
+            out.push(self.alloc()?);
+        }
+        Ok(out)
+    }
+
+    /// Frees a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is out of range or was not allocated — a
+    /// double-free in the simulator is a bug in the caller, not a
+    /// recoverable condition.
+    pub fn dealloc(&mut self, pfn: Pfn) {
+        assert!(pfn.0 < self.total, "frame {} out of range", pfn.0);
+        assert!(self.is_set(pfn.0), "double free of frame {}", pfn.0);
+        self.clear(pfn.0);
+        self.allocated -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_distinct_frames() {
+        let mut fa = FrameAllocator::new(128);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.allocated(), 2);
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_memory() {
+        let mut fa = FrameAllocator::new(2);
+        fa.alloc().unwrap();
+        fa.alloc().unwrap();
+        assert!(matches!(fa.alloc(), Err(Fault::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn dealloc_makes_frame_reusable() {
+        let mut fa = FrameAllocator::new(1);
+        let a = fa.alloc().unwrap();
+        fa.dealloc(a);
+        let b = fa.alloc().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut fa = FrameAllocator::new(4);
+        let a = fa.alloc().unwrap();
+        fa.dealloc(a);
+        fa.dealloc(a);
+    }
+
+    #[test]
+    fn alloc_many_is_all_or_nothing() {
+        let mut fa = FrameAllocator::new(8);
+        fa.alloc_many(6).unwrap();
+        assert!(matches!(fa.alloc_many(3), Err(Fault::OutOfMemory { .. })));
+        // The failed request must not have consumed frames.
+        assert_eq!(fa.free(), 2);
+    }
+
+    #[test]
+    fn bitmap_handles_word_boundaries() {
+        let mut fa = FrameAllocator::new(130);
+        let frames = fa.alloc_many(130).unwrap();
+        assert_eq!(frames.len(), 130);
+        assert_eq!(fa.free(), 0);
+        for f in frames {
+            fa.dealloc(f);
+        }
+        assert_eq!(fa.free(), 130);
+    }
+}

@@ -1,0 +1,629 @@
+//! The top-level simulated machine.
+//!
+//! [`Machine`] owns physical memory, the frame allocator, all VMs and
+//! vCPUs, the cycle clock and the cost table. Every modelled memory access
+//! goes through [`Machine::read`]/[`Machine::write`], which perform the
+//! full enforcement pipeline a real core would:
+//!
+//! 1. page-table walk in the active VM (miss ⇒ page fault / EPT violation),
+//! 2. hardware W-bit check,
+//! 3. protection-key check against the current vCPU's PKRU (when the VM
+//!    has pkeys enabled),
+//! 4. cycle charging (fixed per-access cost + per-byte streaming cost).
+//!
+//! `wrpkru` is guarded according to [`PkruGuard`]: with the default
+//! capability guard, only holders of the machine's [`GateToken`] (i.e. the
+//! isolation backends' vetted gate code) may change PKRU — modelling the
+//! call-site vetting that ERIM does by binary inspection and Hodor by
+//! runtime checking.
+
+use crate::addr::{pages_for, Addr, Vpn, PAGE_SIZE};
+use crate::clock::{Clock, CostTable};
+use crate::cpu::{PkruGuard, Vcpu, VcpuId};
+use crate::fault::{Fault, Result};
+use crate::frame::FrameAllocator;
+use crate::mem::PhysMem;
+use crate::page::{PageEntry, PageFlags};
+use crate::pkey::{Access, Pkru, ProtKey};
+use crate::vm::{Notification, Vm, VmId};
+
+/// First virtual page number of the shared window. Shared regions are
+/// mapped at identical addresses in every VM (paper §3: "mapped in all
+/// compartments (VMs) at an identical address so that pointers to/in
+/// shared structures remain valid"). Placing the window high keeps it
+/// disjoint from every VM's private bump region.
+const SHARED_WINDOW_FIRST_VPN: u64 = 0x8_0000_0000; // 512 GiB up.
+
+/// Capability authorizing PKRU writes (held by gate implementations).
+///
+/// Each machine mints a distinct token at boot, so a token captured from
+/// one machine does not authorize `wrpkru` on another — modelling the
+/// fact that the vetted-call-site property is per-image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateToken(u64);
+
+impl GateToken {
+    fn fresh() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0x464c_4558_4f53); // "FLEXOS"
+        GateToken(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Construction-time configuration of a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of 4 KiB physical frames (default 32 Mi B = 8192 frames).
+    pub phys_frames: u64,
+    /// Per-operation cycle costs.
+    pub costs: CostTable,
+    /// PKRU write-guard policy.
+    pub pkru_guard: PkruGuard,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self { phys_frames: 8192, costs: CostTable::default(), pkru_guard: PkruGuard::default() }
+    }
+}
+
+/// A record of one shared region, replayed into newly added VMs.
+#[derive(Debug, Clone)]
+struct SharedRegion {
+    first_vpn: u64,
+    entries: Vec<PageEntry>,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    costs: CostTable,
+    pkru_guard: PkruGuard,
+    phys: PhysMem,
+    frames: FrameAllocator,
+    vms: Vec<Vm>,
+    vcpus: Vec<Vcpu>,
+    clock: Clock,
+    shared_regions: Vec<SharedRegion>,
+    shared_next_vpn: u64,
+    gate_token: GateToken,
+}
+
+impl Machine {
+    /// Boots a machine with VM 0 (pkeys enabled) and vCPU 0 attached to it.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let vms = vec![Vm::new(VmId(0), true)];
+        let vcpus = vec![Vcpu::new(VcpuId(0), VmId(0))];
+        Self {
+            phys: PhysMem::new(cfg.phys_frames),
+            frames: FrameAllocator::new(cfg.phys_frames),
+            costs: cfg.costs,
+            pkru_guard: cfg.pkru_guard,
+            vms,
+            vcpus,
+            clock: Clock::new(),
+            shared_regions: Vec::new(),
+            shared_next_vpn: SHARED_WINDOW_FIRST_VPN,
+            gate_token: GateToken::fresh(),
+        }
+    }
+
+    /// Boots a machine with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(MachineConfig::default())
+    }
+
+    // ---- topology -------------------------------------------------------
+
+    /// Adds a VM; existing shared regions are mapped into it at the same
+    /// addresses. Returns the new VM's id.
+    pub fn add_vm(&mut self, pkeys_enabled: bool) -> VmId {
+        let id = VmId(self.vms.len() as u8);
+        let mut vm = Vm::new(id, pkeys_enabled);
+        // The shared window lives above every VM's private range by
+        // construction, so mapping it does not perturb the private bump
+        // cursor.
+        for region in &self.shared_regions {
+            for (i, entry) in region.entries.iter().enumerate() {
+                vm.page_table.map(Vpn(region.first_vpn + i as u64), *entry);
+            }
+        }
+        self.vms.push(vm);
+        id
+    }
+
+    /// Adds a vCPU attached to `vm`.
+    pub fn add_vcpu(&mut self, vm: VmId) -> VcpuId {
+        assert!((vm.0 as usize) < self.vms.len(), "unknown {vm}");
+        let id = VcpuId(self.vcpus.len() as u8);
+        self.vcpus.push(Vcpu::new(id, vm));
+        id
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Immutable view of a vCPU's state.
+    pub fn vcpu(&self, id: VcpuId) -> &Vcpu {
+        &self.vcpus[id.0 as usize]
+    }
+
+    // ---- regions --------------------------------------------------------
+
+    /// Allocates `bytes` of fresh memory in `vm`'s private address space,
+    /// tagged with `key`. Returns the base address (page-aligned).
+    pub fn alloc_region(
+        &mut self,
+        vm: VmId,
+        bytes: u64,
+        key: ProtKey,
+        flags: PageFlags,
+    ) -> Result<Addr> {
+        let pages = pages_for(bytes.max(1));
+        let pfns = self.frames.alloc_many(pages)?;
+        let vmref = &mut self.vms[vm.0 as usize];
+        let first = vmref.reserve_vpns(pages);
+        for (i, pfn) in pfns.iter().enumerate() {
+            let ok = vmref
+                .page_table
+                .map(Vpn(first + i as u64), PageEntry { pfn: *pfn, flags, key });
+            assert!(ok, "page table for {vm} is sealed");
+        }
+        Ok(Vpn(first).base())
+    }
+
+    /// Allocates `bytes` of memory mapped at the *same* address in every
+    /// VM (the shared window), tagged with `key`.
+    pub fn alloc_shared_region(&mut self, bytes: u64, key: ProtKey) -> Result<Addr> {
+        let pages = pages_for(bytes.max(1));
+        let pfns = self.frames.alloc_many(pages)?;
+        let first = self.shared_next_vpn;
+        self.shared_next_vpn += pages;
+        let entries: Vec<PageEntry> = pfns
+            .iter()
+            .map(|&pfn| PageEntry { pfn, flags: PageFlags::RW, key })
+            .collect();
+        for vm in &mut self.vms {
+            for (i, entry) in entries.iter().enumerate() {
+                let ok = vm.page_table.map(Vpn(first + i as u64), *entry);
+                assert!(ok, "page table for {} is sealed", vm.id);
+            }
+        }
+        self.shared_regions.push(SharedRegion { first_vpn: first, entries });
+        Ok(Vpn(first).base())
+    }
+
+    /// Re-tags an existing region with a new protection key (memory-manager
+    /// operation; fails if the page table is sealed or pages are unmapped).
+    pub fn set_region_key(&mut self, vm: VmId, base: Addr, bytes: u64, key: ProtKey) -> Result<()> {
+        let pages = pages_for(bytes.max(1));
+        let vmref = &mut self.vms[vm.0 as usize];
+        for i in 0..pages {
+            let vpn = Vpn(base.vpn().0 + i);
+            if !vmref.page_table.set_key(vpn, key) {
+                return Err(Fault::PageNotPresent {
+                    addr: vpn.base(),
+                    vm,
+                    access: Access::Write,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals every VM's page table (the paper's page-table-sealing defense).
+    pub fn seal_page_tables(&mut self) {
+        for vm in &mut self.vms {
+            vm.page_table.seal();
+        }
+    }
+
+    // ---- enforcement pipeline -------------------------------------------
+
+    fn check_one_page(
+        &self,
+        vcpu: &Vcpu,
+        addr: Addr,
+        access: Access,
+    ) -> Result<crate::addr::PhysAddr> {
+        let vm = &self.vms[vcpu.vm.0 as usize];
+        let entry = match vm.page_table.walk(addr.vpn()) {
+            Some(e) => e,
+            None => {
+                // If another VM maps this page privately, report it as an
+                // EPT violation (cross-VM access attempt) for clearer
+                // attack-test diagnostics.
+                let mapped_elsewhere = self
+                    .vms
+                    .iter()
+                    .any(|other| other.id != vm.id && other.page_table.walk(addr.vpn()).is_some());
+                return Err(if mapped_elsewhere {
+                    Fault::VmViolation { addr, vm: vcpu.vm }
+                } else {
+                    Fault::PageNotPresent { addr, vm: vcpu.vm, access }
+                });
+            }
+        };
+        if access == Access::Write && !entry.flags.writable {
+            return Err(Fault::WriteToReadOnly { addr, vm: vcpu.vm });
+        }
+        if vm.pkeys_enabled && !vcpu.pkru.permits(entry.key, access) {
+            return Err(Fault::PkeyViolation { addr, key: entry.key, access });
+        }
+        Ok(crate::addr::PhysAddr(entry.pfn.base().0 + addr.page_offset()))
+    }
+
+    /// Translates and checks a `[addr, addr+len)` access, splitting at page
+    /// boundaries. Returns `(phys_base, run_len)` chunks.
+    fn translate_range(
+        &self,
+        vcpu_id: VcpuId,
+        addr: Addr,
+        len: u64,
+        access: Access,
+    ) -> Result<Vec<(crate::addr::PhysAddr, u64)>> {
+        let vcpu = self.vcpus[vcpu_id.0 as usize].clone();
+        let end = addr.checked_add(len).ok_or(Fault::AddressOverflow { addr, len })?;
+        let mut out = Vec::new();
+        let mut cur = addr;
+        while cur.0 < end.0 {
+            let page_end = cur.page_align_down().0 + PAGE_SIZE;
+            let run = page_end.min(end.0) - cur.0;
+            let pa = self.check_one_page(&vcpu, cur, access)?;
+            out.push((pa, run));
+            cur = Addr(cur.0 + run);
+        }
+        Ok(out)
+    }
+
+    /// Reads `dst.len()` bytes from `addr` as `vcpu`, enforcing paging and
+    /// protection keys, charging cycle costs.
+    pub fn read(&mut self, vcpu: VcpuId, addr: Addr, dst: &mut [u8]) -> Result<()> {
+        let chunks = self.translate_range(vcpu, addr, dst.len() as u64, Access::Read)?;
+        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(dst.len() as u64));
+        let mut off = 0usize;
+        for (pa, run) in chunks {
+            self.phys.read(pa, &mut dst[off..off + run as usize])?;
+            off += run as usize;
+        }
+        Ok(())
+    }
+
+    /// Writes `src` to `addr` as `vcpu`, enforcing paging and protection
+    /// keys, charging cycle costs.
+    pub fn write(&mut self, vcpu: VcpuId, addr: Addr, src: &[u8]) -> Result<()> {
+        let chunks = self.translate_range(vcpu, addr, src.len() as u64, Access::Write)?;
+        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(src.len() as u64));
+        let mut off = 0usize;
+        for (pa, run) in chunks {
+            self.phys.write(pa, &src[off..off + run as usize])?;
+            off += run as usize;
+        }
+        Ok(())
+    }
+
+    /// Fills `[addr, addr+len)` with `value` as `vcpu`.
+    pub fn fill(&mut self, vcpu: VcpuId, addr: Addr, len: u64, value: u8) -> Result<()> {
+        let chunks = self.translate_range(vcpu, addr, len, Access::Write)?;
+        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(len));
+        for (pa, run) in chunks {
+            self.phys.fill(pa, run, value)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&mut self, vcpu: VcpuId, addr: Addr) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(vcpu, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, vcpu: VcpuId, addr: Addr, v: u64) -> Result<()> {
+        self.write(vcpu, addr, &v.to_le_bytes())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within the simulated memory,
+    /// checking read rights on the source and write rights on the
+    /// destination. Charges a single streaming-copy cost.
+    pub fn copy(&mut self, vcpu: VcpuId, dst: Addr, src: Addr, len: u64) -> Result<()> {
+        // Bounce through a host buffer; cycle cost is charged once by the
+        // write path (read path charge reflects the load half).
+        let mut buf = vec![0u8; len as usize];
+        self.read(vcpu, src, &mut buf)?;
+        self.write(vcpu, dst, &buf)
+    }
+
+    // ---- capabilities (CHERI backend) --------------------------------------
+
+    /// Reads through a capability: tag/seal/bounds/permission checks,
+    /// then the normal paging pipeline. Charges the per-access
+    /// capability check on top of the memory costs.
+    pub fn read_via_cap(
+        &mut self,
+        vcpu: VcpuId,
+        cap: &crate::cap::Capability,
+        offset: u64,
+        dst: &mut [u8],
+    ) -> Result<()> {
+        let addr = cap.check_access(offset, dst.len() as u64, false)?;
+        self.clock.advance(self.costs.cap_check);
+        self.read(vcpu, addr, dst)
+    }
+
+    /// Writes through a capability (see [`Machine::read_via_cap`]).
+    pub fn write_via_cap(
+        &mut self,
+        vcpu: VcpuId,
+        cap: &crate::cap::Capability,
+        offset: u64,
+        src: &[u8],
+    ) -> Result<()> {
+        let addr = cap.check_access(offset, src.len() as u64, true)?;
+        self.clock.advance(self.costs.cap_check);
+        self.write(vcpu, addr, src)
+    }
+
+    // ---- PKRU -----------------------------------------------------------
+
+    /// Returns the machine's gate capability. Isolation backends call this
+    /// once at image-build time; application/library code must never hold
+    /// it. (In real FlexOS the equivalent authority is "being one of the
+    /// vetted `wrpkru` call sites".)
+    pub fn gate_token(&self) -> GateToken {
+        self.gate_token
+    }
+
+    /// Executes `wrpkru` on `vcpu`. Under [`PkruGuard::GateCapability`],
+    /// `token` must be the machine's gate token or the write faults —
+    /// modelling FlexOS's defenses against unauthorized PKRU writes.
+    pub fn wrpkru(&mut self, vcpu: VcpuId, pkru: Pkru, token: Option<GateToken>) -> Result<()> {
+        match self.pkru_guard {
+            PkruGuard::Off => {}
+            PkruGuard::GateCapability => {
+                if token != Some(self.gate_token) {
+                    return Err(Fault::UnauthorizedPkruWrite { attempted: pkru.0 });
+                }
+            }
+        }
+        self.clock.advance(self.costs.wrpkru);
+        self.vcpus[vcpu.0 as usize].pkru = pkru;
+        Ok(())
+    }
+
+    /// Reads `vcpu`'s PKRU (free: `rdpkru` is cheap and off the hot path).
+    pub fn rdpkru(&self, vcpu: VcpuId) -> Pkru {
+        self.vcpus[vcpu.0 as usize].pkru
+    }
+
+    /// Restores a saved PKRU during a context switch. This is the
+    /// scheduler's privileged path (the paper: "the scheduler holds the
+    /// value of the PKRU for threads that are not currently running") —
+    /// it still requires the gate capability.
+    pub fn restore_pkru(&mut self, vcpu: VcpuId, pkru: Pkru, token: GateToken) -> Result<()> {
+        self.wrpkru(vcpu, pkru, Some(token))
+    }
+
+    // ---- inter-VM notifications ------------------------------------------
+
+    /// Sends an inter-VM notification from `from`'s VM to `target`,
+    /// charging the one-way notification cost.
+    pub fn notify(&mut self, from: VcpuId, target: VmId, word: u64) -> Result<()> {
+        assert!((target.0 as usize) < self.vms.len(), "unknown {target}");
+        let from_vm = self.vcpus[from.0 as usize].vm;
+        self.clock.advance(self.costs.vm_notify);
+        self.vms[target.0 as usize].post(Notification { from: from_vm, word });
+        Ok(())
+    }
+
+    /// Dequeues the oldest pending notification for `vm`.
+    pub fn take_notification(&mut self, vm: VmId) -> Option<Notification> {
+        self.vms[vm.0 as usize].take_notification()
+    }
+
+    // ---- clock ------------------------------------------------------------
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Charges `cycles` to the clock (used by higher layers for modelled
+    /// work that does not flow through `read`/`write`).
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    /// The machine's cost table.
+    pub fn costs(&self) -> &CostTable {
+        &self.costs
+    }
+
+    /// Remaining free physical frames.
+    pub fn free_frames(&self) -> u64 {
+        self.frames.free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::with_defaults()
+    }
+
+    #[test]
+    fn boot_creates_vm0_and_vcpu0() {
+        let m = machine();
+        assert_eq!(m.vm_count(), 1);
+        assert_eq!(m.vcpu(VcpuId(0)).vm, VmId(0));
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 8192, ProtKey(1), PageFlags::RW).unwrap();
+        m.write(VcpuId(0), a, b"hello-flexos").unwrap();
+        let mut buf = [0u8; 12];
+        m.read(VcpuId(0), a, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello-flexos");
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 2 * PAGE_SIZE, ProtKey(0), PageFlags::RW).unwrap();
+        let straddle = Addr(a.0 + PAGE_SIZE - 3);
+        m.write(VcpuId(0), straddle, b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        m.read(VcpuId(0), straddle, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn pkey_denial_faults_the_write() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 128, ProtKey(3), PageFlags::RW).unwrap();
+        let tok = m.gate_token();
+        let restrictive = Pkru::deny_all_except(&[ProtKey(0)], &[]);
+        m.wrpkru(VcpuId(0), restrictive, Some(tok)).unwrap();
+        let err = m.write(VcpuId(0), a, b"x").unwrap_err();
+        assert!(matches!(err, Fault::PkeyViolation { key: ProtKey(3), .. }));
+        // Reads denied too (AD bit).
+        let mut b = [0u8; 1];
+        assert!(m.read(VcpuId(0), a, &mut b).is_err());
+    }
+
+    #[test]
+    fn read_only_key_permits_reads_only() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 128, ProtKey(2), PageFlags::RW).unwrap();
+        let tok = m.gate_token();
+        let pkru = Pkru::deny_all_except(&[ProtKey(0)], &[ProtKey(2)]);
+        m.wrpkru(VcpuId(0), pkru, Some(tok)).unwrap();
+        let mut b = [0u8; 1];
+        m.read(VcpuId(0), a, &mut b).unwrap();
+        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::PkeyViolation { .. })));
+    }
+
+    #[test]
+    fn unauthorized_wrpkru_is_caught() {
+        let mut m = machine();
+        let err = m.wrpkru(VcpuId(0), Pkru::ALLOW_ALL, None).unwrap_err();
+        assert!(matches!(err, Fault::UnauthorizedPkruWrite { .. }));
+    }
+
+    #[test]
+    fn wrpkru_guard_off_reproduces_pku_pitfalls() {
+        let mut m = Machine::new(MachineConfig { pkru_guard: PkruGuard::Off, ..Default::default() });
+        // Attacker escalates without the token.
+        m.wrpkru(VcpuId(0), Pkru::ALLOW_ALL, None).unwrap();
+    }
+
+    #[test]
+    fn private_vm_memory_is_invisible_to_other_vms() {
+        let mut m = machine();
+        let vm1 = m.add_vm(false);
+        let vcpu1 = m.add_vcpu(vm1);
+        let secret = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW).unwrap();
+        m.write(VcpuId(0), secret, b"secret").unwrap();
+        let mut buf = [0u8; 6];
+        let err = m.read(vcpu1, secret, &mut buf).unwrap_err();
+        assert!(matches!(err, Fault::VmViolation { .. }));
+    }
+
+    #[test]
+    fn shared_window_is_visible_to_all_vms_at_same_address() {
+        let mut m = machine();
+        let shared = m.alloc_shared_region(4096, ProtKey(0)).unwrap();
+        let vm1 = m.add_vm(false); // Added *after* the shared alloc.
+        let vcpu1 = m.add_vcpu(vm1);
+        m.write(VcpuId(0), shared, b"rpc-frame").unwrap();
+        let mut buf = [0u8; 9];
+        m.read(vcpu1, shared, &mut buf).unwrap();
+        assert_eq!(&buf, b"rpc-frame");
+    }
+
+    #[test]
+    fn notifications_cost_cycles_and_arrive_fifo() {
+        let mut m = machine();
+        let vm1 = m.add_vm(false);
+        let before = m.clock().cycles();
+        m.notify(VcpuId(0), vm1, 7).unwrap();
+        assert_eq!(m.clock().cycles() - before, m.costs().vm_notify);
+        let n = m.take_notification(vm1).unwrap();
+        assert_eq!(n.word, 7);
+        assert_eq!(n.from, VmId(0));
+    }
+
+    #[test]
+    fn memory_accesses_advance_the_clock() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let c0 = m.clock().cycles();
+        m.write(VcpuId(0), a, &[0u8; 4096]).unwrap();
+        let charged = m.clock().cycles() - c0;
+        assert_eq!(charged, m.costs().mem_access + m.costs().copy_cost(4096));
+    }
+
+    #[test]
+    fn write_to_read_only_page_faults() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RO).unwrap();
+        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::WriteToReadOnly { .. })));
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = machine();
+        let mut b = [0u8; 1];
+        assert!(matches!(
+            m.read(VcpuId(0), Addr(0), &mut b),
+            Err(Fault::PageNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn set_region_key_retags() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
+        m.set_region_key(VmId(0), a, 4096, ProtKey(4)).unwrap();
+        let tok = m.gate_token();
+        let pkru = Pkru::deny_all_except(&[ProtKey(1)], &[]);
+        m.wrpkru(VcpuId(0), pkru, Some(tok)).unwrap();
+        // Now tagged key 4, which the PKRU denies.
+        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::PkeyViolation { .. })));
+    }
+
+    #[test]
+    fn sealed_page_tables_reject_retag() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
+        m.seal_page_tables();
+        assert!(m.set_region_key(VmId(0), a, 4096, ProtKey(2)).is_err());
+    }
+
+    #[test]
+    fn copy_moves_bytes_between_regions() {
+        let mut m = machine();
+        let src = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let dst = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        m.write(VcpuId(0), src, b"payload").unwrap();
+        m.copy(VcpuId(0), dst, src, 7).unwrap();
+        let mut buf = [0u8; 7];
+        m.read(VcpuId(0), dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn u64_helpers_round_trip() {
+        let mut m = machine();
+        let a = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW).unwrap();
+        m.write_u64(VcpuId(0), a, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(VcpuId(0), a).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+}

@@ -1,0 +1,218 @@
+//! Memory Protection Keys: `ProtKey`, the PKRU register, and access checks.
+//!
+//! This module models Intel MPK semantics as specified in the SDM Vol. 3A
+//! §4.6.2 (the paper's reference \[1\]):
+//!
+//! * every user page carries a 4-bit protection key (16 keys);
+//! * the per-thread `PKRU` register holds two bits per key — **AD** (access
+//!   disable) and **WD** (write disable);
+//! * a read is allowed iff `AD(key) == 0`; a write additionally requires
+//!   `WD(key) == 0`;
+//! * instruction fetches are *not* checked by MPK (which is why FlexOS pairs
+//!   MPK with CFI when control-flow integrity is required).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Number of protection keys provided by the hardware (Intel MPK: 16).
+pub const NUM_KEYS: u8 = 16;
+
+/// The key assigned by default to pages not explicitly tagged: key 0 is
+/// conventionally the "default" domain accessible to everyone.
+pub const DEFAULT_KEY: ProtKey = ProtKey(0);
+
+/// A memory protection key (0..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProtKey(pub u8);
+
+impl ProtKey {
+    /// Creates a key, returning `None` if `k` is out of the hardware range.
+    pub fn new(k: u8) -> Option<Self> {
+        (k < NUM_KEYS).then_some(ProtKey(k))
+    }
+}
+
+impl fmt::Display for ProtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkey{}", self.0)
+    }
+}
+
+/// The kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+/// The per-thread PKRU register: bits `2k` (AD) and `2k+1` (WD) per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pkru(pub u32);
+
+impl Default for Pkru {
+    /// The hardware reset value denies nothing; FlexOS compartments are
+    /// instead initialized via [`Pkru::deny_all_except`].
+    fn default() -> Self {
+        Pkru(0)
+    }
+}
+
+impl Pkru {
+    /// A PKRU value that permits every access to every key.
+    pub const ALLOW_ALL: Pkru = Pkru(0);
+
+    /// Returns `true` if the access-disable bit is set for `key`.
+    #[inline]
+    pub fn access_disabled(self, key: ProtKey) -> bool {
+        self.0 & (1 << (2 * key.0)) != 0
+    }
+
+    /// Returns `true` if the write-disable bit is set for `key`.
+    #[inline]
+    pub fn write_disabled(self, key: ProtKey) -> bool {
+        self.0 & (1 << (2 * key.0 + 1)) != 0
+    }
+
+    /// Checks whether `access` to a page tagged `key` is permitted.
+    #[inline]
+    pub fn permits(self, key: ProtKey, access: Access) -> bool {
+        match access {
+            Access::Read => !self.access_disabled(key),
+            Access::Write => !self.access_disabled(key) && !self.write_disabled(key),
+        }
+    }
+
+    /// Returns a PKRU with all access to `key` disabled.
+    #[must_use]
+    pub fn deny(self, key: ProtKey) -> Pkru {
+        Pkru(self.0 | (0b11 << (2 * key.0)))
+    }
+
+    /// Returns a PKRU allowing full access to `key`.
+    #[must_use]
+    pub fn allow(self, key: ProtKey) -> Pkru {
+        Pkru(self.0 & !(0b11 << (2 * key.0)))
+    }
+
+    /// Returns a PKRU allowing reads but denying writes to `key`.
+    #[must_use]
+    pub fn allow_read_only(self, key: ProtKey) -> Pkru {
+        Pkru((self.0 & !(0b11 << (2 * key.0))) | (0b10 << (2 * key.0)))
+    }
+
+    /// Builds the PKRU for a compartment: full access to the keys in
+    /// `allowed`, read-only access to the keys in `read_only`, everything
+    /// else denied. Key 0 is included in `allowed` implicitly only if
+    /// listed — FlexOS uses key 0 for the shared domain and passes it
+    /// explicitly.
+    pub fn deny_all_except(allowed: &[ProtKey], read_only: &[ProtKey]) -> Pkru {
+        let mut pkru = Pkru(0);
+        for k in 0..NUM_KEYS {
+            pkru = pkru.deny(ProtKey(k));
+        }
+        for &k in read_only {
+            pkru = pkru.allow_read_only(k);
+        }
+        for &k in allowed {
+            pkru = pkru.allow(k);
+        }
+        pkru
+    }
+
+    /// Returns `true` if `self` permits every access that `other` permits
+    /// (i.e. `self` is at least as permissive).
+    pub fn at_least_as_permissive_as(self, other: Pkru) -> bool {
+        for k in 0..NUM_KEYS {
+            let key = ProtKey(k);
+            for access in [Access::Read, Access::Write] {
+                if other.permits(key, access) && !self.permits(key, access) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PKRU={:#010x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_constructor_validates_range() {
+        assert!(ProtKey::new(0).is_some());
+        assert!(ProtKey::new(15).is_some());
+        assert!(ProtKey::new(16).is_none());
+    }
+
+    #[test]
+    fn allow_all_permits_everything() {
+        for k in 0..NUM_KEYS {
+            assert!(Pkru::ALLOW_ALL.permits(ProtKey(k), Access::Read));
+            assert!(Pkru::ALLOW_ALL.permits(ProtKey(k), Access::Write));
+        }
+    }
+
+    #[test]
+    fn deny_blocks_read_and_write() {
+        let p = Pkru::ALLOW_ALL.deny(ProtKey(3));
+        assert!(!p.permits(ProtKey(3), Access::Read));
+        assert!(!p.permits(ProtKey(3), Access::Write));
+        // Other keys untouched.
+        assert!(p.permits(ProtKey(2), Access::Write));
+    }
+
+    #[test]
+    fn read_only_blocks_only_writes() {
+        let p = Pkru::ALLOW_ALL.allow_read_only(ProtKey(5));
+        assert!(p.permits(ProtKey(5), Access::Read));
+        assert!(!p.permits(ProtKey(5), Access::Write));
+    }
+
+    #[test]
+    fn allow_clears_previous_denial() {
+        let p = Pkru::ALLOW_ALL.deny(ProtKey(7)).allow(ProtKey(7));
+        assert!(p.permits(ProtKey(7), Access::Write));
+    }
+
+    #[test]
+    fn deny_all_except_builds_compartment_view() {
+        let p = Pkru::deny_all_except(&[ProtKey(0), ProtKey(4)], &[ProtKey(9)]);
+        assert!(p.permits(ProtKey(0), Access::Write));
+        assert!(p.permits(ProtKey(4), Access::Write));
+        assert!(p.permits(ProtKey(9), Access::Read));
+        assert!(!p.permits(ProtKey(9), Access::Write));
+        assert!(!p.permits(ProtKey(1), Access::Read));
+        assert!(!p.permits(ProtKey(15), Access::Read));
+    }
+
+    #[test]
+    fn permissiveness_partial_order() {
+        let all = Pkru::ALLOW_ALL;
+        let some = Pkru::deny_all_except(&[ProtKey(0)], &[]);
+        assert!(all.at_least_as_permissive_as(some));
+        assert!(!some.at_least_as_permissive_as(all));
+        assert!(some.at_least_as_permissive_as(some));
+    }
+
+    #[test]
+    fn pkru_bit_layout_matches_sdm() {
+        // SDM: bit 2k = AD, bit 2k+1 = WD.
+        let p = Pkru(0b01); // AD for key 0.
+        assert!(p.access_disabled(ProtKey(0)));
+        assert!(!p.write_disabled(ProtKey(0)));
+        let p = Pkru(0b10); // WD for key 0.
+        assert!(!p.access_disabled(ProtKey(0)));
+        assert!(p.write_disabled(ProtKey(0)));
+        assert!(p.permits(ProtKey(0), Access::Read));
+        assert!(!p.permits(ProtKey(0), Access::Write));
+    }
+}

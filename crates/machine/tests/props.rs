@@ -1,0 +1,97 @@
+//! Property tests for the simulated machine's protection semantics.
+
+use flexos_machine::{
+    Access, Addr, Machine, PageFlags, Pkru, ProtKey, VcpuId, VmId, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+fn arb_pkru() -> impl Strategy<Value = Pkru> {
+    any::<u32>().prop_map(Pkru)
+}
+
+fn arb_key() -> impl Strategy<Value = ProtKey> {
+    (0u8..16).prop_map(ProtKey)
+}
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    prop_oneof![Just(Access::Read), Just(Access::Write)]
+}
+
+proptest! {
+    /// If `a` permits everything `b` permits (per the lattice helper),
+    /// then for every key/access, `b` permitting implies `a` permitting.
+    #[test]
+    fn pkru_permissiveness_is_sound(a in arb_pkru(), b in arb_pkru(),
+                                    key in arb_key(), access in arb_access()) {
+        if a.at_least_as_permissive_as(b) && b.permits(key, access) {
+            prop_assert!(a.permits(key, access));
+        }
+    }
+
+    /// Write permission never exceeds read permission (AD dominates WD).
+    #[test]
+    fn pkru_write_implies_read(p in arb_pkru(), key in arb_key()) {
+        if p.permits(key, Access::Write) {
+            prop_assert!(p.permits(key, Access::Read));
+        }
+    }
+
+    /// `deny_all_except` grants exactly what it is told to.
+    #[test]
+    fn deny_all_except_is_exact(allowed in prop::collection::btree_set(0u8..16, 0..4),
+                                read_only in prop::collection::btree_set(0u8..16, 0..4)) {
+        let allowed: Vec<ProtKey> = allowed.iter().map(|&k| ProtKey(k)).collect();
+        let ro: Vec<ProtKey> = read_only.iter()
+            .filter(|k| !allowed.iter().any(|a| a.0 == **k))
+            .map(|&k| ProtKey(k))
+            .collect();
+        let p = Pkru::deny_all_except(&allowed, &ro);
+        for k in 0..16u8 {
+            let key = ProtKey(k);
+            let in_allowed = allowed.contains(&key);
+            let in_ro = ro.contains(&key);
+            prop_assert_eq!(p.permits(key, Access::Write), in_allowed);
+            prop_assert_eq!(p.permits(key, Access::Read), in_allowed || in_ro);
+        }
+    }
+
+    /// Data written through the machine is read back identically across
+    /// arbitrary offsets and lengths (incl. page straddles), and a write
+    /// denied by PKRU leaves memory untouched.
+    #[test]
+    fn machine_write_read_round_trip(off in 0u64..(3 * PAGE_SIZE), data in prop::collection::vec(any::<u8>(), 1..256)) {
+        let mut m = Machine::with_defaults();
+        let base = m.alloc_region(VmId(0), 4 * PAGE_SIZE, ProtKey(1), PageFlags::RW).unwrap();
+        let at = Addr(base.0 + off);
+        m.write(VcpuId(0), at, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(VcpuId(0), at, &mut back).unwrap();
+        prop_assert_eq!(&back, &data);
+
+        // Lock the region out and verify the write is rejected and
+        // nothing changed.
+        let tok = m.gate_token();
+        m.wrpkru(VcpuId(0), Pkru::deny_all_except(&[ProtKey(0)], &[ProtKey(1)]), Some(tok)).unwrap();
+        let attack = vec![0xFFu8; data.len()];
+        prop_assert!(m.write(VcpuId(0), at, &attack).is_err());
+        let mut after = vec![0u8; data.len()];
+        m.read(VcpuId(0), at, &mut after).unwrap();
+        prop_assert_eq!(&after, &data);
+    }
+
+    /// Cycle accounting is monotone and exact for memory traffic.
+    #[test]
+    fn clock_charges_are_monotone(lens in prop::collection::vec(1u64..2048, 1..20)) {
+        let mut m = Machine::with_defaults();
+        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let mut last = m.clock().cycles();
+        for (i, &len) in lens.iter().enumerate() {
+            let buf = vec![0u8; len as usize];
+            m.write(VcpuId(0), Addr(base.0 + (i as u64 * 4096) % (1 << 19)), &buf).unwrap();
+            let now = m.clock().cycles();
+            let expected = m.costs().mem_access + m.costs().copy_cost(len);
+            prop_assert_eq!(now - last, expected);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # flexos-net — the network-stack substrate
+//!
+//! A from-scratch TCP/IP stack playing the role lwIP plays in the
+//! FlexOS prototype's evaluation images:
+//!
+//! * [`wire`] — real Ethernet/IPv4/TCP/UDP header formats with Internet
+//!   checksums;
+//! * [`tcp`] — a full TCP endpoint state machine (handshake, reliable
+//!   bidirectional transfer, out-of-order reassembly, retransmission,
+//!   flow control, FIN/RST teardown);
+//! * [`nic`] — simulated NICs and a point-to-point link with
+//!   deterministic fault injection (drops, reordering);
+//! * [`ring`] — socket receive rings living in *simulated* memory, so
+//!   every payload byte is protection-checked and cycle-charged;
+//! * [`stack`] — the socket API (`listen`/`accept`/`connect`/`send`/
+//!   `recv`, plus UDP) and the poll loop, with per-packet cost
+//!   accounting (including the Xen hypervisor tax used by Figure 3's
+//!   Xen curves).
+//!
+//! The iperf and Redis workloads of the paper's §4 run over this stack
+//! in the `flexos-apps` crate, with the stack placed in its own
+//! compartment by the FlexOS build system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nic;
+pub mod ring;
+pub mod stack;
+pub mod tcp;
+pub mod wire;
+
+pub use nic::{Link, LinkFaults, Nic, NicStats};
+pub use ring::SimRing;
+pub use stack::{NetError, NetResult, NetStack, SocketId, StackStats};
+pub use tcp::{TcpConfig, TcpConn, TcpState};
+pub use wire::{Mac, MSS, MTU};

@@ -1,0 +1,196 @@
+//! Simulated NICs and the link connecting them.
+//!
+//! A [`Nic`] is a pair of frame queues (the virtio-net role in the
+//! paper's images); a [`Link`] moves frames between two NICs and can
+//! inject deterministic faults (drops, reordering) to exercise TCP's
+//! recovery paths.
+
+use crate::wire::Mac;
+use std::collections::VecDeque;
+
+/// NIC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames received (into the rx queue).
+    pub rx_frames: u64,
+    /// Frames sent (out of the tx queue).
+    pub tx_frames: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+}
+
+/// A simulated network interface.
+#[derive(Debug)]
+pub struct Nic {
+    /// The NIC's MAC address.
+    pub mac: Mac,
+    rx: VecDeque<Vec<u8>>,
+    tx: VecDeque<Vec<u8>>,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates a NIC with the given MAC.
+    pub fn new(mac: Mac) -> Self {
+        Self { mac, rx: VecDeque::new(), tx: VecDeque::new(), stats: NicStats::default() }
+    }
+
+    /// Enqueues an outgoing frame.
+    pub fn push_tx(&mut self, frame: Vec<u8>) {
+        self.stats.tx_frames += 1;
+        self.stats.tx_bytes += frame.len() as u64;
+        self.tx.push_back(frame);
+    }
+
+    /// Dequeues an outgoing frame (link side).
+    pub fn pop_tx(&mut self) -> Option<Vec<u8>> {
+        self.tx.pop_front()
+    }
+
+    /// Enqueues an incoming frame (link side).
+    pub fn push_rx(&mut self, frame: Vec<u8>) {
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += frame.len() as u64;
+        self.rx.push_back(frame);
+    }
+
+    /// Dequeues an incoming frame (stack side).
+    pub fn pop_rx(&mut self) -> Option<Vec<u8>> {
+        self.rx.pop_front()
+    }
+
+    /// Whether frames are waiting in the rx queue.
+    pub fn has_rx(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
+    /// Whether frames are waiting in the tx queue.
+    pub fn has_tx(&self) -> bool {
+        !self.tx.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+}
+
+/// Deterministic link-fault injection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkFaults {
+    /// Drop every `n`-th frame (1-based count across the link lifetime).
+    pub drop_every: Option<u64>,
+    /// Swap every `n`-th frame with its successor.
+    pub reorder_every: Option<u64>,
+}
+
+/// A point-to-point link between two NICs.
+#[derive(Debug, Default)]
+pub struct Link {
+    /// Fault-injection configuration.
+    pub faults: LinkFaults,
+    counter: u64,
+    /// Frames dropped so far.
+    pub dropped: u64,
+    /// Frame pairs reordered so far.
+    pub reordered: u64,
+}
+
+impl Link {
+    /// A fault-free link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A link with fault injection.
+    pub fn with_faults(faults: LinkFaults) -> Self {
+        Self { faults, ..Self::default() }
+    }
+
+    /// Moves every queued frame from `from`'s tx to `to`'s rx, applying
+    /// faults. Returns frames delivered.
+    pub fn transfer(&mut self, from: &mut Nic, to: &mut Nic) -> usize {
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        while let Some(f) = from.pop_tx() {
+            self.counter += 1;
+            if let Some(n) = self.faults.drop_every {
+                if self.counter.is_multiple_of(n) {
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            batch.push(f);
+        }
+        if let Some(n) = self.faults.reorder_every {
+            let mut i = 0;
+            while i + 1 < batch.len() {
+                if (i as u64 + 1).is_multiple_of(n) {
+                    batch.swap(i, i + 1);
+                    self.reordered += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let delivered = batch.len();
+        for f in batch {
+            to.push_rx(f);
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8) -> Vec<u8> {
+        vec![tag; 60]
+    }
+
+    #[test]
+    fn transfer_moves_frames_in_order() {
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        a.push_tx(frame(1));
+        a.push_tx(frame(2));
+        let mut link = Link::new();
+        assert_eq!(link.transfer(&mut a, &mut b), 2);
+        assert_eq!(b.pop_rx().unwrap()[0], 1);
+        assert_eq!(b.pop_rx().unwrap()[0], 2);
+        assert_eq!(a.stats().tx_frames, 2);
+        assert_eq!(b.stats().rx_frames, 2);
+    }
+
+    #[test]
+    fn drop_every_discards_deterministically() {
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        for i in 0..6 {
+            a.push_tx(frame(i));
+        }
+        let mut link = Link::with_faults(LinkFaults { drop_every: Some(3), reorder_every: None });
+        assert_eq!(link.transfer(&mut a, &mut b), 4);
+        assert_eq!(link.dropped, 2);
+        let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
+        assert_eq!(tags, vec![0, 1, 3, 4]); // frames 2 and 5 dropped
+    }
+
+    #[test]
+    fn reorder_every_swaps_neighbours() {
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        for i in 0..4 {
+            a.push_tx(frame(i));
+        }
+        let mut link = Link::with_faults(LinkFaults { drop_every: None, reorder_every: Some(2) });
+        link.transfer(&mut a, &mut b);
+        let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
+        // The 2nd frame (1-based) swaps with its successor.
+        assert_eq!(tags, vec![0, 2, 1, 3]);
+        assert_eq!(link.reordered, 1);
+    }
+}

@@ -1,0 +1,841 @@
+//! The network-stack micro-library: sockets, demux, and the poll loop.
+//!
+//! [`NetStack`] is the lwIP-role component of the FlexOS images: it owns
+//! the NIC, the TCP/UDP port tables and every socket's receive ring (in
+//! the stack compartment's simulated memory), and exposes the socket API
+//! the paper's listing shows being gated (`rc = listen(sockfd, 5)` →
+//! `uk_gate_r(rc, listen, sockfd, 5)`).
+//!
+//! Cost accounting: every received frame pays NIC + per-packet protocol
+//! costs (plus the hypervisor tax on Xen); every emitted segment pays the
+//! same on the way out; checksums pay a per-byte streaming cost; payload
+//! movement in/out of socket rings runs through the simulated machine and
+//! is charged (and protection-checked) there.
+
+use crate::nic::Nic;
+use crate::ring::SimRing;
+use crate::tcp::{SegmentOut, TcpConfig, TcpConn};
+use crate::wire::{
+    build_tcp_frame, build_udp_frame, EthHeader, Ipv4Header, Mac, TcpFlags, TcpHeader, UdpHeader,
+    ETHERTYPE_IPV4, ETH_LEN, IPV4_LEN, PROTO_TCP, PROTO_UDP, UDP_LEN,
+};
+use flexos_machine::{Addr, Fault, Machine, VcpuId};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Socket-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The operation would block; retry after progress.
+    WouldBlock,
+    /// The connection is closed (EOF or reset).
+    Closed,
+    /// The port is already bound.
+    AddrInUse,
+    /// Unknown or wrong-kind socket.
+    InvalidSocket,
+    /// The stack's buffer pool is exhausted.
+    NoBuffers,
+    /// A machine fault surfaced during the operation.
+    Fault(Fault),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::WouldBlock => write!(f, "operation would block"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::AddrInUse => write!(f, "address in use"),
+            NetError::InvalidSocket => write!(f, "invalid socket"),
+            NetError::NoBuffers => write!(f, "no buffers"),
+            NetError::Fault(fault) => write!(f, "fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<Fault> for NetError {
+    fn from(f: Fault) -> Self {
+        NetError::Fault(f)
+    }
+}
+
+/// Socket-layer result.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// A socket handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId(pub usize);
+
+/// Receive-ring capacity per TCP socket.
+pub const SOCK_RX_RING: u64 = 64 * 1024;
+
+/// Maximum queued datagrams per UDP socket.
+pub const UDP_QUEUE_DEPTH: usize = 64;
+
+#[derive(Debug)]
+enum Sock {
+    TcpListen {
+        port: u16,
+        backlog: VecDeque<SocketId>,
+    },
+    TcpStream {
+        conn: TcpConn,
+        rx: SimRing,
+        remote: (u32, u16),
+    },
+    Udp {
+        port: u16,
+        rx: VecDeque<(u32, u16, Vec<u8>)>,
+    },
+}
+
+/// Stack counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// TCP segments received and accepted.
+    pub rx_segments: u64,
+    /// TCP segments emitted.
+    pub tx_segments: u64,
+    /// Frames dropped at demux (bad checksum, no listener, …).
+    pub demux_drops: u64,
+    /// UDP datagrams received.
+    pub rx_datagrams: u64,
+}
+
+/// A simple bump pool for socket receive rings, carved out of the
+/// stack compartment's memory.
+#[derive(Debug, Clone)]
+struct BufPool {
+    base: Addr,
+    len: u64,
+    next: u64,
+}
+
+impl BufPool {
+    fn carve(&mut self, bytes: u64) -> Option<Addr> {
+        if self.next + bytes > self.len {
+            return None;
+        }
+        let a = Addr(self.base.0 + self.next);
+        self.next += bytes;
+        Some(a)
+    }
+}
+
+/// The network stack.
+#[derive(Debug)]
+pub struct NetStack {
+    /// Our IPv4 address.
+    pub ip: u32,
+    mac: Mac,
+    /// The owned NIC.
+    pub nic: Nic,
+    socks: Vec<Option<Sock>>,
+    listeners: BTreeMap<u16, SocketId>,
+    conns: BTreeMap<(u16, u32, u16), SocketId>,
+    udp_ports: BTreeMap<u16, SocketId>,
+    pool: BufPool,
+    tcp_cfg: TcpConfig,
+    next_ephemeral: u16,
+    iss: u32,
+    ip_ident: u16,
+    /// Extra per-packet cycles (the Xen hypervisor tax; 0 on KVM).
+    pub extra_per_packet: u64,
+    /// Extra per-packet cycles charged when the stack compartment runs
+    /// with software hardening (instrumented packet processing).
+    pub sh_per_packet: u64,
+    /// Extra cycles per 16 payload bytes under hardening (ASAN-style
+    /// per-granule checks on the stack's buffer handling).
+    pub sh_per_16_bytes: u64,
+    stats: StackStats,
+}
+
+impl NetStack {
+    /// Creates a stack owning `nic`, with `pool_base..pool_base+pool_len`
+    /// of the stack compartment's memory available for socket rings.
+    pub fn new(ip: u32, nic: Nic, pool_base: Addr, pool_len: u64) -> Self {
+        Self {
+            ip,
+            mac: nic.mac,
+            nic,
+            socks: Vec::new(),
+            listeners: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            udp_ports: BTreeMap::new(),
+            pool: BufPool { base: pool_base, len: pool_len, next: 0 },
+            tcp_cfg: TcpConfig::default(),
+            next_ephemeral: 49152,
+            iss: 0x1000,
+            ip_ident: 1,
+            extra_per_packet: 0,
+            sh_per_packet: 0,
+            sh_per_16_bytes: 0,
+            stats: StackStats::default(),
+        }
+    }
+
+    #[inline]
+    fn packet_tax(&self, payload_len: u64) -> u64 {
+        self.extra_per_packet
+            + self.sh_per_packet
+            + self.sh_per_16_bytes * payload_len.div_ceil(16)
+    }
+
+    /// Overrides the TCP configuration used for new connections.
+    pub fn set_tcp_config(&mut self, cfg: TcpConfig) {
+        self.tcp_cfg = cfg;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    fn insert(&mut self, s: Sock) -> SocketId {
+        for (i, slot) in self.socks.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(s);
+                return SocketId(i);
+            }
+        }
+        self.socks.push(Some(s));
+        SocketId(self.socks.len() - 1)
+    }
+
+    fn sock(&mut self, id: SocketId) -> NetResult<&mut Sock> {
+        self.socks
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(NetError::InvalidSocket)
+    }
+
+    fn next_iss(&mut self) -> u32 {
+        self.iss = self.iss.wrapping_add(0x3919);
+        self.iss
+    }
+
+    // --- socket API ------------------------------------------------------------
+
+    /// Opens a TCP listener on `port`.
+    pub fn tcp_listen(&mut self, port: u16) -> NetResult<SocketId> {
+        if self.listeners.contains_key(&port) {
+            return Err(NetError::AddrInUse);
+        }
+        let id = self.insert(Sock::TcpListen { port, backlog: VecDeque::new() });
+        self.listeners.insert(port, id);
+        Ok(id)
+    }
+
+    /// Accepts a pending connection, if any.
+    pub fn tcp_accept(&mut self, listener: SocketId) -> NetResult<Option<SocketId>> {
+        match self.sock(listener)? {
+            Sock::TcpListen { backlog, .. } => Ok(backlog.pop_front()),
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Initiates an active connection to `dst_ip:dst_port`; the SYN goes
+    /// out on the next flush. Completion is reported by
+    /// [`NetStack::tcp_is_established`].
+    pub fn tcp_connect(&mut self, dst_ip: u32, dst_port: u16) -> NetResult<SocketId> {
+        let local_port = self.next_ephemeral;
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(49152);
+        let iss = self.next_iss();
+        let (conn, syn) = TcpConn::connect(local_port, dst_port, iss, self.tcp_cfg.clone());
+        let rx_base = self.pool.carve(SOCK_RX_RING).ok_or(NetError::NoBuffers)?;
+        let id = self.insert(Sock::TcpStream {
+            conn,
+            rx: SimRing::new(rx_base, SOCK_RX_RING),
+            remote: (dst_ip, dst_port),
+        });
+        self.conns.insert((local_port, dst_ip, dst_port), id);
+        self.emit_tcp(dst_ip, &syn);
+        Ok(id)
+    }
+
+    /// Whether a stream socket has completed the handshake.
+    pub fn tcp_is_established(&mut self, id: SocketId) -> NetResult<bool> {
+        match self.sock(id)? {
+            Sock::TcpStream { conn, .. } => Ok(conn.is_established()),
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Whether a stream socket has bytes ready (or an EOF to report) —
+    /// the readability condition wait queues block on.
+    pub fn tcp_readable(&mut self, id: SocketId) -> NetResult<bool> {
+        match self.sock(id)? {
+            Sock::TcpStream { conn, rx, .. } => {
+                Ok(!rx.is_empty() || conn.at_eof() || conn.is_closed())
+            }
+            Sock::TcpListen { backlog, .. } => Ok(!backlog.is_empty()),
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Every open TCP stream socket id (used by the OS layer to scan for
+    /// newly-readable sockets after a poll).
+    pub fn tcp_stream_ids(&self) -> Vec<SocketId> {
+        self.socks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, Some(Sock::TcpStream { .. })).then_some(SocketId(i)))
+            .collect()
+    }
+
+    /// Whether a stream socket is fully closed.
+    pub fn tcp_is_closed(&mut self, id: SocketId) -> NetResult<bool> {
+        match self.sock(id)? {
+            Sock::TcpStream { conn, .. } => Ok(conn.is_closed()),
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Sends `len` bytes from simulated memory at `src`. Returns bytes
+    /// accepted; `WouldBlock` if the transmit buffer is full.
+    pub fn tcp_send(
+        &mut self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        id: SocketId,
+        src: Addr,
+        len: u64,
+    ) -> NetResult<u64> {
+        m.charge(m.costs().socket_call);
+        let mut buf = vec![0u8; len as usize];
+        m.read(vcpu, src, &mut buf)?;
+        match self.sock(id)? {
+            Sock::TcpStream { conn, .. } => {
+                if conn.is_closed() {
+                    return Err(NetError::Closed);
+                }
+                let n = conn.send(&buf) as u64;
+                if n == 0 && len > 0 {
+                    Err(NetError::WouldBlock)
+                } else {
+                    Ok(n)
+                }
+            }
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Receives up to `len` bytes into simulated memory at `dst`.
+    /// `Ok(0)` means EOF; `WouldBlock` means no data yet.
+    pub fn tcp_recv(
+        &mut self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        id: SocketId,
+        dst: Addr,
+        len: u64,
+    ) -> NetResult<u64> {
+        m.charge(m.costs().socket_call);
+        match self.sock(id)? {
+            Sock::TcpStream { conn, rx, .. } => {
+                if rx.is_empty() {
+                    if conn.at_eof() || conn.is_closed() {
+                        return Ok(0);
+                    }
+                    return Err(NetError::WouldBlock);
+                }
+                Ok(rx.pop_to(m, vcpu, dst, len)?)
+            }
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    /// Closes the sending direction of a stream (FIN) or tears down a
+    /// listener/UDP socket.
+    pub fn close(&mut self, id: SocketId) -> NetResult<()> {
+        match self.sock(id)? {
+            Sock::TcpStream { conn, .. } => {
+                conn.close();
+                Ok(())
+            }
+            Sock::TcpListen { port, .. } => {
+                let port = *port;
+                self.listeners.remove(&port);
+                self.socks[id.0] = None;
+                Ok(())
+            }
+            Sock::Udp { port, .. } => {
+                let port = *port;
+                self.udp_ports.remove(&port);
+                self.socks[id.0] = None;
+                Ok(())
+            }
+        }
+    }
+
+    /// Binds a UDP socket on `port`.
+    pub fn udp_bind(&mut self, port: u16) -> NetResult<SocketId> {
+        if self.udp_ports.contains_key(&port) {
+            return Err(NetError::AddrInUse);
+        }
+        let id = self.insert(Sock::Udp { port, rx: VecDeque::new() });
+        self.udp_ports.insert(port, id);
+        Ok(id)
+    }
+
+    /// Sends a UDP datagram from simulated memory.
+    #[allow(clippy::too_many_arguments)] // mirrors sendto(2)'s shape
+    pub fn udp_send_to(
+        &mut self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        id: SocketId,
+        src: Addr,
+        len: u64,
+        dst_ip: u32,
+        dst_port: u16,
+    ) -> NetResult<()> {
+        m.charge(m.costs().socket_call);
+        let src_port = match self.sock(id)? {
+            Sock::Udp { port, .. } => *port,
+            _ => return Err(NetError::InvalidSocket),
+        };
+        let mut buf = vec![0u8; len as usize];
+        m.read(vcpu, src, &mut buf)?;
+        let udp = UdpHeader { src_port, dst_port, len: (UDP_LEN + buf.len()) as u16 };
+        let ip = self.ip_header(dst_ip, PROTO_UDP, UDP_LEN + buf.len());
+        let eth = self.eth_header();
+        m.charge(
+            m.costs().stack_per_packet
+                + m.costs().nic_per_packet
+                + self.packet_tax(buf.len() as u64),
+        );
+        m.charge(m.costs().copy_cost(buf.len() as u64)); // checksum/DMA touch
+        self.nic.push_tx(build_udp_frame(&eth, &ip, &udp, &buf));
+        Ok(())
+    }
+
+    /// Receives a UDP datagram into simulated memory; returns
+    /// `(bytes, src_ip, src_port)`.
+    pub fn udp_recv_from(
+        &mut self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        id: SocketId,
+        dst: Addr,
+        max: u64,
+    ) -> NetResult<(u64, u32, u16)> {
+        m.charge(m.costs().socket_call);
+        match self.sock(id)? {
+            Sock::Udp { rx, .. } => {
+                let (sip, sport, data) = rx.pop_front().ok_or(NetError::WouldBlock)?;
+                let n = (data.len() as u64).min(max);
+                m.write(vcpu, dst, &data[..n as usize])?;
+                Ok((n, sip, sport))
+            }
+            _ => Err(NetError::InvalidSocket),
+        }
+    }
+
+    // --- frame emission ----------------------------------------------------------
+
+    fn eth_header(&self) -> EthHeader {
+        EthHeader { dst: Mac::BROADCAST, src: self.mac, ethertype: ETHERTYPE_IPV4 }
+    }
+
+    fn ip_header(&mut self, dst: u32, proto: u8, l4_len: usize) -> Ipv4Header {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        Ipv4Header {
+            src: self.ip,
+            dst,
+            proto,
+            total_len: (IPV4_LEN + l4_len) as u16,
+            ttl: 64,
+            ident: self.ip_ident,
+        }
+    }
+
+    fn emit_tcp(&mut self, dst_ip: u32, seg: &SegmentOut) {
+        let ip = self.ip_header(dst_ip, PROTO_TCP, crate::wire::TCP_LEN + seg.payload.len());
+        let eth = self.eth_header();
+        self.nic.push_tx(build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload));
+        self.stats.tx_segments += 1;
+    }
+
+    // --- the poll loop --------------------------------------------------------------
+
+    /// One stack iteration: drain the NIC rx queue through demux and the
+    /// TCP machines, pump every connection for output, and move ready
+    /// bytes into socket receive rings. Costs are charged per packet and
+    /// per byte on `m`'s clock.
+    pub fn poll(&mut self, m: &mut Machine, vcpu: VcpuId) -> NetResult<()> {
+        // Receive path.
+        while let Some(frame) = self.nic.pop_rx() {
+            m.charge(
+                m.costs().nic_per_packet
+                    + m.costs().stack_per_packet
+                    + self.packet_tax(frame.len() as u64),
+            );
+            self.handle_frame(m, &frame);
+        }
+        // Transmit + delivery path.
+        let now = m.clock().cycles();
+        let ids: Vec<usize> = (0..self.socks.len()).collect();
+        for i in ids {
+            let Some(Sock::TcpStream { conn, rx, remote }) = self.socks[i].as_mut() else {
+                continue;
+            };
+            let dst_ip = remote.0;
+            // Pump protocol output.
+            let segs = conn.poll(now);
+            // Move in-order payload into the socket's receive ring.
+            let room = rx.free();
+            if room > 0 && conn.ready_len() > 0 {
+                let data = conn.take_ready(room as usize);
+                rx.push(m, vcpu, &data)?;
+            }
+            for seg in segs {
+                m.charge(
+                    m.costs().stack_per_packet
+                        + m.costs().nic_per_packet
+                        + self.packet_tax(seg.payload.len() as u64)
+                        + m.costs().copy_cost(seg.payload.len() as u64),
+                );
+                self.emit_tcp(dst_ip, &seg);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_frame(&mut self, m: &mut Machine, frame: &[u8]) {
+        let Some(eth) = EthHeader::parse(frame) else {
+            self.stats.demux_drops += 1;
+            return;
+        };
+        if eth.ethertype != ETHERTYPE_IPV4 || (eth.dst != self.mac && eth.dst != Mac::BROADCAST) {
+            self.stats.demux_drops += 1;
+            return;
+        }
+        let Some(ip) = Ipv4Header::parse(&frame[ETH_LEN..]) else {
+            self.stats.demux_drops += 1;
+            return;
+        };
+        if ip.dst != self.ip {
+            self.stats.demux_drops += 1;
+            return;
+        }
+        let l4 = &frame[ETH_LEN + IPV4_LEN..ETH_LEN + ip.total_len as usize];
+        // Checksum verification touches every byte.
+        m.charge(m.costs().copy_cost(l4.len() as u64));
+        match ip.proto {
+            PROTO_TCP => self.handle_tcp(m, &ip, l4),
+            PROTO_UDP => self.handle_udp(&ip, l4),
+            _ => self.stats.demux_drops += 1,
+        }
+    }
+
+    fn handle_tcp(&mut self, m: &mut Machine, ip: &Ipv4Header, l4: &[u8]) {
+        let Some((hdr, off)) = TcpHeader::parse(ip, l4) else {
+            self.stats.demux_drops += 1;
+            return;
+        };
+        let payload = &l4[off..];
+        let key = (hdr.dst_port, ip.src, hdr.src_port);
+        let now = m.clock().cycles();
+        if let Some(&sid) = self.conns.get(&key) {
+            let Some(Sock::TcpStream { conn, .. }) = self.socks[sid.0].as_mut() else {
+                return;
+            };
+            self.stats.rx_segments += 1;
+            let responses = conn.on_segment(&hdr, payload, now);
+            let dst_ip = ip.src;
+            for seg in responses {
+                m.charge(
+                    m.costs().stack_per_packet + m.costs().nic_per_packet + self.packet_tax(0),
+                );
+                self.emit_tcp(dst_ip, &seg);
+            }
+            return;
+        }
+        if hdr.flags.syn && !hdr.flags.ack {
+            if let Some(&lid) = self.listeners.get(&hdr.dst_port) {
+                // Passive open.
+                let iss = self.next_iss();
+                let cfg = self.tcp_cfg.clone();
+                let Some(rx_base) = self.pool.carve(SOCK_RX_RING) else {
+                    self.stats.demux_drops += 1;
+                    return;
+                };
+                let (conn, syn_ack) = TcpConn::accept(hdr.dst_port, hdr.src_port, iss, &hdr, cfg);
+                let sid = self.insert(Sock::TcpStream {
+                    conn,
+                    rx: SimRing::new(rx_base, SOCK_RX_RING),
+                    remote: (ip.src, hdr.src_port),
+                });
+                self.conns.insert(key, sid);
+                if let Some(Sock::TcpListen { backlog, .. }) = self.socks[lid.0].as_mut() {
+                    backlog.push_back(sid);
+                }
+                self.stats.rx_segments += 1;
+                m.charge(
+                    m.costs().stack_per_packet + m.costs().nic_per_packet + self.packet_tax(0),
+                );
+                let dst_ip = ip.src;
+                self.emit_tcp(dst_ip, &syn_ack);
+                return;
+            }
+        }
+        // No socket: answer anything but RST with RST.
+        if !hdr.flags.rst {
+            let rst = SegmentOut {
+                hdr: TcpHeader {
+                    src_port: hdr.dst_port,
+                    dst_port: hdr.src_port,
+                    seq: hdr.ack,
+                    ack: 0,
+                    flags: TcpFlags::RST,
+                    window: 0,
+                },
+                payload: Vec::new(),
+            };
+            let dst_ip = ip.src;
+            self.emit_tcp(dst_ip, &rst);
+        }
+        self.stats.demux_drops += 1;
+    }
+
+    fn handle_udp(&mut self, ip: &Ipv4Header, l4: &[u8]) {
+        let Some(hdr) = UdpHeader::parse(l4) else {
+            self.stats.demux_drops += 1;
+            return;
+        };
+        let payload = l4[UDP_LEN..hdr.len as usize].to_vec();
+        if let Some(&sid) = self.udp_ports.get(&hdr.dst_port) {
+            if let Some(Sock::Udp { rx, .. }) = self.socks[sid.0].as_mut() {
+                if rx.len() < UDP_QUEUE_DEPTH {
+                    rx.push_back((ip.src, hdr.src_port, payload));
+                    self.stats.rx_datagrams += 1;
+                    return;
+                }
+            }
+        }
+        self.stats.demux_drops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::Link;
+    use flexos_machine::{PageFlags, ProtKey, VmId};
+
+    const SERVER_IP: u32 = 0x0a00_0001;
+    const CLIENT_IP: u32 = 0x0a00_0002;
+
+    struct World {
+        m: Machine,
+        server: NetStack,
+        client: NetStack,
+        link: Link,
+        app_buf: Addr,
+    }
+
+    fn world() -> World {
+        let mut m = Machine::with_defaults();
+        let pool_s = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let pool_c = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let app_buf = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let server = NetStack::new(SERVER_IP, Nic::new(Mac::of_nic(1)), pool_s, 1 << 20);
+        let client = NetStack::new(CLIENT_IP, Nic::new(Mac::of_nic(2)), pool_c, 1 << 20);
+        World { m, server, client, link: Link::new(), app_buf }
+    }
+
+    impl World {
+        /// One full exchange round: both stacks poll, frames cross the
+        /// link both ways.
+        fn step(&mut self) {
+            self.client.poll(&mut self.m, VcpuId(0)).unwrap();
+            self.server.poll(&mut self.m, VcpuId(0)).unwrap();
+            self.link.transfer(&mut self.client.nic, &mut self.server.nic);
+            self.link.transfer(&mut self.server.nic, &mut self.client.nic);
+            self.client.poll(&mut self.m, VcpuId(0)).unwrap();
+            self.server.poll(&mut self.m, VcpuId(0)).unwrap();
+        }
+
+        fn establish(&mut self, port: u16) -> (SocketId, SocketId) {
+            let l = self.server.tcp_listen(port).unwrap();
+            let cs = self.client.tcp_connect(SERVER_IP, port).unwrap();
+            for _ in 0..4 {
+                self.step();
+            }
+            let ss = self.server.tcp_accept(l).unwrap().expect("connection accepted");
+            assert!(self.client.tcp_is_established(cs).unwrap());
+            (cs, ss)
+        }
+    }
+
+    #[test]
+    fn tcp_connect_accept_end_to_end() {
+        let mut w = world();
+        let _ = w.establish(5201);
+    }
+
+    #[test]
+    fn tcp_data_transfer_through_simulated_memory() {
+        let mut w = world();
+        let (cs, ss) = w.establish(5201);
+        // Client writes a message from simulated memory.
+        let msg = b"iperf payload: flexible isolation";
+        w.m.write(VcpuId(0), w.app_buf, msg).unwrap();
+        let sent = w.client.tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, msg.len() as u64).unwrap();
+        assert_eq!(sent, msg.len() as u64);
+        for _ in 0..4 {
+            w.step();
+        }
+        // Server receives into a different simulated buffer.
+        let dst = Addr(w.app_buf.0 + 4096);
+        let n = w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 1024).unwrap();
+        assert_eq!(n, msg.len() as u64);
+        let mut got = vec![0u8; msg.len()];
+        w.m.read(VcpuId(0), dst, &mut got).unwrap();
+        assert_eq!(&got, msg);
+    }
+
+    #[test]
+    fn recv_before_data_would_block_and_after_fin_reports_eof() {
+        let mut w = world();
+        let (cs, ss) = w.establish(5201);
+        let dst = Addr(w.app_buf.0 + 4096);
+        assert_eq!(
+            w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap_err(),
+            NetError::WouldBlock
+        );
+        w.client.close(cs).unwrap();
+        for _ in 0..4 {
+            w.step();
+        }
+        assert_eq!(w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_transfer_survives_packet_loss() {
+        let mut w = world();
+        w.link.faults.drop_every = Some(13);
+        let (cs, ss) = w.establish(5201);
+        let total: usize = 200 * 1024;
+        let chunk = vec![0xabu8; 8192];
+        w.m.write(VcpuId(0), w.app_buf, &chunk).unwrap();
+        let dst = Addr(w.app_buf.0 + 16384);
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        for _round in 0..6000 {
+            if sent < total {
+                match w.client.tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, chunk.len() as u64) {
+                    Ok(n) => sent += n as usize,
+                    Err(NetError::WouldBlock) => {}
+                    Err(e) => panic!("send failed: {e}"),
+                }
+            }
+            w.step();
+            match w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 16384) {
+                Ok(n) => received += n as usize,
+                Err(NetError::WouldBlock) => {
+                    // Let retransmission timers fire.
+                    w.m.charge(TcpConfig::default().rto_cycles / 4);
+                }
+                Err(e) => panic!("recv failed: {e}"),
+            }
+            if received >= total {
+                break;
+            }
+        }
+        assert!(received >= total, "only {received}/{total} bytes made it");
+    }
+
+    #[test]
+    fn demux_rejects_foreign_and_corrupt_frames() {
+        let mut w = world();
+        // Frame for another IP.
+        let eth = EthHeader { dst: Mac::of_nic(1), src: Mac::of_nic(9), ethertype: ETHERTYPE_IPV4 };
+        let mut ip = Ipv4Header {
+            src: CLIENT_IP,
+            dst: 0x0909_0909,
+            proto: PROTO_TCP,
+            total_len: (IPV4_LEN + crate::wire::TCP_LEN) as u16,
+            ttl: 64,
+            ident: 1,
+        };
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 100,
+        };
+        w.server.nic.push_rx(build_tcp_frame(&eth, &ip, &tcp, &[]));
+        // Corrupt frame.
+        ip.dst = SERVER_IP;
+        let mut frame = build_tcp_frame(&eth, &ip, &tcp, &[]);
+        frame[ETH_LEN + 10] ^= 0xff; // break the IP checksum
+        w.server.nic.push_rx(frame);
+        w.server.poll(&mut w.m, VcpuId(0)).unwrap();
+        assert_eq!(w.server.stats().demux_drops, 2);
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let mut w = world();
+        let cs = w.client.tcp_connect(SERVER_IP, 81).unwrap(); // nobody listens
+        for _ in 0..4 {
+            w.step();
+        }
+        assert!(w.client.tcp_is_closed(cs).unwrap());
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let mut w = world();
+        let s_sock = w.server.udp_bind(53).unwrap();
+        let c_sock = w.client.udp_bind(1234).unwrap();
+        w.m.write(VcpuId(0), w.app_buf, b"ping").unwrap();
+        w.client
+            .udp_send_to(&mut w.m, VcpuId(0), c_sock, w.app_buf, 4, SERVER_IP, 53)
+            .unwrap();
+        w.step();
+        let dst = Addr(w.app_buf.0 + 512);
+        let (n, sip, sport) =
+            w.server.udp_recv_from(&mut w.m, VcpuId(0), s_sock, dst, 64).unwrap();
+        assert_eq!((n, sip, sport), (4, CLIENT_IP, 1234));
+        let mut got = [0u8; 4];
+        w.m.read(VcpuId(0), dst, &mut got).unwrap();
+        assert_eq!(&got, b"ping");
+    }
+
+    #[test]
+    fn duplicate_bind_is_rejected() {
+        let mut w = world();
+        w.server.tcp_listen(80).unwrap();
+        assert_eq!(w.server.tcp_listen(80).unwrap_err(), NetError::AddrInUse);
+        w.server.udp_bind(53).unwrap();
+        assert_eq!(w.server.udp_bind(53).unwrap_err(), NetError::AddrInUse);
+    }
+
+    #[test]
+    fn packet_processing_charges_cycles() {
+        let mut w = world();
+        let before = w.m.clock().cycles();
+        let _ = w.establish(5201);
+        assert!(w.m.clock().cycles() > before);
+    }
+
+    #[test]
+    fn xen_tax_increases_per_packet_cost() {
+        let mut base = world();
+        let _ = base.establish(5201);
+        let kvm_cycles = base.m.clock().cycles();
+
+        let mut xen = world();
+        xen.server.extra_per_packet = 900;
+        xen.client.extra_per_packet = 900;
+        let _ = xen.establish(5201);
+        assert!(xen.m.clock().cycles() > kvm_cycles);
+    }
+}

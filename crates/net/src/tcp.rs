@@ -1,0 +1,771 @@
+//! The TCP state machine: handshake, reliable bidirectional transfer,
+//! out-of-order reassembly, retransmission, flow control, teardown.
+//!
+//! One [`TcpConn`] is one connection endpoint. The stack feeds it
+//! received segments ([`TcpConn::on_segment`]) and pumps it for output
+//! ([`TcpConn::poll`]); the socket layer moves application bytes in and
+//! out ([`TcpConn::send`], [`TcpConn::take_ready`]). Time is the
+//! machine's cycle clock, so retransmission behaviour is deterministic.
+//!
+//! Deliberate simplifications (documented in DESIGN.md): no congestion
+//! control, no SACK, no delayed ACKs, fixed RTO — none of which the
+//! FlexOS evaluation exercises; flow control, loss recovery and ordering
+//! are implemented in full.
+
+use crate::wire::{TcpFlags, TcpHeader, MSS};
+use std::collections::{BTreeMap, VecDeque};
+
+/// `a < b` in sequence space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Connection states (RFC 793 names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Active open sent, awaiting SYN-ACK.
+    SynSent,
+    /// Passive open got SYN, sent SYN-ACK, awaiting ACK.
+    SynRcvd,
+    /// Data flows.
+    Established,
+    /// We closed first; FIN sent, not yet acked.
+    FinWait1,
+    /// Our FIN acked; awaiting peer FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// We closed after peer; FIN sent, awaiting its ACK.
+    LastAck,
+    /// Both FINs crossed; awaiting ACK of ours.
+    Closing,
+    /// Done (2MSL wait collapsed — simulation has no stray duplicates
+    /// after close).
+    TimeWait,
+    /// Fully closed / reset.
+    Closed,
+}
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size.
+    pub mss: usize,
+    /// Receive-buffer capacity we advertise from.
+    pub rcv_wnd: u32,
+    /// Retransmission timeout in machine cycles (fixed RTO).
+    pub rto_cycles: u64,
+    /// Upper bound on unsent application bytes buffered.
+    pub max_tx_buf: usize,
+    /// Retries before the connection is declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            mss: MSS,
+            rcv_wnd: 65535,
+            // 10 ms at 2.1 GHz — generous against the simulated RTT.
+            rto_cycles: 21_000_000,
+            max_tx_buf: 256 * 1024,
+            max_retries: 8,
+        }
+    }
+}
+
+/// An outgoing segment (the stack adds IP/Ethernet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// TCP header.
+    pub hdr: TcpHeader,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct RetxSeg {
+    seq: u32,
+    data: Vec<u8>,
+    fin: bool,
+    sent_at: u64,
+    retries: u32,
+}
+
+impl RetxSeg {
+    fn seq_len(&self) -> u32 {
+        self.data.len() as u32 + u32::from(self.fin)
+    }
+}
+
+/// One TCP connection endpoint.
+#[derive(Debug)]
+pub struct TcpConn {
+    /// Current state.
+    pub state: TcpState,
+    /// Our port.
+    pub local_port: u16,
+    /// Peer port.
+    pub remote_port: u16,
+    cfg: TcpConfig,
+
+    snd_una: u32,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    snd_wnd: u32,
+
+    tx: VecDeque<u8>,
+    retx: VecDeque<RetxSeg>,
+    rx_ready: VecDeque<u8>,
+    ooo: BTreeMap<u32, Vec<u8>>,
+
+    need_ack: bool,
+    app_closed: bool,
+    fin_queued: bool,
+    /// Window last advertised to the peer (for window-update ACKs).
+    last_adv_wnd: u16,
+    /// Statistics: segments retransmitted.
+    pub retransmits: u64,
+}
+
+impl TcpConn {
+    fn new(state: TcpState, local_port: u16, remote_port: u16, iss: u32, cfg: TcpConfig) -> Self {
+        let cfg_rcv_wnd_u16 = cfg.rcv_wnd.min(65535) as u16;
+        Self {
+            state,
+            local_port,
+            remote_port,
+            cfg,
+            snd_una: iss,
+            snd_nxt: iss,
+            rcv_nxt: 0,
+            snd_wnd: 0,
+            tx: VecDeque::new(),
+            retx: VecDeque::new(),
+            rx_ready: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            need_ack: false,
+            app_closed: false,
+            fin_queued: false,
+            last_adv_wnd: cfg_rcv_wnd_u16,
+            retransmits: 0,
+        }
+    }
+
+    fn window(&self) -> u16 {
+        let used = self.rx_ready.len() as u32;
+        self.cfg.rcv_wnd.saturating_sub(used).min(65535) as u16
+    }
+
+    fn hdr(&self, flags: TcpFlags, seq: u32) -> TcpHeader {
+        TcpHeader {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq,
+            ack: if flags.ack { self.rcv_nxt } else { 0 },
+            flags,
+            window: self.window(),
+        }
+    }
+
+    /// Active open: returns the endpoint and its SYN.
+    pub fn connect(local_port: u16, remote_port: u16, iss: u32, cfg: TcpConfig) -> (Self, SegmentOut) {
+        let mut c = Self::new(TcpState::SynSent, local_port, remote_port, iss, cfg);
+        let syn = SegmentOut { hdr: c.hdr(TcpFlags::SYN, iss), payload: Vec::new() };
+        c.snd_nxt = iss.wrapping_add(1);
+        // Track the SYN for retransmission (zero data, consumes 1 seq).
+        c.retx.push_back(RetxSeg { seq: iss, data: Vec::new(), fin: false, sent_at: 0, retries: 0 });
+        (c, syn)
+    }
+
+    /// Passive open from a received SYN: returns the endpoint and its
+    /// SYN-ACK.
+    pub fn accept(
+        local_port: u16,
+        remote_port: u16,
+        iss: u32,
+        peer_syn: &TcpHeader,
+        cfg: TcpConfig,
+    ) -> (Self, SegmentOut) {
+        let mut c = Self::new(TcpState::SynRcvd, local_port, remote_port, iss, cfg);
+        c.rcv_nxt = peer_syn.seq.wrapping_add(1);
+        c.snd_wnd = u32::from(peer_syn.window);
+        let syn_ack = SegmentOut { hdr: c.hdr(TcpFlags::SYN_ACK, iss), payload: Vec::new() };
+        c.snd_nxt = iss.wrapping_add(1);
+        c.retx.push_back(RetxSeg { seq: iss, data: Vec::new(), fin: false, sent_at: 0, retries: 0 });
+        (c, syn_ack)
+    }
+
+    /// Whether the connection is in a state where data flows.
+    pub fn is_established(&self) -> bool {
+        matches!(self.state, TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2)
+    }
+
+    /// Whether the connection is finished.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, TcpState::Closed | TcpState::TimeWait)
+    }
+
+    /// Whether the peer has closed its direction and everything the peer
+    /// sent has been consumed (EOF condition for `recv`).
+    pub fn at_eof(&self) -> bool {
+        self.rx_ready.is_empty()
+            && matches!(
+                self.state,
+                TcpState::CloseWait | TcpState::LastAck | TcpState::Closing | TcpState::TimeWait | TcpState::Closed
+            )
+    }
+
+    /// Queues application data; returns bytes accepted (bounded by the
+    /// transmit buffer).
+    pub fn send(&mut self, data: &[u8]) -> usize {
+        if self.app_closed || !matches!(self.state, TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd) {
+            return 0;
+        }
+        let room = self.cfg.max_tx_buf - self.tx.len().min(self.cfg.max_tx_buf);
+        let n = data.len().min(room);
+        self.tx.extend(&data[..n]);
+        n
+    }
+
+    /// Bytes queued but not yet segmented.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len() + self.retx.iter().map(|r| r.data.len()).sum::<usize>()
+    }
+
+    /// Takes up to `max` in-order received bytes.
+    pub fn take_ready(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.rx_ready.len());
+        self.rx_ready.drain(..n).collect()
+    }
+
+    /// Bytes ready for the application.
+    pub fn ready_len(&self) -> usize {
+        self.rx_ready.len()
+    }
+
+    /// Application close: a FIN is emitted once the transmit queue
+    /// drains.
+    pub fn close(&mut self) {
+        self.app_closed = true;
+    }
+
+    /// Processes a received segment; returns any immediate responses
+    /// (further output comes from [`TcpConn::poll`]).
+    pub fn on_segment(&mut self, hdr: &TcpHeader, payload: &[u8], now: u64) -> Vec<SegmentOut> {
+        let mut out = Vec::new();
+        if hdr.flags.rst {
+            self.state = TcpState::Closed;
+            return out;
+        }
+        self.snd_wnd = u32::from(hdr.window);
+
+        // --- handshake ---------------------------------------------------
+        match self.state {
+            TcpState::SynSent => {
+                if hdr.flags.syn && hdr.flags.ack && hdr.ack == self.snd_nxt {
+                    self.rcv_nxt = hdr.seq.wrapping_add(1);
+                    self.snd_una = hdr.ack;
+                    self.retx.clear(); // the SYN is acked
+                    self.state = TcpState::Established;
+                    self.need_ack = true;
+                }
+                return self.flush_ack(out);
+            }
+            TcpState::SynRcvd => {
+                if hdr.flags.ack && hdr.ack == self.snd_nxt {
+                    self.snd_una = hdr.ack;
+                    self.retx.clear();
+                    self.state = TcpState::Established;
+                    // fall through: the ACK may carry data.
+                } else if hdr.flags.syn {
+                    // Duplicate SYN: re-answer with SYN-ACK.
+                    out.push(SegmentOut {
+                        hdr: self.hdr(TcpFlags::SYN_ACK, self.snd_una),
+                        payload: Vec::new(),
+                    });
+                    return out;
+                }
+            }
+            TcpState::Closed | TcpState::TimeWait => {
+                return out;
+            }
+            _ => {}
+        }
+
+        // --- ACK processing -----------------------------------------------
+        if hdr.flags.ack && seq_lt(self.snd_una, hdr.ack) && seq_le(hdr.ack, self.snd_nxt) {
+            self.snd_una = hdr.ack;
+            // Drop fully-acked retransmission entries; trim partial ones.
+            while let Some(front) = self.retx.front() {
+                let end = front.seq.wrapping_add(front.seq_len());
+                if seq_le(end, self.snd_una) {
+                    self.retx.pop_front();
+                } else if seq_lt(front.seq, self.snd_una) {
+                    let front = self.retx.front_mut().expect("nonempty");
+                    let cut = self.snd_una.wrapping_sub(front.seq) as usize;
+                    front.data.drain(..cut.min(front.data.len()));
+                    front.seq = self.snd_una;
+                    break;
+                } else {
+                    break;
+                }
+            }
+            // Our FIN acked?
+            if self.fin_queued && self.snd_una == self.snd_nxt {
+                match self.state {
+                    TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                    TcpState::Closing => self.state = TcpState::TimeWait,
+                    TcpState::LastAck => self.state = TcpState::Closed,
+                    _ => {}
+                }
+            }
+        }
+
+        // --- payload ---------------------------------------------------------
+        if !payload.is_empty() {
+            let seg_seq = hdr.seq;
+            if seg_seq == self.rcv_nxt {
+                self.rx_ready.extend(payload);
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                // Drain contiguous out-of-order segments.
+                while let Some(data) = self.ooo.remove(&self.rcv_nxt) {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
+                    self.rx_ready.extend(data);
+                }
+                self.need_ack = true;
+            } else if seq_lt(self.rcv_nxt, seg_seq) {
+                // Future data: stash (bounded by the advertised window).
+                let limit = self.rcv_nxt.wrapping_add(self.cfg.rcv_wnd);
+                if seq_lt(seg_seq, limit) {
+                    self.ooo.entry(seg_seq).or_insert_with(|| payload.to_vec());
+                }
+                self.need_ack = true; // duplicate ACK hints at the gap
+            } else {
+                // Old duplicate: re-ACK.
+                self.need_ack = true;
+            }
+        }
+
+        // --- FIN ----------------------------------------------------------------
+        let fin_seq = hdr.seq.wrapping_add(payload.len() as u32);
+        if hdr.flags.fin && fin_seq == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+            self.need_ack = true;
+            self.state = match self.state {
+                TcpState::Established | TcpState::SynRcvd => TcpState::CloseWait,
+                TcpState::FinWait1 => {
+                    if self.fin_queued && self.snd_una == self.snd_nxt {
+                        TcpState::TimeWait
+                    } else {
+                        TcpState::Closing
+                    }
+                }
+                TcpState::FinWait2 => TcpState::TimeWait,
+                s => s,
+            };
+        }
+
+        let _ = now;
+        self.flush_ack(out)
+    }
+
+    fn flush_ack(&mut self, mut out: Vec<SegmentOut>) -> Vec<SegmentOut> {
+        if self.need_ack {
+            self.need_ack = false;
+            out.push(SegmentOut {
+                hdr: self.hdr(TcpFlags::ACK, self.snd_nxt),
+                payload: Vec::new(),
+            });
+        }
+        if let Some(last) = out.last() {
+            self.last_adv_wnd = last.hdr.window;
+        }
+        out
+    }
+
+    /// Pumps output: new segments within the peer's window, the FIN once
+    /// the queue drains, retransmissions past the RTO, and any pending
+    /// pure ACK.
+    pub fn poll(&mut self, now: u64) -> Vec<SegmentOut> {
+        let mut out = Vec::new();
+
+        // Window update: if the application drained the receive buffer
+        // enough to reopen a closed-down window by at least one MSS,
+        // tell the peer so it resumes sending.
+        if self.is_established()
+            && u32::from(self.window()) >= u32::from(self.last_adv_wnd) + self.cfg.mss as u32
+        {
+            self.need_ack = true;
+        }
+
+        // New data, window permitting.
+        if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
+            loop {
+                let in_flight = self.snd_nxt.wrapping_sub(self.snd_una);
+                let wnd_room = self.snd_wnd.saturating_sub(in_flight) as usize;
+                if self.tx.is_empty() || wnd_room == 0 {
+                    break;
+                }
+                let n = self.tx.len().min(self.cfg.mss).min(wnd_room);
+                let data: Vec<u8> = self.tx.drain(..n).collect();
+                let flags = TcpFlags::ACK;
+                out.push(SegmentOut { hdr: self.hdr(flags, self.snd_nxt), payload: data.clone() });
+                self.retx.push_back(RetxSeg {
+                    seq: self.snd_nxt,
+                    data,
+                    fin: false,
+                    sent_at: now,
+                    retries: 0,
+                });
+                self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+                self.need_ack = false; // data segments carry the ACK
+            }
+        }
+
+        // FIN when the application closed and everything is out.
+        if self.app_closed
+            && !self.fin_queued
+            && self.tx.is_empty()
+            && matches!(self.state, TcpState::Established | TcpState::CloseWait)
+        {
+            let fin = SegmentOut { hdr: self.hdr(TcpFlags::FIN_ACK, self.snd_nxt), payload: Vec::new() };
+            out.push(fin);
+            self.retx.push_back(RetxSeg {
+                seq: self.snd_nxt,
+                data: Vec::new(),
+                fin: true,
+                sent_at: now,
+                retries: 0,
+            });
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.fin_queued = true;
+            self.state = match self.state {
+                TcpState::Established => TcpState::FinWait1,
+                TcpState::CloseWait => TcpState::LastAck,
+                s => s,
+            };
+            self.need_ack = false;
+        }
+
+        // Retransmissions.
+        if let Some(front) = self.retx.front_mut() {
+            if now.saturating_sub(front.sent_at) >= self.cfg.rto_cycles {
+                front.sent_at = now;
+                front.retries += 1;
+                self.retransmits += 1;
+                if front.retries > self.cfg.max_retries {
+                    self.state = TcpState::Closed;
+                    return out;
+                }
+                let flags = if front.fin {
+                    TcpFlags::FIN_ACK
+                } else if front.data.is_empty() {
+                    // An unacked zero-length entry is a SYN (or SYN-ACK).
+                    if self.state == TcpState::SynSent {
+                        TcpFlags::SYN
+                    } else {
+                        TcpFlags::SYN_ACK
+                    }
+                } else {
+                    TcpFlags::ACK
+                };
+                let seq = front.seq;
+                let payload = front.data.clone();
+                out.push(SegmentOut { hdr: self.hdr(flags, seq), payload });
+            }
+        }
+
+        self.flush_ack(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives two endpoints to completion, delivering every produced
+    /// segment (optionally through a fault filter). Returns total
+    /// delivered segments.
+    fn pump(
+        a: &mut TcpConn,
+        b: &mut TcpConn,
+        now: &mut u64,
+        mut filter: impl FnMut(u64, &SegmentOut) -> bool,
+    ) -> u64 {
+        let mut delivered = 0u64;
+        let mut n = 0u64;
+        for _ in 0..400 {
+            let mut quiet = true;
+            let from_a = a.poll(*now);
+            for s in from_a {
+                n += 1;
+                if filter(n, &s) {
+                    delivered += 1;
+                    quiet = false;
+                    for r in b.on_segment(&s.hdr, &s.payload, *now) {
+                        n += 1;
+                        if filter(n, &r) {
+                            delivered += 1;
+                            a.on_segment(&r.hdr, &r.payload, *now)
+                                .into_iter()
+                                .for_each(|rr| {
+                                    b.on_segment(&rr.hdr, &rr.payload, *now);
+                                });
+                        }
+                    }
+                }
+            }
+            let from_b = b.poll(*now);
+            for s in from_b {
+                n += 1;
+                if filter(n, &s) {
+                    delivered += 1;
+                    quiet = false;
+                    for r in a.on_segment(&s.hdr, &s.payload, *now) {
+                        n += 1;
+                        if filter(n, &r) {
+                            b.on_segment(&r.hdr, &r.payload, *now);
+                        }
+                    }
+                }
+            }
+            if quiet {
+                *now += TcpConfig::default().rto_cycles + 1; // let RTOs fire
+            } else {
+                *now += 1000;
+            }
+        }
+        delivered
+    }
+
+    fn handshake() -> (TcpConn, TcpConn, u64) {
+        let (mut client, syn) = TcpConn::connect(40000, 5201, 1000, TcpConfig::default());
+        let (mut server, syn_ack) = TcpConn::accept(5201, 40000, 9000, &syn.hdr, TcpConfig::default());
+        let acks = client.on_segment(&syn_ack.hdr, &[], 0);
+        assert_eq!(client.state, TcpState::Established);
+        for a in acks {
+            server.on_segment(&a.hdr, &[], 0);
+        }
+        assert_eq!(server.state, TcpState::Established);
+        (client, server, 0)
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both_sides() {
+        let _ = handshake();
+    }
+
+    #[test]
+    fn data_flows_and_is_acked() {
+        let (mut c, mut s, mut now) = handshake();
+        let msg = b"hello from the client".to_vec();
+        assert_eq!(c.send(&msg), msg.len());
+        pump(&mut c, &mut s, &mut now, |_, _| true);
+        assert_eq!(s.take_ready(1024), msg);
+        // Everything acked: nothing left in flight.
+        assert_eq!(c.tx_pending(), 0);
+    }
+
+    #[test]
+    fn large_transfer_is_segmented_at_mss() {
+        let (mut c, mut s, _) = handshake();
+        let data = vec![7u8; 5000];
+        c.send(&data);
+        let segs = c.poll(0);
+        let data_segs: Vec<_> = segs.iter().filter(|s| !s.payload.is_empty()).collect();
+        assert_eq!(data_segs.len(), 4); // 1460*3 + 620
+        assert!(data_segs.iter().all(|s| s.payload.len() <= MSS));
+        let total: usize = data_segs.iter().map(|s| s.payload.len()).sum();
+        assert_eq!(total, 5000);
+        // Deliver them and verify reassembly.
+        for seg in segs {
+            s.on_segment(&seg.hdr, &seg.payload, 0);
+        }
+        assert_eq!(s.take_ready(8192), data);
+    }
+
+    #[test]
+    fn out_of_order_segments_are_reassembled() {
+        let (mut c, mut s, _) = handshake();
+        c.send(&(0..200u8).cycle().take(4000).collect::<Vec<_>>());
+        let segs: Vec<_> = c.poll(0).into_iter().filter(|s| !s.payload.is_empty()).collect();
+        assert!(segs.len() >= 3);
+        // Deliver in reverse order.
+        for seg in segs.iter().rev() {
+            s.on_segment(&seg.hdr, &seg.payload, 0);
+        }
+        let got = s.take_ready(8192);
+        assert_eq!(got, (0..200u8).cycle().take(4000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lost_segment_is_retransmitted() {
+        let (mut c, mut s, mut now) = handshake();
+        let data = vec![3u8; 4000];
+        c.send(&data);
+        // Drop the 2nd *data* segment, once.
+        let mut data_segs = 0u32;
+        let mut dropped = false;
+        pump(&mut c, &mut s, &mut now, |_, seg| {
+            if !seg.payload.is_empty() {
+                data_segs += 1;
+                if data_segs == 2 && !dropped {
+                    dropped = true;
+                    return false;
+                }
+            }
+            true
+        });
+        assert!(dropped);
+        assert_eq!(s.take_ready(8192), data);
+        assert!(c.retransmits >= 1);
+    }
+
+    #[test]
+    fn receiver_window_throttles_the_sender() {
+        let cfg_small = TcpConfig { rcv_wnd: 2000, ..TcpConfig::default() };
+        let (mut c, syn) = TcpConn::connect(1, 2, 100, TcpConfig::default());
+        let (mut s, syn_ack) = TcpConn::accept(2, 1, 200, &syn.hdr, cfg_small);
+        for a in c.on_segment(&syn_ack.hdr, &[], 0) {
+            s.on_segment(&a.hdr, &[], 0);
+        }
+        c.send(&vec![1u8; 10_000]);
+        let segs = c.poll(0);
+        let sent: usize = segs.iter().map(|s| s.payload.len()).sum();
+        assert!(sent <= 2000, "sender respected the 2000-byte window (sent {sent})");
+        // Deliver the first burst, then: receiver consumes, the window
+        // reopens via its ACKs, and the transfer completes.
+        for seg in segs {
+            for r in s.on_segment(&seg.hdr, &seg.payload, 0) {
+                c.on_segment(&r.hdr, &r.payload, 0);
+            }
+        }
+        let mut now = 0;
+        let mut received = Vec::new();
+        for _ in 0..400 {
+            for seg in c.poll(now) {
+                for r in s.on_segment(&seg.hdr, &seg.payload, now) {
+                    c.on_segment(&r.hdr, &r.payload, now);
+                }
+            }
+            received.extend(s.take_ready(512)); // slow consumer
+            // The receiver's poll emits window-update ACKs.
+            for seg in s.poll(now) {
+                for r in c.on_segment(&seg.hdr, &seg.payload, now) {
+                    s.on_segment(&r.hdr, &r.payload, now);
+                }
+            }
+            now += 1000;
+            if received.len() == 10_000 {
+                break;
+            }
+        }
+        assert_eq!(received.len(), 10_000);
+    }
+
+    #[test]
+    fn clean_shutdown_runs_the_fin_state_machine() {
+        let (mut c, mut s, mut now) = handshake();
+        c.send(b"bye");
+        c.close();
+        pump(&mut c, &mut s, &mut now, |_, _| true);
+        assert_eq!(s.take_ready(16), b"bye");
+        assert!(s.at_eof());
+        // Server closes its side too.
+        s.close();
+        pump(&mut c, &mut s, &mut now, |_, _| true);
+        assert!(c.is_closed(), "client state: {:?}", c.state);
+        assert!(s.is_closed(), "server state: {:?}", s.state);
+    }
+
+    #[test]
+    fn simultaneous_close_reaches_closing_states() {
+        let (mut c, mut s, _) = handshake();
+        c.close();
+        s.close();
+        let c_fin = c.poll(0);
+        let s_fin = s.poll(0);
+        assert_eq!(c.state, TcpState::FinWait1);
+        assert_eq!(s.state, TcpState::FinWait1);
+        // Cross-deliver the FINs and the resulting ACKs.
+        for seg in c_fin {
+            for r in s.on_segment(&seg.hdr, &seg.payload, 0) {
+                c.on_segment(&r.hdr, &r.payload, 0);
+            }
+        }
+        for seg in s_fin {
+            for r in c.on_segment(&seg.hdr, &seg.payload, 0) {
+                s.on_segment(&r.hdr, &r.payload, 0);
+            }
+        }
+        assert!(c.is_closed(), "client: {:?}", c.state);
+        assert!(s.is_closed(), "server: {:?}", s.state);
+    }
+
+    #[test]
+    fn rst_kills_the_connection() {
+        let (mut c, _s, _) = handshake();
+        let rst = TcpHeader {
+            src_port: 5201,
+            dst_port: 40000,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+        };
+        c.on_segment(&rst, &[], 0);
+        assert_eq!(c.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn connection_gives_up_after_max_retries() {
+        let (mut c, _syn) = TcpConn::connect(1, 2, 50, TcpConfig::default());
+        let mut now = 0u64;
+        // Nobody answers the SYN.
+        for _ in 0..20 {
+            now += TcpConfig::default().rto_cycles + 1;
+            c.poll(now);
+        }
+        assert_eq!(c.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn duplicate_data_is_ignored_but_reacked() {
+        let (mut c, mut s, _) = handshake();
+        c.send(b"abc");
+        let segs: Vec<_> = c.poll(0);
+        let data_seg = segs.iter().find(|s| !s.payload.is_empty()).unwrap().clone();
+        let acks1 = s.on_segment(&data_seg.hdr, &data_seg.payload, 0);
+        assert!(!acks1.is_empty());
+        // Replay the same segment: no duplicate data, but an ACK comes back.
+        let acks2 = s.on_segment(&data_seg.hdr, &data_seg.payload, 0);
+        assert!(!acks2.is_empty());
+        assert_eq!(s.take_ready(16), b"abc");
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps_correctly() {
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 5, 5));
+        assert!(!seq_lt(5, u32::MAX - 5));
+        assert!(seq_le(7, 7));
+    }
+
+    #[test]
+    fn send_respects_tx_buffer_bound() {
+        let cfg = TcpConfig { max_tx_buf: 100, ..Default::default() };
+        let (mut c, syn) = TcpConn::connect(1, 2, 0, cfg);
+        let (_s, syn_ack) = TcpConn::accept(2, 1, 0, &syn.hdr, TcpConfig::default());
+        c.on_segment(&syn_ack.hdr, &[], 0);
+        assert_eq!(c.send(&[0u8; 500]), 100);
+        assert_eq!(c.send(&[0u8; 500]), 0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Wire formats: Ethernet, IPv4, TCP, UDP headers and checksums.
+//!
+//! Real header layouts (RFC 791/793/768), parsed from and serialized to
+//! byte frames, with the standard Internet checksum. The stack is small
+//! (no IP options, no TCP options beyond what the fixed MSS implies) but
+//! honest: corrupted headers and checksums are rejected, and every field
+//! round-trips bit-exactly.
+
+/// Ethernet MTU used by the simulated NICs.
+pub const MTU: usize = 1500;
+
+/// Ethernet header length.
+pub const ETH_LEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IPV4_LEN: usize = 20;
+/// TCP header length (no options).
+pub const TCP_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_LEN: usize = 8;
+
+/// TCP maximum segment size implied by the MTU.
+pub const MSS: usize = MTU - IPV4_LEN - TCP_LEN; // 1460
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// IP protocol numbers.
+pub const PROTO_TCP: u8 = 6;
+/// UDP protocol number.
+pub const PROTO_UDP: u8 = 17;
+
+/// A MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// A deterministic locally-administered MAC for simulated NIC `n`.
+    pub fn of_nic(n: u8) -> Mac {
+        Mac([0x02, 0x00, 0x00, 0xf1, 0xe0, n])
+    }
+}
+
+/// Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: Mac,
+    /// Source MAC.
+    pub src: Mac,
+    /// EtherType.
+    pub ethertype: u16,
+}
+
+impl EthHeader {
+    /// Serializes into the first [`ETH_LEN`] bytes of `out`.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses from a frame; `None` if too short.
+    pub fn parse(b: &[u8]) -> Option<EthHeader> {
+        if b.len() < ETH_LEN {
+            return None;
+        }
+        Some(EthHeader {
+            dst: Mac(b[0..6].try_into().expect("6 bytes")),
+            src: Mac(b[6..12].try_into().expect("6 bytes")),
+            ethertype: u16::from_be_bytes([b[12], b[13]]),
+        })
+    }
+}
+
+/// The Internet checksum (RFC 1071) over `data`, with an initial sum for
+/// pseudo-header folding.
+pub fn checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Payload protocol ([`PROTO_TCP`] / [`PROTO_UDP`]).
+    pub proto: u8,
+    /// Total length (header + payload).
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification (used by tests to tag packets).
+    pub ident: u16,
+}
+
+impl Ipv4Header {
+    /// Serializes (with checksum) into the first [`IPV4_LEN`] bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = 0; // DSCP/ECN
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        out[6..8].copy_from_slice(&[0x40, 0]); // DF, no fragment offset
+        out[8] = self.ttl;
+        out[9] = self.proto;
+        out[10..12].copy_from_slice(&[0, 0]);
+        out[12..16].copy_from_slice(&self.src.to_be_bytes());
+        out[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = checksum(&out[..IPV4_LEN], 0);
+        out[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and verifies the checksum; `None` on malformed input.
+    pub fn parse(b: &[u8]) -> Option<Ipv4Header> {
+        if b.len() < IPV4_LEN || b[0] != 0x45 {
+            return None;
+        }
+        if checksum(&b[..IPV4_LEN], 0) != 0 {
+            return None;
+        }
+        Some(Ipv4Header {
+            total_len: u16::from_be_bytes([b[2], b[3]]),
+            ident: u16::from_be_bytes([b[4], b[5]]),
+            ttl: b[8],
+            proto: b[9],
+            src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+            dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+        })
+    }
+
+    fn pseudo_sum(&self, l4_len: u16) -> u32 {
+        let src = self.src.to_be_bytes();
+        let dst = self.dst.to_be_bytes();
+        u32::from(u16::from_be_bytes([src[0], src[1]]))
+            + u32::from(u16::from_be_bytes([src[2], src[3]]))
+            + u32::from(u16::from_be_bytes([dst[0], dst[1]]))
+            + u32::from(u16::from_be_bytes([dst[2], dst[3]]))
+            + u32::from(self.proto)
+            + u32::from(l4_len)
+    }
+}
+
+/// TCP flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// FIN: sender is done.
+    pub fin: bool,
+    /// SYN: synchronize sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// ACK: the ack field is valid.
+    pub ack: bool,
+}
+
+impl TcpFlags {
+    /// SYN only.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, fin: false, rst: false, ack: false };
+    /// ACK only.
+    pub const ACK: TcpFlags = TcpFlags { ack: true, fin: false, rst: false, syn: false };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    /// FIN+ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags { fin: true, ack: true, syn: false, rst: false };
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags { rst: true, fin: false, syn: false, ack: false };
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags { fin: b & 1 != 0, syn: b & 2 != 0, rst: b & 4 != 0, ack: b & 16 != 0 }
+    }
+}
+
+/// TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Serializes (with checksum over the pseudo-header and `payload`)
+    /// into the first [`TCP_LEN`] bytes of `out`.
+    pub fn write(&self, ip: &Ipv4Header, payload: &[u8], out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = 5 << 4; // data offset: 5 words
+        out[13] = self.flags.to_byte();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&[0, 0]); // checksum placeholder
+        out[18..20].copy_from_slice(&[0, 0]); // urgent pointer
+        let l4_len = (TCP_LEN + payload.len()) as u16;
+        let mut sum = ip.pseudo_sum(l4_len);
+        // Fold the header (with zero checksum) then the payload.
+        let mut chunks = out[..TCP_LEN].chunks_exact(2);
+        for c in &mut chunks {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        let csum = checksum(payload, sum);
+        out[16..18].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and verifies the checksum against `ip` and `payload`.
+    pub fn parse(ip: &Ipv4Header, b: &[u8]) -> Option<(TcpHeader, usize)> {
+        if b.len() < TCP_LEN {
+            return None;
+        }
+        let data_off = (b[12] >> 4) as usize * 4;
+        if data_off < TCP_LEN || b.len() < data_off {
+            return None;
+        }
+        let l4_len = b.len() as u16;
+        let sum = ip.pseudo_sum(l4_len);
+        if checksum(b, sum) != 0 {
+            return None;
+        }
+        Some((
+            TcpHeader {
+                src_port: u16::from_be_bytes([b[0], b[1]]),
+                dst_port: u16::from_be_bytes([b[2], b[3]]),
+                seq: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+                ack: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+                flags: TcpFlags::from_byte(b[13]),
+                window: u16::from_be_bytes([b[14], b[15]]),
+            },
+            data_off,
+        ))
+    }
+}
+
+/// UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length (header + payload).
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Serializes into the first [`UDP_LEN`] bytes (checksum omitted,
+    /// which is legal for IPv4 UDP).
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.len.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+    }
+
+    /// Parses; `None` if too short or inconsistent.
+    pub fn parse(b: &[u8]) -> Option<UdpHeader> {
+        if b.len() < UDP_LEN {
+            return None;
+        }
+        let h = UdpHeader {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            len: u16::from_be_bytes([b[4], b[5]]),
+        };
+        (h.len as usize >= UDP_LEN && h.len as usize <= b.len()).then_some(h)
+    }
+}
+
+/// Builds a full Ethernet+IPv4+TCP frame.
+pub fn build_tcp_frame(
+    eth: &EthHeader,
+    ip: &Ipv4Header,
+    tcp: &TcpHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = vec![0u8; ETH_LEN + IPV4_LEN + TCP_LEN + payload.len()];
+    eth.write(&mut out[..ETH_LEN]);
+    ip.write(&mut out[ETH_LEN..ETH_LEN + IPV4_LEN]);
+    tcp.write(ip, payload, &mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + TCP_LEN]);
+    out[ETH_LEN + IPV4_LEN + TCP_LEN..].copy_from_slice(payload);
+    out
+}
+
+/// Builds a full Ethernet+IPv4+UDP frame.
+pub fn build_udp_frame(
+    eth: &EthHeader,
+    ip: &Ipv4Header,
+    udp: &UdpHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = vec![0u8; ETH_LEN + IPV4_LEN + UDP_LEN + payload.len()];
+    eth.write(&mut out[..ETH_LEN]);
+    ip.write(&mut out[ETH_LEN..ETH_LEN + IPV4_LEN]);
+    udp.write(&mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + UDP_LEN]);
+    out[ETH_LEN + IPV4_LEN + UDP_LEN..].copy_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip_hdr(payload: usize, proto: u8) -> Ipv4Header {
+        Ipv4Header {
+            src: 0x0a000001,
+            dst: 0x0a000002,
+            proto,
+            total_len: (IPV4_LEN + payload) as u16,
+            ttl: 64,
+            ident: 7,
+        }
+    }
+
+    #[test]
+    fn eth_round_trip() {
+        let h = EthHeader { dst: Mac::of_nic(2), src: Mac::of_nic(1), ethertype: ETHERTYPE_IPV4 };
+        let mut buf = [0u8; ETH_LEN];
+        h.write(&mut buf);
+        assert_eq!(EthHeader::parse(&buf).unwrap(), h);
+        assert!(EthHeader::parse(&buf[..10]).is_none());
+    }
+
+    #[test]
+    fn ipv4_round_trip_and_checksum() {
+        let h = ip_hdr(100, PROTO_TCP);
+        let mut buf = [0u8; IPV4_LEN];
+        h.write(&mut buf);
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), h);
+        // Corrupt a byte: checksum rejects.
+        buf[15] ^= 1;
+        assert!(Ipv4Header::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn tcp_round_trip_and_checksum_covers_payload() {
+        let payload = b"FlexOS makes OS isolation flexible";
+        let ip = ip_hdr(TCP_LEN + payload.len(), PROTO_TCP);
+        let tcp = TcpHeader {
+            src_port: 5201,
+            dst_port: 40000,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            flags: TcpFlags::ACK,
+            window: 65535,
+        };
+        let mut seg = vec![0u8; TCP_LEN + payload.len()];
+        tcp.write(&ip, payload, &mut seg[..TCP_LEN]);
+        seg[TCP_LEN..].copy_from_slice(payload);
+        let (parsed, off) = TcpHeader::parse(&ip, &seg).unwrap();
+        assert_eq!(parsed, tcp);
+        assert_eq!(off, TCP_LEN);
+        // Flip a payload bit: the TCP checksum rejects the segment.
+        seg[TCP_LEN + 3] ^= 0x80;
+        assert!(TcpHeader::parse(&ip, &seg).is_none());
+    }
+
+    #[test]
+    fn tcp_flags_round_trip() {
+        for flags in [TcpFlags::SYN, TcpFlags::ACK, TcpFlags::SYN_ACK, TcpFlags::FIN_ACK, TcpFlags::RST]
+        {
+            assert_eq!(TcpFlags::from_byte(flags.to_byte()), flags);
+        }
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let h = UdpHeader { src_port: 53, dst_port: 9999, len: (UDP_LEN + 11) as u16 };
+        let mut buf = [0u8; UDP_LEN + 11];
+        h.write(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
+        // Length exceeding the buffer is rejected.
+        let bad = UdpHeader { len: 64, ..h };
+        bad.write(&mut buf);
+        assert!(UdpHeader::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn full_tcp_frame_parses_end_to_end() {
+        let payload = vec![0x42u8; 333];
+        let eth = EthHeader { dst: Mac::of_nic(1), src: Mac::of_nic(0), ethertype: ETHERTYPE_IPV4 };
+        let ip = ip_hdr(TCP_LEN + payload.len(), PROTO_TCP);
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 9,
+            ack: 10,
+            flags: TcpFlags::ACK,
+            window: 1024,
+        };
+        let frame = build_tcp_frame(&eth, &ip, &tcp, &payload);
+        assert_eq!(frame.len(), ETH_LEN + IPV4_LEN + TCP_LEN + 333);
+        let eth2 = EthHeader::parse(&frame).unwrap();
+        assert_eq!(eth2, eth);
+        let ip2 = Ipv4Header::parse(&frame[ETH_LEN..]).unwrap();
+        assert_eq!(ip2, ip);
+        let (tcp2, off) = TcpHeader::parse(&ip2, &frame[ETH_LEN + IPV4_LEN..]).unwrap();
+        assert_eq!(tcp2, tcp);
+        assert_eq!(&frame[ETH_LEN + IPV4_LEN + off..], &payload[..]);
+    }
+
+    #[test]
+    fn checksum_of_rfc1071_example() {
+        // RFC 1071 example bytes.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = checksum(&data, 0);
+        assert_eq!(sum, !0xddf2u16);
+    }
+
+    #[test]
+    fn mss_fits_the_mtu() {
+        assert_eq!(MSS, 1460);
+        let l3_plus_l4 = IPV4_LEN + TCP_LEN + MSS;
+        assert!(l3_plus_l4 <= MTU, "{l3_plus_l4} > {MTU}");
+    }
+}

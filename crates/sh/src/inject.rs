@@ -1,0 +1,228 @@
+//! Deterministic attack/fault injection scenarios.
+//!
+//! FlexOS's claim is that the *same* attack is caught by different
+//! mechanisms depending on the build-time configuration — or not caught
+//! at all in the baseline. These helpers implement the attacks the
+//! integration tests and examples throw at images: each returns what the
+//! configured protection said ([`AttackOutcome`]).
+
+use crate::runtime::ShRuntime;
+use flexos::gate::CompartmentId;
+use flexos_machine::{Access, Addr, Fault, Machine, Result, VcpuId};
+
+/// How an injected attack ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// No mechanism intervened: the attack's effect landed (baseline).
+    Landed,
+    /// A mechanism stopped it; carries the fault describing which.
+    Caught(Fault),
+}
+
+impl AttackOutcome {
+    /// Whether the attack was stopped.
+    pub fn was_caught(&self) -> bool {
+        matches!(self, AttackOutcome::Caught(_))
+    }
+
+    /// The name of the mechanism that caught it, if any.
+    pub fn caught_by(&self) -> Option<String> {
+        match self {
+            AttackOutcome::Caught(f) => Some(f.kind().to_string()),
+            AttackOutcome::Landed => None,
+        }
+    }
+}
+
+fn outcome_of(res: Result<()>) -> Result<AttackOutcome> {
+    match res {
+        Ok(()) => Ok(AttackOutcome::Landed),
+        Err(f) if f.is_protection_fault() => Ok(AttackOutcome::Caught(f)),
+        Err(other) => Err(other), // setup errors are real errors, not catches
+    }
+}
+
+/// A hijacked component in compartment `attacker` writes `payload` at
+/// `target` (e.g. the scheduler's run queue in another compartment).
+/// Hardware isolation (MPK/EPT) or DFI/ASAN may catch it.
+pub fn cross_component_write(
+    m: &mut Machine,
+    sh: &mut ShRuntime,
+    vcpu: VcpuId,
+    attacker: CompartmentId,
+    target: Addr,
+    payload: &[u8],
+) -> Result<AttackOutcome> {
+    let res = sh
+        .check_access(m, attacker, target, payload.len() as u64, Access::Write)
+        .and_then(|()| m.write(vcpu, target, payload));
+    outcome_of(res)
+}
+
+/// A heap buffer overflow: write `len` bytes starting inside the victim
+/// allocation at `payload_base`, spilling past its end. ASAN redzones
+/// catch it; without ASAN it lands (possibly corrupting a neighbour).
+pub fn heap_overflow(
+    m: &mut Machine,
+    sh: &mut ShRuntime,
+    vcpu: VcpuId,
+    compartment: CompartmentId,
+    payload_base: Addr,
+    len: u64,
+) -> Result<AttackOutcome> {
+    let junk = vec![0x41u8; len as usize];
+    let res = sh
+        .check_access(m, compartment, payload_base, len, Access::Write)
+        .and_then(|()| m.write(vcpu, payload_base, &junk));
+    outcome_of(res)
+}
+
+/// Use-after-free: read from a freed allocation.
+pub fn use_after_free(
+    m: &mut Machine,
+    sh: &mut ShRuntime,
+    vcpu: VcpuId,
+    compartment: CompartmentId,
+    freed_payload: Addr,
+) -> Result<AttackOutcome> {
+    let mut buf = [0u8; 8];
+    let res = sh
+        .check_access(m, compartment, freed_payload, 8, Access::Read)
+        .and_then(|()| m.read(vcpu, freed_payload, &mut buf));
+    outcome_of(res)
+}
+
+/// Control-flow hijack: the attacker redirects an indirect call to
+/// `gadget` (a function outside the component's call graph). CFI catches
+/// it when enabled.
+pub fn control_flow_hijack(
+    m: &mut Machine,
+    sh: &mut ShRuntime,
+    attacker: CompartmentId,
+    gadget: &str,
+) -> Result<AttackOutcome> {
+    outcome_of(sh.check_call(m, attacker, gadget))
+}
+
+/// PKRU forgery: injected code executes `wrpkru` to grant itself access
+/// to every key (the PKU-pitfalls attack). The machine's PKRU-write
+/// guard catches it unless the guard is configured off.
+pub fn pkru_forge(m: &mut Machine, vcpu: VcpuId) -> Result<AttackOutcome> {
+    outcome_of(m.wrpkru(vcpu, flexos_machine::Pkru::ALLOW_ALL, None))
+}
+
+/// Stack smash: overflow a stack buffer across the saved frame (which, in
+/// a canary-protected compartment, corrupts the canary that `pop_frame`
+/// then detects).
+pub fn stack_smash(
+    m: &mut Machine,
+    sh: &mut ShRuntime,
+    vcpu: VcpuId,
+    compartment: CompartmentId,
+    frame_base: Addr,
+) -> Result<AttackOutcome> {
+    sh.push_frame(m, vcpu, compartment, frame_base)?;
+    // The overflow: 64 bytes of attacker data across the frame boundary.
+    m.write(vcpu, frame_base, &[0x41u8; 64])?;
+    outcome_of(sh.pop_frame(m, vcpu, compartment, frame_base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos::spec::{ShMechanism, ShSet};
+    use flexos_machine::{PageFlags, Pkru, ProtKey, VmId};
+
+    const ATTACKER: CompartmentId = CompartmentId(0);
+
+    fn setup(policy: ShSet) -> (Machine, ShRuntime, Addr, Addr) {
+        let mut m = Machine::with_defaults();
+        let own = m.alloc_region(VmId(0), 16 * 1024, ProtKey(0), PageFlags::RW).unwrap();
+        let victim = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let mut sh = ShRuntime::new(1);
+        sh.set_policy(ATTACKER, policy);
+        sh.register_heap(ATTACKER, own, 16 * 1024);
+        (m, sh, own, victim)
+    }
+
+    #[test]
+    fn baseline_lets_cross_component_write_land() {
+        let (mut m, mut sh, _own, victim) = setup(ShSet::none());
+        let out =
+            cross_component_write(&mut m, &mut sh, VcpuId(0), ATTACKER, victim, b"pwn").unwrap();
+        assert_eq!(out, AttackOutcome::Landed);
+        let mut buf = [0u8; 3];
+        m.read(VcpuId(0), victim, &mut buf).unwrap();
+        assert_eq!(&buf, b"pwn");
+    }
+
+    #[test]
+    fn dfi_catches_cross_component_write() {
+        let (mut m, mut sh, _own, victim) = setup(ShSet::of([ShMechanism::Dfi]));
+        let out =
+            cross_component_write(&mut m, &mut sh, VcpuId(0), ATTACKER, victim, b"pwn").unwrap();
+        assert_eq!(out.caught_by().as_deref(), Some("hardening-abort"));
+    }
+
+    #[test]
+    fn mpk_catches_cross_component_write_without_sh() {
+        let (mut m, mut sh, _own, victim) = setup(ShSet::none());
+        // Tag the victim with key 5 and drop it from the attacker's PKRU.
+        m.set_region_key(VmId(0), victim, 4096, ProtKey(5)).unwrap();
+        let tok = m.gate_token();
+        m.wrpkru(VcpuId(0), Pkru::deny_all_except(&[ProtKey(0)], &[]), Some(tok)).unwrap();
+        let out =
+            cross_component_write(&mut m, &mut sh, VcpuId(0), ATTACKER, victim, b"pwn").unwrap();
+        assert_eq!(out.caught_by().as_deref(), Some("pkey-violation"));
+    }
+
+    #[test]
+    fn asan_catches_overflow_and_uaf() {
+        let (mut m, mut sh, own, _victim) = setup(ShSet::of([ShMechanism::Asan]));
+        let payload = sh.on_alloc(&mut m, ATTACKER, own, 100);
+        let out = heap_overflow(&mut m, &mut sh, VcpuId(0), ATTACKER, payload, 128).unwrap();
+        assert!(out.was_caught());
+
+        sh.on_free(&mut m, ATTACKER, payload).unwrap();
+        let out = use_after_free(&mut m, &mut sh, VcpuId(0), ATTACKER, payload).unwrap();
+        assert!(out.was_caught());
+    }
+
+    #[test]
+    fn overflow_lands_without_asan() {
+        let (mut m, mut sh, own, _) = setup(ShSet::none());
+        let out = heap_overflow(&mut m, &mut sh, VcpuId(0), ATTACKER, own, 128).unwrap();
+        assert_eq!(out, AttackOutcome::Landed);
+    }
+
+    #[test]
+    fn cfi_catches_hijack() {
+        let (mut m, mut sh, _, _) = setup(ShSet::of([ShMechanism::Cfi]));
+        sh.set_cfi_targets(ATTACKER, ["legit".to_string()].into());
+        assert!(control_flow_hijack(&mut m, &mut sh, ATTACKER, "gadget")
+            .unwrap()
+            .was_caught());
+        assert!(!control_flow_hijack(&mut m, &mut sh, ATTACKER, "legit")
+            .unwrap()
+            .was_caught());
+    }
+
+    #[test]
+    fn pkru_forge_is_caught_by_the_guard() {
+        let (mut m, _, _, _) = setup(ShSet::none());
+        let out = pkru_forge(&mut m, VcpuId(0)).unwrap();
+        assert_eq!(out.caught_by().as_deref(), Some("unauthorized-pkru-write"));
+    }
+
+    #[test]
+    fn stack_smash_caught_only_with_canaries() {
+        let (mut m, mut sh, own, _) = setup(ShSet::of([ShMechanism::StackProtector]));
+        sh.register_stack(ATTACKER, own, 4096);
+        let out = stack_smash(&mut m, &mut sh, VcpuId(0), ATTACKER, own).unwrap();
+        assert!(out.was_caught());
+
+        let (mut m2, mut sh2, own2, _) = setup(ShSet::none());
+        let out = stack_smash(&mut m2, &mut sh2, VcpuId(0), ATTACKER, own2).unwrap();
+        assert_eq!(out, AttackOutcome::Landed);
+    }
+}

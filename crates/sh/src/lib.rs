@@ -1,0 +1,23 @@
+//! # flexos-sh — per-compartment software hardening
+//!
+//! The runtime half of FlexOS's SH story (§3): KASAN-style address
+//! sanitizing with redzones and a quarantine ([`shadow`]), CFI target-set
+//! enforcement, DFI write checks, stack canaries, SafeStack accounting
+//! and UBSAN checked arithmetic — all applied **per compartment**
+//! through [`runtime::ShRuntime`], so only hardened compartments pay.
+//!
+//! [`inject`] provides the deterministic attack scenarios the integration
+//! tests use to demonstrate FlexOS's central claim: the same bug is
+//! caught by MPK in one build, by ASAN/DFI in another, and lands in the
+//! unprotected baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod runtime;
+pub mod shadow;
+
+pub use inject::AttackOutcome;
+pub use runtime::{ShRuntime, ShStats};
+pub use shadow::{Shadow, Verdict, QUARANTINE_DEPTH, REDZONE};

@@ -1,0 +1,80 @@
+//! The attack matrix: one attack, many defenses — chosen at build time.
+//!
+//! ```text
+//! cargo run --example attack_matrix
+//! ```
+//!
+//! A hijacked network stack tries to overwrite the scheduler's memory
+//! in four builds of the *same* system. Who stops it differs; that it
+//! is stopped (outside the baseline) does not.
+
+use flexos::build::{plan, BackendChoice};
+use flexos::spec::{ShMechanism, ShSet};
+use flexos_apps::{evaluation_image, CompartmentModel, Os, SchedKind};
+use flexos_sh::inject;
+
+const SERVER_IP: u32 = 0x0a00_0001;
+
+fn attack(os: &mut Os) -> inject::AttackOutcome {
+    let c_net = os.roles.net;
+    let victim = os.img.gates.ctx(os.roles.sched).heap_base;
+    let Os { img, sh, .. } = os;
+    let flexos_backends::BootImage { machine, gates, .. } = img;
+    gates
+        .cross(machine, c_net, 0, 0, |m, rt| {
+            let vcpu = rt.current_ctx().vcpu;
+            inject::cross_component_write(m, sh, vcpu, c_net, victim, b"hijack!!")
+        })
+        .expect("attack scenario runs")
+}
+
+fn build(model: CompartmentModel, backend: BackendChoice, dfi_on_net: bool) -> Os {
+    let mut cfg = evaluation_image("iperf", model, backend, SchedKind::Coop);
+    if dfi_on_net {
+        cfg.dedicated_allocators = true;
+        for lib in &mut cfg.libraries {
+            if lib.spec.name == "lwip" {
+                lib.sh = ShSet::of([ShMechanism::Dfi]);
+            }
+        }
+    }
+    Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).expect("boots")
+}
+
+fn main() {
+    println!("Attack: hijacked network stack writes into the scheduler's memory.\n");
+    println!("{:<55} {:<25}", "build configuration", "outcome");
+    let cases: Vec<(&str, Os)> = vec![
+        (
+            "baseline (no isolation, no hardening)",
+            build(CompartmentModel::Baseline, BackendChoice::None, false),
+        ),
+        (
+            "MPK, shared stacks, NW isolated",
+            build(CompartmentModel::NwOnly, BackendChoice::MpkShared, false),
+        ),
+        (
+            "one VM per compartment (EPT)",
+            build(CompartmentModel::NwOnly, BackendChoice::VmRpc, false),
+        ),
+        (
+            "no hardware isolation, DFI on the network stack",
+            build(CompartmentModel::NwOnly, BackendChoice::None, true),
+        ),
+    ];
+    for (name, mut os) in cases {
+        let out = attack(&mut os);
+        let outcome = match out.caught_by() {
+            Some(mech) => format!("CAUGHT ({mech})"),
+            None => "LANDED — scheduler memory corrupted".to_string(),
+        };
+        println!("{name:<55} {outcome:<25}");
+    }
+    println!(
+        "\nAlso: PKRU forgery (the PKU-pitfalls attack) against the MPK build:"
+    );
+    let mut os = build(CompartmentModel::NwOnly, BackendChoice::MpkShared, false);
+    let vcpu = os.img.gates.ctx(os.roles.net).vcpu;
+    let out = inject::pkru_forge(&mut os.img.machine, vcpu).unwrap();
+    println!("  wrpkru without the gate capability -> {:?}", out.caught_by().unwrap());
+}

@@ -1,0 +1,53 @@
+//! The verified scheduler: contracts, equivalence, and its price.
+//!
+//! ```text
+//! cargo run --example verified_scheduler
+//! ```
+//!
+//! The paper's Dafny scheduler is ported as a Rust scheduler whose
+//! pre/post-conditions are enforced at runtime (the "glue code" checks).
+//! This example shows a contract firing on misuse, the identical
+//! scheduling behaviour of the two implementations, and the 3x
+//! context-switch cost the paper measures.
+
+use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
+use flexos_machine::{cycles_to_nanos, CostTable};
+
+fn main() {
+    // --- contracts fire on misuse ----------------------------------------
+    let mut v = VerifiedScheduler::new();
+    v.thread_add(ThreadId(1)).unwrap();
+    println!("thread_add(1): ok");
+    let err = v.thread_add(ThreadId(1)).unwrap_err();
+    println!("thread_add(1) again -> {err}");
+    let err = v.thread_rm(ThreadId(99)).unwrap_err();
+    println!("thread_rm(99)       -> {err}");
+
+    // --- identical scheduling decisions -------------------------------------
+    let mut coop = CoopScheduler::new();
+    let mut verified = VerifiedScheduler::new();
+    for i in 0..4 {
+        coop.thread_add(ThreadId(i)).unwrap();
+        verified.thread_add(ThreadId(i)).unwrap();
+    }
+    print!("\nschedule (coop)    :");
+    for _ in 0..8 {
+        let t = coop.pick_next().unwrap();
+        print!(" {}", t.0);
+        coop.yield_back(t).unwrap();
+    }
+    print!("\nschedule (verified):");
+    for _ in 0..8 {
+        let t = verified.pick_next().unwrap();
+        print!(" {}", t.0);
+        verified.yield_back(t).unwrap();
+    }
+    println!("\n(identical round-robin order, {} contract checks performed)", verified.checks_performed());
+
+    // --- the price ----------------------------------------------------------------
+    let costs = CostTable::default();
+    let coop_ns = cycles_to_nanos(coop.switch_cost(&costs));
+    let verified_ns = cycles_to_nanos(verified.switch_cost(&costs));
+    println!("\ncontext switch: C scheduler {coop_ns:.1} ns, verified {verified_ns:.1} ns ({:.1}x)", verified_ns / coop_ns);
+    println!("(paper §4: 76.6 ns vs 218.6 ns — 3x, yet <6% end-to-end for Redis)");
+}

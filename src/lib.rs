@@ -1,0 +1,13 @@
+//! # flexos-repro — workspace umbrella
+//!
+//! This package hosts the integration tests (`tests/`) and runnable
+//! examples (`examples/`) that span all FlexOS-rs crates. The library
+//! itself only re-exports the member crates for convenience.
+
+pub use flexos;
+pub use flexos_apps;
+pub use flexos_backends;
+pub use flexos_kernel;
+pub use flexos_machine;
+pub use flexos_net;
+pub use flexos_sh;

@@ -1,0 +1,109 @@
+//! The CHERI backend extension: the same image, retargeted to
+//! capability gates — ordering, enforcement, and drop-in behaviour.
+
+use flexos::build::{plan, BackendChoice};
+use flexos_apps::iperf::{run_iperf, IperfParams};
+use flexos_apps::redis::{run_redis, RedisParams};
+use flexos_apps::{evaluation_image, CompartmentModel, Os, SchedKind};
+use flexos_machine::cap::{CapPerms, Capability, OType};
+
+const SERVER_IP: u32 = 0x0a00_0001;
+
+fn iperf(backend: BackendChoice, recv_buf: u64) -> f64 {
+    let model = if backend == BackendChoice::None {
+        CompartmentModel::Baseline
+    } else {
+        CompartmentModel::NwOnly
+    };
+    run_iperf(&IperfParams {
+        model,
+        backend,
+        recv_buf,
+        total_bytes: 256 * 1024,
+        ..IperfParams::default()
+    })
+    .mbps
+}
+
+#[test]
+fn cheri_sits_between_baseline_and_mpk() {
+    let base = iperf(BackendChoice::None, 64);
+    let cheri = iperf(BackendChoice::Cheri, 64);
+    let mpk = iperf(BackendChoice::MpkShared, 64);
+    assert!(
+        base > cheri && cheri > mpk,
+        "expected baseline ({base:.0}) > CHERI ({cheri:.0}) > MPK ({mpk:.0}) at 64 B"
+    );
+    // And it converges to baseline at large buffers like the others.
+    let base_l = iperf(BackendChoice::None, 16 * 1024);
+    let cheri_l = iperf(BackendChoice::Cheri, 16 * 1024);
+    assert!(base_l / cheri_l < 1.05);
+}
+
+#[test]
+fn cheri_images_run_the_full_workloads() {
+    let r = run_redis(&RedisParams {
+        model: CompartmentModel::NwOnly,
+        backend: BackendChoice::Cheri,
+        ops: 200,
+        ..RedisParams::default()
+    });
+    assert!(r.ops >= 200);
+    assert!(r.crossings > 0);
+}
+
+#[test]
+fn cheri_enforces_compartment_reach() {
+    let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::Cheri, SchedKind::Coop);
+    let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
+    // From the app compartment, the net compartment's heap is out of
+    // capability reach: the stray pointer faults.
+    let net_heap = os.img.gates.ctx(os.roles.net).heap_base;
+    assert!(os.img.write(net_heap, b"stray").is_err());
+    // Crossing the capability gate grants the reach.
+    let c_net = os.roles.net;
+    let flexos_backends::BootImage { machine, gates, .. } = &mut os.img;
+    gates
+        .cross(machine, c_net, 0, 0, |m, rt| {
+            m.write(rt.current_ctx().vcpu, net_heap, b"legit")
+        })
+        .unwrap();
+}
+
+#[test]
+fn capability_monotonicity_survives_gate_composition() {
+    // A caller derives an argument capability, seals it for the callee's
+    // compartment; the callee can use exactly that much and nothing more.
+    let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::Cheri, SchedKind::Coop);
+    let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
+    let buf = os.alloc_shared_buf(256).unwrap();
+    os.img.write(buf, b"argument-bytes").unwrap();
+
+    let arg = Capability::root(buf, 256).derive(0, 14, CapPerms::RO).unwrap();
+    let sealed = arg.seal(OType(42)).unwrap();
+    // Sealed: unusable in transit.
+    assert!(sealed.check_access(0, 1, false).is_err());
+    let usable = sealed.unseal(OType(42)).unwrap();
+    let vcpu = os.img.gates.ctx(os.roles.net).vcpu;
+    let mut back = [0u8; 14];
+    os.img.machine.read_via_cap(vcpu, &usable, 0, &mut back).unwrap();
+    assert_eq!(&back, b"argument-bytes");
+    // Out of derived bounds: refused even inside the shared buffer.
+    assert!(os.img.machine.read_via_cap(vcpu, &usable, 10, &mut back).is_err());
+}
+
+#[test]
+fn retargeting_is_a_one_line_change() {
+    // The FlexOS pitch: the *same* ImageConfig, only the backend differs.
+    for backend in [
+        BackendChoice::None,
+        BackendChoice::Cheri,
+        BackendChoice::MpkShared,
+        BackendChoice::VmRpc,
+    ] {
+        let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, backend, SchedKind::Coop);
+        let p = plan(cfg).unwrap();
+        let os = Os::boot(p, SERVER_IP, 1).unwrap();
+        assert_eq!(os.img.plan.config.backend, backend);
+    }
+}

@@ -1,0 +1,208 @@
+//! The full FlexOS pipeline, end to end: metadata → compatibility →
+//! coloring → plan → instantiation → audit → exploration.
+
+use flexos::build::{audit, plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+use flexos::compat::{enumerate_deployments, is_valid};
+use flexos::explore::{
+    candidates, fastest_meeting_security, max_security_within_budget, security_score, CallProfile,
+};
+use flexos::spec::{parse_with_name, print, suggest_sh, Analysis, LibSpec};
+use flexos_backends::instantiate;
+use flexos_machine::CostTable;
+
+/// The paper's §2 walkthrough, executed end to end.
+#[test]
+fn paper_walkthrough_from_specs_to_booted_image() {
+    // 1. Write the two specs from the paper's listings (via the DSL).
+    let sched = LibSpec::verified_scheduler();
+    let raw = parse_with_name("[Memory access] Read(*); Write(*)\n[Call] *", "rawlib").unwrap();
+
+    // Round-trip them through the textual form.
+    assert_eq!(flexos::spec::parse(&print(&sched)).unwrap(), sched);
+
+    // 2. Enumerate deployments (plain + SH variants).
+    let deployments = enumerate_deployments(&[
+        (sched.clone(), Analysis::default()),
+        (raw.clone(), Analysis::well_behaved()),
+    ]);
+    assert_eq!(deployments.len(), 2);
+    for d in &deployments {
+        assert!(is_valid(&d.graph.graph, &d.coloring));
+    }
+    // Best deployment: 1 compartment with the hardened variant.
+    assert_eq!(deployments[0].num_compartments(), 1);
+    assert_eq!(deployments[0].hardened_count(), 1);
+
+    // 3. Build a plan for the un-hardened pair under MPK: two
+    //    compartments, auto-derived.
+    let cfg = ImageConfig::new("walkthrough", BackendChoice::MpkShared)
+        .with_library(LibraryConfig::new(sched, LibRole::Scheduler))
+        .with_library(LibraryConfig::new(raw, LibRole::Other));
+    let p = plan(cfg).unwrap();
+    assert_eq!(p.num_compartments, 2);
+    assert!(audit(&p).is_empty(), "auto-derived plans are violation-free");
+
+    // 4. Boot it.
+    let img = instantiate(p).unwrap();
+    assert_eq!(img.gates.len(), 2);
+    assert_eq!(img.machine.vm_count(), 1); // MPK: one address space
+}
+
+#[test]
+fn hardened_variant_boots_into_a_single_compartment() {
+    let raw = LibSpec::unsafe_c("rawlib");
+    let sh = suggest_sh(&raw);
+    let cfg = ImageConfig::new("hardened", BackendChoice::MpkShared)
+        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(
+            LibraryConfig::new(raw, LibRole::Other)
+                .with_sh(sh)
+                .with_analysis(Analysis::well_behaved()),
+        );
+    let p = plan(cfg).unwrap();
+    assert_eq!(p.num_compartments, 1);
+    let img = instantiate(p).unwrap();
+    assert_eq!(img.gates.len(), 1);
+}
+
+#[test]
+fn audit_flags_unsafe_manual_colocation_and_auto_fixes_it() {
+    let mk = |manual: bool| {
+        let mut sched = LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler);
+        let mut raw = LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other);
+        if manual {
+            sched = sched.in_compartment(0);
+            raw = raw.in_compartment(0);
+        }
+        ImageConfig::new("audit", BackendChoice::MpkShared).with_library(sched).with_library(raw)
+    };
+    let forced = plan(mk(true)).unwrap();
+    assert!(!audit(&forced).is_empty());
+    assert!(!forced.report.warnings.is_empty());
+    let auto = plan(mk(false)).unwrap();
+    assert!(audit(&auto).is_empty());
+}
+
+#[test]
+fn exploration_objectives_agree_with_measured_orderings() {
+    let base = ImageConfig::new("dse", BackendChoice::None)
+        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(
+            LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
+                .with_analysis(Analysis::well_behaved()),
+        );
+    let profile = CallProfile::default()
+        .with_calls("lwip", "uksched_verified", 4)
+        .with_work("lwip", 2000)
+        .with_work("uksched_verified", 400);
+    let costs = CostTable::default();
+    let cands = candidates(
+        &base,
+        &[
+            BackendChoice::None,
+            BackendChoice::MpkShared,
+            BackendChoice::MpkSwitched,
+            BackendChoice::VmRpc,
+        ],
+        &profile,
+        &costs,
+    );
+    assert!(!cands.is_empty());
+
+    // A fully-secure config exists and the fastest one uses MPK shared
+    // stacks (the cheapest isolating mechanism) or SH.
+    let best = fastest_meeting_security(cands.clone(), 1.0).expect("a secure config exists");
+    assert!((best.security - 1.0).abs() < f64::EPSILON);
+    let vm_cost = cands
+        .iter()
+        .filter(|c| c.label.contains("VM RPC") && (c.security - 1.0).abs() < f64::EPSILON)
+        .map(|c| c.cycles)
+        .min()
+        .expect("VM candidates exist");
+    assert!(best.cycles < vm_cost, "objective B must not pick the most expensive gate");
+
+    // With an unlimited budget, objective A reaches full mitigation.
+    let secure = max_security_within_budget(cands.clone(), u64::MAX).unwrap();
+    assert!((secure.security - 1.0).abs() < f64::EPSILON);
+
+    // Security scoring agrees with intuition: no isolation < isolation.
+    let none = cands
+        .iter()
+        .find(|c| c.label == "function call")
+        .expect("baseline candidate");
+    assert!(none.security < 1.0);
+    assert_eq!(security_score(&none.plan), none.security);
+}
+
+#[test]
+fn api_wrappers_follow_the_trust_boundaries_of_the_plan() {
+    use flexos::wrappers::generate_wrappers;
+    // Same library set, two backends: the baseline elides every check,
+    // the MPK split includes them at the boundary — §5 made executable.
+    let mk = |backend| {
+        let cfg = ImageConfig::new("wrap", backend)
+            .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+        plan(cfg).unwrap()
+    };
+    let baseline = generate_wrappers(&mk(BackendChoice::None));
+    assert_eq!(baseline.enabled_count(), 0, "one trust domain: checks elided");
+    let split = generate_wrappers(&mk(BackendChoice::MpkShared));
+    assert_eq!(split.enabled_count(), 3, "cross-domain callers: checks included");
+    let w = split.get("uksched_verified", "thread_add").unwrap();
+    assert!(w.checks_enabled());
+    assert_eq!(w.preconditions, vec!["thread not already added"]);
+}
+
+#[test]
+fn inferred_metadata_flows_through_the_whole_pipeline() {
+    use flexos::spec::{infer_analysis, infer_spec, BehaviorTrace, GrantKind, ObservedRegion, Region};
+    // Trace a well-behaved run of a to-be-ported library…
+    let mut t = BehaviorTrace::new("ported_lib");
+    t.read(ObservedRegion::Own)
+        .read(ObservedRegion::Shared)
+        .write(ObservedRegion::Own)
+        .write(ObservedRegion::Shared)
+        .call("alloc", "malloc")
+        .entered("do_work")
+        .inbound(GrantKind::Read(Region::Own))
+        .inbound(GrantKind::Read(Region::Shared))
+        .inbound(GrantKind::Write(Region::Shared));
+    // …infer its metadata, plan, and boot.
+    let cfg = ImageConfig::new("inferred", BackendChoice::MpkShared)
+        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(
+            LibraryConfig::new(infer_spec(&t), LibRole::Other).with_analysis(infer_analysis(&t)),
+        )
+        .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+    let p = plan(cfg).unwrap();
+    // Well-behaved inferred spec co-locates with the verified scheduler;
+    // the raw library is split off.
+    assert_eq!(p.num_compartments, 2);
+    assert!(audit(&p).is_empty());
+    let img = instantiate(p).unwrap();
+    assert_eq!(img.gates.len(), 2);
+}
+
+#[test]
+fn sixteen_library_image_plans_and_boots() {
+    // Scale check: a realistic unikernel has dozens of micro-libs.
+    let mut cfg = ImageConfig::new("big", BackendChoice::MpkShared);
+    for i in 0..16 {
+        let lib = if i % 4 == 0 {
+            let mut s = LibSpec::verified_scheduler();
+            s.name = format!("safe{i}");
+            LibraryConfig::new(s, LibRole::Other)
+        } else {
+            LibraryConfig::new(LibSpec::unsafe_c(format!("lib{i}")), LibRole::Other)
+        };
+        cfg = cfg.with_library(lib);
+    }
+    let p = plan(cfg).unwrap();
+    // Safe libs conflict with unsafe ones: 2 compartments suffice (all
+    // unsafe libs are mutually compatible).
+    assert_eq!(p.num_compartments, 2);
+    assert!(audit(&p).is_empty());
+    let img = instantiate(p).unwrap();
+    assert_eq!(img.gates.len(), 2);
+}
