@@ -43,7 +43,13 @@ impl Client {
             .alloc_region(VmId(0), buf_len, ProtKey(0), PageFlags::RW)
             .expect("client buffer");
         let net = NetStack::new(CLIENT_IP, Nic::new(Mac::of_nic(nic_id)), pool, 1 << 20);
-        Self { m, net, vcpu: VcpuId(0), buf, buf_len }
+        Self {
+            m,
+            net,
+            vcpu: VcpuId(0),
+            buf,
+            buf_len,
+        }
     }
 
     /// Starts a connection to the server.
@@ -65,7 +71,9 @@ impl Client {
     /// accepted (0 when the transmit path is full).
     pub fn send_bytes(&mut self, sid: SocketId, data: &[u8]) -> u64 {
         let n = (data.len() as u64).min(self.buf_len);
-        self.m.write(self.vcpu, self.buf, &data[..n as usize]).expect("client write");
+        self.m
+            .write(self.vcpu, self.buf, &data[..n as usize])
+            .expect("client write");
         match self.net.tcp_send(&mut self.m, self.vcpu, sid, self.buf, n) {
             Ok(sent) => sent,
             Err(NetError::WouldBlock) => 0,
@@ -87,10 +95,15 @@ impl Client {
     /// Receives whatever is available, as host bytes.
     pub fn recv_bytes(&mut self, sid: SocketId, max: u64) -> Vec<u8> {
         let max = max.min(self.buf_len);
-        match self.net.tcp_recv(&mut self.m, self.vcpu, sid, self.buf, max) {
+        match self
+            .net
+            .tcp_recv(&mut self.m, self.vcpu, sid, self.buf, max)
+        {
             Ok(n) => {
                 let mut out = vec![0u8; n as usize];
-                self.m.read(self.vcpu, self.buf, &mut out).expect("client read");
+                self.m
+                    .read(self.vcpu, self.buf, &mut out)
+                    .expect("client read");
                 out
             }
             Err(NetError::WouldBlock) => Vec::new(),

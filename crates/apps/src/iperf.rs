@@ -86,8 +86,8 @@ fn make_executor(kind: SchedKind) -> Executor<Os> {
 
 /// Builds the image config for `params`.
 pub fn iperf_image(params: &IperfParams) -> flexos::build::ImageConfig {
-    let mut cfg = evaluation_image("iperf", params.model, params.backend, params.sched)
-        .on(params.hypervisor);
+    let mut cfg =
+        evaluation_image("iperf", params.model, params.backend, params.sched).on(params.hypervisor);
     for name in &params.sh_on {
         cfg = harden(cfg, name);
     }
@@ -116,7 +116,9 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
     let received_task = Rc::clone(&received);
     let listener = os.listen(IPERF_PORT).expect("listen");
     let recv_buf_len = params.recv_buf;
-    let app_buf = os.alloc_shared_buf(recv_buf_len.max(64)).expect("app buffer");
+    let app_buf = os
+        .alloc_shared_buf(recv_buf_len.max(64))
+        .expect("app buffer");
     let c_app = os.roles.app;
     let mut sid: Option<SocketId> = None;
     let task = move |os: &mut Os, tid| {
@@ -148,7 +150,8 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
         }
         Ok(Step::Yield)
     };
-    exec.spawn(c_app, Box::new(task)).expect("spawn iperf server");
+    exec.spawn(c_app, Box::new(task))
+        .expect("spawn iperf server");
 
     // Client connects and then keeps the pipe full.
     let csid = client.connect(IPERF_PORT).expect("client connect");
@@ -205,7 +208,10 @@ mod tests {
     use super::*;
 
     fn quick(params: IperfParams) -> IperfResult {
-        run_iperf(&IperfParams { total_bytes: 256 * 1024, ..params })
+        run_iperf(&IperfParams {
+            total_bytes: 256 * 1024,
+            ..params
+        })
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
 
     #[test]
     fn mpk_isolation_is_slower_than_baseline_at_small_buffers() {
-        let base = quick(IperfParams { recv_buf: 256, ..IperfParams::default() });
+        let base = quick(IperfParams {
+            recv_buf: 256,
+            ..IperfParams::default()
+        });
         let mpk = quick(IperfParams {
             model: CompartmentModel::NwOnly,
             backend: BackendChoice::MpkShared,
@@ -273,15 +282,20 @@ mod tests {
     #[test]
     fn xen_baseline_trails_kvm_baseline() {
         let kvm = quick(IperfParams::default());
-        let xen = quick(IperfParams { hypervisor: Hypervisor::Xen, ..IperfParams::default() });
+        let xen = quick(IperfParams {
+            hypervisor: Hypervisor::Xen,
+            ..IperfParams::default()
+        });
         assert!(xen.mbps < kvm.mbps);
     }
 
     #[test]
     fn verified_scheduler_costs_little_for_iperf() {
         let coop = quick(IperfParams::default());
-        let verified =
-            quick(IperfParams { sched: SchedKind::Verified, ..IperfParams::default() });
+        let verified = quick(IperfParams {
+            sched: SchedKind::Verified,
+            ..IperfParams::default()
+        });
         // Slower, but within a few percent (switch costs are a small
         // share of the packet-processing work).
         assert!(verified.mbps <= coop.mbps);

@@ -177,8 +177,12 @@ impl Os {
         let roles = Roles {
             app: img.compartment_of_role(LibRole::App).unwrap_or(fallback),
             libc: img.compartment_of_role(LibRole::LibC).unwrap_or(fallback),
-            net: img.compartment_of_role(LibRole::NetStack).unwrap_or(fallback),
-            sched: img.compartment_of_role(LibRole::Scheduler).unwrap_or(fallback),
+            net: img
+                .compartment_of_role(LibRole::NetStack)
+                .unwrap_or(fallback),
+            sched: img
+                .compartment_of_role(LibRole::Scheduler)
+                .unwrap_or(fallback),
             driver: img.compartment_of_role(LibRole::Driver).unwrap_or(fallback),
         };
 
@@ -198,17 +202,23 @@ impl Os {
         // instrumented if *any* library's SH instruments malloc — the
         // whole system pays (Figure 4, "global allocator"). Dedicated
         // mode: per compartment.
-        let any_instrumented =
-            img.plan.config.libraries.iter().any(|l| l.sh.instruments_malloc());
+        let any_instrumented = img
+            .plan
+            .config
+            .libraries
+            .iter()
+            .any(|l| l.sh.instruments_malloc());
         let alloc_instrumented: Vec<bool> = match img.heaps.mode() {
             AllocMode::Global => vec![any_instrumented; n],
-            AllocMode::PerCompartment => {
-                (0..n).map(|c| img.plan.compartment_sh[c].instruments_malloc()).collect()
-            }
+            AllocMode::PerCompartment => (0..n)
+                .map(|c| img.plan.compartment_sh[c].instruments_malloc())
+                .collect(),
         };
 
         // The network stack: socket-ring pool from its compartment heap.
-        let pool = img.heaps.alloc(&mut img.machine, roles.net, NET_POOL_BYTES, 16)?;
+        let pool = img
+            .heaps
+            .alloc(&mut img.machine, roles.net, NET_POOL_BYTES, 16)?;
         let mut net = NetStack::new(ip, Nic::new(Mac::of_nic(nic_id)), pool, NET_POOL_BYTES);
         let costs = img.machine.costs().clone();
         if img.plan.config.hypervisor == flexos::build::Hypervisor::Xen {
@@ -216,7 +226,11 @@ impl Os {
         }
         if tax.net > 0 {
             net.sh_per_packet = costs.sh_net_per_packet * tax.net / GCC_PCT
-                + if alloc_instrumented[roles.net.0 as usize] { costs.asan_alloc } else { 0 };
+                + if alloc_instrumented[roles.net.0 as usize] {
+                    costs.asan_alloc
+                } else {
+                    0
+                };
         } else if alloc_instrumented[roles.net.0 as usize] {
             // Unhardened stack on an instrumented global allocator still
             // pays the instrumented pbuf allocation per packet.
@@ -311,7 +325,10 @@ impl Os {
             return self.img.heaps.alloc(&mut self.img.machine, c, size, 16);
         }
         self.stats.instrumented_allocs += 1;
-        let outer = self.img.heaps.alloc(&mut self.img.machine, c, size + 2 * REDZONE, 16)?;
+        let outer = self
+            .img
+            .heaps
+            .alloc(&mut self.img.machine, c, size + 2 * REDZONE, 16)?;
         if self.sh.policy(c).instruments_malloc() {
             Ok(self.sh.on_alloc(&mut self.img.machine, c, outer, size))
         } else {
@@ -334,7 +351,9 @@ impl Os {
             Ok(())
         } else {
             self.img.machine.charge(self.img.machine.costs().asan_alloc);
-            self.img.heaps.free(&mut self.img.machine, c, Addr(payload.0 - REDZONE))
+            self.img
+                .heaps
+                .free(&mut self.img.machine, c, Addr(payload.0 - REDZONE))
         }
     }
 
@@ -385,7 +404,9 @@ impl Os {
             let BootImage { machine, gates, .. } = img;
             gates
                 .cross(machine, c_libc, 16, 8, |m, rt| {
-                    rt.cross(m, c_net, 16, 8, |_m, _rt| Ok(net.tcp_connect(dst_ip, dst_port)))
+                    rt.cross(m, c_net, 16, 8, |_m, _rt| {
+                        Ok(net.tcp_connect(dst_ip, dst_port))
+                    })
                 })
                 .map_err(NetError::from)??
         };
@@ -420,7 +441,13 @@ impl Os {
         let (net_tax, libc_tax) = (self.tax.net, self.tax.libc);
         let sched_cycles = self.sched_peek_cycles();
         let r = {
-            let Os { img, net, sh, stats, .. } = self;
+            let Os {
+                img,
+                net,
+                sh,
+                stats,
+                ..
+            } = self;
             let BootImage { machine, gates, .. } = img;
             gates
                 .cross(machine, c_libc, 32, 8, |m, rt| {
@@ -430,9 +457,9 @@ impl Os {
                             // Hardened socket layer: KASAN-instrumented
                             // lock/pbuf-chain work per call + a shadow
                             // check on the user buffer it touches.
-                            let extra = m.costs().socket_call * m.costs().sh_net_socket_pct
-                                * net_tax
-                                / (GCC_PCT * 100);
+                            let extra =
+                                m.costs().socket_call * m.costs().sh_net_socket_pct * net_tax
+                                    / (GCC_PCT * 100);
                             m.charge(extra);
                             if let Err(f) = sh.check_access(m, c_net, buf, len, access) {
                                 return Ok(Err(NetError::from(f)));
@@ -617,7 +644,9 @@ impl Os {
         // Readiness wakeups.
         let sched_tax_cycles = self.sched_call_cycles();
         for sid in self.net.tcp_stream_ids() {
-            let Some(&sem) = self.sock_sems.get(&sid) else { continue };
+            let Some(&sem) = self.sock_sems.get(&sid) else {
+                continue;
+            };
             if self.sems.get(sem).waiter_count() == 0 {
                 continue;
             }
@@ -625,7 +654,13 @@ impl Os {
                 continue;
             }
             self.stats.sem_ops += 1;
-            let Os { img, sems, wakes, stats, .. } = self;
+            let Os {
+                img,
+                sems,
+                wakes,
+                stats,
+                ..
+            } = self;
             let BootImage { machine, gates, .. } = img;
             gates.cross(machine, c_libc, 16, 8, |m, rt| {
                 if let Some(tid) = sems.up(sem) {
@@ -733,7 +768,12 @@ mod tests {
     #[test]
     fn hardened_netstack_pays_packet_taxes() {
         let cfg = harden(
-            evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop),
+            evaluation_image(
+                "iperf",
+                CompartmentModel::Baseline,
+                BackendChoice::None,
+                SchedKind::Coop,
+            ),
             "lwip",
         );
         let os = Os::boot(plan(cfg).unwrap(), 0x0a00_0001, 1).unwrap();
@@ -747,7 +787,12 @@ mod tests {
         // SH on lwip, global allocator (baseline model, no isolation):
         // even the app's allocations pay.
         let cfg = harden(
-            evaluation_image("redis", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop),
+            evaluation_image(
+                "redis",
+                CompartmentModel::Baseline,
+                BackendChoice::None,
+                SchedKind::Coop,
+            ),
             "lwip",
         );
         let mut os = Os::boot(plan(cfg).unwrap(), 0x0a00_0001, 1).unwrap();
@@ -760,7 +805,12 @@ mod tests {
 
         // Same but with dedicated allocators: the app side is clean.
         let mut cfg2 = harden(
-            evaluation_image("redis", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop),
+            evaluation_image(
+                "redis",
+                CompartmentModel::Baseline,
+                BackendChoice::None,
+                SchedKind::Coop,
+            ),
             "lwip",
         );
         cfg2.dedicated_allocators = true;
@@ -774,7 +824,12 @@ mod tests {
         // and the compartment union includes lwip's ASAN… the dedicated
         // case only helps once net is in its own compartment:
         let cfg3 = harden(
-            evaluation_image("redis", CompartmentModel::NwOnly, BackendChoice::MpkShared, SchedKind::Coop),
+            evaluation_image(
+                "redis",
+                CompartmentModel::NwOnly,
+                BackendChoice::MpkShared,
+                SchedKind::Coop,
+            ),
             "lwip",
         );
         let mut os3 = Os::boot(plan(cfg3).unwrap(), 0x0a00_0001, 1).unwrap();
@@ -790,16 +845,29 @@ mod tests {
 
     #[test]
     fn verified_sched_is_detected_from_the_plan() {
-        let cfg = evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Verified);
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Verified,
+        );
         let os = Os::boot(plan(cfg).unwrap(), 0x0a00_0001, 1).unwrap();
         assert_eq!(os.sched_kind, SchedKind::Verified);
     }
 
     #[test]
     fn xen_images_pay_the_hypervisor_tax() {
-        let cfg = evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop)
-            .on(flexos::build::Hypervisor::Xen);
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Coop,
+        )
+        .on(flexos::build::Hypervisor::Xen);
         let os = Os::boot(plan(cfg).unwrap(), 0x0a00_0001, 1).unwrap();
-        assert_eq!(os.net.extra_per_packet, os.img.machine.costs().xen_packet_tax);
+        assert_eq!(
+            os.net.extra_per_packet,
+            os.img.machine.costs().xen_packet_tax
+        );
     }
 }

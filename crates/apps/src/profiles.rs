@@ -29,7 +29,11 @@ pub enum SchedKind {
 /// The GCC hardening set the paper's SH experiments enable
 /// (KASAN + stack protector + UBSAN, §3).
 pub fn gcc_sh() -> ShSet {
-    ShSet::of([ShMechanism::Asan, ShMechanism::StackProtector, ShMechanism::Ubsan])
+    ShSet::of([
+        ShMechanism::Asan,
+        ShMechanism::StackProtector,
+        ShMechanism::Ubsan,
+    ])
 }
 
 /// The application library (`iperf` or `redis`): unsafe C, calls the
@@ -166,7 +170,11 @@ pub fn evaluation_image(
     backend: BackendChoice,
     sched: SchedKind,
 ) -> ImageConfig {
-    let backend = if model == CompartmentModel::Baseline { BackendChoice::None } else { backend };
+    let backend = if model == CompartmentModel::Baseline {
+        BackendChoice::None
+    } else {
+        backend
+    };
     let (net_c, sched_c) = match model {
         CompartmentModel::Baseline => (0, 0),
         CompartmentModel::NwOnly => (1, 0),
@@ -214,7 +222,12 @@ mod tests {
 
     #[test]
     fn baseline_collapses_to_one_compartment() {
-        let cfg = evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::MpkShared, SchedKind::Coop);
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::MpkShared,
+            SchedKind::Coop,
+        );
         let p = plan(cfg).unwrap();
         assert_eq!(p.num_compartments, 1);
         assert_eq!(p.config.backend, BackendChoice::None);
@@ -222,7 +235,12 @@ mod tests {
 
     #[test]
     fn nw_only_isolates_the_stack() {
-        let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::MpkShared, SchedKind::Coop);
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::NwOnly,
+            BackendChoice::MpkShared,
+            SchedKind::Coop,
+        );
         let p = plan(cfg).unwrap();
         assert_eq!(p.num_compartments, 2);
         let net = p.compartment_of_role(LibRole::NetStack).unwrap();
@@ -234,7 +252,12 @@ mod tests {
 
     #[test]
     fn nw_sched_rest_uses_three_compartments() {
-        let cfg = evaluation_image("redis", CompartmentModel::NwSchedRest, BackendChoice::MpkSwitched, SchedKind::Coop);
+        let cfg = evaluation_image(
+            "redis",
+            CompartmentModel::NwSchedRest,
+            BackendChoice::MpkSwitched,
+            SchedKind::Coop,
+        );
         let p = plan(cfg).unwrap();
         assert_eq!(p.num_compartments, 3);
         let net = p.compartment_of_role(LibRole::NetStack).unwrap();
@@ -244,21 +267,36 @@ mod tests {
 
     #[test]
     fn nw_and_sched_share_a_compartment() {
-        let cfg = evaluation_image("redis", CompartmentModel::NwAndSchedRest, BackendChoice::MpkShared, SchedKind::Coop);
+        let cfg = evaluation_image(
+            "redis",
+            CompartmentModel::NwAndSchedRest,
+            BackendChoice::MpkShared,
+            SchedKind::Coop,
+        );
         let p = plan(cfg).unwrap();
         assert_eq!(p.num_compartments, 2);
         let net = p.compartment_of_role(LibRole::NetStack).unwrap();
         let sched = p.compartment_of_role(LibRole::Scheduler).unwrap();
         assert_eq!(net, sched);
         // LibC stays in "rest" — the semaphores are elsewhere.
-        let libc_idx = p.config.libraries.iter().position(|l| l.spec.name == "libc").unwrap();
+        let libc_idx = p
+            .config
+            .libraries
+            .iter()
+            .position(|l| l.spec.name == "libc")
+            .unwrap();
         assert_ne!(p.compartment_of[libc_idx], net);
     }
 
     #[test]
     fn harden_targets_one_library() {
         let cfg = harden(
-            evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop),
+            evaluation_image(
+                "iperf",
+                CompartmentModel::Baseline,
+                BackendChoice::None,
+                SchedKind::Coop,
+            ),
             "lwip",
         );
         let p = plan(cfg).unwrap();
@@ -271,7 +309,12 @@ mod tests {
 
     #[test]
     fn harden_all_covers_every_library() {
-        let cfg = harden_all(evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Coop));
+        let cfg = harden_all(evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Coop,
+        ));
         assert!(cfg.libraries.iter().all(|l| !l.sh.is_empty()));
     }
 
@@ -280,7 +323,12 @@ mod tests {
         // Under an isolating backend with *automatic* placement, the
         // verified scheduler would demand separation; the manual models
         // pin it, and audit would flag the baseline (warnings).
-        let cfg = evaluation_image("iperf", CompartmentModel::Baseline, BackendChoice::None, SchedKind::Verified);
+        let cfg = evaluation_image(
+            "iperf",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+            SchedKind::Verified,
+        );
         let p = plan(cfg).unwrap();
         assert!(!p.report.warnings.is_empty());
     }

@@ -118,7 +118,10 @@ impl RedisServer {
         let work = os.img.machine.costs().app_request;
         os.app_compute(work);
         self.ops += 1;
-        let cmd = args.first().map(|c| c.to_ascii_uppercase()).unwrap_or_default();
+        let cmd = args
+            .first()
+            .map(|c| c.to_ascii_uppercase())
+            .unwrap_or_default();
         match (cmd.as_slice(), args.len()) {
             (b"PING", 1) => RespValue::Simple("PONG".into()),
             (b"SET", 3) => {
@@ -128,7 +131,9 @@ impl RedisServer {
                         if let Err(f) = os.img.write(addr, value) {
                             return RespValue::Error(format!("ERR fault: {f}"));
                         }
-                        if let Some((old, _)) = self.store.insert(args[1].clone(), (addr, value.len() as u64))
+                        if let Some((old, _)) = self
+                            .store
+                            .insert(args[1].clone(), (addr, value.len() as u64))
                         {
                             let _ = os.free_in(self.c_app, old);
                         }
@@ -166,9 +171,7 @@ impl RedisServer {
                 }
                 None => RespValue::Integer(0),
             },
-            (b"EXISTS", 2) => {
-                RespValue::Integer(i64::from(self.store.contains_key(&args[1])))
-            }
+            (b"EXISTS", 2) => RespValue::Integer(i64::from(self.store.contains_key(&args[1]))),
             _ => RespValue::Error(format!(
                 "ERR unknown command '{}'",
                 String::from_utf8_lossy(&cmd)
@@ -238,8 +241,8 @@ fn make_executor(kind: SchedKind) -> Executor<Os> {
 
 /// Builds the image config for `params`.
 pub fn redis_image(params: &RedisParams) -> flexos::build::ImageConfig {
-    let mut cfg = evaluation_image("redis", params.model, params.backend, params.sched)
-        .on(params.hypervisor);
+    let mut cfg =
+        evaluation_image("redis", params.model, params.backend, params.sched).on(params.hypervisor);
     for name in &params.sh_on {
         cfg = harden(cfg, name);
     }
@@ -268,7 +271,9 @@ impl LoadGen {
             completed: 0,
             inflight: 0,
             payload: vec![b'v'; payload.max(1)],
-            keys: (0..16).map(|i| format!("key:{i:04}").into_bytes()).collect(),
+            keys: (0..16)
+                .map(|i| format!("key:{i:04}").into_bytes())
+                .collect(),
             next: 0,
             mix,
             pipeline,
@@ -340,9 +345,12 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
                 Err(e) => panic!("accept failed: {e}"),
             }
         }
-        server_task.borrow_mut().service(os, tid, sid.expect("accepted"))
+        server_task
+            .borrow_mut()
+            .service(os, tid, sid.expect("accepted"))
     };
-    exec.spawn(c_app, Box::new(task)).expect("spawn redis server");
+    exec.spawn(c_app, Box::new(task))
+        .expect("spawn redis server");
 
     let csid = client.connect(REDIS_PORT).expect("client connect");
     for _ in 0..8 {
@@ -356,11 +364,11 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
 
     let mut load = LoadGen::new(params.payload, params.mix, params.pipeline);
     let drive = |os: &mut Os,
-                     exec: &mut Executor<Os>,
-                     client: &mut Client,
-                     link: &mut Link,
-                     load: &mut LoadGen,
-                     target: u64| {
+                 exec: &mut Executor<Os>,
+                 client: &mut Client,
+                 link: &mut Link,
+                 load: &mut LoadGen,
+                 target: u64| {
         let mut idle = 0u32;
         while load.completed < target {
             let batch = load.batch();
@@ -399,7 +407,14 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
     // Measured phase.
     let start_cycles = os.img.machine.clock().cycles();
     let start_crossings = os.img.gates.stats().crossings;
-    drive(&mut os, &mut exec, &mut client, &mut link, &mut load, params.ops);
+    drive(
+        &mut os,
+        &mut exec,
+        &mut client,
+        &mut link,
+        &mut load,
+        params.ops,
+    );
     let cycles = os.img.machine.clock().cycles() - start_cycles;
     let ops = load.completed;
     RedisResult {
@@ -421,7 +436,10 @@ mod tests {
     #[test]
     fn get_and_set_complete_against_the_server() {
         for mix in [Mix::Set, Mix::Get] {
-            let r = quick(RedisParams { mix, ..RedisParams::default() });
+            let r = quick(RedisParams {
+                mix,
+                ..RedisParams::default()
+            });
             assert!(r.ops >= 300);
             assert!(r.mreq_per_s > 0.0);
         }
@@ -503,7 +521,10 @@ mod tests {
     #[test]
     fn verified_scheduler_overhead_is_small_for_redis() {
         let coop = quick(RedisParams::default());
-        let verified = quick(RedisParams { sched: SchedKind::Verified, ..RedisParams::default() });
+        let verified = quick(RedisParams {
+            sched: SchedKind::Verified,
+            ..RedisParams::default()
+        });
         assert!(verified.mreq_per_s <= coop.mreq_per_s);
         assert!(verified.mreq_per_s > coop.mreq_per_s * 0.9);
     }

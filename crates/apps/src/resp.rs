@@ -80,7 +80,10 @@ fn encode_into(v: &RespValue, out: &mut Vec<u8>) {
 
 /// Encodes a client command (array of bulk strings).
 pub fn encode_command(args: &[&[u8]]) -> Vec<u8> {
-    let items: Vec<RespValue> = args.iter().map(|a| RespValue::Bulk(Some(a.to_vec()))).collect();
+    let items: Vec<RespValue> = args
+        .iter()
+        .map(|a| RespValue::Bulk(Some(a.to_vec())))
+        .collect();
     encode(&RespValue::Array(items))
 }
 
@@ -140,7 +143,10 @@ impl RespParser {
                 if &self.buf[after + n..after + n + 2] != b"\r\n" {
                     return None;
                 }
-                Some((RespValue::Bulk(Some(self.buf[after..after + n].to_vec())), after + n + 2))
+                Some((
+                    RespValue::Bulk(Some(self.buf[after..after + n].to_vec())),
+                    after + n + 2,
+                ))
             }
             b'*' => {
                 let n: i64 = text.parse().ok()?;
@@ -234,7 +240,10 @@ mod tests {
             }
         }
         let args = p.parse_command().unwrap();
-        assert_eq!(args, vec![b"SET".to_vec(), b"key".to_vec(), b"value".to_vec()]);
+        assert_eq!(
+            args,
+            vec![b"SET".to_vec(), b"key".to_vec(), b"value".to_vec()]
+        );
     }
 
     #[test]
@@ -243,7 +252,10 @@ mod tests {
         p.feed(&encode_command(&[b"PING"]));
         p.feed(&encode_command(&[b"GET", b"k"]));
         assert_eq!(p.parse_command().unwrap(), vec![b"PING".to_vec()]);
-        assert_eq!(p.parse_command().unwrap(), vec![b"GET".to_vec(), b"k".to_vec()]);
+        assert_eq!(
+            p.parse_command().unwrap(),
+            vec![b"GET".to_vec(), b"k".to_vec()]
+        );
         assert!(p.parse_command().is_none());
     }
 

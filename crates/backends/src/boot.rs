@@ -14,10 +14,10 @@ use crate::mpk::{MpkSharedGate, MpkSwitchedGate};
 use crate::vmrpc::VmRpcGate;
 use flexos::build::{BackendChoice, ImagePlan, LibRole};
 use flexos::gate::{CompartmentCtx, CompartmentId, DirectGate, Gate, GateRuntime};
+use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
 use flexos_machine::{
     Addr, Fault, Machine, MachineConfig, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId,
 };
-use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
 use std::rc::Rc;
 
 /// Sizing knobs for instantiation.
@@ -88,7 +88,9 @@ impl BootImage {
 
     /// The compartment hosting the first library with `role`.
     pub fn compartment_of_role(&self, role: LibRole) -> Option<CompartmentId> {
-        self.plan.compartment_of_role(role).map(|c| CompartmentId(c as u16))
+        self.plan
+            .compartment_of_role(role)
+            .map(|c| CompartmentId(c as u16))
     }
 
     /// Allocates from the *current* compartment's heap.
@@ -143,7 +145,9 @@ impl BootImage {
         } else {
             let ctx = self.gates.ctx(compartment).clone();
             let key = ctx.keys.first().copied().unwrap_or(ProtKey(0));
-            let base = self.machine.alloc_region(ctx.vm, size, key, PageFlags::RW)?;
+            let base = self
+                .machine
+                .alloc_region(ctx.vm, size, key, PageFlags::RW)?;
             Ok((base, size))
         }
     }
@@ -157,11 +161,14 @@ impl BootImage {
         ret_bytes: u64,
         f: impl FnOnce(&mut Machine, &mut GateRuntime) -> Result<R>,
     ) -> Result<R> {
-        let target = self.compartment_of_lib(lib).ok_or_else(|| Fault::HardeningAbort {
-            mechanism: "gate",
-            reason: format!("unknown library `{lib}`"),
-        })?;
-        self.gates.cross(&mut self.machine, target, arg_bytes, ret_bytes, f)
+        let target = self
+            .compartment_of_lib(lib)
+            .ok_or_else(|| Fault::HardeningAbort {
+                mechanism: "gate",
+                reason: format!("unknown library `{lib}`"),
+            })?;
+        self.gates
+            .cross(&mut self.machine, target, arg_bytes, ret_bytes, f)
     }
 }
 
@@ -229,12 +236,22 @@ pub fn instantiate_with(plan: ImagePlan, opts: BootOptions) -> Result<BootImage>
             let key = keys[c].first().copied().unwrap_or(ProtKey(0));
             let base =
                 machine.alloc_region(vms[c], opts.heap_per_compartment, key, PageFlags::RW)?;
-            allocators.push(Box::new(FreeListAllocator::new(base, opts.heap_per_compartment)));
+            allocators.push(Box::new(FreeListAllocator::new(
+                base,
+                opts.heap_per_compartment,
+            )));
         }
     } else {
-        let base =
-            machine.alloc_region(VmId(0), opts.heap_per_compartment, ProtKey(0), PageFlags::RW)?;
-        allocators.push(Box::new(FreeListAllocator::new(base, opts.heap_per_compartment)));
+        let base = machine.alloc_region(
+            VmId(0),
+            opts.heap_per_compartment,
+            ProtKey(0),
+            PageFlags::RW,
+        )?;
+        allocators.push(Box::new(FreeListAllocator::new(
+            base,
+            opts.heap_per_compartment,
+        )));
     }
 
     for c in 0..n {
@@ -301,7 +318,10 @@ mod tests {
                 LibSpec::verified_scheduler(),
                 LibRole::Scheduler,
             ))
-            .with_library(LibraryConfig::new(LibSpec::unsafe_c("netstack"), LibRole::NetStack))
+            .with_library(LibraryConfig::new(
+                LibSpec::unsafe_c("netstack"),
+                LibRole::NetStack,
+            ))
             .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
         plan(cfg).unwrap()
     }
@@ -338,7 +358,9 @@ mod tests {
         let img = instantiate(three_lib_plan(BackendChoice::VmRpc)).unwrap();
         let n = img.gates.len();
         assert!(n >= 2);
-        let mut vms: Vec<_> = (0..n).map(|c| img.gates.ctx(CompartmentId(c as u16)).vm).collect();
+        let mut vms: Vec<_> = (0..n)
+            .map(|c| img.gates.ctx(CompartmentId(c as u16)).vm)
+            .collect();
         vms.dedup();
         assert_eq!(vms.len(), n, "each compartment runs in its own VM");
         assert_eq!(img.machine.vm_count(), n);
@@ -371,7 +393,9 @@ mod tests {
             let mut img = instantiate(three_lib_plan(backend)).unwrap();
             let sched_c = img.compartment_of_role(LibRole::Scheduler).unwrap();
             let t0 = img.machine.clock().cycles();
-            img.gates.cross(&mut img.machine, sched_c, 16, 8, |_, _| Ok(())).unwrap();
+            img.gates
+                .cross(&mut img.machine, sched_c, 16, 8, |_, _| Ok(()))
+                .unwrap();
             let spent = img.machine.clock().cycles() - t0;
             assert!(spent >= min_cost, "{backend:?}: {spent} < {min_cost}");
         }

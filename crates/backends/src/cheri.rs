@@ -94,7 +94,9 @@ mod tests {
     use flexos_machine::{PageFlags, Pkru, ProtKey, VcpuId, VmId};
 
     fn ctx(id: u16, key: u8, m: &mut Machine) -> CompartmentCtx {
-        let heap = m.alloc_region(VmId(0), 8192, ProtKey(key), PageFlags::RW).unwrap();
+        let heap = m
+            .alloc_region(VmId(0), 8192, ProtKey(key), PageFlags::RW)
+            .unwrap();
         CompartmentCtx {
             id: CompartmentId(id),
             name: format!("c{id}"),

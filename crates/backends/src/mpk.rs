@@ -165,7 +165,10 @@ mod tests {
         let c0 = m.clock().cycles();
         gate.enter(&mut m, &a, &b, 128).unwrap();
         let charged = m.clock().cycles() - c0;
-        assert_eq!(charged, m.costs().mpk_switched_gate() + m.costs().copy_cost(128));
+        assert_eq!(
+            charged,
+            m.costs().mpk_switched_gate() + m.costs().copy_cost(128)
+        );
         assert!(charged > m.costs().mpk_shared_gate());
     }
 
@@ -192,9 +195,15 @@ mod tests {
         let stolen = Machine::with_defaults().gate_token();
         let forged = MpkSharedGate::new(stolen);
         let err = forged.enter(&mut m, &a, &b, 0).unwrap_err();
-        assert!(matches!(err, flexos_machine::Fault::UnauthorizedPkruWrite { .. }));
+        assert!(matches!(
+            err,
+            flexos_machine::Fault::UnauthorizedPkruWrite { .. }
+        ));
         // Direct wrpkru without any token fails too (PKU-pitfalls defense).
         let err = m.wrpkru(VcpuId(0), b.pkru, None).unwrap_err();
-        assert!(matches!(err, flexos_machine::Fault::UnauthorizedPkruWrite { .. }));
+        assert!(matches!(
+            err,
+            flexos_machine::Fault::UnauthorizedPkruWrite { .. }
+        ));
     }
 }

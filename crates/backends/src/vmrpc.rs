@@ -28,7 +28,10 @@ pub struct VmRpcGate {
 impl VmRpcGate {
     /// Creates the gate over an RPC area of `compartments` inboxes.
     pub fn new(rpc_base: Addr, compartments: u16) -> Self {
-        Self { rpc_base, compartments }
+        Self {
+            rpc_base,
+            compartments,
+        }
     }
 
     /// Bytes of shared memory this gate needs for `compartments` inboxes.
@@ -122,10 +125,16 @@ mod tests {
         let mut m = Machine::with_defaults();
         let vm1 = m.add_vm(false);
         let vcpu1 = m.add_vcpu(vm1);
-        let rpc_base = m.alloc_shared_region(VmRpcGate::area_bytes(2), ProtKey(0)).unwrap();
+        let rpc_base = m
+            .alloc_shared_region(VmRpcGate::area_bytes(2), ProtKey(0))
+            .unwrap();
         let gate = VmRpcGate::new(rpc_base, 2);
-        let heap0 = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
-        let heap1 = m.alloc_region(vm1, 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let heap0 = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let heap1 = m
+            .alloc_region(vm1, 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let c0 = CompartmentCtx {
             id: CompartmentId(0),
             name: "rest".into(),

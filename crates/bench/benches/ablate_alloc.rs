@@ -33,17 +33,23 @@ fn bench_allocators(c: &mut Criterion) {
     let mut g = c.benchmark_group("allocator_designs");
     g.bench_function("freelist", |b| {
         let mut m = Machine::with_defaults();
-        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
         b.iter(|| mixed_workload(&mut FreeListAllocator::new(base, 1 << 20), &mut m))
     });
     g.bench_function("buddy", |b| {
         let mut m = Machine::with_defaults();
-        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
         b.iter(|| mixed_workload(&mut BuddyAllocator::new(base, 1 << 20), &mut m))
     });
     g.bench_function("bump_with_reset", |b| {
         let mut m = Machine::with_defaults();
-        let base = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
         b.iter(|| {
             let mut a = BumpAllocator::new(base, 1 << 20);
             for i in 0..256u64 {

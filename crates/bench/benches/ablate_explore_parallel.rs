@@ -1,0 +1,223 @@
+//! Ablation: parallel, memoized design-space exploration vs the naive
+//! serial, uncached walk (the engine this PR replaced).
+//!
+//! Three measurements on a synthetic 16-library image (5 of which carry
+//! an SH suggestion, so 5 backends × 2^5 masks = 160 candidates):
+//!
+//! 1. **memoization** — cached vs uncached serial exploration. The
+//!    cache answers the O(n²)-per-candidate pairwise checks once per
+//!    distinct effective-spec pair across the whole run, so this is a
+//!    ≥2× win even on a single core.
+//! 2. **parallel scaling** — the cached engine at threads ∈ {1, 2, 8}.
+//!    Wall-clock speedup tracks the machine's core count (this is a
+//!    per-candidate-independent fan-out); on a single-core host the
+//!    thread sweep only measures coordination overhead.
+//! 3. **determinism** — asserted, not timed: every thread count must
+//!    produce a byte-identical candidate list.
+//!
+//! The summary pass prints the measured speedups and the cache hit rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexos::build::{plan, BackendChoice, ImageConfig};
+use flexos::explore::{
+    estimate_request_cycles, explore, security_score, CallProfile, Candidate, ExploreOptions,
+};
+use flexos::spec::suggest_sh;
+use flexos::synth::{synthetic_image, SyntheticImage};
+use flexos_machine::CostTable;
+use std::time::Instant;
+
+const BACKENDS: &[BackendChoice] = &[
+    BackendChoice::None,
+    BackendChoice::MpkShared,
+    BackendChoice::MpkSwitched,
+    BackendChoice::VmRpc,
+    BackendChoice::Cheri,
+];
+
+/// The pre-memoization exploration engine, reconstructed from the public
+/// API: a serial nested loop where every candidate re-runs every
+/// pairwise compatibility check from scratch (`plan` + `security_score`,
+/// no shared cache). This is the ablation baseline.
+fn uncached_serial(
+    base: &ImageConfig,
+    profile: &CallProfile,
+    costs: &CostTable,
+) -> Vec<(String, u64, u64)> {
+    let suggestions: Vec<_> = base
+        .libraries
+        .iter()
+        .map(|l| {
+            let s = suggest_sh(&l.spec);
+            (!s.is_empty()).then_some(s)
+        })
+        .collect();
+    let toggleable: Vec<usize> = (0..base.libraries.len())
+        .filter(|&i| suggestions[i].is_some())
+        .collect();
+    let mut out = Vec::new();
+    for &backend in BACKENDS {
+        for mask in 0..(1u32 << toggleable.len()) {
+            let mut cfg = base.clone();
+            cfg.backend = backend;
+            let mut hardened = Vec::new();
+            for (bit, &i) in toggleable.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    cfg.libraries[i].sh = suggestions[i].clone().expect("toggleable");
+                    hardened.push(cfg.libraries[i].spec.name.clone());
+                }
+            }
+            let Ok(p) = plan(cfg) else { continue };
+            let cycles = estimate_request_cycles(&p, profile, costs);
+            let security = security_score(&p).to_bits();
+            let label = if hardened.is_empty() {
+                format!("{backend}")
+            } else {
+                format!("{backend} + SH({})", hardened.join(","))
+            };
+            out.push((label, cycles, security));
+        }
+    }
+    out
+}
+
+fn canonical(cands: &[Candidate]) -> Vec<(String, u64, u64)> {
+    cands
+        .iter()
+        .map(|c| (c.label.clone(), c.cycles, c.security.to_bits()))
+        .collect()
+}
+
+fn workload() -> (SyntheticImage, CostTable) {
+    (synthetic_image(16, 5, 42), CostTable::default())
+}
+
+fn bench_memoization(c: &mut Criterion) {
+    let (img, costs) = workload();
+    let mut g = c.benchmark_group("explore_memoization");
+    g.bench_function("uncached_serial", |b| {
+        b.iter(|| black_box(uncached_serial(&img.config, &img.profile, &costs)))
+    });
+    g.bench_function("cached_serial", |b| {
+        b.iter(|| {
+            black_box(explore(
+                &img.config,
+                BACKENDS,
+                &img.profile,
+                &costs,
+                &ExploreOptions::serial(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let (img, costs) = workload();
+    let mut g = c.benchmark_group("explore_threads");
+    for threads in [1usize, 2, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(explore(
+                    &img.config,
+                    BACKENDS,
+                    &img.profile,
+                    &costs,
+                    &ExploreOptions::default().with_threads(t),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn summary(_c: &mut Criterion) {
+    let (img, costs) = workload();
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 1 } else { 5 };
+
+    let time = |f: &dyn Fn()| {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed() / reps
+    };
+
+    let serial = explore(
+        &img.config,
+        BACKENDS,
+        &img.profile,
+        &costs,
+        &ExploreOptions::serial(),
+    );
+    assert_eq!(serial.candidates.len(), BACKENDS.len() * 32);
+    println!(
+        "explore summary: {} candidates, cache {} entries, hit rate {:.1}%",
+        serial.candidates.len(),
+        serial.cache_stats.entries,
+        serial.cache_stats.hit_rate() * 100.0
+    );
+
+    // Determinism: every thread count must match the serial list exactly.
+    for threads in [2usize, 8, 0] {
+        let par = explore(
+            &img.config,
+            BACKENDS,
+            &img.profile,
+            &costs,
+            &ExploreOptions::default().with_threads(threads),
+        );
+        assert_eq!(
+            canonical(&par.candidates),
+            canonical(&serial.candidates),
+            "threads={threads} diverged from serial"
+        );
+    }
+    println!("explore summary: parallel output byte-identical to serial (threads 2, 8, auto)");
+
+    // The uncached baseline must agree on the visible results too.
+    assert_eq!(
+        uncached_serial(&img.config, &img.profile, &costs),
+        canonical(&serial.candidates)
+    );
+
+    let t_uncached = time(&|| {
+        black_box(uncached_serial(&img.config, &img.profile, &costs));
+    });
+    let t_cached = time(&|| {
+        black_box(explore(
+            &img.config,
+            BACKENDS,
+            &img.profile,
+            &costs,
+            &ExploreOptions::serial(),
+        ));
+    });
+    let t_par8 = time(&|| {
+        black_box(explore(
+            &img.config,
+            BACKENDS,
+            &img.profile,
+            &costs,
+            &ExploreOptions::default().with_threads(8),
+        ));
+    });
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "explore summary: uncached serial {t_uncached:?}, cached serial {t_cached:?} \
+         ({:.2}x), cached threads=8 {t_par8:?} ({:.2}x vs uncached; {cores} core(s) available)",
+        t_uncached.as_secs_f64() / t_cached.as_secs_f64(),
+        t_uncached.as_secs_f64() / t_par8.as_secs_f64(),
+    );
+    if !smoke {
+        assert!(
+            t_uncached.as_secs_f64() / t_cached.as_secs_f64() >= 2.0
+                || t_uncached.as_secs_f64() / t_par8.as_secs_f64() >= 2.0,
+            "memoized exploration should be at least 2x the uncached baseline"
+        );
+    }
+}
+
+criterion_group!(benches, bench_memoization, bench_thread_sweep, summary);
+criterion_main!(benches);

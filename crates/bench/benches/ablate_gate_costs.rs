@@ -13,7 +13,10 @@ use flexos_machine::CostTable;
 
 fn image(backend: BackendChoice) -> flexos::build::ImagePlan {
     let cfg = ImageConfig::new("ablate", backend)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
                 .with_analysis(Analysis::well_behaved()),
@@ -48,7 +51,11 @@ fn bench_ablation(c: &mut Criterion) {
     // conclusion must hold everywhere.
     for wrpkru in [15u64, 30, 60, 120] {
         for vm_notify in [875u64, 3500, 14000] {
-            let costs = CostTable { wrpkru, vm_notify, ..CostTable::default() };
+            let costs = CostTable {
+                wrpkru,
+                vm_notify,
+                ..CostTable::default()
+            };
             assert!(
                 ordering_holds(&costs),
                 "gate ordering broke at wrpkru={wrpkru}, vm_notify={vm_notify}"

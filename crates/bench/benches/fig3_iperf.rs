@@ -5,8 +5,8 @@
 //! `cargo run -p flexos-bench --bin reproduce -- fig3`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexos_bench::experiments::Fig3Config;
 use flexos_apps::iperf::run_iperf;
+use flexos_bench::experiments::Fig3Config;
 
 fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_iperf");

@@ -10,19 +10,30 @@ fn bench_fig5(c: &mut Criterion) {
     g.sample_size(10);
     let mut cases: Vec<(String, RedisParams)> = vec![(
         "No-Isol".into(),
-        RedisParams { mix: Mix::Get, ops: 200, ..RedisParams::default() },
+        RedisParams {
+            mix: Mix::Get,
+            ops: 200,
+            ..RedisParams::default()
+        },
     )];
     for model in [
         CompartmentModel::NwOnly,
         CompartmentModel::NwSchedRest,
         CompartmentModel::NwAndSchedRest,
     ] {
-        for (stacks, backend) in
-            [("Sh", BackendChoice::MpkShared), ("Sw", BackendChoice::MpkSwitched)]
-        {
+        for (stacks, backend) in [
+            ("Sh", BackendChoice::MpkShared),
+            ("Sw", BackendChoice::MpkSwitched),
+        ] {
             cases.push((
                 format!("{}-{stacks}", model.label()),
-                RedisParams { model, backend, mix: Mix::Get, ops: 200, ..RedisParams::default() },
+                RedisParams {
+                    model,
+                    backend,
+                    mix: Mix::Get,
+                    ops: 200,
+                    ..RedisParams::default()
+                },
             ));
         }
     }

@@ -3,8 +3,8 @@
 //! the build-time machinery whose cost a FlexOS user pays per build.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexos::compat::{color, dsatur, exact, Graph, IncompatGraph};
 use flexos::compat::enumerate_deployments;
+use flexos::compat::{color, dsatur, exact, Graph, IncompatGraph};
 use flexos::spec::{parse, print, Analysis, LibSpec};
 
 fn scheduler_text() -> String {
@@ -35,7 +35,9 @@ fn bench_compat(c: &mut Criterion) {
         s.name = format!("lib{i}");
         specs.push(s);
     }
-    g.bench_function("incompat_graph_12_libs", |b| b.iter(|| IncompatGraph::build(&specs)));
+    g.bench_function("incompat_graph_12_libs", |b| {
+        b.iter(|| IncompatGraph::build(&specs))
+    });
     g.finish();
 }
 
@@ -44,7 +46,9 @@ fn random_graph(n: usize, density_pct: u64) -> Graph {
     let mut state = 0x12345678u64;
     for i in 0..n {
         for j in 0..i {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (state >> 33) % 100 < density_pct {
                 g.add_edge(i, j);
             }
@@ -86,9 +90,17 @@ fn bench_enumeration(c: &mut Criterion) {
             (spec, Analysis::well_behaved())
         })
         .collect();
-    g.bench_function("six_libs_with_sh_variants", |b| b.iter(|| enumerate_deployments(&libs)));
+    g.bench_function("six_libs_with_sh_variants", |b| {
+        b.iter(|| enumerate_deployments(&libs))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_spec, bench_compat, bench_coloring, bench_enumeration);
+criterion_group!(
+    benches,
+    bench_spec,
+    bench_compat,
+    bench_coloring,
+    bench_enumeration
+);
 criterion_main!(benches);

@@ -5,7 +5,12 @@ use flexos_apps::iperf::{run_iperf, IperfParams};
 use flexos_bench::experiments::ALL_LIBS;
 
 fn params(sh_on: Vec<String>) -> IperfParams {
-    IperfParams { recv_buf: 8 * 1024, total_bytes: 128 * 1024, sh_on, ..IperfParams::default() }
+    IperfParams {
+        recv_buf: 8 * 1024,
+        total_bytes: 128 * 1024,
+        sh_on,
+        ..IperfParams::default()
+    }
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -16,7 +21,10 @@ fn bench_table1(c: &mut Criterion) {
         ("sh_scheduler_only", vec!["uksched".into()]),
         ("sh_netstack_only", vec!["lwip".into()]),
         ("sh_libc_only", vec!["libc".into()]),
-        ("sh_everything", ALL_LIBS.iter().map(|s| s.to_string()).collect()),
+        (
+            "sh_everything",
+            ALL_LIBS.iter().map(|s| s.to_string()).collect(),
+        ),
     ];
     for (name, sh_on) in cases {
         let p = params(sh_on);

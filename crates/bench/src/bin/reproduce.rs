@@ -17,7 +17,7 @@ use flexos::explore::{
 };
 use flexos::spec::{print as print_spec, Analysis, FuncRef, LibSpec};
 use flexos_bench::experiments::{
-    ctx_switch, ext_cheri, fig3, fig4, fig5, fig3_buffer_sizes, table1, Fig3Config, Fig4Config,
+    ctx_switch, ext_cheri, fig3, fig3_buffer_sizes, fig4, fig5, table1, Fig3Config, Fig4Config,
 };
 use flexos_bench::report::{fmt_mbps, fmt_slowdown, Table};
 use flexos_machine::CostTable;
@@ -55,7 +55,12 @@ fn run_table1(quick: bool) {
     let t1 = table1(quick);
     let mut t = Table::new(
         "Table 1: iperf throughput with SH on various components",
-        &["Component C", "SH: all but C", "SH: C only", "slowdown (C only)"],
+        &[
+            "Component C",
+            "SH: all but C",
+            "SH: C only",
+            "slowdown (C only)",
+        ],
     );
     for row in &t1.rows {
         t.row(vec![
@@ -81,8 +86,12 @@ fn run_table1(quick: bool) {
 fn run_fig4(quick: bool) {
     println!("Running Figure 4 (Redis under SH configs + verified scheduler)...");
     let points = fig4(quick);
-    let payloads: Vec<usize> =
-        { let mut p: Vec<usize> = points.iter().map(|p| p.payload).collect(); p.sort_unstable(); p.dedup(); p };
+    let payloads: Vec<usize> = {
+        let mut p: Vec<usize> = points.iter().map(|p| p.payload).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
     let mut headers = vec!["config".to_string()];
     for &pl in &payloads {
         headers.push(format!("SET {pl}B"));
@@ -115,8 +124,12 @@ fn run_fig4(quick: bool) {
 fn run_fig5(quick: bool) {
     println!("Running Figure 5 (Redis with MPK isolation)...");
     let points = fig5(quick);
-    let payloads: Vec<usize> =
-        { let mut p: Vec<usize> = points.iter().map(|p| p.payload).collect(); p.sort_unstable(); p.dedup(); p };
+    let payloads: Vec<usize> = {
+        let mut p: Vec<usize> = points.iter().map(|p| p.payload).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
     let mut headers = vec!["model".to_string(), "stacks".to_string()];
     headers.extend(payloads.iter().map(|p| format!("{p}B payload")));
     let mut t = Table::new(
@@ -134,7 +147,11 @@ fn run_fig5(quick: bool) {
         }
         t.row(row);
     };
-    emit(flexos_apps::CompartmentModel::Baseline, BackendChoice::None, "-");
+    emit(
+        flexos_apps::CompartmentModel::Baseline,
+        BackendChoice::None,
+        "-",
+    );
     for model in [
         flexos_apps::CompartmentModel::NwOnly,
         flexos_apps::CompartmentModel::NwSchedRest,
@@ -189,7 +206,11 @@ fn run_ctxswitch() {
         "Context-switch latency (paper §4: 76.6 ns C vs 218.6 ns verified)",
         &["scheduler", "latency", "ratio"],
     );
-    t.row(vec!["C (coop)".into(), format!("{:.1} ns", r.coop_ns), "1.0x".into()]);
+    t.row(vec![
+        "C (coop)".into(),
+        format!("{:.1} ns", r.coop_ns),
+        "1.0x".into(),
+    ]);
     t.row(vec![
         "Verified (Dafny port)".into(),
         format!("{:.1} ns", r.verified_ns),
@@ -206,7 +227,10 @@ fn run_coloring() {
     println!("Unsafe C library spec:\n{}", print_spec(&raw));
 
     let graph = IncompatGraph::build(&[sched.clone(), raw.clone()]);
-    println!("Pairwise check: incompatible edges = {}", graph.graph.edge_count());
+    println!(
+        "Pairwise check: incompatible edges = {}",
+        graph.graph.edge_count()
+    );
     if let Some(reasons) = graph.why(0, 1) {
         for r in reasons {
             println!("  - {r}");
@@ -223,8 +247,11 @@ fn run_coloring() {
         &["variant choice", "compartments", "hardened libs"],
     );
     for d in &deployments {
-        let choice: Vec<String> =
-            d.variants.iter().map(|v| format!("{}[{}]", v.spec.name, v.sh)).collect();
+        let choice: Vec<String> = d
+            .variants
+            .iter()
+            .map(|v| format!("{}[{}]", v.spec.name, v.sh))
+            .collect();
         t.row(vec![
             choice.join(" + "),
             d.num_compartments().to_string(),
@@ -241,7 +268,10 @@ fn run_coloring() {
 fn run_explore() {
     println!("Running the §2 design-space-exploration objectives...");
     let base = ImageConfig::new("explore", BackendChoice::None)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
                 .with_analysis(Analysis::well_behaved()),
@@ -275,7 +305,11 @@ fn run_explore() {
         &["configuration", "cycles/req", "security"],
     );
     for c in pareto_frontier(cands.clone()) {
-        t.row(vec![c.label.clone(), c.cycles.to_string(), format!("{:.2}", c.security)]);
+        t.row(vec![
+            c.label.clone(),
+            c.cycles.to_string(),
+            format!("{:.2}", c.security),
+        ]);
     }
     println!("{}", t.render());
 
@@ -308,7 +342,11 @@ fn run_explore() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     let all = what == "all";
     println!(
         "FlexOS-rs reproduction harness (deterministic cycle simulation @2.1 GHz{})",
@@ -339,8 +377,17 @@ fn main() {
         run_cheri(quick);
     }
     if !all
-        && !["fig3", "table1", "fig4", "fig5", "cheri", "ctxswitch", "coloring", "explore"]
-            .contains(&what.as_str())
+        && ![
+            "fig3",
+            "table1",
+            "fig4",
+            "fig5",
+            "cheri",
+            "ctxswitch",
+            "coloring",
+            "explore",
+        ]
+        .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \

@@ -75,7 +75,11 @@ impl Fig3Config {
 
     /// Instantiates the iperf parameters for this configuration.
     pub fn params(self, recv_buf: u64, total_bytes: u64) -> IperfParams {
-        let mut p = IperfParams { recv_buf, total_bytes, ..IperfParams::default() };
+        let mut p = IperfParams {
+            recv_buf,
+            total_bytes,
+            ..IperfParams::default()
+        };
         match self {
             Fig3Config::KvmBaseline => {}
             Fig3Config::ShKvm => p.sh_on = vec!["lwip".into()],
@@ -125,7 +129,11 @@ pub fn fig3(quick: bool) -> Vec<Fig3Point> {
     for config in Fig3Config::ALL {
         for &recv_buf in &fig3_buffer_sizes(quick) {
             let r = run_iperf(&config.params(recv_buf, iperf_bytes(quick)));
-            out.push(Fig3Point { config, recv_buf, mbps: r.mbps });
+            out.push(Fig3Point {
+                config,
+                recv_buf,
+                mbps: r.mbps,
+            });
         }
     }
     out
@@ -171,8 +179,13 @@ pub fn table1(quick: bool) -> Table1 {
     let recv_buf = 8 * 1024;
     let total = iperf_bytes(quick);
     let run = |sh_on: Vec<String>| {
-        run_iperf(&IperfParams { recv_buf, total_bytes: total, sh_on, ..IperfParams::default() })
-            .mbps
+        run_iperf(&IperfParams {
+            recv_buf,
+            total_bytes: total,
+            sh_on,
+            ..IperfParams::default()
+        })
+        .mbps
     };
     let baseline = run(Vec::new());
     let all = run(ALL_LIBS.iter().map(|s| s.to_string()).collect());
@@ -190,7 +203,11 @@ pub fn table1(quick: bool) -> Table1 {
             c_only_mbps: run(only),
         });
     }
-    Table1 { baseline_mbps: baseline, all_sh_mbps: all, rows }
+    Table1 {
+        baseline_mbps: baseline,
+        all_sh_mbps: all,
+        rows,
+    }
 }
 
 // --- Figure 4 --------------------------------------------------------------------
@@ -229,7 +246,12 @@ impl Fig4Config {
 
     /// Redis parameters for this configuration.
     pub fn params(self, mix: Mix, payload: usize, ops: u64) -> RedisParams {
-        let mut p = RedisParams { mix, payload, ops, ..RedisParams::default() };
+        let mut p = RedisParams {
+            mix,
+            payload,
+            ops,
+            ..RedisParams::default()
+        };
         match self {
             Fig4Config::NoSh => {}
             Fig4Config::ShGlobalAlloc => {
@@ -275,7 +297,12 @@ pub fn fig4(quick: bool) -> Vec<Fig4Point> {
         for &payload in payloads {
             for mix in [Mix::Set, Mix::Get] {
                 let r = run_redis(&config.params(mix, payload, redis_ops(quick)));
-                out.push(Fig4Point { config, mix, payload, mreq_per_s: r.mreq_per_s });
+                out.push(Fig4Point {
+                    config,
+                    mix,
+                    payload,
+                    mreq_per_s: r.mreq_per_s,
+                });
             }
         }
     }
@@ -329,7 +356,12 @@ pub fn fig5(quick: bool) -> Vec<Fig5Point> {
                     ops: redis_ops(quick),
                     ..RedisParams::default()
                 });
-                out.push(Fig5Point { model, backend, payload, mreq_per_s: r.mreq_per_s });
+                out.push(Fig5Point {
+                    model,
+                    backend,
+                    payload,
+                    mreq_per_s: r.mreq_per_s,
+                });
             }
         }
     }
@@ -357,10 +389,26 @@ pub struct CheriPoint {
 pub fn ext_cheri(quick: bool) -> Vec<CheriPoint> {
     let mut out = Vec::new();
     let backends: [(&'static str, CompartmentModel, BackendChoice); 4] = [
-        ("No isolation", CompartmentModel::Baseline, BackendChoice::None),
-        ("CHERI (sealed caps)", CompartmentModel::NwOnly, BackendChoice::Cheri),
-        ("MPK (shared stack)", CompartmentModel::NwOnly, BackendChoice::MpkShared),
-        ("VM RPC (EPT)", CompartmentModel::NwOnly, BackendChoice::VmRpc),
+        (
+            "No isolation",
+            CompartmentModel::Baseline,
+            BackendChoice::None,
+        ),
+        (
+            "CHERI (sealed caps)",
+            CompartmentModel::NwOnly,
+            BackendChoice::Cheri,
+        ),
+        (
+            "MPK (shared stack)",
+            CompartmentModel::NwOnly,
+            BackendChoice::MpkShared,
+        ),
+        (
+            "VM RPC (EPT)",
+            CompartmentModel::NwOnly,
+            BackendChoice::VmRpc,
+        ),
     ];
     for (label, model, backend) in backends {
         for &recv_buf in &fig3_buffer_sizes(quick) {
@@ -371,7 +419,11 @@ pub fn ext_cheri(quick: bool) -> Vec<CheriPoint> {
                 total_bytes: iperf_bytes(quick),
                 ..IperfParams::default()
             });
-            out.push(CheriPoint { label, recv_buf, mbps: r.mbps });
+            out.push(CheriPoint {
+                label,
+                recv_buf,
+                mbps: r.mbps,
+            });
         }
     }
     out
@@ -396,7 +448,10 @@ impl KernelHal for BenchCtx {
     fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
     }
-    fn resume_compartment(&mut self, _c: flexos::gate::CompartmentId) -> flexos_machine::Result<()> {
+    fn resume_compartment(
+        &mut self,
+        _c: flexos::gate::CompartmentId,
+    ) -> flexos_machine::Result<()> {
         Ok(())
     }
     fn drain_wakes(&mut self) -> Vec<ThreadId> {
@@ -405,7 +460,9 @@ impl KernelHal for BenchCtx {
 }
 
 fn measure_switch(rq: Box<dyn RunQueue>, switches: u64) -> f64 {
-    let mut ctx = BenchCtx { machine: Machine::with_defaults() };
+    let mut ctx = BenchCtx {
+        machine: Machine::with_defaults(),
+    };
     let mut exec: Executor<BenchCtx> = Executor::new(rq);
     let mk = |quanta: u64| {
         let mut left = quanta;
@@ -415,8 +472,10 @@ fn measure_switch(rq: Box<dyn RunQueue>, switches: u64) -> f64 {
         })
     };
     // Two threads ping-pong: every quantum is a switch.
-    exec.spawn(flexos::gate::CompartmentId(0), mk(switches / 2)).expect("spawn");
-    exec.spawn(flexos::gate::CompartmentId(0), mk(switches / 2)).expect("spawn");
+    exec.spawn(flexos::gate::CompartmentId(0), mk(switches / 2))
+        .expect("spawn");
+    exec.spawn(flexos::gate::CompartmentId(0), mk(switches / 2))
+        .expect("spawn");
     let before = ctx.machine.clock().cycles();
     let summary = exec.run(&mut ctx, switches * 2).expect("run");
     let cycles = ctx.machine.clock().cycles() - before;
@@ -440,7 +499,11 @@ mod tests {
     fn ctx_switch_reproduces_the_paper_numbers() {
         let r = ctx_switch(1000);
         assert!((r.coop_ns - 76.6).abs() < 2.0, "coop: {} ns", r.coop_ns);
-        assert!((r.verified_ns - 218.6).abs() < 3.0, "verified: {} ns", r.verified_ns);
+        assert!(
+            (r.verified_ns - 218.6).abs() < 3.0,
+            "verified: {} ns",
+            r.verified_ns
+        );
         let ratio = r.verified_ns / r.coop_ns;
         assert!(ratio > 2.5 && ratio < 3.2, "ratio {ratio}");
     }

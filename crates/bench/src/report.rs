@@ -87,7 +87,10 @@ mod tests {
         let s = t.render();
         assert!(s.contains("== Demo =="));
         assert!(s.contains("baseline"));
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains("Mb") || l.contains("config")).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("Mb") || l.contains("config"))
+            .collect();
         assert!(!lines.is_empty());
     }
 

@@ -15,15 +15,14 @@
 //! Isolation backends then *instantiate* the plan on a simulated machine
 //! (see the `flexos-backends` crate).
 
-use crate::compat::{color, violations, IncompatGraph};
+use crate::compat::{color, violations, CompatCache, IncompatGraph};
 use crate::gate::GateMechanism;
 use crate::spec::model::LibSpec;
 use crate::spec::transform::{apply_sh, Analysis, ShSet};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The isolation backend an image is built against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendChoice {
     /// No isolation: every compartment boundary is a function call
     /// (the paper's baseline configurations).
@@ -66,7 +65,7 @@ impl fmt::Display for BackendChoice {
 /// The hypervisor the image runs on (affects baseline per-packet costs;
 /// the paper's Xen numbers are lower because "Unikraft [is] not optimized
 /// for this hypervisor").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Hypervisor {
     /// KVM (the paper's primary platform).
     #[default]
@@ -77,7 +76,7 @@ pub enum Hypervisor {
 
 /// Functional role of a micro-library inside the unikernel, used for
 /// backend trust checks and kernel wiring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LibRole {
     /// The application itself (iperf, Redis, …).
     App,
@@ -113,7 +112,13 @@ pub struct LibraryConfig {
 impl LibraryConfig {
     /// A library with no hardening and automatic placement.
     pub fn new(spec: LibSpec, role: LibRole) -> Self {
-        Self { spec, analysis: Analysis::default(), sh: ShSet::none(), compartment: None, role }
+        Self {
+            spec,
+            analysis: Analysis::default(),
+            sh: ShSet::none(),
+            compartment: None,
+            role,
+        }
     }
 
     /// Sets the hardening set.
@@ -248,7 +253,9 @@ impl ImagePlan {
 
     /// Library indices in compartment `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        (0..self.compartment_of.len()).filter(|&i| self.compartment_of[i] == c).collect()
+        (0..self.compartment_of.len())
+            .filter(|&i| self.compartment_of[i] == c)
+            .collect()
     }
 
     /// Whether any compartment needs an instrumented allocator.
@@ -267,7 +274,11 @@ impl ImagePlan {
             self.config.name,
             self.config.backend,
             self.config.hypervisor,
-            if self.config.dedicated_allocators { "per-compartment" } else { "global" },
+            if self.config.dedicated_allocators {
+                "per-compartment"
+            } else {
+                "global"
+            },
         );
         for c in 0..self.num_compartments {
             let members: Vec<&str> = self
@@ -302,12 +313,64 @@ pub const MPK_MAX_COMPARTMENTS: usize = 15;
 /// single compartment (there is no protection domain to split over) and
 /// incompatibilities surface as warnings.
 pub fn plan(config: ImageConfig) -> Result<ImagePlan, BuildError> {
+    plan_impl(config, None)
+}
+
+/// [`plan`] with pairwise compatibility checks answered from a shared
+/// [`CompatCache`]. Exploration drivers that plan many closely related
+/// configurations (same libraries, different hardening toggles or
+/// backends) pass one cache through every call so each distinct
+/// effective-spec pair is checked once. The resulting plan is identical
+/// to [`plan`]'s.
+pub fn plan_with_cache(config: ImageConfig, cache: &CompatCache) -> Result<ImagePlan, BuildError> {
+    let effective: Vec<LibSpec> = config
+        .libraries
+        .iter()
+        .map(|l| l.effective_spec())
+        .collect();
+    let fps: Vec<u64> = effective.iter().map(CompatCache::fingerprint).collect();
+    plan_core(config, &effective, &fps, Some(cache))
+}
+
+/// [`plan_with_cache`] for callers that already hold the effective specs
+/// and their fingerprints (the exploration engine assembles them from a
+/// small per-library variant table instead of re-deriving them per
+/// candidate). `effective`/`fps` MUST be index-aligned with
+/// `config.libraries` and equal to what [`plan_with_cache`] would
+/// compute.
+pub(crate) fn plan_prepared(
+    config: ImageConfig,
+    effective: &[LibSpec],
+    fps: &[u64],
+    cache: &CompatCache,
+) -> Result<ImagePlan, BuildError> {
+    plan_core(config, effective, fps, Some(cache))
+}
+
+fn plan_impl(config: ImageConfig, cache: Option<&CompatCache>) -> Result<ImagePlan, BuildError> {
+    debug_assert!(cache.is_none(), "cached callers go through plan_with_cache");
+    let effective: Vec<LibSpec> = config
+        .libraries
+        .iter()
+        .map(|l| l.effective_spec())
+        .collect();
+    plan_core(config, &effective, &[], cache)
+}
+
+fn plan_core(
+    config: ImageConfig,
+    effective: &[LibSpec],
+    fps: &[u64],
+    cache: Option<&CompatCache>,
+) -> Result<ImagePlan, BuildError> {
     if config.libraries.is_empty() {
         return Err(BuildError("an image needs at least one library".into()));
     }
     let n = config.libraries.len();
-    let effective: Vec<LibSpec> = config.libraries.iter().map(|l| l.effective_spec()).collect();
-    let graph = IncompatGraph::build(&effective);
+    let graph = match cache {
+        Some(cache) => cache.graph_keyed(effective, fps),
+        None => std::sync::Arc::new(IncompatGraph::build(effective)),
+    };
     let mut warnings = Vec::new();
 
     let mut compartment_of = vec![usize::MAX; n];
@@ -367,7 +430,9 @@ pub fn plan(config: ImageConfig) -> Result<ImagePlan, BuildError> {
         // Automatic placement for the rest: color the subgraph, offsetting
         // past manual colors, then merge auto colors into compatible
         // manual compartments when possible.
-        let auto: Vec<usize> = (0..n).filter(|&i| compartment_of[i] == usize::MAX).collect();
+        let auto: Vec<usize> = (0..n)
+            .filter(|&i| compartment_of[i] == usize::MAX)
+            .collect();
         if !auto.is_empty() {
             let mut sub = crate::compat::Graph::new(auto.len());
             for (a, &i) in auto.iter().enumerate() {
@@ -377,7 +442,10 @@ pub fn plan(config: ImageConfig) -> Result<ImagePlan, BuildError> {
                     }
                 }
             }
-            let coloring = color(&sub);
+            let coloring = match cache {
+                Some(cache) => cache.coloring(&sub),
+                None => color(&sub),
+            };
             // Try to fold each auto color class into an existing manual
             // compartment if every member is compatible with every manual
             // member of that compartment.
@@ -438,7 +506,7 @@ pub fn plan(config: ImageConfig) -> Result<ImagePlan, BuildError> {
             for role in [LibRole::Scheduler, LibRole::MemoryManager] {
                 if let Some(i) = config.find_role(role) {
                     let lib = &config.libraries[i];
-                    let trusted = !lib.effective_spec().mem.write.is_star();
+                    let trusted = !effective[i].mem.write.is_star();
                     if !trusted {
                         warnings.push(format!(
                             "MPK backend: {} ({role:?}) is adversarial but must be trusted \
@@ -487,8 +555,12 @@ pub fn plan(config: ImageConfig) -> Result<ImagePlan, BuildError> {
 /// checking the safety of a proposed configuration", §7 — this is that
 /// checker).
 pub fn audit(plan: &ImagePlan) -> Vec<String> {
-    let effective: Vec<LibSpec> =
-        plan.config.libraries.iter().map(|l| l.effective_spec()).collect();
+    let effective: Vec<LibSpec> = plan
+        .config
+        .libraries
+        .iter()
+        .map(|l| l.effective_spec())
+        .collect();
     let mut findings = Vec::new();
     for i in 0..effective.len() {
         for j in 0..effective.len() {
@@ -587,10 +659,15 @@ mod tests {
 
     #[test]
     fn mpk_warns_on_untrusted_scheduler() {
-        let cfg = ImageConfig::new("bad-sched", BackendChoice::MpkShared)
-            .with_library(LibraryConfig::new(LibSpec::unsafe_c("csched"), LibRole::Scheduler));
+        let cfg = ImageConfig::new("bad-sched", BackendChoice::MpkShared).with_library(
+            LibraryConfig::new(LibSpec::unsafe_c("csched"), LibRole::Scheduler),
+        );
         let p = plan(cfg).unwrap();
-        assert!(p.report.warnings.iter().any(|w| w.contains("must be trusted")));
+        assert!(p
+            .report
+            .warnings
+            .iter()
+            .any(|w| w.contains("must be trusted")));
     }
 
     #[test]
@@ -625,12 +702,39 @@ mod tests {
         let raw_c = p.compartment_of[1];
         assert!(p.compartment_sh[raw_c].has(ShMechanism::Ubsan));
         assert!(p.members(raw_c).contains(&1));
-        assert_eq!(p.compartment_of_role(LibRole::Scheduler), Some(p.compartment_of[0]));
+        assert_eq!(
+            p.compartment_of_role(LibRole::Scheduler),
+            Some(p.compartment_of[0])
+        );
     }
 
     #[test]
     fn empty_image_is_rejected() {
         assert!(plan(ImageConfig::new("empty", BackendChoice::None)).is_err());
+    }
+
+    #[test]
+    fn cached_plan_matches_uncached() {
+        let cache = CompatCache::new();
+        for backend in [
+            BackendChoice::None,
+            BackendChoice::MpkShared,
+            BackendChoice::VmRpc,
+        ] {
+            let cfg = ImageConfig::new("cmp", backend)
+                .with_library(sched_lib())
+                .with_library(raw_lib("rawlib"))
+                .with_library(raw_lib("other").with_sh(ShSet::of([ShMechanism::Asan])));
+            let plain = plan(cfg.clone()).unwrap();
+            let cached = plan_with_cache(cfg, &cache).unwrap();
+            assert_eq!(cached.compartment_of, plain.compartment_of);
+            assert_eq!(cached.num_compartments, plain.num_compartments);
+            assert_eq!(cached.compartment_names, plain.compartment_names);
+            assert_eq!(cached.compartment_sh, plain.compartment_sh);
+            assert_eq!(cached.report, plain.report);
+        }
+        // Three backends over the same specs: later plans reuse verdicts.
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

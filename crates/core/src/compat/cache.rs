@@ -1,0 +1,313 @@
+//! Memoized pairwise compatibility verdicts.
+//!
+//! The design-space exploration of §2 is combinatorial: enumerating SH
+//! variants re-checks the same `(victim, offender)` spec pairs once per
+//! combination, and candidate generation re-plans (and therefore
+//! re-checks) the same pairs once per backend × hardening toggle. The
+//! verdict for a pair, however, depends only on the two *effective*
+//! (post-SH-rewrite) specs — so a shared [`CompatCache`] lets the whole
+//! exploration check each distinct pair exactly once.
+//!
+//! **Key.** Entries are keyed by the ordered pair of spec
+//! *fingerprints* `(fp(victim), fp(offender))`. A fingerprint
+//! ([`CompatCache::fingerprint`]) hashes the complete effective spec —
+//! name, memory behaviour, call behaviour, API and grants — so two
+//! `(lib, sh)` choices collide only if hardening rewrites them to
+//! identical specs, in which case their verdicts are identical too. This
+//! realizes the `(lib_a, sh_a, lib_b, sh_b)` key: the effective spec *is*
+//! the pair of library and applied hardening.
+//!
+//! **Concurrency.** The cache is sharded 16 ways, each shard behind its
+//! own `RwLock`, so the parallel exploration driver's threads mostly take
+//! uncontended read locks once the working set is warm. Hit/miss counters
+//! are plain atomics; [`CompatCache::stats`] exposes them for benchmarks
+//! and reports.
+
+use super::check::{violations, Violation};
+use super::coloring::{color, Coloring};
+use super::graph::IncompatGraph;
+use crate::spec::model::LibSpec;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent shards; a power of two so the shard index is a
+/// mask of the key hash.
+const SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<(u64, u64), Arc<Vec<Violation>>>>;
+
+/// Hit/miss/occupancy counters of a [`CompatCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the underlying check.
+    pub misses: u64,
+    /// Distinct `(victim, offender)` verdicts stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`
+    /// (`0.0` when there were no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe memo table for directional
+/// [`violations`] verdicts. See the module docs for the key scheme.
+#[derive(Debug, Default)]
+pub struct CompatCache {
+    shards: [Shard; SHARDS],
+    /// Whole incompatibility graphs keyed by the fingerprint vector of
+    /// their spec set: across backends the same SH mask yields the same
+    /// effective specs, so exploration rebuilds each graph once.
+    graphs: RwLock<HashMap<Vec<u64>, Arc<IncompatGraph>>>,
+    /// Colorings keyed by the colored graph's adjacency (graphs are at
+    /// most 64 vertices, so the bitmask rows are the whole structure).
+    colorings: RwLock<HashMap<Vec<u64>, Coloring>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompatCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fingerprint of a spec: a hash over every field that the
+    /// compatibility check reads. Two specs with equal fingerprints are
+    /// treated as the same cache key (the full spec is not stored), so
+    /// the fingerprint must — and does — cover the entire spec.
+    pub fn fingerprint(spec: &LibSpec) -> u64 {
+        let mut h = DefaultHasher::new();
+        spec.hash(&mut h);
+        h.finish()
+    }
+
+    fn shard_of(&self, key: (u64, u64)) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Memoized [`violations`]: what `offender` may do to `victim`
+    /// beyond `victim`'s grants. Equal to a fresh check by construction.
+    pub fn violations(&self, victim: &LibSpec, offender: &LibSpec) -> Arc<Vec<Violation>> {
+        self.violations_keyed(
+            Self::fingerprint(victim),
+            victim,
+            Self::fingerprint(offender),
+            offender,
+        )
+    }
+
+    /// [`CompatCache::violations`] with caller-precomputed fingerprints.
+    ///
+    /// Fingerprinting a spec costs more than a warm lookup, so hot paths
+    /// (graph construction, exploration scoring) hash each spec once and
+    /// use this entry point for the O(n²) pair lookups. `victim_fp` /
+    /// `offender_fp` MUST equal `fingerprint(victim)` /
+    /// `fingerprint(offender)` — mismatched keys poison the cache.
+    pub fn violations_keyed(
+        &self,
+        victim_fp: u64,
+        victim: &LibSpec,
+        offender_fp: u64,
+        offender: &LibSpec,
+    ) -> Arc<Vec<Violation>> {
+        let key = (victim_fp, offender_fp);
+        let shard = self.shard_of(key);
+        if let Some(hit) = shard.read().expect("compat cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(violations(victim, offender));
+        let mut shard = shard.write().expect("compat cache poisoned");
+        // A racing thread may have inserted meanwhile; keep the first
+        // entry so all readers share one allocation.
+        Arc::clone(shard.entry(key).or_insert(fresh))
+    }
+
+    /// Memoized [`IncompatGraph`] construction: whole graphs are keyed by
+    /// the fingerprint vector of their spec set, so re-planning the same
+    /// effective specs (e.g. one SH mask under each backend) rebuilds the
+    /// graph once. Misses fill pairwise entries through
+    /// [`CompatCache::violations_keyed`], so even distinct spec sets
+    /// share per-pair work.
+    pub fn graph(&self, specs: &[LibSpec]) -> Arc<IncompatGraph> {
+        let fps: Vec<u64> = specs.iter().map(Self::fingerprint).collect();
+        self.graph_keyed(specs, &fps)
+    }
+
+    /// [`CompatCache::graph`] with caller-precomputed fingerprints
+    /// (`fps[i]` MUST equal `fingerprint(&specs[i])`).
+    pub(crate) fn graph_keyed(&self, specs: &[LibSpec], fps: &[u64]) -> Arc<IncompatGraph> {
+        if let Some(hit) = self.graphs.read().expect("compat cache poisoned").get(fps) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(IncompatGraph::build_keyed(specs, fps, self));
+        let mut graphs = self.graphs.write().expect("compat cache poisoned");
+        Arc::clone(graphs.entry(fps.to_vec()).or_insert(fresh))
+    }
+
+    /// Memoized graph coloring, keyed by the graph's adjacency bitmasks.
+    /// Identical to [`color`] by construction (the coloring algorithms
+    /// are deterministic).
+    pub fn coloring(&self, g: &super::graph::Graph) -> Coloring {
+        let key: Vec<u64> = (0..g.len()).map(|v| g.neighbors(v)).collect();
+        if let Some(hit) = self
+            .colorings
+            .read()
+            .expect("compat cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = color(g);
+        let mut colorings = self.colorings.write().expect("compat cache poisoned");
+        colorings.entry(key).or_insert(fresh).clone()
+    }
+
+    /// Memoized symmetric check: whether the two libraries may share a
+    /// compartment.
+    pub fn compatible(&self, a: &LibSpec, b: &LibSpec) -> bool {
+        self.violations(a, b).is_empty() && self.violations(b, a).is_empty()
+    }
+
+    /// Memoized both-directions violation list, as
+    /// [`incompatibilities`](super::check::incompatibilities) returns it.
+    pub fn incompatibilities(&self, a: &LibSpec, b: &LibSpec) -> Vec<Violation> {
+        let mut out: Vec<Violation> = self.violations(a, b).as_ref().clone();
+        out.extend(self.violations(b, a).iter().cloned());
+        out
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("compat cache poisoned").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::check::{compatible, incompatibilities};
+
+    fn sched() -> LibSpec {
+        LibSpec::verified_scheduler()
+    }
+
+    fn raw(name: &str) -> LibSpec {
+        LibSpec::unsafe_c(name)
+    }
+
+    #[test]
+    fn cached_verdicts_match_fresh_checks() {
+        let cache = CompatCache::new();
+        let specs = [sched(), raw("rawlib"), raw("other")];
+        for a in &specs {
+            for b in &specs {
+                assert_eq!(*cache.violations(a, b), violations(a, b));
+                assert_eq!(cache.compatible(a, b), compatible(a, b));
+                assert_eq!(cache.incompatibilities(a, b), incompatibilities(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let cache = CompatCache::new();
+        let (a, b) = (sched(), raw("rawlib"));
+        cache.violations(&a, &b);
+        cache.violations(&a, &b);
+        cache.violations(&a, &b);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn direction_matters_in_the_key() {
+        let cache = CompatCache::new();
+        let (a, b) = (sched(), raw("rawlib"));
+        // sched -> raw and raw -> sched are distinct verdicts.
+        assert_ne!(*cache.violations(&a, &b), *cache.violations(&b, &a));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_name_and_behaviour() {
+        assert_ne!(
+            CompatCache::fingerprint(&raw("a")),
+            CompatCache::fingerprint(&raw("b"))
+        );
+        assert_ne!(
+            CompatCache::fingerprint(&sched()),
+            CompatCache::fingerprint(&raw("uksched_verified"))
+        );
+        assert_eq!(
+            CompatCache::fingerprint(&sched()),
+            CompatCache::fingerprint(&sched())
+        );
+    }
+
+    #[test]
+    fn stats_start_empty() {
+        let stats = CompatCache::new().stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = CompatCache::new();
+        let specs: Vec<LibSpec> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    raw(&format!("r{i}"))
+                } else {
+                    sched()
+                }
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for a in &specs {
+                        for b in &specs {
+                            assert_eq!(*cache.violations(a, b), violations(a, b));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 64);
+        assert!(stats.entries <= 64);
+    }
+}

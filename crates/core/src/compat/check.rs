@@ -12,11 +12,10 @@
 //! neither direction produces violations.
 
 use crate::spec::model::{CallBehavior, GrantKind, LibSpec, Region};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One way `offender` exceeds `victim`'s grants when co-located.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The library whose safety expectation is broken.
     pub victim: String,
@@ -27,7 +26,7 @@ pub struct Violation {
 }
 
 /// The specific un-granted behaviour.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ViolationKind {
     /// Offender may read a region of victim that victim does not grant.
     UngrantedRead(Region),
@@ -90,20 +89,32 @@ pub fn violations(victim: &LibSpec, offender: &LibSpec) -> Vec<Violation> {
 
     // --- memory ----------------------------------------------------------
     let read = &offender.mem.read;
-    if read.is_star() && !victim.requires.permits(&offender.name, &GrantKind::Read(Region::Own)) {
+    if read.is_star()
+        && !victim
+            .requires
+            .permits(&offender.name, &GrantKind::Read(Region::Own))
+    {
         push(ViolationKind::UngrantedRead(Region::Own));
     }
     if read.contains(Region::Shared)
-        && !victim.requires.permits(&offender.name, &GrantKind::Read(Region::Shared))
+        && !victim
+            .requires
+            .permits(&offender.name, &GrantKind::Read(Region::Shared))
     {
         push(ViolationKind::UngrantedRead(Region::Shared));
     }
     let write = &offender.mem.write;
-    if write.is_star() && !victim.requires.permits(&offender.name, &GrantKind::Write(Region::Own)) {
+    if write.is_star()
+        && !victim
+            .requires
+            .permits(&offender.name, &GrantKind::Write(Region::Own))
+    {
         push(ViolationKind::UngrantedWrite(Region::Own));
     }
     if write.contains(Region::Shared)
-        && !victim.requires.permits(&offender.name, &GrantKind::Write(Region::Shared))
+        && !victim
+            .requires
+            .permits(&offender.name, &GrantKind::Write(Region::Shared))
     {
         push(ViolationKind::UngrantedWrite(Region::Shared));
     }
@@ -118,7 +129,9 @@ pub fn violations(victim: &LibSpec, offender: &LibSpec) -> Vec<Violation> {
         CallBehavior::Funcs(funcs) => {
             for f in funcs {
                 if f.lib == victim.name
-                    && !victim.requires.permits(&offender.name, &GrantKind::Call(f.func.clone()))
+                    && !victim
+                        .requires
+                        .permits(&offender.name, &GrantKind::Call(f.func.clone()))
                 {
                     push(ViolationKind::UngrantedCall(f.func.clone()));
                 }
@@ -190,7 +203,11 @@ mod tests {
             &suggest_sh(&raw),
             &Analysis {
                 call_targets: Some(
-                    [crate::spec::model::FuncRef::new("uksched_verified", "yield")].into(),
+                    [crate::spec::model::FuncRef::new(
+                        "uksched_verified",
+                        "yield",
+                    )]
+                    .into(),
                 ),
                 ..Analysis::well_behaved()
             },
@@ -262,10 +279,14 @@ mod tests {
         let mut trusted = rawlib();
         trusted.name = "trusted_writer".into();
         let v = violations(&victim, &trusted);
-        assert!(!v.iter().any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
+        assert!(!v
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
         // A different star-writer still violates.
         let v = violations(&victim, &rawlib());
-        assert!(v.iter().any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
+        assert!(v
+            .iter()
+            .any(|v| v.kind == ViolationKind::UngrantedWrite(Region::Own)));
     }
 
     #[test]

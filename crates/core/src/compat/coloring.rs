@@ -66,7 +66,10 @@ pub fn is_valid(g: &Graph, coloring: &Coloring) -> bool {
 pub fn dsatur(g: &Graph) -> Coloring {
     let n = g.len();
     if n == 0 {
-        return Coloring { colors: Vec::new(), num_colors: 0 };
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+        };
     }
     let mut colors: Vec<Option<usize>> = vec![None; n];
     // Bitmask of colors used by each vertex's neighbours.
@@ -80,7 +83,9 @@ pub fn dsatur(g: &Graph) -> Coloring {
             .max_by_key(|&v| (nbr_colors[v].count_ones(), g.degree(v)))
             .expect("an uncolored vertex exists");
         // Smallest color not used by neighbours.
-        let c = (0..).find(|&c| nbr_colors[v] & (1 << c) == 0).expect("color < 64 exists");
+        let c = (0..)
+            .find(|&c| nbr_colors[v] & (1 << c) == 0)
+            .expect("color < 64 exists");
         colors[v] = Some(c);
         num_colors = num_colors.max(c + 1);
         let mut nbrs = g.neighbors(v);
@@ -90,7 +95,13 @@ pub fn dsatur(g: &Graph) -> Coloring {
             nbr_colors[u] |= 1 << c;
         }
     }
-    Coloring { colors: colors.into_iter().map(|c| c.expect("all colored")).collect(), num_colors }
+    Coloring {
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
+        num_colors,
+    }
 }
 
 /// Exact chromatic coloring by iterative-deepening backtracking: try
@@ -102,13 +113,19 @@ pub fn dsatur(g: &Graph) -> Coloring {
 pub fn exact(g: &Graph) -> Coloring {
     let n = g.len();
     if n == 0 {
-        return Coloring { colors: Vec::new(), num_colors: 0 };
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+        };
     }
     let upper = dsatur(g);
     let lower = greedy_clique_size(g).max(1);
     for k in lower..upper.num_colors {
         if let Some(colors) = try_k_coloring(g, k) {
-            return Coloring { colors, num_colors: k };
+            return Coloring {
+                colors,
+                num_colors: k,
+            };
         }
     }
     upper
@@ -328,14 +345,20 @@ mod tests {
     #[test]
     fn is_valid_rejects_monochromatic_edges() {
         let g = cycle(4);
-        let bad = Coloring { colors: vec![0, 0, 1, 1], num_colors: 2 };
+        let bad = Coloring {
+            colors: vec![0, 0, 1, 1],
+            num_colors: 2,
+        };
         assert!(!is_valid(&g, &bad)); // edge (0,1) monochromatic
     }
 
     #[test]
     fn is_valid_rejects_unused_color_counts() {
         let g = Graph::new(2);
-        let bad = Coloring { colors: vec![0, 0], num_colors: 2 };
+        let bad = Coloring {
+            colors: vec![0, 0],
+            num_colors: 2,
+        };
         assert!(!is_valid(&g, &bad));
     }
 }

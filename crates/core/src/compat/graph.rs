@@ -5,6 +5,7 @@
 //! classical graph coloring problem: each library is a vertex, and an edge
 //! connects two incompatible libraries." (paper §2)
 
+use super::cache::CompatCache;
 use super::check::{incompatibilities, Violation};
 use crate::spec::model::LibSpec;
 use std::collections::BTreeMap;
@@ -28,7 +29,10 @@ impl Graph {
     ///
     /// Panics if `n > 64`.
     pub fn new(n: usize) -> Self {
-        assert!(n <= Self::MAX_VERTICES, "graph supports at most 64 vertices");
+        assert!(
+            n <= Self::MAX_VERTICES,
+            "graph supports at most 64 vertices"
+        );
         Self { n, adj: vec![0; n] }
     }
 
@@ -68,7 +72,11 @@ impl Graph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+        self.adj
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
     }
 }
 
@@ -87,19 +95,64 @@ pub struct IncompatGraph {
 impl IncompatGraph {
     /// Builds the graph by checking every pair of specs.
     pub fn build(specs: &[LibSpec]) -> Self {
+        Self::build_with(specs, incompatibilities)
+    }
+
+    /// Like [`IncompatGraph::build`], but answers pairwise checks from
+    /// `cache`, so repeated builds over overlapping spec sets (SH-variant
+    /// enumeration, candidate exploration) check each distinct pair once.
+    pub fn build_cached(specs: &[LibSpec], cache: &CompatCache) -> Self {
+        let fps: Vec<u64> = specs.iter().map(CompatCache::fingerprint).collect();
+        Self::build_keyed(specs, &fps, cache)
+    }
+
+    /// [`IncompatGraph::build_cached`] with caller-precomputed spec
+    /// fingerprints (`fps[i] == CompatCache::fingerprint(&specs[i])`), so
+    /// each spec is hashed once instead of once per pair.
+    pub(crate) fn build_keyed(specs: &[LibSpec], fps: &[u64], cache: &CompatCache) -> Self {
         let n = specs.len();
         let mut graph = Graph::new(n);
         let mut reasons = BTreeMap::new();
         for i in 0..n {
             for j in i + 1..n {
-                let v = incompatibilities(&specs[i], &specs[j]);
+                let ab = cache.violations_keyed(fps[i], &specs[i], fps[j], &specs[j]);
+                let ba = cache.violations_keyed(fps[j], &specs[j], fps[i], &specs[i]);
+                if !(ab.is_empty() && ba.is_empty()) {
+                    graph.add_edge(i, j);
+                    let mut v = ab.as_ref().clone();
+                    v.extend(ba.iter().cloned());
+                    reasons.insert((i, j), v);
+                }
+            }
+        }
+        Self {
+            names: specs.iter().map(|s| s.name.clone()).collect(),
+            graph,
+            reasons,
+        }
+    }
+
+    fn build_with(
+        specs: &[LibSpec],
+        mut check: impl FnMut(&LibSpec, &LibSpec) -> Vec<Violation>,
+    ) -> Self {
+        let n = specs.len();
+        let mut graph = Graph::new(n);
+        let mut reasons = BTreeMap::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = check(&specs[i], &specs[j]);
                 if !v.is_empty() {
                     graph.add_edge(i, j);
                     reasons.insert((i, j), v);
                 }
             }
         }
-        Self { names: specs.iter().map(|s| s.name.clone()).collect(), graph, reasons }
+        Self {
+            names: specs.iter().map(|s| s.name.clone()).collect(),
+            graph,
+            reasons,
+        }
     }
 
     /// The violations that put the edge `(a, b)` in the graph, if any.
@@ -143,8 +196,11 @@ mod tests {
 
     #[test]
     fn incompat_graph_of_paper_example() {
-        let specs =
-            vec![LibSpec::verified_scheduler(), LibSpec::unsafe_c("rawlib"), LibSpec::unsafe_c("x")];
+        let specs = vec![
+            LibSpec::verified_scheduler(),
+            LibSpec::unsafe_c("rawlib"),
+            LibSpec::unsafe_c("x"),
+        ];
         let g = IncompatGraph::build(&specs);
         // sched conflicts with both unsafe libs; they don't conflict with
         // each other.
@@ -154,5 +210,25 @@ mod tests {
         assert!(g.why(0, 1).is_some());
         assert!(g.why(1, 0).is_some()); // order-insensitive lookup
         assert!(g.why(1, 2).is_none());
+    }
+
+    #[test]
+    fn cached_build_matches_uncached() {
+        let specs = vec![
+            LibSpec::verified_scheduler(),
+            LibSpec::unsafe_c("rawlib"),
+            LibSpec::unsafe_c("x"),
+        ];
+        let cache = CompatCache::new();
+        let plain = IncompatGraph::build(&specs);
+        let cached = IncompatGraph::build_cached(&specs, &cache);
+        let warm = IncompatGraph::build_cached(&specs, &cache);
+        for g in [&cached, &warm] {
+            assert_eq!(g.names, plain.names);
+            assert_eq!(g.graph, plain.graph);
+            assert_eq!(g.reasons, plain.reasons);
+        }
+        // The second build was answered entirely from the cache.
+        assert!(cache.stats().hits >= cache.stats().misses);
     }
 }

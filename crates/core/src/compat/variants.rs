@@ -5,8 +5,11 @@
 //! as many colorings as there are possible combinations of libraries."
 //! (paper §2)
 
+use super::cache::CompatCache;
 use super::coloring::{color, Coloring};
 use super::graph::IncompatGraph;
+use crate::explore::ExploreOptions;
+use crate::parallel::{effective_threads, par_map_indexed};
 use crate::spec::model::LibSpec;
 use crate::spec::transform::{variants_for, Analysis, ShSet, ShVariant};
 
@@ -54,8 +57,33 @@ pub const MAX_COMBINATIONS: usize = 4096;
 ///
 /// Panics if the combination space exceeds [`MAX_COMBINATIONS`].
 pub fn enumerate_deployments(libs: &[(LibSpec, Analysis)]) -> Vec<Deployment> {
-    let per_lib: Vec<Vec<ShVariant>> =
-        libs.iter().map(|(spec, analysis)| variants_for(spec, analysis)).collect();
+    enumerate_deployments_with(libs, &CompatCache::new(), &ExploreOptions::default())
+}
+
+/// [`enumerate_deployments`] with an explicit shared [`CompatCache`] and
+/// [`ExploreOptions`]. Every combination reuses `cache` (each distinct
+/// variant pair is checked once across the whole enumeration — and
+/// across callers sharing the cache), and combinations are colored on
+/// `opts.threads` workers.
+///
+/// Combination `k` decodes to per-library variant indices in the same
+/// mixed-radix order the serial odometer walks (library 0 varies
+/// fastest); results are re-sorted by `k` before the final stable
+/// cheapest-first sort, so the output is byte-identical to the serial
+/// enumeration for any thread count.
+///
+/// # Panics
+///
+/// Panics if the combination space exceeds [`MAX_COMBINATIONS`].
+pub fn enumerate_deployments_with(
+    libs: &[(LibSpec, Analysis)],
+    cache: &CompatCache,
+    opts: &ExploreOptions,
+) -> Vec<Deployment> {
+    let per_lib: Vec<Vec<ShVariant>> = libs
+        .iter()
+        .map(|(spec, analysis)| variants_for(spec, analysis))
+        .collect();
     let combos: usize = per_lib.iter().map(Vec::len).product();
     assert!(
         combos <= MAX_COMBINATIONS,
@@ -65,31 +93,31 @@ pub fn enumerate_deployments(libs: &[(LibSpec, Analysis)]) -> Vec<Deployment> {
         return Vec::new();
     }
 
-    let mut out = Vec::with_capacity(combos);
-    let mut indices = vec![0usize; per_lib.len()];
-    loop {
-        let variants: Vec<ShVariant> =
-            indices.iter().zip(&per_lib).map(|(&i, vs)| vs[i].clone()).collect();
+    let threads = effective_threads(opts.threads, combos);
+    let mut out = par_map_indexed(combos, threads, |k| {
+        // Mixed-radix decode of k, library 0 fastest (odometer order).
+        let mut rem = k;
+        let variants: Vec<ShVariant> = per_lib
+            .iter()
+            .map(|vs| {
+                let v = vs[rem % vs.len()].clone();
+                rem /= vs.len();
+                v
+            })
+            .collect();
         let specs: Vec<LibSpec> = variants.iter().map(|v| v.spec.clone()).collect();
-        let graph = IncompatGraph::build(&specs);
+        let graph = IncompatGraph::build_cached(&specs, cache);
         let coloring = color(&graph.graph);
-        out.push(Deployment { variants, graph, coloring });
-
-        // Odometer increment.
-        let mut pos = 0;
-        loop {
-            if pos == indices.len() {
-                out.sort_by_key(|d| (d.num_compartments(), d.hardened_count()));
-                return out;
-            }
-            indices[pos] += 1;
-            if indices[pos] < per_lib[pos].len() {
-                break;
-            }
-            indices[pos] = 0;
-            pos += 1;
+        Deployment {
+            variants,
+            graph,
+            coloring,
         }
-    }
+    });
+    // Stable sort over the enumeration order: identical tie-breaking to
+    // the serial path.
+    out.sort_by_key(|d| (d.num_compartments(), d.hardened_count()));
+    out
 }
 
 #[cfg(test)]
@@ -127,7 +155,10 @@ mod tests {
     #[test]
     fn colorings_are_valid_for_their_graphs() {
         for d in enumerate_deployments(&paper_inputs()) {
-            assert!(super::super::coloring::is_valid(&d.graph.graph, &d.coloring));
+            assert!(super::super::coloring::is_valid(
+                &d.graph.graph,
+                &d.coloring
+            ));
         }
     }
 

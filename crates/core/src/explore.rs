@@ -20,8 +20,9 @@
 //!   either by a protection-domain boundary or by hardening that rewrites
 //!   the offender's spec into compatibility.
 
-use crate::build::{plan, BackendChoice, ImageConfig, ImagePlan};
-use crate::compat::violations;
+use crate::build::{plan_prepared, BackendChoice, ImageConfig, ImagePlan};
+use crate::compat::{violations, CacheStats, CompatCache};
+use crate::parallel::{effective_threads, par_map_indexed};
 use crate::spec::model::LibSpec;
 use crate::spec::transform::{suggest_sh, ShMechanism, ShSet};
 use flexos_machine::CostTable;
@@ -85,11 +86,7 @@ pub fn gate_cost(backend: BackendChoice, costs: &CostTable, arg_bytes: u64) -> u
 }
 
 /// Estimates the per-request cycle cost of `plan` under `profile`.
-pub fn estimate_request_cycles(
-    plan: &ImagePlan,
-    profile: &CallProfile,
-    costs: &CostTable,
-) -> u64 {
+pub fn estimate_request_cycles(plan: &ImagePlan, profile: &CallProfile, costs: &CostTable) -> u64 {
     let index: BTreeMap<&str, usize> = plan
         .config
         .libraries
@@ -101,7 +98,9 @@ pub fn estimate_request_cycles(
     let mut total = 0u64;
     // Base work with SH multipliers (per compartment hardening).
     for (lib, &cycles) in &profile.base_cycles {
-        let Some(&i) = index.get(lib.as_str()) else { continue };
+        let Some(&i) = index.get(lib.as_str()) else {
+            continue;
+        };
         let c = plan.compartment_of[i];
         let pct = sh_overhead_percent(&plan.compartment_sh[c]);
         total += cycles + cycles * pct / 100;
@@ -131,9 +130,32 @@ pub fn estimate_request_cycles(
 /// into compatibility. The score is the mitigated fraction (1.0 when
 /// there are no threats).
 pub fn security_score(plan: &ImagePlan) -> f64 {
-    let plain: Vec<LibSpec> = plan.config.libraries.iter().map(|l| l.spec.clone()).collect();
-    let effective: Vec<LibSpec> =
-        plan.config.libraries.iter().map(|l| l.effective_spec()).collect();
+    security_score_impl(plan, None)
+}
+
+/// [`security_score`] with pairwise checks answered from a shared
+/// [`CompatCache`]. Scores are identical to the uncached function's.
+pub fn security_score_cached(plan: &ImagePlan, cache: &CompatCache) -> f64 {
+    security_score_impl(plan, Some(cache))
+}
+
+fn security_score_impl(plan: &ImagePlan, cache: Option<&CompatCache>) -> f64 {
+    let plain: Vec<LibSpec> = plan
+        .config
+        .libraries
+        .iter()
+        .map(|l| l.spec.clone())
+        .collect();
+    let effective: Vec<LibSpec> = plan
+        .config
+        .libraries
+        .iter()
+        .map(|l| l.effective_spec())
+        .collect();
+    let clear = |victim: &LibSpec, offender: &LibSpec| match cache {
+        Some(c) => c.violations(victim, offender).is_empty(),
+        None => violations(victim, offender).is_empty(),
+    };
     let mut threats = 0u32;
     let mut mitigated = 0u32;
     for v in 0..plain.len() {
@@ -141,13 +163,13 @@ pub fn security_score(plan: &ImagePlan) -> f64 {
             if v == o {
                 continue;
             }
-            if violations(&plain[v], &plain[o]).is_empty() {
+            if clear(&plain[v], &plain[o]) {
                 continue;
             }
             threats += 1;
-            let separated = plan.config.backend.isolates()
-                && plan.compartment_of[v] != plan.compartment_of[o];
-            let hardened_away = violations(&effective[v], &effective[o]).is_empty();
+            let separated =
+                plan.config.backend.isolates() && plan.compartment_of[v] != plan.compartment_of[o];
+            let hardened_away = clear(&effective[v], &effective[o]);
             if separated || hardened_away {
                 mitigated += 1;
             }
@@ -173,15 +195,116 @@ pub struct Candidate {
     pub label: String,
 }
 
+/// Options controlling how the design space is walked.
+///
+/// The only knob today is `threads`. Determinism is unconditional: for
+/// any thread count the candidate list is byte-identical to the serial
+/// one (work items are index-tagged and re-sorted into enumeration
+/// order), so parallelism is purely a wall-clock optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Worker threads for candidate evaluation. `1` (the default) runs
+    /// serially on the calling thread; `0` means "auto" — use the
+    /// machine's available parallelism. Counts above the number of work
+    /// items are clamped.
+    pub threads: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+impl ExploreOptions {
+    /// Serial exploration (the default).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Auto-sized parallel exploration.
+    pub fn auto() -> Self {
+        Self { threads: 0 }
+    }
+
+    /// Sets the worker thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The outcome of [`explore`]: the evaluated candidates (in the
+/// deterministic enumeration order) plus the compatibility cache's
+/// counters for that run.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Every planable candidate, ordered by `(backend index, SH mask)`.
+    pub candidates: Vec<Candidate>,
+    /// Hit/miss/occupancy of the run's shared [`CompatCache`].
+    pub cache_stats: CacheStats,
+}
+
+impl Exploration {
+    /// Objective A over this exploration's candidates.
+    pub fn max_security_within_budget(&self, budget_cycles: u64) -> Option<Candidate> {
+        max_security_within_budget(self.candidates.clone(), budget_cycles)
+    }
+
+    /// Objective B over this exploration's candidates.
+    pub fn fastest_meeting_security(&self, floor: f64) -> Option<Candidate> {
+        fastest_meeting_security(self.candidates.clone(), floor)
+    }
+
+    /// The Pareto frontier over this exploration's candidates.
+    pub fn pareto_frontier(&self) -> Vec<Candidate> {
+        pareto_frontier(self.candidates.clone())
+    }
+}
+
 /// Generates the candidate space for a base configuration: every backend
 /// in `backends` × every subset of `{no SH, suggested SH}` per library
 /// that has a suggestion (bounded like the paper's variant enumeration).
+///
+/// Serial convenience wrapper over [`explore`]; one fresh cache per call.
 pub fn candidates(
     base: &ImageConfig,
     backends: &[BackendChoice],
     profile: &CallProfile,
     costs: &CostTable,
 ) -> Vec<Candidate> {
+    explore(base, backends, profile, costs, &ExploreOptions::default()).candidates
+}
+
+/// The exploration engine behind [`candidates`]: walks the
+/// backend × SH-mask space on `opts.threads` workers, evaluating every
+/// combination against one shared [`CompatCache`].
+///
+/// The per-candidate work is hoisted aggressively, because the design
+/// space is a product of a *small* set of ingredients:
+///
+/// * each library has exactly two possible effective specs (plain and
+///   suggested-SH), computed and fingerprinted once up front, so a
+///   candidate's spec set is assembled by table lookup;
+/// * the *threat* pairs of the security model depend only on the plain
+///   specs, so they are computed once for the whole exploration;
+/// * graphs, colorings, and pairwise verdicts are memoized in the cache
+///   across candidates (the same SH mask yields the same graph under
+///   every backend).
+///
+/// Work item `idx = backend_index * 2^|toggleable| + mask` is evaluated
+/// independently; results are collected, sorted by `idx`, and unplanable
+/// combinations dropped — exactly what a serial nested loop over
+/// `(backend, mask)` produces, so parallel and serial runs return
+/// byte-identical candidate lists.
+pub fn explore(
+    base: &ImageConfig,
+    backends: &[BackendChoice],
+    profile: &CallProfile,
+    costs: &CostTable,
+    opts: &ExploreOptions,
+) -> Exploration {
     // Which libraries have a meaningful SH suggestion?
     let suggestions: Vec<Option<ShSet>> = base
         .libraries
@@ -191,34 +314,142 @@ pub fn candidates(
             (!s.is_empty()).then_some(s)
         })
         .collect();
-    let toggleable: Vec<usize> =
-        (0..base.libraries.len()).filter(|&i| suggestions[i].is_some()).collect();
+    let toggleable: Vec<usize> = (0..base.libraries.len())
+        .filter(|&i| suggestions[i].is_some())
+        .collect();
     assert!(toggleable.len() <= 12, "SH toggle space too large");
 
-    let mut out = Vec::new();
-    for &backend in backends {
-        for mask in 0..(1u32 << toggleable.len()) {
-            let mut cfg = base.clone();
-            cfg.backend = backend;
-            let mut hardened_names = Vec::new();
-            for (bit, &i) in toggleable.iter().enumerate() {
-                if mask & (1 << bit) != 0 {
-                    cfg.libraries[i].sh = suggestions[i].clone().expect("toggleable");
-                    hardened_names.push(cfg.libraries[i].spec.name.clone());
-                }
+    let cache = CompatCache::new();
+
+    // Per-library variant table: the effective spec (and fingerprint)
+    // with and without the suggested hardening.
+    struct LibVariants {
+        plain: LibSpec,
+        plain_fp: u64,
+        hardened: Option<(LibSpec, u64)>,
+    }
+    let variants: Vec<LibVariants> = base
+        .libraries
+        .iter()
+        .zip(&suggestions)
+        .map(|(l, sugg)| {
+            let plain = l.effective_spec();
+            let plain_fp = CompatCache::fingerprint(&plain);
+            let hardened = sugg.as_ref().map(|sh| {
+                let mut cfg = l.clone();
+                cfg.sh = sh.clone();
+                let spec = cfg.effective_spec();
+                let fp = CompatCache::fingerprint(&spec);
+                (spec, fp)
+            });
+            LibVariants {
+                plain,
+                plain_fp,
+                hardened,
             }
-            let Ok(p) = plan(cfg) else { continue };
-            let cycles = estimate_request_cycles(&p, profile, costs);
-            let security = security_score(&p);
-            let label = if hardened_names.is_empty() {
-                format!("{backend}")
-            } else {
-                format!("{backend} + SH({})", hardened_names.join(","))
-            };
-            out.push(Candidate { plan: p, cycles, security, label });
+        })
+        .collect();
+
+    // Threats depend only on the declared (pre-SH) specs, so the pair
+    // list is shared by every candidate.
+    let declared: Vec<&LibSpec> = base.libraries.iter().map(|l| &l.spec).collect();
+    let declared_fps: Vec<u64> = declared
+        .iter()
+        .map(|s| CompatCache::fingerprint(s))
+        .collect();
+    let mut threats: Vec<(usize, usize)> = Vec::new();
+    for v in 0..declared.len() {
+        for o in 0..declared.len() {
+            if v != o
+                && !cache
+                    .violations_keyed(declared_fps[v], declared[v], declared_fps[o], declared[o])
+                    .is_empty()
+            {
+                threats.push((v, o));
+            }
         }
     }
-    out
+
+    let n_masks = 1usize << toggleable.len();
+    let work = backends.len() * n_masks;
+    let threads = effective_threads(opts.threads, work);
+
+    let evaluated = par_map_indexed(work, threads, |idx| {
+        let backend = backends[idx / n_masks];
+        let mask = (idx % n_masks) as u32;
+        let mut cfg = base.clone();
+        cfg.backend = backend;
+        let mut hardened_names = Vec::new();
+        for (bit, &i) in toggleable.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                cfg.libraries[i].sh = suggestions[i].clone().expect("toggleable");
+                hardened_names.push(cfg.libraries[i].spec.name.clone());
+            }
+        }
+        // Assemble the candidate's effective specs from the table.
+        let on = |i: usize| {
+            toggleable
+                .iter()
+                .position(|&t| t == i)
+                .is_some_and(|bit| mask & (1 << bit) != 0)
+        };
+        let (effective, fps): (Vec<LibSpec>, Vec<u64>) = variants
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match (&v.hardened, on(i)) {
+                (Some((spec, fp)), true) => (spec.clone(), *fp),
+                _ => (v.plain.clone(), v.plain_fp),
+            })
+            .unzip();
+        let p = plan_prepared(cfg, &effective, &fps, &cache).ok()?;
+        let cycles = estimate_request_cycles(&p, profile, costs);
+        let security = hoisted_security_score(&p, &threats, &effective, &fps, &cache);
+        let label = if hardened_names.is_empty() {
+            format!("{backend}")
+        } else {
+            format!("{backend} + SH({})", hardened_names.join(","))
+        };
+        Some(Candidate {
+            plan: p,
+            cycles,
+            security,
+            label,
+        })
+    });
+
+    Exploration {
+        candidates: evaluated.into_iter().flatten().collect(),
+        cache_stats: cache.stats(),
+    }
+}
+
+/// [`security_score`] specialized to the exploration hot loop: the
+/// threat pairs are precomputed (they depend only on declared specs) and
+/// the per-candidate effective specs arrive pre-fingerprinted. Produces
+/// bit-identical scores to [`security_score`] on the same plan.
+fn hoisted_security_score(
+    plan: &ImagePlan,
+    threats: &[(usize, usize)],
+    effective: &[LibSpec],
+    fps: &[u64],
+    cache: &CompatCache,
+) -> f64 {
+    if threats.is_empty() {
+        return 1.0;
+    }
+    let isolates = plan.config.backend.isolates();
+    let mut mitigated = 0u32;
+    for &(v, o) in threats {
+        let separated = isolates && plan.compartment_of[v] != plan.compartment_of[o];
+        if separated
+            || cache
+                .violations_keyed(fps[v], &effective[v], fps[o], &effective[o])
+                .is_empty()
+        {
+            mitigated += 1;
+        }
+    }
+    f64::from(mitigated) / f64::from(threats.len() as u32)
 }
 
 /// Objective A: the most secure candidate whose predicted cost fits in
@@ -261,14 +492,16 @@ pub fn pareto_frontier(mut cands: Vec<Candidate>) -> Vec<Candidate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::{LibRole, LibraryConfig};
+    use crate::build::{plan, LibRole, LibraryConfig};
     use crate::spec::transform::Analysis;
 
     fn base_config() -> ImageConfig {
         let sched = LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler);
         let net = LibraryConfig::new(LibSpec::unsafe_c("netstack"), LibRole::NetStack)
             .with_analysis(Analysis::well_behaved());
-        ImageConfig::new("explore", BackendChoice::None).with_library(sched).with_library(net)
+        ImageConfig::new("explore", BackendChoice::None)
+            .with_library(sched)
+            .with_library(net)
     }
 
     fn profile() -> CallProfile {
@@ -295,14 +528,18 @@ mod tests {
     #[test]
     fn vm_rpc_is_the_most_expensive_backend() {
         let costs = CostTable::default();
-        let cycles: Vec<u64> = [BackendChoice::MpkShared, BackendChoice::MpkSwitched, BackendChoice::VmRpc]
-            .iter()
-            .map(|&b| {
-                let mut cfg = base_config();
-                cfg.backend = b;
-                estimate_request_cycles(&plan(cfg).unwrap(), &profile(), &costs)
-            })
-            .collect();
+        let cycles: Vec<u64> = [
+            BackendChoice::MpkShared,
+            BackendChoice::MpkSwitched,
+            BackendChoice::VmRpc,
+        ]
+        .iter()
+        .map(|&b| {
+            let mut cfg = base_config();
+            cfg.backend = b;
+            estimate_request_cycles(&plan(cfg).unwrap(), &profile(), &costs)
+        })
+        .collect();
         assert!(cycles[0] < cycles[1]);
         assert!(cycles[1] < cycles[2]);
     }
@@ -354,7 +591,11 @@ mod tests {
         let costs = CostTable::default();
         let cands = candidates(
             &base_config(),
-            &[BackendChoice::None, BackendChoice::MpkShared, BackendChoice::VmRpc],
+            &[
+                BackendChoice::None,
+                BackendChoice::MpkShared,
+                BackendChoice::VmRpc,
+            ],
             &profile(),
             &costs,
         );
@@ -372,7 +613,11 @@ mod tests {
         let costs = CostTable::default();
         let cands = candidates(
             &base_config(),
-            &[BackendChoice::None, BackendChoice::MpkShared, BackendChoice::MpkSwitched],
+            &[
+                BackendChoice::None,
+                BackendChoice::MpkShared,
+                BackendChoice::MpkSwitched,
+            ],
             &profile(),
             &costs,
         );
@@ -391,7 +636,11 @@ mod tests {
         let costs = CostTable::default();
         let cands = candidates(
             &base_config(),
-            &[BackendChoice::None, BackendChoice::MpkShared, BackendChoice::VmRpc],
+            &[
+                BackendChoice::None,
+                BackendChoice::MpkShared,
+                BackendChoice::VmRpc,
+            ],
             &profile(),
             &costs,
         );

@@ -63,7 +63,10 @@ impl GateMechanism {
     /// in a domain shared by all compartments (the shared-stack gate), in
     /// which case stack memory cannot be assumed private.
     pub fn stacks_shared(self) -> bool {
-        matches!(self, GateMechanism::DirectCall | GateMechanism::MpkSharedStack)
+        matches!(
+            self,
+            GateMechanism::DirectCall | GateMechanism::MpkSharedStack
+        )
     }
 }
 
@@ -203,8 +206,14 @@ impl GateRuntime {
         default_gate: Rc<dyn Gate>,
         initial: CompartmentId,
     ) -> Self {
-        assert!(!compartments.is_empty(), "an image has at least one compartment");
-        assert!((initial.0 as usize) < compartments.len(), "unknown initial compartment");
+        assert!(
+            !compartments.is_empty(),
+            "an image has at least one compartment"
+        );
+        assert!(
+            (initial.0 as usize) < compartments.len(),
+            "unknown initial compartment"
+        );
         Self {
             compartments,
             default_gate,
@@ -222,7 +231,10 @@ impl GateRuntime {
 
     fn gate_for(&self, a: CompartmentId, b: CompartmentId) -> Rc<dyn Gate> {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.pair_gates.get(&key).cloned().unwrap_or_else(|| Rc::clone(&self.default_gate))
+        self.pair_gates
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| Rc::clone(&self.default_gate))
     }
 
     /// The compartment currently executing.
@@ -285,13 +297,18 @@ impl GateRuntime {
             self.stats.direct_calls += 1;
             return f(m, self);
         }
-        assert!((target.0 as usize) < self.compartments.len(), "unknown {target}");
+        assert!(
+            (target.0 as usize) < self.compartments.len(),
+            "unknown {target}"
+        );
 
         let gate = self.gate_for(from, target);
         let t0 = m.clock().cycles();
         {
-            let (from_ctx, to_ctx) =
-                (&self.compartments[from.0 as usize], &self.compartments[target.0 as usize]);
+            let (from_ctx, to_ctx) = (
+                &self.compartments[from.0 as usize],
+                &self.compartments[target.0 as usize],
+            );
             gate.enter(m, from_ctx, to_ctx, arg_bytes)?;
         }
         self.stats.gate_cycles += m.clock().cycles() - t0;
@@ -302,8 +319,10 @@ impl GateRuntime {
         self.stack.pop();
         let t1 = m.clock().cycles();
         {
-            let (callee_ctx, caller_ctx) =
-                (&self.compartments[target.0 as usize], &self.compartments[from.0 as usize]);
+            let (callee_ctx, caller_ctx) = (
+                &self.compartments[target.0 as usize],
+                &self.compartments[from.0 as usize],
+            );
             gate.exit(m, callee_ctx, caller_ctx, ret_bytes)?;
         }
         self.stats.gate_cycles += m.clock().cycles() - t1;
@@ -349,8 +368,12 @@ mod tests {
     use flexos_machine::PageFlags;
 
     fn two_compartments(m: &mut Machine) -> Vec<CompartmentCtx> {
-        let heap0 = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
-        let heap1 = m.alloc_region(VmId(0), 4096, ProtKey(2), PageFlags::RW).unwrap();
+        let heap0 = m
+            .alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW)
+            .unwrap();
+        let heap1 = m
+            .alloc_region(VmId(0), 4096, ProtKey(2), PageFlags::RW)
+            .unwrap();
         vec![
             CompartmentCtx {
                 id: CompartmentId(0),
@@ -383,7 +406,9 @@ mod tests {
         let cpts = two_compartments(&mut m);
         let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
         let before = m.clock().cycles();
-        let v = rt.cross(&mut m, CompartmentId(0), 16, 8, |_, _| Ok(42)).unwrap();
+        let v = rt
+            .cross(&mut m, CompartmentId(0), 16, 8, |_, _| Ok(42))
+            .unwrap();
         assert_eq!(v, 42);
         assert_eq!(m.clock().cycles() - before, m.costs().func_call);
         assert_eq!(rt.stats().direct_calls, 1);
@@ -427,7 +452,8 @@ mod tests {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
         let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
-        rt.cross(&mut m, CompartmentId(1), 100, 28, |_, _| Ok(())).unwrap();
+        rt.cross(&mut m, CompartmentId(1), 100, 28, |_, _| Ok(()))
+            .unwrap();
         assert_eq!(rt.stats().bytes_marshalled, 128);
     }
 

@@ -1,0 +1,85 @@
+//! Deterministic work-stealing fan-out over an indexed work list.
+//!
+//! The exploration drivers ([`crate::explore::explore`],
+//! [`crate::compat::variants::enumerate_deployments_with`]) parallelize
+//! an embarrassingly parallel map `0..n -> T`. Workers claim the next
+//! index from a shared atomic counter (cheap dynamic load balancing —
+//! the std-only equivalent of a work-stealing deque for an indexed work
+//! list), stream `(index, result)` pairs over a channel, and the caller
+//! sorts by index before returning. The output is therefore the *exact*
+//! sequence a serial `(0..n).map(f)` would produce, regardless of thread
+//! count or scheduling — byte-identical parallel and serial results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `0..n` on up to `threads` scoped worker threads,
+/// returning results in index order. `threads <= 1` (or trivial `n`)
+/// runs serially with no thread or channel overhead.
+pub(crate) fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut tagged: Vec<(usize, T)> = rx.iter().collect();
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    })
+}
+
+/// Resolves a requested thread count: `0` means "auto" (the machine's
+/// available parallelism), and the result is clamped to the work size so
+/// no idle threads are spawned.
+pub(crate) fn effective_threads(requested: usize, work: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    };
+    t.clamp(1, work.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let out = par_map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_work() {
+        assert_eq!(par_map_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+}

@@ -62,7 +62,10 @@ pub struct BehaviorTrace {
 impl BehaviorTrace {
     /// Starts an empty trace for `lib`.
     pub fn new(lib: impl Into<String>) -> Self {
-        Self { lib: lib.into(), ..Self::default() }
+        Self {
+            lib: lib.into(),
+            ..Self::default()
+        }
     }
 
     /// Records a read.
@@ -97,7 +100,10 @@ impl BehaviorTrace {
 }
 
 fn region_set(observed: &BTreeSet<ObservedRegion>) -> RegionSet {
-    if observed.iter().any(|r| matches!(r, ObservedRegion::Foreign(_))) {
+    if observed
+        .iter()
+        .any(|r| matches!(r, ObservedRegion::Foreign(_)))
+    {
         return RegionSet::Star;
     }
     let mut set = BTreeSet::new();
@@ -122,7 +128,11 @@ pub fn infer_spec(trace: &BehaviorTrace) -> LibSpec {
     } else {
         CallBehavior::Funcs(trace.calls.clone())
     };
-    let api: Vec<ApiFunc> = trace.entered_via.iter().map(|f| ApiFunc::named(f.clone())).collect();
+    let api: Vec<ApiFunc> = trace
+        .entered_via
+        .iter()
+        .map(|f| ApiFunc::named(f.clone()))
+        .collect();
     // Grants: exactly the incoming behaviour exercised, plus calling the
     // observed entry points.
     let mut grants: Vec<Grant> = trace.incoming.iter().cloned().map(Grant::any).collect();
@@ -134,7 +144,10 @@ pub fn infer_spec(trace: &BehaviorTrace) -> LibSpec {
     }
     LibSpec {
         name: trace.lib.clone(),
-        mem: MemBehavior { read: region_set(&trace.reads), write: region_set(&trace.writes) },
+        mem: MemBehavior {
+            read: region_set(&trace.reads),
+            write: region_set(&trace.writes),
+        },
         call,
         api,
         requires: Requires::granting(grants),
@@ -197,8 +210,16 @@ mod tests {
         assert_eq!(inferred.mem, handwritten.mem);
         assert_eq!(inferred.call, handwritten.call);
         assert_eq!(
-            inferred.api.iter().map(|a| &a.name).collect::<BTreeSet<_>>(),
-            handwritten.api.iter().map(|a| &a.name).collect::<BTreeSet<_>>()
+            inferred
+                .api
+                .iter()
+                .map(|a| &a.name)
+                .collect::<BTreeSet<_>>(),
+            handwritten
+                .api
+                .iter()
+                .map(|a| &a.name)
+                .collect::<BTreeSet<_>>()
         );
         // Same compatibility verdicts against the paper's other example.
         let raw = LibSpec::unsafe_c("rawlib");
@@ -206,13 +227,17 @@ mod tests {
         // And against a well-behaved sibling.
         let mut sibling = handwritten.clone();
         sibling.name = "uklock".into();
-        assert_eq!(compatible(&inferred, &sibling), compatible(&handwritten, &sibling));
+        assert_eq!(
+            compatible(&inferred, &sibling),
+            compatible(&handwritten, &sibling)
+        );
     }
 
     #[test]
     fn foreign_touches_widen_to_star() {
         let mut t = BehaviorTrace::new("buggy");
-        t.write(ObservedRegion::Own).write(ObservedRegion::Foreign("uksched".into()));
+        t.write(ObservedRegion::Own)
+            .write(ObservedRegion::Foreign("uksched".into()));
         let spec = infer_spec(&t);
         assert!(spec.mem.write.is_star());
         assert!(!spec.mem.read.is_star());
@@ -235,10 +260,14 @@ mod tests {
         // spec does NOT grant Write(Shared) — too strict is the safe
         // failure mode.
         let mut t = BehaviorTrace::new("quiet");
-        t.read(ObservedRegion::Own).write(ObservedRegion::Own).entered("poke");
+        t.read(ObservedRegion::Own)
+            .write(ObservedRegion::Own)
+            .entered("poke");
         let spec = infer_spec(&t);
         assert!(spec.requires.is_constrained());
-        assert!(!spec.requires.permits("x", &GrantKind::Write(Region::Shared)));
+        assert!(!spec
+            .requires
+            .permits("x", &GrantKind::Write(Region::Shared)));
         assert!(spec.requires.permits("x", &GrantKind::Call("poke".into())));
         assert!(!spec.requires.permits("x", &GrantKind::Call("other".into())));
     }

@@ -37,12 +37,11 @@
 //!   "this means other libraries should not be prevented from writing to
 //!   memory owned by this library" (paper §2).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A memory region, relative to the library declaring the spec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Region {
     /// The library's private data (static memory, its heap objects).
     Own,
@@ -62,7 +61,7 @@ impl fmt::Display for Region {
 /// A set of regions a library may access — either an explicit subset of
 /// `{Own, Shared}` or the wildcard `*` ("anything reachable in the
 /// compartment", the adversarial case).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RegionSet {
     /// `*`: may touch any memory reachable in the compartment.
     Star,
@@ -115,7 +114,7 @@ impl RegionSet {
 }
 
 /// Declared memory-access behaviour (`[Memory access]` section).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemBehavior {
     /// Regions the library may read.
     pub read: RegionSet,
@@ -126,18 +125,24 @@ pub struct MemBehavior {
 impl MemBehavior {
     /// Well-behaved: reads and writes confined to own + shared memory.
     pub fn well_behaved() -> Self {
-        Self { read: RegionSet::own_and_shared(), write: RegionSet::own_and_shared() }
+        Self {
+            read: RegionSet::own_and_shared(),
+            write: RegionSet::own_and_shared(),
+        }
     }
 
     /// Adversarial: `Read(*); Write(*)` — may be hijacked into touching
     /// anything reachable.
     pub fn adversarial() -> Self {
-        Self { read: RegionSet::Star, write: RegionSet::Star }
+        Self {
+            read: RegionSet::Star,
+            write: RegionSet::Star,
+        }
     }
 }
 
 /// A reference to a function in a (possibly other) library, `lib::func`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncRef {
     /// The library exposing the function.
     pub lib: String,
@@ -148,7 +153,10 @@ pub struct FuncRef {
 impl FuncRef {
     /// Builds a `lib::func` reference.
     pub fn new(lib: impl Into<String>, func: impl Into<String>) -> Self {
-        Self { lib: lib.into(), func: func.into() }
+        Self {
+            lib: lib.into(),
+            func: func.into(),
+        }
     }
 }
 
@@ -159,7 +167,7 @@ impl fmt::Display for FuncRef {
 }
 
 /// Declared call behaviour (`[Call]` section).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CallBehavior {
     /// `*`: may execute arbitrary code / call anything (hijackable).
     Star,
@@ -190,7 +198,7 @@ impl CallBehavior {
 }
 
 /// A function exposed by the library (`[API]` section).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ApiFunc {
     /// Function name.
     pub name: String,
@@ -206,13 +214,17 @@ pub struct ApiFunc {
 impl ApiFunc {
     /// An API function with no declared parameters or preconditions.
     pub fn named(name: impl Into<String>) -> Self {
-        Self { name: name.into(), params: Vec::new(), preconditions: Vec::new() }
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            preconditions: Vec::new(),
+        }
     }
 }
 
 /// What kinds of access a `[Requires]` grant permits on the declaring
 /// library.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GrantKind {
     /// `(Read, R)`: others may read region `R` of this library.
     Read(Region),
@@ -225,7 +237,7 @@ pub enum GrantKind {
 }
 
 /// Who a grant applies to.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GrantSubject {
     /// `*`: any co-located library.
     Any,
@@ -234,7 +246,7 @@ pub enum GrantSubject {
 }
 
 /// One entry of the `[Requires]` section: `subject(kind)`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Grant {
     /// Which co-located libraries the grant applies to.
     pub subject: GrantSubject,
@@ -245,7 +257,10 @@ pub struct Grant {
 impl Grant {
     /// `*(kind)` — grant to any co-located library.
     pub fn any(kind: GrantKind) -> Self {
-        Self { subject: GrantSubject::Any, kind }
+        Self {
+            subject: GrantSubject::Any,
+            kind,
+        }
     }
 
     /// Whether this grant applies to the library named `lib`.
@@ -260,7 +275,7 @@ impl Grant {
 /// The `[Requires]` section: `None` means the section is absent, which
 /// per the paper grants everything ("other libraries should not be
 /// prevented from writing to memory owned by this library").
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Requires {
     /// The grant whitelist; `None` = unconstrained (grants everything).
     pub grants: Option<Vec<Grant>>,
@@ -274,7 +289,9 @@ impl Requires {
 
     /// A grant whitelist.
     pub fn granting(grants: Vec<Grant>) -> Self {
-        Self { grants: Some(grants) }
+        Self {
+            grants: Some(grants),
+        }
     }
 
     /// Whether this library constrains its co-residents at all.
@@ -296,7 +313,7 @@ impl Requires {
 }
 
 /// A complete library specification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LibSpec {
     /// The library's name (Unikraft micro-library granularity, e.g.
     /// `uknetdev`, `uksched`, `libc`).

@@ -34,14 +34,21 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spec parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a spec whose name is given by a `[Library]` section in the text.
@@ -75,7 +82,11 @@ fn split_sections(input: &str) -> Result<Vec<Section>, ParseError> {
             };
             let header = rest[..close].trim().to_string();
             let body = rest[close + 1..].trim().to_string();
-            sections.push(Section { header, body, line: line_no });
+            sections.push(Section {
+                header,
+                body,
+                line: line_no,
+            });
         } else {
             match sections.last_mut() {
                 Some(s) => {
@@ -130,7 +141,10 @@ fn parse_region(tok: &str, line: usize) -> Result<Region, ParseError> {
     match tok.trim() {
         "Own" | "own" => Ok(Region::Own),
         "Shared" | "shared" => Ok(Region::Shared),
-        other => err(line, format!("unknown region `{other}` (expected Own/Shared/*)")),
+        other => err(
+            line,
+            format!("unknown region `{other}` (expected Own/Shared/*)"),
+        ),
     }
 }
 
@@ -150,11 +164,15 @@ fn parse_region_set(body: &str, line: usize) -> Result<RegionSet, ParseError> {
 }
 
 fn parse_mem(body: &str, line: usize) -> Result<MemBehavior, ParseError> {
-    let mut mem = MemBehavior { read: RegionSet::none(), write: RegionSet::none() };
+    let mut mem = MemBehavior {
+        read: RegionSet::none(),
+        write: RegionSet::none(),
+    };
     for item in split_top_level(body, &[';']) {
-        let open = item
-            .find('(')
-            .ok_or_else(|| ParseError { line, message: format!("expected `Kind(...)` in `{item}`") })?;
+        let open = item.find('(').ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `Kind(...)` in `{item}`"),
+        })?;
         if !item.ends_with(')') {
             return err(line, format!("missing `)` in `{item}`"));
         }
@@ -177,9 +195,10 @@ fn parse_call(body: &str, line: usize) -> Result<CallBehavior, ParseError> {
     }
     let mut funcs = BTreeSet::new();
     for item in split_top_level(body, &[',', ';']) {
-        let (lib, func) = item
-            .split_once("::")
-            .ok_or_else(|| ParseError { line, message: format!("expected `lib::func`, got `{item}`") })?;
+        let (lib, func) = item.split_once("::").ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `lib::func`, got `{item}`"),
+        })?;
         if lib.trim().is_empty() || func.trim().is_empty() {
             return err(line, format!("empty library or function in `{item}`"));
         }
@@ -230,7 +249,11 @@ fn parse_api(body: &str, line: usize) -> Result<Vec<ApiFunc>, ParseError> {
         if !rest.is_empty() {
             return err(line, format!("trailing content after API entry: `{rest}`"));
         }
-        api.push(ApiFunc { name, params, preconditions });
+        api.push(ApiFunc {
+            name,
+            params,
+            preconditions,
+        });
     }
     Ok(api)
 }
@@ -345,7 +368,8 @@ mod tests {
 
     #[test]
     fn parses_the_paper_unsafe_c_example() {
-        let spec = parse_with_name("[Memory access] Read(*); Write(*)\n[Call] *", "rawlib").unwrap();
+        let spec =
+            parse_with_name("[Memory access] Read(*); Write(*)\n[Call] *", "rawlib").unwrap();
         assert_eq!(spec.name, "rawlib");
         assert!(spec.mem.read.is_star());
         assert!(spec.mem.write.is_star());
@@ -396,7 +420,9 @@ mod tests {
     #[test]
     fn lib_scoped_grant_subjects() {
         let spec = parse_with_name("[Requires] libc(Write,Own), *(Read,Own)", "x").unwrap();
-        assert!(spec.requires.permits("libc", &GrantKind::Write(Region::Own)));
+        assert!(spec
+            .requires
+            .permits("libc", &GrantKind::Write(Region::Own)));
         assert!(!spec.requires.permits("net", &GrantKind::Write(Region::Own)));
         assert!(spec.requires.permits("net", &GrantKind::Read(Region::Own)));
     }
@@ -431,6 +457,8 @@ mod tests {
     #[test]
     fn call_grant_star_parses_to_call_any() {
         let spec = parse_with_name("[Requires] *(Call, *)", "x").unwrap();
-        assert!(spec.requires.permits("y", &GrantKind::Call("anything".into())));
+        assert!(spec
+            .requires
+            .permits("y", &GrantKind::Call("anything".into())));
     }
 }

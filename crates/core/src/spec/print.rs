@@ -18,9 +18,11 @@ fn region_str(r: Region) -> &'static str {
 fn region_set_str(s: &RegionSet) -> String {
     match s {
         RegionSet::Star => "*".to_string(),
-        RegionSet::Set(set) => {
-            set.iter().map(|&r| region_str(r)).collect::<Vec<_>>().join(",")
-        }
+        RegionSet::Set(set) => set
+            .iter()
+            .map(|&r| region_str(r))
+            .collect::<Vec<_>>()
+            .join(","),
     }
 }
 

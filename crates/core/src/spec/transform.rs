@@ -19,16 +19,13 @@
 //! 2) for each library that can execute arbitrary code, enable CFI").
 
 use super::model::{CallBehavior, FuncRef, LibSpec, RegionSet};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A software-hardening mechanism supported by FlexOS (§3: "Our
 /// implementation supports KASAN, Stack protector and UBSAN on GCC, and
 /// CFI and SafeStack under clang", plus DFI from §2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ShMechanism {
     /// Address sanitizer (KASAN in-kernel): redzones + shadow memory +
     /// quarantine; confines accesses to valid allocations.
@@ -97,7 +94,7 @@ impl fmt::Display for ShMechanism {
 }
 
 /// A set of SH mechanisms applied together to one library/compartment.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ShSet(pub BTreeSet<ShMechanism>);
 
 impl ShSet {
@@ -239,11 +236,17 @@ pub struct ShVariant {
 /// Produces the variant list for a library: the plain version plus, when
 /// the suggestion heuristic fires, the hardened version.
 pub fn variants_for(spec: &LibSpec, analysis: &Analysis) -> Vec<ShVariant> {
-    let mut out = vec![ShVariant { spec: spec.clone(), sh: ShSet::none() }];
+    let mut out = vec![ShVariant {
+        spec: spec.clone(),
+        sh: ShSet::none(),
+    }];
     let suggested = suggest_sh(spec);
     if !suggested.is_empty() {
         let hardened = apply_sh(spec, &suggested, analysis);
-        out.push(ShVariant { spec: hardened, sh: suggested });
+        out.push(ShVariant {
+            spec: hardened,
+            sh: suggested,
+        });
     }
     out
 }
@@ -264,24 +267,27 @@ mod tests {
             ..Default::default()
         };
         let out = apply_sh(&unsafe_lib(), &ShSet::of([ShMechanism::Cfi]), &analysis);
-        assert_eq!(
-            out.call,
-            CallBehavior::funcs([("alloc", "malloc")])
-        );
+        assert_eq!(out.call, CallBehavior::funcs([("alloc", "malloc")]));
         // Memory behaviour untouched by CFI.
         assert!(out.mem.write.is_star());
     }
 
     #[test]
     fn cfi_without_analysis_leaves_star() {
-        let out = apply_sh(&unsafe_lib(), &ShSet::of([ShMechanism::Cfi]), &Analysis::default());
+        let out = apply_sh(
+            &unsafe_lib(),
+            &ShSet::of([ShMechanism::Cfi]),
+            &Analysis::default(),
+        );
         assert!(out.call.is_star());
     }
 
     #[test]
     fn dfi_applies_dfg_write_regions() {
-        let analysis =
-            Analysis { write_regions: Some(RegionSet::own()), ..Default::default() };
+        let analysis = Analysis {
+            write_regions: Some(RegionSet::own()),
+            ..Default::default()
+        };
         let out = apply_sh(&unsafe_lib(), &ShSet::of([ShMechanism::Dfi]), &analysis);
         assert_eq!(out.mem.write, RegionSet::own());
         // Reads not bounded by this analysis.
@@ -290,14 +296,22 @@ mod tests {
 
     #[test]
     fn asan_confines_accesses_without_analysis() {
-        let out = apply_sh(&unsafe_lib(), &ShSet::of([ShMechanism::Asan]), &Analysis::default());
+        let out = apply_sh(
+            &unsafe_lib(),
+            &ShSet::of([ShMechanism::Asan]),
+            &Analysis::default(),
+        );
         assert_eq!(out.mem, MemBehavior::well_behaved());
         assert!(out.call.is_star()); // ASAN says nothing about control flow.
     }
 
     #[test]
     fn passive_mechanisms_change_nothing() {
-        for m in [ShMechanism::StackProtector, ShMechanism::SafeStack, ShMechanism::Ubsan] {
+        for m in [
+            ShMechanism::StackProtector,
+            ShMechanism::SafeStack,
+            ShMechanism::Ubsan,
+        ] {
             let out = apply_sh(&unsafe_lib(), &ShSet::of([m]), &Analysis::well_behaved());
             assert_eq!(out, unsafe_lib());
         }

@@ -76,8 +76,7 @@ impl ApiWrapper {
         }
         // Argument validation (bounds/ownership of marshalled args) +
         // one verified-style check per declared precondition.
-        costs.ubsan_check * 2
-            + costs.verified_contract_check / 4 * self.preconditions.len() as u64
+        costs.ubsan_check * 2 + costs.verified_contract_check / 4 * self.preconditions.len() as u64
     }
 }
 
@@ -100,7 +99,10 @@ impl WrapperTable {
 
     /// Number of wrappers with checks enabled.
     pub fn enabled_count(&self) -> usize {
-        self.wrappers.values().filter(|w| w.checks_enabled()).count()
+        self.wrappers
+            .values()
+            .filter(|w| w.checks_enabled())
+            .count()
     }
 
     /// Total wrappers generated.
@@ -199,7 +201,9 @@ mod tests {
         // Everything in one domain: no trust boundary, no checks.
         let cfg = ImageConfig::new("same", BackendChoice::None)
             .with_library(sched().in_compartment(0))
-            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(0));
+            .with_library(
+                caller_of("netstack", "uksched_verified", "thread_add").in_compartment(0),
+            );
         let p = plan(cfg).unwrap();
         let t = generate_wrappers(&p);
         let w = t.get("uksched_verified", "thread_add").unwrap();
@@ -212,11 +216,16 @@ mod tests {
     fn cross_compartment_callers_enable_checks() {
         let cfg = ImageConfig::new("split", BackendChoice::MpkShared)
             .with_library(sched().in_compartment(0))
-            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1));
+            .with_library(
+                caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1),
+            );
         let p = plan(cfg).unwrap();
         let t = generate_wrappers(&p);
         let w = t.get("uksched_verified", "thread_add").unwrap();
-        assert_eq!(w.reason, CheckReason::ForeignCallers(vec!["netstack".into()]));
+        assert_eq!(
+            w.reason,
+            CheckReason::ForeignCallers(vec!["netstack".into()])
+        );
         assert!(w.checks_enabled());
         // The paper example's precondition rides along.
         assert_eq!(w.preconditions, vec!["thread not already added"]);
@@ -227,7 +236,9 @@ mod tests {
     fn uncalled_entry_points_are_flagged_not_checked() {
         let cfg = ImageConfig::new("dead", BackendChoice::MpkShared)
             .with_library(sched().in_compartment(0))
-            .with_library(caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1));
+            .with_library(
+                caller_of("netstack", "uksched_verified", "thread_add").in_compartment(1),
+            );
         let p = plan(cfg).unwrap();
         let t = generate_wrappers(&p);
         // `thread_rm` is exposed but nobody calls it.
@@ -284,7 +295,10 @@ mod tests {
     fn the_verified_scheduler_image_generates_a_full_table() {
         let cfg = ImageConfig::new("full", BackendChoice::MpkShared)
             .with_library(sched())
-            .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+            .with_library(LibraryConfig::new(
+                LibSpec::unsafe_c("rawlib"),
+                LibRole::Other,
+            ));
         let p = plan(cfg).unwrap();
         let t = generate_wrappers(&p);
         assert_eq!(t.len(), 3); // the scheduler's three entry points

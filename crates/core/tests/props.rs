@@ -20,11 +20,8 @@ fn arb_name() -> impl Strategy<Value = String> {
 fn arb_region_set() -> impl Strategy<Value = RegionSet> {
     prop_oneof![
         Just(RegionSet::Star),
-        prop::collection::btree_set(
-            prop_oneof![Just(Region::Own), Just(Region::Shared)],
-            0..=2
-        )
-        .prop_map(RegionSet::Set),
+        prop::collection::btree_set(prop_oneof![Just(Region::Own), Just(Region::Shared)], 0..=2)
+            .prop_map(RegionSet::Set),
     ]
 }
 
@@ -38,7 +35,10 @@ fn arb_call() -> impl Strategy<Value = CallBehavior> {
 }
 
 fn arb_grant() -> impl Strategy<Value = Grant> {
-    let subject = prop_oneof![Just(GrantSubject::Any), arb_name().prop_map(GrantSubject::Lib)];
+    let subject = prop_oneof![
+        Just(GrantSubject::Any),
+        arb_name().prop_map(GrantSubject::Lib)
+    ];
     let kind = prop_oneof![
         Just(GrantKind::Read(Region::Own)),
         Just(GrantKind::Read(Region::Shared)),
@@ -65,7 +65,11 @@ fn arb_spec() -> impl Strategy<Value = LibSpec> {
             call,
             api: api
                 .into_iter()
-                .map(|(name, params)| ApiFunc { name, params, preconditions: Vec::new() })
+                .map(|(name, params)| ApiFunc {
+                    name,
+                    params,
+                    preconditions: Vec::new(),
+                })
                 .collect(),
             requires: Requires { grants },
         })

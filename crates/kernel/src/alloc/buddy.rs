@@ -34,7 +34,14 @@ impl BuddyAllocator {
         let max_order = len.trailing_zeros();
         let mut free: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); (max_order + 1) as usize];
         free[max_order as usize].insert(0);
-        Self { base, len, max_order, free, live: BTreeMap::new(), stats: AllocStats::default() }
+        Self {
+            base,
+            len,
+            max_order,
+            free,
+            live: BTreeMap::new(),
+            stats: AllocStats::default(),
+        }
     }
 
     fn order_for(&self, size: u64) -> u32 {
@@ -126,7 +133,9 @@ impl Allocator for BuddyAllocator {
     }
 
     fn size_of(&self, addr: Addr) -> Option<u64> {
-        self.live.get(&addr.0.wrapping_sub(self.base.0)).map(|&(_, size)| size)
+        self.live
+            .get(&addr.0.wrapping_sub(self.base.0))
+            .map(|&(_, size)| size)
     }
 
     fn region(&self) -> (Addr, u64) {

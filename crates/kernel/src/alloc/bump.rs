@@ -23,7 +23,13 @@ pub struct BumpAllocator {
 impl BumpAllocator {
     /// Creates a bump allocator over the region.
     pub fn new(base: Addr, len: u64) -> Self {
-        Self { base, len, next: 0, live: BTreeMap::new(), stats: AllocStats::default() }
+        Self {
+            base,
+            len,
+            next: 0,
+            live: BTreeMap::new(),
+            stats: AllocStats::default(),
+        }
     }
 
     /// Resets the arena, invalidating all live allocations at once.
@@ -44,7 +50,9 @@ impl Allocator for BumpAllocator {
         m.charge(m.costs().alloc_op);
         let size = size.max(1);
         let start = align_up(self.base.0 + self.next, align) - self.base.0;
-        let end = start.checked_add(size).ok_or_else(|| heap_exhausted(size))?;
+        let end = start
+            .checked_add(size)
+            .ok_or_else(|| heap_exhausted(size))?;
         if end > self.len {
             return Err(heap_exhausted(size));
         }

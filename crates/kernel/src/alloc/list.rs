@@ -33,7 +33,13 @@ impl FreeListAllocator {
         if len > 0 {
             free.insert(0, len);
         }
-        Self { base, len, free, live: BTreeMap::new(), stats: AllocStats::default() }
+        Self {
+            base,
+            len,
+            free,
+            live: BTreeMap::new(),
+            stats: AllocStats::default(),
+        }
     }
 
     /// Number of free blocks (fragmentation indicator).
@@ -126,7 +132,8 @@ impl Allocator for FreeListAllocator {
             off + blen
         };
 
-        self.live.insert(payload, (block_off, block_end - block_off, size));
+        self.live
+            .insert(payload, (block_off, block_end - block_off, size));
         self.stats.on_alloc(size);
         Ok(Addr(self.base.0 + payload))
     }
@@ -146,7 +153,9 @@ impl Allocator for FreeListAllocator {
     }
 
     fn size_of(&self, addr: Addr) -> Option<u64> {
-        self.live.get(&addr.0.wrapping_sub(self.base.0)).map(|&(_, _, size)| size)
+        self.live
+            .get(&addr.0.wrapping_sub(self.base.0))
+            .map(|&(_, _, size)| size)
     }
 
     fn region(&self) -> (Addr, u64) {

@@ -89,7 +89,9 @@ pub(crate) fn align_up(v: u64, align: u64) -> u64 {
 
 /// Returns an "out of heap" fault for a failed allocation.
 pub(crate) fn heap_exhausted(requested: u64) -> flexos_machine::Fault {
-    flexos_machine::Fault::OutOfMemory { requested_pages: requested.div_ceil(4096) }
+    flexos_machine::Fault::OutOfMemory {
+        requested_pages: requested.div_ceil(4096),
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +101,9 @@ pub(crate) mod testutil {
     /// Allocates a fresh test region of `bytes` on a fresh machine.
     pub fn region(bytes: u64) -> (Machine, Addr) {
         let mut m = Machine::with_defaults();
-        let base = m.alloc_region(VmId(0), bytes, ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), bytes, ProtKey(0), PageFlags::RW)
+            .unwrap();
         (m, base)
     }
 

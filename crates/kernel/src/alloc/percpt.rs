@@ -35,7 +35,10 @@ pub struct HeapService {
 impl HeapService {
     /// A single global allocator serving every compartment.
     pub fn global(alloc: Box<dyn Allocator>) -> Self {
-        Self { mode: AllocMode::Global, allocators: vec![alloc] }
+        Self {
+            mode: AllocMode::Global,
+            allocators: vec![alloc],
+        }
     }
 
     /// One allocator per compartment, indexed by [`CompartmentId`].
@@ -45,7 +48,10 @@ impl HeapService {
     /// Panics if `allocators` is empty.
     pub fn per_compartment(allocators: Vec<Box<dyn Allocator>>) -> Self {
         assert!(!allocators.is_empty(), "need at least one allocator");
-        Self { mode: AllocMode::PerCompartment, allocators }
+        Self {
+            mode: AllocMode::PerCompartment,
+            allocators,
+        }
     }
 
     /// The configured topology.
@@ -112,9 +118,14 @@ mod tests {
 
     fn two_heaps() -> (Machine, HeapService) {
         let (mut m, base0) = region(8192);
-        let base1 =
-            m.alloc_region(flexos_machine::VmId(0), 8192, flexos_machine::ProtKey(2), flexos_machine::PageFlags::RW)
-                .unwrap();
+        let base1 = m
+            .alloc_region(
+                flexos_machine::VmId(0),
+                8192,
+                flexos_machine::ProtKey(2),
+                flexos_machine::PageFlags::RW,
+            )
+            .unwrap();
         let svc = HeapService::per_compartment(vec![
             Box::new(FreeListAllocator::new(base0, 8192)),
             Box::new(FreeListAllocator::new(base1, 8192)),

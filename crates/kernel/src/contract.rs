@@ -26,11 +26,7 @@ use flexos_machine::Fault;
 /// assert!(require("sched", true, "thread not already added").is_ok());
 /// assert!(require("sched", false, "thread not already added").is_err());
 /// ```
-pub fn require(
-    component: &'static str,
-    cond: bool,
-    condition: &str,
-) -> flexos_machine::Result<()> {
+pub fn require(component: &'static str, cond: bool, condition: &str) -> flexos_machine::Result<()> {
     if cond {
         Ok(())
     } else {
@@ -42,11 +38,7 @@ pub fn require(
 }
 
 /// Like [`require`], for postconditions.
-pub fn ensure(
-    component: &'static str,
-    cond: bool,
-    condition: &str,
-) -> flexos_machine::Result<()> {
+pub fn ensure(component: &'static str, cond: bool, condition: &str) -> flexos_machine::Result<()> {
     if cond {
         Ok(())
     } else {
@@ -81,7 +73,10 @@ mod tests {
     fn violations_carry_component_and_condition() {
         let e = require("uksched_verified", false, "t not in queue").unwrap_err();
         match e {
-            Fault::ContractViolation { component, condition } => {
+            Fault::ContractViolation {
+                component,
+                condition,
+            } => {
                 assert_eq!(component, "uksched_verified");
                 assert!(condition.contains("precondition"));
                 assert!(condition.contains("t not in queue"));

@@ -113,11 +113,22 @@ impl<C: KernelHal> Executor<C> {
     }
 
     /// Spawns a thread whose home compartment is `compartment`.
-    pub fn spawn(&mut self, compartment: CompartmentId, task: Box<dyn Task<C>>) -> Result<ThreadId> {
+    pub fn spawn(
+        &mut self,
+        compartment: CompartmentId,
+        task: Box<dyn Task<C>>,
+    ) -> Result<ThreadId> {
         let tid = ThreadId(self.next_id);
         self.next_id += 1;
         self.rq.thread_add(tid)?;
-        self.threads.insert(tid, ThreadSlot { compartment, task: Some(task), blocked_on: None });
+        self.threads.insert(
+            tid,
+            ThreadSlot {
+                compartment,
+                task: Some(task),
+                blocked_on: None,
+            },
+        );
         Ok(tid)
     }
 
@@ -149,7 +160,9 @@ impl<C: KernelHal> Executor<C> {
         let run_start = self.summary;
         for _ in 0..max_steps {
             self.apply_wakes(ctx)?;
-            let Some(tid) = self.rq.pick_next() else { break };
+            let Some(tid) = self.rq.pick_next() else {
+                break;
+            };
             let slot = self.threads.get_mut(&tid).expect("scheduled thread exists");
 
             // Context switch: cost + compartment protection restore.
@@ -186,8 +199,11 @@ impl<C: KernelHal> Executor<C> {
         }
         // Wakes produced by the final quantum still count.
         self.apply_wakes(ctx)?;
-        self.summary.blocked =
-            self.threads.values().filter(|s| s.blocked_on.is_some()).count();
+        self.summary.blocked = self
+            .threads
+            .values()
+            .filter(|s| s.blocked_on.is_some())
+            .count();
         Ok(ExecSummary {
             steps: self.summary.steps - run_start.steps,
             switches: self.summary.switches - run_start.switches,

@@ -36,7 +36,9 @@ pub mod sched;
 pub mod sync;
 pub mod timer;
 
-pub use alloc::{AllocMode, Allocator, BuddyAllocator, BumpAllocator, FreeListAllocator, HeapService};
+pub use alloc::{
+    AllocMode, Allocator, BuddyAllocator, BumpAllocator, FreeListAllocator, HeapService,
+};
 pub use exec::{ExecSummary, Executor, KernelHal, Step, Task};
 pub use mq::MsgQueue;
 pub use sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};

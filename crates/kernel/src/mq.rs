@@ -46,7 +46,11 @@ impl MsgQueue {
         assert!(slots > 0, "queue needs at least one slot");
         m.write_u64(vcpu, base, 0)?;
         m.write_u64(vcpu, Addr(base.0 + 8), 0)?;
-        Ok(Self { base, slots, slot_size })
+        Ok(Self {
+            base,
+            slots,
+            slot_size,
+        })
     }
 
     /// Maximum payload bytes per message.
@@ -108,7 +112,11 @@ impl MsgQueue {
         }
         let slot = self.slot_addr(head);
         let len = m.read_u64(vcpu, slot)? as usize;
-        assert!(buf.len() >= len, "receive buffer too small ({} < {len})", buf.len());
+        assert!(
+            buf.len() >= len,
+            "receive buffer too small ({} < {len})",
+            buf.len()
+        );
         m.read(vcpu, Addr(slot.0 + 8), &mut buf[..len])?;
         m.write_u64(vcpu, self.base, head + 1)?;
         Ok(Some(len))
@@ -123,7 +131,9 @@ mod tests {
     fn queue(slots: u64, slot_size: u64) -> (Machine, MsgQueue) {
         let mut m = Machine::with_defaults();
         let bytes = MsgQueue::bytes_needed(slots, slot_size);
-        let base = m.alloc_region(VmId(0), bytes, ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), bytes, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let q = MsgQueue::init(&mut m, VcpuId(0), base, slots, slot_size).unwrap();
         (m, q)
     }
@@ -188,7 +198,12 @@ mod tests {
         // A queue in a key-3 region is unreachable once PKRU denies key 3.
         let mut m = Machine::with_defaults();
         let base = m
-            .alloc_region(VmId(0), MsgQueue::bytes_needed(2, 32), ProtKey(3), PageFlags::RW)
+            .alloc_region(
+                VmId(0),
+                MsgQueue::bytes_needed(2, 32),
+                ProtKey(3),
+                PageFlags::RW,
+            )
             .unwrap();
         let q = MsgQueue::init(&mut m, VcpuId(0), base, 2, 32).unwrap();
         let tok = m.gate_token();

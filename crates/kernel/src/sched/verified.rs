@@ -76,11 +76,23 @@ impl VerifiedScheduler {
         let mut seen = BTreeSet::new();
         for &t in &self.ready {
             invariant(COMPONENT, seen.insert(t), "ready queue has no duplicates")?;
-            invariant(COMPONENT, !self.parked.contains(&t), "ready and parked are disjoint")?;
-            invariant(COMPONENT, !self.running.contains(&t), "ready and running are disjoint")?;
+            invariant(
+                COMPONENT,
+                !self.parked.contains(&t),
+                "ready and parked are disjoint",
+            )?;
+            invariant(
+                COMPONENT,
+                !self.running.contains(&t),
+                "ready and running are disjoint",
+            )?;
         }
         for &t in &self.running {
-            invariant(COMPONENT, !self.parked.contains(&t), "running and parked are disjoint")?;
+            invariant(
+                COMPONENT,
+                !self.parked.contains(&t),
+                "running and parked are disjoint",
+            )?;
         }
         Ok(())
     }
@@ -94,8 +106,16 @@ impl RunQueue for VerifiedScheduler {
         require(COMPONENT, !self.contains(t), "thread not already added")?;
         let old_len = self.ready.len();
         self.ready.push_back(t);
-        ensure(COMPONENT, self.ready.len() == old_len + 1, "ready grew by one")?;
-        ensure(COMPONENT, self.ready.back() == Some(&t), "t appended at tail")?;
+        ensure(
+            COMPONENT,
+            self.ready.len() == old_len + 1,
+            "ready grew by one",
+        )?;
+        ensure(
+            COMPONENT,
+            self.ready.back() == Some(&t),
+            "t appended at tail",
+        )?;
         self.audit()
     }
 
@@ -118,7 +138,11 @@ impl RunQueue for VerifiedScheduler {
 
     fn yield_back(&mut self, t: ThreadId) -> Result<()> {
         self.checks += 1;
-        require(COMPONENT, self.running.remove(&t), "yielding thread was running")?;
+        require(
+            COMPONENT,
+            self.running.remove(&t),
+            "yielding thread was running",
+        )?;
         require(COMPONENT, !self.in_ready(t), "thread not already ready")?;
         self.ready.push_back(t);
         self.audit()
@@ -126,8 +150,16 @@ impl RunQueue for VerifiedScheduler {
 
     fn block(&mut self, t: ThreadId) -> Result<()> {
         self.checks += 1;
-        require(COMPONENT, self.running.remove(&t), "blocking thread was running")?;
-        require(COMPONENT, !self.parked.contains(&t), "thread not already parked")?;
+        require(
+            COMPONENT,
+            self.running.remove(&t),
+            "blocking thread was running",
+        )?;
+        require(
+            COMPONENT,
+            !self.parked.contains(&t),
+            "thread not already parked",
+        )?;
         self.parked.insert(t);
         ensure(COMPONENT, self.parked.contains(&t), "thread parked")?;
         self.audit()
@@ -213,7 +245,10 @@ mod tests {
     #[test]
     fn rm_unknown_thread_is_a_violation() {
         let mut s = VerifiedScheduler::new();
-        assert!(matches!(s.thread_rm(ThreadId(9)), Err(Fault::ContractViolation { .. })));
+        assert!(matches!(
+            s.thread_rm(ThreadId(9)),
+            Err(Fault::ContractViolation { .. })
+        ));
     }
 
     #[test]
@@ -229,7 +264,7 @@ mod tests {
         let costs = CostTable::default();
         let s = VerifiedScheduler::new();
         assert_eq!(s.switch_cost(&costs), 459); // 218.6 ns
-        // 3x slower than the C scheduler, the paper's headline ratio.
+                                                // 3x slower than the C scheduler, the paper's headline ratio.
         let c = crate::sched::CoopScheduler::new();
         let ratio = s.switch_cost(&costs) as f64 / c.switch_cost(&costs) as f64;
         assert!((ratio - 2.85).abs() < 0.1);

@@ -37,7 +37,10 @@ pub struct Semaphore {
 impl Semaphore {
     /// Creates a semaphore with an initial count.
     pub fn new(count: i64) -> Self {
-        Self { count, waiters: VecDeque::new() }
+        Self {
+            count,
+            waiters: VecDeque::new(),
+        }
     }
 
     /// Attempts to decrement. On success returns `true`; otherwise the
@@ -201,7 +204,10 @@ impl Default for Mutex {
 impl Mutex {
     /// Creates an unlocked mutex.
     pub fn new() -> Self {
-        Self { sem: Semaphore::new(1), owner: None }
+        Self {
+            sem: Semaphore::new(1),
+            owner: None,
+        }
     }
 
     /// Attempts to take the lock; enqueues as waiter on failure.

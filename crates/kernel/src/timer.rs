@@ -70,7 +70,8 @@ impl TimerWheel {
         let id = TimerId(self.next_id);
         self.next_id += 1;
         self.seq += 1;
-        self.queue.insert((deadline, self.seq), Entry { id, action, period });
+        self.queue
+            .insert((deadline, self.seq), Entry { id, action, period });
         id
     }
 
@@ -106,8 +107,7 @@ impl TimerWheel {
     /// Returns the actions in deadline order.
     pub fn poll(&mut self, now: u64) -> Vec<TimerAction> {
         let mut out = Vec::new();
-        loop {
-            let Some((&key @ (deadline, _), _)) = self.queue.iter().next() else { break };
+        while let Some((&key @ (deadline, _), _)) = self.queue.iter().next() {
             if deadline > now {
                 break;
             }
@@ -154,7 +154,11 @@ mod tests {
         let actions = w.poll(500);
         assert_eq!(
             actions,
-            vec![TimerAction::Event(1), TimerAction::Event(2), TimerAction::Event(3)]
+            vec![
+                TimerAction::Event(1),
+                TimerAction::Event(2),
+                TimerAction::Event(3)
+            ]
         );
     }
 

@@ -191,7 +191,11 @@ fn drive_both(ops: &[SchedOp]) {
                 }
             }
         }
-        assert_eq!(coop.ready_len(), verified.ready_len(), "ready queues diverged");
+        assert_eq!(
+            coop.ready_len(),
+            verified.ready_len(),
+            "ready queues diverged"
+        );
         assert_eq!(coop.len(), verified.len(), "known sets diverged");
     }
     // Drain: both must produce the identical remaining schedule.

@@ -5,7 +5,6 @@
 //! virtual and physical addresses cannot be confused at compile time.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Size of a page in bytes (4 KiB, matching x86-64 small pages).
 pub const PAGE_SIZE: u64 = 4096;
@@ -14,9 +13,7 @@ pub const PAGE_SIZE: u64 = 4096;
 pub const PAGE_SHIFT: u32 = 12;
 
 /// A virtual address inside a simulated VM's address space.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 /// A physical address inside the simulated machine's physical memory.

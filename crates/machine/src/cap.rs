@@ -22,10 +22,9 @@
 
 use crate::addr::Addr;
 use crate::fault::Fault;
-use serde::{Deserialize, Serialize};
 
 /// Capability permissions (the subset FlexOS gates need).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CapPerms {
     /// May load through this capability.
     pub read: bool,
@@ -35,9 +34,15 @@ pub struct CapPerms {
 
 impl CapPerms {
     /// Read & write.
-    pub const RW: CapPerms = CapPerms { read: true, write: true };
+    pub const RW: CapPerms = CapPerms {
+        read: true,
+        write: true,
+    };
     /// Read-only.
-    pub const RO: CapPerms = CapPerms { read: true, write: false };
+    pub const RO: CapPerms = CapPerms {
+        read: true,
+        write: false,
+    };
 
     /// Whether `self` grants no more than `other`.
     pub fn subset_of(self, other: CapPerms) -> bool {
@@ -46,7 +51,7 @@ impl CapPerms {
 }
 
 /// An object type for sealing (the compartment identity in gate usage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OType(pub u32);
 
 /// A CHERI-style capability over `[base, base+len)`.
@@ -54,7 +59,7 @@ pub struct OType(pub u32);
 /// Constructed only via [`Capability::root`] (the boot-time authority a
 /// backend holds) and narrowed via [`Capability::derive`]; there is no
 /// way to widen one — modelling hardware tag-protected unforgeability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capability {
     base: Addr,
     len: u64,
@@ -67,7 +72,12 @@ impl Capability {
     /// operation (the almighty initial capability register state);
     /// everything else derives from it.
     pub fn root(base: Addr, len: u64) -> Self {
-        Self { base, len, perms: CapPerms::RW, sealed: None }
+        Self {
+            base,
+            len,
+            perms: CapPerms::RW,
+            sealed: None,
+        }
     }
 
     /// Base address.
@@ -132,13 +142,19 @@ impl Capability {
                 reason: "double seal".into(),
             });
         }
-        Ok(Capability { sealed: Some(otype), ..*self })
+        Ok(Capability {
+            sealed: Some(otype),
+            ..*self
+        })
     }
 
     /// Unseals with the matching object type (the `CInvoke` half).
     pub fn unseal(&self, otype: OType) -> Result<Capability, Fault> {
         match self.sealed {
-            Some(t) if t == otype => Ok(Capability { sealed: None, ..*self }),
+            Some(t) if t == otype => Ok(Capability {
+                sealed: None,
+                ..*self
+            }),
             Some(_) => Err(Fault::HardeningAbort {
                 mechanism: "cheri",
                 reason: "unseal with wrong object type".into(),

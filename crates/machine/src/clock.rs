@@ -298,9 +298,7 @@ mod tests {
         let t = CostTable::default();
         // Context switch: 161 cy = 76.6 ns; verified adds 298 cy => 218.6 ns.
         assert!((cycles_to_nanos(t.ctx_switch) - 76.6).abs() < 0.5);
-        assert!(
-            (cycles_to_nanos(t.ctx_switch + t.verified_contract_check) - 218.6).abs() < 0.5
-        );
+        assert!((cycles_to_nanos(t.ctx_switch + t.verified_contract_check) - 218.6).abs() < 0.5);
         // Gate ordering: direct < MPK shared < MPK switched << VM RPC.
         assert!(t.func_call < t.mpk_shared_gate());
         assert!(t.mpk_shared_gate() < t.mpk_switched_gate());

@@ -33,7 +33,11 @@ pub struct Vcpu {
 impl Vcpu {
     /// Creates a vCPU attached to `vm` with an allow-all PKRU.
     pub fn new(id: VcpuId, vm: VmId) -> Self {
-        Self { id, vm, pkru: Pkru::ALLOW_ALL }
+        Self {
+            id,
+            vm,
+            pkru: Pkru::ALLOW_ALL,
+        }
     }
 }
 

@@ -126,7 +126,11 @@ impl fmt::Display for Fault {
                 write!(f, "write to read-only page at {addr} in vm{}", vm.0)
             }
             Fault::PkeyViolation { addr, key, access } => {
-                write!(f, "protection-key violation: {access:?} at {addr} (key {})", key.0)
+                write!(
+                    f,
+                    "protection-key violation: {access:?} at {addr} (key {})",
+                    key.0
+                )
             }
             Fault::UnauthorizedPkruWrite { attempted } => {
                 write!(f, "unauthorized wrpkru (attempted {attempted:#010x})")
@@ -135,7 +139,10 @@ impl fmt::Display for Fault {
                 write!(f, "EPT violation: access to {addr} from vm{}", vm.0)
             }
             Fault::OutOfMemory { requested_pages } => {
-                write!(f, "out of physical memory ({requested_pages} pages requested)")
+                write!(
+                    f,
+                    "out of physical memory ({requested_pages} pages requested)"
+                )
             }
             Fault::AddressOverflow { addr, len } => {
                 write!(f, "address overflow at {addr} + {len}")
@@ -143,7 +150,10 @@ impl fmt::Display for Fault {
             Fault::HardeningAbort { mechanism, reason } => {
                 write!(f, "{mechanism} abort: {reason}")
             }
-            Fault::ContractViolation { component, condition } => {
+            Fault::ContractViolation {
+                component,
+                condition,
+            } => {
                 write!(f, "contract violation in {component}: {condition}")
             }
         }
@@ -161,7 +171,11 @@ mod tests {
 
     #[test]
     fn protection_faults_are_classified() {
-        let f = Fault::PkeyViolation { addr: Addr(0x1000), key: ProtKey(3), access: Access::Write };
+        let f = Fault::PkeyViolation {
+            addr: Addr(0x1000),
+            key: ProtKey(3),
+            access: Access::Write,
+        };
         assert!(f.is_protection_fault());
         assert_eq!(f.kind(), "pkey-violation");
 

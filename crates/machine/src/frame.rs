@@ -23,7 +23,12 @@ impl FrameAllocator {
     /// Creates an allocator managing `total` frames, all free.
     pub fn new(total: u64) -> Self {
         let words = (total as usize).div_ceil(64);
-        Self { bits: vec![0; words], total, allocated: 0, cursor: 0 }
+        Self {
+            bits: vec![0; words],
+            total,
+            allocated: 0,
+            cursor: 0,
+        }
     }
 
     /// Total number of frames managed.

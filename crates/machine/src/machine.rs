@@ -63,7 +63,11 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        Self { phys_frames: 8192, costs: CostTable::default(), pkru_guard: PkruGuard::default() }
+        Self {
+            phys_frames: 8192,
+            costs: CostTable::default(),
+            pkru_guard: PkruGuard::default(),
+        }
     }
 }
 
@@ -166,9 +170,14 @@ impl Machine {
         let vmref = &mut self.vms[vm.0 as usize];
         let first = vmref.reserve_vpns(pages);
         for (i, pfn) in pfns.iter().enumerate() {
-            let ok = vmref
-                .page_table
-                .map(Vpn(first + i as u64), PageEntry { pfn: *pfn, flags, key });
+            let ok = vmref.page_table.map(
+                Vpn(first + i as u64),
+                PageEntry {
+                    pfn: *pfn,
+                    flags,
+                    key,
+                },
+            );
             assert!(ok, "page table for {vm} is sealed");
         }
         Ok(Vpn(first).base())
@@ -183,7 +192,11 @@ impl Machine {
         self.shared_next_vpn += pages;
         let entries: Vec<PageEntry> = pfns
             .iter()
-            .map(|&pfn| PageEntry { pfn, flags: PageFlags::RW, key })
+            .map(|&pfn| PageEntry {
+                pfn,
+                flags: PageFlags::RW,
+                key,
+            })
             .collect();
         for vm in &mut self.vms {
             for (i, entry) in entries.iter().enumerate() {
@@ -191,7 +204,10 @@ impl Machine {
                 assert!(ok, "page table for {} is sealed", vm.id);
             }
         }
-        self.shared_regions.push(SharedRegion { first_vpn: first, entries });
+        self.shared_regions.push(SharedRegion {
+            first_vpn: first,
+            entries,
+        });
         Ok(Vpn(first).base())
     }
 
@@ -242,7 +258,11 @@ impl Machine {
                 return Err(if mapped_elsewhere {
                     Fault::VmViolation { addr, vm: vcpu.vm }
                 } else {
-                    Fault::PageNotPresent { addr, vm: vcpu.vm, access }
+                    Fault::PageNotPresent {
+                        addr,
+                        vm: vcpu.vm,
+                        access,
+                    }
                 });
             }
         };
@@ -250,9 +270,15 @@ impl Machine {
             return Err(Fault::WriteToReadOnly { addr, vm: vcpu.vm });
         }
         if vm.pkeys_enabled && !vcpu.pkru.permits(entry.key, access) {
-            return Err(Fault::PkeyViolation { addr, key: entry.key, access });
+            return Err(Fault::PkeyViolation {
+                addr,
+                key: entry.key,
+                access,
+            });
         }
-        Ok(crate::addr::PhysAddr(entry.pfn.base().0 + addr.page_offset()))
+        Ok(crate::addr::PhysAddr(
+            entry.pfn.base().0 + addr.page_offset(),
+        ))
     }
 
     /// Translates and checks a `[addr, addr+len)` access, splitting at page
@@ -265,7 +291,9 @@ impl Machine {
         access: Access,
     ) -> Result<Vec<(crate::addr::PhysAddr, u64)>> {
         let vcpu = self.vcpus[vcpu_id.0 as usize].clone();
-        let end = addr.checked_add(len).ok_or(Fault::AddressOverflow { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(Fault::AddressOverflow { addr, len })?;
         let mut out = Vec::new();
         let mut cur = addr;
         while cur.0 < end.0 {
@@ -282,7 +310,8 @@ impl Machine {
     /// protection keys, charging cycle costs.
     pub fn read(&mut self, vcpu: VcpuId, addr: Addr, dst: &mut [u8]) -> Result<()> {
         let chunks = self.translate_range(vcpu, addr, dst.len() as u64, Access::Read)?;
-        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(dst.len() as u64));
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(dst.len() as u64));
         let mut off = 0usize;
         for (pa, run) in chunks {
             self.phys.read(pa, &mut dst[off..off + run as usize])?;
@@ -295,7 +324,8 @@ impl Machine {
     /// keys, charging cycle costs.
     pub fn write(&mut self, vcpu: VcpuId, addr: Addr, src: &[u8]) -> Result<()> {
         let chunks = self.translate_range(vcpu, addr, src.len() as u64, Access::Write)?;
-        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(src.len() as u64));
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(src.len() as u64));
         let mut off = 0usize;
         for (pa, run) in chunks {
             self.phys.write(pa, &src[off..off + run as usize])?;
@@ -307,7 +337,8 @@ impl Machine {
     /// Fills `[addr, addr+len)` with `value` as `vcpu`.
     pub fn fill(&mut self, vcpu: VcpuId, addr: Addr, len: u64, value: u8) -> Result<()> {
         let chunks = self.translate_range(vcpu, addr, len, Access::Write)?;
-        self.clock.advance(self.costs.mem_access + self.costs.copy_cost(len));
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(len));
         for (pa, run) in chunks {
             self.phys.fill(pa, run, value)?;
         }
@@ -415,7 +446,10 @@ impl Machine {
         assert!((target.0 as usize) < self.vms.len(), "unknown {target}");
         let from_vm = self.vcpus[from.0 as usize].vm;
         self.clock.advance(self.costs.vm_notify);
-        self.vms[target.0 as usize].post(Notification { from: from_vm, word });
+        self.vms[target.0 as usize].post(Notification {
+            from: from_vm,
+            word,
+        });
         Ok(())
     }
 
@@ -466,7 +500,9 @@ mod tests {
     #[test]
     fn alloc_write_read_round_trip() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 8192, ProtKey(1), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 8192, ProtKey(1), PageFlags::RW)
+            .unwrap();
         m.write(VcpuId(0), a, b"hello-flexos").unwrap();
         let mut buf = [0u8; 12];
         m.read(VcpuId(0), a, &mut buf).unwrap();
@@ -476,7 +512,9 @@ mod tests {
     #[test]
     fn cross_page_access_works() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 2 * PAGE_SIZE, ProtKey(0), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 2 * PAGE_SIZE, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let straddle = Addr(a.0 + PAGE_SIZE - 3);
         m.write(VcpuId(0), straddle, b"abcdef").unwrap();
         let mut buf = [0u8; 6];
@@ -487,12 +525,20 @@ mod tests {
     #[test]
     fn pkey_denial_faults_the_write() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 128, ProtKey(3), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 128, ProtKey(3), PageFlags::RW)
+            .unwrap();
         let tok = m.gate_token();
         let restrictive = Pkru::deny_all_except(&[ProtKey(0)], &[]);
         m.wrpkru(VcpuId(0), restrictive, Some(tok)).unwrap();
         let err = m.write(VcpuId(0), a, b"x").unwrap_err();
-        assert!(matches!(err, Fault::PkeyViolation { key: ProtKey(3), .. }));
+        assert!(matches!(
+            err,
+            Fault::PkeyViolation {
+                key: ProtKey(3),
+                ..
+            }
+        ));
         // Reads denied too (AD bit).
         let mut b = [0u8; 1];
         assert!(m.read(VcpuId(0), a, &mut b).is_err());
@@ -501,13 +547,18 @@ mod tests {
     #[test]
     fn read_only_key_permits_reads_only() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 128, ProtKey(2), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 128, ProtKey(2), PageFlags::RW)
+            .unwrap();
         let tok = m.gate_token();
         let pkru = Pkru::deny_all_except(&[ProtKey(0)], &[ProtKey(2)]);
         m.wrpkru(VcpuId(0), pkru, Some(tok)).unwrap();
         let mut b = [0u8; 1];
         m.read(VcpuId(0), a, &mut b).unwrap();
-        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::PkeyViolation { .. })));
+        assert!(matches!(
+            m.write(VcpuId(0), a, b"x"),
+            Err(Fault::PkeyViolation { .. })
+        ));
     }
 
     #[test]
@@ -519,7 +570,10 @@ mod tests {
 
     #[test]
     fn wrpkru_guard_off_reproduces_pku_pitfalls() {
-        let mut m = Machine::new(MachineConfig { pkru_guard: PkruGuard::Off, ..Default::default() });
+        let mut m = Machine::new(MachineConfig {
+            pkru_guard: PkruGuard::Off,
+            ..Default::default()
+        });
         // Attacker escalates without the token.
         m.wrpkru(VcpuId(0), Pkru::ALLOW_ALL, None).unwrap();
     }
@@ -529,7 +583,9 @@ mod tests {
         let mut m = machine();
         let vm1 = m.add_vm(false);
         let vcpu1 = m.add_vcpu(vm1);
-        let secret = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW).unwrap();
+        let secret = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .unwrap();
         m.write(VcpuId(0), secret, b"secret").unwrap();
         let mut buf = [0u8; 6];
         let err = m.read(vcpu1, secret, &mut buf).unwrap_err();
@@ -563,7 +619,9 @@ mod tests {
     #[test]
     fn memory_accesses_advance_the_clock() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let c0 = m.clock().cycles();
         m.write(VcpuId(0), a, &[0u8; 4096]).unwrap();
         let charged = m.clock().cycles() - c0;
@@ -573,8 +631,13 @@ mod tests {
     #[test]
     fn write_to_read_only_page_faults() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RO).unwrap();
-        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::WriteToReadOnly { .. })));
+        let a = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RO)
+            .unwrap();
+        assert!(matches!(
+            m.write(VcpuId(0), a, b"x"),
+            Err(Fault::WriteToReadOnly { .. })
+        ));
     }
 
     #[test]
@@ -590,19 +653,26 @@ mod tests {
     #[test]
     fn set_region_key_retags() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW)
+            .unwrap();
         m.set_region_key(VmId(0), a, 4096, ProtKey(4)).unwrap();
         let tok = m.gate_token();
         let pkru = Pkru::deny_all_except(&[ProtKey(1)], &[]);
         m.wrpkru(VcpuId(0), pkru, Some(tok)).unwrap();
         // Now tagged key 4, which the PKRU denies.
-        assert!(matches!(m.write(VcpuId(0), a, b"x"), Err(Fault::PkeyViolation { .. })));
+        assert!(matches!(
+            m.write(VcpuId(0), a, b"x"),
+            Err(Fault::PkeyViolation { .. })
+        ));
     }
 
     #[test]
     fn sealed_page_tables_reject_retag() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 4096, ProtKey(1), PageFlags::RW)
+            .unwrap();
         m.seal_page_tables();
         assert!(m.set_region_key(VmId(0), a, 4096, ProtKey(2)).is_err());
     }
@@ -610,8 +680,12 @@ mod tests {
     #[test]
     fn copy_moves_bytes_between_regions() {
         let mut m = machine();
-        let src = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
-        let dst = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let src = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let dst = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
         m.write(VcpuId(0), src, b"payload").unwrap();
         m.copy(VcpuId(0), dst, src, 7).unwrap();
         let mut buf = [0u8; 7];
@@ -622,7 +696,9 @@ mod tests {
     #[test]
     fn u64_helpers_round_trip() {
         let mut m = machine();
-        let a = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW).unwrap();
+        let a = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .unwrap();
         m.write_u64(VcpuId(0), a, 0xdead_beef_cafe_f00d).unwrap();
         assert_eq!(m.read_u64(VcpuId(0), a).unwrap(), 0xdead_beef_cafe_f00d);
     }

@@ -18,7 +18,9 @@ pub struct PhysMem {
 impl PhysMem {
     /// Allocates `frames` frames of zeroed physical memory.
     pub fn new(frames: u64) -> Self {
-        Self { bytes: vec![0; (frames * PAGE_SIZE) as usize] }
+        Self {
+            bytes: vec![0; (frames * PAGE_SIZE) as usize],
+        }
     }
 
     /// Size in bytes.
@@ -32,12 +34,15 @@ impl PhysMem {
     }
 
     fn range(&self, at: PhysAddr, len: u64) -> Result<core::ops::Range<usize>> {
-        let end = at
-            .0
-            .checked_add(len)
-            .ok_or(Fault::AddressOverflow { addr: crate::addr::Addr(at.0), len })?;
+        let end = at.0.checked_add(len).ok_or(Fault::AddressOverflow {
+            addr: crate::addr::Addr(at.0),
+            len,
+        })?;
         if end > self.len() {
-            return Err(Fault::AddressOverflow { addr: crate::addr::Addr(at.0), len });
+            return Err(Fault::AddressOverflow {
+                addr: crate::addr::Addr(at.0),
+                len,
+            });
         }
         Ok(at.0 as usize..end as usize)
     }
@@ -113,6 +118,9 @@ mod tests {
     fn fill_sets_exact_range() {
         let mut m = PhysMem::new(1);
         m.fill(PhysAddr(10), 4, 0xAA).unwrap();
-        assert_eq!(m.slice(PhysAddr(9), 6).unwrap(), &[0, 0xAA, 0xAA, 0xAA, 0xAA, 0]);
+        assert_eq!(
+            m.slice(PhysAddr(9), 6).unwrap(),
+            &[0, 0xAA, 0xAA, 0xAA, 0xAA, 0]
+        );
     }
 }

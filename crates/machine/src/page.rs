@@ -126,7 +126,11 @@ mod tests {
     use crate::pkey::DEFAULT_KEY;
 
     fn entry(pfn: u64) -> PageEntry {
-        PageEntry { pfn: Pfn(pfn), flags: PageFlags::RW, key: DEFAULT_KEY }
+        PageEntry {
+            pfn: Pfn(pfn),
+            flags: PageFlags::RW,
+            key: DEFAULT_KEY,
+        }
     }
 
     #[test]

@@ -12,7 +12,6 @@
 //!   MPK with CFI when control-flow integrity is required).
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Number of protection keys provided by the hardware (Intel MPK: 16).
 pub const NUM_KEYS: u8 = 16;
@@ -22,7 +21,7 @@ pub const NUM_KEYS: u8 = 16;
 pub const DEFAULT_KEY: ProtKey = ProtKey(0);
 
 /// A memory protection key (0..16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProtKey(pub u8);
 
 impl ProtKey {
@@ -39,7 +38,7 @@ impl fmt::Display for ProtKey {
 }
 
 /// The kind of memory access being checked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// A data load.
     Read,
@@ -48,7 +47,7 @@ pub enum Access {
 }
 
 /// The per-thread PKRU register: bits `2k` (AD) and `2k+1` (WD) per key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pkru(pub u32);
 
 impl Default for Pkru {

@@ -9,14 +9,11 @@
 
 use crate::page::PageTable;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Identifier of a simulated VM. VM 0 always exists ("the" machine for
 /// single-address-space configurations such as the MPK backend).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VmId(pub u8);
 
 impl fmt::Display for VmId {
@@ -113,8 +110,14 @@ mod tests {
     #[test]
     fn doorbell_is_fifo() {
         let mut vm = Vm::new(VmId(1), false);
-        vm.post(Notification { from: VmId(0), word: 1 });
-        vm.post(Notification { from: VmId(0), word: 2 });
+        vm.post(Notification {
+            from: VmId(0),
+            word: 1,
+        });
+        vm.post(Notification {
+            from: VmId(0),
+            word: 2,
+        });
         assert_eq!(vm.take_notification().unwrap().word, 1);
         assert_eq!(vm.take_notification().unwrap().word, 2);
         assert!(vm.take_notification().is_none());

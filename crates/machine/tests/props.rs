@@ -1,8 +1,6 @@
 //! Property tests for the simulated machine's protection semantics.
 
-use flexos_machine::{
-    Access, Addr, Machine, PageFlags, Pkru, ProtKey, VcpuId, VmId, PAGE_SIZE,
-};
+use flexos_machine::{Access, Addr, Machine, PageFlags, Pkru, ProtKey, VcpuId, VmId, PAGE_SIZE};
 use proptest::prelude::*;
 
 fn arb_pkru() -> impl Strategy<Value = Pkru> {

@@ -34,7 +34,12 @@ pub struct Nic {
 impl Nic {
     /// Creates a NIC with the given MAC.
     pub fn new(mac: Mac) -> Self {
-        Self { mac, rx: VecDeque::new(), tx: VecDeque::new(), stats: NicStats::default() }
+        Self {
+            mac,
+            rx: VecDeque::new(),
+            tx: VecDeque::new(),
+            stats: NicStats::default(),
+        }
     }
 
     /// Enqueues an outgoing frame.
@@ -106,7 +111,10 @@ impl Link {
 
     /// A link with fault injection.
     pub fn with_faults(faults: LinkFaults) -> Self {
-        Self { faults, ..Self::default() }
+        Self {
+            faults,
+            ..Self::default()
+        }
     }
 
     /// Moves every queued frame from `from`'s tx to `to`'s rx, applying
@@ -172,7 +180,10 @@ mod tests {
         for i in 0..6 {
             a.push_tx(frame(i));
         }
-        let mut link = Link::with_faults(LinkFaults { drop_every: Some(3), reorder_every: None });
+        let mut link = Link::with_faults(LinkFaults {
+            drop_every: Some(3),
+            reorder_every: None,
+        });
         assert_eq!(link.transfer(&mut a, &mut b), 4);
         assert_eq!(link.dropped, 2);
         let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
@@ -186,7 +197,10 @@ mod tests {
         for i in 0..4 {
             a.push_tx(frame(i));
         }
-        let mut link = Link::with_faults(LinkFaults { drop_every: None, reorder_every: Some(2) });
+        let mut link = Link::with_faults(LinkFaults {
+            drop_every: None,
+            reorder_every: Some(2),
+        });
         link.transfer(&mut a, &mut b);
         let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
         // The 2nd frame (1-based) swaps with its successor.

@@ -21,7 +21,12 @@ impl SimRing {
     /// Creates a ring over pre-allocated simulated memory.
     pub fn new(base: Addr, cap: u64) -> Self {
         assert!(cap > 0, "ring capacity must be positive");
-        Self { base, cap, head: 0, tail: 0 }
+        Self {
+            base,
+            cap,
+            head: 0,
+            tail: 0,
+        }
     }
 
     /// Bytes currently buffered.
@@ -56,7 +61,11 @@ impl SimRing {
         while written < n {
             let off = (self.tail + written) % self.cap;
             let run = (n - written).min(self.cap - off);
-            m.write(vcpu, Addr(self.base.0 + off), &data[written as usize..(written + run) as usize])?;
+            m.write(
+                vcpu,
+                Addr(self.base.0 + off),
+                &data[written as usize..(written + run) as usize],
+            )?;
             written += run;
         }
         self.tail += n;
@@ -80,7 +89,13 @@ impl SimRing {
 
     /// Copies up to `max` buffered bytes into a host buffer (used by the
     /// stack to segment outgoing data); returns bytes moved.
-    pub fn pop_to_host(&mut self, m: &mut Machine, vcpu: VcpuId, out: &mut Vec<u8>, max: u64) -> Result<u64> {
+    pub fn pop_to_host(
+        &mut self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        out: &mut Vec<u8>,
+        max: u64,
+    ) -> Result<u64> {
         let n = max.min(self.len());
         let start = out.len();
         out.resize(start + n as usize, 0);
@@ -107,7 +122,9 @@ mod tests {
 
     fn ring(cap: u64) -> (Machine, SimRing) {
         let mut m = Machine::with_defaults();
-        let base = m.alloc_region(VmId(0), cap.max(1), ProtKey(0), PageFlags::RW).unwrap();
+        let base = m
+            .alloc_region(VmId(0), cap.max(1), ProtKey(0), PageFlags::RW)
+            .unwrap();
         (m, SimRing::new(base, cap))
     }
 
@@ -116,7 +133,9 @@ mod tests {
         let (mut m, mut r) = ring(64);
         assert_eq!(r.push(&mut m, VcpuId(0), b"hello world").unwrap(), 11);
         assert_eq!(r.len(), 11);
-        let dst = m.alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW).unwrap();
+        let dst = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .unwrap();
         assert_eq!(r.pop_to(&mut m, VcpuId(0), dst, 64).unwrap(), 11);
         let mut buf = [0u8; 11];
         m.read(VcpuId(0), dst, &mut buf).unwrap();
@@ -130,7 +149,10 @@ mod tests {
         let mut out = Vec::new();
         for chunk in [&b"abcde"[..], b"fgh", b"ijklm"] {
             // Fill and drain repeatedly so the indices wrap.
-            assert_eq!(r.push(&mut m, VcpuId(0), chunk).unwrap(), chunk.len() as u64);
+            assert_eq!(
+                r.push(&mut m, VcpuId(0), chunk).unwrap(),
+                chunk.len() as u64
+            );
             r.pop_to_host(&mut m, VcpuId(0), &mut out, 16).unwrap();
         }
         assert_eq!(&out, b"abcdefghijklm");

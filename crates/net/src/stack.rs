@@ -164,7 +164,11 @@ impl NetStack {
             listeners: BTreeMap::new(),
             conns: BTreeMap::new(),
             udp_ports: BTreeMap::new(),
-            pool: BufPool { base: pool_base, len: pool_len, next: 0 },
+            pool: BufPool {
+                base: pool_base,
+                len: pool_len,
+                next: 0,
+            },
             tcp_cfg: TcpConfig::default(),
             next_ephemeral: 49152,
             iss: 0x1000,
@@ -178,9 +182,7 @@ impl NetStack {
 
     #[inline]
     fn packet_tax(&self, payload_len: u64) -> u64 {
-        self.extra_per_packet
-            + self.sh_per_packet
-            + self.sh_per_16_bytes * payload_len.div_ceil(16)
+        self.extra_per_packet + self.sh_per_packet + self.sh_per_16_bytes * payload_len.div_ceil(16)
     }
 
     /// Overrides the TCP configuration used for new connections.
@@ -223,7 +225,10 @@ impl NetStack {
         if self.listeners.contains_key(&port) {
             return Err(NetError::AddrInUse);
         }
-        let id = self.insert(Sock::TcpListen { port, backlog: VecDeque::new() });
+        let id = self.insert(Sock::TcpListen {
+            port,
+            backlog: VecDeque::new(),
+        });
         self.listeners.insert(port, id);
         Ok(id)
     }
@@ -375,7 +380,10 @@ impl NetStack {
         if self.udp_ports.contains_key(&port) {
             return Err(NetError::AddrInUse);
         }
-        let id = self.insert(Sock::Udp { port, rx: VecDeque::new() });
+        let id = self.insert(Sock::Udp {
+            port,
+            rx: VecDeque::new(),
+        });
         self.udp_ports.insert(port, id);
         Ok(id)
     }
@@ -399,7 +407,11 @@ impl NetStack {
         };
         let mut buf = vec![0u8; len as usize];
         m.read(vcpu, src, &mut buf)?;
-        let udp = UdpHeader { src_port, dst_port, len: (UDP_LEN + buf.len()) as u16 };
+        let udp = UdpHeader {
+            src_port,
+            dst_port,
+            len: (UDP_LEN + buf.len()) as u16,
+        };
         let ip = self.ip_header(dst_ip, PROTO_UDP, UDP_LEN + buf.len());
         let eth = self.eth_header();
         m.charge(
@@ -437,7 +449,11 @@ impl NetStack {
     // --- frame emission ----------------------------------------------------------
 
     fn eth_header(&self) -> EthHeader {
-        EthHeader { dst: Mac::BROADCAST, src: self.mac, ethertype: ETHERTYPE_IPV4 }
+        EthHeader {
+            dst: Mac::BROADCAST,
+            src: self.mac,
+            ethertype: ETHERTYPE_IPV4,
+        }
     }
 
     fn ip_header(&mut self, dst: u32, proto: u8, l4_len: usize) -> Ipv4Header {
@@ -455,7 +471,8 @@ impl NetStack {
     fn emit_tcp(&mut self, dst_ip: u32, seg: &SegmentOut) {
         let ip = self.ip_header(dst_ip, PROTO_TCP, crate::wire::TCP_LEN + seg.payload.len());
         let eth = self.eth_header();
-        self.nic.push_tx(build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload));
+        self.nic
+            .push_tx(build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload));
         self.stats.tx_segments += 1;
     }
 
@@ -639,12 +656,24 @@ mod tests {
 
     fn world() -> World {
         let mut m = Machine::with_defaults();
-        let pool_s = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
-        let pool_c = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
-        let app_buf = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+        let pool_s = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let pool_c = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let app_buf = m
+            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let server = NetStack::new(SERVER_IP, Nic::new(Mac::of_nic(1)), pool_s, 1 << 20);
         let client = NetStack::new(CLIENT_IP, Nic::new(Mac::of_nic(2)), pool_c, 1 << 20);
-        World { m, server, client, link: Link::new(), app_buf }
+        World {
+            m,
+            server,
+            client,
+            link: Link::new(),
+            app_buf,
+        }
     }
 
     impl World {
@@ -653,8 +682,10 @@ mod tests {
         fn step(&mut self) {
             self.client.poll(&mut self.m, VcpuId(0)).unwrap();
             self.server.poll(&mut self.m, VcpuId(0)).unwrap();
-            self.link.transfer(&mut self.client.nic, &mut self.server.nic);
-            self.link.transfer(&mut self.server.nic, &mut self.client.nic);
+            self.link
+                .transfer(&mut self.client.nic, &mut self.server.nic);
+            self.link
+                .transfer(&mut self.server.nic, &mut self.client.nic);
             self.client.poll(&mut self.m, VcpuId(0)).unwrap();
             self.server.poll(&mut self.m, VcpuId(0)).unwrap();
         }
@@ -665,7 +696,11 @@ mod tests {
             for _ in 0..4 {
                 self.step();
             }
-            let ss = self.server.tcp_accept(l).unwrap().expect("connection accepted");
+            let ss = self
+                .server
+                .tcp_accept(l)
+                .unwrap()
+                .expect("connection accepted");
             assert!(self.client.tcp_is_established(cs).unwrap());
             (cs, ss)
         }
@@ -684,14 +719,20 @@ mod tests {
         // Client writes a message from simulated memory.
         let msg = b"iperf payload: flexible isolation";
         w.m.write(VcpuId(0), w.app_buf, msg).unwrap();
-        let sent = w.client.tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, msg.len() as u64).unwrap();
+        let sent = w
+            .client
+            .tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, msg.len() as u64)
+            .unwrap();
         assert_eq!(sent, msg.len() as u64);
         for _ in 0..4 {
             w.step();
         }
         // Server receives into a different simulated buffer.
         let dst = Addr(w.app_buf.0 + 4096);
-        let n = w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 1024).unwrap();
+        let n = w
+            .server
+            .tcp_recv(&mut w.m, VcpuId(0), ss, dst, 1024)
+            .unwrap();
         assert_eq!(n, msg.len() as u64);
         let mut got = vec![0u8; msg.len()];
         w.m.read(VcpuId(0), dst, &mut got).unwrap();
@@ -704,14 +745,19 @@ mod tests {
         let (cs, ss) = w.establish(5201);
         let dst = Addr(w.app_buf.0 + 4096);
         assert_eq!(
-            w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap_err(),
+            w.server
+                .tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64)
+                .unwrap_err(),
             NetError::WouldBlock
         );
         w.client.close(cs).unwrap();
         for _ in 0..4 {
             w.step();
         }
-        assert_eq!(w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap(), 0);
+        assert_eq!(
+            w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -727,7 +773,10 @@ mod tests {
         let mut received = 0usize;
         for _round in 0..6000 {
             if sent < total {
-                match w.client.tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, chunk.len() as u64) {
+                match w
+                    .client
+                    .tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, chunk.len() as u64)
+                {
                     Ok(n) => sent += n as usize,
                     Err(NetError::WouldBlock) => {}
                     Err(e) => panic!("send failed: {e}"),
@@ -753,7 +802,11 @@ mod tests {
     fn demux_rejects_foreign_and_corrupt_frames() {
         let mut w = world();
         // Frame for another IP.
-        let eth = EthHeader { dst: Mac::of_nic(1), src: Mac::of_nic(9), ethertype: ETHERTYPE_IPV4 };
+        let eth = EthHeader {
+            dst: Mac::of_nic(1),
+            src: Mac::of_nic(9),
+            ethertype: ETHERTYPE_IPV4,
+        };
         let mut ip = Ipv4Header {
             src: CLIENT_IP,
             dst: 0x0909_0909,
@@ -801,8 +854,10 @@ mod tests {
             .unwrap();
         w.step();
         let dst = Addr(w.app_buf.0 + 512);
-        let (n, sip, sport) =
-            w.server.udp_recv_from(&mut w.m, VcpuId(0), s_sock, dst, 64).unwrap();
+        let (n, sip, sport) = w
+            .server
+            .udp_recv_from(&mut w.m, VcpuId(0), s_sock, dst, 64)
+            .unwrap();
         assert_eq!((n, sip, sport), (4, CLIENT_IP, 1234));
         let mut got = [0u8; 4];
         w.m.read(VcpuId(0), dst, &mut got).unwrap();

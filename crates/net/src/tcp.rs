@@ -176,12 +176,26 @@ impl TcpConn {
     }
 
     /// Active open: returns the endpoint and its SYN.
-    pub fn connect(local_port: u16, remote_port: u16, iss: u32, cfg: TcpConfig) -> (Self, SegmentOut) {
+    pub fn connect(
+        local_port: u16,
+        remote_port: u16,
+        iss: u32,
+        cfg: TcpConfig,
+    ) -> (Self, SegmentOut) {
         let mut c = Self::new(TcpState::SynSent, local_port, remote_port, iss, cfg);
-        let syn = SegmentOut { hdr: c.hdr(TcpFlags::SYN, iss), payload: Vec::new() };
+        let syn = SegmentOut {
+            hdr: c.hdr(TcpFlags::SYN, iss),
+            payload: Vec::new(),
+        };
         c.snd_nxt = iss.wrapping_add(1);
         // Track the SYN for retransmission (zero data, consumes 1 seq).
-        c.retx.push_back(RetxSeg { seq: iss, data: Vec::new(), fin: false, sent_at: 0, retries: 0 });
+        c.retx.push_back(RetxSeg {
+            seq: iss,
+            data: Vec::new(),
+            fin: false,
+            sent_at: 0,
+            retries: 0,
+        });
         (c, syn)
     }
 
@@ -197,15 +211,27 @@ impl TcpConn {
         let mut c = Self::new(TcpState::SynRcvd, local_port, remote_port, iss, cfg);
         c.rcv_nxt = peer_syn.seq.wrapping_add(1);
         c.snd_wnd = u32::from(peer_syn.window);
-        let syn_ack = SegmentOut { hdr: c.hdr(TcpFlags::SYN_ACK, iss), payload: Vec::new() };
+        let syn_ack = SegmentOut {
+            hdr: c.hdr(TcpFlags::SYN_ACK, iss),
+            payload: Vec::new(),
+        };
         c.snd_nxt = iss.wrapping_add(1);
-        c.retx.push_back(RetxSeg { seq: iss, data: Vec::new(), fin: false, sent_at: 0, retries: 0 });
+        c.retx.push_back(RetxSeg {
+            seq: iss,
+            data: Vec::new(),
+            fin: false,
+            sent_at: 0,
+            retries: 0,
+        });
         (c, syn_ack)
     }
 
     /// Whether the connection is in a state where data flows.
     pub fn is_established(&self) -> bool {
-        matches!(self.state, TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2)
+        matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2
+        )
     }
 
     /// Whether the connection is finished.
@@ -219,14 +245,23 @@ impl TcpConn {
         self.rx_ready.is_empty()
             && matches!(
                 self.state,
-                TcpState::CloseWait | TcpState::LastAck | TcpState::Closing | TcpState::TimeWait | TcpState::Closed
+                TcpState::CloseWait
+                    | TcpState::LastAck
+                    | TcpState::Closing
+                    | TcpState::TimeWait
+                    | TcpState::Closed
             )
     }
 
     /// Queues application data; returns bytes accepted (bounded by the
     /// transmit buffer).
     pub fn send(&mut self, data: &[u8]) -> usize {
-        if self.app_closed || !matches!(self.state, TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd) {
+        if self.app_closed
+            || !matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd
+            )
+        {
             return 0;
         }
         let room = self.cfg.max_tx_buf - self.tx.len().min(self.cfg.max_tx_buf);
@@ -417,7 +452,10 @@ impl TcpConn {
                 let n = self.tx.len().min(self.cfg.mss).min(wnd_room);
                 let data: Vec<u8> = self.tx.drain(..n).collect();
                 let flags = TcpFlags::ACK;
-                out.push(SegmentOut { hdr: self.hdr(flags, self.snd_nxt), payload: data.clone() });
+                out.push(SegmentOut {
+                    hdr: self.hdr(flags, self.snd_nxt),
+                    payload: data.clone(),
+                });
                 self.retx.push_back(RetxSeg {
                     seq: self.snd_nxt,
                     data,
@@ -436,7 +474,10 @@ impl TcpConn {
             && self.tx.is_empty()
             && matches!(self.state, TcpState::Established | TcpState::CloseWait)
         {
-            let fin = SegmentOut { hdr: self.hdr(TcpFlags::FIN_ACK, self.snd_nxt), payload: Vec::new() };
+            let fin = SegmentOut {
+                hdr: self.hdr(TcpFlags::FIN_ACK, self.snd_nxt),
+                payload: Vec::new(),
+            };
             out.push(fin);
             self.retx.push_back(RetxSeg {
                 seq: self.snd_nxt,
@@ -479,7 +520,10 @@ impl TcpConn {
                 };
                 let seq = front.seq;
                 let payload = front.data.clone();
-                out.push(SegmentOut { hdr: self.hdr(flags, seq), payload });
+                out.push(SegmentOut {
+                    hdr: self.hdr(flags, seq),
+                    payload,
+                });
             }
         }
 
@@ -548,7 +592,8 @@ mod tests {
 
     fn handshake() -> (TcpConn, TcpConn, u64) {
         let (mut client, syn) = TcpConn::connect(40000, 5201, 1000, TcpConfig::default());
-        let (mut server, syn_ack) = TcpConn::accept(5201, 40000, 9000, &syn.hdr, TcpConfig::default());
+        let (mut server, syn_ack) =
+            TcpConn::accept(5201, 40000, 9000, &syn.hdr, TcpConfig::default());
         let acks = client.on_segment(&syn_ack.hdr, &[], 0);
         assert_eq!(client.state, TcpState::Established);
         for a in acks {
@@ -596,7 +641,11 @@ mod tests {
     fn out_of_order_segments_are_reassembled() {
         let (mut c, mut s, _) = handshake();
         c.send(&(0..200u8).cycle().take(4000).collect::<Vec<_>>());
-        let segs: Vec<_> = c.poll(0).into_iter().filter(|s| !s.payload.is_empty()).collect();
+        let segs: Vec<_> = c
+            .poll(0)
+            .into_iter()
+            .filter(|s| !s.payload.is_empty())
+            .collect();
         assert!(segs.len() >= 3);
         // Deliver in reverse order.
         for seg in segs.iter().rev() {
@@ -631,7 +680,10 @@ mod tests {
 
     #[test]
     fn receiver_window_throttles_the_sender() {
-        let cfg_small = TcpConfig { rcv_wnd: 2000, ..TcpConfig::default() };
+        let cfg_small = TcpConfig {
+            rcv_wnd: 2000,
+            ..TcpConfig::default()
+        };
         let (mut c, syn) = TcpConn::connect(1, 2, 100, TcpConfig::default());
         let (mut s, syn_ack) = TcpConn::accept(2, 1, 200, &syn.hdr, cfg_small);
         for a in c.on_segment(&syn_ack.hdr, &[], 0) {
@@ -640,7 +692,10 @@ mod tests {
         c.send(&vec![1u8; 10_000]);
         let segs = c.poll(0);
         let sent: usize = segs.iter().map(|s| s.payload.len()).sum();
-        assert!(sent <= 2000, "sender respected the 2000-byte window (sent {sent})");
+        assert!(
+            sent <= 2000,
+            "sender respected the 2000-byte window (sent {sent})"
+        );
         // Deliver the first burst, then: receiver consumes, the window
         // reopens via its ACKs, and the transfer completes.
         for seg in segs {
@@ -657,7 +712,7 @@ mod tests {
                 }
             }
             received.extend(s.take_ready(512)); // slow consumer
-            // The receiver's poll emits window-update ACKs.
+                                                // The receiver's poll emits window-update ACKs.
             for seg in s.poll(now) {
                 for r in c.on_segment(&seg.hdr, &seg.payload, now) {
                     s.on_segment(&r.hdr, &r.payload, now);
@@ -761,7 +816,10 @@ mod tests {
 
     #[test]
     fn send_respects_tx_buffer_bound() {
-        let cfg = TcpConfig { max_tx_buf: 100, ..Default::default() };
+        let cfg = TcpConfig {
+            max_tx_buf: 100,
+            ..Default::default()
+        };
         let (mut c, syn) = TcpConn::connect(1, 2, 0, cfg);
         let (_s, syn_ack) = TcpConn::accept(2, 1, 0, &syn.hdr, TcpConfig::default());
         c.on_segment(&syn_ack.hdr, &[], 0);

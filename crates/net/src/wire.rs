@@ -171,15 +171,40 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// SYN only.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, fin: false, rst: false, ack: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        fin: false,
+        rst: false,
+        ack: false,
+    };
     /// ACK only.
-    pub const ACK: TcpFlags = TcpFlags { ack: true, fin: false, rst: false, syn: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        ack: true,
+        fin: false,
+        rst: false,
+        syn: false,
+    };
     /// SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
     /// FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { fin: true, ack: true, syn: false, rst: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        fin: true,
+        ack: true,
+        syn: false,
+        rst: false,
+    };
     /// RST.
-    pub const RST: TcpFlags = TcpFlags { rst: true, fin: false, syn: false, ack: false };
+    pub const RST: TcpFlags = TcpFlags {
+        rst: true,
+        fin: false,
+        syn: false,
+        ack: false,
+    };
 
     fn to_byte(self) -> u8 {
         u8::from(self.fin)
@@ -189,7 +214,12 @@ impl TcpFlags {
     }
 
     fn from_byte(b: u8) -> TcpFlags {
-        TcpFlags { fin: b & 1 != 0, syn: b & 2 != 0, rst: b & 4 != 0, ack: b & 16 != 0 }
+        TcpFlags {
+            fin: b & 1 != 0,
+            syn: b & 2 != 0,
+            rst: b & 4 != 0,
+            ack: b & 16 != 0,
+        }
     }
 }
 
@@ -307,7 +337,11 @@ pub fn build_tcp_frame(
     let mut out = vec![0u8; ETH_LEN + IPV4_LEN + TCP_LEN + payload.len()];
     eth.write(&mut out[..ETH_LEN]);
     ip.write(&mut out[ETH_LEN..ETH_LEN + IPV4_LEN]);
-    tcp.write(ip, payload, &mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + TCP_LEN]);
+    tcp.write(
+        ip,
+        payload,
+        &mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + TCP_LEN],
+    );
     out[ETH_LEN + IPV4_LEN + TCP_LEN..].copy_from_slice(payload);
     out
 }
@@ -344,7 +378,11 @@ mod tests {
 
     #[test]
     fn eth_round_trip() {
-        let h = EthHeader { dst: Mac::of_nic(2), src: Mac::of_nic(1), ethertype: ETHERTYPE_IPV4 };
+        let h = EthHeader {
+            dst: Mac::of_nic(2),
+            src: Mac::of_nic(1),
+            ethertype: ETHERTYPE_IPV4,
+        };
         let mut buf = [0u8; ETH_LEN];
         h.write(&mut buf);
         assert_eq!(EthHeader::parse(&buf).unwrap(), h);
@@ -387,15 +425,24 @@ mod tests {
 
     #[test]
     fn tcp_flags_round_trip() {
-        for flags in [TcpFlags::SYN, TcpFlags::ACK, TcpFlags::SYN_ACK, TcpFlags::FIN_ACK, TcpFlags::RST]
-        {
+        for flags in [
+            TcpFlags::SYN,
+            TcpFlags::ACK,
+            TcpFlags::SYN_ACK,
+            TcpFlags::FIN_ACK,
+            TcpFlags::RST,
+        ] {
             assert_eq!(TcpFlags::from_byte(flags.to_byte()), flags);
         }
     }
 
     #[test]
     fn udp_round_trip() {
-        let h = UdpHeader { src_port: 53, dst_port: 9999, len: (UDP_LEN + 11) as u16 };
+        let h = UdpHeader {
+            src_port: 53,
+            dst_port: 9999,
+            len: (UDP_LEN + 11) as u16,
+        };
         let mut buf = [0u8; UDP_LEN + 11];
         h.write(&mut buf);
         assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
@@ -408,7 +455,11 @@ mod tests {
     #[test]
     fn full_tcp_frame_parses_end_to_end() {
         let payload = vec![0x42u8; 333];
-        let eth = EthHeader { dst: Mac::of_nic(1), src: Mac::of_nic(0), ethertype: ETHERTYPE_IPV4 };
+        let eth = EthHeader {
+            dst: Mac::of_nic(1),
+            src: Mac::of_nic(0),
+            ethertype: ETHERTYPE_IPV4,
+        };
         let ip = ip_hdr(TCP_LEN + payload.len(), PROTO_TCP);
         let tcp = TcpHeader {
             src_port: 1,

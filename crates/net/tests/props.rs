@@ -21,9 +21,15 @@ struct World {
 
 fn world(faults: LinkFaults) -> World {
     let mut m = Machine::with_defaults();
-    let pool_s = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
-    let pool_c = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
-    let buf = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW).unwrap();
+    let pool_s = m
+        .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+        .unwrap();
+    let pool_c = m
+        .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+        .unwrap();
+    let buf = m
+        .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
+        .unwrap();
     World {
         m,
         server: NetStack::new(SERVER_IP, Nic::new(Mac::of_nic(1)), pool_s, 1 << 20),
@@ -37,8 +43,10 @@ impl World {
     fn step(&mut self) {
         self.client.poll(&mut self.m, VcpuId(0)).unwrap();
         self.server.poll(&mut self.m, VcpuId(0)).unwrap();
-        self.link.transfer(&mut self.client.nic, &mut self.server.nic);
-        self.link.transfer(&mut self.server.nic, &mut self.client.nic);
+        self.link
+            .transfer(&mut self.client.nic, &mut self.server.nic);
+        self.link
+            .transfer(&mut self.server.nic, &mut self.client.nic);
         self.client.poll(&mut self.m, VcpuId(0)).unwrap();
         self.server.poll(&mut self.m, VcpuId(0)).unwrap();
     }
@@ -63,7 +71,8 @@ fn transfer_faithful(payload: Vec<u8>, chunk_sizes: Vec<usize>, faults: LinkFaul
     while received.len() < payload.len() {
         if sent < payload.len() {
             let n = (*chunk_iter.next().unwrap()).clamp(1, payload.len() - sent);
-            w.m.write(VcpuId(0), w.buf, &payload[sent..sent + n]).unwrap();
+            w.m.write(VcpuId(0), w.buf, &payload[sent..sent + n])
+                .unwrap();
             match w.client.tcp_send(&mut w.m, VcpuId(0), cs, w.buf, n as u64) {
                 Ok(k) => sent += k as usize,
                 Err(NetError::WouldBlock) => {}
@@ -82,7 +91,12 @@ fn transfer_faithful(payload: Vec<u8>, chunk_sizes: Vec<usize>, faults: LinkFaul
                 idle += 1;
                 // Advance time so retransmission timers fire.
                 w.m.charge(TcpConfig::default().rto_cycles / 2 + 1);
-                assert!(idle < 2_000, "transfer stalled at {}/{}", received.len(), payload.len());
+                assert!(
+                    idle < 2_000,
+                    "transfer stalled at {}/{}",
+                    received.len(),
+                    payload.len()
+                );
             }
             Err(e) => panic!("recv: {e}"),
         }

@@ -137,8 +137,12 @@ mod tests {
 
     fn setup(policy: ShSet) -> (Machine, ShRuntime, Addr, Addr) {
         let mut m = Machine::with_defaults();
-        let own = m.alloc_region(VmId(0), 16 * 1024, ProtKey(0), PageFlags::RW).unwrap();
-        let victim = m.alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW).unwrap();
+        let own = m
+            .alloc_region(VmId(0), 16 * 1024, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let victim = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let mut sh = ShRuntime::new(1);
         sh.set_policy(ATTACKER, policy);
         sh.register_heap(ATTACKER, own, 16 * 1024);
@@ -170,7 +174,12 @@ mod tests {
         // Tag the victim with key 5 and drop it from the attacker's PKRU.
         m.set_region_key(VmId(0), victim, 4096, ProtKey(5)).unwrap();
         let tok = m.gate_token();
-        m.wrpkru(VcpuId(0), Pkru::deny_all_except(&[ProtKey(0)], &[]), Some(tok)).unwrap();
+        m.wrpkru(
+            VcpuId(0),
+            Pkru::deny_all_except(&[ProtKey(0)], &[]),
+            Some(tok),
+        )
+        .unwrap();
         let out =
             cross_component_write(&mut m, &mut sh, VcpuId(0), ATTACKER, victim, b"pwn").unwrap();
         assert_eq!(out.caught_by().as_deref(), Some("pkey-violation"));

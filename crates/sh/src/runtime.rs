@@ -156,9 +156,11 @@ impl ShRuntime {
     ) -> Result<Option<Addr>> {
         debug_assert!(self.instruments_malloc(c));
         m.charge(m.costs().asan_alloc);
-        self.shadows[c.0 as usize].on_free(payload).inspect_err(|_| {
-            self.stats.violations += 1;
-        })
+        self.shadows[c.0 as usize]
+            .on_free(payload)
+            .inspect_err(|_| {
+                self.stats.violations += 1;
+            })
     }
 
     // --- access checks --------------------------------------------------------
@@ -283,10 +285,13 @@ impl ShRuntime {
             return Ok(());
         }
         m.charge(m.costs().canary);
-        let expected = self.canaries.remove(&frame_base.0).ok_or(Fault::HardeningAbort {
-            mechanism: "stack-protector",
-            reason: format!("pop of unknown frame at {frame_base}"),
-        })?;
+        let expected = self
+            .canaries
+            .remove(&frame_base.0)
+            .ok_or(Fault::HardeningAbort {
+                mechanism: "stack-protector",
+                reason: format!("pop of unknown frame at {frame_base}"),
+            })?;
         let mut buf = [0u8; 8];
         m.read(vcpu, frame_base, &mut buf)?;
         if u64::from_le_bytes(buf) != expected {
@@ -304,7 +309,13 @@ impl ShRuntime {
     /// Checked addition under UBSAN: overflow aborts in hardened
     /// compartments and wraps (with no cost) otherwise — matching C
     /// semantics with/without `-fsanitize=undefined`.
-    pub fn checked_add(&mut self, m: &mut Machine, c: CompartmentId, a: u64, b: u64) -> Result<u64> {
+    pub fn checked_add(
+        &mut self,
+        m: &mut Machine,
+        c: CompartmentId,
+        a: u64,
+        b: u64,
+    ) -> Result<u64> {
         if !self.policies[c.0 as usize].has(ShMechanism::Ubsan) {
             return Ok(a.wrapping_add(b));
         }
@@ -320,7 +331,13 @@ impl ShRuntime {
     }
 
     /// Checked multiplication under UBSAN.
-    pub fn checked_mul(&mut self, m: &mut Machine, c: CompartmentId, a: u64, b: u64) -> Result<u64> {
+    pub fn checked_mul(
+        &mut self,
+        m: &mut Machine,
+        c: CompartmentId,
+        a: u64,
+        b: u64,
+    ) -> Result<u64> {
         if !self.policies[c.0 as usize].has(ShMechanism::Ubsan) {
             return Ok(a.wrapping_mul(b));
         }
@@ -336,7 +353,13 @@ impl ShRuntime {
     }
 
     /// Checked left shift under UBSAN (shift amount must be < 64).
-    pub fn checked_shl(&mut self, m: &mut Machine, c: CompartmentId, a: u64, by: u32) -> Result<u64> {
+    pub fn checked_shl(
+        &mut self,
+        m: &mut Machine,
+        c: CompartmentId,
+        a: u64,
+        by: u32,
+    ) -> Result<u64> {
         if !self.policies[c.0 as usize].has(ShMechanism::Ubsan) {
             return Ok(a.wrapping_shl(by));
         }
@@ -386,7 +409,9 @@ mod tests {
 
     fn setup(policy: ShSet) -> (Machine, ShRuntime, Addr) {
         let mut m = Machine::with_defaults();
-        let heap = m.alloc_region(VmId(0), 64 * 1024, ProtKey(0), PageFlags::RW).unwrap();
+        let heap = m
+            .alloc_region(VmId(0), 64 * 1024, ProtKey(0), PageFlags::RW)
+            .unwrap();
         let mut sh = ShRuntime::new(2);
         sh.set_policy(C0, policy);
         sh.register_heap(C0, heap, 64 * 1024);
@@ -397,7 +422,8 @@ mod tests {
     fn unhardened_compartments_pay_nothing() {
         let (mut m, mut sh, heap) = setup(ShSet::none());
         let c0 = m.clock().cycles();
-        sh.check_access(&mut m, C0, heap, 64, Access::Write).unwrap();
+        sh.check_access(&mut m, C0, heap, 64, Access::Write)
+            .unwrap();
         sh.check_call(&mut m, C0, "anything").unwrap();
         assert_eq!(m.clock().cycles(), c0);
         assert_eq!(sh.stats(), ShStats::default());
@@ -408,8 +434,11 @@ mod tests {
         let (mut m, mut sh, heap) = setup(ShSet::of([ShMechanism::Asan]));
         // Simulate an instrumented allocation of 100 bytes at heap+0.
         let payload = sh.on_alloc(&mut m, C0, heap, 100);
-        sh.check_access(&mut m, C0, payload, 100, Access::Write).unwrap();
-        let err = sh.check_access(&mut m, C0, payload, 101, Access::Write).unwrap_err();
+        sh.check_access(&mut m, C0, payload, 100, Access::Write)
+            .unwrap();
+        let err = sh
+            .check_access(&mut m, C0, payload, 101, Access::Write)
+            .unwrap_err();
         assert!(err.to_string().contains("asan"));
         assert_eq!(sh.stats().violations, 1);
     }
@@ -419,7 +448,9 @@ mod tests {
         let (mut m, mut sh, heap) = setup(ShSet::of([ShMechanism::Asan]));
         let payload = sh.on_alloc(&mut m, C0, heap, 64);
         sh.on_free(&mut m, C0, payload).unwrap();
-        assert!(sh.check_access(&mut m, C0, payload, 8, Access::Read).is_err());
+        assert!(sh
+            .check_access(&mut m, C0, payload, 8, Access::Read)
+            .is_err());
     }
 
     #[test]
@@ -427,11 +458,13 @@ mod tests {
         let (mut m, mut sh, heap) = setup(ShSet::of([ShMechanism::Asan]));
         let payload = sh.on_alloc(&mut m, C0, heap, 4096);
         let c0 = m.clock().cycles();
-        sh.check_access(&mut m, C0, payload, 256, Access::Read).unwrap();
+        sh.check_access(&mut m, C0, payload, 256, Access::Read)
+            .unwrap();
         assert_eq!(m.clock().cycles() - c0, m.costs().asan_check * 16);
         // Big ranges hit the interceptor cap (64 granules).
         let c1 = m.clock().cycles();
-        sh.check_access(&mut m, C0, payload, 4096, Access::Read).unwrap();
+        sh.check_access(&mut m, C0, payload, 4096, Access::Read)
+            .unwrap();
         assert_eq!(m.clock().cycles() - c1, m.costs().asan_check * 64);
     }
 
@@ -440,7 +473,8 @@ mod tests {
         let (mut m, mut sh, heap) = setup(ShSet::of([ShMechanism::Dfi]));
         sh.check_access(&mut m, C0, heap, 8, Access::Write).unwrap();
         // Reads are not DFI's concern.
-        sh.check_access(&mut m, C0, Addr(0xdead_0000), 8, Access::Read).unwrap();
+        sh.check_access(&mut m, C0, Addr(0xdead_0000), 8, Access::Read)
+            .unwrap();
         // A write to foreign memory (say, the scheduler's run queue) aborts.
         let err = sh
             .check_access(&mut m, C0, Addr(0xdead_0000), 8, Access::Write)
@@ -452,7 +486,8 @@ mod tests {
     fn dfi_allows_shared_window_writes() {
         let (mut m, mut sh, _) = setup(ShSet::of([ShMechanism::Dfi]));
         sh.register_shared(Addr(0x5000_0000), 4096);
-        sh.check_access(&mut m, C0, Addr(0x5000_0010), 64, Access::Write).unwrap();
+        sh.check_access(&mut m, C0, Addr(0x5000_0010), 64, Access::Write)
+            .unwrap();
     }
 
     #[test]

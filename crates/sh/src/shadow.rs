@@ -70,7 +70,9 @@ impl Shadow {
 
     /// Whether `[addr, addr+len)` intersects a covered range.
     fn tracked(&self, addr: u64, len: u64) -> bool {
-        self.ranges.iter().any(|&(b, l)| addr < b + l && addr + len > b)
+        self.ranges
+            .iter()
+            .any(|&(b, l)| addr < b + l && addr + len > b)
     }
 
     /// Records an allocation: the caller allocated `outer` of
@@ -78,7 +80,11 @@ impl Shadow {
     pub fn on_alloc(&mut self, outer: Addr, size: u64) {
         self.blocks.insert(
             outer.0,
-            Block { payload: outer.0 + REDZONE, size, state: BlockState::Live },
+            Block {
+                payload: outer.0 + REDZONE,
+                size,
+                state: BlockState::Live,
+            },
         );
     }
 
@@ -219,7 +225,7 @@ mod tests {
         }
         assert_eq!(released.len(), 3);
         assert_eq!(released[0], Addr(0x2000)); // FIFO order
-        // Released blocks are no longer tracked: wild, not UAF.
+                                               // Released blocks are no longer tracked: wild, not UAF.
         assert_eq!(s.classify(Addr(0x2000 + REDZONE), 8), Verdict::WildAccess);
     }
 

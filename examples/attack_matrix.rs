@@ -70,11 +70,12 @@ fn main() {
         };
         println!("{name:<55} {outcome:<25}");
     }
-    println!(
-        "\nAlso: PKRU forgery (the PKU-pitfalls attack) against the MPK build:"
-    );
+    println!("\nAlso: PKRU forgery (the PKU-pitfalls attack) against the MPK build:");
     let mut os = build(CompartmentModel::NwOnly, BackendChoice::MpkShared, false);
     let vcpu = os.img.gates.ctx(os.roles.net).vcpu;
     let out = inject::pkru_forge(&mut os.img.machine, vcpu).unwrap();
-    println!("  wrpkru without the gate capability -> {:?}", out.caught_by().unwrap());
+    println!(
+        "  wrpkru without the gate capability -> {:?}",
+        out.caught_by().unwrap()
+    );
 }

@@ -20,9 +20,14 @@ use flexos_machine::CostTable;
 fn main() {
     // The library set (specs as in the evaluation images).
     let base = ImageConfig::new("redis-dse", BackendChoice::None)
-        .with_library(LibraryConfig::new(LibSpec::unsafe_c("redis"), LibRole::App)
-            .with_analysis(Analysis::well_behaved()))
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(
+            LibraryConfig::new(LibSpec::unsafe_c("redis"), LibRole::App)
+                .with_analysis(Analysis::well_behaved()),
+        )
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
                 .with_analysis(Analysis::well_behaved()),
@@ -51,7 +56,10 @@ fn main() {
     println!("Explored {} candidate configurations.\n", cands.len());
 
     println!("Pareto frontier (cycles/request ↑, security ↑):");
-    println!("{:<40} {:>12} {:>10}", "configuration", "cycles/req", "security");
+    println!(
+        "{:<40} {:>12} {:>10}",
+        "configuration", "cycles/req", "security"
+    );
     for c in pareto_frontier(cands.clone()) {
         println!("{:<40} {:>12} {:>10.2}", c.label, c.cycles, c.security);
     }

@@ -14,7 +14,10 @@ fn main() {
     let configs: Vec<(&str, IperfParams)> = vec![
         (
             "no isolation (baseline)",
-            IperfParams { total_bytes: total, ..IperfParams::default() },
+            IperfParams {
+                total_bytes: total,
+                ..IperfParams::default()
+            },
         ),
         (
             "NW stack isolated, MPK shared stacks",
@@ -71,10 +74,16 @@ fn main() {
     ];
 
     println!("iperf, 512 KiB transfer, 16 KiB recv buffers, same app — seven security profiles:\n");
-    println!("{:<52} {:>10} {:>12} {:>10}", "profile", "Mb/s", "crossings", "switches");
+    println!(
+        "{:<52} {:>10} {:>12} {:>10}",
+        "profile", "Mb/s", "crossings", "switches"
+    );
     for (name, params) in configs {
         let r = run_iperf(&params);
-        println!("{:<52} {:>10.0} {:>12} {:>10}", name, r.mbps, r.crossings, r.switches);
+        println!(
+            "{:<52} {:>10.0} {:>12} {:>10}",
+            name, r.mbps, r.crossings, r.switches
+        );
     }
     println!("\nEvery number derives from the deterministic 2.1 GHz cycle model.");
 }

@@ -18,7 +18,9 @@
 //!    boundaries.
 
 use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
-use flexos::spec::{infer_analysis, infer_spec, print, BehaviorTrace, GrantKind, LibSpec, ObservedRegion, Region};
+use flexos::spec::{
+    infer_analysis, infer_spec, print, BehaviorTrace, GrantKind, LibSpec, ObservedRegion, Region,
+};
 use flexos::wrappers::generate_wrappers;
 use flexos_machine::CostTable;
 
@@ -48,9 +50,15 @@ fn main() {
 
     // --- 3. Plan an image with it -------------------------------------------------
     let cfg = ImageConfig::new("ported", BackendChoice::MpkShared)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(LibraryConfig::new(spec, LibRole::Other).with_analysis(analysis))
-        .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+        .with_library(LibraryConfig::new(
+            LibSpec::unsafe_c("rawlib"),
+            LibRole::Other,
+        ));
     let plan = plan(cfg).expect("plans");
     println!(
         "Compartments: {} -> {:?}",
@@ -60,14 +68,25 @@ fn main() {
     // --- 4. Generate the API wrappers -----------------------------------------------
     let table = generate_wrappers(&plan);
     let costs = CostTable::default();
-    println!("\nGenerated API wrappers ({} total, {} with checks):", table.len(), table.enabled_count());
-    println!("{:<22} {:<12} {:<10} {:>12}  reason", "function", "lib", "checks", "glue cycles");
+    println!(
+        "\nGenerated API wrappers ({} total, {} with checks):",
+        table.len(),
+        table.enabled_count()
+    );
+    println!(
+        "{:<22} {:<12} {:<10} {:>12}  reason",
+        "function", "lib", "checks", "glue cycles"
+    );
     for w in table.iter() {
         println!(
             "{:<22} {:<12} {:<10} {:>12}  {:?}",
             w.func,
             w.lib,
-            if w.checks_enabled() { "INCLUDED" } else { "elided" },
+            if w.checks_enabled() {
+                "INCLUDED"
+            } else {
+                "elided"
+            },
             w.glue_cycles(&costs),
             w.reason
         );

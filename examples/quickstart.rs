@@ -47,15 +47,22 @@ fn main() {
     let mut img = instantiate(plan).expect("image boots");
 
     // --- 4. Gates work; illegal accesses fault ---------------------------------
-    let sched_c = img.compartment_of_lib("uksched_verified").expect("scheduler placed");
+    let sched_c = img
+        .compartment_of_lib("uksched_verified")
+        .expect("scheduler placed");
     let raw_c = img.compartment_of_lib("rawlib").expect("rawlib placed");
     let sched_heap = img.gates.ctx(sched_c).heap_base;
 
     // Execute as rawlib's compartment; a direct poke at the scheduler's
     // heap must fault:
-    img.gates.resume_in(&mut img.machine, raw_c).expect("enter rawlib");
+    img.gates
+        .resume_in(&mut img.machine, raw_c)
+        .expect("enter rawlib");
     let attack = img.write(sched_heap, b"hijack");
-    println!("\nDirect write into the scheduler compartment: {:?}", attack.unwrap_err());
+    println!(
+        "\nDirect write into the scheduler compartment: {:?}",
+        attack.unwrap_err()
+    );
 
     // A gated call is the legitimate path:
     img.call_lib("uksched_verified", 16, 8, |m, rt| {

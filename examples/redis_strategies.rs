@@ -11,9 +11,15 @@ use flexos_apps::CompartmentModel;
 
 fn main() {
     println!("Redis-style KV server, pipelined GETs, 50 B values:\n");
-    println!("{:<18} {:<10} {:>10} {:>12} {:>10}", "model", "stacks", "MTps", "slowdown", "crossings");
+    println!(
+        "{:<18} {:<10} {:>10} {:>12} {:>10}",
+        "model", "stacks", "MTps", "slowdown", "crossings"
+    );
 
-    let base = run_redis(&RedisParams { ops: 1000, ..RedisParams::default() });
+    let base = run_redis(&RedisParams {
+        ops: 1000,
+        ..RedisParams::default()
+    });
     println!(
         "{:<18} {:<10} {:>10.3} {:>12} {:>10}",
         "No Isol.", "-", base.mreq_per_s, "1.00x", base.crossings
@@ -24,9 +30,10 @@ fn main() {
         CompartmentModel::NwSchedRest,
         CompartmentModel::NwAndSchedRest,
     ] {
-        for (label, backend) in
-            [("shared", BackendChoice::MpkShared), ("switched", BackendChoice::MpkSwitched)]
-        {
+        for (label, backend) in [
+            ("shared", BackendChoice::MpkShared),
+            ("switched", BackendChoice::MpkSwitched),
+        ] {
             let r = run_redis(&RedisParams {
                 model,
                 backend,

@@ -42,12 +42,18 @@ fn main() {
         print!(" {}", t.0);
         verified.yield_back(t).unwrap();
     }
-    println!("\n(identical round-robin order, {} contract checks performed)", verified.checks_performed());
+    println!(
+        "\n(identical round-robin order, {} contract checks performed)",
+        verified.checks_performed()
+    );
 
     // --- the price ----------------------------------------------------------------
     let costs = CostTable::default();
     let coop_ns = cycles_to_nanos(coop.switch_cost(&costs));
     let verified_ns = cycles_to_nanos(verified.switch_cost(&costs));
-    println!("\ncontext switch: C scheduler {coop_ns:.1} ns, verified {verified_ns:.1} ns ({:.1}x)", verified_ns / coop_ns);
+    println!(
+        "\ncontext switch: C scheduler {coop_ns:.1} ns, verified {verified_ns:.1} ns ({:.1}x)",
+        verified_ns / coop_ns
+    );
     println!("(paper §4: 76.6 ns vs 218.6 ns — 3x, yet <6% end-to-end for Redis)");
 }

@@ -45,7 +45,10 @@ fn netstack_attacks_scheduler(os: &mut Os) -> inject::AttackOutcome {
 fn baseline_lets_the_hijack_land() {
     let mut os = boot_hardened(CompartmentModel::Baseline, BackendChoice::None, None);
     let out = netstack_attacks_scheduler(&mut os);
-    assert!(!out.was_caught(), "nothing should stop the write in the baseline");
+    assert!(
+        !out.was_caught(),
+        "nothing should stop the write in the baseline"
+    );
 }
 
 #[test]
@@ -53,7 +56,11 @@ fn mpk_catches_the_hijack_with_a_pkey_fault() {
     for backend in [BackendChoice::MpkShared, BackendChoice::MpkSwitched] {
         let mut os = boot_hardened(CompartmentModel::NwOnly, backend, None);
         let out = netstack_attacks_scheduler(&mut os);
-        assert_eq!(out.caught_by().as_deref(), Some("pkey-violation"), "{backend:?}");
+        assert_eq!(
+            out.caught_by().as_deref(),
+            Some("pkey-violation"),
+            "{backend:?}"
+        );
     }
 }
 
@@ -69,8 +76,12 @@ fn dfi_catches_the_hijack_without_any_hardware_isolation() {
     // Single protection domain, but the network stack runs with DFI —
     // and on its own heap (dedicated allocators), so foreign writes have
     // a foreign destination to be caught at.
-    let mut cfg =
-        evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::None, SchedKind::Coop);
+    let mut cfg = evaluation_image(
+        "iperf",
+        CompartmentModel::NwOnly,
+        BackendChoice::None,
+        SchedKind::Coop,
+    );
     cfg.dedicated_allocators = true;
     for lib in &mut cfg.libraries {
         if lib.spec.name == "lwip" {
@@ -88,7 +99,11 @@ fn asan_catches_heap_overflow_and_uaf_only_when_enabled() {
     let mut os = boot_hardened(CompartmentModel::NwOnly, BackendChoice::None, Some("lwip"));
     let c_net = os.roles.net;
     assert!(os.sh.policy(c_net).has(ShMechanism::Asan));
-    let raw = os.img.heaps.alloc(&mut os.img.machine, c_net, 64 + 32, 16).unwrap();
+    let raw = os
+        .img
+        .heaps
+        .alloc(&mut os.img.machine, c_net, 64 + 32, 16)
+        .unwrap();
     let payload = os.sh.on_alloc(&mut os.img.machine, c_net, raw, 64);
     let vcpu = os.img.gates.ctx(c_net).vcpu;
     let out =
@@ -102,9 +117,14 @@ fn asan_catches_heap_overflow_and_uaf_only_when_enabled() {
     // Unhardened image: the same overflow lands.
     let mut os = boot_hardened(CompartmentModel::NwOnly, BackendChoice::None, None);
     let c_net = os.roles.net;
-    let buf = os.img.heaps.alloc(&mut os.img.machine, c_net, 64, 16).unwrap();
+    let buf = os
+        .img
+        .heaps
+        .alloc(&mut os.img.machine, c_net, 64, 16)
+        .unwrap();
     let vcpu = os.img.gates.ctx(c_net).vcpu;
-    let out = inject::heap_overflow(&mut os.img.machine, &mut os.sh, vcpu, c_net, buf, 100).unwrap();
+    let out =
+        inject::heap_overflow(&mut os.img.machine, &mut os.sh, vcpu, c_net, buf, 100).unwrap();
     assert!(!out.was_caught(), "no ASAN, no catch");
 }
 
@@ -113,12 +133,14 @@ fn cfi_catches_control_flow_hijack() {
     let mut os = boot_hardened(CompartmentModel::NwOnly, BackendChoice::None, None);
     let c_net = os.roles.net;
     os.sh.set_policy(c_net, ShSet::of([ShMechanism::Cfi]));
-    os.sh.set_cfi_targets(c_net, ["sem_up".to_string(), "palloc".to_string()].into());
+    os.sh
+        .set_cfi_targets(c_net, ["sem_up".to_string(), "palloc".to_string()].into());
     let out =
         inject::control_flow_hijack(&mut os.img.machine, &mut os.sh, c_net, "mprotect_gadget")
             .unwrap();
     assert!(out.was_caught());
-    let out = inject::control_flow_hijack(&mut os.img.machine, &mut os.sh, c_net, "palloc").unwrap();
+    let out =
+        inject::control_flow_hijack(&mut os.img.machine, &mut os.sh, c_net, "palloc").unwrap();
     assert!(!out.was_caught(), "legitimate call-graph targets pass");
 }
 
@@ -132,7 +154,11 @@ fn pkru_forgery_is_caught_in_mpk_images() {
 
 #[test]
 fn stack_smash_is_caught_by_canaries() {
-    let mut os = boot_hardened(CompartmentModel::NwOnly, BackendChoice::MpkShared, Some("lwip"));
+    let mut os = boot_hardened(
+        CompartmentModel::NwOnly,
+        BackendChoice::MpkShared,
+        Some("lwip"),
+    );
     let c_net = os.roles.net;
     assert!(os.sh.policy(c_net).has(ShMechanism::StackProtector));
     let (stack, len) = os.img.alloc_stack(c_net).unwrap();
@@ -160,11 +186,16 @@ fn full_gcc_set_catches_ubsan_class_bugs() {
     let c_net = os.roles.net;
     assert_eq!(os.sh.policy(c_net), &gcc_sh());
     // A length-computation overflow in a hardened packet parser.
-    assert!(os.sh.checked_add(&mut os.img.machine, c_net, u64::MAX - 10, 20).is_err());
+    assert!(os
+        .sh
+        .checked_add(&mut os.img.machine, c_net, u64::MAX - 10, 20)
+        .is_err());
     // The same bug in the unhardened app compartment silently wraps.
     let c_app = os.roles.app;
     assert_eq!(
-        os.sh.checked_add(&mut os.img.machine, c_app, u64::MAX - 10, 20).unwrap(),
+        os.sh
+            .checked_add(&mut os.img.machine, c_app, u64::MAX - 10, 20)
+            .unwrap(),
         9
     );
 }

@@ -54,7 +54,12 @@ fn cheri_images_run_the_full_workloads() {
 
 #[test]
 fn cheri_enforces_compartment_reach() {
-    let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::Cheri, SchedKind::Coop);
+    let cfg = evaluation_image(
+        "iperf",
+        CompartmentModel::NwOnly,
+        BackendChoice::Cheri,
+        SchedKind::Coop,
+    );
     let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
     // From the app compartment, the net compartment's heap is out of
     // capability reach: the stray pointer faults.
@@ -74,22 +79,36 @@ fn cheri_enforces_compartment_reach() {
 fn capability_monotonicity_survives_gate_composition() {
     // A caller derives an argument capability, seals it for the callee's
     // compartment; the callee can use exactly that much and nothing more.
-    let cfg = evaluation_image("iperf", CompartmentModel::NwOnly, BackendChoice::Cheri, SchedKind::Coop);
+    let cfg = evaluation_image(
+        "iperf",
+        CompartmentModel::NwOnly,
+        BackendChoice::Cheri,
+        SchedKind::Coop,
+    );
     let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
     let buf = os.alloc_shared_buf(256).unwrap();
     os.img.write(buf, b"argument-bytes").unwrap();
 
-    let arg = Capability::root(buf, 256).derive(0, 14, CapPerms::RO).unwrap();
+    let arg = Capability::root(buf, 256)
+        .derive(0, 14, CapPerms::RO)
+        .unwrap();
     let sealed = arg.seal(OType(42)).unwrap();
     // Sealed: unusable in transit.
     assert!(sealed.check_access(0, 1, false).is_err());
     let usable = sealed.unseal(OType(42)).unwrap();
     let vcpu = os.img.gates.ctx(os.roles.net).vcpu;
     let mut back = [0u8; 14];
-    os.img.machine.read_via_cap(vcpu, &usable, 0, &mut back).unwrap();
+    os.img
+        .machine
+        .read_via_cap(vcpu, &usable, 0, &mut back)
+        .unwrap();
     assert_eq!(&back, b"argument-bytes");
     // Out of derived bounds: refused even inside the shared buffer.
-    assert!(os.img.machine.read_via_cap(vcpu, &usable, 10, &mut back).is_err());
+    assert!(os
+        .img
+        .machine
+        .read_via_cap(vcpu, &usable, 10, &mut back)
+        .is_err());
 }
 
 #[test]

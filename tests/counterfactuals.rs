@@ -97,7 +97,11 @@ fn boot(model: CompartmentModel) -> Os {
 
 #[test]
 fn relocating_semaphores_makes_the_nw_sched_merge_pay_off() {
-    let params = IperfParams { recv_buf: 256, total_bytes: 256 * 1024, ..IperfParams::default() };
+    let params = IperfParams {
+        recv_buf: 256,
+        total_bytes: 256 * 1024,
+        ..IperfParams::default()
+    };
 
     // Paper layout: semaphores in libc. Merging NW+sched is pointless.
     let merged_sems_in_libc = run_on(boot(CompartmentModel::NwAndSchedRest), &params);
@@ -126,7 +130,11 @@ fn relocated_semaphores_do_not_help_the_split_model() {
     // semaphores into the stack compartment relocates rather than
     // removes the crossing pattern — the gain should be much smaller
     // than for the merged model.
-    let params = IperfParams { recv_buf: 256, total_bytes: 256 * 1024, ..IperfParams::default() };
+    let params = IperfParams {
+        recv_buf: 256,
+        total_bytes: 256 * 1024,
+        ..IperfParams::default()
+    };
     let libc_sems = run_on(boot(CompartmentModel::NwSchedRest), &params);
     let mut os = boot(CompartmentModel::NwSchedRest);
     os.relocate_semaphores(os.roles.net);

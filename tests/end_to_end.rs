@@ -29,14 +29,22 @@ fn iperf_runs_on_every_backend() {
             total_bytes: 128 * 1024,
             ..IperfParams::default()
         });
-        assert!(r.bytes >= 128 * 1024, "{model:?}/{backend:?} transferred {} bytes", r.bytes);
+        assert!(
+            r.bytes >= 128 * 1024,
+            "{model:?}/{backend:?} transferred {} bytes",
+            r.bytes
+        );
         assert!(r.mbps > 0.0);
     }
 }
 
 #[test]
 fn redis_runs_on_every_backend() {
-    for backend in [BackendChoice::MpkShared, BackendChoice::MpkSwitched, BackendChoice::VmRpc] {
+    for backend in [
+        BackendChoice::MpkShared,
+        BackendChoice::MpkSwitched,
+        BackendChoice::VmRpc,
+    ] {
         for mix in [Mix::Set, Mix::Get] {
             let r = run_redis(&RedisParams {
                 model: CompartmentModel::NwOnly,
@@ -118,7 +126,10 @@ fn gate_crossings_scale_with_isolation_granularity() {
     let nw_sched = count(CompartmentModel::NwSchedRest, BackendChoice::MpkShared);
     assert_eq!(none, 0);
     assert!(nw > 0);
-    assert!(nw_sched > nw, "finer compartments mean more crossings ({nw_sched} vs {nw})");
+    assert!(
+        nw_sched > nw,
+        "finer compartments mean more crossings ({nw_sched} vs {nw})"
+    );
 }
 
 #[test]

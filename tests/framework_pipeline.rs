@@ -40,7 +40,10 @@ fn paper_walkthrough_from_specs_to_booted_image() {
         .with_library(LibraryConfig::new(raw, LibRole::Other));
     let p = plan(cfg).unwrap();
     assert_eq!(p.num_compartments, 2);
-    assert!(audit(&p).is_empty(), "auto-derived plans are violation-free");
+    assert!(
+        audit(&p).is_empty(),
+        "auto-derived plans are violation-free"
+    );
 
     // 4. Boot it.
     let img = instantiate(p).unwrap();
@@ -53,7 +56,10 @@ fn hardened_variant_boots_into_a_single_compartment() {
     let raw = LibSpec::unsafe_c("rawlib");
     let sh = suggest_sh(&raw);
     let cfg = ImageConfig::new("hardened", BackendChoice::MpkShared)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(raw, LibRole::Other)
                 .with_sh(sh)
@@ -74,7 +80,9 @@ fn audit_flags_unsafe_manual_colocation_and_auto_fixes_it() {
             sched = sched.in_compartment(0);
             raw = raw.in_compartment(0);
         }
-        ImageConfig::new("audit", BackendChoice::MpkShared).with_library(sched).with_library(raw)
+        ImageConfig::new("audit", BackendChoice::MpkShared)
+            .with_library(sched)
+            .with_library(raw)
     };
     let forced = plan(mk(true)).unwrap();
     assert!(!audit(&forced).is_empty());
@@ -86,7 +94,10 @@ fn audit_flags_unsafe_manual_colocation_and_auto_fixes_it() {
 #[test]
 fn exploration_objectives_agree_with_measured_orderings() {
     let base = ImageConfig::new("dse", BackendChoice::None)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(LibSpec::unsafe_c("lwip"), LibRole::NetStack)
                 .with_analysis(Analysis::well_behaved()),
@@ -119,7 +130,10 @@ fn exploration_objectives_agree_with_measured_orderings() {
         .map(|c| c.cycles)
         .min()
         .expect("VM candidates exist");
-    assert!(best.cycles < vm_cost, "objective B must not pick the most expensive gate");
+    assert!(
+        best.cycles < vm_cost,
+        "objective B must not pick the most expensive gate"
+    );
 
     // With an unlimited budget, objective A reaches full mitigation.
     let secure = max_security_within_budget(cands.clone(), u64::MAX).unwrap();
@@ -141,14 +155,28 @@ fn api_wrappers_follow_the_trust_boundaries_of_the_plan() {
     // the MPK split includes them at the boundary — §5 made executable.
     let mk = |backend| {
         let cfg = ImageConfig::new("wrap", backend)
-            .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
-            .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+            .with_library(LibraryConfig::new(
+                LibSpec::verified_scheduler(),
+                LibRole::Scheduler,
+            ))
+            .with_library(LibraryConfig::new(
+                LibSpec::unsafe_c("rawlib"),
+                LibRole::Other,
+            ));
         plan(cfg).unwrap()
     };
     let baseline = generate_wrappers(&mk(BackendChoice::None));
-    assert_eq!(baseline.enabled_count(), 0, "one trust domain: checks elided");
+    assert_eq!(
+        baseline.enabled_count(),
+        0,
+        "one trust domain: checks elided"
+    );
     let split = generate_wrappers(&mk(BackendChoice::MpkShared));
-    assert_eq!(split.enabled_count(), 3, "cross-domain callers: checks included");
+    assert_eq!(
+        split.enabled_count(),
+        3,
+        "cross-domain callers: checks included"
+    );
     let w = split.get("uksched_verified", "thread_add").unwrap();
     assert!(w.checks_enabled());
     assert_eq!(w.preconditions, vec!["thread not already added"]);
@@ -156,7 +184,9 @@ fn api_wrappers_follow_the_trust_boundaries_of_the_plan() {
 
 #[test]
 fn inferred_metadata_flows_through_the_whole_pipeline() {
-    use flexos::spec::{infer_analysis, infer_spec, BehaviorTrace, GrantKind, ObservedRegion, Region};
+    use flexos::spec::{
+        infer_analysis, infer_spec, BehaviorTrace, GrantKind, ObservedRegion, Region,
+    };
     // Trace a well-behaved run of a to-be-ported library…
     let mut t = BehaviorTrace::new("ported_lib");
     t.read(ObservedRegion::Own)
@@ -170,11 +200,17 @@ fn inferred_metadata_flows_through_the_whole_pipeline() {
         .inbound(GrantKind::Write(Region::Shared));
     // …infer its metadata, plan, and boot.
     let cfg = ImageConfig::new("inferred", BackendChoice::MpkShared)
-        .with_library(LibraryConfig::new(LibSpec::verified_scheduler(), LibRole::Scheduler))
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
         .with_library(
             LibraryConfig::new(infer_spec(&t), LibRole::Other).with_analysis(infer_analysis(&t)),
         )
-        .with_library(LibraryConfig::new(LibSpec::unsafe_c("rawlib"), LibRole::Other));
+        .with_library(LibraryConfig::new(
+            LibSpec::unsafe_c("rawlib"),
+            LibRole::Other,
+        ));
     let p = plan(cfg).unwrap();
     // Well-behaved inferred spec co-locates with the verified scheduler;
     // the raw library is split off.

@@ -11,7 +11,11 @@ use flexos_apps::redis::{run_redis, Mix, RedisParams};
 use flexos_apps::{CompartmentModel, SchedKind};
 
 fn iperf(params: IperfParams) -> f64 {
-    run_iperf(&IperfParams { total_bytes: 256 * 1024, ..params }).mbps
+    run_iperf(&IperfParams {
+        total_bytes: 256 * 1024,
+        ..params
+    })
+    .mbps
 }
 
 fn redis(params: RedisParams) -> f64 {
@@ -22,8 +26,14 @@ fn redis(params: RedisParams) -> f64 {
 
 #[test]
 fn fig3_mpk_slowdown_is_2_to_3x_at_small_buffers_and_converges() {
-    let base_small = iperf(IperfParams { recv_buf: 64, ..IperfParams::default() });
-    let base_large = iperf(IperfParams { recv_buf: 16 * 1024, ..IperfParams::default() });
+    let base_small = iperf(IperfParams {
+        recv_buf: 64,
+        ..IperfParams::default()
+    });
+    let base_large = iperf(IperfParams {
+        recv_buf: 16 * 1024,
+        ..IperfParams::default()
+    });
     for backend in [BackendChoice::MpkShared, BackendChoice::MpkSwitched] {
         let small = iperf(IperfParams {
             model: CompartmentModel::NwOnly,
@@ -52,20 +62,41 @@ fn fig3_mpk_slowdown_is_2_to_3x_at_small_buffers_and_converges() {
 
 #[test]
 fn fig3_sh_on_netstack_hurts_small_buffers_then_converges() {
-    let cfg = |recv_buf| IperfParams { recv_buf, sh_on: vec!["lwip".into()], ..IperfParams::default() };
-    let base_small = iperf(IperfParams { recv_buf: 64, ..IperfParams::default() });
-    let base_large = iperf(IperfParams { recv_buf: 16 * 1024, ..IperfParams::default() });
+    let cfg = |recv_buf| IperfParams {
+        recv_buf,
+        sh_on: vec!["lwip".into()],
+        ..IperfParams::default()
+    };
+    let base_small = iperf(IperfParams {
+        recv_buf: 64,
+        ..IperfParams::default()
+    });
+    let base_large = iperf(IperfParams {
+        recv_buf: 16 * 1024,
+        ..IperfParams::default()
+    });
     let sh_small = iperf(cfg(64));
     let sh_large = iperf(cfg(16 * 1024));
     let small_slowdown = base_small / sh_small;
-    assert!((1.5..=3.5).contains(&small_slowdown), "SH small: {small_slowdown:.2}x");
-    assert!(base_large / sh_large < 1.25, "SH large: {:.2}x", base_large / sh_large);
+    assert!(
+        (1.5..=3.5).contains(&small_slowdown),
+        "SH small: {small_slowdown:.2}x"
+    );
+    assert!(
+        base_large / sh_large < 1.25,
+        "SH large: {:.2}x",
+        base_large / sh_large
+    );
 }
 
 #[test]
 fn fig3_vm_rpc_needs_much_larger_buffers_to_catch_up() {
     let xen_base = |recv_buf| {
-        iperf(IperfParams { recv_buf, hypervisor: Hypervisor::Xen, ..IperfParams::default() })
+        iperf(IperfParams {
+            recv_buf,
+            hypervisor: Hypervisor::Xen,
+            ..IperfParams::default()
+        })
     };
     let vm = |recv_buf| {
         iperf(IperfParams {
@@ -87,7 +118,10 @@ fn fig3_vm_rpc_needs_much_larger_buffers_to_catch_up() {
 #[test]
 fn fig3_xen_baseline_trails_kvm_baseline() {
     let kvm = iperf(IperfParams::default());
-    let xen = iperf(IperfParams { hypervisor: Hypervisor::Xen, ..IperfParams::default() });
+    let xen = iperf(IperfParams {
+        hypervisor: Hypervisor::Xen,
+        ..IperfParams::default()
+    });
     assert!(xen < kvm);
 }
 
@@ -96,23 +130,41 @@ fn fig3_xen_baseline_trails_kvm_baseline() {
 #[test]
 fn table1_per_component_sh_ordering_matches_the_paper() {
     let run = |sh_on: Vec<String>| {
-        iperf(IperfParams { recv_buf: 8 * 1024, sh_on, ..IperfParams::default() })
+        iperf(IperfParams {
+            recv_buf: 8 * 1024,
+            sh_on,
+            ..IperfParams::default()
+        })
     };
     let baseline = run(Vec::new());
     let sched = run(vec!["uksched".into()]);
     let net = run(vec!["lwip".into()]);
     let libc = run(vec!["libc".into()]);
-    let all = run(
-        ["iperf", "libc", "ukalloc", "uknetdev", "lwip", "uksched"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
-    );
+    let all = run(["iperf", "libc", "ukalloc", "uknetdev", "lwip", "uksched"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect());
     // Paper: scheduler ~1%, NW ~6%, LibC ~2.3x, everything ~6x.
-    assert!(baseline / sched < 1.08, "scheduler SH: {:.2}x", baseline / sched);
-    assert!((1.02..1.35).contains(&(baseline / net)), "NW SH: {:.2}x", baseline / net);
-    assert!((1.9..2.9).contains(&(baseline / libc)), "LibC SH: {:.2}x", baseline / libc);
-    assert!(baseline / all > 3.5, "whole-system SH: {:.2}x", baseline / all);
+    assert!(
+        baseline / sched < 1.08,
+        "scheduler SH: {:.2}x",
+        baseline / sched
+    );
+    assert!(
+        (1.02..1.35).contains(&(baseline / net)),
+        "NW SH: {:.2}x",
+        baseline / net
+    );
+    assert!(
+        (1.9..2.9).contains(&(baseline / libc)),
+        "LibC SH: {:.2}x",
+        baseline / libc
+    );
+    assert!(
+        baseline / all > 3.5,
+        "whole-system SH: {:.2}x",
+        baseline / all
+    );
     // Strict ordering.
     assert!(sched > net && net > libc && libc > all);
 }
@@ -121,7 +173,10 @@ fn table1_per_component_sh_ordering_matches_the_paper() {
 
 #[test]
 fn fig4_local_allocator_recovers_part_of_the_sh_cost() {
-    let base = redis(RedisParams { mix: Mix::Set, ..RedisParams::default() });
+    let base = redis(RedisParams {
+        mix: Mix::Set,
+        ..RedisParams::default()
+    });
     let sh = |dedicated| {
         redis(RedisParams {
             model: CompartmentModel::NwOnly,
@@ -135,16 +190,32 @@ fn fig4_local_allocator_recovers_part_of_the_sh_cost() {
     let global = base / sh(false);
     let local = base / sh(true);
     // Paper: ~1.45x with the global allocator, ~1.24x with a local one.
-    assert!((1.25..1.75).contains(&global), "global-alloc slowdown {global:.2}x");
-    assert!((1.05..1.45).contains(&local), "local-alloc slowdown {local:.2}x");
-    assert!(global > local + 0.08, "the local allocator must visibly help");
+    assert!(
+        (1.25..1.75).contains(&global),
+        "global-alloc slowdown {global:.2}x"
+    );
+    assert!(
+        (1.05..1.45).contains(&local),
+        "local-alloc slowdown {local:.2}x"
+    );
+    assert!(
+        global > local + 0.08,
+        "the local allocator must visibly help"
+    );
 }
 
 #[test]
 fn fig4_verified_scheduler_stays_within_6_percent() {
     for mix in [Mix::Set, Mix::Get] {
-        let coop = redis(RedisParams { mix, ..RedisParams::default() });
-        let verified = redis(RedisParams { mix, sched: SchedKind::Verified, ..RedisParams::default() });
+        let coop = redis(RedisParams {
+            mix,
+            ..RedisParams::default()
+        });
+        let verified = redis(RedisParams {
+            mix,
+            sched: SchedKind::Verified,
+            ..RedisParams::default()
+        });
         let overhead = coop / verified - 1.0;
         assert!(
             (0.0..=0.08).contains(&overhead),
@@ -159,7 +230,13 @@ fn fig4_verified_scheduler_stays_within_6_percent() {
 #[test]
 fn fig5_isolation_granularity_ordering() {
     let base = redis(RedisParams::default());
-    let get = |model, backend| redis(RedisParams { model, backend, ..RedisParams::default() });
+    let get = |model, backend| {
+        redis(RedisParams {
+            model,
+            backend,
+            ..RedisParams::default()
+        })
+    };
     let nw_sha = get(CompartmentModel::NwOnly, BackendChoice::MpkShared);
     let nw_sw = get(CompartmentModel::NwOnly, BackendChoice::MpkSwitched);
     let three_sha = get(CompartmentModel::NwSchedRest, BackendChoice::MpkShared);
@@ -167,7 +244,10 @@ fn fig5_isolation_granularity_ordering() {
 
     // Paper: NW-only ≈ 17% slowdown.
     let nw_slowdown = base / nw_sha;
-    assert!((1.08..1.35).contains(&nw_slowdown), "NW-only: {nw_slowdown:.2}x");
+    assert!(
+        (1.08..1.35).contains(&nw_slowdown),
+        "NW-only: {nw_slowdown:.2}x"
+    );
     // Isolating the scheduler too costs more; switched stacks cost more
     // than shared (paper: 1.4x vs 2.25x).
     assert!(three_sha < nw_sha);
@@ -184,8 +264,11 @@ fn fig5_isolation_granularity_ordering() {
 fn fig5_merging_nw_and_sched_does_not_help() {
     // The paper's standout finding, rooted in libc owning the semaphores.
     for backend in [BackendChoice::MpkShared, BackendChoice::MpkSwitched] {
-        let separate =
-            redis(RedisParams { model: CompartmentModel::NwSchedRest, backend, ..RedisParams::default() });
+        let separate = redis(RedisParams {
+            model: CompartmentModel::NwSchedRest,
+            backend,
+            ..RedisParams::default()
+        });
         let merged = redis(RedisParams {
             model: CompartmentModel::NwAndSchedRest,
             backend,
@@ -201,7 +284,10 @@ fn fig5_merging_nw_and_sched_does_not_help() {
 #[test]
 fn fig5_overhead_shrinks_with_payload_size() {
     let slowdown = |payload| {
-        let base = redis(RedisParams { payload, ..RedisParams::default() });
+        let base = redis(RedisParams {
+            payload,
+            ..RedisParams::default()
+        });
         let iso = redis(RedisParams {
             payload,
             model: CompartmentModel::NwSchedRest,
@@ -228,5 +314,8 @@ fn context_switch_latencies_match_the_paper() {
     let coop_ns = cycles_to_nanos(CoopScheduler::new().switch_cost(&costs));
     let verified_ns = cycles_to_nanos(VerifiedScheduler::new().switch_cost(&costs));
     assert!((coop_ns - 76.6).abs() < 1.0, "C scheduler: {coop_ns:.1} ns");
-    assert!((verified_ns - 218.6).abs() < 1.0, "verified: {verified_ns:.1} ns");
+    assert!(
+        (verified_ns - 218.6).abs() < 1.0,
+        "verified: {verified_ns:.1} ns"
+    );
 }

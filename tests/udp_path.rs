@@ -27,10 +27,21 @@ fn udp_echo_round_trip(backend: BackendChoice) {
 
     // Client fires a datagram at the echo port.
     let c_sock = client.net.udp_bind(40000).unwrap();
-    client.m.write(client.vcpu, client.buf, b"udp-ping").unwrap();
+    client
+        .m
+        .write(client.vcpu, client.buf, b"udp-ping")
+        .unwrap();
     client
         .net
-        .udp_send_to(&mut client.m, client.vcpu, c_sock, client.buf, 8, SERVER_IP, 7)
+        .udp_send_to(
+            &mut client.m,
+            client.vcpu,
+            c_sock,
+            client.buf,
+            8,
+            SERVER_IP,
+            7,
+        )
         .unwrap();
     client.poll();
     exchange(&mut link, &mut client, &mut os);
@@ -43,7 +54,8 @@ fn udp_echo_round_trip(backend: BackendChoice) {
     os.img.read(rx, &mut got).unwrap();
     assert_eq!(&got, b"udp-ping");
     os.img.write(tx, b"udp-pong").unwrap();
-    os.udp_send_to(server_sock, tx, 8, src_ip, src_port).unwrap();
+    os.udp_send_to(server_sock, tx, 8, src_ip, src_port)
+        .unwrap();
     os.poll_net().unwrap();
     exchange(&mut link, &mut client, &mut os);
     client.poll();
@@ -51,11 +63,20 @@ fn udp_echo_round_trip(backend: BackendChoice) {
     // Client sees the echo.
     let (rn, rip, rport) = client
         .net
-        .udp_recv_from(&mut client.m, client.vcpu, c_sock, Addr(client.buf.0 + 1024), 64)
+        .udp_recv_from(
+            &mut client.m,
+            client.vcpu,
+            c_sock,
+            Addr(client.buf.0 + 1024),
+            64,
+        )
         .unwrap();
     assert_eq!((rn, rip, rport), (8, SERVER_IP, 7));
     let mut back = vec![0u8; 8];
-    client.m.read(VcpuId(0), Addr(client.buf.0 + 1024), &mut back).unwrap();
+    client
+        .m
+        .read(VcpuId(0), Addr(client.buf.0 + 1024), &mut back)
+        .unwrap();
     assert_eq!(&back, b"udp-pong");
 }
 
