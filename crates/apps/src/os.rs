@@ -26,7 +26,7 @@ use flexos::explore::sh_overhead_percent;
 use flexos::gate::CompartmentId;
 use flexos_backends::{instantiate_with, BootImage, BootOptions};
 use flexos_kernel::alloc::AllocMode;
-use flexos_kernel::exec::KernelHal;
+use flexos_kernel::exec::{Executor, KernelHal};
 use flexos_kernel::sched::ThreadId;
 use flexos_kernel::sync::{SemId, SemTable, WaitChannel};
 use flexos_machine::{Access, Addr, Machine, Result, VcpuId};
@@ -35,6 +35,7 @@ use flexos_net::stack::{NetError, NetResult, NetStack, SocketId};
 use flexos_net::wire::Mac;
 use flexos_sh::runtime::ShRuntime;
 use flexos_sh::shadow::REDZONE;
+use flexos_trace::{StatsSnapshot, TraceRegistry};
 use std::collections::BTreeMap;
 
 /// Compartment of each functional role (resolved from the image plan).
@@ -275,6 +276,36 @@ impl Os {
     /// OS counters.
     pub fn stats(&self) -> OsStats {
         self.stats
+    }
+
+    /// Aggregates every subsystem's telemetry into one [`StatsSnapshot`]:
+    /// gate crossings from the gate runtime, scheduler activity from
+    /// `exec` (when the caller drove one), allocator pressure from the
+    /// heap service, faults from the machine (pkey violations attributed
+    /// to the compartment owning the key), and packet counters from the
+    /// network stack.
+    pub fn stats_snapshot(&self, exec: Option<&Executor<Os>>) -> StatsSnapshot {
+        let n = self.img.gates.len();
+        let names: Vec<String> = (0..n)
+            .map(|c| self.img.gates.ctx(CompartmentId(c as u16)).name.clone())
+            .collect();
+        let mut owners: BTreeMap<u16, (u16, String)> = BTreeMap::new();
+        for c in 0..n {
+            let ctx = self.img.gates.ctx(CompartmentId(c as u16));
+            for k in &ctx.keys {
+                owners.insert(k.0 as u16, (c as u16, ctx.name.clone()));
+            }
+        }
+        let mut reg = TraceRegistry::new();
+        reg.set_elapsed(self.img.machine.clock().cycles());
+        reg.add_gates(self.img.gates.trace(), &names);
+        if let Some(ex) = exec {
+            reg.add_sched(ex.trace(), self.roles.sched.0);
+        }
+        reg.add_allocs(self.img.heaps.trace(), &names);
+        reg.add_faults(self.img.machine.fault_trace(), |k| owners.get(&k).cloned());
+        reg.add_net(self.net.trace(), self.net.retransmits(), self.roles.net.0);
+        reg.finish()
     }
 
     fn taxed(base: u64, pct: u64) -> u64 {

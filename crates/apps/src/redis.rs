@@ -18,8 +18,10 @@ use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler}
 use flexos_machine::Addr;
 use flexos_net::nic::Link;
 use flexos_net::stack::{NetError, SocketId};
+use flexos_trace::StatsSnapshot;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt;
 use std::rc::Rc;
 
 /// The Redis port.
@@ -98,6 +100,23 @@ pub struct RedisResult {
     /// Gate crossings on the server during measurement.
     pub crossings: u64,
 }
+
+/// A remote-side failure during a Redis run: the server answered a
+/// request with a RESP error. Propagated (not panicked) so a misbehaving
+/// compartment degrades a benchmark run instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedisRunError {
+    /// The server's error reply.
+    pub reply: String,
+}
+
+impl fmt::Display for RedisRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "redis server replied with error: {}", self.reply)
+    }
+}
+
+impl std::error::Error for RedisRunError {}
 
 /// The in-image Redis server state.
 struct RedisServer {
@@ -294,25 +313,41 @@ impl LoadGen {
         out
     }
 
-    fn consume(&mut self, bytes: &[u8]) {
+    fn consume(&mut self, bytes: &[u8]) -> Result<(), RedisRunError> {
         self.replies.feed(bytes);
         while let Some(v) = self.replies.parse_value() {
             if let RespValue::Error(e) = &v {
-                panic!("redis server replied with error: {e}");
+                return Err(RedisRunError { reply: e.clone() });
             }
             self.completed += 1;
             self.inflight = self.inflight.saturating_sub(1);
         }
+        Ok(())
     }
 }
 
 /// Runs the Redis workload and reports server-side request throughput.
 ///
+/// # Errors
+///
+/// Returns [`RedisRunError`] when the server answers a request with a
+/// RESP error (e.g. a faulting compartment), so callers can degrade a
+/// benchmark run instead of aborting.
+///
 /// # Panics
 ///
-/// Panics if the run makes no progress or the server replies with an
-/// error (harness bugs, not recoverable conditions).
-pub fn run_redis(params: &RedisParams) -> RedisResult {
+/// Panics if the run makes no progress (a harness bug, not a recoverable
+/// condition).
+pub fn run_redis(params: &RedisParams) -> Result<RedisResult, RedisRunError> {
+    run_redis_with_stats(params).map(|(r, _)| r)
+}
+
+/// [`run_redis`] plus the full telemetry snapshot of the server image
+/// (gate crossings, scheduler, allocators, faults, net) for the
+/// `reproduce --stats` report.
+pub fn run_redis_with_stats(
+    params: &RedisParams,
+) -> Result<(RedisResult, StatsSnapshot), RedisRunError> {
     let image = plan(redis_image(params)).expect("redis image plans");
     let mut os = Os::boot(image, SERVER_IP, 1).expect("redis image boots");
     let mut exec = make_executor(params.sched);
@@ -368,7 +403,8 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
                  client: &mut Client,
                  link: &mut Link,
                  load: &mut LoadGen,
-                 target: u64| {
+                 target: u64|
+     -> Result<(), RedisRunError> {
         let mut idle = 0u32;
         while load.completed < target {
             let batch = load.batch();
@@ -384,7 +420,7 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
             client.poll();
             let replies = client.recv_bytes(csid, 64 * 1024);
             let before = load.completed;
-            load.consume(&replies);
+            load.consume(&replies)?;
             if load.completed == before {
                 idle += 1;
                 if idle > 200 {
@@ -396,12 +432,13 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
                 idle = 0;
             }
         }
+        Ok(())
     };
 
     // Preload phase (GET mixes need populated keys); not measured.
     if params.mix == Mix::Get {
         let mut preload = LoadGen::new(params.payload, Mix::Set, 16);
-        drive(&mut os, &mut exec, &mut client, &mut link, &mut preload, 16);
+        drive(&mut os, &mut exec, &mut client, &mut link, &mut preload, 16)?;
     }
 
     // Measured phase.
@@ -414,15 +451,16 @@ pub fn run_redis(params: &RedisParams) -> RedisResult {
         &mut link,
         &mut load,
         params.ops,
-    );
+    )?;
     let cycles = os.img.machine.clock().cycles() - start_cycles;
     let ops = load.completed;
-    RedisResult {
+    let result = RedisResult {
         ops,
         cycles,
         mreq_per_s: ops as f64 / (cycles as f64 / flexos_machine::CPU_FREQ_HZ as f64) / 1e6,
         crossings: os.img.gates.stats().crossings - start_crossings,
-    }
+    };
+    Ok((result, os.stats_snapshot(Some(&exec))))
 }
 
 #[cfg(test)]
@@ -430,7 +468,7 @@ mod tests {
     use super::*;
 
     fn quick(params: RedisParams) -> RedisResult {
-        run_redis(&RedisParams { ops: 300, ..params })
+        run_redis(&RedisParams { ops: 300, ..params }).expect("redis run succeeds")
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn bench_topology(c: &mut Criterion) {
         };
         g.bench_function(name, |b| {
             b.iter(|| {
-                let r = run_redis(&params);
+                let r = run_redis(&params).expect("redis run");
                 r.mreq_per_s
             })
         });

@@ -16,7 +16,7 @@ fn bench_fig4(c: &mut Criterion) {
                 &params,
                 |b, params| {
                     b.iter(|| {
-                        let r = run_redis(params);
+                        let r = run_redis(params).expect("redis run");
                         assert!(r.ops >= 200);
                         r.mreq_per_s
                     })

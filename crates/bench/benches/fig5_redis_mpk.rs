@@ -40,7 +40,7 @@ fn bench_fig5(c: &mut Criterion) {
     for (name, params) in cases {
         g.bench_with_input(BenchmarkId::from_parameter(&name), &params, |b, params| {
             b.iter(|| {
-                let r = run_redis(params);
+                let r = run_redis(params).expect("redis run");
                 assert!(r.ops >= 200);
                 r.mreq_per_s
             })

@@ -1,8 +1,16 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|all] [--quick]
+//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|all]
+//!                  [--quick] [--stats] [--json[=PATH]]
 //! ```
+//!
+//! `--stats` (or the `stats` experiment) runs the Redis/MPK profile from
+//! Figure 5 and prints the per-compartment telemetry report: gate
+//! crossings per (src, dst) pair, cycle-latency percentiles per gate
+//! mechanism, scheduler activity, allocator pressure, faults and the
+//! tail of the event rings. `--json[=PATH]` additionally writes the same
+//! numbers as a JSON document (default `flexos-stats.json`).
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -339,14 +347,226 @@ fn run_explore() {
     println!();
 }
 
+fn run_stats(quick: bool, json: Option<&str>) {
+    use flexos_apps::redis::{run_redis_with_stats, Mix, RedisParams};
+    use flexos_machine::CPU_FREQ_HZ;
+
+    println!("Running the telemetry report (Redis GET, MPK shared stacks, NW+sched/rest)...");
+    let params = RedisParams {
+        model: flexos_apps::CompartmentModel::NwSchedRest,
+        backend: BackendChoice::MpkShared,
+        mix: Mix::Get,
+        ops: if quick { 1_000 } else { 5_000 },
+        ..RedisParams::default()
+    };
+    let (result, snap) = match run_redis_with_stats(&params) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("stats run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let secs = snap.elapsed_cycles as f64 / CPU_FREQ_HZ as f64;
+    println!(
+        "\nWorkload: {} GET requests, {:.3} MTps, {} gate crossings, \
+         {} cycles ({:.3} ms simulated)",
+        result.ops,
+        result.mreq_per_s,
+        result.crossings,
+        result.cycles,
+        secs * 1e3,
+    );
+    println!(
+        "Same-compartment calls compiled to direct calls: {}",
+        snap.direct_calls
+    );
+
+    let mut pairs = Table::new(
+        "Gate crossings per (src -> dst) compartment pair",
+        &[
+            "mechanism",
+            "src -> dst",
+            "crossings",
+            "crossings/s",
+            "bytes",
+            "gate cycles",
+        ],
+    );
+    for r in &snap.gate_pairs {
+        pairs.row(vec![
+            r.mechanism.to_string(),
+            format!("{} -> {}", r.src_name, r.dst_name),
+            r.crossings.to_string(),
+            format!("{:.0}", r.crossings as f64 / secs.max(f64::MIN_POSITIVE)),
+            r.bytes.to_string(),
+            r.gate_cycles.to_string(),
+        ]);
+    }
+    println!("{}", pairs.render());
+
+    let mut mechs = Table::new(
+        "Crossing latency per gate mechanism (cycles, log2-bucket bounds)",
+        &["mechanism", "count", "p50", "p90", "p99", "mean", "max"],
+    );
+    for r in &snap.mechanisms {
+        mechs.row(vec![
+            r.mechanism.to_string(),
+            r.count.to_string(),
+            r.p50.to_string(),
+            r.p90.to_string(),
+            r.p99.to_string(),
+            r.mean.to_string(),
+            r.max.to_string(),
+        ]);
+    }
+    println!("{}", mechs.render());
+
+    let mut sched = Table::new(
+        "Scheduler",
+        &["ctx switches", "steps", "avg rq depth", "max rq depth"],
+    );
+    sched.row(vec![
+        snap.sched.switches.to_string(),
+        snap.sched.steps.to_string(),
+        format!("{:.3}", snap.sched.avg_depth_milli() as f64 / 1000.0),
+        snap.sched.depth_max.to_string(),
+    ]);
+    println!("{}", sched.render());
+    if !snap.sched.task_cycles.is_empty() {
+        let mut tasks = Table::new("Per-task run time", &["thread", "cycles"]);
+        for &(tid, cy) in &snap.sched.task_cycles {
+            tasks.row(vec![format!("tid {tid}"), cy.to_string()]);
+        }
+        println!("{}", tasks.render());
+    }
+
+    let mut allocs = Table::new(
+        "Allocator pressure per compartment",
+        &[
+            "compartment",
+            "allocs",
+            "frees",
+            "bytes in use",
+            "peak bytes",
+            "failures",
+        ],
+    );
+    for r in &snap.allocs {
+        allocs.row(vec![
+            r.name.clone(),
+            r.allocs.to_string(),
+            r.frees.to_string(),
+            r.bytes_in_use.to_string(),
+            r.peak_bytes.to_string(),
+            r.failures.to_string(),
+        ]);
+    }
+    println!("{}", allocs.render());
+
+    if snap.fault_kinds.is_empty() {
+        println!("\nFaults: none recorded.");
+    } else {
+        let mut faults = Table::new("Faults by class", &["kind", "count"]);
+        for r in &snap.fault_kinds {
+            faults.row(vec![r.kind.to_string(), r.count.to_string()]);
+        }
+        println!("{}", faults.render());
+        if !snap.fault_compartments.is_empty() {
+            let mut fc = Table::new(
+                "Pkey violations by owning compartment",
+                &["compartment", "count"],
+            );
+            for r in &snap.fault_compartments {
+                fc.row(vec![r.name.clone(), r.count.to_string()]);
+            }
+            println!("{}", fc.render());
+        }
+    }
+
+    let mut net = Table::new(
+        "Network stack",
+        &[
+            "rx segments",
+            "tx segments",
+            "rx datagrams",
+            "demux drops",
+            "retransmits",
+        ],
+    );
+    net.row(vec![
+        snap.net.rx_segments.to_string(),
+        snap.net.tx_segments.to_string(),
+        snap.net.rx_datagrams.to_string(),
+        snap.net.drops.to_string(),
+        snap.net.retransmits.to_string(),
+    ]);
+    println!("{}", net.render());
+
+    if !snap.events.is_empty() {
+        let mut ev = Table::new(
+            "Event-ring tail (most recent, all compartments)",
+            &["cycles", "compartment", "kind", "detail", "seq"],
+        );
+        for e in &snap.events {
+            ev.row(vec![
+                e.cycles.to_string(),
+                format!("cpt {}", e.compartment),
+                e.kind.to_string(),
+                e.detail.to_string(),
+                e.seq.to_string(),
+            ]);
+        }
+        println!("{}", ev.render());
+        println!(
+            "({} older events overwritten in bounded rings)",
+            snap.events_overwritten
+        );
+    }
+
+    if let Some(path) = json {
+        let doc = format!(
+            "{{\"workload\":{{\"experiment\":\"redis-get-mpk-shared\",\
+             \"ops\":{},\"cycles\":{},\"mreq_per_s\":{},\"crossings\":{}}},\
+             \"stats\":{}}}",
+            result.ops,
+            result.cycles,
+            result.mreq_per_s,
+            result.crossings,
+            snap.to_json()
+        );
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nWrote JSON stats to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let stats_flag = args.iter().any(|a| a == "--stats");
+    let json: Option<String> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some("flexos-stats.json".to_string())
+        } else {
+            a.strip_prefix("--json=").map(str::to_string)
+        }
+    });
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "all".into());
+        .unwrap_or_else(|| {
+            if stats_flag {
+                "stats".into()
+            } else {
+                "all".into()
+            }
+        });
     let all = what == "all";
     println!(
         "FlexOS-rs reproduction harness (deterministic cycle simulation @2.1 GHz{})",
@@ -376,6 +596,9 @@ fn main() {
     if all || what == "cheri" {
         run_cheri(quick);
     }
+    if all || what == "stats" || stats_flag {
+        run_stats(quick, json.as_deref());
+    }
     if !all
         && ![
             "fig3",
@@ -386,12 +609,13 @@ fn main() {
             "ctxswitch",
             "coloring",
             "explore",
+            "stats",
         ]
         .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \
-             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|all"
+             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|all"
         );
         std::process::exit(2);
     }

@@ -7,7 +7,7 @@
 
 use flexos::build::{BackendChoice, Hypervisor};
 use flexos_apps::iperf::{run_iperf, IperfParams};
-use flexos_apps::redis::{run_redis, Mix, RedisParams};
+use flexos_apps::redis::{run_redis, Mix, RedisParams, RedisResult};
 use flexos_apps::{CompartmentModel, SchedKind};
 use flexos_kernel::exec::{Executor, KernelHal, Step};
 use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
@@ -288,6 +288,20 @@ pub struct Fig4Point {
 /// The Figure 4/5 payload sizes.
 pub const REDIS_PAYLOADS: [usize; 3] = [5, 50, 500];
 
+/// Runs Redis, degrading a failed run to a zero-throughput point (with a
+/// warning on stderr) instead of aborting the whole figure.
+fn run_redis_or_zero(params: &RedisParams) -> RedisResult {
+    run_redis(params).unwrap_or_else(|e| {
+        eprintln!("warning: redis run failed ({e}); recording zero-throughput point");
+        RedisResult {
+            ops: 0,
+            cycles: 0,
+            mreq_per_s: 0.0,
+            crossings: 0,
+        }
+    })
+}
+
 /// Runs Figure 4: Redis throughput under SH configurations and the
 /// verified scheduler.
 pub fn fig4(quick: bool) -> Vec<Fig4Point> {
@@ -296,7 +310,7 @@ pub fn fig4(quick: bool) -> Vec<Fig4Point> {
     for config in Fig4Config::ALL {
         for &payload in payloads {
             for mix in [Mix::Set, Mix::Get] {
-                let r = run_redis(&config.params(mix, payload, redis_ops(quick)));
+                let r = run_redis_or_zero(&config.params(mix, payload, redis_ops(quick)));
                 out.push(Fig4Point {
                     config,
                     mix,
@@ -330,7 +344,7 @@ pub fn fig5(quick: bool) -> Vec<Fig5Point> {
     let mut out = Vec::new();
     for &payload in payloads {
         // Baseline bar.
-        let r = run_redis(&RedisParams {
+        let r = run_redis_or_zero(&RedisParams {
             payload,
             mix: Mix::Get,
             ops: redis_ops(quick),
@@ -348,7 +362,7 @@ pub fn fig5(quick: bool) -> Vec<Fig5Point> {
             CompartmentModel::NwAndSchedRest,
         ] {
             for backend in [BackendChoice::MpkShared, BackendChoice::MpkSwitched] {
-                let r = run_redis(&RedisParams {
+                let r = run_redis_or_zero(&RedisParams {
                     model,
                     backend,
                     payload,

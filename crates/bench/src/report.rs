@@ -22,16 +22,44 @@ impl Table {
     }
 
     /// Appends a row.
+    ///
+    /// Arity is checked with a `debug_assert!` — a mismatched row in a
+    /// release-mode report run pads (or truncates at render time) instead
+    /// of aborting a long benchmark session. Use [`Table::try_row`] to
+    /// handle the mismatch explicitly.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
     }
 
-    /// Renders with aligned columns.
+    /// Appends a row, returning an error instead of asserting when the
+    /// cell count does not match the header count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowArityError`] (and leaves the table unchanged) when
+    /// `cells.len() != self.headers.len()`.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), RowArityError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowArityError {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(())
+    }
+
+    /// Renders with aligned columns. Ragged rows (possible in release
+    /// builds, where [`Table::row`] only debug-asserts arity) render with
+    /// their own cells; extra cells get their own width.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(0);
+                }
                 widths[i] = widths[i].max(cell.len());
             }
         }
@@ -55,7 +83,62 @@ impl Table {
         }
         out
     }
+
+    /// Renders as RFC-4180-style CSV: a header line then one line per
+    /// row. Cells containing commas, quotes or newlines are quoted, with
+    /// embedded quotes doubled.
+    pub fn render_csv(&self) -> String {
+        fn csv_cell(c: &str) -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| csv_cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| csv_cell(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
 }
+
+/// A row was appended with a cell count different from the table's
+/// header count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowArityError {
+    /// Number of headers (expected cells per row).
+    pub expected: usize,
+    /// Number of cells actually supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for RowArityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row arity mismatch: expected {} cells, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for RowArityError {}
 
 /// Formats a throughput in Mb/s the way the paper prints it
 /// (`496 Mb/s` / `2.94 Gb/s`).
@@ -106,10 +189,40 @@ mod tests {
         assert_eq!(fmt_slowdown(1.0, 0.0), "n/a");
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "arity")]
-    fn row_arity_is_checked() {
+    fn row_arity_is_checked_in_debug() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_row_reports_arity_mismatch() {
+        let mut t = Table::new("x", &["a", "b"]);
+        let err = t.try_row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            RowArityError {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("expected 2"));
+        assert!(t.rows.is_empty());
+        t.try_row(vec!["1".into(), "2".into()]).unwrap();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("Demo", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        t.row(vec!["plain".into(), "ok".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,note");
+        assert_eq!(lines[1], "\"a,b\",\"say \"\"hi\"\"\"");
+        assert_eq!(lines[2], "plain,ok");
     }
 }

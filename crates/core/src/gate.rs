@@ -16,6 +16,7 @@
 
 use crate::spec::transform::ShSet;
 use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
+use flexos_trace::GateTrace;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
@@ -182,6 +183,7 @@ pub struct GateRuntime {
     pair_gates: BTreeMap<(CompartmentId, CompartmentId), Rc<dyn Gate>>,
     stack: Vec<CompartmentId>,
     stats: GateStats,
+    trace: GateTrace,
 }
 
 impl fmt::Debug for GateRuntime {
@@ -220,6 +222,7 @@ impl GateRuntime {
             pair_gates: BTreeMap::new(),
             stack: vec![initial],
             stats: GateStats::default(),
+            trace: GateTrace::new(),
         }
     }
 
@@ -270,6 +273,12 @@ impl GateRuntime {
     /// Resets statistics (benchmark warm-up support).
     pub fn reset_stats(&mut self) {
         self.stats = GateStats::default();
+        self.trace.reset();
+    }
+
+    /// Per-pair/per-mechanism crossing telemetry.
+    pub fn trace(&self) -> &GateTrace {
+        &self.trace
     }
 
     /// The gate-call placeholder: runs `f` inside `target`.
@@ -295,6 +304,7 @@ impl GateRuntime {
         if from == target {
             m.charge(m.costs().func_call);
             self.stats.direct_calls += 1;
+            self.trace.record_direct();
             return f(m, self);
         }
         assert!(
@@ -311,7 +321,8 @@ impl GateRuntime {
             );
             gate.enter(m, from_ctx, to_ctx, arg_bytes)?;
         }
-        self.stats.gate_cycles += m.clock().cycles() - t0;
+        let enter_cycles = m.clock().cycles() - t0;
+        self.stats.gate_cycles += enter_cycles;
         self.stack.push(target);
 
         let result = f(m, self);
@@ -325,9 +336,18 @@ impl GateRuntime {
             );
             gate.exit(m, callee_ctx, caller_ctx, ret_bytes)?;
         }
-        self.stats.gate_cycles += m.clock().cycles() - t1;
+        let exit_cycles = m.clock().cycles() - t1;
+        self.stats.gate_cycles += exit_cycles;
         self.stats.crossings += 1;
         self.stats.bytes_marshalled += arg_bytes + ret_bytes;
+        self.trace.record_crossing(
+            gate.mechanism().label(),
+            from.0,
+            target.0,
+            enter_cycles + exit_cycles,
+            arg_bytes + ret_bytes,
+            t1 + exit_cycles,
+        );
         result
     }
 

@@ -15,6 +15,7 @@
 use super::Allocator;
 use flexos::gate::CompartmentId;
 use flexos_machine::{Addr, Machine, Result};
+use flexos_trace::AllocTrace;
 
 /// Allocator topology of an image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,7 @@ pub enum AllocMode {
 pub struct HeapService {
     mode: AllocMode,
     allocators: Vec<Box<dyn Allocator>>,
+    trace: AllocTrace,
 }
 
 impl HeapService {
@@ -38,6 +40,7 @@ impl HeapService {
         Self {
             mode: AllocMode::Global,
             allocators: vec![alloc],
+            trace: AllocTrace::new(),
         }
     }
 
@@ -51,7 +54,15 @@ impl HeapService {
         Self {
             mode: AllocMode::PerCompartment,
             allocators,
+            trace: AllocTrace::new(),
         }
+    }
+
+    /// Per-compartment allocation telemetry (attributed to the requesting
+    /// compartment even in global mode, which the shared allocator's own
+    /// stats cannot do).
+    pub fn trace(&self) -> &AllocTrace {
+        &self.trace
     }
 
     /// The configured topology.
@@ -79,13 +90,26 @@ impl HeapService {
         align: u64,
     ) -> Result<Addr> {
         let i = self.index(c);
-        self.allocators[i].alloc(m, size, align)
+        match self.allocators[i].alloc(m, size, align) {
+            Ok(a) => {
+                self.trace.on_alloc(c.0, size);
+                Ok(a)
+            }
+            Err(f) => {
+                self.trace.on_fail(c.0, size, m.clock().cycles());
+                Err(f)
+            }
+        }
     }
 
     /// Frees into the allocator serving compartment `c`.
     pub fn free(&mut self, m: &mut Machine, c: CompartmentId, addr: Addr) -> Result<()> {
         let i = self.index(c);
-        self.allocators[i].free(m, addr)
+        let before = self.allocators[i].stats().live_bytes;
+        self.allocators[i].free(m, addr)?;
+        let freed = before.saturating_sub(self.allocators[i].stats().live_bytes);
+        self.trace.on_free(c.0, freed);
+        Ok(())
     }
 
     /// The allocator serving `c` (shared view).

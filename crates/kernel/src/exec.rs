@@ -13,6 +13,7 @@ use crate::sched::{RunQueue, ThreadId};
 use crate::sync::WaitChannel;
 use flexos::gate::CompartmentId;
 use flexos_machine::{Machine, Result};
+use flexos_trace::SchedTrace;
 use std::collections::BTreeMap;
 
 /// What a task reports after one scheduling quantum.
@@ -83,6 +84,7 @@ pub struct Executor<C> {
     next_id: u32,
     last_running: Option<ThreadId>,
     summary: ExecSummary,
+    trace: SchedTrace,
 }
 
 impl<C> std::fmt::Debug for Executor<C> {
@@ -104,6 +106,7 @@ impl<C: KernelHal> Executor<C> {
             next_id: 1,
             last_running: None,
             summary: ExecSummary::default(),
+            trace: SchedTrace::new(),
         }
     }
 
@@ -142,6 +145,11 @@ impl<C: KernelHal> Executor<C> {
         self.summary
     }
 
+    /// Scheduler telemetry: switches, run-queue depth, per-task cycles.
+    pub fn trace(&self) -> &SchedTrace {
+        &self.trace
+    }
+
     fn apply_wakes(&mut self, ctx: &mut C) -> Result<()> {
         for tid in ctx.drain_wakes() {
             if let Some(slot) = self.threads.get_mut(&tid) {
@@ -163,6 +171,7 @@ impl<C: KernelHal> Executor<C> {
             let Some(tid) = self.rq.pick_next() else {
                 break;
             };
+            let depth = self.rq.ready_len();
             let slot = self.threads.get_mut(&tid).expect("scheduled thread exists");
 
             // Context switch: cost + compartment protection restore.
@@ -171,13 +180,18 @@ impl<C: KernelHal> Executor<C> {
                 ctx.machine_mut().charge(cost);
                 ctx.resume_compartment(slot.compartment)?;
                 self.summary.switches += 1;
+                self.trace
+                    .record_switch(ctx.machine_mut().clock().cycles(), tid.0);
                 self.last_running = Some(tid);
             }
 
             // Run one quantum with the task temporarily taken out so the
             // task can borrow the executor-free context.
             let mut task = slot.task.take().expect("task present while scheduled");
+            let quantum_start = ctx.machine_mut().clock().cycles();
             let step = task.step(ctx, tid);
+            let run_cycles = ctx.machine_mut().clock().cycles() - quantum_start;
+            self.trace.record_step(tid.0, run_cycles, depth);
             let slot = self.threads.get_mut(&tid).expect("still present");
             slot.task = Some(task);
             self.summary.steps += 1;

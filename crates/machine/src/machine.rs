@@ -26,6 +26,7 @@ use crate::mem::PhysMem;
 use crate::page::{PageEntry, PageFlags};
 use crate::pkey::{Access, Pkru, ProtKey};
 use crate::vm::{Notification, Vm, VmId};
+use flexos_trace::FaultTrace;
 
 /// First virtual page number of the shared window. Shared regions are
 /// mapped at identical addresses in every VM (paper §3: "mapped in all
@@ -91,6 +92,7 @@ pub struct Machine {
     shared_regions: Vec<SharedRegion>,
     shared_next_vpn: u64,
     gate_token: GateToken,
+    faults: FaultTrace,
 }
 
 impl Machine {
@@ -109,6 +111,7 @@ impl Machine {
             shared_regions: Vec::new(),
             shared_next_vpn: SHARED_WINDOW_FIRST_VPN,
             gate_token: GateToken::fresh(),
+            faults: FaultTrace::new(),
         }
     }
 
@@ -166,7 +169,10 @@ impl Machine {
         flags: PageFlags,
     ) -> Result<Addr> {
         let pages = pages_for(bytes.max(1));
-        let pfns = self.frames.alloc_many(pages)?;
+        let pfns = self
+            .frames
+            .alloc_many(pages)
+            .inspect_err(|f| self.faults.record(f.kind(), None, self.clock.cycles()))?;
         let vmref = &mut self.vms[vm.0 as usize];
         let first = vmref.reserve_vpns(pages);
         for (i, pfn) in pfns.iter().enumerate() {
@@ -309,7 +315,9 @@ impl Machine {
     /// Reads `dst.len()` bytes from `addr` as `vcpu`, enforcing paging and
     /// protection keys, charging cycle costs.
     pub fn read(&mut self, vcpu: VcpuId, addr: Addr, dst: &mut [u8]) -> Result<()> {
-        let chunks = self.translate_range(vcpu, addr, dst.len() as u64, Access::Read)?;
+        let chunks = self
+            .translate_range(vcpu, addr, dst.len() as u64, Access::Read)
+            .map_err(|f| self.trap(f))?;
         self.clock
             .advance(self.costs.mem_access + self.costs.copy_cost(dst.len() as u64));
         let mut off = 0usize;
@@ -323,7 +331,9 @@ impl Machine {
     /// Writes `src` to `addr` as `vcpu`, enforcing paging and protection
     /// keys, charging cycle costs.
     pub fn write(&mut self, vcpu: VcpuId, addr: Addr, src: &[u8]) -> Result<()> {
-        let chunks = self.translate_range(vcpu, addr, src.len() as u64, Access::Write)?;
+        let chunks = self
+            .translate_range(vcpu, addr, src.len() as u64, Access::Write)
+            .map_err(|f| self.trap(f))?;
         self.clock
             .advance(self.costs.mem_access + self.costs.copy_cost(src.len() as u64));
         let mut off = 0usize;
@@ -336,7 +346,9 @@ impl Machine {
 
     /// Fills `[addr, addr+len)` with `value` as `vcpu`.
     pub fn fill(&mut self, vcpu: VcpuId, addr: Addr, len: u64, value: u8) -> Result<()> {
-        let chunks = self.translate_range(vcpu, addr, len, Access::Write)?;
+        let chunks = self
+            .translate_range(vcpu, addr, len, Access::Write)
+            .map_err(|f| self.trap(f))?;
         self.clock
             .advance(self.costs.mem_access + self.costs.copy_cost(len));
         for (pa, run) in chunks {
@@ -408,6 +420,27 @@ impl Machine {
         self.gate_token
     }
 
+    /// Records `f` in the fault trace (with the offending protection key
+    /// for pkey violations) and hands it back — the raise-a-fault path.
+    fn trap(&mut self, f: Fault) -> Fault {
+        let key = match &f {
+            Fault::PkeyViolation { key, .. } => Some(key.0 as u16),
+            _ => None,
+        };
+        self.faults.record(f.kind(), key, self.clock.cycles());
+        f
+    }
+
+    /// Fault telemetry: counts by class and by protection key.
+    pub fn fault_trace(&self) -> &FaultTrace {
+        &self.faults
+    }
+
+    /// Resets fault telemetry (benchmark warm-up support).
+    pub fn reset_fault_trace(&mut self) {
+        self.faults.reset();
+    }
+
     /// Executes `wrpkru` on `vcpu`. Under [`PkruGuard::GateCapability`],
     /// `token` must be the machine's gate token or the write faults —
     /// modelling FlexOS's defenses against unauthorized PKRU writes.
@@ -416,7 +449,7 @@ impl Machine {
             PkruGuard::Off => {}
             PkruGuard::GateCapability => {
                 if token != Some(self.gate_token) {
-                    return Err(Fault::UnauthorizedPkruWrite { attempted: pkru.0 });
+                    return Err(self.trap(Fault::UnauthorizedPkruWrite { attempted: pkru.0 }));
                 }
             }
         }

@@ -20,6 +20,7 @@ use crate::wire::{
     ETHERTYPE_IPV4, ETH_LEN, IPV4_LEN, PROTO_TCP, PROTO_UDP, UDP_LEN,
 };
 use flexos_machine::{Addr, Fault, Machine, VcpuId};
+use flexos_trace::NetTrace;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -150,6 +151,7 @@ pub struct NetStack {
     /// per-granule checks on the stack's buffer handling).
     pub sh_per_16_bytes: u64,
     stats: StackStats,
+    trace: NetTrace,
 }
 
 impl NetStack {
@@ -177,6 +179,7 @@ impl NetStack {
             sh_per_packet: 0,
             sh_per_16_bytes: 0,
             stats: StackStats::default(),
+            trace: NetTrace::new(),
         }
     }
 
@@ -193,6 +196,22 @@ impl NetStack {
     /// Counters.
     pub fn stats(&self) -> StackStats {
         self.stats
+    }
+
+    /// Packet telemetry (counters plus the drop-event ring).
+    pub fn trace(&self) -> &NetTrace {
+        &self.trace
+    }
+
+    /// Total TCP retransmissions across live connections.
+    pub fn retransmits(&self) -> u64 {
+        self.socks
+            .iter()
+            .filter_map(|s| match s {
+                Some(Sock::TcpStream { conn, .. }) => Some(conn.retransmits),
+                _ => None,
+            })
+            .sum()
     }
 
     fn insert(&mut self, s: Sock) -> SocketId {
@@ -474,6 +493,7 @@ impl NetStack {
         self.nic
             .push_tx(build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload));
         self.stats.tx_segments += 1;
+        self.trace.on_tx_segment();
     }
 
     // --- the poll loop --------------------------------------------------------------
@@ -522,20 +542,25 @@ impl NetStack {
     }
 
     fn handle_frame(&mut self, m: &mut Machine, frame: &[u8]) {
+        let now = m.clock().cycles();
         let Some(eth) = EthHeader::parse(frame) else {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         };
         if eth.ethertype != ETHERTYPE_IPV4 || (eth.dst != self.mac && eth.dst != Mac::BROADCAST) {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         }
         let Some(ip) = Ipv4Header::parse(&frame[ETH_LEN..]) else {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         };
         if ip.dst != self.ip {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         }
         let l4 = &frame[ETH_LEN + IPV4_LEN..ETH_LEN + ip.total_len as usize];
@@ -543,24 +568,30 @@ impl NetStack {
         m.charge(m.costs().copy_cost(l4.len() as u64));
         match ip.proto {
             PROTO_TCP => self.handle_tcp(m, &ip, l4),
-            PROTO_UDP => self.handle_udp(&ip, l4),
-            _ => self.stats.demux_drops += 1,
+            PROTO_UDP => self.handle_udp(now, &ip, l4),
+            _ => {
+                self.stats.demux_drops += 1;
+                self.trace.on_drop(now);
+                self.trace.on_drop(now);
+            }
         }
     }
 
     fn handle_tcp(&mut self, m: &mut Machine, ip: &Ipv4Header, l4: &[u8]) {
+        let now = m.clock().cycles();
         let Some((hdr, off)) = TcpHeader::parse(ip, l4) else {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         };
         let payload = &l4[off..];
         let key = (hdr.dst_port, ip.src, hdr.src_port);
-        let now = m.clock().cycles();
         if let Some(&sid) = self.conns.get(&key) {
             let Some(Sock::TcpStream { conn, .. }) = self.socks[sid.0].as_mut() else {
                 return;
             };
             self.stats.rx_segments += 1;
+            self.trace.on_rx_segment();
             let responses = conn.on_segment(&hdr, payload, now);
             let dst_ip = ip.src;
             for seg in responses {
@@ -578,6 +609,7 @@ impl NetStack {
                 let cfg = self.tcp_cfg.clone();
                 let Some(rx_base) = self.pool.carve(SOCK_RX_RING) else {
                     self.stats.demux_drops += 1;
+                    self.trace.on_drop(now);
                     return;
                 };
                 let (conn, syn_ack) = TcpConn::accept(hdr.dst_port, hdr.src_port, iss, &hdr, cfg);
@@ -591,6 +623,7 @@ impl NetStack {
                     backlog.push_back(sid);
                 }
                 self.stats.rx_segments += 1;
+                self.trace.on_rx_segment();
                 m.charge(
                     m.costs().stack_per_packet + m.costs().nic_per_packet + self.packet_tax(0),
                 );
@@ -616,11 +649,13 @@ impl NetStack {
             self.emit_tcp(dst_ip, &rst);
         }
         self.stats.demux_drops += 1;
+        self.trace.on_drop(now);
     }
 
-    fn handle_udp(&mut self, ip: &Ipv4Header, l4: &[u8]) {
+    fn handle_udp(&mut self, now: u64, ip: &Ipv4Header, l4: &[u8]) {
         let Some(hdr) = UdpHeader::parse(l4) else {
             self.stats.demux_drops += 1;
+            self.trace.on_drop(now);
             return;
         };
         let payload = l4[UDP_LEN..hdr.len as usize].to_vec();
@@ -629,11 +664,13 @@ impl NetStack {
                 if rx.len() < UDP_QUEUE_DEPTH {
                     rx.push_back((ip.src, hdr.src_port, payload));
                     self.stats.rx_datagrams += 1;
+                    self.trace.on_rx_datagram();
                     return;
                 }
             }
         }
         self.stats.demux_drops += 1;
+        self.trace.on_drop(now);
     }
 }
 

@@ -1,0 +1,797 @@
+//! `flexos-trace`: per-compartment telemetry for the FlexOS reproduction.
+//!
+//! FlexOS's claim is that isolation cost is a dial; this crate is the
+//! gauge. It provides three always-compiled primitives — counters,
+//! fixed-bucket log2 [`CycleHist`]ograms, and bounded [`EventRing`]s with
+//! sequence numbers — plus per-subsystem trace structs that the hot paths
+//! own directly (no globals, no locks: the simulation is single-threaded
+//! per image) and a [`TraceRegistry`] that aggregates everything into a
+//! serializable [`StatsSnapshot`].
+//!
+//! Building with `--features trace-off` compiles every probe body to a
+//! no-op while keeping struct layouts and APIs identical, so the
+//! instrumented call sites need no `cfg` of their own.
+
+pub mod hist;
+pub mod ring;
+pub mod snapshot;
+
+pub use hist::{CycleHist, HIST_BUCKETS};
+pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
+pub use snapshot::{
+    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GatePairRow, MechanismRow, NetSnapshot,
+    SchedSnapshot, StatsSnapshot,
+};
+
+use std::collections::BTreeMap;
+
+/// Events kept in the final snapshot after merging all rings.
+pub const SNAPSHOT_EVENT_CAP: usize = 64;
+
+/// Per-(mechanism, src, dst) accumulator inside [`GateTrace`].
+#[derive(Debug, Clone, Copy, Default)]
+struct PairStat {
+    crossings: u64,
+    bytes: u64,
+    gate_cycles: u64,
+}
+
+/// Telemetry owned by the gate runtime: per-pair crossing counters, a
+/// per-mechanism crossing-cycle histogram, and one event ring per
+/// compartment (gate enter/exit and fault events).
+///
+/// Pair and mechanism lookups are linear over tiny vectors with a
+/// last-hit index cache: real images have a handful of (mechanism, src,
+/// dst) pairs and crossings overwhelmingly repeat the previous pair, so
+/// this beats a map on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct GateTrace {
+    pairs: Vec<((&'static str, u16, u16), PairStat)>,
+    hists: Vec<(&'static str, CycleHist)>,
+    direct_calls: u64,
+    rings: Vec<EventRing>,
+    last_pair: usize,
+    last_hist: usize,
+}
+
+/// Packs a (src, dst) compartment pair into an event `detail` word.
+pub fn pack_pair(src: u16, dst: u16) -> u64 {
+    ((src as u64) << 16) | dst as u64
+}
+
+impl GateTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[cfg(not(feature = "trace-off"))]
+    fn ring_mut(&mut self, cpt: u16) -> &mut EventRing {
+        let idx = cpt as usize;
+        while self.rings.len() <= idx {
+            self.rings.push(EventRing::default());
+        }
+        &mut self.rings[idx]
+    }
+
+    /// Records a same-compartment call that compiled to a direct call.
+    #[inline]
+    pub fn record_direct(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.direct_calls += 1;
+        }
+    }
+
+    /// Records one completed round-trip crossing: `src` called into `dst`
+    /// through `mechanism`, spending `gate_cycles` in enter+exit and
+    /// marshalling `bytes`. `now` is the machine clock after the exit.
+    #[inline]
+    pub fn record_crossing(
+        &mut self,
+        mechanism: &'static str,
+        src: u16,
+        dst: u16,
+        gate_cycles: u64,
+        bytes: u64,
+        now: u64,
+    ) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            // Labels come from `GateMechanism::label()` statics, so the
+            // cached-hit path compares fat pointers, not contents.
+            let key = (mechanism, src, dst);
+            let i = match self.pairs.get(self.last_pair) {
+                Some(((m, s, d), _)) if std::ptr::eq(*m, mechanism) && *s == src && *d == dst => {
+                    self.last_pair
+                }
+                _ => match self.pairs.iter().position(|(k, _)| *k == key) {
+                    Some(i) => i,
+                    None => {
+                        self.pairs.push((key, PairStat::default()));
+                        self.pairs.len() - 1
+                    }
+                },
+            };
+            self.last_pair = i;
+            let p = &mut self.pairs[i].1;
+            p.crossings += 1;
+            p.bytes += bytes;
+            p.gate_cycles += gate_cycles;
+            let h = match self.hists.get(self.last_hist) {
+                Some((m, _)) if std::ptr::eq(*m, mechanism) => self.last_hist,
+                _ => match self.hists.iter().position(|(m, _)| *m == mechanism) {
+                    Some(i) => i,
+                    None => {
+                        self.hists.push((mechanism, CycleHist::new()));
+                        self.hists.len() - 1
+                    }
+                },
+            };
+            self.last_hist = h;
+            self.hists[h].1.record(gate_cycles);
+            let detail = pack_pair(src, dst);
+            let hi = src.max(dst) as usize;
+            if self.rings.len() <= hi {
+                self.rings.resize_with(hi + 1, EventRing::default);
+            }
+            self.rings[dst as usize].push(EventKind::GateEnter, now, detail);
+            self.rings[src as usize].push(EventKind::GateExit, now, detail);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (mechanism, src, dst, gate_cycles, bytes, now);
+        }
+    }
+
+    /// Records an arbitrary event in compartment `cpt`'s ring.
+    #[inline]
+    pub fn event(&mut self, cpt: u16, kind: EventKind, now: u64, detail: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.ring_mut(cpt).push(kind, now, detail);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpt, kind, now, detail);
+        }
+    }
+
+    /// Same-compartment direct calls recorded.
+    pub fn direct_calls(&self) -> u64 {
+        self.direct_calls
+    }
+
+    /// Total crossings for one (mechanism, src, dst) pair.
+    pub fn crossings(&self, mechanism: &'static str, src: u16, dst: u16) -> u64 {
+        let key = (mechanism, src, dst);
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, p)| p.crossings)
+    }
+
+    /// Total crossings summed over all pairs.
+    pub fn total_crossings(&self) -> u64 {
+        self.pairs.iter().map(|(_, p)| p.crossings).sum()
+    }
+
+    /// The crossing-cycle histogram for one mechanism, if any crossing
+    /// used it.
+    pub fn mechanism_hist(&self, mechanism: &'static str) -> Option<&CycleHist> {
+        self.hists
+            .iter()
+            .find(|(m, _)| *m == mechanism)
+            .map(|(_, h)| h)
+    }
+
+    /// Per-compartment event rings (index = compartment id; may be
+    /// shorter than the compartment count if a compartment saw no event).
+    pub fn rings(&self) -> &[EventRing] {
+        &self.rings
+    }
+
+    /// Clears all counters, histograms and rings (benchmark warm-up).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Telemetry owned by the kernel executor: context switches, run-queue
+/// depth samples, per-task run cycles, and a ring of switch events.
+#[derive(Debug, Clone, Default)]
+pub struct SchedTrace {
+    switches: u64,
+    steps: u64,
+    depth_sum: u64,
+    depth_samples: u64,
+    depth_max: u64,
+    task_cycles: Vec<(u32, u64)>,
+    last_task: usize,
+    ring: EventRing,
+}
+
+impl SchedTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a thread-to-thread context switch to `tid` at `now`.
+    #[inline]
+    pub fn record_switch(&mut self, now: u64, tid: u32) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.switches += 1;
+            self.ring.push(EventKind::CtxSwitch, now, tid as u64);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (now, tid);
+        }
+    }
+
+    /// Records one executor step of thread `tid` costing `cycles`,
+    /// sampling the run queue at `depth` ready threads.
+    #[inline]
+    pub fn record_step(&mut self, tid: u32, cycles: u64, depth: usize) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.steps += 1;
+            self.depth_sum += depth as u64;
+            self.depth_samples += 1;
+            self.depth_max = self.depth_max.max(depth as u64);
+            // Tiny task set; the last-hit cache covers the common case of
+            // one runnable thread.
+            let i = match self.task_cycles.get(self.last_task) {
+                Some((t, _)) if *t == tid => self.last_task,
+                _ => match self.task_cycles.iter().position(|(t, _)| *t == tid) {
+                    Some(i) => i,
+                    None => {
+                        self.task_cycles.push((tid, 0));
+                        self.task_cycles.len() - 1
+                    }
+                },
+            };
+            self.last_task = i;
+            self.task_cycles[i].1 += cycles;
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (tid, cycles, depth);
+        }
+    }
+
+    /// Context switches recorded.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Executor steps recorded.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The switch-event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Aggregates into a [`SchedSnapshot`].
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            switches: self.switches,
+            steps: self.steps,
+            depth_sum: self.depth_sum,
+            depth_samples: self.depth_samples,
+            depth_max: self.depth_max,
+            task_cycles: {
+                let mut v = self.task_cycles.clone();
+                v.sort_unstable_by_key(|&(t, _)| t);
+                v
+            },
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Per-compartment allocator counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocCounters {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Frees.
+    pub frees: u64,
+    /// Bytes currently live.
+    pub bytes_in_use: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+    /// Failed allocation requests.
+    pub failures: u64,
+}
+
+/// Telemetry owned by the heap service: one [`AllocCounters`] per
+/// compartment plus a ring of allocation-failure events.
+#[derive(Debug, Clone, Default)]
+pub struct AllocTrace {
+    per: Vec<AllocCounters>,
+    ring: EventRing,
+}
+
+impl AllocTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[cfg(not(feature = "trace-off"))]
+    fn slot(&mut self, cpt: u16) -> &mut AllocCounters {
+        let idx = cpt as usize;
+        while self.per.len() <= idx {
+            self.per.push(AllocCounters::default());
+        }
+        &mut self.per[idx]
+    }
+
+    /// Records a successful allocation of `bytes` for compartment `cpt`.
+    #[inline]
+    pub fn on_alloc(&mut self, cpt: u16, bytes: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            let s = self.slot(cpt);
+            s.allocs += 1;
+            s.bytes_in_use += bytes;
+            s.peak_bytes = s.peak_bytes.max(s.bytes_in_use);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpt, bytes);
+        }
+    }
+
+    /// Records a free of `bytes` for compartment `cpt`.
+    #[inline]
+    pub fn on_free(&mut self, cpt: u16, bytes: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            let s = self.slot(cpt);
+            s.frees += 1;
+            s.bytes_in_use = s.bytes_in_use.saturating_sub(bytes);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpt, bytes);
+        }
+    }
+
+    /// Records a failed allocation of `bytes` for compartment `cpt` at
+    /// machine time `now`.
+    #[inline]
+    pub fn on_fail(&mut self, cpt: u16, bytes: u64, now: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.slot(cpt).failures += 1;
+            self.ring.push(EventKind::AllocFail, now, bytes);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpt, bytes, now);
+        }
+    }
+
+    /// Counters for compartment `cpt` (zeroes if never touched).
+    pub fn counters(&self, cpt: u16) -> AllocCounters {
+        self.per.get(cpt as usize).copied().unwrap_or_default()
+    }
+
+    /// All per-compartment counters (index = compartment id).
+    pub fn all(&self) -> &[AllocCounters] {
+        &self.per
+    }
+
+    /// The allocation-failure event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Telemetry owned by the machine: fault counts by class and by
+/// protection key, plus a ring of fault events.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTrace {
+    by_kind: BTreeMap<&'static str, u64>,
+    by_key: BTreeMap<u16, u64>,
+    ring: EventRing,
+}
+
+impl FaultTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fault of class `kind` at machine time `now`;
+    /// `key` is the protection key involved, for pkey violations.
+    #[inline]
+    pub fn record(&mut self, kind: &'static str, key: Option<u16>, now: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            *self.by_kind.entry(kind).or_default() += 1;
+            let detail = match key {
+                Some(k) => {
+                    *self.by_key.entry(k).or_default() += 1;
+                    k as u64
+                }
+                None => u64::MAX,
+            };
+            self.ring.push(EventKind::Fault, now, detail);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (kind, key, now);
+        }
+    }
+
+    /// Count for one fault class.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total faults recorded.
+    pub fn total(&self) -> u64 {
+        self.by_kind.values().sum()
+    }
+
+    /// Per-class counts.
+    pub fn by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.by_kind
+    }
+
+    /// Per-protection-key violation counts.
+    pub fn by_key(&self) -> &BTreeMap<u16, u64> {
+        &self.by_key
+    }
+
+    /// The fault-event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Telemetry owned by the net stack: packet counters and a ring of
+/// drop events.
+#[derive(Debug, Clone, Default)]
+pub struct NetTrace {
+    rx_segments: u64,
+    tx_segments: u64,
+    rx_datagrams: u64,
+    drops: u64,
+    ring: EventRing,
+}
+
+impl NetTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a received TCP segment.
+    #[inline]
+    pub fn on_rx_segment(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.rx_segments += 1;
+        }
+    }
+
+    /// Records a transmitted TCP segment.
+    #[inline]
+    pub fn on_tx_segment(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.tx_segments += 1;
+        }
+    }
+
+    /// Records a delivered UDP datagram.
+    #[inline]
+    pub fn on_rx_datagram(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.rx_datagrams += 1;
+        }
+    }
+
+    /// Records a demux drop at machine time `now`.
+    #[inline]
+    pub fn on_drop(&mut self, now: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.drops += 1;
+            self.ring.push(EventKind::PacketDrop, now, 0);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = now;
+        }
+    }
+
+    /// Drops recorded.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The drop-event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Aggregates into a [`NetSnapshot`]; `retransmits` is supplied by
+    /// the stack (summed over live TCP connections).
+    pub fn snapshot(&self, retransmits: u64) -> NetSnapshot {
+        NetSnapshot {
+            rx_segments: self.rx_segments,
+            tx_segments: self.tx_segments,
+            rx_datagrams: self.rx_datagrams,
+            drops: self.drops,
+            retransmits,
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Aggregates live trace structs into one [`StatsSnapshot`].
+///
+/// The caller registers each subsystem's trace (with whatever naming
+/// context it has — compartment names, key ownership) and then calls
+/// [`TraceRegistry::finish`], which sorts rows, merges every event ring
+/// into one time-ordered tail, and returns the snapshot.
+#[derive(Debug, Default)]
+pub struct TraceRegistry {
+    snap: StatsSnapshot,
+    events: Vec<EventRow>,
+}
+
+impl TraceRegistry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the measured window length in cycles.
+    pub fn set_elapsed(&mut self, cycles: u64) {
+        self.snap.elapsed_cycles = cycles;
+    }
+
+    fn name_of(names: &[String], cpt: u16) -> String {
+        names
+            .get(cpt as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("compartment{cpt}"))
+    }
+
+    fn merge_ring(&mut self, cpt: u16, ring: &EventRing) {
+        self.snap.events_overwritten += ring.overwritten();
+        for e in ring.iter() {
+            self.events.push(EventRow {
+                seq: e.seq,
+                cycles: e.cycles,
+                compartment: cpt,
+                kind: e.kind.label(),
+                detail: e.detail,
+            });
+        }
+    }
+
+    /// Registers the gate runtime's trace. `names[i]` names compartment `i`.
+    pub fn add_gates(&mut self, gt: &GateTrace, names: &[String]) {
+        self.snap.direct_calls += gt.direct_calls();
+        for &((mech, src, dst), ref p) in gt.pairs.iter() {
+            self.snap.gate_pairs.push(GatePairRow {
+                mechanism: mech,
+                src,
+                dst,
+                src_name: Self::name_of(names, src),
+                dst_name: Self::name_of(names, dst),
+                crossings: p.crossings,
+                bytes: p.bytes,
+                gate_cycles: p.gate_cycles,
+            });
+        }
+        for &(mech, ref h) in gt.hists.iter() {
+            let (p50, p90, p99) = h.quantiles();
+            self.snap.mechanisms.push(MechanismRow {
+                mechanism: mech,
+                count: h.count(),
+                p50,
+                p90,
+                p99,
+                mean: h.mean(),
+                max: h.max(),
+            });
+        }
+        for (i, ring) in gt.rings().iter().enumerate() {
+            self.merge_ring(i as u16, ring);
+        }
+    }
+
+    /// Registers the executor's trace; switch events are attributed to
+    /// compartment `sched_cpt` (the compartment the scheduler lives in).
+    pub fn add_sched(&mut self, st: &SchedTrace, sched_cpt: u16) {
+        self.snap.sched = st.snapshot();
+        self.merge_ring(sched_cpt, st.ring());
+    }
+
+    /// Registers the heap service's trace. `names[i]` names compartment `i`.
+    pub fn add_allocs(&mut self, at: &AllocTrace, names: &[String]) {
+        for (i, c) in at.all().iter().enumerate() {
+            if c.allocs == 0 && c.frees == 0 && c.failures == 0 {
+                continue;
+            }
+            self.snap.allocs.push(AllocRow {
+                compartment: i as u16,
+                name: Self::name_of(names, i as u16),
+                allocs: c.allocs,
+                frees: c.frees,
+                bytes_in_use: c.bytes_in_use,
+                peak_bytes: c.peak_bytes,
+                failures: c.failures,
+            });
+        }
+        // Failure events carry no compartment in the ring; attribute to 0.
+        self.merge_ring(0, at.ring());
+    }
+
+    /// Registers the machine's fault trace. `key_owner` maps a protection
+    /// key to the (compartment id, name) owning it, if any.
+    pub fn add_faults(
+        &mut self,
+        ft: &FaultTrace,
+        key_owner: impl Fn(u16) -> Option<(u16, String)>,
+    ) {
+        for (&kind, &count) in ft.by_kind().iter() {
+            self.snap.fault_kinds.push(FaultKindRow { kind, count });
+        }
+        let mut per_cpt: BTreeMap<u16, (String, u64)> = BTreeMap::new();
+        for (&key, &count) in ft.by_key().iter() {
+            if let Some((cpt, name)) = key_owner(key) {
+                let e = per_cpt.entry(cpt).or_insert((name, 0));
+                e.1 += count;
+            }
+        }
+        for (cpt, (name, count)) in per_cpt {
+            self.snap.fault_compartments.push(FaultCompartmentRow {
+                compartment: cpt,
+                name,
+                count,
+            });
+        }
+        // Fault events are attributed to the owning compartment when the
+        // key maps to one, else to compartment 0.
+        self.snap.events_overwritten += ft.ring().overwritten();
+        for e in ft.ring().iter() {
+            let cpt = if e.detail == u64::MAX {
+                0
+            } else {
+                key_owner(e.detail as u16).map_or(0, |(c, _)| c)
+            };
+            self.events.push(EventRow {
+                seq: e.seq,
+                cycles: e.cycles,
+                compartment: cpt,
+                kind: e.kind.label(),
+                detail: e.detail,
+            });
+        }
+    }
+
+    /// Registers the net stack's trace, attributed to compartment
+    /// `net_cpt`. `retransmits` is summed over the stack's connections.
+    pub fn add_net(&mut self, nt: &NetTrace, retransmits: u64, net_cpt: u16) {
+        self.snap.net = nt.snapshot(retransmits);
+        self.merge_ring(net_cpt, nt.ring());
+    }
+
+    /// Sorts rows (busiest first), merges the collected events into one
+    /// time-ordered tail of at most [`SNAPSHOT_EVENT_CAP`] entries, and
+    /// returns the snapshot.
+    pub fn finish(mut self) -> StatsSnapshot {
+        self.snap
+            .gate_pairs
+            .sort_by_key(|r| std::cmp::Reverse(r.crossings));
+        self.snap
+            .mechanisms
+            .sort_by_key(|r| std::cmp::Reverse(r.count));
+        self.events.sort_by_key(|e| e.cycles);
+        if self.events.len() > SNAPSHOT_EVENT_CAP {
+            let drop = self.events.len() - SNAPSHOT_EVENT_CAP;
+            self.events.drain(..drop);
+        }
+        self.snap.events = self.events;
+        self.snap
+    }
+}
+
+#[cfg(all(test, not(feature = "trace-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_trace_accumulates_pairs_and_hists() {
+        let mut gt = GateTrace::new();
+        gt.record_direct();
+        gt.record_crossing("MPK (shared stack)", 0, 1, 180, 64, 1000);
+        gt.record_crossing("MPK (shared stack)", 0, 1, 200, 64, 2000);
+        gt.record_crossing("VM RPC (EPT)", 1, 2, 7000, 0, 3000);
+        assert_eq!(gt.direct_calls(), 1);
+        assert_eq!(gt.crossings("MPK (shared stack)", 0, 1), 2);
+        assert_eq!(gt.crossings("VM RPC (EPT)", 1, 2), 1);
+        assert_eq!(gt.total_crossings(), 3);
+        let h = gt.mechanism_hist("MPK (shared stack)").unwrap();
+        assert_eq!(h.count(), 2);
+        // Compartment 1 saw one enter (from 0) and one exit (to 2)… plus
+        // the second 0→1 enter.
+        assert_eq!(gt.rings()[1].len(), 3);
+    }
+
+    #[test]
+    fn registry_builds_sorted_snapshot() {
+        let mut gt = GateTrace::new();
+        gt.record_crossing("a", 0, 1, 10, 0, 10);
+        gt.record_crossing("b", 1, 0, 20, 0, 20);
+        gt.record_crossing("b", 1, 0, 30, 0, 30);
+        let mut st = SchedTrace::new();
+        st.record_switch(40, 7);
+        st.record_step(7, 100, 2);
+        let mut at = AllocTrace::new();
+        at.on_alloc(1, 256);
+        at.on_fail(1, 1 << 40, 50);
+        let mut ft = FaultTrace::new();
+        ft.record("pkey-violation", Some(2), 60);
+        let mut nt = NetTrace::new();
+        nt.on_drop(70);
+
+        let names = vec!["rest".to_string(), "net".to_string()];
+        let mut reg = TraceRegistry::new();
+        reg.set_elapsed(1000);
+        reg.add_gates(&gt, &names);
+        reg.add_sched(&st, 0);
+        reg.add_allocs(&at, &names);
+        reg.add_faults(&ft, |k| (k == 2).then(|| (1, "net".to_string())));
+        reg.add_net(&nt, 3, 1);
+        let snap = reg.finish();
+
+        assert_eq!(snap.gate_pairs[0].crossings, 2); // busiest first
+        assert_eq!(snap.gate_pairs[0].src_name, "net");
+        assert_eq!(snap.sched.switches, 1);
+        assert_eq!(snap.allocs[0].failures, 1);
+        assert_eq!(snap.fault_kinds[0].kind, "pkey-violation");
+        assert_eq!(snap.fault_compartments[0].compartment, 1);
+        assert_eq!(snap.net.drops, 1);
+        assert_eq!(snap.net.retransmits, 3);
+        // Events are time-ordered.
+        let times: Vec<u64> = snap.events.iter().map(|e| e.cycles).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert!(!snap.to_json().is_empty());
+    }
+}

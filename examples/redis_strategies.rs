@@ -19,7 +19,8 @@ fn main() {
     let base = run_redis(&RedisParams {
         ops: 1000,
         ..RedisParams::default()
-    });
+    })
+    .expect("redis run");
     println!(
         "{:<18} {:<10} {:>10.3} {:>12} {:>10}",
         "No Isol.", "-", base.mreq_per_s, "1.00x", base.crossings
@@ -40,7 +41,8 @@ fn main() {
                 mix: Mix::Get,
                 ops: 1000,
                 ..RedisParams::default()
-            });
+            })
+            .expect("redis run");
             println!(
                 "{:<18} {:<10} {:>10.3} {:>11.2}x {:>10}",
                 model.label(),

@@ -47,7 +47,8 @@ fn cheri_images_run_the_full_workloads() {
         backend: BackendChoice::Cheri,
         ops: 200,
         ..RedisParams::default()
-    });
+    })
+    .expect("redis run");
     assert!(r.ops >= 200);
     assert!(r.crossings > 0);
 }

@@ -52,7 +52,8 @@ fn redis_runs_on_every_backend() {
                 mix,
                 ops: 200,
                 ..RedisParams::default()
-            });
+            })
+            .expect("redis run");
             assert!(r.ops >= 200, "{backend:?}/{mix:?} completed {} ops", r.ops);
         }
     }
@@ -66,7 +67,8 @@ fn redis_handles_all_payload_sizes_and_verified_sched() {
             sched: SchedKind::Verified,
             ops: 150,
             ..RedisParams::default()
-        });
+        })
+        .expect("redis run");
         assert!(r.ops >= 150);
     }
 }

@@ -19,7 +19,9 @@ fn iperf(params: IperfParams) -> f64 {
 }
 
 fn redis(params: RedisParams) -> f64 {
-    run_redis(&RedisParams { ops: 300, ..params }).mreq_per_s
+    run_redis(&RedisParams { ops: 300, ..params })
+        .expect("redis run")
+        .mreq_per_s
 }
 
 // --- Figure 3 shapes -----------------------------------------------------------
