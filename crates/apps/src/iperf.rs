@@ -17,7 +17,7 @@ use flexos::build::{plan, BackendChoice, Hypervisor};
 use flexos_kernel::exec::{Executor, Step};
 use flexos_kernel::sched::{CoopScheduler, RunQueue, VerifiedScheduler};
 use flexos_machine::throughput_mbps;
-use flexos_net::nic::Link;
+use flexos_net::nic::{Link, LinkChaos};
 use flexos_net::stack::{NetError, SocketId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -44,6 +44,9 @@ pub struct IperfParams {
     pub recv_buf: u64,
     /// Bytes to transfer before stopping.
     pub total_bytes: u64,
+    /// Seeded link chaos (loss/corruption/duplication/reordering) to
+    /// apply between client and server, with its PRNG seed.
+    pub link_chaos: Option<(LinkChaos, u64)>,
 }
 
 impl Default for IperfParams {
@@ -57,6 +60,7 @@ impl Default for IperfParams {
             dedicated_allocators: false,
             recv_buf: 16 * 1024,
             total_bytes: 4 * 1024 * 1024,
+            link_chaos: None,
         }
     }
 }
@@ -74,6 +78,10 @@ pub struct IperfResult {
     pub crossings: u64,
     /// Context switches on the server.
     pub switches: u64,
+    /// Frames the link dropped (0 unless chaos or faults are on).
+    pub frames_dropped: u64,
+    /// Frames the link corrupted in flight.
+    pub frames_corrupted: u64,
 }
 
 fn make_executor(kind: SchedKind) -> Executor<Os> {
@@ -108,7 +116,10 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
     let mut os = Os::boot(image, SERVER_IP, 1).expect("iperf image boots");
     let mut exec = make_executor(params.sched);
     let mut client = Client::new(2);
-    let mut link = Link::new();
+    let mut link = match params.link_chaos {
+        Some((chaos, seed)) => Link::with_chaos(chaos, seed),
+        None => Link::new(),
+    };
 
     // Server application task: accept, then recv in a loop counting
     // bytes, blocking on the socket semaphore when the buffer runs dry.
@@ -200,6 +211,8 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
         mbps: throughput_mbps(bytes, cycles),
         crossings: os.img.gates.stats().crossings - start_crossings,
         switches: exec.summary().switches,
+        frames_dropped: link.dropped,
+        frames_corrupted: link.corrupted,
     }
 }
 
@@ -219,6 +232,30 @@ mod tests {
         let r = quick(IperfParams::default());
         assert!(r.bytes >= 256 * 1024);
         assert!(r.mbps > 0.0);
+    }
+
+    #[test]
+    fn transfer_completes_under_injected_loss() {
+        let clean = quick(IperfParams::default());
+        let lossy = quick(IperfParams {
+            link_chaos: Some((
+                LinkChaos {
+                    loss_per_mille: 100,
+                    ..Default::default()
+                },
+                42,
+            )),
+            ..IperfParams::default()
+        });
+        // Every byte still arrives (TCP retransmits), goodput degrades.
+        assert!(lossy.bytes >= 256 * 1024);
+        assert!(lossy.frames_dropped > 0, "chaos never fired");
+        assert!(
+            lossy.mbps < clean.mbps,
+            "loss should cost goodput ({:.0} vs {:.0} Mb/s)",
+            lossy.mbps,
+            clean.mbps
+        );
     }
 
     #[test]

@@ -17,20 +17,57 @@ use flexos_machine::{Addr, Fault, Machine, Result};
 /// Size reserved in the shared window for each compartment's RPC inbox.
 pub const RPC_INBOX_BYTES: u64 = 4096;
 
+/// Retry discipline for lost doorbell notifications.
+///
+/// Inter-VM interrupts can be lost (in the simulation, injected by the
+/// chaos layer; on real hardware, by a missed event-channel upcall). The
+/// gate re-rings the doorbell with bounded exponential backoff — attempt
+/// `k` sleeps `backoff_base_cycles << (k-1)` simulated cycles — and
+/// aborts with [`Fault::GateTimeout`] once `max_attempts` deliveries
+/// have all gone unanswered.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total delivery attempts before giving up (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff charged after the first failed attempt; doubles per retry.
+    pub backoff_base_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            backoff_base_cycles: 2_000,
+        }
+    }
+}
+
 /// The VM RPC gate. Holds the base of the RPC area in the shared window;
 /// compartment `i`'s inbox sits at `rpc_base + i * RPC_INBOX_BYTES`.
 #[derive(Debug, Clone, Copy)]
 pub struct VmRpcGate {
     rpc_base: Addr,
     compartments: u16,
+    retry: RetryPolicy,
 }
 
 impl VmRpcGate {
-    /// Creates the gate over an RPC area of `compartments` inboxes.
+    /// Creates the gate over an RPC area of `compartments` inboxes, with
+    /// the default [`RetryPolicy`].
     pub fn new(rpc_base: Addr, compartments: u16) -> Self {
         Self {
             rpc_base,
             compartments,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Same, with an explicit retry policy.
+    pub fn with_retry(rpc_base: Addr, compartments: u16, retry: RetryPolicy) -> Self {
+        Self {
+            rpc_base,
+            compartments,
+            retry,
         }
     }
 
@@ -76,14 +113,42 @@ impl VmRpcGate {
         m.write_u64(from.vcpu, inbox, u64::from(from.id.0))?;
         m.write_u64(from.vcpu, Addr(inbox.0 + 8), bytes)?;
         // Ring the doorbell (charges `vm_notify`) and let the callee vCPU
-        // consume it.
-        m.notify(from.vcpu, to.vm, u64::from(from.id.0))?;
-        let n = m.take_notification(to.vm).ok_or(Fault::HardeningAbort {
-            mechanism: "vmrpc",
-            reason: "lost doorbell notification".into(),
-        })?;
-        debug_assert_eq!(n.word, u64::from(from.id.0));
-        Ok(())
+        // consume it. Notifications can be lost, so re-ring with bounded
+        // exponential backoff before declaring the gate dead.
+        let expected = u64::from(from.id.0);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            m.notify(from.vcpu, to.vm, expected)?;
+            match m.take_notification(to.vm) {
+                Some(n) => {
+                    if n.word != expected {
+                        return Err(Fault::DoorbellMismatch {
+                            expected,
+                            got: n.word,
+                        });
+                    }
+                    // Absorb duplicate deliveries of our own doorbell so a
+                    // stale copy can't be misread as the next crossing.
+                    while m
+                        .peek_notification(to.vm)
+                        .is_some_and(|d| d.word == expected && d.from == from.vm)
+                    {
+                        m.take_notification(to.vm);
+                    }
+                    return Ok(());
+                }
+                None => {
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        return Err(Fault::GateTimeout {
+                            mechanism: "vmrpc",
+                            attempts: attempt,
+                        });
+                    }
+                    m.charge(self.retry.backoff_base_cycles << (attempt - 1));
+                }
+            }
+        }
     }
 }
 
@@ -204,5 +269,82 @@ mod tests {
         let mut bogus = c0.clone();
         bogus.id = CompartmentId(9);
         assert!(gate.enter(&mut m, &c0, &bogus, 0).is_err());
+    }
+
+    #[test]
+    fn forged_doorbell_payload_is_rejected_at_runtime() {
+        let (mut m, gate, c0, c1) = setup();
+        // An attacker rings the callee's doorbell with a bogus descriptor
+        // word before the legitimate crossing: the gate must notice the
+        // mismatch even in release builds (this used to be a debug_assert).
+        m.notify(c0.vcpu, c1.vm, 0xbad).unwrap();
+        let err = gate.enter(&mut m, &c0, &c1, 16).unwrap_err();
+        assert!(matches!(err, Fault::DoorbellMismatch { got: 0xbad, .. }));
+        assert!(err.is_protection_fault());
+    }
+
+    #[test]
+    fn lost_doorbell_is_retried_with_backoff() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        // Baseline: the cost of one clean crossing.
+        let t_nochaos = {
+            let (mut m2, gate2, b0, b1) = setup();
+            let t0 = m2.clock().cycles();
+            gate2.enter(&mut m2, &b0, &b1, 16).unwrap();
+            m2.clock().cycles() - t0
+        };
+        // Drop every even-numbered notification: the second crossing's
+        // first ring is lost and its retry lands.
+        let (mut m, gate, c0, c1) = setup();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_drop: Schedule::EveryNth(2),
+            ..Default::default()
+        }));
+        // First notify survives (EveryNth(2) fires on calls 2, 4, …).
+        gate.enter(&mut m, &c0, &c1, 16).unwrap();
+        // Second crossing: ring dropped, retry succeeds.
+        let t0 = m.clock().cycles();
+        gate.enter(&mut m, &c0, &c1, 16).unwrap();
+        let with_retry = m.clock().cycles() - t0;
+        assert_eq!(m.chaos_stats().unwrap().dropped_notifications, 1);
+        // The retried crossing paid at least one backoff plus a second
+        // notification on top of the clean-path cost.
+        assert!(with_retry >= t_nochaos + RetryPolicy::default().backoff_base_cycles);
+    }
+
+    #[test]
+    fn all_doorbells_lost_times_out_with_typed_fault() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        let (mut m, gate, c0, c1) = setup();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_drop: Schedule::EveryNth(1), // 100% loss
+            ..Default::default()
+        }));
+        let err = gate.enter(&mut m, &c0, &c1, 16).unwrap_err();
+        assert_eq!(
+            err,
+            Fault::GateTimeout {
+                mechanism: "vmrpc",
+                attempts: RetryPolicy::default().max_attempts,
+            }
+        );
+    }
+
+    #[test]
+    fn duplicated_doorbells_are_absorbed() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        let (mut m, gate, c0, c1) = setup();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_dup: Schedule::EveryNth(1), // every doorbell delivered twice
+            ..Default::default()
+        }));
+        gate.enter(&mut m, &c0, &c1, 16).unwrap();
+        // The duplicate must not linger to corrupt the next crossing.
+        assert!(m.peek_notification(c1.vm).is_none());
+        gate.enter(&mut m, &c0, &c1, 16).unwrap();
+        assert!(m.peek_notification(c1.vm).is_none());
     }
 }

@@ -1,8 +1,8 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|all]
-//!                  [--quick] [--stats] [--json[=PATH]]
+//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|all]
+//!                  [--quick] [--stats] [--chaos] [--seed=S] [--json[=PATH]]
 //! ```
 //!
 //! `--stats` (or the `stats` experiment) runs the Redis/MPK profile from
@@ -11,6 +11,15 @@
 //! mechanism, scheduler activity, allocator pressure, faults and the
 //! tail of the event rings. `--json[=PATH]` additionally writes the same
 //! numbers as a JSON document (default `flexos-stats.json`).
+//!
+//! `--chaos` (or the `chaos` experiment) runs the `flexos-inject`
+//! fault-injection sweeps — goodput vs. fault rate for TCP under frame
+//! loss, VM RPC under doorbell loss, allocation under injected OOM, and
+//! memory access under spurious pkey faults — seeded by `--seed`
+//! (default 42). The same seed always produces the byte-identical
+//! report; `--json[=PATH]` writes it as JSON (default
+//! `flexos-chaos.json`). The chaos sweeps run standalone: they never
+//! touch the figure experiments, whose outputs stay bit-identical.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -545,17 +554,136 @@ fn run_stats(quick: bool, json: Option<&str>) {
     }
 }
 
+fn run_chaos(quick: bool, seed: u64, json: Option<&str>) {
+    use flexos_bench::chaos::{
+        alloc_under_injected_oom, chaos_json, tcp_goodput_vs_loss, vmrpc_under_notify_loss,
+        writes_under_spurious_pkey,
+    };
+
+    println!("Running the flexos-inject chaos sweeps (seed {seed})...");
+    let tcp = tcp_goodput_vs_loss(quick, seed);
+    let vmrpc = vmrpc_under_notify_loss(quick, seed);
+    let alloc = alloc_under_injected_oom(quick, seed);
+    let pkey = writes_under_spurious_pkey(quick, seed);
+
+    let mut t = Table::new(
+        "TCP goodput vs injected frame loss (iperf, baseline image)",
+        &[
+            "loss \u{2030}",
+            "bytes delivered",
+            "goodput Mb/s",
+            "frames dropped",
+        ],
+    );
+    for p in &tcp {
+        t.row(vec![
+            p.loss_per_mille.to_string(),
+            p.bytes.to_string(),
+            format!("{:.1}", p.mbps),
+            p.frames_dropped.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Every byte stream completes; goodput degrades, never deadlocks.\n");
+
+    let mut t = Table::new(
+        "VM RPC vs injected doorbell loss (retry + exponential backoff)",
+        &[
+            "drop \u{2030}",
+            "crossings",
+            "ok",
+            "timeouts",
+            "doorbells lost",
+            "mean cycles/ok",
+        ],
+    );
+    for p in &vmrpc {
+        t.row(vec![
+            p.drop_per_mille.to_string(),
+            p.attempts.to_string(),
+            p.ok.to_string(),
+            p.timeouts.to_string(),
+            p.doorbells_dropped.to_string(),
+            p.mean_cycles_ok.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Lost doorbells are re-rung with bounded backoff; only exhausted retry\n\
+         budgets surface as typed GateTimeout faults.\n"
+    );
+
+    let mut t = Table::new(
+        "Allocation under injected OOM",
+        &[
+            "fail \u{2030}",
+            "attempts",
+            "injected OOM",
+            "success \u{2030}",
+        ],
+    );
+    for p in &alloc {
+        t.row(vec![
+            p.fail_per_mille.to_string(),
+            p.attempts.to_string(),
+            p.injected_oom.to_string(),
+            p.success_per_mille.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(
+        "Writes under spurious pkey faults (retried until they land)",
+        &["fault \u{2030}", "writes", "spurious faults", "completed"],
+    );
+    for p in &pkey {
+        t.row(vec![
+            p.fault_per_mille.to_string(),
+            p.writes.to_string(),
+            p.spurious_faults.to_string(),
+            p.completed.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Deterministic: the same --seed reproduces this report byte-for-byte.");
+
+    if let Some(path) = json {
+        let doc = chaos_json(seed, quick, &tcp, &vmrpc, &alloc, &pkey);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nWrote JSON chaos report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let stats_flag = args.iter().any(|a| a == "--stats");
-    let json: Option<String> = args.iter().find_map(|a| {
-        if a == "--json" {
-            Some("flexos-stats.json".to_string())
-        } else {
-            a.strip_prefix("--json=").map(str::to_string)
-        }
-    });
+    let chaos_flag = args.iter().any(|a| a == "--chaos");
+    let seed: u64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--seed="))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--seed must be an unsigned integer, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(42);
+    let json_explicit: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json=").map(str::to_string));
+    let json_bare = args.iter().any(|a| a == "--json");
+    // Bare `--json` picks a per-report default filename.
+    let json: Option<String> = json_explicit
+        .clone()
+        .or_else(|| json_bare.then(|| "flexos-stats.json".to_string()));
+    let chaos_json_path: Option<String> =
+        json_explicit.or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -563,6 +691,8 @@ fn main() {
         .unwrap_or_else(|| {
             if stats_flag {
                 "stats".into()
+            } else if chaos_flag {
+                "chaos".into()
             } else {
                 "all".into()
             }
@@ -599,6 +729,9 @@ fn main() {
     if all || what == "stats" || stats_flag {
         run_stats(quick, json.as_deref());
     }
+    if what == "chaos" || chaos_flag {
+        run_chaos(quick, seed, chaos_json_path.as_deref());
+    }
     if !all
         && ![
             "fig3",
@@ -610,12 +743,13 @@ fn main() {
             "coloring",
             "explore",
             "stats",
+            "chaos",
         ]
         .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \
-             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|all"
+             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|all"
         );
         std::process::exit(2);
     }

@@ -62,11 +62,35 @@ impl MsgQueue {
         Addr(self.base.0 + HDR + (idx % self.slots) * self.slot_size)
     }
 
+    /// Queue depth computed from untrusted indices read out of shared
+    /// memory. A compartment sharing the ring can scribble over the
+    /// header, so `head > tail` or a depth beyond the slot count are
+    /// treated as corruption and surfaced as a [`Fault`], never as a
+    /// wrap-around panic.
+    fn depth(&self, head: u64, tail: u64) -> Result<u64> {
+        let d = tail
+            .checked_sub(head)
+            .ok_or_else(|| Fault::HardeningAbort {
+                mechanism: "mq",
+                reason: format!("corrupted ring indices: head {head} > tail {tail}"),
+            })?;
+        if d > self.slots {
+            return Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                reason: format!(
+                    "corrupted ring indices: depth {d} exceeds {} slots",
+                    self.slots
+                ),
+            });
+        }
+        Ok(d)
+    }
+
     /// Number of queued messages.
     pub fn len(&self, m: &mut Machine, vcpu: VcpuId) -> Result<u64> {
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
-        Ok(tail - head)
+        self.depth(head, tail)
     }
 
     /// Whether the queue is empty.
@@ -88,7 +112,7 @@ impl MsgQueue {
         }
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
-        if tail - head == self.slots {
+        if self.depth(head, tail)? == self.slots {
             return Ok(false);
         }
         let slot = self.slot_addr(tail);
@@ -101,22 +125,34 @@ impl MsgQueue {
     /// Attempts to dequeue a message into `buf`; returns the payload
     /// length, or `None` if the queue is empty.
     ///
-    /// # Panics
-    ///
-    /// Panics if `buf` is smaller than the queued message.
+    /// The slot's length word lives in shared memory and is untrusted: a
+    /// value beyond [`max_payload`](Self::max_payload) (a corrupted
+    /// header) or beyond `buf` (a too-short caller buffer) returns
+    /// [`Fault::HardeningAbort`] without reading a single payload byte.
     pub fn try_recv(&self, m: &mut Machine, vcpu: VcpuId, buf: &mut [u8]) -> Result<Option<usize>> {
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
-        if head == tail {
+        if self.depth(head, tail)? == 0 {
             return Ok(None);
         }
         let slot = self.slot_addr(head);
-        let len = m.read_u64(vcpu, slot)? as usize;
-        assert!(
-            buf.len() >= len,
-            "receive buffer too small ({} < {len})",
-            buf.len()
-        );
+        let len = m.read_u64(vcpu, slot)?;
+        if len > self.max_payload() {
+            return Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                reason: format!(
+                    "corrupted slot header: length {len} exceeds payload capacity {}",
+                    self.max_payload()
+                ),
+            });
+        }
+        let len = len as usize;
+        if buf.len() < len {
+            return Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                reason: format!("receive buffer too small ({} < {len})", buf.len()),
+            });
+        }
         m.read(vcpu, Addr(slot.0 + 8), &mut buf[..len])?;
         m.write_u64(vcpu, self.base, head + 1)?;
         Ok(Some(len))
@@ -191,6 +227,64 @@ mod tests {
         let (mut m, q) = queue(2, 16);
         assert!(q.try_send(&mut m, VcpuId(0), &[0u8; 9]).is_err());
         assert!(q.try_send(&mut m, VcpuId(0), &[0u8; 8]).unwrap());
+    }
+
+    #[test]
+    fn corrupted_slot_length_aborts_instead_of_panicking() {
+        let (mut m, q) = queue(4, 32);
+        q.try_send(&mut m, VcpuId(0), b"ok").unwrap();
+        // Scribble a huge length into the head slot's header, as a
+        // compromised producer compartment sharing the ring could.
+        let slot0 = Addr(q.base.0 + 16);
+        m.write_u64(VcpuId(0), slot0, u64::MAX).unwrap();
+        let mut buf = [0u8; 32];
+        assert!(matches!(
+            q.try_recv(&mut m, VcpuId(0), &mut buf),
+            Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn short_receive_buffer_aborts_instead_of_panicking() {
+        let (mut m, q) = queue(4, 32);
+        q.try_send(&mut m, VcpuId(0), &[7u8; 10]).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            q.try_recv(&mut m, VcpuId(0), &mut buf),
+            Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                ..
+            })
+        ));
+        // The message is still there for a properly-sized reader.
+        let mut big = [0u8; 32];
+        let n = q.try_recv(&mut m, VcpuId(0), &mut big).unwrap().unwrap();
+        assert_eq!(&big[..n], &[7u8; 10]);
+    }
+
+    #[test]
+    fn corrupted_indices_fault_instead_of_panicking() {
+        let (mut m, q) = queue(4, 32);
+        // head > tail: bare subtraction would overflow.
+        m.write_u64(VcpuId(0), q.base, 5).unwrap();
+        m.write_u64(VcpuId(0), Addr(q.base.0 + 8), 1).unwrap();
+        let mut buf = [0u8; 32];
+        assert!(q.len(&mut m, VcpuId(0)).is_err());
+        assert!(q.try_send(&mut m, VcpuId(0), b"x").is_err());
+        assert!(q.try_recv(&mut m, VcpuId(0), &mut buf).is_err());
+        // depth beyond the slot count is equally rejected.
+        m.write_u64(VcpuId(0), q.base, 0).unwrap();
+        m.write_u64(VcpuId(0), Addr(q.base.0 + 8), 100).unwrap();
+        assert!(matches!(
+            q.len(&mut m, VcpuId(0)),
+            Err(Fault::HardeningAbort {
+                mechanism: "mq",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Property tests for the kernel substrate: allocator invariants and
-//! scheduler equivalence (verified vs C scheduler).
+//! Property tests for the kernel substrate: allocator invariants,
+//! scheduler equivalence (verified vs C scheduler), and message-queue
+//! robustness against corrupted shared-memory headers.
 
 use flexos_kernel::alloc::{Allocator, BuddyAllocator, FreeListAllocator};
+use flexos_kernel::mq::MsgQueue;
 use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
-use flexos_machine::{Addr, Machine, PageFlags, ProtKey, VmId};
+use flexos_machine::{Addr, Machine, PageFlags, ProtKey, VcpuId, VmId};
 use proptest::prelude::*;
 
 // ---- allocator invariants -----------------------------------------------------
@@ -99,6 +101,75 @@ proptest! {
         prop_assert!(a.audit());
         prop_assert_eq!(a.free_bytes(), before);
         prop_assert_eq!(a.free_blocks(), 1);
+    }
+}
+
+// ---- message-queue corruption robustness ----------------------------------------
+
+/// Which header word of the ring a hostile compartment scribbles over.
+#[derive(Debug, Clone, Copy)]
+enum CorruptTarget {
+    Head,
+    Tail,
+    SlotLen(u64),
+}
+
+fn arb_corruptions(slots: u64) -> impl Strategy<Value = Vec<(CorruptTarget, u64)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just(CorruptTarget::Head),
+                Just(CorruptTarget::Tail),
+                (0..slots).prop_map(CorruptTarget::SlotLen),
+            ],
+            any::<u64>(),
+        ),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No matter what garbage lands in the shared ring header, the queue
+    /// API never panics: every call returns `Ok` or a typed `Fault`.
+    #[test]
+    fn msgqueue_survives_arbitrary_header_corruption(
+        corruptions in arb_corruptions(4),
+        preload in 0u64..4,
+    ) {
+        const SLOTS: u64 = 4;
+        const SLOT_SIZE: u64 = 32;
+        let mut m = Machine::with_defaults();
+        let base = m
+            .alloc_region(
+                VmId(0),
+                MsgQueue::bytes_needed(SLOTS, SLOT_SIZE),
+                ProtKey(0),
+                PageFlags::RW,
+            )
+            .unwrap();
+        let q = MsgQueue::init(&mut m, VcpuId(0), base, SLOTS, SLOT_SIZE).unwrap();
+        for i in 0..preload {
+            q.try_send(&mut m, VcpuId(0), &[i as u8; 5]).unwrap();
+        }
+        for (target, value) in corruptions {
+            let addr = match target {
+                CorruptTarget::Head => base,
+                CorruptTarget::Tail => Addr(base.0 + 8),
+                CorruptTarget::SlotLen(i) => Addr(base.0 + 16 + i * SLOT_SIZE),
+            };
+            m.write_u64(VcpuId(0), addr, value).unwrap();
+            // Every API entry point must come back with Ok or Fault —
+            // a panic fails the test harness itself.
+            let _ = q.len(&mut m, VcpuId(0));
+            let _ = q.is_empty(&mut m, VcpuId(0));
+            let _ = q.try_send(&mut m, VcpuId(0), b"probe");
+            let mut buf = [0u8; SLOT_SIZE as usize];
+            let _ = q.try_recv(&mut m, VcpuId(0), &mut buf);
+            let mut tiny = [0u8; 1];
+            let _ = q.try_recv(&mut m, VcpuId(0), &mut tiny);
+        }
     }
 }
 

@@ -1,0 +1,323 @@
+//! `flexos-inject`: seeded, deterministic fault injection.
+//!
+//! A [`ChaosPlan`] installs probabilistic or scheduled faults at the
+//! machine's choke points: allocation failures in
+//! [`Machine::alloc_region`], lost/duplicated doorbell notifications in
+//! [`Machine::notify`], and spurious protection-key violations on a
+//! configurable fraction of memory accesses. (The NIC link applies the
+//! same machinery in `flexos-net`.)
+//!
+//! Determinism is the whole point: the only entropy source is a
+//! [`SplitMix64`] stream seeded from [`ChaosConfig::seed`] — no
+//! wall-clock, no OS randomness — and every injection site draws from
+//! its *own* stream (derived from the seed and a per-site salt), so the
+//! fault schedule at one site is a pure function of the seed and that
+//! site's call count, independent of how sites interleave. The same
+//! seed always produces the same fault schedule.
+//!
+//! [`Machine::alloc_region`]: crate::Machine::alloc_region
+//! [`Machine::notify`]: crate::Machine::notify
+
+/// The SplitMix64 PRNG (Steele, Lea & Flood's `splitmix64`): a tiny,
+/// high-quality, fully deterministic 64-bit generator. Used for every
+/// chaos decision in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `[0, bound)` (`bound` must be non-zero). The modulo
+    /// bias is irrelevant at the per-mille resolutions used here.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// True with probability `per_mille / 1000`.
+    pub fn hit(&mut self, per_mille: u16) -> bool {
+        self.below(1000) < u64::from(per_mille)
+    }
+}
+
+/// When a fault fires at an injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Never fires (the default).
+    #[default]
+    Off,
+    /// Fires on each call independently with probability `n / 1000`,
+    /// drawn from the site's own PRNG stream.
+    PerMille(u16),
+    /// Fires deterministically on every `n`-th call (1-based), for
+    /// reproducing a specific failure without probability.
+    EveryNth(u64),
+}
+
+/// One injection site: its schedule, its private PRNG stream and its
+/// call counter.
+#[derive(Debug, Clone)]
+struct Site {
+    schedule: Schedule,
+    rng: SplitMix64,
+    calls: u64,
+    fired: u64,
+}
+
+impl Site {
+    fn new(schedule: Schedule, seed: u64, salt: u64) -> Self {
+        Self {
+            schedule,
+            // Seeding with `seed ^ salt` and discarding nothing is fine:
+            // splitmix64 scrambles consecutive seeds into unrelated
+            // streams by construction.
+            rng: SplitMix64::new(seed ^ salt),
+            calls: 0,
+            fired: 0,
+        }
+    }
+
+    fn fires(&mut self) -> bool {
+        self.calls += 1;
+        let hit = match self.schedule {
+            Schedule::Off => false,
+            Schedule::PerMille(p) => self.rng.hit(p),
+            Schedule::EveryNth(n) => n > 0 && self.calls.is_multiple_of(n),
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+}
+
+/// Construction-time description of what to inject where.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// PRNG seed; the same seed always yields the same fault schedule.
+    pub seed: u64,
+    /// Frame-allocator failures in `alloc_region`/`alloc_shared_region`.
+    pub alloc_fail: Schedule,
+    /// Doorbell notifications silently lost in `notify` (cycles are
+    /// still charged — the send happened, the interrupt didn't arrive).
+    pub notify_drop: Schedule,
+    /// Doorbell notifications delivered twice.
+    pub notify_dup: Schedule,
+    /// Spurious protection-key violations on `read`/`write`/`fill`.
+    pub spurious_pkey: Schedule,
+}
+
+impl ChaosConfig {
+    /// A config with the given seed and everything off.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the chaos layer decided for one `notify` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyFate {
+    /// Deliver normally.
+    Deliver,
+    /// Charge the send but lose the doorbell.
+    Drop,
+    /// Deliver the doorbell twice.
+    Duplicate,
+}
+
+/// Counters of what was actually injected (for reports and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Allocation requests forced to fail.
+    pub injected_oom: u64,
+    /// Doorbell notifications dropped.
+    pub dropped_notifications: u64,
+    /// Doorbell notifications duplicated.
+    pub duplicated_notifications: u64,
+    /// Memory accesses forced to fault.
+    pub spurious_pkey_faults: u64,
+}
+
+// Per-site salts: arbitrary distinct constants so each site derives an
+// independent stream from the one seed.
+const SALT_ALLOC: u64 = 0x616c_6c6f_632d_6f6f; // "alloc-oo"
+const SALT_NOTIFY_DROP: u64 = 0x6e6f_7469_6679_2d64; // "notify-d"
+const SALT_NOTIFY_DUP: u64 = 0x6e6f_7469_6679_2d75; // "notify-u"
+const SALT_PKEY: u64 = 0x706b_6579_2d73_7075; // "pkey-spu"
+
+/// The live fault-injection plan a [`Machine`](crate::Machine) carries.
+///
+/// Decisions are drawn per site in call order; the same seed and the
+/// same per-site call sequence always produce the same schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    alloc_fail: Site,
+    notify_drop: Site,
+    notify_dup: Site,
+    spurious_pkey: Site,
+    stats: ChaosStats,
+}
+
+impl ChaosPlan {
+    /// Builds the plan from a config.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self {
+            alloc_fail: Site::new(cfg.alloc_fail, cfg.seed, SALT_ALLOC),
+            notify_drop: Site::new(cfg.notify_drop, cfg.seed, SALT_NOTIFY_DROP),
+            notify_dup: Site::new(cfg.notify_dup, cfg.seed, SALT_NOTIFY_DUP),
+            spurious_pkey: Site::new(cfg.spurious_pkey, cfg.seed, SALT_PKEY),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Decides whether the current allocation request must fail.
+    pub fn alloc_should_fail(&mut self) -> bool {
+        let hit = self.alloc_fail.fires();
+        if hit {
+            self.stats.injected_oom += 1;
+        }
+        hit
+    }
+
+    /// Decides the fate of the current doorbell notification. Drop wins
+    /// over duplicate when both fire (a lost doorbell cannot also arrive
+    /// twice); both sites still advance so their schedules stay
+    /// interleaving-independent.
+    pub fn notify_fate(&mut self) -> NotifyFate {
+        let drop = self.notify_drop.fires();
+        let dup = self.notify_dup.fires();
+        if drop {
+            self.stats.dropped_notifications += 1;
+            NotifyFate::Drop
+        } else if dup {
+            self.stats.duplicated_notifications += 1;
+            NotifyFate::Duplicate
+        } else {
+            NotifyFate::Deliver
+        }
+    }
+
+    /// Decides whether the current memory access must spuriously fault.
+    pub fn access_should_fault(&mut self) -> bool {
+        let hit = self.spurious_pkey.fires();
+        if hit {
+            self.stats.spurious_pkey_faults += 1;
+        }
+        hit
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference outputs for seed 1234567 from the canonical
+        // splitmix64.c.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            alloc_fail: Schedule::PerMille(100),
+            notify_drop: Schedule::PerMille(250),
+            notify_dup: Schedule::PerMille(50),
+            spurious_pkey: Schedule::PerMille(10),
+        };
+        let mut a = ChaosPlan::new(cfg);
+        let mut b = ChaosPlan::new(cfg);
+        for _ in 0..5000 {
+            assert_eq!(a.alloc_should_fail(), b.alloc_should_fail());
+            assert_eq!(a.notify_fate(), b.notify_fate());
+            assert_eq!(a.access_should_fault(), b.access_should_fault());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn sites_are_independent_of_interleaving() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            alloc_fail: Schedule::PerMille(500),
+            spurious_pkey: Schedule::PerMille(500),
+            ..Default::default()
+        };
+        // Plan A: all allocs first, then all accesses.
+        let mut a = ChaosPlan::new(cfg);
+        let allocs_a: Vec<bool> = (0..100).map(|_| a.alloc_should_fail()).collect();
+        let accesses_a: Vec<bool> = (0..100).map(|_| a.access_should_fault()).collect();
+        // Plan B: interleaved.
+        let mut b = ChaosPlan::new(cfg);
+        let mut allocs_b = Vec::new();
+        let mut accesses_b = Vec::new();
+        for _ in 0..100 {
+            allocs_b.push(b.alloc_should_fail());
+            accesses_b.push(b.access_should_fault());
+        }
+        assert_eq!(allocs_a, allocs_b);
+        assert_eq!(accesses_a, accesses_b);
+    }
+
+    #[test]
+    fn per_mille_rate_is_roughly_honoured() {
+        let mut site = Site::new(Schedule::PerMille(100), 99, 0);
+        let hits = (0..10_000).filter(|_| site.fires()).count();
+        // 10% ± generous tolerance.
+        assert!((700..1300).contains(&hits), "{hits} hits");
+    }
+
+    #[test]
+    fn every_nth_is_exact() {
+        let mut site = Site::new(Schedule::EveryNth(3), 0, 0);
+        let pattern: Vec<bool> = (0..9).map(|_| site.fires()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn off_never_fires_and_drop_beats_dup() {
+        let mut plan = ChaosPlan::new(ChaosConfig::with_seed(3));
+        for _ in 0..100 {
+            assert!(!plan.alloc_should_fail());
+            assert_eq!(plan.notify_fate(), NotifyFate::Deliver);
+            assert!(!plan.access_should_fault());
+        }
+        let mut plan = ChaosPlan::new(ChaosConfig {
+            seed: 3,
+            notify_drop: Schedule::EveryNth(1),
+            notify_dup: Schedule::EveryNth(1),
+            ..Default::default()
+        });
+        assert_eq!(plan.notify_fate(), NotifyFate::Drop);
+        assert_eq!(plan.stats().dropped_notifications, 1);
+        assert_eq!(plan.stats().duplicated_notifications, 0);
+    }
+}

@@ -82,6 +82,22 @@ pub enum Fault {
         /// The violated condition, as written in the contract.
         condition: String,
     },
+    /// A gate gave up waiting for the remote side after exhausting its
+    /// retry budget (e.g. every doorbell notification was lost).
+    GateTimeout {
+        /// The gate mechanism that timed out (e.g. `"vmrpc"`).
+        mechanism: &'static str,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// A doorbell notification carried an unexpected payload word — a
+    /// forged or misrouted RPC descriptor caught at the gate.
+    DoorbellMismatch {
+        /// The payload word the gate expected.
+        expected: u64,
+        /// The payload word actually received.
+        got: u64,
+    },
 }
 
 impl Fault {
@@ -97,6 +113,8 @@ impl Fault {
             Fault::AddressOverflow { .. } => "address-overflow",
             Fault::HardeningAbort { .. } => "hardening-abort",
             Fault::ContractViolation { .. } => "contract-violation",
+            Fault::GateTimeout { .. } => "gate-timeout",
+            Fault::DoorbellMismatch { .. } => "doorbell-mismatch",
         }
     }
 
@@ -112,6 +130,7 @@ impl Fault {
                 | Fault::VmViolation { .. }
                 | Fault::HardeningAbort { .. }
                 | Fault::PageNotPresent { .. }
+                | Fault::DoorbellMismatch { .. }
         )
     }
 }
@@ -155,6 +174,18 @@ impl fmt::Display for Fault {
                 condition,
             } => {
                 write!(f, "contract violation in {component}: {condition}")
+            }
+            Fault::GateTimeout {
+                mechanism,
+                attempts,
+            } => {
+                write!(f, "{mechanism} gate timed out after {attempts} attempts")
+            }
+            Fault::DoorbellMismatch { expected, got } => {
+                write!(
+                    f,
+                    "doorbell payload mismatch: expected {expected:#x}, got {got:#x}"
+                )
             }
         }
     }

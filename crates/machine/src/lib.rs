@@ -53,6 +53,7 @@
 
 pub mod addr;
 pub mod cap;
+pub mod chaos;
 pub mod clock;
 pub mod cpu;
 pub mod fault;
@@ -65,6 +66,7 @@ pub mod vm;
 
 pub use addr::{Addr, PhysAddr, PAGE_SIZE};
 pub use cap::{CapPerms, Capability, OType};
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosStats, NotifyFate, Schedule, SplitMix64};
 pub use clock::{cycles_to_nanos, nanos_to_cycles, throughput_mbps, Clock, CostTable, CPU_FREQ_HZ};
 pub use cpu::{PkruGuard, Vcpu, VcpuId};
 pub use fault::{Fault, Result};

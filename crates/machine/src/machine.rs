@@ -18,6 +18,7 @@
 //! runtime checking.
 
 use crate::addr::{pages_for, Addr, Vpn, PAGE_SIZE};
+use crate::chaos::{ChaosPlan, ChaosStats, NotifyFate};
 use crate::clock::{Clock, CostTable};
 use crate::cpu::{PkruGuard, Vcpu, VcpuId};
 use crate::fault::{Fault, Result};
@@ -93,6 +94,7 @@ pub struct Machine {
     shared_next_vpn: u64,
     gate_token: GateToken,
     faults: FaultTrace,
+    chaos: Option<ChaosPlan>,
 }
 
 impl Machine {
@@ -112,6 +114,7 @@ impl Machine {
             shared_next_vpn: SHARED_WINDOW_FIRST_VPN,
             gate_token: GateToken::fresh(),
             faults: FaultTrace::new(),
+            chaos: None,
         }
     }
 
@@ -157,6 +160,45 @@ impl Machine {
         &self.vcpus[id.0 as usize]
     }
 
+    // ---- fault injection ------------------------------------------------
+
+    /// Installs a fault-injection plan (see [`crate::chaos`]). With no
+    /// plan installed — the default — every hook below is a no-op and
+    /// the machine's behaviour and cycle accounting are bit-identical
+    /// to a build without chaos support.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(plan);
+    }
+
+    /// Removes the fault-injection plan.
+    pub fn clear_chaos(&mut self) {
+        self.chaos = None;
+    }
+
+    /// Injection counters, if a plan is installed.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(ChaosPlan::stats)
+    }
+
+    /// Spurious-fault hook shared by `read`/`write`/`fill`: with a plan
+    /// installed, a configurable fraction of accesses trap with a
+    /// protection-key violation even though enforcement would have
+    /// allowed them.
+    fn chaos_access(&mut self, addr: Addr, access: Access) -> Result<()> {
+        if let Some(plan) = self.chaos.as_mut() {
+            if plan.access_should_fault() {
+                self.faults
+                    .record_injected("injected-pkey", self.clock.cycles());
+                return Err(self.trap(Fault::PkeyViolation {
+                    addr,
+                    key: ProtKey(15),
+                    access,
+                }));
+            }
+        }
+        Ok(())
+    }
+
     // ---- regions --------------------------------------------------------
 
     /// Allocates `bytes` of fresh memory in `vm`'s private address space,
@@ -169,6 +211,15 @@ impl Machine {
         flags: PageFlags,
     ) -> Result<Addr> {
         let pages = pages_for(bytes.max(1));
+        if let Some(plan) = self.chaos.as_mut() {
+            if plan.alloc_should_fail() {
+                self.faults
+                    .record_injected("injected-oom", self.clock.cycles());
+                return Err(Fault::OutOfMemory {
+                    requested_pages: pages,
+                });
+            }
+        }
         let pfns = self
             .frames
             .alloc_many(pages)
@@ -193,6 +244,15 @@ impl Machine {
     /// VM (the shared window), tagged with `key`.
     pub fn alloc_shared_region(&mut self, bytes: u64, key: ProtKey) -> Result<Addr> {
         let pages = pages_for(bytes.max(1));
+        if let Some(plan) = self.chaos.as_mut() {
+            if plan.alloc_should_fail() {
+                self.faults
+                    .record_injected("injected-oom", self.clock.cycles());
+                return Err(Fault::OutOfMemory {
+                    requested_pages: pages,
+                });
+            }
+        }
         let pfns = self.frames.alloc_many(pages)?;
         let first = self.shared_next_vpn;
         self.shared_next_vpn += pages;
@@ -315,6 +375,7 @@ impl Machine {
     /// Reads `dst.len()` bytes from `addr` as `vcpu`, enforcing paging and
     /// protection keys, charging cycle costs.
     pub fn read(&mut self, vcpu: VcpuId, addr: Addr, dst: &mut [u8]) -> Result<()> {
+        self.chaos_access(addr, Access::Read)?;
         let chunks = self
             .translate_range(vcpu, addr, dst.len() as u64, Access::Read)
             .map_err(|f| self.trap(f))?;
@@ -331,6 +392,7 @@ impl Machine {
     /// Writes `src` to `addr` as `vcpu`, enforcing paging and protection
     /// keys, charging cycle costs.
     pub fn write(&mut self, vcpu: VcpuId, addr: Addr, src: &[u8]) -> Result<()> {
+        self.chaos_access(addr, Access::Write)?;
         let chunks = self
             .translate_range(vcpu, addr, src.len() as u64, Access::Write)
             .map_err(|f| self.trap(f))?;
@@ -346,6 +408,7 @@ impl Machine {
 
     /// Fills `[addr, addr+len)` with `value` as `vcpu`.
     pub fn fill(&mut self, vcpu: VcpuId, addr: Addr, len: u64, value: u8) -> Result<()> {
+        self.chaos_access(addr, Access::Write)?;
         let chunks = self
             .translate_range(vcpu, addr, len, Access::Write)
             .map_err(|f| self.trap(f))?;
@@ -474,21 +537,47 @@ impl Machine {
     // ---- inter-VM notifications ------------------------------------------
 
     /// Sends an inter-VM notification from `from`'s VM to `target`,
-    /// charging the one-way notification cost.
+    /// charging the one-way notification cost. With a chaos plan
+    /// installed the doorbell may be silently lost (the send cost is
+    /// still charged — the interrupt just never arrives) or delivered
+    /// twice; callers with delivery requirements must retry.
     pub fn notify(&mut self, from: VcpuId, target: VmId, word: u64) -> Result<()> {
         assert!((target.0 as usize) < self.vms.len(), "unknown {target}");
         let from_vm = self.vcpus[from.0 as usize].vm;
         self.clock.advance(self.costs.vm_notify);
-        self.vms[target.0 as usize].post(Notification {
+        let fate = self
+            .chaos
+            .as_mut()
+            .map_or(NotifyFate::Deliver, ChaosPlan::notify_fate);
+        let n = Notification {
             from: from_vm,
             word,
-        });
+        };
+        match fate {
+            NotifyFate::Deliver => self.vms[target.0 as usize].post(n),
+            NotifyFate::Drop => {
+                self.faults
+                    .record_injected("injected-notify-drop", self.clock.cycles());
+            }
+            NotifyFate::Duplicate => {
+                self.faults
+                    .record_injected("injected-notify-dup", self.clock.cycles());
+                self.vms[target.0 as usize].post(n.clone());
+                self.vms[target.0 as usize].post(n);
+            }
+        }
         Ok(())
     }
 
     /// Dequeues the oldest pending notification for `vm`.
     pub fn take_notification(&mut self, vm: VmId) -> Option<Notification> {
         self.vms[vm.0 as usize].take_notification()
+    }
+
+    /// Peeks at the oldest pending notification for `vm` without
+    /// consuming it (used by gates to absorb duplicated doorbells).
+    pub fn peek_notification(&self, vm: VmId) -> Option<&Notification> {
+        self.vms[vm.0 as usize].peek_notification()
     }
 
     // ---- clock ------------------------------------------------------------
@@ -724,6 +813,96 @@ mod tests {
         let mut buf = [0u8; 7];
         m.read(VcpuId(0), dst, &mut buf).unwrap();
         assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn chaos_injects_oom_on_schedule() {
+        use crate::chaos::{ChaosConfig, ChaosPlan, Schedule};
+        let mut m = machine();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            alloc_fail: Schedule::EveryNth(2),
+            ..Default::default()
+        }));
+        assert!(m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .is_ok());
+        let err = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .unwrap_err();
+        assert!(matches!(err, Fault::OutOfMemory { .. }));
+        assert_eq!(m.chaos_stats().unwrap().injected_oom, 1);
+        assert_eq!(m.fault_trace().count("injected-oom"), 1);
+    }
+
+    #[test]
+    fn chaos_drops_and_duplicates_doorbells() {
+        use crate::chaos::{ChaosConfig, ChaosPlan, Schedule};
+        let mut m = machine();
+        let vm1 = m.add_vm(false);
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_drop: Schedule::EveryNth(2),
+            ..Default::default()
+        }));
+        m.notify(VcpuId(0), vm1, 1).unwrap();
+        m.notify(VcpuId(0), vm1, 2).unwrap(); // 2nd: dropped
+        assert_eq!(m.take_notification(vm1).unwrap().word, 1);
+        assert!(m.take_notification(vm1).is_none());
+        assert_eq!(m.chaos_stats().unwrap().dropped_notifications, 1);
+
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_dup: Schedule::EveryNth(1),
+            ..Default::default()
+        }));
+        m.notify(VcpuId(0), vm1, 9).unwrap();
+        assert_eq!(m.take_notification(vm1).unwrap().word, 9);
+        assert_eq!(m.peek_notification(vm1).unwrap().word, 9);
+        assert_eq!(m.take_notification(vm1).unwrap().word, 9);
+        assert_eq!(m.chaos_stats().unwrap().duplicated_notifications, 1);
+    }
+
+    #[test]
+    fn chaos_trips_spurious_pkey_faults() {
+        use crate::chaos::{ChaosConfig, ChaosPlan, Schedule};
+        let mut m = machine();
+        let a = m
+            .alloc_region(VmId(0), 64, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            spurious_pkey: Schedule::EveryNth(3),
+            ..Default::default()
+        }));
+        m.write(VcpuId(0), a, b"a").unwrap();
+        m.write(VcpuId(0), a, b"b").unwrap();
+        let err = m.write(VcpuId(0), a, b"c").unwrap_err();
+        assert!(matches!(err, Fault::PkeyViolation { .. }));
+        assert_eq!(m.chaos_stats().unwrap().spurious_pkey_faults, 1);
+        assert_eq!(m.fault_trace().count("injected-pkey"), 1);
+    }
+
+    #[test]
+    fn idle_chaos_plan_is_cycle_neutral() {
+        use crate::chaos::{ChaosConfig, ChaosPlan};
+        let run = |chaos: bool| -> u64 {
+            let mut m = machine();
+            if chaos {
+                m.set_chaos(ChaosPlan::new(ChaosConfig::with_seed(42)));
+            }
+            let vm1 = m.add_vm(false);
+            let a = m
+                .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+                .unwrap();
+            m.write(VcpuId(0), a, &[7u8; 4096]).unwrap();
+            let mut buf = [0u8; 256];
+            m.read(VcpuId(0), a, &mut buf).unwrap();
+            m.notify(VcpuId(0), vm1, 3).unwrap();
+            m.take_notification(vm1).unwrap();
+            m.clock().cycles()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -97,6 +97,11 @@ impl Vm {
         self.doorbell.pop_front()
     }
 
+    /// The oldest pending notification without consuming it.
+    pub fn peek_notification(&self) -> Option<&Notification> {
+        self.doorbell.front()
+    }
+
     /// Number of pending notifications.
     pub fn pending_notifications(&self) -> usize {
         self.doorbell.len()

@@ -9,7 +9,9 @@
 //!   bidirectional transfer, out-of-order reassembly, retransmission,
 //!   flow control, FIN/RST teardown);
 //! * [`nic`] — simulated NICs and a point-to-point link with
-//!   deterministic fault injection (drops, reordering);
+//!   deterministic fault injection: nth-frame drops/reordering plus
+//!   seeded probabilistic chaos (loss, corruption, duplication,
+//!   reordering) via [`LinkChaos`];
 //! * [`ring`] — socket receive rings living in *simulated* memory, so
 //!   every payload byte is protection-checked and cycle-charged;
 //! * [`stack`] — the socket API (`listen`/`accept`/`connect`/`send`/
@@ -30,8 +32,8 @@ pub mod stack;
 pub mod tcp;
 pub mod wire;
 
-pub use nic::{Link, LinkFaults, Nic, NicStats};
+pub use nic::{Link, LinkChaos, LinkFaults, Nic, NicStats};
 pub use ring::SimRing;
 pub use stack::{NetError, NetResult, NetStack, SocketId, StackStats};
 pub use tcp::{TcpConfig, TcpConn, TcpState};
-pub use wire::{Mac, MSS, MTU};
+pub use wire::{Mac, WireError, MSS, MTU};

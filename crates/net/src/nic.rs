@@ -6,6 +6,7 @@
 //! recovery paths.
 
 use crate::wire::Mac;
+use flexos_machine::SplitMix64;
 use std::collections::VecDeque;
 
 /// NIC counters.
@@ -91,16 +92,40 @@ pub struct LinkFaults {
     pub reorder_every: Option<u64>,
 }
 
+/// Seeded probabilistic link chaos (the `flexos-inject` layer's NIC
+/// choke point). Rates are per-mille per frame, drawn from a private
+/// [`SplitMix64`] stream so the fault schedule is a pure function of the
+/// seed and the frame sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkChaos {
+    /// Probability (‰) that a frame is silently dropped.
+    pub loss_per_mille: u16,
+    /// Probability (‰) that one byte of a frame is flipped. Corrupted
+    /// frames survive to the receiver, where checksums reject them —
+    /// exercising the demux-drop and TCP-retransmit paths.
+    pub corrupt_per_mille: u16,
+    /// Probability (‰) that a frame is delivered twice.
+    pub dup_per_mille: u16,
+    /// Probability (‰) that a frame swaps with its successor in the
+    /// batch.
+    pub reorder_per_mille: u16,
+}
+
 /// A point-to-point link between two NICs.
 #[derive(Debug, Default)]
 pub struct Link {
     /// Fault-injection configuration.
     pub faults: LinkFaults,
+    chaos: Option<(LinkChaos, SplitMix64)>,
     counter: u64,
     /// Frames dropped so far.
     pub dropped: u64,
     /// Frame pairs reordered so far.
     pub reordered: u64,
+    /// Frames with an injected byte flip so far.
+    pub corrupted: u64,
+    /// Frames delivered twice so far.
+    pub duplicated: u64,
 }
 
 impl Link {
@@ -109,7 +134,7 @@ impl Link {
         Self::default()
     }
 
-    /// A link with fault injection.
+    /// A link with deterministic nth-frame fault injection.
     pub fn with_faults(faults: LinkFaults) -> Self {
         Self {
             faults,
@@ -117,16 +142,43 @@ impl Link {
         }
     }
 
+    /// A link with seeded probabilistic chaos.
+    pub fn with_chaos(chaos: LinkChaos, seed: u64) -> Self {
+        let mut l = Self::default();
+        l.set_chaos(chaos, seed);
+        l
+    }
+
+    /// Installs (or replaces) the chaos configuration.
+    pub fn set_chaos(&mut self, chaos: LinkChaos, seed: u64) {
+        self.chaos = Some((chaos, SplitMix64::new(seed)));
+    }
+
     /// Moves every queued frame from `from`'s tx to `to`'s rx, applying
-    /// faults. Returns frames delivered.
+    /// faults. Returns frames delivered (duplicates count individually).
     pub fn transfer(&mut self, from: &mut Nic, to: &mut Nic) -> usize {
         let mut batch: Vec<Vec<u8>> = Vec::new();
-        while let Some(f) = from.pop_tx() {
+        while let Some(mut f) = from.pop_tx() {
             self.counter += 1;
             if let Some(n) = self.faults.drop_every {
                 if self.counter.is_multiple_of(n) {
                     self.dropped += 1;
                     continue;
+                }
+            }
+            if let Some((chaos, rng)) = self.chaos.as_mut() {
+                if rng.hit(chaos.loss_per_mille) {
+                    self.dropped += 1;
+                    continue;
+                }
+                if rng.hit(chaos.corrupt_per_mille) && !f.is_empty() {
+                    let i = rng.below(f.len() as u64) as usize;
+                    f[i] ^= 0xff;
+                    self.corrupted += 1;
+                }
+                if rng.hit(chaos.dup_per_mille) {
+                    batch.push(f.clone());
+                    self.duplicated += 1;
                 }
             }
             batch.push(f);
@@ -140,6 +192,20 @@ impl Link {
                     i += 2;
                 } else {
                     i += 1;
+                }
+            }
+        }
+        if let Some((chaos, rng)) = self.chaos.as_mut() {
+            if chaos.reorder_per_mille > 0 {
+                let mut i = 0;
+                while i + 1 < batch.len() {
+                    if rng.hit(chaos.reorder_per_mille) {
+                        batch.swap(i, i + 1);
+                        self.reordered += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -188,6 +254,81 @@ mod tests {
         assert_eq!(link.dropped, 2);
         let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
         assert_eq!(tags, vec![0, 1, 3, 4]); // frames 2 and 5 dropped
+    }
+
+    #[test]
+    fn chaos_is_deterministic_for_a_seed() {
+        let chaos = LinkChaos {
+            loss_per_mille: 200,
+            corrupt_per_mille: 100,
+            dup_per_mille: 50,
+            reorder_per_mille: 50,
+        };
+        let run = || {
+            let mut a = Nic::new(Mac::of_nic(0));
+            let mut b = Nic::new(Mac::of_nic(1));
+            for i in 0..100 {
+                a.push_tx(frame(i));
+            }
+            let mut link = Link::with_chaos(chaos, 42);
+            link.transfer(&mut a, &mut b);
+            let tags: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
+            (tags, link.dropped, link.corrupted, link.duplicated)
+        };
+        assert_eq!(run(), run());
+        // A different seed produces a different schedule.
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        for i in 0..100 {
+            a.push_tx(frame(i));
+        }
+        let mut link = Link::with_chaos(chaos, 43);
+        link.transfer(&mut a, &mut b);
+        let other: Vec<u8> = std::iter::from_fn(|| b.pop_rx()).map(|f| f[0]).collect();
+        assert_ne!(other, run().0);
+    }
+
+    #[test]
+    fn chaos_loss_rate_is_roughly_honoured() {
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        for _ in 0..1000 {
+            a.push_tx(frame(0));
+        }
+        let mut link = Link::with_chaos(
+            LinkChaos {
+                loss_per_mille: 100,
+                ..Default::default()
+            },
+            7,
+        );
+        let delivered = link.transfer(&mut a, &mut b);
+        assert!((850..=950).contains(&delivered), "{delivered} delivered");
+        assert_eq!(delivered as u64, 1000 - link.dropped);
+    }
+
+    #[test]
+    fn chaos_corruption_flips_exactly_one_byte() {
+        let mut a = Nic::new(Mac::of_nic(0));
+        let mut b = Nic::new(Mac::of_nic(1));
+        for i in 0..50 {
+            a.push_tx(frame(i));
+        }
+        let mut link = Link::with_chaos(
+            LinkChaos {
+                corrupt_per_mille: 1000, // corrupt every frame
+                ..Default::default()
+            },
+            1,
+        );
+        link.transfer(&mut a, &mut b);
+        assert_eq!(link.corrupted, 50);
+        let mut i = 0u8;
+        while let Some(f) = b.pop_rx() {
+            let flipped = f.iter().filter(|&&x| x != i).count();
+            assert_eq!(flipped, 1, "frame {i}");
+            i += 1;
+        }
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum NetError {
     InvalidSocket,
     /// The stack's buffer pool is exhausted.
     NoBuffers,
+    /// The datagram exceeds what the wire format can describe
+    /// (cf. `EMSGSIZE`).
+    MessageTooLong,
     /// A machine fault surfaced during the operation.
     Fault(Fault),
 }
@@ -49,6 +52,7 @@ impl fmt::Display for NetError {
             NetError::AddrInUse => write!(f, "address in use"),
             NetError::InvalidSocket => write!(f, "invalid socket"),
             NetError::NoBuffers => write!(f, "no buffers"),
+            NetError::MessageTooLong => write!(f, "message too long for the wire format"),
             NetError::Fault(fault) => write!(f, "fault: {fault}"),
         }
     }
@@ -424,6 +428,10 @@ impl NetStack {
             Sock::Udp { port, .. } => *port,
             _ => return Err(NetError::InvalidSocket),
         };
+        // Reject before any 16-bit length cast can truncate.
+        if len as usize > crate::wire::UDP_MAX_PAYLOAD {
+            return Err(NetError::MessageTooLong);
+        }
         let mut buf = vec![0u8; len as usize];
         m.read(vcpu, src, &mut buf)?;
         let udp = UdpHeader {
@@ -439,7 +447,8 @@ impl NetStack {
                 + self.packet_tax(buf.len() as u64),
         );
         m.charge(m.costs().copy_cost(buf.len() as u64)); // checksum/DMA touch
-        self.nic.push_tx(build_udp_frame(&eth, &ip, &udp, &buf));
+        let frame = build_udp_frame(&eth, &ip, &udp, &buf).map_err(|_| NetError::MessageTooLong)?;
+        self.nic.push_tx(frame);
         Ok(())
     }
 
@@ -490,10 +499,17 @@ impl NetStack {
     fn emit_tcp(&mut self, dst_ip: u32, seg: &SegmentOut) {
         let ip = self.ip_header(dst_ip, PROTO_TCP, crate::wire::TCP_LEN + seg.payload.len());
         let eth = self.eth_header();
-        self.nic
-            .push_tx(build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload));
-        self.stats.tx_segments += 1;
-        self.trace.on_tx_segment();
+        // TCP payloads are MSS-bounded by the state machine, so the
+        // builder cannot fail here; if it ever did, dropping the segment
+        // (and letting the RTO resend it) beats emitting a lying header.
+        match build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload) {
+            Ok(frame) => {
+                self.nic.push_tx(frame);
+                self.stats.tx_segments += 1;
+                self.trace.on_tx_segment();
+            }
+            Err(_) => debug_assert!(false, "TCP segment exceeded wire limits"),
+        }
     }
 
     // --- the poll loop --------------------------------------------------------------
@@ -836,6 +852,61 @@ mod tests {
     }
 
     #[test]
+    fn chaos_loss_degrades_but_never_corrupts_the_stream() {
+        // 10% seeded probabilistic loss: the transfer completes via the
+        // RTO path and the receiver sees exactly the sender's bytes.
+        let mut w = world();
+        w.link.set_chaos(
+            crate::nic::LinkChaos {
+                loss_per_mille: 100,
+                ..Default::default()
+            },
+            42,
+        );
+        let (cs, ss) = w.establish(5201);
+        let total: usize = 64 * 1024;
+        let pattern = |off: usize| -> u8 { (off % 251) as u8 };
+        let dst = Addr(w.app_buf.0 + 16384);
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        for _round in 0..20_000 {
+            if sent < total {
+                let n = (total - sent).min(4096);
+                let chunk: Vec<u8> = (0..n).map(|i| pattern(sent + i)).collect();
+                w.m.write(VcpuId(0), w.app_buf, &chunk).unwrap();
+                match w
+                    .client
+                    .tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, n as u64)
+                {
+                    Ok(n) => sent += n as usize,
+                    Err(NetError::WouldBlock) => {}
+                    Err(e) => panic!("send failed: {e}"),
+                }
+            }
+            w.step();
+            match w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 16384) {
+                Ok(n) => {
+                    let mut got = vec![0u8; n as usize];
+                    w.m.read(VcpuId(0), dst, &mut got).unwrap();
+                    for (i, b) in got.iter().enumerate() {
+                        assert_eq!(*b, pattern(received + i), "byte {} corrupted", received + i);
+                    }
+                    received += n as usize;
+                }
+                Err(NetError::WouldBlock) => {
+                    w.m.charge(TcpConfig::default().rto_cycles / 4);
+                }
+                Err(e) => panic!("recv failed: {e}"),
+            }
+            if received >= total {
+                break;
+            }
+        }
+        assert_eq!(received, total, "only {received}/{total} bytes made it");
+        assert!(w.link.dropped > 0, "chaos never fired");
+    }
+
+    #[test]
     fn demux_rejects_foreign_and_corrupt_frames() {
         let mut w = world();
         // Frame for another IP.
@@ -860,10 +931,12 @@ mod tests {
             flags: TcpFlags::SYN,
             window: 100,
         };
-        w.server.nic.push_rx(build_tcp_frame(&eth, &ip, &tcp, &[]));
+        w.server
+            .nic
+            .push_rx(build_tcp_frame(&eth, &ip, &tcp, &[]).unwrap());
         // Corrupt frame.
         ip.dst = SERVER_IP;
-        let mut frame = build_tcp_frame(&eth, &ip, &tcp, &[]);
+        let mut frame = build_tcp_frame(&eth, &ip, &tcp, &[]).unwrap();
         frame[ETH_LEN + 10] ^= 0xff; // break the IP checksum
         w.server.nic.push_rx(frame);
         w.server.poll(&mut w.m, VcpuId(0)).unwrap();

@@ -21,6 +21,12 @@ pub const UDP_LEN: usize = 8;
 /// TCP maximum segment size implied by the MTU.
 pub const MSS: usize = MTU - IPV4_LEN - TCP_LEN; // 1460
 
+/// Largest TCP payload whose IPv4 total length still fits in 16 bits.
+pub const TCP_MAX_PAYLOAD: usize = u16::MAX as usize - IPV4_LEN - TCP_LEN; // 65495
+
+/// Largest UDP payload whose IPv4 total length still fits in 16 bits.
+pub const UDP_MAX_PAYLOAD: usize = u16::MAX as usize - IPV4_LEN - UDP_LEN; // 65507
+
 /// EtherType for IPv4.
 pub const ETHERTYPE_IPV4: u16 = 0x0800;
 
@@ -28,6 +34,31 @@ pub const ETHERTYPE_IPV4: u16 = 0x0800;
 pub const PROTO_TCP: u8 = 6;
 /// UDP protocol number.
 pub const PROTO_UDP: u8 = 17;
+
+/// Error raised when a frame cannot be serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload is too large for a 16-bit length field: casting would
+    /// silently truncate and emit a frame with a lying header.
+    PayloadTooLarge {
+        /// The offending payload length.
+        len: usize,
+        /// The largest payload this frame type can carry.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds wire maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// A MAC address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -242,8 +273,16 @@ pub struct TcpHeader {
 
 impl TcpHeader {
     /// Serializes (with checksum over the pseudo-header and `payload`)
-    /// into the first [`TCP_LEN`] bytes of `out`.
-    pub fn write(&self, ip: &Ipv4Header, payload: &[u8], out: &mut [u8]) {
+    /// into the first [`TCP_LEN`] bytes of `out`. Rejects payloads whose
+    /// layer-4 length would not fit the 16-bit pseudo-header field —
+    /// the cast used to truncate silently for payloads ≥ 64 KiB.
+    pub fn write(&self, ip: &Ipv4Header, payload: &[u8], out: &mut [u8]) -> Result<(), WireError> {
+        if payload.len() > TCP_MAX_PAYLOAD {
+            return Err(WireError::PayloadTooLarge {
+                len: payload.len(),
+                max: TCP_MAX_PAYLOAD,
+            });
+        }
         out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         out[4..8].copy_from_slice(&self.seq.to_be_bytes());
@@ -262,6 +301,7 @@ impl TcpHeader {
         }
         let csum = checksum(payload, sum);
         out[16..18].copy_from_slice(&csum.to_be_bytes());
+        Ok(())
     }
 
     /// Parses and verifies the checksum against `ip` and `payload`.
@@ -327,13 +367,14 @@ impl UdpHeader {
     }
 }
 
-/// Builds a full Ethernet+IPv4+TCP frame.
+/// Builds a full Ethernet+IPv4+TCP frame. Fails rather than emitting a
+/// frame whose headers misdescribe an oversized payload.
 pub fn build_tcp_frame(
     eth: &EthHeader,
     ip: &Ipv4Header,
     tcp: &TcpHeader,
     payload: &[u8],
-) -> Vec<u8> {
+) -> Result<Vec<u8>, WireError> {
     let mut out = vec![0u8; ETH_LEN + IPV4_LEN + TCP_LEN + payload.len()];
     eth.write(&mut out[..ETH_LEN]);
     ip.write(&mut out[ETH_LEN..ETH_LEN + IPV4_LEN]);
@@ -341,24 +382,31 @@ pub fn build_tcp_frame(
         ip,
         payload,
         &mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + TCP_LEN],
-    );
+    )?;
     out[ETH_LEN + IPV4_LEN + TCP_LEN..].copy_from_slice(payload);
-    out
+    Ok(out)
 }
 
-/// Builds a full Ethernet+IPv4+UDP frame.
+/// Builds a full Ethernet+IPv4+UDP frame. Fails rather than emitting a
+/// frame whose headers misdescribe an oversized payload.
 pub fn build_udp_frame(
     eth: &EthHeader,
     ip: &Ipv4Header,
     udp: &UdpHeader,
     payload: &[u8],
-) -> Vec<u8> {
+) -> Result<Vec<u8>, WireError> {
+    if payload.len() > UDP_MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge {
+            len: payload.len(),
+            max: UDP_MAX_PAYLOAD,
+        });
+    }
     let mut out = vec![0u8; ETH_LEN + IPV4_LEN + UDP_LEN + payload.len()];
     eth.write(&mut out[..ETH_LEN]);
     ip.write(&mut out[ETH_LEN..ETH_LEN + IPV4_LEN]);
     udp.write(&mut out[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + UDP_LEN]);
     out[ETH_LEN + IPV4_LEN + UDP_LEN..].copy_from_slice(payload);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -413,7 +461,7 @@ mod tests {
             window: 65535,
         };
         let mut seg = vec![0u8; TCP_LEN + payload.len()];
-        tcp.write(&ip, payload, &mut seg[..TCP_LEN]);
+        tcp.write(&ip, payload, &mut seg[..TCP_LEN]).unwrap();
         seg[TCP_LEN..].copy_from_slice(payload);
         let (parsed, off) = TcpHeader::parse(&ip, &seg).unwrap();
         assert_eq!(parsed, tcp);
@@ -469,7 +517,7 @@ mod tests {
             flags: TcpFlags::ACK,
             window: 1024,
         };
-        let frame = build_tcp_frame(&eth, &ip, &tcp, &payload);
+        let frame = build_tcp_frame(&eth, &ip, &tcp, &payload).unwrap();
         assert_eq!(frame.len(), ETH_LEN + IPV4_LEN + TCP_LEN + 333);
         let eth2 = EthHeader::parse(&frame).unwrap();
         assert_eq!(eth2, eth);
@@ -478,6 +526,51 @@ mod tests {
         let (tcp2, off) = TcpHeader::parse(&ip2, &frame[ETH_LEN + IPV4_LEN..]).unwrap();
         assert_eq!(tcp2, tcp);
         assert_eq!(&frame[ETH_LEN + IPV4_LEN + off..], &payload[..]);
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_not_truncated() {
+        // 64 KiB payload: `(TCP_LEN + len) as u16` used to wrap to 19 and
+        // emit a frame whose pseudo-header length lied about the payload.
+        let payload = vec![0u8; 65536];
+        let eth = EthHeader {
+            dst: Mac::of_nic(1),
+            src: Mac::of_nic(0),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let ip = ip_hdr(100, PROTO_TCP);
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 1024,
+        };
+        let mut seg = [0u8; TCP_LEN];
+        assert_eq!(
+            tcp.write(&ip, &payload, &mut seg),
+            Err(WireError::PayloadTooLarge {
+                len: 65536,
+                max: TCP_MAX_PAYLOAD
+            })
+        );
+        assert!(build_tcp_frame(&eth, &ip, &tcp, &payload).is_err());
+        let udp = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: 0,
+        };
+        assert_eq!(
+            build_udp_frame(&eth, &ip_hdr(100, PROTO_UDP), &udp, &payload).unwrap_err(),
+            WireError::PayloadTooLarge {
+                len: 65536,
+                max: UDP_MAX_PAYLOAD
+            }
+        );
+        // The boundary itself is accepted.
+        let ok = vec![0u8; TCP_MAX_PAYLOAD];
+        assert!(tcp.write(&ip, &ok, &mut seg).is_ok());
     }
 
     #[test]

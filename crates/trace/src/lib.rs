@@ -441,6 +441,24 @@ impl FaultTrace {
         }
     }
 
+    /// Records a fault deliberately injected by the chaos layer at
+    /// machine time `now`. Counted under `kind` (an `"injected-*"` tag)
+    /// like any other class, but the ring event carries the `Injected`
+    /// kind so post-hoc analysis can separate injected faults from
+    /// enforcement faults.
+    #[inline]
+    pub fn record_injected(&mut self, kind: &'static str, now: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            *self.by_kind.entry(kind).or_default() += 1;
+            self.ring.push(EventKind::Injected, now, u64::MAX);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (kind, now);
+        }
+    }
+
     /// Count for one fault class.
     pub fn count(&self, kind: &str) -> u64 {
         self.by_kind.get(kind).copied().unwrap_or(0)

@@ -20,6 +20,9 @@ pub enum EventKind {
     AllocFail,
     /// The net stack dropped a packet at demux.
     PacketDrop,
+    /// A fault was deliberately injected by the chaos layer
+    /// (`flexos-inject`), as opposed to raised by enforcement.
+    Injected,
 }
 
 impl EventKind {
@@ -32,6 +35,7 @@ impl EventKind {
             EventKind::CtxSwitch => "ctx-switch",
             EventKind::AllocFail => "alloc-fail",
             EventKind::PacketDrop => "packet-drop",
+            EventKind::Injected => "injected",
         }
     }
 }

@@ -1,0 +1,163 @@
+//! End-to-end `flexos-inject` integration: chaos plans drive real
+//! recovery paths, injected faults land in the trace layer, and the
+//! whole pipeline is a pure function of the seed.
+
+use flexos::gate::{CompartmentCtx, CompartmentId, Gate};
+use flexos::spec::ShSet;
+use flexos_backends::vmrpc::{RetryPolicy, VmRpcGate};
+use flexos_machine::{
+    ChaosConfig, ChaosPlan, Fault, Machine, PageFlags, Pkru, ProtKey, Schedule, VcpuId, VmId,
+};
+use flexos_trace::TraceRegistry;
+
+fn rpc_world() -> (Machine, VmRpcGate, CompartmentCtx, CompartmentCtx) {
+    let mut m = Machine::with_defaults();
+    let vm1 = m.add_vm(false);
+    let vcpu1 = m.add_vcpu(vm1);
+    let rpc_base = m
+        .alloc_shared_region(VmRpcGate::area_bytes(2), ProtKey(0))
+        .unwrap();
+    let gate = VmRpcGate::new(rpc_base, 2);
+    let heap0 = m
+        .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+        .unwrap();
+    let heap1 = m
+        .alloc_region(vm1, 4096, ProtKey(0), PageFlags::RW)
+        .unwrap();
+    let ctx = |id, name: &str, vm, vcpu, heap| CompartmentCtx {
+        id: CompartmentId(id),
+        name: name.into(),
+        vm,
+        vcpu,
+        pkru: Pkru::ALLOW_ALL,
+        keys: vec![],
+        sh: ShSet::none(),
+        heap_base: heap,
+        heap_size: 4096,
+    };
+    let c0 = ctx(0, "rest", VmId(0), VcpuId(0), heap0);
+    let c1 = ctx(1, "net", vm1, vcpu1, heap1);
+    (m, gate, c0, c1)
+}
+
+#[test]
+fn injected_doorbell_loss_is_recovered_and_traced() {
+    let (mut m, gate, c0, c1) = rpc_world();
+    m.set_chaos(ChaosPlan::new(ChaosConfig {
+        seed: 42,
+        notify_drop: Schedule::PerMille(300),
+        ..Default::default()
+    }));
+    let mut ok = 0u64;
+    let mut timeouts = 0u64;
+    for _ in 0..200 {
+        match gate.enter(&mut m, &c0, &c1, 32) {
+            Ok(()) => ok += 1,
+            Err(Fault::GateTimeout { mechanism, .. }) => {
+                assert_eq!(mechanism, "vmrpc");
+                timeouts += 1;
+            }
+            Err(e) => panic!("unexpected fault: {e}"),
+        }
+    }
+    // At 30% loss and 5 attempts, the overwhelming majority recovers.
+    assert!(ok > 190, "only {ok}/200 crossings recovered");
+    let stats = m.chaos_stats().unwrap();
+    assert!(stats.dropped_notifications > 0);
+    // Injected faults are counted in the machine's fault trace...
+    assert_eq!(
+        m.fault_trace().count("injected-notify-drop"),
+        stats.dropped_notifications
+    );
+    // ...and surface as `injected` events in a stats snapshot.
+    let mut reg = TraceRegistry::new();
+    reg.set_elapsed(m.clock().cycles());
+    reg.add_faults(m.fault_trace(), |_| None);
+    let snap = reg.finish();
+    assert!(snap
+        .fault_kinds
+        .iter()
+        .any(|r| r.kind == "injected-notify-drop" && r.count == stats.dropped_notifications));
+    assert!(snap.events.iter().any(|e| e.kind == "injected"));
+    // The snapshot's JSON carries the injected kinds too.
+    assert!(snap.to_json().contains("injected-notify-drop"));
+    let _ = timeouts;
+}
+
+#[test]
+fn total_doorbell_loss_times_out_instead_of_hanging() {
+    let (mut m, _gate, c0, c1) = rpc_world();
+    // A gate with a tight custom retry budget over its own RPC area.
+    let rpc_base = m
+        .alloc_shared_region(VmRpcGate::area_bytes(2), ProtKey(0))
+        .unwrap();
+    let gate = VmRpcGate::with_retry(
+        rpc_base,
+        2,
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_cycles: 1_000,
+        },
+    );
+    m.set_chaos(ChaosPlan::new(ChaosConfig {
+        seed: 7,
+        notify_drop: Schedule::EveryNth(1),
+        ..Default::default()
+    }));
+    let t0 = m.clock().cycles();
+    let err = gate.enter(&mut m, &c0, &c1, 8).unwrap_err();
+    assert_eq!(
+        err,
+        Fault::GateTimeout {
+            mechanism: "vmrpc",
+            attempts: 3,
+        }
+    );
+    // Backoff charged 1000 + 2000 cycles on top of the notify costs.
+    assert!(m.clock().cycles() - t0 >= 3_000);
+}
+
+#[test]
+fn chaos_pipeline_is_a_pure_function_of_the_seed() {
+    let run = |seed: u64| -> (u64, u64, String) {
+        let (mut m, gate, c0, c1) = rpc_world();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed,
+            notify_drop: Schedule::PerMille(400),
+            spurious_pkey: Schedule::PerMille(20),
+            ..Default::default()
+        }));
+        let mut ok = 0u64;
+        for _ in 0..100 {
+            if gate.enter(&mut m, &c0, &c1, 16).is_ok() {
+                ok += 1;
+            }
+        }
+        let mut reg = TraceRegistry::new();
+        reg.set_elapsed(m.clock().cycles());
+        reg.add_faults(m.fault_trace(), |_| None);
+        (ok, m.clock().cycles(), reg.finish().to_json())
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a, b, "same seed must replay the same world");
+    let c = run(5678);
+    assert_ne!(a.1, c.1, "different seeds should diverge");
+}
+
+#[test]
+fn disabling_chaos_restores_the_exact_baseline() {
+    let run = |with_idle_chaos: bool| -> u64 {
+        let (mut m, gate, c0, c1) = rpc_world();
+        if with_idle_chaos {
+            // A plan with every schedule Off must be invisible.
+            m.set_chaos(ChaosPlan::new(ChaosConfig::with_seed(99)));
+        }
+        for _ in 0..50 {
+            gate.enter(&mut m, &c0, &c1, 64).unwrap();
+            gate.exit(&mut m, &c1, &c0, 16).unwrap();
+        }
+        m.clock().cycles()
+    };
+    assert_eq!(run(false), run(true));
+}
