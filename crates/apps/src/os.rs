@@ -304,6 +304,7 @@ impl Os {
         }
         reg.add_allocs(self.img.heaps.trace(), &names);
         reg.add_faults(self.img.machine.fault_trace(), |k| owners.get(&k).cloned());
+        reg.add_tlb(self.img.machine.tlb_trace());
         reg.add_net(self.net.trace(), self.net.retransmits(), self.roles.net.0);
         reg.finish()
     }

@@ -1,8 +1,8 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|all]
-//!                  [--quick] [--stats] [--chaos] [--seed=S] [--json[=PATH]]
+//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|all]
+//!                  [--quick] [--stats] [--chaos] [--bench] [--seed=S] [--json[=PATH]]
 //! ```
 //!
 //! `--stats` (or the `stats` experiment) runs the Redis/MPK profile from
@@ -20,6 +20,13 @@
 //! report; `--json[=PATH]` writes it as JSON (default
 //! `flexos-chaos.json`). The chaos sweeps run standalone: they never
 //! touch the figure experiments, whose outputs stay bit-identical.
+//!
+//! `--bench` (or the `bench` experiment) measures **host** wall-clock
+//! throughput of the simulator itself (memcpy, iperf, Redis,
+//! gate-crossing microbenches) and compares against the recorded
+//! pre-optimization baseline; `--json[=PATH]` writes the report
+//! (default `BENCH_4.json`). Host time is machine-dependent and not
+//! part of the reproducibility contract — see EXPERIMENTS.md E13.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -493,6 +500,15 @@ fn run_stats(quick: bool, json: Option<&str>) {
         }
     }
 
+    let mut tlb = Table::new("Software TLB", &["hits", "misses", "flushes", "hit rate"]);
+    tlb.row(vec![
+        snap.tlb.hits.to_string(),
+        snap.tlb.misses.to_string(),
+        snap.tlb.flushes.to_string(),
+        format!("{:.1}%", snap.tlb.hit_rate_milli() as f64 / 10.0),
+    ]);
+    println!("{}", tlb.render());
+
     let mut net = Table::new(
         "Network stack",
         &[
@@ -659,11 +675,75 @@ fn run_chaos(quick: bool, seed: u64, json: Option<&str>) {
     }
 }
 
+fn run_bench(quick: bool, json: Option<&str>) {
+    use flexos_bench::hostbench::{
+        bench_json, run_bench as run_points, speedup_vs_baseline, BASELINE_NOTE,
+    };
+
+    println!(
+        "Running the host wall-clock microbenches{}...",
+        if quick { " (quick)" } else { "" }
+    );
+    println!(
+        "(host time of the simulator itself — NOT simulated time; figures\n\
+         elsewhere in this binary are unaffected and stay bit-identical)\n"
+    );
+    let points = run_points(quick);
+    let mut t = Table::new(
+        "Host wall-clock microbenches",
+        &[
+            "bench",
+            "iters",
+            "bytes",
+            "host ms",
+            "host Mb/s",
+            "ns/iter",
+            "sim cycles",
+            "speedup vs pre-PR4",
+        ],
+    );
+    for p in &points {
+        let speedup = match speedup_vs_baseline(p) {
+            Some(s) => format!("{s:.2}x"),
+            None => "-".into(),
+        };
+        t.row(vec![
+            p.name.to_string(),
+            p.iters.to_string(),
+            p.bytes.to_string(),
+            format!("{:.2}", p.host_nanos as f64 / 1e6),
+            if p.bytes > 0 {
+                format!("{:.0}", p.host_mbps())
+            } else {
+                "-".into()
+            },
+            format!("{:.0}", p.ns_per_iter()),
+            p.sim_cycles.to_string(),
+            speedup,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Baseline: {BASELINE_NOTE}.");
+    println!("(speedups shown for --quick runs only, where workloads match the recording)");
+
+    if let Some(path) = json {
+        let doc = bench_json(quick, &points);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nWrote JSON bench report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let stats_flag = args.iter().any(|a| a == "--stats");
     let chaos_flag = args.iter().any(|a| a == "--chaos");
+    let bench_flag = args.iter().any(|a| a == "--bench");
     let seed: u64 = args
         .iter()
         .find_map(|a| a.strip_prefix("--seed="))
@@ -682,8 +762,11 @@ fn main() {
     let json: Option<String> = json_explicit
         .clone()
         .or_else(|| json_bare.then(|| "flexos-stats.json".to_string()));
-    let chaos_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
+    let chaos_json_path: Option<String> = json_explicit
+        .clone()
+        .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
+    let bench_json_path: Option<String> =
+        json_explicit.or_else(|| json_bare.then(|| "BENCH_4.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -693,6 +776,8 @@ fn main() {
                 "stats".into()
             } else if chaos_flag {
                 "chaos".into()
+            } else if bench_flag {
+                "bench".into()
             } else {
                 "all".into()
             }
@@ -732,6 +817,9 @@ fn main() {
     if what == "chaos" || chaos_flag {
         run_chaos(quick, seed, chaos_json_path.as_deref());
     }
+    if what == "bench" || bench_flag {
+        run_bench(quick, bench_json_path.as_deref());
+    }
     if !all
         && ![
             "fig3",
@@ -744,12 +832,13 @@ fn main() {
             "explore",
             "stats",
             "chaos",
+            "bench",
         ]
         .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \
-             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|all"
+             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|bench|all"
         );
         std::process::exit(2);
     }

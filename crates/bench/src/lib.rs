@@ -18,4 +18,5 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod hostbench;
 pub mod report;

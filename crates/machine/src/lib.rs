@@ -62,6 +62,7 @@ pub mod machine;
 pub mod mem;
 pub mod page;
 pub mod pkey;
+pub mod tlb;
 pub mod vm;
 
 pub use addr::{Addr, PhysAddr, PAGE_SIZE};
@@ -73,4 +74,5 @@ pub use fault::{Fault, Result};
 pub use machine::{GateToken, Machine, MachineConfig};
 pub use page::PageFlags;
 pub use pkey::{Access, Pkru, ProtKey};
+pub use tlb::{Tlb, TLB_ENTRIES};
 pub use vm::VmId;

@@ -17,7 +17,7 @@
 //! call-site vetting that ERIM does by binary inspection and Hodor by
 //! runtime checking.
 
-use crate::addr::{pages_for, Addr, Vpn, PAGE_SIZE};
+use crate::addr::{pages_for, Addr, PhysAddr, Vpn, PAGE_SIZE};
 use crate::chaos::{ChaosPlan, ChaosStats, NotifyFate};
 use crate::clock::{Clock, CostTable};
 use crate::cpu::{PkruGuard, Vcpu, VcpuId};
@@ -26,8 +26,9 @@ use crate::frame::FrameAllocator;
 use crate::mem::PhysMem;
 use crate::page::{PageEntry, PageFlags};
 use crate::pkey::{Access, Pkru, ProtKey};
+use crate::tlb::Tlb;
 use crate::vm::{Notification, Vm, VmId};
-use flexos_trace::FaultTrace;
+use flexos_trace::{FaultTrace, TlbTrace};
 
 /// First virtual page number of the shared window. Shared regions are
 /// mapped at identical addresses in every VM (paper §3: "mapped in all
@@ -61,6 +62,11 @@ pub struct MachineConfig {
     pub costs: CostTable,
     /// PKRU write-guard policy.
     pub pkru_guard: PkruGuard,
+    /// Whether the per-vCPU software TLB is used (default `true`). The
+    /// TLB caches translations only — faults and cycle charges are
+    /// identical either way — so disabling it exists purely as a
+    /// reference path for equivalence tests.
+    pub tlb_enabled: bool,
 }
 
 impl Default for MachineConfig {
@@ -69,6 +75,7 @@ impl Default for MachineConfig {
             phys_frames: 8192,
             costs: CostTable::default(),
             pkru_guard: PkruGuard::default(),
+            tlb_enabled: true,
         }
     }
 }
@@ -78,6 +85,73 @@ impl Default for MachineConfig {
 struct SharedRegion {
     first_vpn: u64,
     entries: Vec<PageEntry>,
+}
+
+/// Chunks held inline by a [`ChunkList`] before spilling to the heap.
+/// Eight pages cover every access up to 28 KiB + change — in practice
+/// all packet, ring and copy traffic — without allocating.
+const INLINE_CHUNKS: usize = 8;
+
+/// Inline list of `(phys_base, run_len)` chunks produced by translating
+/// a virtual range. Replaces the per-access `Vec` the hot paths used to
+/// allocate: short accesses (the overwhelming majority) stay entirely on
+/// the stack.
+#[derive(Debug)]
+struct ChunkList {
+    inline: [(PhysAddr, u64); INLINE_CHUNKS],
+    inline_len: usize,
+    spill: Vec<(PhysAddr, u64)>,
+}
+
+impl ChunkList {
+    fn new() -> Self {
+        Self {
+            inline: [(PhysAddr(0), 0); INLINE_CHUNKS],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, pa: PhysAddr, run: u64) {
+        if self.inline_len < INLINE_CHUNKS {
+            self.inline[self.inline_len] = (pa, run);
+            self.inline_len += 1;
+        } else {
+            self.spill.push((pa, run));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    fn get(&self, i: usize) -> (PhysAddr, u64) {
+        if i < self.inline_len {
+            self.inline[i]
+        } else {
+            self.spill[i - self.inline_len]
+        }
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = (PhysAddr, u64)> + '_ {
+        self.inline[..self.inline_len]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Whether any physical byte range in `self` intersects one in
+    /// `other` (used by `Machine::copy` to decide if it must bounce
+    /// through scratch for memmove semantics).
+    fn overlaps(&self, other: &ChunkList) -> bool {
+        self.iter().any(|(sa, sl)| {
+            other
+                .iter()
+                .any(|(da, dl)| sa.0 < da.0 + dl && da.0 < sa.0 + sl)
+        })
+    }
 }
 
 /// The simulated machine.
@@ -95,6 +169,12 @@ pub struct Machine {
     gate_token: GateToken,
     faults: FaultTrace,
     chaos: Option<ChaosPlan>,
+    /// One software TLB per vCPU (parallel to `vcpus`).
+    tlbs: Vec<Tlb>,
+    tlb_enabled: bool,
+    tlb_trace: TlbTrace,
+    /// Reusable bounce buffer for the rare overlapping-`copy` case.
+    scratch: Vec<u8>,
 }
 
 impl Machine {
@@ -115,6 +195,10 @@ impl Machine {
             gate_token: GateToken::fresh(),
             faults: FaultTrace::new(),
             chaos: None,
+            tlbs: vec![Tlb::new()],
+            tlb_enabled: cfg.tlb_enabled,
+            tlb_trace: TlbTrace::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -147,6 +231,7 @@ impl Machine {
         assert!((vm.0 as usize) < self.vms.len(), "unknown {vm}");
         let id = VcpuId(self.vcpus.len() as u8);
         self.vcpus.push(Vcpu::new(id, vm));
+        self.tlbs.push(Tlb::new());
         id
     }
 
@@ -237,7 +322,30 @@ impl Machine {
             );
             assert!(ok, "page table for {vm} is sealed");
         }
+        self.tlb_trace.flush();
         Ok(Vpn(first).base())
+    }
+
+    /// Removes the mapping of `[base, base+bytes)` from `vm`'s address
+    /// space. Frames stay owned by the machine (a region may alias the
+    /// shared window, which other VMs still map). Fails with
+    /// `PageNotPresent` if a page is already unmapped or the table is
+    /// sealed; pages unmapped before the failure stay unmapped.
+    pub fn unmap_region(&mut self, vm: VmId, base: Addr, bytes: u64) -> Result<()> {
+        let pages = pages_for(bytes.max(1));
+        let vmref = &mut self.vms[vm.0 as usize];
+        for i in 0..pages {
+            let vpn = Vpn(base.vpn().0 + i);
+            if vmref.page_table.unmap(vpn).is_none() {
+                return Err(Fault::PageNotPresent {
+                    addr: vpn.base(),
+                    vm,
+                    access: Access::Write,
+                });
+            }
+        }
+        self.tlb_trace.flush();
+        Ok(())
     }
 
     /// Allocates `bytes` of memory mapped at the *same* address in every
@@ -274,6 +382,7 @@ impl Machine {
             first_vpn: first,
             entries,
         });
+        self.tlb_trace.flush();
         Ok(Vpn(first).base())
     }
 
@@ -292,6 +401,7 @@ impl Machine {
                 });
             }
         }
+        self.tlb_trace.flush();
         Ok(())
     }
 
@@ -300,89 +410,180 @@ impl Machine {
         for vm in &mut self.vms {
             vm.page_table.seal();
         }
+        self.tlb_trace.flush();
     }
 
     // ---- enforcement pipeline -------------------------------------------
 
+    /// Walks (or TLB-hits) one page and runs the permission checks.
+    ///
+    /// Split-borrow associated fn so callers can keep `&self.vms`,
+    /// `&mut self.tlbs[i]` and `&mut self.tlb_trace` live at once
+    /// without cloning the vCPU. The TLB caches the *translation* only:
+    /// the W-bit and PKRU checks below run on every access against
+    /// current vCPU state, so faults are identical hot or cold, and a
+    /// PKRU change takes effect on the very next access with no flush.
+    ///
+    /// A miss returns a plain `PageNotPresent`; the cross-VM diagnostic
+    /// scan that may upgrade it to `VmViolation` lives in
+    /// [`Machine::raise`], off the translation fast path.
+    #[inline]
     fn check_one_page(
-        &self,
-        vcpu: &Vcpu,
+        vms: &[Vm],
+        tlb: Option<&mut Tlb>,
+        tlb_trace: &mut TlbTrace,
+        vm_id: VmId,
+        pkru: Pkru,
         addr: Addr,
         access: Access,
-    ) -> Result<crate::addr::PhysAddr> {
-        let vm = &self.vms[vcpu.vm.0 as usize];
-        let entry = match vm.page_table.walk(addr.vpn()) {
-            Some(e) => e,
-            None => {
-                // If another VM maps this page privately, report it as an
-                // EPT violation (cross-VM access attempt) for clearer
-                // attack-test diagnostics.
-                let mapped_elsewhere = self
-                    .vms
-                    .iter()
-                    .any(|other| other.id != vm.id && other.page_table.walk(addr.vpn()).is_some());
-                return Err(if mapped_elsewhere {
-                    Fault::VmViolation { addr, vm: vcpu.vm }
-                } else {
-                    Fault::PageNotPresent {
-                        addr,
-                        vm: vcpu.vm,
-                        access,
+    ) -> Result<PhysAddr> {
+        let vm = &vms[vm_id.0 as usize];
+        let vpn = addr.vpn();
+        let entry = match tlb {
+            Some(tlb) => {
+                let generation = vm.page_table.generation();
+                match tlb.lookup(vm_id, vpn, generation) {
+                    Some(e) => {
+                        tlb_trace.hit();
+                        e
                     }
-                });
+                    None => {
+                        tlb_trace.miss();
+                        match vm.page_table.walk(vpn) {
+                            Some(e) => {
+                                tlb.insert(vm_id, vpn, generation, e);
+                                e
+                            }
+                            None => {
+                                return Err(Fault::PageNotPresent {
+                                    addr,
+                                    vm: vm_id,
+                                    access,
+                                })
+                            }
+                        }
+                    }
+                }
             }
+            None => match vm.page_table.walk(vpn) {
+                Some(e) => e,
+                None => {
+                    return Err(Fault::PageNotPresent {
+                        addr,
+                        vm: vm_id,
+                        access,
+                    })
+                }
+            },
         };
         if access == Access::Write && !entry.flags.writable {
-            return Err(Fault::WriteToReadOnly { addr, vm: vcpu.vm });
+            return Err(Fault::WriteToReadOnly { addr, vm: vm_id });
         }
-        if vm.pkeys_enabled && !vcpu.pkru.permits(entry.key, access) {
+        if vm.pkeys_enabled && !pkru.permits(entry.key, access) {
             return Err(Fault::PkeyViolation {
                 addr,
                 key: entry.key,
                 access,
             });
         }
-        Ok(crate::addr::PhysAddr(
-            entry.pfn.base().0 + addr.page_offset(),
-        ))
+        Ok(PhysAddr(entry.pfn.base().0 + addr.page_offset()))
+    }
+
+    /// Translates and checks a single-page access (the fast path: no
+    /// chunk list at all). Callers must have ruled out page straddle
+    /// and address overflow.
+    #[inline]
+    fn translate_page(&mut self, vcpu_id: VcpuId, addr: Addr, access: Access) -> Result<PhysAddr> {
+        let v = &self.vcpus[vcpu_id.0 as usize];
+        let (vm_id, pkru) = (v.vm, v.pkru);
+        let tlb = if self.tlb_enabled {
+            Some(&mut self.tlbs[vcpu_id.0 as usize])
+        } else {
+            None
+        };
+        Self::check_one_page(
+            &self.vms,
+            tlb,
+            &mut self.tlb_trace,
+            vm_id,
+            pkru,
+            addr,
+            access,
+        )
     }
 
     /// Translates and checks a `[addr, addr+len)` access, splitting at page
-    /// boundaries. Returns `(phys_base, run_len)` chunks.
+    /// boundaries into `(phys_base, run_len)` chunks.
     fn translate_range(
-        &self,
+        &mut self,
         vcpu_id: VcpuId,
         addr: Addr,
         len: u64,
         access: Access,
-    ) -> Result<Vec<(crate::addr::PhysAddr, u64)>> {
-        let vcpu = self.vcpus[vcpu_id.0 as usize].clone();
+    ) -> Result<ChunkList> {
         let end = addr
             .checked_add(len)
             .ok_or(Fault::AddressOverflow { addr, len })?;
-        let mut out = Vec::new();
+        let v = &self.vcpus[vcpu_id.0 as usize];
+        let (vm_id, pkru) = (v.vm, v.pkru);
+        let mut tlb = if self.tlb_enabled {
+            Some(&mut self.tlbs[vcpu_id.0 as usize])
+        } else {
+            None
+        };
+        let mut out = ChunkList::new();
         let mut cur = addr;
         while cur.0 < end.0 {
             let page_end = cur.page_align_down().0 + PAGE_SIZE;
             let run = page_end.min(end.0) - cur.0;
-            let pa = self.check_one_page(&vcpu, cur, access)?;
-            out.push((pa, run));
+            let pa = Self::check_one_page(
+                &self.vms,
+                tlb.as_deref_mut(),
+                &mut self.tlb_trace,
+                vm_id,
+                pkru,
+                cur,
+                access,
+            )?;
+            out.push(pa, run);
             cur = Addr(cur.0 + run);
         }
         Ok(out)
+    }
+
+    /// Whether `[addr, addr+len)` stays within one page and does not
+    /// wrap the address space — the single-translation fast path.
+    #[inline]
+    fn single_page(addr: Addr, len: u64) -> bool {
+        addr.page_offset() + len <= PAGE_SIZE && addr.0.checked_add(len).is_some()
     }
 
     /// Reads `dst.len()` bytes from `addr` as `vcpu`, enforcing paging and
     /// protection keys, charging cycle costs.
     pub fn read(&mut self, vcpu: VcpuId, addr: Addr, dst: &mut [u8]) -> Result<()> {
         self.chaos_access(addr, Access::Read)?;
-        let chunks = self
-            .translate_range(vcpu, addr, dst.len() as u64, Access::Read)
-            .map_err(|f| self.trap(f))?;
+        let len = dst.len() as u64;
+        if len == 0 {
+            self.clock.advance(self.costs.mem_access);
+            return Ok(());
+        }
+        if Self::single_page(addr, len) {
+            let pa = match self.translate_page(vcpu, addr, Access::Read) {
+                Ok(pa) => pa,
+                Err(f) => return Err(self.raise(f)),
+            };
+            self.clock
+                .advance(self.costs.mem_access + self.costs.copy_cost(len));
+            return self.phys.read(pa, dst);
+        }
+        let chunks = match self.translate_range(vcpu, addr, len, Access::Read) {
+            Ok(c) => c,
+            Err(f) => return Err(self.raise(f)),
+        };
         self.clock
-            .advance(self.costs.mem_access + self.costs.copy_cost(dst.len() as u64));
+            .advance(self.costs.mem_access + self.costs.copy_cost(len));
         let mut off = 0usize;
-        for (pa, run) in chunks {
+        for (pa, run) in chunks.iter() {
             self.phys.read(pa, &mut dst[off..off + run as usize])?;
             off += run as usize;
         }
@@ -393,13 +594,28 @@ impl Machine {
     /// keys, charging cycle costs.
     pub fn write(&mut self, vcpu: VcpuId, addr: Addr, src: &[u8]) -> Result<()> {
         self.chaos_access(addr, Access::Write)?;
-        let chunks = self
-            .translate_range(vcpu, addr, src.len() as u64, Access::Write)
-            .map_err(|f| self.trap(f))?;
+        let len = src.len() as u64;
+        if len == 0 {
+            self.clock.advance(self.costs.mem_access);
+            return Ok(());
+        }
+        if Self::single_page(addr, len) {
+            let pa = match self.translate_page(vcpu, addr, Access::Write) {
+                Ok(pa) => pa,
+                Err(f) => return Err(self.raise(f)),
+            };
+            self.clock
+                .advance(self.costs.mem_access + self.costs.copy_cost(len));
+            return self.phys.write(pa, src);
+        }
+        let chunks = match self.translate_range(vcpu, addr, len, Access::Write) {
+            Ok(c) => c,
+            Err(f) => return Err(self.raise(f)),
+        };
         self.clock
-            .advance(self.costs.mem_access + self.costs.copy_cost(src.len() as u64));
+            .advance(self.costs.mem_access + self.costs.copy_cost(len));
         let mut off = 0usize;
-        for (pa, run) in chunks {
+        for (pa, run) in chunks.iter() {
             self.phys.write(pa, &src[off..off + run as usize])?;
             off += run as usize;
         }
@@ -409,38 +625,112 @@ impl Machine {
     /// Fills `[addr, addr+len)` with `value` as `vcpu`.
     pub fn fill(&mut self, vcpu: VcpuId, addr: Addr, len: u64, value: u8) -> Result<()> {
         self.chaos_access(addr, Access::Write)?;
-        let chunks = self
-            .translate_range(vcpu, addr, len, Access::Write)
-            .map_err(|f| self.trap(f))?;
+        if len == 0 {
+            self.clock.advance(self.costs.mem_access);
+            return Ok(());
+        }
+        if Self::single_page(addr, len) {
+            let pa = match self.translate_page(vcpu, addr, Access::Write) {
+                Ok(pa) => pa,
+                Err(f) => return Err(self.raise(f)),
+            };
+            self.clock
+                .advance(self.costs.mem_access + self.costs.copy_cost(len));
+            return self.phys.fill(pa, len, value);
+        }
+        let chunks = match self.translate_range(vcpu, addr, len, Access::Write) {
+            Ok(c) => c,
+            Err(f) => return Err(self.raise(f)),
+        };
         self.clock
             .advance(self.costs.mem_access + self.costs.copy_cost(len));
-        for (pa, run) in chunks {
+        for (pa, run) in chunks.iter() {
             self.phys.fill(pa, run, value)?;
         }
         Ok(())
     }
 
-    /// Reads a little-endian `u64` at `addr`.
+    /// Reads a little-endian `u64` at `addr`. An aligned (or merely
+    /// non-straddling) load takes the single-page fast path in
+    /// [`Machine::read`]: one translation, no chunk list.
     pub fn read_u64(&mut self, vcpu: VcpuId, addr: Addr) -> Result<u64> {
         let mut b = [0u8; 8];
         self.read(vcpu, addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
-    /// Writes a little-endian `u64` at `addr`.
+    /// Writes a little-endian `u64` at `addr` (single-page fast path,
+    /// see [`Machine::read_u64`]).
     pub fn write_u64(&mut self, vcpu: VcpuId, addr: Addr, v: u64) -> Result<()> {
         self.write(vcpu, addr, &v.to_le_bytes())
     }
 
     /// Copies `len` bytes from `src` to `dst` within the simulated memory,
     /// checking read rights on the source and write rights on the
-    /// destination. Charges a single streaming-copy cost.
+    /// destination. Charges the load half and the store half exactly as a
+    /// `read` followed by a `write` would, but moves the bytes inside
+    /// physical memory ([`PhysMem::copy_within`]) instead of bouncing
+    /// them through a temporary host buffer. Overlapping physical ranges
+    /// fall back to a reusable scratch bounce (memmove semantics).
     pub fn copy(&mut self, vcpu: VcpuId, dst: Addr, src: Addr, len: u64) -> Result<()> {
-        // Bounce through a host buffer; cycle cost is charged once by the
-        // write path (read path charge reflects the load half).
-        let mut buf = vec![0u8; len as usize];
-        self.read(vcpu, src, &mut buf)?;
-        self.write(vcpu, dst, &buf)
+        // Checks and charges mirror `read(src)` then `write(dst)` so the
+        // chaos draw order, fault identity and cycle timestamps are
+        // unchanged from the bounce implementation this replaces.
+        self.chaos_access(src, Access::Read)?;
+        let sc = match self.translate_range(vcpu, src, len, Access::Read) {
+            Ok(c) => c,
+            Err(f) => return Err(self.raise(f)),
+        };
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(len));
+        self.chaos_access(dst, Access::Write)?;
+        let dc = match self.translate_range(vcpu, dst, len, Access::Write) {
+            Ok(c) => c,
+            Err(f) => return Err(self.raise(f)),
+        };
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(len));
+        if sc.overlaps(&dc) {
+            // Rare aliased case: snapshot the source through a reusable
+            // scratch buffer so the destination sees the pre-copy bytes.
+            self.scratch.clear();
+            self.scratch.resize(len as usize, 0);
+            let mut off = 0usize;
+            for (pa, run) in sc.iter() {
+                let run = run as usize;
+                self.phys.read(pa, &mut self.scratch[off..off + run])?;
+                off += run;
+            }
+            let mut off = 0usize;
+            for (pa, run) in dc.iter() {
+                let run = run as usize;
+                self.phys.write(pa, &self.scratch[off..off + run])?;
+                off += run;
+            }
+        } else {
+            // Disjoint chunks: walk both chunk lists in lockstep and move
+            // each common run directly inside physical memory.
+            let (mut si, mut di) = (0usize, 0usize);
+            let (mut s_off, mut d_off) = (0u64, 0u64);
+            while si < sc.len() && di < dc.len() {
+                let (spa, srun) = sc.get(si);
+                let (dpa, drun) = dc.get(di);
+                let n = (srun - s_off).min(drun - d_off);
+                self.phys
+                    .copy_within(PhysAddr(dpa.0 + d_off), PhysAddr(spa.0 + s_off), n)?;
+                s_off += n;
+                d_off += n;
+                if s_off == srun {
+                    si += 1;
+                    s_off = 0;
+                }
+                if d_off == drun {
+                    di += 1;
+                    d_off = 0;
+                }
+            }
+        }
+        Ok(())
     }
 
     // ---- capabilities (CHERI backend) --------------------------------------
@@ -483,6 +773,30 @@ impl Machine {
         self.gate_token
     }
 
+    /// Refines a translation miss for diagnostics, then records the
+    /// fault. The cross-VM scan that upgrades `PageNotPresent` to
+    /// `VmViolation` (clearer attack-test output: "that page exists, it
+    /// just isn't yours") runs *only* here, on the fault-construction
+    /// path — never on the per-access translation fast path, which used
+    /// to walk every other VM's page table on every miss.
+    fn raise(&mut self, f: Fault) -> Fault {
+        let f = match f {
+            Fault::PageNotPresent { addr, vm, access } if self.vms.len() > 1 => {
+                let mapped_elsewhere = self
+                    .vms
+                    .iter()
+                    .any(|other| other.id != vm && other.page_table.walk(addr.vpn()).is_some());
+                if mapped_elsewhere {
+                    Fault::VmViolation { addr, vm }
+                } else {
+                    Fault::PageNotPresent { addr, vm, access }
+                }
+            }
+            f => f,
+        };
+        self.trap(f)
+    }
+
     /// Records `f` in the fault trace (with the offending protection key
     /// for pkey violations) and hands it back — the raise-a-fault path.
     fn trap(&mut self, f: Fault) -> Fault {
@@ -502,6 +816,16 @@ impl Machine {
     /// Resets fault telemetry (benchmark warm-up support).
     pub fn reset_fault_trace(&mut self) {
         self.faults.reset();
+    }
+
+    /// Software-TLB telemetry: hits, misses and lazy whole-VM flushes.
+    pub fn tlb_trace(&self) -> &TlbTrace {
+        &self.tlb_trace
+    }
+
+    /// Resets TLB telemetry (benchmark warm-up support).
+    pub fn reset_tlb_trace(&mut self) {
+        self.tlb_trace.reset();
     }
 
     /// Executes `wrpkru` on `vcpu`. Under [`PkruGuard::GateCapability`],

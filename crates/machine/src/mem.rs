@@ -73,6 +73,16 @@ impl PhysMem {
         let r = self.range(at, len)?;
         Ok(&self.bytes[r])
     }
+
+    /// Copies `len` bytes from `src` to `dst` inside physical memory
+    /// without bouncing through a host buffer. Overlapping ranges copy
+    /// with memmove semantics (as if through a temporary).
+    pub fn copy_within(&mut self, dst: PhysAddr, src: PhysAddr, len: u64) -> Result<()> {
+        let sr = self.range(src, len)?;
+        let dr = self.range(dst, len)?;
+        self.bytes.copy_within(sr, dr.start);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

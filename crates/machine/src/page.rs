@@ -47,6 +47,11 @@ pub struct PageTable {
     /// When sealed, no further modifications are accepted (the paper's
     /// "page-table sealing" defense for PKRU integrity).
     sealed: bool,
+    /// Bumped on every successful mutation (and on sealing). The
+    /// machine's software TLB tags cached walk results with this
+    /// counter, so any edit lazily invalidates every cached translation
+    /// of the VM without an eager flush.
+    generation: u64,
 }
 
 impl PageTable {
@@ -68,6 +73,7 @@ impl PageTable {
             return false;
         }
         self.entries.insert(vpn.0, entry);
+        self.generation += 1;
         true
     }
 
@@ -76,7 +82,11 @@ impl PageTable {
         if self.sealed {
             return None;
         }
-        self.entries.remove(&vpn.0)
+        let e = self.entries.remove(&vpn.0);
+        if e.is_some() {
+            self.generation += 1;
+        }
+        e
     }
 
     /// Re-tags an existing mapping with a new protection key.
@@ -88,6 +98,7 @@ impl PageTable {
         match self.entries.get_mut(&vpn.0) {
             Some(e) => {
                 e.key = key;
+                self.generation += 1;
                 true
             }
             None => false,
@@ -97,6 +108,13 @@ impl PageTable {
     /// Seals the table against further modification.
     pub fn seal(&mut self) {
         self.sealed = true;
+        self.generation += 1;
+    }
+
+    /// The mutation counter TLB entries are tagged with.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Whether the table is sealed.

@@ -126,6 +126,9 @@ pub struct Link {
     pub corrupted: u64,
     /// Frames delivered twice so far.
     pub duplicated: u64,
+    /// Reusable staging buffer for [`Link::transfer`] (frames are moved
+    /// through it; the outer Vec's capacity is what gets recycled).
+    batch: Vec<Vec<u8>>,
 }
 
 impl Link {
@@ -157,7 +160,8 @@ impl Link {
     /// Moves every queued frame from `from`'s tx to `to`'s rx, applying
     /// faults. Returns frames delivered (duplicates count individually).
     pub fn transfer(&mut self, from: &mut Nic, to: &mut Nic) -> usize {
-        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
         while let Some(mut f) = from.pop_tx() {
             self.counter += 1;
             if let Some(n) = self.faults.drop_every {
@@ -210,9 +214,10 @@ impl Link {
             }
         }
         let delivered = batch.len();
-        for f in batch {
+        for f in batch.drain(..) {
             to.push_rx(f);
         }
+        self.batch = batch;
         delivered
     }
 }

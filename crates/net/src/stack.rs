@@ -156,6 +156,9 @@ pub struct NetStack {
     pub sh_per_16_bytes: u64,
     stats: StackStats,
     trace: NetTrace,
+    /// Reusable bounce buffer for send paths that must stage payload
+    /// bytes from simulated memory before framing (no per-call alloc).
+    tx_scratch: Vec<u8>,
 }
 
 impl NetStack {
@@ -184,6 +187,7 @@ impl NetStack {
             sh_per_16_bytes: 0,
             stats: StackStats::default(),
             trace: NetTrace::new(),
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -332,22 +336,32 @@ impl NetStack {
         len: u64,
     ) -> NetResult<u64> {
         m.charge(m.costs().socket_call);
-        let mut buf = vec![0u8; len as usize];
-        m.read(vcpu, src, &mut buf)?;
-        match self.sock(id)? {
-            Sock::TcpStream { conn, .. } => {
-                if conn.is_closed() {
-                    return Err(NetError::Closed);
+        // Stage through the reusable scratch buffer (taken out of `self`
+        // so the socket table can be borrowed mutably below).
+        let mut buf = std::mem::take(&mut self.tx_scratch);
+        buf.clear();
+        buf.resize(len as usize, 0);
+        let out = match m.read(vcpu, src, &mut buf) {
+            Err(f) => Err(f.into()),
+            Ok(()) => match self.sock(id) {
+                Ok(Sock::TcpStream { conn, .. }) => {
+                    if conn.is_closed() {
+                        Err(NetError::Closed)
+                    } else {
+                        let n = conn.send(&buf) as u64;
+                        if n == 0 && len > 0 {
+                            Err(NetError::WouldBlock)
+                        } else {
+                            Ok(n)
+                        }
+                    }
                 }
-                let n = conn.send(&buf) as u64;
-                if n == 0 && len > 0 {
-                    Err(NetError::WouldBlock)
-                } else {
-                    Ok(n)
-                }
-            }
-            _ => Err(NetError::InvalidSocket),
-        }
+                Ok(_) => Err(NetError::InvalidSocket),
+                Err(e) => Err(e),
+            },
+        };
+        self.tx_scratch = buf;
+        out
     }
 
     /// Receives up to `len` bytes into simulated memory at `dst`.
@@ -432,8 +446,13 @@ impl NetStack {
         if len as usize > crate::wire::UDP_MAX_PAYLOAD {
             return Err(NetError::MessageTooLong);
         }
-        let mut buf = vec![0u8; len as usize];
-        m.read(vcpu, src, &mut buf)?;
+        let mut buf = std::mem::take(&mut self.tx_scratch);
+        buf.clear();
+        buf.resize(len as usize, 0);
+        if let Err(f) = m.read(vcpu, src, &mut buf) {
+            self.tx_scratch = buf;
+            return Err(f.into());
+        }
         let udp = UdpHeader {
             src_port,
             dst_port,
@@ -447,7 +466,9 @@ impl NetStack {
                 + self.packet_tax(buf.len() as u64),
         );
         m.charge(m.costs().copy_cost(buf.len() as u64)); // checksum/DMA touch
-        let frame = build_udp_frame(&eth, &ip, &udp, &buf).map_err(|_| NetError::MessageTooLong)?;
+        let frame = build_udp_frame(&eth, &ip, &udp, &buf);
+        self.tx_scratch = buf;
+        let frame = frame.map_err(|_| NetError::MessageTooLong)?;
         self.nic.push_tx(frame);
         Ok(())
     }

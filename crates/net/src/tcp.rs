@@ -15,6 +15,48 @@
 use crate::wire::{TcpFlags, TcpHeader, MSS};
 use std::collections::{BTreeMap, VecDeque};
 
+/// A byte FIFO over a flat `Vec`: bulk `extend_from_slice` on push, one
+/// `memcpy` on pop, amortized compaction of the dead prefix. Replaces
+/// `VecDeque<u8>` on the per-segment hot path, where the deque's
+/// per-element iteration was the simulator's top host-time cost.
+#[derive(Debug, Clone, Default)]
+struct ByteFifo {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl ByteFifo {
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn extend(&mut self, data: &[u8]) {
+        if self.head > 0 && self.head * 2 >= self.buf.len() {
+            // Dead prefix dominates: slide the live bytes down (memmove)
+            // so the buffer cannot grow without bound.
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Removes and returns the first `n` queued bytes (clamped).
+    fn take(&mut self, n: usize) -> Vec<u8> {
+        let n = n.min(self.len());
+        let out = self.buf[self.head..self.head + n].to_vec();
+        self.head += n;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+        out
+    }
+}
+
 /// `a < b` in sequence space.
 #[inline]
 pub fn seq_lt(a: u32, b: u32) -> bool {
@@ -121,9 +163,9 @@ pub struct TcpConn {
     rcv_nxt: u32,
     snd_wnd: u32,
 
-    tx: VecDeque<u8>,
+    tx: ByteFifo,
     retx: VecDeque<RetxSeg>,
-    rx_ready: VecDeque<u8>,
+    rx_ready: ByteFifo,
     ooo: BTreeMap<u32, Vec<u8>>,
 
     need_ack: bool,
@@ -147,9 +189,9 @@ impl TcpConn {
             snd_nxt: iss,
             rcv_nxt: 0,
             snd_wnd: 0,
-            tx: VecDeque::new(),
+            tx: ByteFifo::default(),
             retx: VecDeque::new(),
-            rx_ready: VecDeque::new(),
+            rx_ready: ByteFifo::default(),
             ooo: BTreeMap::new(),
             need_ack: false,
             app_closed: false,
@@ -277,8 +319,7 @@ impl TcpConn {
 
     /// Takes up to `max` in-order received bytes.
     pub fn take_ready(&mut self, max: usize) -> Vec<u8> {
-        let n = max.min(self.rx_ready.len());
-        self.rx_ready.drain(..n).collect()
+        self.rx_ready.take(max)
     }
 
     /// Bytes ready for the application.
@@ -373,7 +414,7 @@ impl TcpConn {
                 // Drain contiguous out-of-order segments.
                 while let Some(data) = self.ooo.remove(&self.rcv_nxt) {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
-                    self.rx_ready.extend(data);
+                    self.rx_ready.extend(&data);
                 }
                 self.need_ack = true;
             } else if seq_lt(self.rcv_nxt, seg_seq) {
@@ -450,7 +491,7 @@ impl TcpConn {
                     break;
                 }
                 let n = self.tx.len().min(self.cfg.mss).min(wnd_room);
-                let data: Vec<u8> = self.tx.drain(..n).collect();
+                let data = self.tx.take(n);
                 let flags = TcpFlags::ACK;
                 out.push(SegmentOut {
                     hdr: self.hdr(flags, self.snd_nxt),

@@ -20,7 +20,7 @@ pub use hist::{CycleHist, HIST_BUCKETS};
 pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use snapshot::{
     AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GatePairRow, MechanismRow, NetSnapshot,
-    SchedSnapshot, StatsSnapshot,
+    SchedSnapshot, StatsSnapshot, TlbSnapshot,
 };
 
 use std::collections::BTreeMap;
@@ -490,6 +490,86 @@ impl FaultTrace {
     }
 }
 
+/// Telemetry owned by the machine's software TLB (the per-vCPU
+/// translation cache in front of the page-table walk): hit, miss and
+/// flush counters.
+///
+/// A *flush* is one machine-level page-table mutation (region map,
+/// unmap, retag or seal) that invalidated the cached translations of
+/// the affected VM via its generation counter — lazy invalidation, so
+/// one flush may expire many cached entries. Like every probe in this
+/// crate, all three counters compile to no-ops under `trace-off`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TlbTrace {
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl TlbTrace {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a translation served from the cache.
+    #[inline]
+    pub fn hit(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.hits += 1;
+        }
+    }
+
+    /// Counts a lookup that had to fall back to the page-table walk
+    /// (including walks that end in a page fault).
+    #[inline]
+    pub fn miss(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.misses += 1;
+        }
+    }
+
+    /// Counts one generation-bumping page-table mutation.
+    #[inline]
+    pub fn flush(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.flushes += 1;
+        }
+    }
+
+    /// Cache hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Walk fallbacks recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidating mutations recorded.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The serializable view.
+    pub fn snapshot(&self) -> TlbSnapshot {
+        TlbSnapshot {
+            hits: self.hits,
+            misses: self.misses,
+            flushes: self.flushes,
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Telemetry owned by the net stack: packet counters and a ring of
 /// drop events.
 #[derive(Debug, Clone, Default)]
@@ -719,6 +799,11 @@ impl TraceRegistry {
                 detail: e.detail,
             });
         }
+    }
+
+    /// Registers the machine's software-TLB counters.
+    pub fn add_tlb(&mut self, tt: &TlbTrace) {
+        self.snap.tlb = tt.snapshot();
     }
 
     /// Registers the net stack's trace, attributed to compartment

@@ -112,6 +112,26 @@ pub struct FaultCompartmentRow {
     pub count: u64,
 }
 
+/// Software-TLB summary (see `TlbTrace` in the crate root).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbSnapshot {
+    /// Translations served from the cache.
+    pub hits: u64,
+    /// Lookups that fell back to the page-table walk.
+    pub misses: u64,
+    /// Generation-bumping page-table mutations (lazy whole-VM flushes).
+    pub flushes: u64,
+}
+
+impl TlbSnapshot {
+    /// Hit rate ×1000 (integer, avoids float plumbing).
+    pub fn hit_rate_milli(&self) -> u64 {
+        (self.hits * 1000)
+            .checked_div(self.hits + self.misses)
+            .unwrap_or(0)
+    }
+}
+
 /// Network stack summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetSnapshot {
@@ -161,6 +181,8 @@ pub struct StatsSnapshot {
     pub fault_kinds: Vec<FaultKindRow>,
     /// Pkey violations by owning compartment.
     pub fault_compartments: Vec<FaultCompartmentRow>,
+    /// Software-TLB counters.
+    pub tlb: TlbSnapshot,
     /// Network stack counters.
     pub net: NetSnapshot,
     /// Most recent events across all rings (time-ordered).
@@ -282,6 +304,16 @@ impl StatsSnapshot {
             let _ = write!(o, ",\"count\":{}}}", r.count);
         }
         o.push_str("],");
+
+        let t = &self.tlb;
+        let _ = write!(
+            o,
+            "\"tlb\":{{\"hits\":{},\"misses\":{},\"flushes\":{},\"hit_rate_milli\":{}}},",
+            t.hits,
+            t.misses,
+            t.flushes,
+            t.hit_rate_milli()
+        );
 
         let n = &self.net;
         let _ = write!(
