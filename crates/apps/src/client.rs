@@ -6,16 +6,54 @@
 //! running only a network stack, connected to the server by a [`Link`].
 
 use crate::os::Os;
-use flexos_machine::{Addr, Machine, PageFlags, ProtKey, VcpuId, VmId};
+use flexos_machine::{Addr, Fault, Machine, PageFlags, ProtKey, VcpuId, VmId};
 use flexos_net::nic::{Link, Nic};
 use flexos_net::stack::{NetError, NetResult, NetStack, SocketId};
 use flexos_net::wire::Mac;
+use std::fmt;
 
 /// The client endpoint (IP used by every harness).
 pub const CLIENT_IP: u32 = 0x0a00_0002;
 
 /// The server endpoint.
 pub const SERVER_IP: u32 = 0x0a00_0001;
+
+/// A failure on the client side of an experiment. Chaos sweeps install
+/// fault schedules on simulated machines, so every client operation can
+/// legitimately fail mid-run; the error is typed (not a panic) so the
+/// experiment layer records a degraded data point instead of aborting
+/// the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// A fault on the client's simulated machine (injected OOM,
+    /// spurious pkey fault, ...).
+    Machine(Fault),
+    /// The client network stack rejected the operation.
+    Net(NetError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Machine(fault) => write!(f, "client machine fault: {fault}"),
+            ClientError::Net(e) => write!(f, "client net error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<Fault> for ClientError {
+    fn from(fault: Fault) -> Self {
+        ClientError::Machine(fault)
+    }
+}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Net(e)
+    }
+}
 
 /// An external client with its own machine and clock.
 #[derive(Debug)]
@@ -33,23 +71,24 @@ pub struct Client {
 
 impl Client {
     /// Boots a client with address [`CLIENT_IP`].
-    pub fn new(nic_id: u8) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Machine`] when the client machine cannot
+    /// allocate its packet pool or staging buffer (e.g. injected OOM).
+    pub fn new(nic_id: u8) -> Result<Self, ClientError> {
         let mut m = Machine::with_defaults();
-        let pool = m
-            .alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)
-            .expect("client pool");
+        let pool = m.alloc_region(VmId(0), 1 << 20, ProtKey(0), PageFlags::RW)?;
         let buf_len = 1 << 18;
-        let buf = m
-            .alloc_region(VmId(0), buf_len, ProtKey(0), PageFlags::RW)
-            .expect("client buffer");
+        let buf = m.alloc_region(VmId(0), buf_len, ProtKey(0), PageFlags::RW)?;
         let net = NetStack::new(CLIENT_IP, Nic::new(Mac::of_nic(nic_id)), pool, 1 << 20);
-        Self {
+        Ok(Self {
             m,
             net,
             vcpu: VcpuId(0),
             buf,
             buf_len,
-        }
+        })
     }
 
     /// Starts a connection to the server.
@@ -63,37 +102,57 @@ impl Client {
     }
 
     /// One stack iteration on the client side.
-    pub fn poll(&mut self) {
-        self.net.poll(&mut self.m, self.vcpu).expect("client poll");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] when the stack iteration faults on the
+    /// client machine.
+    pub fn poll(&mut self) -> Result<(), ClientError> {
+        self.net.poll(&mut self.m, self.vcpu)?;
+        Ok(())
     }
 
     /// Sends `data` (bounded by the staging buffer); returns bytes
     /// accepted (0 when the transmit path is full).
-    pub fn send_bytes(&mut self, sid: SocketId, data: &[u8]) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on a machine fault while staging the
+    /// payload, or when the stack rejects the send for any reason other
+    /// than back-pressure.
+    pub fn send_bytes(&mut self, sid: SocketId, data: &[u8]) -> Result<u64, ClientError> {
         let n = (data.len() as u64).min(self.buf_len);
-        self.m
-            .write(self.vcpu, self.buf, &data[..n as usize])
-            .expect("client write");
+        self.m.write(self.vcpu, self.buf, &data[..n as usize])?;
         match self.net.tcp_send(&mut self.m, self.vcpu, sid, self.buf, n) {
-            Ok(sent) => sent,
-            Err(NetError::WouldBlock) => 0,
-            Err(e) => panic!("client send failed: {e}"),
+            Ok(sent) => Ok(sent),
+            Err(NetError::WouldBlock) => Ok(0),
+            Err(e) => Err(e.into()),
         }
     }
 
     /// Keeps the transmit pipe full with `chunk` zero bytes.
-    pub fn pump_zeroes(&mut self, sid: SocketId, chunk: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] when the stack rejects the send for any
+    /// reason other than back-pressure or an already-closed pipe.
+    pub fn pump_zeroes(&mut self, sid: SocketId, chunk: u64) -> Result<u64, ClientError> {
         let n = chunk.min(self.buf_len);
         match self.net.tcp_send(&mut self.m, self.vcpu, sid, self.buf, n) {
-            Ok(sent) => sent,
-            Err(NetError::WouldBlock) => 0,
-            Err(NetError::Closed) => 0,
-            Err(e) => panic!("client send failed: {e}"),
+            Ok(sent) => Ok(sent),
+            Err(NetError::WouldBlock) | Err(NetError::Closed) => Ok(0),
+            Err(e) => Err(e.into()),
         }
     }
 
     /// Receives whatever is available, as host bytes.
-    pub fn recv_bytes(&mut self, sid: SocketId, max: u64) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on a machine fault while draining the
+    /// staging buffer, or when the stack fails the receive for any
+    /// reason other than an empty ring.
+    pub fn recv_bytes(&mut self, sid: SocketId, max: u64) -> Result<Vec<u8>, ClientError> {
         let max = max.min(self.buf_len);
         match self
             .net
@@ -101,13 +160,11 @@ impl Client {
         {
             Ok(n) => {
                 let mut out = vec![0u8; n as usize];
-                self.m
-                    .read(self.vcpu, self.buf, &mut out)
-                    .expect("client read");
-                out
+                self.m.read(self.vcpu, self.buf, &mut out)?;
+                Ok(out)
             }
-            Err(NetError::WouldBlock) => Vec::new(),
-            Err(e) => panic!("client recv failed: {e}"),
+            Err(NetError::WouldBlock) => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -133,6 +190,7 @@ mod tests {
     use super::*;
     use crate::profiles::{evaluation_image, CompartmentModel, SchedKind};
     use flexos::build::{plan, BackendChoice};
+    use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
 
     #[test]
     fn client_connects_to_a_flexos_server() {
@@ -143,13 +201,13 @@ mod tests {
             SchedKind::Coop,
         );
         let mut os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
-        let mut client = Client::new(2);
+        let mut client = Client::new(2).unwrap();
         let mut link = Link::new();
 
         os.listen(5201).unwrap();
         let csid = client.connect(5201).unwrap();
         for _ in 0..6 {
-            client.poll();
+            client.poll().unwrap();
             os.poll_net().unwrap();
             exchange(&mut link, &mut client, &mut os);
         }
@@ -167,9 +225,24 @@ mod tests {
             SchedKind::Coop,
         );
         let os = Os::boot(plan(cfg).unwrap(), SERVER_IP, 1).unwrap();
-        let mut client = Client::new(2);
+        let mut client = Client::new(2).unwrap();
         client.advance(1_000_000);
         assert!(client.m.clock().cycles() >= 1_000_000);
         assert!(os.img.machine.clock().cycles() < 1_000_000);
+    }
+
+    #[test]
+    fn client_machine_faults_surface_as_typed_errors_not_panics() {
+        let mut client = Client::new(2).unwrap();
+        let csid = client.connect(5201).unwrap();
+        // Every access faults spuriously: staging the payload must
+        // return the fault instead of panicking the whole sweep.
+        client.m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 9,
+            spurious_pkey: Schedule::EveryNth(1),
+            ..Default::default()
+        }));
+        let err = client.send_bytes(csid, b"payload").unwrap_err();
+        assert!(matches!(err, ClientError::Machine(_)), "{err:?}");
     }
 }

@@ -115,7 +115,7 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
     let image = plan(iperf_image(params)).expect("iperf image plans");
     let mut os = Os::boot(image, SERVER_IP, 1).expect("iperf image boots");
     let mut exec = make_executor(params.sched);
-    let mut client = Client::new(2);
+    let mut client = Client::new(2).expect("client boots");
     let mut link = match params.link_chaos {
         Some((chaos, seed)) => Link::with_chaos(chaos, seed),
         None => Link::new(),
@@ -138,25 +138,48 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
             match os.accept(listener) {
                 Ok(Some(s)) => sid = Some(s),
                 Ok(None) => return Ok(Step::Yield),
-                Err(e) => panic!("accept failed: {e}"),
+                Err(e) => {
+                    return Err(flexos_machine::Fault::HardeningAbort {
+                        mechanism: "iperf",
+                        reason: format!("accept failed: {e}"),
+                    })
+                }
             }
         }
         let s = sid.expect("accepted");
-        // Receive a bounded burst per quantum, then yield.
-        for _ in 0..8 {
-            match os.recv(s, app_buf, recv_buf_len) {
-                Ok(0) => return Ok(Step::Done), // EOF
-                Ok(n) => {
-                    received_task.set(received_task.get() + n);
-                    // Per-recv application work (iperf's accounting).
-                    let work = os.img.machine.costs().app_request;
-                    os.app_compute(work);
-                }
-                Err(NetError::WouldBlock) => match os.wait_readable(tid, s)? {
+        // Receive a bounded burst per quantum as one batched gate
+        // crossing, then yield. The `after` hook charges the per-recv
+        // application work (iperf's accounting) between two receives,
+        // exactly where the old sequential loop charged it.
+        let mut budget = 8usize;
+        while budget > 0 {
+            let app_tax = os.tax.app;
+            let app_work = os.img.machine.costs().app_request;
+            let counter = &received_task;
+            let results = os.recv_batch(s, app_buf, recv_buf_len, budget, |m, _rt, r| {
+                Ok(match r {
+                    Ok(n) if *n > 0 => {
+                        counter.set(counter.get() + n);
+                        m.charge(app_work + app_work * app_tax / 100);
+                        Some(recv_buf_len)
+                    }
+                    _ => None,
+                })
+            })?;
+            budget -= results.len();
+            match results.last() {
+                Some(Ok(0)) => return Ok(Step::Done), // EOF
+                Some(Err(NetError::WouldBlock)) => match os.wait_readable(tid, s)? {
                     Some(ch) => return Ok(Step::Block(ch)),
-                    None => continue,
+                    None => continue, // data raced in; retry within budget
                 },
-                Err(e) => panic!("recv failed: {e}"),
+                Some(Err(e)) => {
+                    return Err(flexos_machine::Fault::HardeningAbort {
+                        mechanism: "iperf",
+                        reason: format!("recv failed: {e}"),
+                    })
+                }
+                _ => break, // budget exhausted on successful receives
             }
         }
         Ok(Step::Yield)
@@ -167,7 +190,7 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
     // Client connects and then keeps the pipe full.
     let csid = client.connect(IPERF_PORT).expect("client connect");
     for _ in 0..8 {
-        client.poll();
+        client.poll().expect("client poll");
         exchange(&mut link, &mut client, &mut os);
         os.poll_net().expect("server poll");
         exec.run(&mut os, 16).expect("exec");
@@ -182,9 +205,9 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
     let mut idle_rounds = 0u32;
     while received.get() < params.total_bytes {
         if sent < params.total_bytes {
-            sent += client.pump_zeroes(csid, 32 * 1024);
+            sent += client.pump_zeroes(csid, 32 * 1024).expect("client send");
         }
-        client.poll();
+        client.poll().expect("client poll");
         exchange(&mut link, &mut client, &mut os);
         os.poll_net().expect("server poll");
         let before = received.get();

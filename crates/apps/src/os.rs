@@ -23,7 +23,7 @@
 use crate::profiles::SchedKind;
 use flexos::build::{ImagePlan, LibRole};
 use flexos::explore::sh_overhead_percent;
-use flexos::gate::CompartmentId;
+use flexos::gate::{CallVec, CompartmentId, GateRuntime};
 use flexos_backends::{instantiate_with, BootImage, BootOptions};
 use flexos_kernel::alloc::AllocMode;
 use flexos_kernel::exec::{Executor, KernelHal};
@@ -36,6 +36,7 @@ use flexos_net::wire::Mac;
 use flexos_sh::runtime::ShRuntime;
 use flexos_sh::shadow::REDZONE;
 use flexos_trace::{StatsSnapshot, TraceRegistry};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Compartment of each functional role (resolved from the image plan).
@@ -523,6 +524,127 @@ impl Os {
         let pct = costs.sh_asan_memcpy_pct * libc_tax / GCC_PCT;
         self.img.machine.charge(base + base * pct / 100);
         Ok(r)
+    }
+
+    /// Batched [`Os::sock_data_op`]: up to `max` data operations on `sid`
+    /// issued through one [`GateRuntime::cross_batch_until`] on the outer
+    /// app → libc crossing, each call performing the exact nested inner
+    /// sequence (libc → stack → semaphore → scheduler) and each followed
+    /// by the same libc memcpy epilogue a sequential driver charges.
+    ///
+    /// `after(m, rt, &r)` runs in the caller's compartment after each
+    /// operation's result `r`: it applies the work a sequential loop does
+    /// between two socket calls (per-reply bookkeeping, staging the next
+    /// chunk via `m`/`rt`) and returns `Ok(Some(next_len))` to issue the
+    /// next operation with that length or `Ok(None)` to stop — e.g. on
+    /// `WouldBlock`, EOF, or an emptied output buffer. Results of all
+    /// issued operations, including the stopping one, are returned.
+    ///
+    /// With batching disabled this degrades to the sequential loop it
+    /// replaces; either way the simulated cycles, faults and trace are
+    /// bit-identical (see `tests/backend_equiv.rs`).
+    fn sock_data_op_batch(
+        &mut self,
+        sid: SocketId,
+        buf: Addr,
+        first_len: u64,
+        access: Access,
+        max: usize,
+        mut after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
+    ) -> Result<Vec<NetResult<u64>>> {
+        let (c_libc, c_net, c_sched) = (self.roles.libc, self.roles.net, self.roles.sched);
+        let c_sem = self.sem_home;
+        let (net_tax, libc_tax) = (self.tax.net, self.tax.libc);
+        let sched_cycles = self.sched_peek_cycles();
+        let cur_len = Cell::new(first_len);
+        let Os {
+            img,
+            net,
+            sh,
+            stats,
+            ..
+        } = self;
+        let BootImage { machine, gates, .. } = img;
+        gates.cross_batch_until(
+            machine,
+            c_libc,
+            &CallVec::uniform(max, 32, 8),
+            |m, rt, _idx| {
+                let len = cur_len.get();
+                rt.cross(m, c_net, 32, 8, |m, rt| {
+                    let vcpu = rt.current_ctx().vcpu;
+                    if net_tax > 0 {
+                        let extra = m.costs().socket_call * m.costs().sh_net_socket_pct * net_tax
+                            / (GCC_PCT * 100);
+                        m.charge(extra);
+                        if let Err(f) = sh.check_access(m, c_net, buf, len, access) {
+                            return Ok(Err(NetError::from(f)));
+                        }
+                    }
+                    let res = match access {
+                        Access::Write => net.tcp_recv(m, vcpu, sid, buf, len),
+                        Access::Read => net.tcp_send(m, vcpu, sid, buf, len),
+                    };
+                    stats.sem_ops += 1;
+                    rt.cross(m, c_sem, 8, 8, |m, rt| {
+                        m.charge(m.costs().func_call);
+                        rt.cross(m, c_sched, 8, 8, |m, _rt| {
+                            m.charge(sched_cycles);
+                            Ok(())
+                        })
+                    })?;
+                    Ok(res)
+                })
+            },
+            |m, rt, _idx, r| {
+                if let Ok(n) = r {
+                    // libc's user-space memcpy of the payload — charged
+                    // after the crossing returns, exactly where the
+                    // sequential path charges it.
+                    let costs = m.costs();
+                    let base = n.div_ceil(4) * costs.libc_copy_per_4bytes;
+                    let pct = costs.sh_asan_memcpy_pct * libc_tax / GCC_PCT;
+                    m.charge(base + base * pct / 100);
+                }
+                match after(m, rt, r)? {
+                    Some(next) => {
+                        cur_len.set(next);
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                }
+            },
+        )
+    }
+
+    /// Batched `recv()`: up to `max` receives of `len` bytes into `dst`
+    /// through one vectored gate crossing. See [`Os::sock_data_op_batch`]
+    /// for the `after` hook contract.
+    pub fn recv_batch(
+        &mut self,
+        sid: SocketId,
+        dst: Addr,
+        len: u64,
+        max: usize,
+        after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
+    ) -> Result<Vec<NetResult<u64>>> {
+        self.sock_data_op_batch(sid, dst, len, Access::Write, max, after)
+    }
+
+    /// Batched `send()`: up to `max` sends from `src`, the first of
+    /// `first_len` bytes, through one vectored gate crossing. The `after`
+    /// hook stages each subsequent chunk (writing it through `m` in the
+    /// caller's compartment, as a sequential send loop would) and returns
+    /// its length. See [`Os::sock_data_op_batch`].
+    pub fn send_batch_with(
+        &mut self,
+        sid: SocketId,
+        src: Addr,
+        first_len: u64,
+        max: usize,
+        after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
+    ) -> Result<Vec<NetResult<u64>>> {
+        self.sock_data_op_batch(sid, src, first_len, Access::Read, max, after)
     }
 
     /// `recv()`: see [`Os::sock_data_op`] for the crossing structure.

@@ -7,7 +7,7 @@
 //! pipelined over TCP from an external client, and every socket
 //! operation crosses the image's gates.
 
-use crate::client::{exchange, Client, SERVER_IP};
+use crate::client::{exchange, Client, ClientError, SERVER_IP};
 use crate::os::Os;
 use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
 use crate::resp::{encode, encode_command, RespParser, RespValue};
@@ -15,7 +15,7 @@ use flexos::build::{plan, BackendChoice, Hypervisor};
 use flexos::gate::CompartmentId;
 use flexos_kernel::exec::{Executor, Step};
 use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
-use flexos_machine::Addr;
+use flexos_machine::{Addr, ChaosConfig, ChaosPlan};
 use flexos_net::nic::Link;
 use flexos_net::stack::{NetError, SocketId};
 use flexos_trace::StatsSnapshot;
@@ -69,6 +69,11 @@ pub struct RedisParams {
     pub ops: u64,
     /// Pipeline depth.
     pub pipeline: usize,
+    /// A seeded fault schedule installed on the *server* machine after
+    /// boot (doorbell loss, injected OOM, ...). Chaos sweeps use this
+    /// to measure how the run degrades; failures come back as
+    /// [`RedisRunError`], never as panics.
+    pub machine_chaos: Option<ChaosConfig>,
 }
 
 impl Default for RedisParams {
@@ -84,6 +89,7 @@ impl Default for RedisParams {
             mix: Mix::Get,
             ops: 2_000,
             pipeline: 16,
+            machine_chaos: None,
         }
     }
 }
@@ -101,22 +107,46 @@ pub struct RedisResult {
     pub crossings: u64,
 }
 
-/// A remote-side failure during a Redis run: the server answered a
-/// request with a RESP error. Propagated (not panicked) so a misbehaving
-/// compartment degrades a benchmark run instead of aborting the process.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RedisRunError {
-    /// The server's error reply.
-    pub reply: String,
+/// A failure during a Redis run, propagated (not panicked) so a
+/// misbehaving compartment or a chaos schedule degrades a benchmark run
+/// into a recorded data point instead of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedisRunError {
+    /// The server answered a request with a RESP error.
+    Reply(String),
+    /// The external load generator failed (client machine fault or
+    /// client stack error).
+    Client(ClientError),
+    /// The server image failed outside a reply: a gate timeout under
+    /// injected doorbell loss, an allocation fault, a stack error.
+    Server(String),
+}
+
+impl RedisRunError {
+    fn server(e: impl fmt::Display) -> Self {
+        RedisRunError::Server(e.to_string())
+    }
 }
 
 impl fmt::Display for RedisRunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "redis server replied with error: {}", self.reply)
+        match self {
+            RedisRunError::Reply(reply) => {
+                write!(f, "redis server replied with error: {reply}")
+            }
+            RedisRunError::Client(e) => write!(f, "redis client failed: {e}"),
+            RedisRunError::Server(e) => write!(f, "redis server failed: {e}"),
+        }
     }
 }
 
 impl std::error::Error for RedisRunError {}
+
+impl From<ClientError> for RedisRunError {
+    fn from(e: ClientError) -> Self {
+        RedisRunError::Client(e)
+    }
+}
 
 /// The in-image Redis server state.
 struct RedisServer {
@@ -206,17 +236,38 @@ impl RedisServer {
         tid: ThreadId,
         sid: SocketId,
     ) -> flexos_machine::Result<Step> {
-        // Flush pending replies first.
+        // Flush pending replies first, issuing the whole backlog as one
+        // batched gate crossing per round: the `after` hook drains what
+        // each send moved and stages the next chunk, exactly as the old
+        // sequential send loop did between two crossings.
         while !self.out_host.is_empty() {
             let n = (self.out_host.len() as u64).min(self.io_buf_len);
             os.img.write(self.tx_buf, &self.out_host[..n as usize])?;
-            match os.send(sid, self.tx_buf, n) {
-                Ok(sent) => {
-                    self.out_host.drain(..sent as usize);
+            let max = (self.out_host.len() as u64)
+                .div_ceil(self.io_buf_len)
+                .max(1) as usize;
+            let (tx_buf, io_buf_len) = (self.tx_buf, self.io_buf_len);
+            let out_host = &mut self.out_host;
+            let results = os.send_batch_with(sid, tx_buf, n, max, |m, rt, r| {
+                let Ok(sent) = r else { return Ok(None) };
+                out_host.drain(..*sent as usize);
+                if out_host.is_empty() {
+                    return Ok(None);
                 }
-                Err(NetError::WouldBlock) => return Ok(Step::Yield),
-                Err(NetError::Closed) => return Ok(Step::Done),
-                Err(e) => panic!("redis send failed: {e}"),
+                let next = (out_host.len() as u64).min(io_buf_len);
+                m.write(rt.current_ctx().vcpu, tx_buf, &out_host[..next as usize])?;
+                Ok(Some(next))
+            })?;
+            match results.last() {
+                Some(Err(NetError::WouldBlock)) => return Ok(Step::Yield),
+                Some(Err(NetError::Closed)) => return Ok(Step::Done),
+                Some(Err(e)) => {
+                    return Err(flexos_machine::Fault::HardeningAbort {
+                        mechanism: "redis",
+                        reason: format!("send failed: {e}"),
+                    })
+                }
+                _ => {}
             }
         }
         // Pull in new request bytes.
@@ -235,7 +286,12 @@ impl RedisServer {
                     };
                 }
             }
-            Err(e) => panic!("redis recv failed: {e}"),
+            Err(e) => {
+                return Err(flexos_machine::Fault::HardeningAbort {
+                    mechanism: "redis",
+                    reason: format!("recv failed: {e}"),
+                })
+            }
         }
         // Execute everything parseable.
         while let Some(args) = self.parser.parse_command() {
@@ -317,7 +373,7 @@ impl LoadGen {
         self.replies.feed(bytes);
         while let Some(v) = self.replies.parse_value() {
             if let RespValue::Error(e) = &v {
-                return Err(RedisRunError { reply: e.clone() });
+                return Err(RedisRunError::Reply(e.clone()));
             }
             self.completed += 1;
             self.inflight = self.inflight.saturating_sub(1);
@@ -350,15 +406,24 @@ pub fn run_redis_with_stats(
 ) -> Result<(RedisResult, StatsSnapshot), RedisRunError> {
     let image = plan(redis_image(params)).expect("redis image plans");
     let mut os = Os::boot(image, SERVER_IP, 1).expect("redis image boots");
+    if let Some(chaos) = params.machine_chaos {
+        os.img.machine.set_chaos(ChaosPlan::new(chaos));
+    }
     let mut exec = make_executor(params.sched);
-    let mut client = Client::new(2);
+    let mut client = Client::new(2)?;
     let mut link = Link::new();
 
     let io_buf_len = 16 * 1024u64;
-    let rx_buf = os.alloc_shared_buf(io_buf_len).expect("rx buffer");
-    let tx_buf = os.alloc_shared_buf(io_buf_len).expect("tx buffer");
+    let rx_buf = os
+        .alloc_shared_buf(io_buf_len)
+        .map_err(RedisRunError::server)?;
+    let tx_buf = os
+        .alloc_shared_buf(io_buf_len)
+        .map_err(RedisRunError::server)?;
     let c_app = os.roles.app;
-    let listener = os.listen(REDIS_PORT).expect("listen");
+    let listener = os
+        .listen(REDIS_PORT)
+        .map_err(|e| RedisRunError::server(format!("listen failed: {e}")))?;
 
     let server = Rc::new(RefCell::new(RedisServer {
         store: HashMap::new(),
@@ -377,7 +442,12 @@ pub fn run_redis_with_stats(
             match os.accept(listener) {
                 Ok(Some(s)) => sid = Some(s),
                 Ok(None) => return Ok(Step::Yield),
-                Err(e) => panic!("accept failed: {e}"),
+                Err(e) => {
+                    return Err(flexos_machine::Fault::HardeningAbort {
+                        mechanism: "redis",
+                        reason: format!("accept failed: {e}"),
+                    })
+                }
             }
         }
         server_task
@@ -387,12 +457,14 @@ pub fn run_redis_with_stats(
     exec.spawn(c_app, Box::new(task))
         .expect("spawn redis server");
 
-    let csid = client.connect(REDIS_PORT).expect("client connect");
+    let csid = client
+        .connect(REDIS_PORT)
+        .map_err(|e| RedisRunError::Client(ClientError::Net(e)))?;
     for _ in 0..8 {
-        client.poll();
+        client.poll()?;
         exchange(&mut link, &mut client, &mut os);
-        os.poll_net().expect("server poll");
-        exec.run(&mut os, 16).expect("exec");
+        os.poll_net().map_err(RedisRunError::server)?;
+        exec.run(&mut os, 16).map_err(RedisRunError::server)?;
         exchange(&mut link, &mut client, &mut os);
     }
     assert!(client.established(csid), "handshake did not complete");
@@ -409,16 +481,16 @@ pub fn run_redis_with_stats(
         while load.completed < target {
             let batch = load.batch();
             if !batch.is_empty() {
-                client.send_bytes(csid, &batch);
+                client.send_bytes(csid, &batch)?;
             }
-            client.poll();
+            client.poll()?;
             exchange(link, client, os);
-            os.poll_net().expect("server poll");
-            exec.run(os, 64).expect("exec");
-            os.poll_net().expect("server poll 2");
+            os.poll_net().map_err(RedisRunError::server)?;
+            exec.run(os, 64).map_err(RedisRunError::server)?;
+            os.poll_net().map_err(RedisRunError::server)?;
             exchange(link, client, os);
-            client.poll();
-            let replies = client.recv_bytes(csid, 64 * 1024);
+            client.poll()?;
+            let replies = client.recv_bytes(csid, 64 * 1024)?;
             let before = load.completed;
             load.consume(&replies)?;
             if load.completed == before {
@@ -466,9 +538,34 @@ pub fn run_redis_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flexos_machine::Schedule;
 
     fn quick(params: RedisParams) -> RedisResult {
         run_redis(&RedisParams { ops: 300, ..params }).expect("redis run succeeds")
+    }
+
+    /// The chaos-sweep contract: with *every* doorbell dropped, the VM
+    /// RPC gates exhaust their retry budget and the run comes back as a
+    /// typed error (a degraded data point), never a panic.
+    #[test]
+    fn total_doorbell_loss_degrades_to_an_error_not_a_panic() {
+        let err = run_redis(&RedisParams {
+            model: CompartmentModel::NwOnly,
+            backend: BackendChoice::VmRpc,
+            ops: 50,
+            machine_chaos: Some(ChaosConfig {
+                seed: 5,
+                notify_drop: Schedule::EveryNth(1),
+                ..Default::default()
+            }),
+            ..RedisParams::default()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, RedisRunError::Server(_)),
+            "expected a server-side gate failure, got: {err}"
+        );
+        assert!(err.to_string().contains("timed out"), "{err}");
     }
 
     #[test]

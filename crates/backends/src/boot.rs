@@ -13,7 +13,7 @@
 use crate::mpk::{MpkSharedGate, MpkSwitchedGate};
 use crate::vmrpc::VmRpcGate;
 use flexos::build::{BackendChoice, ImagePlan, LibRole};
-use flexos::gate::{CompartmentCtx, CompartmentId, DirectGate, Gate, GateRuntime};
+use flexos::gate::{CallVec, CompartmentCtx, CompartmentId, DirectGate, Gate, GateRuntime};
 use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
 use flexos_machine::{
     Addr, Fault, Machine, MachineConfig, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId,
@@ -169,6 +169,25 @@ impl BootImage {
             })?;
         self.gates
             .cross(&mut self.machine, target, arg_bytes, ret_bytes, f)
+    }
+
+    /// Batched [`BootImage::call_lib`]: resolves `lib` to its compartment
+    /// once (hoisting the per-call linear name search) and issues
+    /// `calls.len()` crossings through [`GateRuntime::cross_batch`]; call
+    /// `idx` runs `f(m, rt, idx)` inside the target compartment.
+    pub fn call_lib_batch<R>(
+        &mut self,
+        lib: &str,
+        calls: &CallVec,
+        f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
+    ) -> Result<Vec<R>> {
+        let target = self
+            .compartment_of_lib(lib)
+            .ok_or_else(|| Fault::HardeningAbort {
+                mechanism: "gate",
+                reason: format!("unknown library `{lib}`"),
+            })?;
+        self.gates.cross_batch(&mut self.machine, target, calls, f)
     }
 }
 

@@ -37,6 +37,20 @@ impl MpkSharedGate {
         m.charge(m.costs().pkru_guard_check + m.costs().mpk_gate_overhead);
         m.wrpkru(to.vcpu, to.pkru, Some(self.token))
     }
+
+    /// The batched crossing path: the guard-check/trampoline charge and
+    /// the PKRU write are fused into one machine call. The clock is
+    /// additive and neither half draws chaos, so the simulated cost and
+    /// fault behaviour are identical to `switch_to` — only the host-side
+    /// double dispatch is elided.
+    fn switch_to_fused(&self, m: &mut Machine, to: &CompartmentCtx) -> Result<()> {
+        m.wrpkru_with_overhead(
+            to.vcpu,
+            to.pkru,
+            Some(self.token),
+            m.costs().pkru_guard_check + m.costs().mpk_gate_overhead,
+        )
+    }
 }
 
 impl Gate for MpkSharedGate {
@@ -62,6 +76,28 @@ impl Gate for MpkSharedGate {
         _ret_bytes: u64,
     ) -> Result<()> {
         self.switch_to(m, caller)
+    }
+
+    fn enter_nth(
+        &self,
+        m: &mut Machine,
+        _from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        _arg_bytes: u64,
+        _idx: usize,
+    ) -> Result<()> {
+        self.switch_to_fused(m, to)
+    }
+
+    fn exit_nth(
+        &self,
+        m: &mut Machine,
+        _callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        _ret_bytes: u64,
+        _idx: usize,
+    ) -> Result<()> {
+        self.switch_to_fused(m, caller)
     }
 }
 

@@ -12,7 +12,7 @@
 //! inter-VM notification cost), and hands execution to the callee vCPU.
 
 use flexos::gate::{CompartmentCtx, Gate, GateMechanism};
-use flexos_machine::{Addr, Fault, Machine, Result};
+use flexos_machine::{Addr, Fault, Machine, NotifyFate, Result};
 
 /// Size reserved in the shared window for each compartment's RPC inbox.
 pub const RPC_INBOX_BYTES: u64 = 4096;
@@ -150,6 +150,72 @@ impl VmRpcGate {
             }
         }
     }
+
+    /// [`VmRpcGate::rpc`] with the doorbell coalesced away.
+    ///
+    /// Calls 1…N−1 of a batch use this path: the batch head already rang
+    /// the target's doorbell for real, and the synchronous crossing model
+    /// means posting another notification and immediately consuming it is
+    /// pure host-side queue churn. [`Machine::notify_coalesced`] charges
+    /// the identical `vm_notify` cost, draws the identical chaos fate and
+    /// records the identical injected-fault telemetry per message — only
+    /// the post/take round trip on the queue is elided — and the retry /
+    /// backoff / timeout discipline below mirrors `rpc` decision for
+    /// decision.
+    ///
+    /// If anything is already queued on the target (e.g. a forged
+    /// doorbell posted by an attacker between calls), this falls back to
+    /// the exact path so the take-and-check sequence still raises
+    /// [`Fault::DoorbellMismatch`].
+    fn rpc_coalesced(
+        &self,
+        m: &mut Machine,
+        from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        bytes: u64,
+    ) -> Result<()> {
+        if m.peek_notification(to.vm).is_some() {
+            return self.rpc(m, from, to, bytes);
+        }
+        if to.id.0 >= self.compartments {
+            return Err(Fault::HardeningAbort {
+                mechanism: "vmrpc",
+                reason: format!("no RPC inbox for {}", to.id),
+            });
+        }
+        if bytes > RPC_INBOX_BYTES - 16 {
+            return Err(Fault::HardeningAbort {
+                mechanism: "vmrpc",
+                reason: format!("RPC frame of {bytes} bytes exceeds inbox"),
+            });
+        }
+        m.charge(m.costs().vm_rpc_marshal + m.costs().copy_cost(bytes));
+        // Descriptor stores hit the same validated inbox page every call
+        // of the batch; `write_u64_hot` caches that one translation.
+        let inbox = self.inbox(to.id.0);
+        m.write_u64_hot(from.vcpu, inbox, u64::from(from.id.0))?;
+        m.write_u64_hot(from.vcpu, Addr(inbox.0 + 8), bytes)?;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match m.notify_coalesced(from.vcpu, to.vm)? {
+                // Deliver: the exact path would take its own doorbell
+                // straight back off the queue. Duplicate: it would take
+                // one copy and absorb the other. Either way the queue is
+                // unchanged and the crossing succeeds.
+                NotifyFate::Deliver | NotifyFate::Duplicate => return Ok(()),
+                NotifyFate::Drop => {
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        return Err(Fault::GateTimeout {
+                            mechanism: "vmrpc",
+                            attempts: attempt,
+                        });
+                    }
+                    m.charge(self.retry.backoff_base_cycles << (attempt - 1));
+                }
+            }
+        }
+    }
 }
 
 impl Gate for VmRpcGate {
@@ -176,6 +242,40 @@ impl Gate for VmRpcGate {
     ) -> Result<()> {
         // The response travels the same path in reverse.
         self.rpc(m, callee, caller, ret_bytes)
+    }
+
+    // Batched crossings ring each direction's doorbell for real once, on
+    // the batch head; the remaining messages coalesce theirs (see
+    // `rpc_coalesced` for the equivalence argument).
+
+    fn enter_nth(
+        &self,
+        m: &mut Machine,
+        from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        arg_bytes: u64,
+        idx: usize,
+    ) -> Result<()> {
+        if idx == 0 {
+            self.rpc(m, from, to, arg_bytes)
+        } else {
+            self.rpc_coalesced(m, from, to, arg_bytes)
+        }
+    }
+
+    fn exit_nth(
+        &self,
+        m: &mut Machine,
+        callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        ret_bytes: u64,
+        idx: usize,
+    ) -> Result<()> {
+        if idx == 0 {
+            self.rpc(m, callee, caller, ret_bytes)
+        } else {
+            self.rpc_coalesced(m, callee, caller, ret_bytes)
+        }
     }
 }
 
@@ -346,5 +446,116 @@ mod tests {
         assert!(m.peek_notification(c1.vm).is_none());
         gate.enter(&mut m, &c0, &c1, 16).unwrap();
         assert!(m.peek_notification(c1.vm).is_none());
+    }
+
+    /// Drives `n` batched crossings (enter + exit per call, like
+    /// `cross_batch`) and returns the cycles they charged.
+    fn run_batched(
+        m: &mut Machine,
+        gate: &VmRpcGate,
+        c0: &CompartmentCtx,
+        c1: &CompartmentCtx,
+        n: usize,
+    ) -> u64 {
+        let t0 = m.clock().cycles();
+        for idx in 0..n {
+            gate.enter_nth(m, c0, c1, 16, idx).unwrap();
+            gate.exit_nth(m, c1, c0, 8, idx).unwrap();
+        }
+        m.clock().cycles() - t0
+    }
+
+    /// Same crossings through the exact single-call path.
+    fn run_exact(
+        m: &mut Machine,
+        gate: &VmRpcGate,
+        c0: &CompartmentCtx,
+        c1: &CompartmentCtx,
+        n: usize,
+    ) -> u64 {
+        let t0 = m.clock().cycles();
+        for _ in 0..n {
+            gate.enter(m, c0, c1, 16).unwrap();
+            gate.exit(m, c1, c0, 8).unwrap();
+        }
+        m.clock().cycles() - t0
+    }
+
+    #[test]
+    fn coalesced_batch_is_cycle_identical_to_exact_path() {
+        let (mut m1, gate1, a0, a1) = setup();
+        let (mut m2, gate2, b0, b1) = setup();
+        let batched = run_batched(&mut m1, &gate1, &a0, &a1, 8);
+        let exact = run_exact(&mut m2, &gate2, &b0, &b1, 8);
+        assert_eq!(batched, exact);
+        // Both leave the doorbell queues drained and the same descriptor
+        // in each inbox.
+        assert!(m1.peek_notification(a1.vm).is_none());
+        assert!(m2.peek_notification(b1.vm).is_none());
+        let inbox = Addr(gate1.rpc_base.0 + RPC_INBOX_BYTES);
+        assert_eq!(
+            m1.read_u64(a1.vcpu, inbox).unwrap(),
+            m2.read_u64(b1.vcpu, inbox).unwrap()
+        );
+    }
+
+    #[test]
+    fn coalesced_batch_matches_exact_path_under_chaos() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        for (drop, dup) in [
+            (Schedule::EveryNth(2), Schedule::Off),
+            (Schedule::Off, Schedule::EveryNth(1)),
+            (Schedule::EveryNth(3), Schedule::EveryNth(2)),
+        ] {
+            let cfg = ChaosConfig {
+                seed: 7,
+                notify_drop: drop,
+                notify_dup: dup,
+                ..Default::default()
+            };
+            let (mut m1, gate1, a0, a1) = setup();
+            m1.set_chaos(ChaosPlan::new(cfg));
+            let (mut m2, gate2, b0, b1) = setup();
+            m2.set_chaos(ChaosPlan::new(cfg));
+            let batched = run_batched(&mut m1, &gate1, &a0, &a1, 6);
+            let exact = run_exact(&mut m2, &gate2, &b0, &b1, 6);
+            assert_eq!(batched, exact, "cycles diverged under {drop:?}/{dup:?}");
+            assert_eq!(
+                m1.chaos_stats().unwrap().dropped_notifications,
+                m2.chaos_stats().unwrap().dropped_notifications
+            );
+            assert!(m1.peek_notification(a1.vm).is_none());
+        }
+    }
+
+    #[test]
+    fn forged_doorbell_mid_batch_is_still_rejected() {
+        let (mut m, gate, c0, c1) = setup();
+        gate.enter_nth(&mut m, &c0, &c1, 16, 0).unwrap();
+        // An attacker rings the callee's doorbell between two batched
+        // calls: the coalesced path must fall back to take-and-check and
+        // raise the same mismatch fault as the exact path.
+        m.notify(c0.vcpu, c1.vm, 0xbad).unwrap();
+        let err = gate.enter_nth(&mut m, &c0, &c1, 16, 1).unwrap_err();
+        assert!(matches!(err, Fault::DoorbellMismatch { got: 0xbad, .. }));
+    }
+
+    #[test]
+    fn coalesced_tail_times_out_like_exact_path() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        let (mut m, gate, c0, c1) = setup();
+        m.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 1,
+            notify_drop: Schedule::EveryNth(1), // 100% loss
+            ..Default::default()
+        }));
+        let err = gate.enter_nth(&mut m, &c0, &c1, 16, 3).unwrap_err();
+        assert_eq!(
+            err,
+            Fault::GateTimeout {
+                mechanism: "vmrpc",
+                attempts: RetryPolicy::default().max_attempts,
+            }
+        );
     }
 }

@@ -23,10 +23,12 @@
 //!
 //! `--bench` (or the `bench` experiment) measures **host** wall-clock
 //! throughput of the simulator itself (memcpy, iperf, Redis,
-//! gate-crossing microbenches) and compares against the recorded
-//! pre-optimization baseline; `--json[=PATH]` writes the report
-//! (default `BENCH_4.json`). Host time is machine-dependent and not
-//! part of the reproducibility contract — see EXPERIMENTS.md E13.
+//! gate-crossing microbenches, including the batched-crossing matrix of
+//! every backend at batch sizes 1/8/32) and compares against the
+//! recorded pre-optimization baseline; `--json[=PATH]` writes the
+//! report (default `BENCH_5.json`). Host time is machine-dependent and
+//! not part of the reproducibility contract — see EXPERIMENTS.md E13
+//! and E14.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -438,6 +440,23 @@ fn run_stats(quick: bool, json: Option<&str>) {
     }
     println!("{}", mechs.render());
 
+    if !snap.gate_batch.is_empty() {
+        let mut gb = Table::new(
+            "Batched crossings per gate mechanism (batch-size histogram)",
+            &["mechanism", "batches", "calls", "p50 size", "max size"],
+        );
+        for r in &snap.gate_batch {
+            gb.row(vec![
+                r.mechanism.to_string(),
+                r.batches.to_string(),
+                r.calls.to_string(),
+                r.p50.to_string(),
+                r.max.to_string(),
+            ]);
+        }
+        println!("{}", gb.render());
+    }
+
     let mut sched = Table::new(
         "Scheduler",
         &["ctx switches", "steps", "avg rq depth", "max rq depth"],
@@ -677,7 +696,7 @@ fn run_chaos(quick: bool, seed: u64, json: Option<&str>) {
 
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
-        bench_json, run_bench as run_points, speedup_vs_baseline, BASELINE_NOTE,
+        batch32_speedup, bench_json, run_bench as run_points, speedup_vs_baseline, BASELINE_NOTE,
     };
 
     println!(
@@ -726,6 +745,17 @@ fn run_bench(quick: bool, json: Option<&str>) {
     println!("Baseline: {BASELINE_NOTE}.");
     println!("(speedups shown for --quick runs only, where workloads match the recording)");
 
+    let mut bt = Table::new(
+        "Batched-crossing speedup (per-call host ns, batch=32 vs batch=1)",
+        &["backend", "speedup"],
+    );
+    for backend in ["direct", "mpk-shared", "vmrpc", "cheri"] {
+        if let Some(s) = batch32_speedup(&points, backend) {
+            bt.row(vec![backend.to_string(), format!("{s:.2}x")]);
+        }
+    }
+    println!("{}", bt.render());
+
     if let Some(path) = json {
         let doc = bench_json(quick, &points);
         match std::fs::write(path, &doc) {
@@ -766,7 +796,7 @@ fn main() {
         .clone()
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let bench_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "BENCH_4.json".to_string()));
+        json_explicit.or_else(|| json_bare.then(|| "BENCH_5.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))

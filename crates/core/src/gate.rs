@@ -71,6 +71,97 @@ impl GateMechanism {
     }
 }
 
+/// Tunable gate-runtime behaviour (per image).
+///
+/// `batch_enabled` selects the vectored fast path for
+/// [`GateRuntime::cross_batch`]: on, batched crossings hoist the gate
+/// lookup and let backends elide host-side work that repeats across the
+/// batch (doorbell queue churn, split PKRU writes); off, every batched
+/// call degrades to a plain [`GateRuntime::cross`] — the reference path
+/// the differential suite compares against. Either way the *simulated*
+/// cycles, faults, and trace events are bit-identical: batching is a
+/// host-time optimisation only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateConfig {
+    /// Use the vectored fast path in `cross_batch` (default: on).
+    pub batch_enabled: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            batch_enabled: true,
+        }
+    }
+}
+
+/// A builder for the per-call marshalling sizes of one batched crossing.
+///
+/// Each entry is the `(arg_bytes, ret_bytes)` pair one call moves
+/// through the gate — the same two numbers a plain [`GateRuntime::cross`]
+/// takes. Batches are homogeneous in *target* (all calls cross into the
+/// same compartment) but heterogeneous in size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallVec {
+    calls: Vec<(u64, u64)>,
+}
+
+impl CallVec {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A batch of `n` identical calls (the common microbench shape).
+    pub fn uniform(n: usize, arg_bytes: u64, ret_bytes: u64) -> Self {
+        Self {
+            calls: vec![(arg_bytes, ret_bytes); n],
+        }
+    }
+
+    /// Appends one call.
+    pub fn push(&mut self, arg_bytes: u64, ret_bytes: u64) -> &mut Self {
+        self.calls.push((arg_bytes, ret_bytes));
+        self
+    }
+
+    /// Appends `n` identical calls.
+    pub fn push_uniform(&mut self, n: usize, arg_bytes: u64, ret_bytes: u64) -> &mut Self {
+        let new_len = self.calls.len() + n;
+        self.calls.resize(new_len, (arg_bytes, ret_bytes));
+        self
+    }
+
+    /// Number of calls in the batch.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Drops all calls, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.calls.clear();
+    }
+
+    /// The `(arg_bytes, ret_bytes)` of call `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> (u64, u64) {
+        self.calls[idx]
+    }
+
+    /// All calls, in issue order.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.calls
+    }
+}
+
 /// Runtime state of one compartment.
 #[derive(Debug, Clone)]
 pub struct CompartmentCtx {
@@ -125,6 +216,42 @@ pub trait Gate: fmt::Debug {
         caller: &CompartmentCtx,
         ret_bytes: u64,
     ) -> Result<()>;
+
+    /// Like [`Gate::enter`], for call `idx` (0-based) of a batched
+    /// crossing into the same target.
+    ///
+    /// The default forwards to `enter`. Backends override this to elide
+    /// *host-side* work that repeats across a batch (doorbell queue
+    /// churn, split register writes). Overrides MUST charge exactly the
+    /// same simulated cycles, draw exactly the same chaos decisions and
+    /// raise exactly the same faults as `enter` would — the differential
+    /// suite in `crates/backends/tests/backend_equiv.rs` holds them to
+    /// that contract.
+    fn enter_nth(
+        &self,
+        m: &mut Machine,
+        from: &CompartmentCtx,
+        to: &CompartmentCtx,
+        arg_bytes: u64,
+        idx: usize,
+    ) -> Result<()> {
+        let _ = idx;
+        self.enter(m, from, to, arg_bytes)
+    }
+
+    /// Like [`Gate::exit`], for call `idx` of a batched crossing. Same
+    /// equivalence contract as [`Gate::enter_nth`].
+    fn exit_nth(
+        &self,
+        m: &mut Machine,
+        callee: &CompartmentCtx,
+        caller: &CompartmentCtx,
+        ret_bytes: u64,
+        idx: usize,
+    ) -> Result<()> {
+        let _ = idx;
+        self.exit(m, callee, caller, ret_bytes)
+    }
 }
 
 /// The trivial gate: a plain function call. Used within a compartment and
@@ -184,6 +311,7 @@ pub struct GateRuntime {
     stack: Vec<CompartmentId>,
     stats: GateStats,
     trace: GateTrace,
+    config: GateConfig,
 }
 
 impl fmt::Debug for GateRuntime {
@@ -223,7 +351,20 @@ impl GateRuntime {
             stack: vec![initial],
             stats: GateStats::default(),
             trace: GateTrace::new(),
+            config: GateConfig::default(),
         }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> GateConfig {
+        self.config
+    }
+
+    /// Toggles the vectored `cross_batch` fast path. Off means batched
+    /// entry points degrade to loops of plain [`GateRuntime::cross`] —
+    /// the reference path for equivalence testing.
+    pub fn set_batch_enabled(&mut self, on: bool) {
+        self.config.batch_enabled = on;
     }
 
     /// Overrides the gate used between `a` and `b` (both directions).
@@ -349,6 +490,198 @@ impl GateRuntime {
             t1 + exit_cycles,
         );
         result
+    }
+
+    /// Vectored gate crossing: runs `calls.len()` calls into `target`,
+    /// call `idx` executing `f(m, rt, idx)`.
+    ///
+    /// With [`GateConfig::batch_enabled`] on, the gate lookup is hoisted
+    /// out of the loop and each call goes through the backend's
+    /// [`Gate::enter_nth`]/[`Gate::exit_nth`] batch hooks, which may
+    /// skip host-side work that repeats across the batch. Off, this is
+    /// exactly a loop of [`GateRuntime::cross`]. Both paths issue the
+    /// identical sequence of simulated operations: cycles charged,
+    /// chaos decisions drawn, faults raised and trace events recorded
+    /// are bit-identical, and the per-mechanism batch-size histogram is
+    /// recorded either way.
+    ///
+    /// The batch stops at the first call error, which is returned after
+    /// that call's exit path has run (same contract as `cross`).
+    pub fn cross_batch<R>(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        calls: &CallVec,
+        mut f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
+    ) -> Result<Vec<R>> {
+        self.cross_batch_until(m, target, calls, &mut f, |_, _, _, _| Ok(true))
+    }
+
+    /// [`GateRuntime::cross_batch`] with an inter-call hook.
+    ///
+    /// `between(m, rt, idx, &r)` runs after call `idx` returned `r` and
+    /// its exit path completed — i.e. in the *caller's* compartment,
+    /// outside the gate. Consumers use it to apply the work a sequential
+    /// driver would do between two crossings (marshalling charges,
+    /// per-reply bookkeeping) so the simulated instruction stream is
+    /// unchanged, and to stop the batch early (`Ok(false)`) the way a
+    /// sequential loop breaks on `WouldBlock` or EOF. The results of all
+    /// completed calls, including the stopping one, are returned.
+    pub fn cross_batch_until<R>(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        calls: &CallVec,
+        mut f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
+        mut between: impl FnMut(&mut Machine, &mut GateRuntime, usize, &R) -> Result<bool>,
+    ) -> Result<Vec<R>> {
+        if calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let from = self.current();
+        let label = if from == target {
+            GateMechanism::DirectCall.label()
+        } else {
+            assert!(
+                (target.0 as usize) < self.compartments.len(),
+                "unknown {target}"
+            );
+            self.gate_for(from, target).mechanism().label()
+        };
+        let mut out = Vec::with_capacity(calls.len());
+        let mut issued: u64 = 0;
+
+        if !self.config.batch_enabled {
+            // Reference path: a plain loop of `cross` plus the hook.
+            for idx in 0..calls.len() {
+                let (arg_bytes, ret_bytes) = calls.get(idx);
+                issued += 1;
+                let r = match self.cross(m, target, arg_bytes, ret_bytes, |m, rt| f(m, rt, idx)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.trace.record_batch(label, issued);
+                        return Err(e);
+                    }
+                };
+                let more = match between(m, self, idx, &r) {
+                    Ok(more) => more,
+                    Err(e) => {
+                        self.trace.record_batch(label, issued);
+                        return Err(e);
+                    }
+                };
+                out.push(r);
+                if !more {
+                    break;
+                }
+            }
+            self.trace.record_batch(label, issued);
+            return Ok(out);
+        }
+
+        if from == target {
+            // Direct-call loop: only the cost lookup is hoisted (the
+            // cost table is immutable for the life of the machine).
+            let func_call = m.costs().func_call;
+            for idx in 0..calls.len() {
+                issued += 1;
+                m.charge(func_call);
+                self.stats.direct_calls += 1;
+                self.trace.record_direct();
+                let r = match f(m, self, idx) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.trace.record_batch(label, issued);
+                        return Err(e);
+                    }
+                };
+                let more = match between(m, self, idx, &r) {
+                    Ok(more) => more,
+                    Err(e) => {
+                        self.trace.record_batch(label, issued);
+                        return Err(e);
+                    }
+                };
+                out.push(r);
+                if !more {
+                    break;
+                }
+            }
+            self.trace.record_batch(label, issued);
+            return Ok(out);
+        }
+
+        // Fast path: the gate lookup (BTreeMap probe + `Rc` clone) is
+        // hoisted out of the loop, and each call runs the backend's
+        // batch hooks. The per-call body below mirrors `cross` exactly —
+        // including running the exit path and the stats/trace updates
+        // when `f` fails, with the exit's own error taking precedence.
+        let gate = self.gate_for(from, target);
+        for idx in 0..calls.len() {
+            let (arg_bytes, ret_bytes) = calls.get(idx);
+            issued += 1;
+            let t0 = m.clock().cycles();
+            {
+                let (from_ctx, to_ctx) = (
+                    &self.compartments[from.0 as usize],
+                    &self.compartments[target.0 as usize],
+                );
+                if let Err(e) = gate.enter_nth(m, from_ctx, to_ctx, arg_bytes, idx) {
+                    self.trace.record_batch(label, issued);
+                    return Err(e);
+                }
+            }
+            let enter_cycles = m.clock().cycles() - t0;
+            self.stats.gate_cycles += enter_cycles;
+            self.stack.push(target);
+
+            let result = f(m, self, idx);
+
+            self.stack.pop();
+            let t1 = m.clock().cycles();
+            {
+                let (callee_ctx, caller_ctx) = (
+                    &self.compartments[target.0 as usize],
+                    &self.compartments[from.0 as usize],
+                );
+                if let Err(e) = gate.exit_nth(m, callee_ctx, caller_ctx, ret_bytes, idx) {
+                    self.trace.record_batch(label, issued);
+                    return Err(e);
+                }
+            }
+            let exit_cycles = m.clock().cycles() - t1;
+            self.stats.gate_cycles += exit_cycles;
+            self.stats.crossings += 1;
+            self.stats.bytes_marshalled += arg_bytes + ret_bytes;
+            self.trace.record_crossing(
+                label,
+                from.0,
+                target.0,
+                enter_cycles + exit_cycles,
+                arg_bytes + ret_bytes,
+                t1 + exit_cycles,
+            );
+            let r = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    self.trace.record_batch(label, issued);
+                    return Err(e);
+                }
+            };
+            let more = match between(m, self, idx, &r) {
+                Ok(more) => more,
+                Err(e) => {
+                    self.trace.record_batch(label, issued);
+                    return Err(e);
+                }
+            };
+            out.push(r);
+            if !more {
+                break;
+            }
+        }
+        self.trace.record_batch(label, issued);
+        Ok(out)
     }
 
     /// Restores the current compartment's protection view on the machine.
@@ -482,5 +815,182 @@ mod tests {
         assert!(GateMechanism::MpkSharedStack.stacks_shared());
         assert!(!GateMechanism::MpkSwitchedStack.stacks_shared());
         assert!(!GateMechanism::VmRpc.stacks_shared());
+    }
+
+    #[test]
+    fn callvec_builders_agree() {
+        let mut v = CallVec::new();
+        v.push(16, 8).push_uniform(2, 16, 8);
+        assert_eq!(v, CallVec::uniform(3, 16, 8));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(2), (16, 8));
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    /// Runs the same batch with the fast path on and off and returns
+    /// `(cycles, stats)` for each, so tests can assert bit-identity.
+    fn run_both_modes(calls: &CallVec, target: CompartmentId) -> [(u64, GateStats, Vec<i32>); 2] {
+        [true, false].map(|on| {
+            let mut m = Machine::with_defaults();
+            let cpts = two_compartments(&mut m);
+            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            rt.set_batch_enabled(on);
+            let before = m.clock().cycles();
+            let out = rt
+                .cross_batch(&mut m, target, calls, |m, _, idx| {
+                    m.charge(10 + idx as u64);
+                    Ok(idx as i32)
+                })
+                .unwrap();
+            (m.clock().cycles() - before, rt.stats(), out)
+        })
+    }
+
+    #[test]
+    fn batch_on_and_off_are_cycle_identical() {
+        for target in [CompartmentId(0), CompartmentId(1)] {
+            let calls = CallVec::uniform(5, 32, 8);
+            let [on, off] = run_both_modes(&calls, target);
+            assert_eq!(on, off, "batch fast path diverged for {target}");
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential_crossings() {
+        let mut calls = CallVec::new();
+        calls.push(16, 8).push(100, 28).push(0, 0);
+
+        let mut m1 = Machine::with_defaults();
+        let cpts = two_compartments(&mut m1);
+        let mut rt1 = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let out = rt1
+            .cross_batch(&mut m1, CompartmentId(1), &calls, |_, _, idx| Ok(idx))
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+
+        let mut m2 = Machine::with_defaults();
+        let cpts = two_compartments(&mut m2);
+        let mut rt2 = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        for (idx, &(a, r)) in calls.as_slice().iter().enumerate() {
+            rt2.cross(&mut m2, CompartmentId(1), a, r, |_, _| Ok(idx))
+                .unwrap();
+        }
+        assert_eq!(m1.clock().cycles(), m2.clock().cycles());
+        assert_eq!(rt1.stats(), rt2.stats());
+        assert_eq!(rt1.stats().crossings, 3);
+        assert_eq!(rt1.stats().bytes_marshalled, 152);
+    }
+
+    #[test]
+    fn batch_stops_at_first_error_and_restores_caller() {
+        for on in [true, false] {
+            let mut m = Machine::with_defaults();
+            let cpts = two_compartments(&mut m);
+            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            rt.set_batch_enabled(on);
+            let err = rt
+                .cross_batch(
+                    &mut m,
+                    CompartmentId(1),
+                    &CallVec::uniform(4, 8, 8),
+                    |_, _, idx| {
+                        if idx == 2 {
+                            Err(Fault::OutOfMemory { requested_pages: 1 })
+                        } else {
+                            Ok(idx)
+                        }
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(err, Fault::OutOfMemory { .. }));
+            assert_eq!(rt.current(), CompartmentId(0));
+            // The failing call still completed its exit path, like `cross`.
+            assert_eq!(rt.stats().crossings, 3);
+        }
+    }
+
+    #[test]
+    fn batch_until_early_stop_keeps_stopping_result() {
+        for on in [true, false] {
+            let mut m = Machine::with_defaults();
+            let cpts = two_compartments(&mut m);
+            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            rt.set_batch_enabled(on);
+            let out = rt
+                .cross_batch_until(
+                    &mut m,
+                    CompartmentId(1),
+                    &CallVec::uniform(8, 4, 4),
+                    |_, _, idx| Ok(idx),
+                    |_, _, idx, _| Ok(idx < 2),
+                )
+                .unwrap();
+            assert_eq!(out, vec![0, 1, 2]);
+            assert_eq!(rt.stats().crossings, 3);
+            assert_eq!(rt.current(), CompartmentId(0));
+        }
+    }
+
+    #[test]
+    fn batch_records_size_histogram_per_mechanism() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        rt.cross_batch(
+            &mut m,
+            CompartmentId(1),
+            &CallVec::uniform(4, 0, 0),
+            |_, _, _| Ok(()),
+        )
+        .unwrap();
+        rt.cross_batch(
+            &mut m,
+            CompartmentId(0),
+            &CallVec::uniform(2, 0, 0),
+            |_, _, _| Ok(()),
+        )
+        .unwrap();
+        // Empty batches leave no histogram entry.
+        rt.cross_batch(&mut m, CompartmentId(1), &CallVec::new(), |_, _, _| Ok(()))
+            .unwrap();
+        let cross = rt
+            .trace()
+            .batch_hist(GateMechanism::DirectCall.label())
+            .unwrap();
+        // Both batches used the direct-call label (DirectGate is the
+        // default pair gate here too), so sizes 4 and 2 land together.
+        assert_eq!(cross.count(), 2);
+        assert_eq!(cross.sum(), 6);
+    }
+
+    #[test]
+    fn nested_batches_restore_compartments() {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        rt.cross_batch(
+            &mut m,
+            CompartmentId(1),
+            &CallVec::uniform(2, 0, 0),
+            |m, rt, _| {
+                assert_eq!(rt.current(), CompartmentId(1));
+                let inner = rt.cross_batch(
+                    m,
+                    CompartmentId(0),
+                    &CallVec::uniform(3, 0, 0),
+                    |_, rt, i| {
+                        assert_eq!(rt.current(), CompartmentId(0));
+                        Ok(i)
+                    },
+                )?;
+                assert_eq!(inner, vec![0, 1, 2]);
+                assert_eq!(rt.current(), CompartmentId(1));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(rt.current(), CompartmentId(0));
+        assert_eq!(rt.stats().crossings, 8);
     }
 }

@@ -157,6 +157,122 @@ impl MsgQueue {
         m.write_u64(vcpu, self.base, head + 1)?;
         Ok(Some(len))
     }
+
+    /// Enqueues up to `msgs.len()` messages with a **single** tail
+    /// publication, returning how many were enqueued.
+    ///
+    /// Observably equivalent to calling [`try_send`](Self::try_send) once
+    /// per message: it stops (without error) at the first message the
+    /// full ring cannot take, rejects an oversized message with the same
+    /// [`Fault::HardeningAbort`] — publishing the messages written before
+    /// it first, exactly as N single sends would have — and leaves the
+    /// ring contents identical. What it saves is the per-message
+    /// head/tail re-read and tail write: one read pair and one
+    /// publication per batch.
+    pub fn enqueue_batch(&self, m: &mut Machine, vcpu: VcpuId, msgs: &[&[u8]]) -> Result<usize> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        let head = m.read_u64(vcpu, self.base)?;
+        let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
+        let free = self.slots - self.depth(head, tail)?;
+        let mut written = 0u64;
+        let mut err: Option<Fault> = None;
+        for payload in msgs {
+            // Oversize is checked before fullness, like `try_send`.
+            if payload.len() as u64 > self.max_payload() {
+                err = Some(Fault::HardeningAbort {
+                    mechanism: "mq",
+                    reason: format!(
+                        "message of {} bytes exceeds slot payload {}",
+                        payload.len(),
+                        self.max_payload()
+                    ),
+                });
+                break;
+            }
+            if written == free {
+                break;
+            }
+            let slot = self.slot_addr(tail + written);
+            if let Err(e) = m.write_u64(vcpu, slot, payload.len() as u64) {
+                err = Some(e);
+                break;
+            }
+            if let Err(e) = m.write(vcpu, Addr(slot.0 + 8), payload) {
+                err = Some(e);
+                break;
+            }
+            written += 1;
+        }
+        if written > 0 {
+            m.write_u64(vcpu, Addr(self.base.0 + 8), tail + written)?;
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(written as usize),
+        }
+    }
+
+    /// Dequeues up to `max` messages with a **single** head publication,
+    /// appending each payload to `out` and returning how many were taken.
+    ///
+    /// Observably equivalent to calling [`try_recv`](Self::try_recv) once
+    /// per message with a right-sized buffer: it stops (without error)
+    /// when the ring runs dry, and a corrupted slot header raises the
+    /// same [`Fault::HardeningAbort`] — after publishing the messages
+    /// consumed before it, exactly as N single receives would have.
+    pub fn dequeue_batch(
+        &self,
+        m: &mut Machine,
+        vcpu: VcpuId,
+        max: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let head = m.read_u64(vcpu, self.base)?;
+        let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
+        let mut depth = self.depth(head, tail)?;
+        let mut taken = 0u64;
+        let mut err: Option<Fault> = None;
+        while (taken as usize) < max && depth > 0 {
+            let slot = self.slot_addr(head + taken);
+            let len = match m.read_u64(vcpu, slot) {
+                Ok(l) => l,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            if len > self.max_payload() {
+                err = Some(Fault::HardeningAbort {
+                    mechanism: "mq",
+                    reason: format!(
+                        "corrupted slot header: length {len} exceeds payload capacity {}",
+                        self.max_payload()
+                    ),
+                });
+                break;
+            }
+            let mut buf = vec![0u8; len as usize];
+            if let Err(e) = m.read(vcpu, Addr(slot.0 + 8), &mut buf) {
+                err = Some(e);
+                break;
+            }
+            out.push(buf);
+            taken += 1;
+            depth -= 1;
+        }
+        if taken > 0 {
+            m.write_u64(vcpu, self.base, head + taken)?;
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(taken as usize),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +401,78 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_fifo_and_wraps() {
+        let (mut m, q) = queue(2, 32);
+        let mut out = Vec::new();
+        for round in 0..6u8 {
+            let a = [round; 2];
+            let b = [round.wrapping_add(100); 3];
+            let n = q.enqueue_batch(&mut m, VcpuId(0), &[&a, &b]).unwrap();
+            assert_eq!(n, 2);
+            out.clear();
+            assert_eq!(q.dequeue_batch(&mut m, VcpuId(0), 8, &mut out).unwrap(), 2);
+            assert_eq!(out[0], &a);
+            assert_eq!(out[1], &b);
+        }
+        assert!(q.is_empty(&mut m, VcpuId(0)).unwrap());
+    }
+
+    #[test]
+    fn enqueue_batch_stops_at_full_and_publishes_partial() {
+        let (mut m, q) = queue(2, 32);
+        let n = q
+            .enqueue_batch(&mut m, VcpuId(0), &[b"a", b"b", b"c"])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(q.len(&mut m, VcpuId(0)).unwrap(), 2);
+        let mut out = Vec::new();
+        q.dequeue_batch(&mut m, VcpuId(0), 8, &mut out).unwrap();
+        assert_eq!(out, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn enqueue_batch_oversize_publishes_predecessors_then_faults() {
+        let (mut m, q) = queue(4, 16); // max payload 8
+        let err = q
+            .enqueue_batch(&mut m, VcpuId(0), &[b"ok", &[0u8; 9], b"never"])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::HardeningAbort {
+                mechanism: "mq",
+                ..
+            }
+        ));
+        // The message before the oversized one is visible, like N sends.
+        assert_eq!(q.len(&mut m, VcpuId(0)).unwrap(), 1);
+        let mut out = Vec::new();
+        q.dequeue_batch(&mut m, VcpuId(0), 8, &mut out).unwrap();
+        assert_eq!(out, vec![b"ok".to_vec()]);
+    }
+
+    #[test]
+    fn dequeue_batch_corrupted_header_publishes_predecessors_then_faults() {
+        let (mut m, q) = queue(4, 32);
+        q.enqueue_batch(&mut m, VcpuId(0), &[b"one", b"two", b"three"])
+            .unwrap();
+        // Corrupt the second slot's length header.
+        let slot1 = Addr(q.base.0 + 16 + q.slot_size);
+        m.write_u64(VcpuId(0), slot1, u64::MAX).unwrap();
+        let mut out = Vec::new();
+        let err = q.dequeue_batch(&mut m, VcpuId(0), 8, &mut out).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::HardeningAbort {
+                mechanism: "mq",
+                ..
+            }
+        ));
+        // The message before the corruption was consumed and published.
+        assert_eq!(out, vec![b"one".to_vec()]);
+        assert_eq!(q.len(&mut m, VcpuId(0)).unwrap(), 2);
     }
 
     #[test]

@@ -173,6 +173,179 @@ proptest! {
     }
 }
 
+// ---- message-queue batch equivalence --------------------------------------------
+
+const BATCH_SLOTS: u64 = 4;
+const BATCH_SLOT_SIZE: u64 = 24; // max payload 16
+
+fn batch_queue() -> (Machine, MsgQueue, Addr) {
+    let mut m = Machine::with_defaults();
+    let base = m
+        .alloc_region(
+            VmId(0),
+            MsgQueue::bytes_needed(BATCH_SLOTS, BATCH_SLOT_SIZE),
+            ProtKey(0),
+            PageFlags::RW,
+        )
+        .unwrap();
+    let q = MsgQueue::init(&mut m, VcpuId(0), base, BATCH_SLOTS, BATCH_SLOT_SIZE).unwrap();
+    (m, q, base)
+}
+
+/// Advances head and tail identically on both rings so batches are
+/// exercised across wraparound, not just from a fresh queue.
+fn spin_indices(pairs: &mut [(&mut Machine, &MsgQueue)], cycles: u64) {
+    let mut buf = [0u8; BATCH_SLOT_SIZE as usize];
+    for i in 0..cycles {
+        for (m, q) in pairs.iter_mut() {
+            assert!(q.try_send(m, VcpuId(0), &[i as u8]).unwrap());
+            q.try_recv(m, VcpuId(0), &mut buf).unwrap().unwrap();
+        }
+    }
+}
+
+/// Fully drains a queue with single receives, collecting payloads.
+fn drain_singles(m: &mut Machine, q: &MsgQueue) -> Vec<Vec<u8>> {
+    let mut buf = [0u8; BATCH_SLOT_SIZE as usize];
+    let mut out = Vec::new();
+    while let Some(n) = q.try_recv(m, VcpuId(0), &mut buf).unwrap() {
+        out.push(buf[..n].to_vec());
+    }
+    out
+}
+
+/// Messages 0–19 bytes long: some exceed the 16-byte payload capacity,
+/// so batches hit the oversize-rejection path too.
+fn arb_batch_msgs() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `enqueue_batch` is observably equivalent to the canonical
+    /// sequential sender (one `try_send` per message, stopping at the
+    /// first that does not enqueue): same count or fault, and the ring
+    /// drains to identical contents — across wraparound, backpressure
+    /// from a full ring, and oversized-message rejection.
+    #[test]
+    fn mq_enqueue_batch_equals_single_sends(
+        cycles in 0u64..6,
+        preload in 0u64..BATCH_SLOTS,
+        msgs in arb_batch_msgs(),
+    ) {
+        let (mut m1, q1, _) = batch_queue();
+        let (mut m2, q2, _) = batch_queue();
+        spin_indices(&mut [(&mut m1, &q1), (&mut m2, &q2)], cycles);
+        for i in 0..preload {
+            assert!(q1.try_send(&mut m1, VcpuId(0), &[i as u8; 2]).unwrap());
+            assert!(q2.try_send(&mut m2, VcpuId(0), &[i as u8; 2]).unwrap());
+        }
+
+        let refs: Vec<&[u8]> = msgs.iter().map(|v| v.as_slice()).collect();
+        let batch = q1.enqueue_batch(&mut m1, VcpuId(0), &refs);
+
+        let mut sent = 0usize;
+        let mut single_err = None;
+        for p in &refs {
+            match q2.try_send(&mut m2, VcpuId(0), p) {
+                Ok(true) => sent += 1,
+                Ok(false) => break,
+                Err(e) => { single_err = Some(e); break; }
+            }
+        }
+
+        match (batch, single_err) {
+            (Ok(n), None) => prop_assert_eq!(n, sent),
+            (Err(b), Some(s)) => prop_assert_eq!(b, s),
+            (b, s) => prop_assert!(false, "batch {:?} diverged from singles {:?}", b, s),
+        }
+        prop_assert_eq!(
+            q1.len(&mut m1, VcpuId(0)).unwrap(),
+            q2.len(&mut m2, VcpuId(0)).unwrap()
+        );
+        prop_assert_eq!(drain_singles(&mut m1, &q1), drain_singles(&mut m2, &q2));
+    }
+
+    /// `dequeue_batch` is observably equivalent to `max` single
+    /// receives: same messages, same residual queue, and the same
+    /// corrupted-header fault at the same point when a slot length is
+    /// scribbled over.
+    #[test]
+    fn mq_dequeue_batch_equals_single_recvs(
+        cycles in 0u64..6,
+        fill in 0u64..=BATCH_SLOTS,
+        max in 0usize..8,
+        corrupt_slot in prop::option::of(0u64..BATCH_SLOTS),
+    ) {
+        let (mut m1, q1, base1) = batch_queue();
+        let (mut m2, q2, base2) = batch_queue();
+        spin_indices(&mut [(&mut m1, &q1), (&mut m2, &q2)], cycles);
+        for i in 0..fill {
+            assert!(q1.try_send(&mut m1, VcpuId(0), &[i as u8; 3]).unwrap());
+            assert!(q2.try_send(&mut m2, VcpuId(0), &[i as u8; 3]).unwrap());
+        }
+        if let Some(rel) = corrupt_slot {
+            // Corrupt the same *logical* message (head + rel) on both
+            // rings; the slot address accounts for wraparound.
+            let idx = (cycles + rel) % BATCH_SLOTS;
+            for (m, base) in [(&mut m1, base1), (&mut m2, base2)] {
+                let slot = Addr(base.0 + 16 + idx * BATCH_SLOT_SIZE);
+                m.write_u64(VcpuId(0), slot, u64::MAX).unwrap();
+            }
+        }
+
+        let mut out = Vec::new();
+        let batch = q1.dequeue_batch(&mut m1, VcpuId(0), max, &mut out);
+
+        let mut buf = [0u8; BATCH_SLOT_SIZE as usize];
+        let mut singles = Vec::new();
+        let mut single_err = None;
+        while singles.len() < max {
+            match q2.try_recv(&mut m2, VcpuId(0), &mut buf) {
+                Ok(Some(n)) => singles.push(buf[..n].to_vec()),
+                Ok(None) => break,
+                Err(e) => { single_err = Some(e); break; }
+            }
+        }
+
+        match (batch, single_err) {
+            (Ok(n), None) => prop_assert_eq!(n, singles.len()),
+            (Err(b), Some(s)) => prop_assert_eq!(b, s),
+            (b, s) => prop_assert!(false, "batch {:?} diverged from singles {:?}", b, s),
+        }
+        prop_assert_eq!(out, singles);
+        prop_assert_eq!(
+            q1.len(&mut m1, VcpuId(0)).ok(),
+            q2.len(&mut m2, VcpuId(0)).ok()
+        );
+    }
+
+    /// Batch entry points survive arbitrary header corruption without
+    /// panicking, like the single-message API.
+    #[test]
+    fn mq_batch_survives_arbitrary_header_corruption(
+        corruptions in arb_corruptions(BATCH_SLOTS),
+        preload in 0u64..BATCH_SLOTS,
+    ) {
+        let (mut m, q, base) = batch_queue();
+        for i in 0..preload {
+            q.try_send(&mut m, VcpuId(0), &[i as u8; 5]).unwrap();
+        }
+        for (target, value) in corruptions {
+            let addr = match target {
+                CorruptTarget::Head => base,
+                CorruptTarget::Tail => Addr(base.0 + 8),
+                CorruptTarget::SlotLen(i) => Addr(base.0 + 16 + i * BATCH_SLOT_SIZE),
+            };
+            m.write_u64(VcpuId(0), addr, value).unwrap();
+            let _ = q.enqueue_batch(&mut m, VcpuId(0), &[b"probe", b"probe2"]);
+            let mut out = Vec::new();
+            let _ = q.dequeue_batch(&mut m, VcpuId(0), 4, &mut out);
+        }
+    }
+}
+
 // ---- scheduler equivalence ------------------------------------------------------
 
 #[derive(Debug, Clone, Copy)]

@@ -173,8 +173,30 @@ pub struct Machine {
     tlbs: Vec<Tlb>,
     tlb_enabled: bool,
     tlb_trace: TlbTrace,
+    /// Two pre-validated pages for batched descriptor stores (see
+    /// [`Machine::write_u64_hot`]). Two slots because a batched VM-RPC
+    /// call alternates between the callee's and the caller's inbox
+    /// pages (enter, then exit), which would thrash a single slot.
+    hot_pages: [Option<HotPage>; 2],
+    /// The `hot_pages` slot to evict next (round-robin on fill misses).
+    hot_evict: usize,
     /// Reusable bounce buffer for the rare overlapping-`copy` case.
     scratch: Vec<u8>,
+}
+
+/// A validated (vcpu, page) → physical translation for repeated 8-byte
+/// descriptor stores. Like the software TLB, coherence is generational:
+/// the entry is dead the moment the VM's page table mutates or the
+/// vCPU's PKRU no longer matches the value it was validated under, so a
+/// hit can never succeed where the full enforcement walk would fault.
+#[derive(Debug, Clone, Copy)]
+struct HotPage {
+    vcpu: VcpuId,
+    vm: VmId,
+    vpn: u64,
+    generation: u64,
+    pkru: Pkru,
+    pa_base: PhysAddr,
 }
 
 impl Machine {
@@ -198,6 +220,8 @@ impl Machine {
             tlbs: vec![Tlb::new()],
             tlb_enabled: cfg.tlb_enabled,
             tlb_trace: TlbTrace::new(),
+            hot_pages: [None, None],
+            hot_evict: 0,
             scratch: Vec::new(),
         }
     }
@@ -665,6 +689,65 @@ impl Machine {
         self.write(vcpu, addr, &v.to_le_bytes())
     }
 
+    /// [`Machine::write_u64`] for stores that repeatedly hit the same
+    /// page — batched gates rewriting an RPC descriptor every call.
+    ///
+    /// A one-slot cache keeps the last validated (vcpu, page) → physical
+    /// translation; while the VM's page table generation and the vCPU's
+    /// PKRU are unchanged, repeat stores skip the walk and the
+    /// permission re-checks, which the fill-time success already proved
+    /// and the generation/PKRU match proves still hold. Cycle charges,
+    /// chaos draws and fault behaviour are byte-identical to
+    /// `write_u64`; only host time differs (the point of the batch fast
+    /// path).
+    pub fn write_u64_hot(&mut self, vcpu: VcpuId, addr: Addr, v: u64) -> Result<()> {
+        if addr.page_offset() + 8 > PAGE_SIZE {
+            // Straddling store: no single translation to cache.
+            return self.write(vcpu, addr, &v.to_le_bytes());
+        }
+        self.chaos_access(addr, Access::Write)?;
+        let vpn = addr.vpn().0;
+        for slot in &self.hot_pages {
+            let Some(c) = slot else { continue };
+            let vc = &self.vcpus[vcpu.0 as usize];
+            if c.vcpu == vcpu
+                && c.vm == vc.vm
+                && c.vpn == vpn
+                && c.pkru == vc.pkru
+                && c.generation == self.vms[vc.vm.0 as usize].page_table.generation()
+            {
+                // The entry this store would walk to is unchanged since
+                // the fill-time store succeeded through it.
+                if self.tlb_enabled {
+                    self.tlb_trace.hit();
+                }
+                let pa = PhysAddr(c.pa_base.0 + addr.page_offset());
+                self.clock
+                    .advance(self.costs.mem_access + self.costs.copy_cost(8));
+                return self.phys.write(pa, &v.to_le_bytes());
+            }
+        }
+        // Miss: the exact single-page `write` body, then fill the slot.
+        let pa = match self.translate_page(vcpu, addr, Access::Write) {
+            Ok(pa) => pa,
+            Err(f) => return Err(self.raise(f)),
+        };
+        self.clock
+            .advance(self.costs.mem_access + self.costs.copy_cost(8));
+        self.phys.write(pa, &v.to_le_bytes())?;
+        let vc = &self.vcpus[vcpu.0 as usize];
+        self.hot_pages[self.hot_evict] = Some(HotPage {
+            vcpu,
+            vm: vc.vm,
+            vpn: addr.vpn().0,
+            generation: self.vms[vc.vm.0 as usize].page_table.generation(),
+            pkru: vc.pkru,
+            pa_base: PhysAddr(pa.0 - addr.page_offset()),
+        });
+        self.hot_evict = (self.hot_evict + 1) % 2;
+        Ok(())
+    }
+
     /// Copies `len` bytes from `src` to `dst` within the simulated memory,
     /// checking read rights on the source and write rights on the
     /// destination. Charges the load half and the store half exactly as a
@@ -845,6 +928,24 @@ impl Machine {
         Ok(())
     }
 
+    /// `wrpkru` fused with a preceding flat charge of `overhead_cycles`.
+    ///
+    /// Batching gates use this to fold their guard-check/trampoline
+    /// charge and the PKRU write into one machine call per crossing. The
+    /// clock is additive and neither `charge` nor `wrpkru` draws chaos,
+    /// so `wrpkru_with_overhead(v, p, t, c)` is cycle- and
+    /// fault-identical to `charge(c)` followed by `wrpkru(v, p, t)`.
+    pub fn wrpkru_with_overhead(
+        &mut self,
+        vcpu: VcpuId,
+        pkru: Pkru,
+        token: Option<GateToken>,
+        overhead_cycles: u64,
+    ) -> Result<()> {
+        self.clock.advance(overhead_cycles);
+        self.wrpkru(vcpu, pkru, token)
+    }
+
     /// Reads `vcpu`'s PKRU (free: `rdpkru` is cheap and off the hot path).
     pub fn rdpkru(&self, vcpu: VcpuId) -> Pkru {
         self.vcpus[vcpu.0 as usize].pkru
@@ -891,6 +992,46 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// Sends a notification that a batching gate has already proven
+    /// redundant: the receiver is synchronously waiting on the same
+    /// doorbell, so posting to the queue and immediately consuming the
+    /// entry is pure host-side churn. This charges the identical
+    /// notification cost, draws the identical chaos fate and records the
+    /// identical injected-fault telemetry as [`Machine::notify`], but
+    /// never touches the receiver's queue — callers get the fate back
+    /// and must honour it (retry on [`NotifyFate::Drop`]) exactly as if
+    /// they had posted and polled for real.
+    ///
+    /// Equivalence argument, per fate, against `notify` + an immediate
+    /// `take_notification` of our own doorbell on an **empty** queue
+    /// (callers must fall back to the real path when the queue is not
+    /// empty): Deliver posts one entry and takes it back (queue
+    /// unchanged, word always matches the sender's own); Drop posts
+    /// nothing either way; Duplicate posts two identical entries of
+    /// which one is taken and one absorbed by the duplicate-drain loop
+    /// (queue unchanged again).
+    pub fn notify_coalesced(&mut self, from: VcpuId, target: VmId) -> Result<NotifyFate> {
+        assert!((target.0 as usize) < self.vms.len(), "unknown {target}");
+        let _from_vm = self.vcpus[from.0 as usize].vm;
+        self.clock.advance(self.costs.vm_notify);
+        let fate = self
+            .chaos
+            .as_mut()
+            .map_or(NotifyFate::Deliver, ChaosPlan::notify_fate);
+        match fate {
+            NotifyFate::Deliver => {}
+            NotifyFate::Drop => {
+                self.faults
+                    .record_injected("injected-notify-drop", self.clock.cycles());
+            }
+            NotifyFate::Duplicate => {
+                self.faults
+                    .record_injected("injected-notify-dup", self.clock.cycles());
+            }
+        }
+        Ok(fate)
     }
 
     /// Dequeues the oldest pending notification for `vm`.
@@ -1022,6 +1163,99 @@ mod tests {
         });
         // Attacker escalates without the token.
         m.wrpkru(VcpuId(0), Pkru::ALLOW_ALL, None).unwrap();
+    }
+
+    #[test]
+    fn hot_write_is_cycle_identical_to_exact_write() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let a1 = m1
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        let a2 = m2
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        assert_eq!(a1, a2);
+        let (t1, t2) = (m1.clock().cycles(), m2.clock().cycles());
+        // Alternate between two descriptor words on the same page, like
+        // a batched RPC gate does.
+        for i in 0..8 {
+            let off = 8 * (i % 2);
+            m1.write_u64_hot(VcpuId(0), Addr(a1.0 + off), i).unwrap();
+            m2.write_u64(VcpuId(0), Addr(a2.0 + off), i).unwrap();
+        }
+        assert_eq!(m1.clock().cycles() - t1, m2.clock().cycles() - t2);
+        for off in [0, 8] {
+            assert_eq!(
+                m1.read_u64(VcpuId(0), Addr(a1.0 + off)).unwrap(),
+                m2.read_u64(VcpuId(0), Addr(a2.0 + off)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn hot_write_never_survives_table_mutation() {
+        let mut m = machine();
+        let a = m
+            .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+            .unwrap();
+        m.write_u64_hot(VcpuId(0), a, 1).unwrap(); // fills the slot
+        m.unmap_region(VmId(0), a, 4096).unwrap();
+        let err = m.write_u64_hot(VcpuId(0), a, 2).unwrap_err();
+        assert!(matches!(err, Fault::PageNotPresent { .. }));
+    }
+
+    #[test]
+    fn hot_write_never_survives_pkru_restriction() {
+        let mut m = machine();
+        let a = m
+            .alloc_region(VmId(0), 4096, ProtKey(3), PageFlags::RW)
+            .unwrap();
+        m.write_u64_hot(VcpuId(0), a, 1).unwrap(); // fills the slot
+        let tok = m.gate_token();
+        let restrictive = Pkru::deny_all_except(&[ProtKey(0)], &[]);
+        m.wrpkru(VcpuId(0), restrictive, Some(tok)).unwrap();
+        let err = m.write_u64_hot(VcpuId(0), a, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::PkeyViolation {
+                key: ProtKey(3),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hot_write_draws_identical_chaos_fates() {
+        use crate::chaos::{ChaosConfig, ChaosPlan, Schedule};
+        // Spurious pkey faults fire on the same access index through
+        // either path, and cycles stay identical across the mix of
+        // clean and faulting stores.
+        let run = |hot: bool| {
+            let mut m = machine();
+            let a = m
+                .alloc_region(VmId(0), 4096, ProtKey(0), PageFlags::RW)
+                .unwrap();
+            m.set_chaos(ChaosPlan::new(ChaosConfig {
+                seed: 3,
+                spurious_pkey: Schedule::EveryNth(3),
+                ..Default::default()
+            }));
+            let t0 = m.clock().cycles();
+            let mut faults = Vec::new();
+            for i in 0..12 {
+                let r = if hot {
+                    m.write_u64_hot(VcpuId(0), a, i)
+                } else {
+                    m.write_u64(VcpuId(0), a, i)
+                };
+                if let Err(e) = r {
+                    faults.push((i, e.kind()));
+                }
+            }
+            (m.clock().cycles() - t0, faults)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -19,8 +19,8 @@ pub mod snapshot;
 pub use hist::{CycleHist, HIST_BUCKETS};
 pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use snapshot::{
-    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GatePairRow, MechanismRow, NetSnapshot,
-    SchedSnapshot, StatsSnapshot, TlbSnapshot,
+    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow, GatePairRow, MechanismRow,
+    NetSnapshot, SchedSnapshot, StatsSnapshot, TlbSnapshot,
 };
 
 use std::collections::BTreeMap;
@@ -48,10 +48,12 @@ struct PairStat {
 pub struct GateTrace {
     pairs: Vec<((&'static str, u16, u16), PairStat)>,
     hists: Vec<(&'static str, CycleHist)>,
+    batch_hists: Vec<(&'static str, CycleHist)>,
     direct_calls: u64,
     rings: Vec<EventRing>,
     last_pair: usize,
     last_hist: usize,
+    last_batch: usize,
 }
 
 /// Packs a (src, dst) compartment pair into an event `detail` word.
@@ -144,6 +146,38 @@ impl GateTrace {
         }
     }
 
+    /// Records one batched crossing of `size` calls through `mechanism`
+    /// (sizes land in a per-mechanism log2 histogram).
+    ///
+    /// `GateRuntime::cross_batch` records this in both the vectored and
+    /// the reference (`batch_enabled = false`) path, with the identical
+    /// size, so snapshots stay byte-identical across the two modes.
+    #[inline]
+    pub fn record_batch(&mut self, mechanism: &'static str, size: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if size == 0 {
+                return;
+            }
+            let h = match self.batch_hists.get(self.last_batch) {
+                Some((m, _)) if std::ptr::eq(*m, mechanism) => self.last_batch,
+                _ => match self.batch_hists.iter().position(|(m, _)| *m == mechanism) {
+                    Some(i) => i,
+                    None => {
+                        self.batch_hists.push((mechanism, CycleHist::new()));
+                        self.batch_hists.len() - 1
+                    }
+                },
+            };
+            self.last_batch = h;
+            self.batch_hists[h].1.record(size);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (mechanism, size);
+        }
+    }
+
     /// Records an arbitrary event in compartment `cpt`'s ring.
     #[inline]
     pub fn event(&mut self, cpt: u16, kind: EventKind, now: u64, detail: u64) {
@@ -180,6 +214,15 @@ impl GateTrace {
     /// used it.
     pub fn mechanism_hist(&self, mechanism: &'static str) -> Option<&CycleHist> {
         self.hists
+            .iter()
+            .find(|(m, _)| *m == mechanism)
+            .map(|(_, h)| h)
+    }
+
+    /// The batch-size histogram for one mechanism, if it ever issued a
+    /// batched crossing.
+    pub fn batch_hist(&self, mechanism: &'static str) -> Option<&CycleHist> {
+        self.batch_hists
             .iter()
             .find(|(m, _)| *m == mechanism)
             .map(|(_, h)| h)
@@ -726,6 +769,15 @@ impl TraceRegistry {
                 max: h.max(),
             });
         }
+        for &(mech, ref h) in gt.batch_hists.iter() {
+            self.snap.gate_batch.push(GateBatchRow {
+                mechanism: mech,
+                batches: h.count(),
+                calls: h.sum(),
+                p50: h.percentile(0.50),
+                max: h.max(),
+            });
+        }
         for (i, ring) in gt.rings().iter().enumerate() {
             self.merge_ring(i as u16, ring);
         }
@@ -823,6 +875,9 @@ impl TraceRegistry {
         self.snap
             .mechanisms
             .sort_by_key(|r| std::cmp::Reverse(r.count));
+        self.snap
+            .gate_batch
+            .sort_by_key(|r| std::cmp::Reverse(r.batches));
         self.events.sort_by_key(|e| e.cycles);
         if self.events.len() > SNAPSHOT_EVENT_CAP {
             let drop = self.events.len() - SNAPSHOT_EVENT_CAP;

@@ -47,6 +47,23 @@ pub struct MechanismRow {
     pub max: u64,
 }
 
+/// Per-mechanism batched-crossing summary (sizes of `cross_batch`
+/// submissions, recorded identically whether the vectored fast path or
+/// the reference loop executed them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateBatchRow {
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Calls issued across all batches.
+    pub calls: u64,
+    /// Median batch size (log2-bucket upper bound).
+    pub p50: u64,
+    /// Largest observed batch.
+    pub max: u64,
+}
+
 /// Scheduler summary.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchedSnapshot {
@@ -173,6 +190,8 @@ pub struct StatsSnapshot {
     pub gate_pairs: Vec<GatePairRow>,
     /// Per-mechanism latency summaries.
     pub mechanisms: Vec<MechanismRow>,
+    /// Per-mechanism batched-crossing size summaries.
+    pub gate_batch: Vec<GateBatchRow>,
     /// Scheduler summary.
     pub sched: SchedSnapshot,
     /// Per-compartment allocator rows.
@@ -247,6 +266,21 @@ impl StatsSnapshot {
                 o,
                 ",\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"mean\":{},\"max\":{}}}",
                 r.count, r.p50, r.p90, r.p99, r.mean, r.max
+            );
+        }
+        o.push_str("],");
+
+        o.push_str("\"gate_batch\":[");
+        for (i, r) in self.gate_batch.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"mechanism\":");
+            esc(r.mechanism, &mut o);
+            let _ = write!(
+                o,
+                ",\"batches\":{},\"calls\":{},\"p50\":{},\"max\":{}}}",
+                r.batches, r.calls, r.p50, r.max
             );
         }
         o.push_str("],");

@@ -27,7 +27,7 @@ const SERVER_IP: u32 = 0x0a00_0001;
 fn run_on(mut os: Os, params: &IperfParams) -> f64 {
     use flexos_apps::client::{exchange, Client};
     let mut exec: Executor<Os> = Executor::new(Box::new(CoopScheduler::new()));
-    let mut client = Client::new(2);
+    let mut client = Client::new(2).unwrap();
     let mut link = Link::new();
 
     let received = Rc::new(Cell::new(0u64));
@@ -66,7 +66,7 @@ fn run_on(mut os: Os, params: &IperfParams) -> f64 {
 
     let csid = client.connect(5201).unwrap();
     for _ in 0..8 {
-        client.poll();
+        client.poll().unwrap();
         exchange(&mut link, &mut client, &mut os);
         os.poll_net().unwrap();
         exec.run(&mut os, 16).unwrap();
@@ -77,8 +77,8 @@ fn run_on(mut os: Os, params: &IperfParams) -> f64 {
     let start = os.img.machine.clock().cycles();
     let mut guard = 0u32;
     while received.get() < params.total_bytes {
-        client.pump_zeroes(csid, 32 * 1024);
-        client.poll();
+        client.pump_zeroes(csid, 32 * 1024).unwrap();
+        client.poll().unwrap();
         exchange(&mut link, &mut client, &mut os);
         os.poll_net().unwrap();
         exec.run(&mut os, 64).unwrap();

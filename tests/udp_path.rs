@@ -18,7 +18,7 @@ fn boot(backend: BackendChoice) -> Os {
 
 fn udp_echo_round_trip(backend: BackendChoice) {
     let mut os = boot(backend);
-    let mut client = Client::new(2);
+    let mut client = Client::new(2).unwrap();
     let mut link = Link::new();
 
     let server_sock = os.udp_bind(7).unwrap();
@@ -43,7 +43,7 @@ fn udp_echo_round_trip(backend: BackendChoice) {
             7,
         )
         .unwrap();
-    client.poll();
+    client.poll().unwrap();
     exchange(&mut link, &mut client, &mut os);
     os.poll_net().unwrap();
 
@@ -58,7 +58,7 @@ fn udp_echo_round_trip(backend: BackendChoice) {
         .unwrap();
     os.poll_net().unwrap();
     exchange(&mut link, &mut client, &mut os);
-    client.poll();
+    client.poll().unwrap();
 
     // Client sees the echo.
     let (rn, rip, rport) = client
