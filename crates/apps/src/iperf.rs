@@ -13,9 +13,9 @@
 use crate::client::{exchange, Client, SERVER_IP};
 use crate::os::Os;
 use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
+use crate::smp::make_executor;
 use flexos::build::{plan, BackendChoice, Hypervisor};
-use flexos_kernel::exec::{Executor, Step};
-use flexos_kernel::sched::{CoopScheduler, RunQueue, VerifiedScheduler};
+use flexos_kernel::exec::Step;
 use flexos_machine::throughput_mbps;
 use flexos_net::nic::{Link, LinkChaos};
 use flexos_net::stack::{NetError, SocketId};
@@ -47,6 +47,10 @@ pub struct IperfParams {
     /// Seeded link chaos (loss/corruption/duplication/reordering) to
     /// apply between client and server, with its PRNG seed.
     pub link_chaos: Option<(LinkChaos, u64)>,
+    /// Logical vCPUs for the run queue (1 = legacy single queue; >1 uses
+    /// the deterministic SMP queue, which schedules in the identical
+    /// canonical order — see `crate::smp`).
+    pub vcpus: usize,
 }
 
 impl Default for IperfParams {
@@ -61,6 +65,7 @@ impl Default for IperfParams {
             recv_buf: 16 * 1024,
             total_bytes: 4 * 1024 * 1024,
             link_chaos: None,
+            vcpus: 1,
         }
     }
 }
@@ -82,14 +87,6 @@ pub struct IperfResult {
     pub frames_dropped: u64,
     /// Frames the link corrupted in flight.
     pub frames_corrupted: u64,
-}
-
-fn make_executor(kind: SchedKind) -> Executor<Os> {
-    let rq: Box<dyn RunQueue> = match kind {
-        SchedKind::Coop => Box::new(CoopScheduler::new()),
-        SchedKind::Verified => Box::new(VerifiedScheduler::new()),
-    };
-    Executor::new(rq)
 }
 
 /// Builds the image config for `params`.
@@ -114,7 +111,7 @@ pub fn iperf_image(params: &IperfParams) -> flexos::build::ImageConfig {
 pub fn run_iperf(params: &IperfParams) -> IperfResult {
     let image = plan(iperf_image(params)).expect("iperf image plans");
     let mut os = Os::boot(image, SERVER_IP, 1).expect("iperf image boots");
-    let mut exec = make_executor(params.sched);
+    let mut exec = make_executor(params.sched, params.vcpus);
     let mut client = Client::new(2).expect("client boots");
     let mut link = match params.link_chaos {
         Some((chaos, seed)) => Link::with_chaos(chaos, seed),

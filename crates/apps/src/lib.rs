@@ -27,6 +27,7 @@ pub mod os;
 pub mod profiles;
 pub mod redis;
 pub mod resp;
+pub mod smp;
 
 pub use os::{Os, OsStats, Roles};
 pub use profiles::{evaluation_image, gcc_sh, harden, harden_all, CompartmentModel, SchedKind};

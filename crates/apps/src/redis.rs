@@ -11,10 +11,11 @@ use crate::client::{exchange, Client, ClientError, SERVER_IP};
 use crate::os::Os;
 use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
 use crate::resp::{encode, encode_command, RespParser, RespValue};
+use crate::smp::make_executor;
 use flexos::build::{plan, BackendChoice, Hypervisor};
 use flexos::gate::CompartmentId;
 use flexos_kernel::exec::{Executor, Step};
-use flexos_kernel::sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
+use flexos_kernel::sched::ThreadId;
 use flexos_machine::{Addr, ChaosConfig, ChaosPlan};
 use flexos_net::nic::Link;
 use flexos_net::stack::{NetError, SocketId};
@@ -74,6 +75,10 @@ pub struct RedisParams {
     /// to measure how the run degrades; failures come back as
     /// [`RedisRunError`], never as panics.
     pub machine_chaos: Option<ChaosConfig>,
+    /// Logical vCPUs for the run queue (1 = legacy single queue; >1 uses
+    /// the deterministic SMP queue, which schedules in the identical
+    /// canonical order — see `crate::smp`).
+    pub vcpus: usize,
 }
 
 impl Default for RedisParams {
@@ -90,6 +95,7 @@ impl Default for RedisParams {
             ops: 2_000,
             pipeline: 16,
             machine_chaos: None,
+            vcpus: 1,
         }
     }
 }
@@ -306,14 +312,6 @@ impl RedisServer {
     }
 }
 
-fn make_executor(kind: SchedKind) -> Executor<Os> {
-    let rq: Box<dyn RunQueue> = match kind {
-        SchedKind::Coop => Box::new(CoopScheduler::new()),
-        SchedKind::Verified => Box::new(VerifiedScheduler::new()),
-    };
-    Executor::new(rq)
-}
-
 /// Builds the image config for `params`.
 pub fn redis_image(params: &RedisParams) -> flexos::build::ImageConfig {
     let mut cfg =
@@ -409,7 +407,7 @@ pub fn run_redis_with_stats(
     if let Some(chaos) = params.machine_chaos {
         os.img.machine.set_chaos(ChaosPlan::new(chaos));
     }
-    let mut exec = make_executor(params.sched);
+    let mut exec = make_executor(params.sched, params.vcpus);
     let mut client = Client::new(2)?;
     let mut link = Link::new();
 

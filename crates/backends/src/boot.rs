@@ -18,7 +18,7 @@ use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
 use flexos_machine::{
     Addr, Fault, Machine, MachineConfig, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Sizing knobs for instantiation.
 #[derive(Debug, Clone)]
@@ -299,12 +299,12 @@ pub fn instantiate_with(plan: ImagePlan, opts: BootOptions) -> Result<BootImage>
 
     // --- gates ---------------------------------------------------------------
     let token = machine.gate_token();
-    let gate: Rc<dyn Gate> = match backend {
-        BackendChoice::None => Rc::new(DirectGate),
-        BackendChoice::MpkShared => Rc::new(MpkSharedGate::new(token)),
-        BackendChoice::MpkSwitched => Rc::new(MpkSwitchedGate::new(token)),
-        BackendChoice::VmRpc => Rc::new(VmRpcGate::new(rpc_base, n as u16)),
-        BackendChoice::Cheri => Rc::new(crate::cheri::CheriGate::new(token)),
+    let gate: Arc<dyn Gate> = match backend {
+        BackendChoice::None => Arc::new(DirectGate),
+        BackendChoice::MpkShared => Arc::new(MpkSharedGate::new(token)),
+        BackendChoice::MpkSwitched => Arc::new(MpkSwitchedGate::new(token)),
+        BackendChoice::VmRpc => Arc::new(VmRpcGate::new(rpc_base, n as u16)),
+        BackendChoice::Cheri => Arc::new(crate::cheri::CheriGate::new(token)),
     };
     let initial = plan
         .compartment_of_role(LibRole::App)

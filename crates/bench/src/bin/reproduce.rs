@@ -2,8 +2,16 @@
 //!
 //! ```text
 //! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|all]
-//!                  [--quick] [--stats] [--chaos] [--bench] [--seed=S] [--json[=PATH]]
+//!                  [--quick] [--stats] [--chaos] [--bench] [--seed=S]
+//!                  [--vcpus=N] [--json[=PATH]]
 //! ```
+//!
+//! `--vcpus=N` (default 1) selects the run-queue topology for the
+//! scheduler-driven workloads: 1 is the legacy single queue, more is the
+//! deterministic SMP queue (one deque per logical vCPU, popped in the
+//! canonical global order). Outputs are byte-identical for every value —
+//! the `smp-determinism` CI job diffs `--vcpus 1/2/4` runs of this very
+//! binary. Wall-clock SMP scaling is the `--bench` smp-* matrix instead.
 //!
 //! `--stats` (or the `stats` experiment) runs the Redis/MPK profile from
 //! Figure 5 and prints the per-compartment telemetry report: gate
@@ -24,11 +32,12 @@
 //! `--bench` (or the `bench` experiment) measures **host** wall-clock
 //! throughput of the simulator itself (memcpy, iperf, Redis,
 //! gate-crossing microbenches, including the batched-crossing matrix of
-//! every backend at batch sizes 1/8/32) and compares against the
-//! recorded pre-optimization baseline; `--json[=PATH]` writes the
-//! report (default `BENCH_5.json`). Host time is machine-dependent and
-//! not part of the reproducibility contract — see EXPERIMENTS.md E13
-//! and E14.
+//! every backend at batch sizes 1/8/32, and the free-running SMP matrix
+//! splitting iperf/Redis over 1/2/4 host threads) and compares against
+//! the recorded pre-optimization baseline; `--json[=PATH]` writes the
+//! report (default `BENCH_6.json`). Host time is machine-dependent and
+//! not part of the reproducibility contract — see EXPERIMENTS.md E13,
+//! E14 and E15.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -365,7 +374,7 @@ fn run_explore() {
     println!();
 }
 
-fn run_stats(quick: bool, json: Option<&str>) {
+fn run_stats(quick: bool, vcpus: usize, json: Option<&str>) {
     use flexos_apps::redis::{run_redis_with_stats, Mix, RedisParams};
     use flexos_machine::CPU_FREQ_HZ;
 
@@ -375,6 +384,7 @@ fn run_stats(quick: bool, json: Option<&str>) {
         backend: BackendChoice::MpkShared,
         mix: Mix::Get,
         ops: if quick { 1_000 } else { 5_000 },
+        vcpus,
         ..RedisParams::default()
     };
     let (result, snap) = match run_redis_with_stats(&params) {
@@ -589,14 +599,14 @@ fn run_stats(quick: bool, json: Option<&str>) {
     }
 }
 
-fn run_chaos(quick: bool, seed: u64, json: Option<&str>) {
+fn run_chaos(quick: bool, seed: u64, vcpus: usize, json: Option<&str>) {
     use flexos_bench::chaos::{
         alloc_under_injected_oom, chaos_json, tcp_goodput_vs_loss, vmrpc_under_notify_loss,
         writes_under_spurious_pkey,
     };
 
     println!("Running the flexos-inject chaos sweeps (seed {seed})...");
-    let tcp = tcp_goodput_vs_loss(quick, seed);
+    let tcp = tcp_goodput_vs_loss(quick, seed, vcpus);
     let vmrpc = vmrpc_under_notify_loss(quick, seed);
     let alloc = alloc_under_injected_oom(quick, seed);
     let pkey = writes_under_spurious_pkey(quick, seed);
@@ -696,7 +706,8 @@ fn run_chaos(quick: bool, seed: u64, json: Option<&str>) {
 
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
-        batch32_speedup, bench_json, run_bench as run_points, speedup_vs_baseline, BASELINE_NOTE,
+        batch32_speedup, bench_json, run_bench as run_points, smp_speedup, speedup_vs_baseline,
+        BASELINE_NOTE,
     };
 
     println!(
@@ -756,6 +767,28 @@ fn run_bench(quick: bool, json: Option<&str>) {
     }
     println!("{}", bt.render());
 
+    let mut st = Table::new(
+        "Free-running SMP scaling (identical per-shard workload per host thread)",
+        &["workload", "threads", "aggregate throughput vs 1 thread"],
+    );
+    for workload in ["iperf", "redis"] {
+        for threads in [2usize, 4] {
+            if let Some(s) = smp_speedup(&points, workload, threads) {
+                st.row(vec![
+                    workload.to_string(),
+                    threads.to_string(),
+                    format!("{s:.2}x"),
+                ]);
+            }
+        }
+    }
+    println!("{}", st.render());
+    println!(
+        "(each thread drives its own machine shard; ratios are host-dependent\n\
+         and informational — the determinism contract lives in the\n\
+         deterministic interleaver, exercised by --vcpus elsewhere)"
+    );
+
     if let Some(path) = json {
         let doc = bench_json(quick, &points);
         match std::fs::write(path, &doc) {
@@ -784,6 +817,17 @@ fn main() {
             })
         })
         .unwrap_or(42);
+    let vcpus: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--vcpus="))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--vcpus must be a positive integer, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1)
+        .max(1);
     let json_explicit: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--json=").map(str::to_string));
@@ -796,7 +840,7 @@ fn main() {
         .clone()
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let bench_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "BENCH_5.json".to_string()));
+        json_explicit.or_else(|| json_bare.then(|| "BENCH_6.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -842,10 +886,10 @@ fn main() {
         run_cheri(quick);
     }
     if all || what == "stats" || stats_flag {
-        run_stats(quick, json.as_deref());
+        run_stats(quick, vcpus, json.as_deref());
     }
     if what == "chaos" || chaos_flag {
-        run_chaos(quick, seed, chaos_json_path.as_deref());
+        run_chaos(quick, seed, vcpus, chaos_json_path.as_deref());
     }
     if what == "bench" || bench_flag {
         run_bench(quick, bench_json_path.as_deref());

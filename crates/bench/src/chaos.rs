@@ -43,7 +43,14 @@ pub struct TcpChaosPoint {
 }
 
 /// iperf goodput under injected frame loss.
-pub fn tcp_goodput_vs_loss(quick: bool, seed: u64) -> Vec<TcpChaosPoint> {
+///
+/// `vcpus` selects the run-queue topology (1 = legacy single queue,
+/// more = the deterministic SMP queue). The canonical interleave makes
+/// the sweep byte-identical for every `vcpus` value — the property the
+/// `smp-determinism` CI job checks on this very report. The other three
+/// chaos sweeps drive the machine directly, without a scheduler, so they
+/// take no `vcpus` parameter.
+pub fn tcp_goodput_vs_loss(quick: bool, seed: u64, vcpus: usize) -> Vec<TcpChaosPoint> {
     let rates: &[u16] = if quick {
         &[0, 100, 200]
     } else {
@@ -62,6 +69,7 @@ pub fn tcp_goodput_vs_loss(quick: bool, seed: u64) -> Vec<TcpChaosPoint> {
                     },
                     seed,
                 )),
+                vcpus,
                 ..IperfParams::default()
             });
             TcpChaosPoint {

@@ -16,9 +16,10 @@
 //! container, seeding the perf trajectory (see EXPERIMENTS.md E13).
 
 use crate::experiments::Fig3Config;
-use flexos_apps::iperf::run_iperf;
+use flexos_apps::iperf::{run_iperf, IperfParams};
 use flexos_apps::redis::{run_redis, Mix, RedisParams};
 use flexos_apps::CompartmentModel;
+use flexos_kernel::smp::run_on_threads;
 use flexos_machine::{Machine, PageFlags, ProtKey, VcpuId, VmId};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -421,6 +422,76 @@ fn bench_gate_batch(
     }
 }
 
+/// The free-running SMP matrix: each of 1, 2 and 4 host threads runs the
+/// **same per-shard workload** against its own machine shard (this is
+/// `SmpMode::FreeRunning` — wall-clock scaling, no determinism contract;
+/// the deterministic interleaver is what the figures and
+/// `--stats`/`--chaos` use). Weak scaling, because boot/handshake is the
+/// fixed cost that dominates these workloads: t4 moves 4x the total
+/// bytes/ops, and [`smp_speedup`] reports the *aggregate throughput*
+/// ratio, which reaches ~N on an N-core host and ~1 on a single core.
+/// Entries are `(bench name, workload label, host threads)`.
+pub const SMP_MATRIX: &[(&str, &str, usize)] = &[
+    ("smp-iperf-t1", "iperf", 1),
+    ("smp-iperf-t2", "iperf", 2),
+    ("smp-iperf-t4", "iperf", 4),
+    ("smp-redis-t1", "redis", 1),
+    ("smp-redis-t2", "redis", 2),
+    ("smp-redis-t4", "redis", 4),
+];
+
+fn bench_smp_iperf(name: &'static str, threads: usize, quick: bool) -> BenchPoint {
+    // Per-shard bytes stay fixed across thread counts: every thread does
+    // identical work, so aggregate throughput measures scaling.
+    let per_shard: u64 = if quick { 512 * 1024 } else { 4 * 1024 * 1024 };
+    let (shards, host_nanos) = time(|| {
+        run_on_threads(threads, |_shard| {
+            run_iperf(&IperfParams {
+                total_bytes: per_shard,
+                ..IperfParams::default()
+            })
+        })
+    });
+    BenchPoint {
+        name,
+        iters: threads as u64,
+        bytes: shards.iter().map(|r| r.bytes).sum(),
+        host_nanos,
+        sim_cycles: shards.iter().map(|r| r.cycles).sum(),
+    }
+}
+
+fn bench_smp_redis(name: &'static str, threads: usize, quick: bool) -> BenchPoint {
+    let per_shard: u64 = if quick { 500 } else { 3_000 };
+    let (shards, host_nanos) = time(|| {
+        run_on_threads(threads, |_shard| {
+            run_redis(&RedisParams {
+                model: CompartmentModel::NwSchedRest,
+                backend: flexos::build::BackendChoice::MpkShared,
+                mix: Mix::Get,
+                ops: per_shard,
+                ..RedisParams::default()
+            })
+            .expect("redis shard")
+        })
+    });
+    BenchPoint {
+        name,
+        iters: shards.iter().map(|r| r.ops).sum(),
+        bytes: 0,
+        host_nanos,
+        sim_cycles: shards.iter().map(|r| r.cycles).sum(),
+    }
+}
+
+fn bench_smp(name: &'static str, workload: &str, threads: usize, quick: bool) -> BenchPoint {
+    match workload {
+        "iperf" => bench_smp_iperf(name, threads, quick),
+        "redis" => bench_smp_redis(name, threads, quick),
+        other => unreachable!("unknown SMP workload {other}"),
+    }
+}
+
 /// Runs every microbench (median of three samples each) and returns the
 /// measured points in print order.
 pub fn run_bench(quick: bool) -> Vec<BenchPoint> {
@@ -436,7 +507,37 @@ pub fn run_bench(quick: bool) -> Vec<BenchPoint> {
     for &(name, _, backend, batch) in GATE_BATCH_MATRIX {
         points.push(min5(|| bench_gate_batch(name, backend, batch, quick)));
     }
+    // The SMP column is consumed as a ratio (t4 vs t1 wall-clock), so
+    // min-of-5 is the robust estimator, same argument as the gate batch.
+    for &(name, workload, threads) in SMP_MATRIX {
+        points.push(min5(|| bench_smp(name, workload, threads, quick)));
+    }
     points
+}
+
+/// Aggregate-throughput speedup of the `threads`-way run over the
+/// 1-thread run for SMP `workload` ("iperf" or "redis"), from a
+/// `run_bench` result set: `(work_N / wall_N) / (work_1 / wall_1)` where
+/// work is bytes moved (iperf) or ops served (redis). Host-dependent and
+/// informational: CI gates on the *schema*, not the value (a single-core
+/// runner legitimately scores ~1.0x; a 4-core one ~3-4x at t4).
+pub fn smp_speedup(points: &[BenchPoint], workload: &str, threads: usize) -> Option<f64> {
+    let find = |t: usize| {
+        let (name, ..) = SMP_MATRIX
+            .iter()
+            .find(|(_, w, n)| *w == workload && *n == t)?;
+        points.iter().find(|p| p.name == *name)
+    };
+    let rate = |p: &BenchPoint| {
+        let work = if p.bytes > 0 { p.bytes } else { p.iters };
+        work as f64 / p.host_nanos.max(1) as f64
+    };
+    let t1 = find(1)?;
+    let tn = find(threads)?;
+    if t1.host_nanos == 0 || tn.host_nanos == 0 {
+        return None;
+    }
+    Some(rate(tn) / rate(t1))
 }
 
 /// Per-call host-time speedup of batch=32 over batch=1 for `backend`
@@ -469,13 +570,13 @@ pub fn speedup_vs_baseline(p: &BenchPoint) -> Option<f64> {
     Some(b.host_nanos as f64 / p.host_nanos as f64)
 }
 
-/// Serializes the bench report as `BENCH_5.json` (hand-rolled; the build
+/// Serializes the bench report as `BENCH_6.json` (hand-rolled; the build
 /// environment has no serde).
 pub fn bench_json(quick: bool, points: &[BenchPoint]) -> String {
     let mut o = String::with_capacity(4096);
     o.push('{');
     o.push_str("\"schema\":\"flexos-bench-v1\",");
-    o.push_str("\"pr\":5,");
+    o.push_str("\"pr\":6,");
     let _ = write!(o, "\"quick\":{quick},");
     o.push_str("\"host_time\":true,");
     o.push_str("\"benches\":[");
@@ -519,6 +620,29 @@ pub fn bench_json(quick: bool, points: &[BenchPoint]) -> String {
             o,
             "{{\"backend\":\"{backend}\",\"speedup_b32_vs_b1\":{speedup:.3}}}"
         );
+    }
+    o.push_str(
+        "]},\"smp\":{\"note\":\"free-running mode: identical per-shard workload \
+                on each of N host threads, one machine shard each; ratios are \
+                aggregate throughput vs one thread, host-dependent and \
+                informational\",\"ratios\":[",
+    );
+    let mut first = true;
+    for workload in ["iperf", "redis"] {
+        for threads in [2usize, 4] {
+            let Some(speedup) = smp_speedup(points, workload, threads) else {
+                continue;
+            };
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            let _ = write!(
+                o,
+                "{{\"workload\":\"{workload}\",\"threads\":{threads},\
+                 \"speedup_vs_t1\":{speedup:.3}}}"
+            );
+        }
     }
     o.push_str("]},\"baseline\":{\"note\":\"");
     o.push_str(BASELINE_NOTE);
@@ -564,5 +688,44 @@ mod tests {
         assert!(baseline_for("memcpy-16k").is_some());
         assert!(baseline_for("iperf-tcp-mpk").is_some());
         assert!(baseline_for("nope").is_none());
+    }
+
+    #[test]
+    fn smp_speedup_is_the_aggregate_throughput_ratio() {
+        let mk = |name: &'static str, iters: u64, bytes: u64, host_nanos: u64| BenchPoint {
+            name,
+            iters,
+            bytes,
+            host_nanos,
+            sim_cycles: 1,
+        };
+        let pts = vec![
+            // 4 threads move 4x the bytes in the same wall-clock: 4.0x.
+            mk("smp-iperf-t1", 1, 1_000_000, 8_000_000),
+            mk("smp-iperf-t4", 4, 4_000_000, 8_000_000),
+            // Byte-free workload falls back to iters (ops): 4x ops in
+            // double the wall-clock is 2.0x.
+            mk("smp-redis-t1", 500, 0, 3_000_000),
+            mk("smp-redis-t4", 2_000, 0, 6_000_000),
+        ];
+        assert_eq!(smp_speedup(&pts, "iperf", 4), Some(4.0));
+        assert_eq!(smp_speedup(&pts, "redis", 4), Some(2.0));
+        assert!(smp_speedup(&pts, "iperf", 2).is_none()); // t2 missing
+        assert!(smp_speedup(&pts, "nope", 4).is_none());
+        // The serialized report carries the ratios under the smp section.
+        let j = bench_json(true, &pts);
+        assert!(j.contains("\"pr\":6"));
+        assert!(j.contains("\"smp\":{"));
+        assert!(j.contains("\"workload\":\"iperf\",\"threads\":4,\"speedup_vs_t1\":4.000"));
+        assert!(j.contains("\"workload\":\"redis\",\"threads\":4,\"speedup_vs_t1\":2.000"));
+    }
+
+    #[test]
+    fn smp_matrix_names_follow_the_thread_count() {
+        // bench-smoke greps these exact names out of BENCH_6.json; keep
+        // name, workload and thread count consistent.
+        for &(name, workload, threads) in SMP_MATRIX {
+            assert_eq!(name, format!("smp-{workload}-t{threads}"));
+        }
     }
 }

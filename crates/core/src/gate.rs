@@ -19,7 +19,7 @@ use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
 use flexos_trace::GateTrace;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifier of a compartment within an image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -195,7 +195,14 @@ pub struct CompartmentCtx {
 /// carrying `ret_bytes`. Implementations charge their cycle costs on the
 /// machine clock and perform the actual domain switch (PKRU write, vCPU
 /// handoff, notification, …) so that enforcement matches the mechanism.
-pub trait Gate: fmt::Debug {
+///
+/// `Send + Sync` is a supertrait since true SMP: gates are stateless
+/// behind `&self` (all mutable state — clock, PKRU, doorbells — lives in
+/// the `Machine` passed in), and the runtime shares them via `Arc` so a
+/// booted image can move to, or be driven from, another host thread in
+/// free-running mode. A backend needing interior state must use atomics,
+/// not `Cell` — the compiler now enforces that.
+pub trait Gate: fmt::Debug + Send + Sync {
     /// The mechanism this gate implements.
     fn mechanism(&self) -> GateMechanism;
 
@@ -306,8 +313,8 @@ pub struct GateStats {
 /// coexist in one image), and the current call stack of compartments.
 pub struct GateRuntime {
     compartments: Vec<CompartmentCtx>,
-    default_gate: Rc<dyn Gate>,
-    pair_gates: BTreeMap<(CompartmentId, CompartmentId), Rc<dyn Gate>>,
+    default_gate: Arc<dyn Gate>,
+    pair_gates: BTreeMap<(CompartmentId, CompartmentId), Arc<dyn Gate>>,
     stack: Vec<CompartmentId>,
     stats: GateStats,
     trace: GateTrace,
@@ -333,7 +340,7 @@ impl GateRuntime {
     /// Panics if `compartments` is empty or `initial` is out of range.
     pub fn new(
         compartments: Vec<CompartmentCtx>,
-        default_gate: Rc<dyn Gate>,
+        default_gate: Arc<dyn Gate>,
         initial: CompartmentId,
     ) -> Self {
         assert!(
@@ -368,17 +375,17 @@ impl GateRuntime {
     }
 
     /// Overrides the gate used between `a` and `b` (both directions).
-    pub fn set_pair_gate(&mut self, a: CompartmentId, b: CompartmentId, gate: Rc<dyn Gate>) {
+    pub fn set_pair_gate(&mut self, a: CompartmentId, b: CompartmentId, gate: Arc<dyn Gate>) {
         let key = if a <= b { (a, b) } else { (b, a) };
         self.pair_gates.insert(key, gate);
     }
 
-    fn gate_for(&self, a: CompartmentId, b: CompartmentId) -> Rc<dyn Gate> {
+    fn gate_for(&self, a: CompartmentId, b: CompartmentId) -> Arc<dyn Gate> {
         let key = if a <= b { (a, b) } else { (b, a) };
         self.pair_gates
             .get(&key)
             .cloned()
-            .unwrap_or_else(|| Rc::clone(&self.default_gate))
+            .unwrap_or_else(|| Arc::clone(&self.default_gate))
     }
 
     /// The compartment currently executing.
@@ -611,7 +618,7 @@ impl GateRuntime {
             return Ok(out);
         }
 
-        // Fast path: the gate lookup (BTreeMap probe + `Rc` clone) is
+        // Fast path: the gate lookup (BTreeMap probe + `Arc` clone) is
         // hoisted out of the loop, and each call runs the backend's
         // batch hooks. The per-call body below mirrors `cross` exactly —
         // including running the exit path and the stats/trace updates
@@ -757,7 +764,7 @@ mod tests {
     fn same_compartment_cross_is_a_direct_call() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         let before = m.clock().cycles();
         let v = rt
             .cross(&mut m, CompartmentId(0), 16, 8, |_, _| Ok(42))
@@ -772,7 +779,7 @@ mod tests {
     fn cross_switches_current_and_restores_it() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         rt.cross(&mut m, CompartmentId(1), 0, 0, |m, rt| {
             assert_eq!(rt.current(), CompartmentId(1));
             // Nested crossing back.
@@ -790,7 +797,7 @@ mod tests {
     fn cross_restores_caller_on_error() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         let err = rt
             .cross(&mut m, CompartmentId(1), 0, 0, |_, _| {
                 Err::<(), _>(Fault::OutOfMemory { requested_pages: 1 })
@@ -804,7 +811,7 @@ mod tests {
     fn stats_accumulate_bytes() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         rt.cross(&mut m, CompartmentId(1), 100, 28, |_, _| Ok(()))
             .unwrap();
         assert_eq!(rt.stats().bytes_marshalled, 128);
@@ -834,7 +841,7 @@ mod tests {
         [true, false].map(|on| {
             let mut m = Machine::with_defaults();
             let cpts = two_compartments(&mut m);
-            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
             rt.set_batch_enabled(on);
             let before = m.clock().cycles();
             let out = rt
@@ -863,7 +870,7 @@ mod tests {
 
         let mut m1 = Machine::with_defaults();
         let cpts = two_compartments(&mut m1);
-        let mut rt1 = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt1 = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         let out = rt1
             .cross_batch(&mut m1, CompartmentId(1), &calls, |_, _, idx| Ok(idx))
             .unwrap();
@@ -871,7 +878,7 @@ mod tests {
 
         let mut m2 = Machine::with_defaults();
         let cpts = two_compartments(&mut m2);
-        let mut rt2 = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt2 = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         for (idx, &(a, r)) in calls.as_slice().iter().enumerate() {
             rt2.cross(&mut m2, CompartmentId(1), a, r, |_, _| Ok(idx))
                 .unwrap();
@@ -887,7 +894,7 @@ mod tests {
         for on in [true, false] {
             let mut m = Machine::with_defaults();
             let cpts = two_compartments(&mut m);
-            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
             rt.set_batch_enabled(on);
             let err = rt
                 .cross_batch(
@@ -915,7 +922,7 @@ mod tests {
         for on in [true, false] {
             let mut m = Machine::with_defaults();
             let cpts = two_compartments(&mut m);
-            let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+            let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
             rt.set_batch_enabled(on);
             let out = rt
                 .cross_batch_until(
@@ -936,7 +943,7 @@ mod tests {
     fn batch_records_size_histogram_per_mechanism() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         rt.cross_batch(
             &mut m,
             CompartmentId(1),
@@ -968,7 +975,7 @@ mod tests {
     fn nested_batches_restore_compartments() {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+        let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
         rt.cross_batch(
             &mut m,
             CompartmentId(1),

@@ -6,7 +6,7 @@ use flexos::spec::transform::ShSet;
 use flexos_machine::{Machine, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId};
 use flexos_trace::{CycleHist, HIST_BUCKETS};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A minimal backend gate that only charges cycles — enough to exercise
 /// the trace paths for every [`GateMechanism`] without pulling the real
@@ -78,7 +78,7 @@ fn each_mechanism_records_exact_crossing_counts() {
     ] {
         let mut m = Machine::with_defaults();
         let cpts = two_compartments(&mut m);
-        let gate = Rc::new(StubGate {
+        let gate = Arc::new(StubGate {
             mechanism,
             enter_cost: 120,
             exit_cost: 80,
@@ -109,7 +109,7 @@ fn each_mechanism_records_exact_crossing_counts() {
 fn same_compartment_calls_count_as_direct_not_crossings() {
     let mut m = Machine::with_defaults();
     let cpts = two_compartments(&mut m);
-    let mut rt = GateRuntime::new(cpts, Rc::new(DirectGate), CompartmentId(0));
+    let mut rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
     for _ in 0..6 {
         rt.cross(&mut m, CompartmentId(0), 8, 8, |_, _| Ok(()))
             .unwrap();
@@ -131,7 +131,7 @@ fn same_compartment_calls_count_as_direct_not_crossings() {
 fn nested_crossings_attribute_both_directions() {
     let mut m = Machine::with_defaults();
     let cpts = two_compartments(&mut m);
-    let gate = Rc::new(StubGate {
+    let gate = Arc::new(StubGate {
         mechanism: GateMechanism::MpkSwitchedStack,
         enter_cost: 10,
         exit_cost: 10,

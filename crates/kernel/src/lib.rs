@@ -20,6 +20,9 @@
 //!   finding that merging the network stack and scheduler compartments
 //!   does not help while semaphores sit elsewhere.
 //! * [`mq`] — a message-queue micro-library in simulated shared memory.
+//! * [`smp`] — host-side SMP primitives (work-stealing deques, SPSC
+//!   doorbell rings) for the free-running bench mode; the deterministic
+//!   per-vCPU run queue lives in [`sched::smp`].
 //! * [`timer`] — the `uktime` deadline queue (one-shot and periodic
 //!   timers over the simulated cycle clock).
 //! * [`contract`] — the runtime pre/post-condition layer standing in for
@@ -33,6 +36,7 @@ pub mod contract;
 pub mod exec;
 pub mod mq;
 pub mod sched;
+pub mod smp;
 pub mod sync;
 pub mod timer;
 
@@ -41,6 +45,7 @@ pub use alloc::{
 };
 pub use exec::{ExecSummary, Executor, KernelHal, Step, Task};
 pub use mq::MsgQueue;
-pub use sched::{CoopScheduler, RunQueue, ThreadId, VerifiedScheduler};
+pub use sched::{CoopScheduler, RunQueue, SmpRunQueue, ThreadId, VerifiedScheduler};
+pub use smp::{Doorbell, SpscRing, WorkStealQueue};
 pub use sync::{Mutex, SemId, SemTable, Semaphore, WaitChannel, WaitQueue};
 pub use timer::{TimerAction, TimerId, TimerWheel};

@@ -1,23 +1,29 @@
 //! Scheduler micro-libraries.
 //!
-//! Two interchangeable cooperative schedulers implement the [`RunQueue`]
-//! interface (the `uksched` API of the paper's listings — `thread_add`,
-//! `thread_rm`, `yield`):
+//! Three interchangeable cooperative schedulers implement the
+//! [`RunQueue`] interface (the `uksched` API of the paper's listings —
+//! `thread_add`, `thread_rm`, `yield`):
 //!
 //! * [`coop::CoopScheduler`] — the plain C-style round-robin scheduler
 //!   (76.6 ns context switch in the paper);
 //! * [`verified::VerifiedScheduler`] — the contract-checked port of the
 //!   paper's Dafny scheduler (218.6 ns), semantically identical but
-//!   re-validating pre/post-conditions and invariants on every operation.
+//!   re-validating pre/post-conditions and invariants on every operation;
+//! * [`smp::SmpRunQueue`] — per-vCPU deques popped in the canonical
+//!   global order, so any vCPU count schedules identically to the
+//!   single queue (plain or verified switch costs, chosen at
+//!   construction).
 //!
 //! Under the MPK backend the scheduler is trusted: it holds the saved
 //! PKRU of non-running threads, which the executor restores through the
 //! gate runtime on every switch.
 
 pub mod coop;
+pub mod smp;
 pub mod verified;
 
 pub use coop::CoopScheduler;
+pub use smp::SmpRunQueue;
 pub use verified::VerifiedScheduler;
 
 use flexos_machine::{CostTable, Result};

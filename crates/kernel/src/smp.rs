@@ -1,0 +1,369 @@
+//! Host-side SMP primitives for free-running mode.
+//!
+//! Deterministic mode never leaves one host thread — [`sched::smp::SmpRunQueue`]
+//! (crate::sched::smp) interleaves logical vCPUs on a canonical order. In
+//! **free-running** mode the bench harness gives each vCPU a real host
+//! thread, and those threads need two things the simulated-memory
+//! micro-libs cannot provide:
+//!
+//! * [`WorkStealQueue`] — per-worker deques with LIFO-local/FIFO-steal
+//!   balancing, the host analogue of the per-vCPU run queues;
+//! * [`SpscRing`] — a single-producer/single-consumer doorbell ring whose
+//!   head/tail publication mirrors the [`MsgQueue`](crate::mq::MsgQueue)
+//!   protocol (`head` consumer-owned, `tail` producer-owned, one
+//!   Release-store publishes each side) so the loom models in
+//!   `tests/loom.rs` exercise the same ordering argument the simulated
+//!   ring relies on.
+//!
+//! Both are written in safe Rust: slot hand-off goes through per-slot
+//! mutexes that are uncontended *by protocol* (the producer only touches
+//! slots at `tail`, the consumer only at `head`), while the Acquire/
+//! Release pairs on the index atomics are the actual synchronization
+//! points — identical in shape to a page-table generation bump or an mq
+//! tail publication. Compiled under `--cfg loom`, every `Mutex`/atomic
+//! below swaps to the `loom` model types so the protocol itself is what
+//! gets checked, not the std implementations.
+
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex,
+};
+
+/// A fixed-capacity single-producer/single-consumer ring for cross-thread
+/// doorbells.
+///
+/// The protocol is the mq layout transplanted to host atomics:
+/// `tail` is written only by the producer (Release, after the slot is
+/// filled), `head` only by the consumer (Release, after the slot is
+/// drained); each side Acquire-loads the other's index before touching a
+/// slot. Indices increase monotonically and are reduced mod capacity at
+/// slot-selection time, exactly like `MsgQueue::slot_addr`.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring with room for `capacity` in-flight messages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring needs at least one slot");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: attempts to enqueue `v`. Returns `Err(v)` if the
+    /// ring is full so the caller can retry or coalesce.
+    pub fn try_send(&self, v: T) -> std::result::Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.load(Ordering::Acquire); // consumer progress
+        if tail - head == self.slots.len() as u64 {
+            return Err(v);
+        }
+        let idx = (tail % self.slots.len() as u64) as usize;
+        *self.slots[idx].lock().expect("spsc slot poisoned") = Some(v);
+        // Publish: everything written to the slot happens-before a
+        // consumer that Acquire-loads this tail.
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: attempts to dequeue. Returns `None` when empty.
+    pub fn try_recv(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire); // producer progress
+        if tail == head {
+            return None;
+        }
+        let idx = (head % self.slots.len() as u64) as usize;
+        let v = self.slots[idx]
+            .lock()
+            .expect("spsc slot poisoned")
+            .take()
+            .expect("published slot must be full");
+        // Publish: the slot is free again for a producer that
+        // Acquire-loads this head.
+        self.head.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+
+    /// Messages currently in flight (racy snapshot, for stats only).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A coalescing doorbell: many rings collapse into one pending count, the
+/// host analogue of the machine's `notify_coalesced`.
+///
+/// The producer `ring()`s (Release add) and the consumer `drain()`s
+/// (Acquire swap-to-zero), so any slot data published before the ring is
+/// visible to the drainer — the same argument, one level up, as the
+/// [`SpscRing`] tail.
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    pending: AtomicU64,
+}
+
+impl Doorbell {
+    /// Creates an idle doorbell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals the doorbell once.
+    pub fn ring(&self) {
+        self.pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Takes all pending signals, returning how many were coalesced.
+    pub fn drain(&self) -> u64 {
+        self.pending.swap(0, Ordering::Acquire)
+    }
+
+    /// Pending signals (racy snapshot).
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+/// Per-worker deques with stealing, for balancing free-running shards
+/// across host threads.
+///
+/// `push`/`pop` on a worker's own deque are FIFO (matching the simulated
+/// schedulers); a worker whose deque runs dry `steal`s the *oldest* item
+/// from the longest sibling deque. Each deque has its own mutex so two
+/// workers only contend when one is actually stealing from the other.
+#[derive(Debug)]
+pub struct WorkStealQueue<T> {
+    queues: Vec<Mutex<std::collections::VecDeque<T>>>,
+    steals: AtomicU64,
+}
+
+impl<T> WorkStealQueue<T> {
+    /// Creates a queue set for `workers` host threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        let n = workers.max(1);
+        Self {
+            queues: (0..n)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues `v` on `worker`'s local deque.
+    pub fn push(&self, worker: usize, v: T) {
+        self.queues[worker % self.queues.len()]
+            .lock()
+            .expect("work queue poisoned")
+            .push_back(v);
+    }
+
+    /// Dequeues from `worker`'s local deque, stealing from the fullest
+    /// sibling if the local deque is empty.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let w = worker % self.queues.len();
+        if let Some(v) = self.queues[w]
+            .lock()
+            .expect("work queue poisoned")
+            .pop_front()
+        {
+            return Some(v);
+        }
+        // Steal: scan siblings for the longest deque, take its head.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if i == w {
+                continue;
+            }
+            let len = q.lock().expect("work queue poisoned").len();
+            if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
+                best = Some((i, len));
+            }
+        }
+        let (victim, _) = best?;
+        let v = self.queues[victim]
+            .lock()
+            .expect("work queue poisoned")
+            .pop_front();
+        if v.is_some() {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Total successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Total items across all deques (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.lock().expect("work queue poisoned").len())
+            .sum()
+    }
+
+    /// Whether every deque is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs `f(worker_index)` on `n` host threads and collects the results in
+/// worker order. The scoped-thread helper every free-running bench uses.
+#[cfg(not(loom))]
+pub fn run_on_threads<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = n.max(1);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n).map(|i| s.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("smp worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spsc_round_trips_in_order() {
+        let r = SpscRing::new(4);
+        assert!(r.try_send(1).is_ok());
+        assert!(r.try_send(2).is_ok());
+        assert_eq!(r.try_recv(), Some(1));
+        assert_eq!(r.try_recv(), Some(2));
+        assert_eq!(r.try_recv(), None);
+    }
+
+    #[test]
+    fn spsc_full_ring_rejects_and_recovers() {
+        let r = SpscRing::new(2);
+        assert!(r.try_send(1).is_ok());
+        assert!(r.try_send(2).is_ok());
+        assert_eq!(r.try_send(3), Err(3));
+        assert_eq!(r.try_recv(), Some(1));
+        assert!(r.try_send(3).is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn spsc_wraps_across_many_rounds() {
+        let r = SpscRing::new(3);
+        for round in 0..50u64 {
+            r.try_send(round).unwrap();
+            assert_eq!(r.try_recv(), Some(round));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn spsc_cross_thread_delivery_is_lossless() {
+        const N: u64 = 10_000;
+        let r = Arc::new(SpscRing::new(8));
+        let tx = Arc::clone(&r);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = tx.try_send(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some(v) = r.try_recv() {
+                assert_eq!(v, next, "doorbell reordered or duplicated");
+                next += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn doorbell_coalesces() {
+        let d = Doorbell::new();
+        d.ring();
+        d.ring();
+        d.ring();
+        assert_eq!(d.drain(), 3);
+        assert_eq!(d.drain(), 0);
+    }
+
+    #[test]
+    fn worksteal_local_fifo_then_steal() {
+        let q = WorkStealQueue::new(2);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.push(1, 9);
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(9)); // stolen from worker 1
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn worksteal_drains_under_contention() {
+        const ITEMS: usize = 4_000;
+        let q = Arc::new(WorkStealQueue::new(4));
+        for i in 0..ITEMS {
+            q.push(i % 4, i);
+        }
+        let counts: Vec<usize> = run_on_threads(4, |w| {
+            let mut n = 0;
+            while q.pop(w).is_some() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(counts.iter().sum::<usize>(), ITEMS);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_on_threads_preserves_worker_order() {
+        let out = run_on_threads(4, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+}

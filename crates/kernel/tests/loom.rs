@@ -1,0 +1,141 @@
+//! Concurrency models for the SMP primitives, run under `--cfg loom`.
+//!
+//! CI's concurrency-safety lane compiles the kernel crate with
+//! `RUSTFLAGS="--cfg loom"`, which swaps the atomics and mutexes inside
+//! [`flexos_kernel::smp`] for the `loom` model types (see
+//! `vendor/loom/src/lib.rs` for what the vendored shim checks versus the
+//! real crate) and runs these models:
+//!
+//! * the SPSC doorbell ring's head/tail publication — the same protocol
+//!   `MsgQueue` uses in simulated memory (consumer-owned head,
+//!   producer-owned tail, Release-store publication, Acquire-load on the
+//!   peer's index);
+//! * the per-vCPU work-stealing queue — every item pushed is popped
+//!   exactly once no matter how pops and steals interleave.
+//!
+//! Bodies are kept loom-sized: two threads, a handful of operations.
+
+#![cfg(loom)]
+
+use flexos_kernel::smp::{Doorbell, SpscRing, WorkStealQueue};
+use loom::sync::Arc;
+use loom::thread;
+
+#[test]
+fn spsc_publication_is_ordered_and_lossless() {
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(2));
+        let tx = Arc::clone(&ring);
+        let producer = thread::spawn(move || {
+            let mut sent = 0u64;
+            for v in [10u64, 20, 30] {
+                if tx.try_send(v).is_ok() {
+                    sent += 1;
+                } else {
+                    // Ring full: capacity 2 with a lagging consumer.
+                    break;
+                }
+            }
+            sent
+        });
+        let consumer = thread::spawn({
+            let rx = Arc::clone(&ring);
+            move || {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    if let Some(v) = rx.try_recv() {
+                        got.push(v);
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+                got
+            }
+        });
+        let sent = producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        // Whatever interleaving ran: received values are a prefix of the
+        // send order (no loss, no reordering, no tearing) and never
+        // exceed what was actually published.
+        assert!(got.len() as u64 <= sent);
+        assert_eq!(got, [10u64, 20, 30][..got.len()].to_vec());
+        // Drain the rest single-threaded; totals must reconcile.
+        let mut rest = Vec::new();
+        while let Some(v) = ring.try_recv() {
+            rest.push(v);
+        }
+        assert_eq!((got.len() + rest.len()) as u64, sent);
+    });
+}
+
+#[test]
+fn spsc_full_ring_never_overwrites() {
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(1));
+        let tx = Arc::clone(&ring);
+        let producer = thread::spawn(move || {
+            let a = tx.try_send(1u64).is_ok();
+            let b = tx.try_send(2u64).is_ok();
+            (a, b)
+        });
+        let rx = Arc::clone(&ring);
+        let got = rx.try_recv();
+        let (a, b) = producer.join().unwrap();
+        assert!(a, "first send into an empty 1-slot ring must succeed");
+        // Whatever `got` observed, nothing was ever lost or duplicated:
+        let mut all: Vec<u64> = got.into_iter().collect();
+        while let Some(v) = ring.try_recv() {
+            all.push(v);
+        }
+        let sent = 1 + u64::from(b);
+        assert_eq!(all.len() as u64, sent);
+        assert_eq!(all, [1u64, 2][..all.len()].to_vec());
+    });
+}
+
+#[test]
+fn doorbell_rings_are_never_dropped() {
+    loom::model(|| {
+        let bell = Arc::new(Doorbell::new());
+        let b1 = Arc::clone(&bell);
+        let ringer = thread::spawn(move || {
+            b1.ring();
+            b1.ring();
+        });
+        let drained_concurrent = bell.drain();
+        ringer.join().unwrap();
+        let drained_after = bell.drain();
+        assert_eq!(drained_concurrent + drained_after, 2);
+    });
+}
+
+#[test]
+fn worksteal_pops_every_item_exactly_once() {
+    loom::model(|| {
+        let q = Arc::new(WorkStealQueue::new(2));
+        q.push(0, 1u64);
+        q.push(0, 2);
+        q.push(1, 3);
+        let q1 = Arc::clone(&q);
+        let w1 = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q1.pop(1) {
+                got.push(v);
+            }
+            got
+        });
+        let mut got0 = Vec::new();
+        while let Some(v) = q.pop(0) {
+            got0.push(v);
+        }
+        let mut all = w1.join().unwrap();
+        all.extend(got0);
+        // One last sweep: a worker may have observed emptiness racily.
+        while let Some(v) = q.pop(0) {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3], "an item was lost or duplicated");
+        assert!(q.is_empty());
+    });
+}

@@ -62,6 +62,7 @@ pub mod machine;
 pub mod mem;
 pub mod page;
 pub mod pkey;
+pub mod smp;
 pub mod tlb;
 pub mod vm;
 
@@ -74,5 +75,6 @@ pub use fault::{Fault, Result};
 pub use machine::{GateToken, Machine, MachineConfig};
 pub use page::PageFlags;
 pub use pkey::{Access, Pkru, ProtKey};
+pub use smp::{SmpConfig, SmpMode};
 pub use tlb::{Tlb, TLB_ENTRIES};
 pub use vm::VmId;

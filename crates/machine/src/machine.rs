@@ -259,6 +259,17 @@ impl Machine {
         id
     }
 
+    /// Adds `n` vCPUs attached to `vm` (SMP topologies), returning their
+    /// ids in creation order. Each gets its own per-vCPU TLB.
+    pub fn add_vcpus(&mut self, vm: VmId, n: usize) -> Vec<VcpuId> {
+        (0..n).map(|_| self.add_vcpu(vm)).collect()
+    }
+
+    /// Number of vCPUs.
+    pub fn vcpu_count(&self) -> usize {
+        self.vcpus.len()
+    }
+
     /// Number of VMs.
     pub fn vm_count(&self) -> usize {
         self.vms.len()

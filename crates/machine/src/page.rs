@@ -14,6 +14,7 @@
 use crate::addr::{Pfn, Vpn};
 use crate::pkey::ProtKey;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Permissions and attributes of a mapped page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +42,7 @@ pub struct PageEntry {
 }
 
 /// A sparse per-VM page table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PageTable {
     entries: BTreeMap<u64, PageEntry>,
     /// When sealed, no further modifications are accepted (the paper's
@@ -51,7 +52,25 @@ pub struct PageTable {
     /// machine's software TLB tags cached walk results with this
     /// counter, so any edit lazily invalidates every cached translation
     /// of the VM without an eager flush.
-    generation: u64,
+    ///
+    /// Atomic since true SMP: the generation bump is the page table's
+    /// *publication point*. Mutators bump with `Release` after the edit,
+    /// TLB-tag readers load with `Acquire`, so a vCPU on another host
+    /// thread that observes the new generation also observes the edit
+    /// that caused it. (Mutation itself still goes through `&mut self` —
+    /// the MM capability keeps edits exclusive; the atomic makes
+    /// cross-thread *reads* of the counter well-defined.)
+    generation: AtomicU64,
+}
+
+impl Clone for PageTable {
+    fn clone(&self) -> Self {
+        Self {
+            entries: self.entries.clone(),
+            sealed: self.sealed,
+            generation: AtomicU64::new(self.generation.load(Ordering::Acquire)),
+        }
+    }
 }
 
 impl PageTable {
@@ -73,7 +92,7 @@ impl PageTable {
             return false;
         }
         self.entries.insert(vpn.0, entry);
-        self.generation += 1;
+        self.generation.fetch_add(1, Ordering::Release);
         true
     }
 
@@ -84,7 +103,7 @@ impl PageTable {
         }
         let e = self.entries.remove(&vpn.0);
         if e.is_some() {
-            self.generation += 1;
+            self.generation.fetch_add(1, Ordering::Release);
         }
         e
     }
@@ -98,7 +117,7 @@ impl PageTable {
         match self.entries.get_mut(&vpn.0) {
             Some(e) => {
                 e.key = key;
-                self.generation += 1;
+                self.generation.fetch_add(1, Ordering::Release);
                 true
             }
             None => false,
@@ -108,13 +127,13 @@ impl PageTable {
     /// Seals the table against further modification.
     pub fn seal(&mut self) {
         self.sealed = true;
-        self.generation += 1;
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The mutation counter TLB entries are tagged with.
     #[inline]
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Whether the table is sealed.

@@ -1,0 +1,173 @@
+//! SMP execution modes for the simulated machine.
+//!
+//! True SMP splits into two regimes with very different contracts:
+//!
+//! * [`SmpMode::Deterministic`] — logical vCPUs time-slice **one host
+//!   thread** under a canonical interleave (the SMP run queue in
+//!   `flexos-kernel` pops the globally oldest ready thread, which equals
+//!   single-queue round-robin order for any vCPU count). Everything
+//!   derived from the simulated clock — figures, `--stats`, `--chaos` —
+//!   is byte-identical across `--vcpus 1/2/4`, and the `smp-determinism`
+//!   CI job `cmp`s exactly that. Crucially, this mode changes *neither*
+//!   which machine vCPU an access is issued on (the TLB is per-vCPU and
+//!   its hit counters are part of the compared output) *nor* the order
+//!   of chaos draws.
+//! * [`SmpMode::FreeRunning`] — one **real host thread per vCPU**, each
+//!   driving its own machine shard, for wall-clock scaling benches
+//!   (`smp-*` entries in BENCH_6.json). Simulated totals still aggregate
+//!   deterministically; wall-clock numbers do not, by design, and are
+//!   never reproducibility-gated.
+//!
+//! The [`SmpConfig::seed`] drives *free-running shard assignment only*
+//! ([`SmpConfig::shard_of`]): a seed-dependent choice in deterministic
+//! mode would make `--vcpus 2` diverge from `--vcpus 1`, which is exactly
+//! what the determinism matrix forbids. Deterministic order is therefore
+//! seed-independent by construction.
+
+use crate::chaos::SplitMix64;
+
+/// How parallel vCPUs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SmpMode {
+    /// Canonical interleave on one host thread; byte-identical output
+    /// for any vCPU count.
+    #[default]
+    Deterministic,
+    /// One host thread per vCPU; wall-clock scaling, aggregate-only
+    /// determinism.
+    FreeRunning,
+}
+
+impl SmpMode {
+    /// Short name used in logs and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SmpMode::Deterministic => "deterministic",
+            SmpMode::FreeRunning => "free-running",
+        }
+    }
+}
+
+/// SMP topology and mode for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmpConfig {
+    /// Number of vCPUs (and, in free-running mode, host threads). Min 1.
+    pub vcpus: usize,
+    /// Execution regime.
+    pub mode: SmpMode,
+    /// Seed for free-running shard assignment. Ignored in deterministic
+    /// mode (see module docs for why it must be).
+    pub seed: u64,
+}
+
+impl Default for SmpConfig {
+    fn default() -> Self {
+        Self {
+            vcpus: 1,
+            mode: SmpMode::Deterministic,
+            seed: 0,
+        }
+    }
+}
+
+impl SmpConfig {
+    /// A deterministic-mode config with `vcpus` logical vCPUs.
+    pub fn deterministic(vcpus: usize) -> Self {
+        Self {
+            vcpus: vcpus.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// A free-running config with `vcpus` host threads and `seed` for
+    /// shard assignment.
+    pub fn free_running(vcpus: usize, seed: u64) -> Self {
+        Self {
+            vcpus: vcpus.max(1),
+            mode: SmpMode::FreeRunning,
+            seed,
+        }
+    }
+
+    /// Whether this config runs multiple host threads.
+    pub fn is_parallel(&self) -> bool {
+        self.mode == SmpMode::FreeRunning && self.vcpus > 1
+    }
+
+    /// Deterministic (seeded) shard for work item `index` in free-running
+    /// mode: a pure function of `(seed, index)`, so the *assignment* is
+    /// reproducible even though host-thread timing is not. In
+    /// deterministic mode everything lives on shard 0.
+    pub fn shard_of(&self, index: u64) -> usize {
+        match self.mode {
+            SmpMode::Deterministic => 0,
+            SmpMode::FreeRunning => {
+                let mut rng = SplitMix64::new(self.seed ^ index.wrapping_mul(0x9e37_79b9));
+                (rng.next_u64() % self.vcpus as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    // Free-running mode hands each shard's `Machine` to its own host
+    // thread; this fails to compile if any field regresses to a
+    // non-Send type.
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn machine_is_send() {
+        assert_send::<Machine>();
+    }
+
+    #[test]
+    fn default_is_single_deterministic_vcpu() {
+        let c = SmpConfig::default();
+        assert_eq!(c.vcpus, 1);
+        assert_eq!(c.mode, SmpMode::Deterministic);
+        assert!(!c.is_parallel());
+    }
+
+    #[test]
+    fn vcpu_count_is_clamped_to_one() {
+        assert_eq!(SmpConfig::deterministic(0).vcpus, 1);
+        assert_eq!(SmpConfig::free_running(0, 7).vcpus, 1);
+    }
+
+    #[test]
+    fn deterministic_mode_ignores_seed_for_sharding() {
+        for idx in 0..32 {
+            assert_eq!(SmpConfig::deterministic(4).shard_of(idx), 0);
+            let mut c = SmpConfig::deterministic(4);
+            c.seed = 0xdead_beef;
+            assert_eq!(c.shard_of(idx), 0);
+        }
+    }
+
+    #[test]
+    fn free_running_sharding_is_a_pure_function_of_seed() {
+        let a = SmpConfig::free_running(4, 42);
+        let b = SmpConfig::free_running(4, 42);
+        let c = SmpConfig::free_running(4, 43);
+        let shards_a: Vec<usize> = (0..64).map(|i| a.shard_of(i)).collect();
+        let shards_b: Vec<usize> = (0..64).map(|i| b.shard_of(i)).collect();
+        let shards_c: Vec<usize> = (0..64).map(|i| c.shard_of(i)).collect();
+        assert_eq!(shards_a, shards_b);
+        assert_ne!(shards_a, shards_c, "different seeds should reshard");
+        assert!(shards_a.iter().all(|&s| s < 4));
+        // All four shards actually get work at this size.
+        for s in 0..4 {
+            assert!(shards_a.contains(&s), "shard {s} starved");
+        }
+    }
+
+    #[test]
+    fn mode_names_are_stable_bench_labels() {
+        assert_eq!(SmpMode::Deterministic.name(), "deterministic");
+        assert_eq!(SmpMode::FreeRunning.name(), "free-running");
+    }
+}

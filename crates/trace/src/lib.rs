@@ -14,10 +14,12 @@
 
 pub mod hist;
 pub mod ring;
+pub mod shard;
 pub mod snapshot;
 
 pub use hist::{CycleHist, HIST_BUCKETS};
 pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
+pub use shard::{MergeTrace, SchedSummaryShard, VcpuShards};
 pub use snapshot::{
     AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow, GatePairRow, MechanismRow,
     NetSnapshot, SchedSnapshot, StatsSnapshot, TlbSnapshot,
@@ -598,6 +600,14 @@ impl TlbTrace {
         self.flushes
     }
 
+    /// Adds `other`'s counters into `self` (per-vCPU shard aggregation;
+    /// see [`crate::shard`]).
+    pub fn merge_counters(&mut self, other: &Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.flushes += other.flushes;
+    }
+
     /// The serializable view.
     pub fn snapshot(&self) -> TlbSnapshot {
         TlbSnapshot {
@@ -674,6 +684,16 @@ impl NetTrace {
     /// Drops recorded.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Adds `other`'s packet counters into `self` (per-vCPU shard
+    /// aggregation; drop *events* stay in their shard's ring — see
+    /// [`crate::shard`]).
+    pub fn merge_counters(&mut self, other: &Self) {
+        self.rx_segments += other.rx_segments;
+        self.tx_segments += other.tx_segments;
+        self.rx_datagrams += other.rx_datagrams;
+        self.drops += other.drops;
     }
 
     /// The drop-event ring.

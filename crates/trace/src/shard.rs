@@ -1,0 +1,203 @@
+//! Per-vCPU counter shards for SMP runs.
+//!
+//! In free-running SMP mode every vCPU's host thread drives its own
+//! machine shard, and therefore its own trace structs — the existing
+//! "no globals, no locks" probes stay exactly as cheap as they were
+//! single-threaded. What SMP adds is *aggregation*: after the threads
+//! join, shard counters are merged into one total that is identical to
+//! what a single-threaded run over the union of the work would have
+//! counted. (Event rings are deliberately not merged across shards —
+//! ring sequence numbers are per-shard; counters are the cross-shard
+//! contract.)
+//!
+//! Deterministic mode never shards: one host thread, one set of traces,
+//! so the `--stats` JSON shape is untouched and stays byte-identical
+//! across `--vcpus 1/2/4` — which the `smp-determinism` CI job enforces.
+
+use crate::{NetTrace, SchedTrace, TlbTrace};
+
+/// One `T` per vCPU, indexed by vCPU number.
+#[derive(Debug, Clone, Default)]
+pub struct VcpuShards<T> {
+    shards: Vec<T>,
+}
+
+impl<T: Default> VcpuShards<T> {
+    /// Creates `vcpus` default-initialized shards (min 1).
+    pub fn new(vcpus: usize) -> Self {
+        Self {
+            shards: (0..vcpus.max(1)).map(|_| T::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: a shard set has at least one shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard owned by `vcpu` (panics on out-of-range, like a real
+    /// per-CPU array).
+    pub fn shard(&self, vcpu: usize) -> &T {
+        &self.shards[vcpu]
+    }
+
+    /// Mutable access to `vcpu`'s shard.
+    pub fn shard_mut(&mut self, vcpu: usize) -> &mut T {
+        &mut self.shards[vcpu]
+    }
+
+    /// Iterates shards in vCPU order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.shards.iter()
+    }
+
+    /// Consumes the shards in vCPU order.
+    pub fn into_inner(self) -> Vec<T> {
+        self.shards
+    }
+}
+
+impl<T: MergeTrace + Default> VcpuShards<T> {
+    /// Merges every shard into one aggregate, in vCPU order (so the
+    /// result is independent of which host thread finished first).
+    pub fn aggregate(&self) -> T {
+        let mut total = T::default();
+        for s in &self.shards {
+            total.merge_from(s);
+        }
+        total
+    }
+}
+
+/// Traces whose counters can be summed across vCPU shards.
+///
+/// The law every implementation upholds (checked by the unit tests
+/// below and, end-to-end, by the SMP bench aggregation): merging shard
+/// counters yields the same totals as recording every event into a
+/// single trace, whatever the shard assignment.
+pub trait MergeTrace {
+    /// Adds `other`'s counters into `self`.
+    fn merge_from(&mut self, other: &Self);
+}
+
+impl MergeTrace for TlbTrace {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_counters(other);
+    }
+}
+
+impl MergeTrace for NetTrace {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_counters(other);
+    }
+}
+
+impl MergeTrace for SchedSummaryShard {
+    fn merge_from(&mut self, other: &Self) {
+        self.switches += other.switches;
+        self.steps += other.steps;
+        self.steals += other.steals;
+    }
+}
+
+/// A plain-counter shard for the executor: free-running workers track
+/// their own switch/step/steal counts and the harness aggregates. (The
+/// full [`SchedTrace`] stays per-shard — its event ring is per-thread.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSummaryShard {
+    /// Context switches on this vCPU.
+    pub switches: u64,
+    /// Executor steps on this vCPU.
+    pub steps: u64,
+    /// Work items this vCPU stole from siblings.
+    pub steals: u64,
+}
+
+impl SchedSummaryShard {
+    /// Captures the counters of one shard's [`SchedTrace`].
+    pub fn from_trace(st: &SchedTrace, steals: u64) -> Self {
+        Self {
+            switches: st.switches(),
+            steps: st.steps(),
+            steals,
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "trace-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlb_shards_aggregate_to_single_thread_totals() {
+        // Record the same 10 events either into one trace or spread
+        // over 4 shards: totals must agree.
+        let mut single = TlbTrace::new();
+        let mut shards: VcpuShards<TlbTrace> = VcpuShards::new(4);
+        for i in 0..10usize {
+            single.hit();
+            shards.shard_mut(i % 4).hit();
+            if i % 3 == 0 {
+                single.miss();
+                shards.shard_mut(i % 4).miss();
+            }
+        }
+        let total = shards.aggregate();
+        assert_eq!(total.hits(), single.hits());
+        assert_eq!(total.misses(), single.misses());
+        assert_eq!(total.flushes(), single.flushes());
+    }
+
+    #[test]
+    fn aggregate_is_shard_order_independent_for_counters() {
+        let mut a: VcpuShards<TlbTrace> = VcpuShards::new(2);
+        a.shard_mut(0).hit();
+        a.shard_mut(1).miss();
+        let mut b: VcpuShards<TlbTrace> = VcpuShards::new(2);
+        b.shard_mut(1).hit();
+        b.shard_mut(0).miss();
+        let (ta, tb) = (a.aggregate(), b.aggregate());
+        assert_eq!(ta.hits(), tb.hits());
+        assert_eq!(ta.misses(), tb.misses());
+    }
+
+    #[test]
+    fn sched_summary_shards_sum() {
+        let mut shards: VcpuShards<SchedSummaryShard> = VcpuShards::new(3);
+        for v in 0..3 {
+            *shards.shard_mut(v) = SchedSummaryShard {
+                switches: 10 * (v as u64 + 1),
+                steps: 100,
+                steals: v as u64,
+            };
+        }
+        let total = shards.aggregate();
+        assert_eq!(total.switches, 60);
+        assert_eq!(total.steps, 300);
+        assert_eq!(total.steals, 3);
+    }
+
+    #[test]
+    fn net_shards_aggregate() {
+        let mut shards: VcpuShards<NetTrace> = VcpuShards::new(2);
+        shards.shard_mut(0).on_rx_segment();
+        shards.shard_mut(1).on_rx_segment();
+        shards.shard_mut(1).on_tx_segment();
+        shards.shard_mut(0).on_drop(5);
+        let t = shards.aggregate().snapshot(0);
+        assert_eq!(t.rx_segments, 2);
+        assert_eq!(t.tx_segments, 1);
+        assert_eq!(t.drops, 1);
+    }
+
+    #[test]
+    fn single_shard_is_the_degenerate_case() {
+        let shards: VcpuShards<TlbTrace> = VcpuShards::new(0);
+        assert_eq!(shards.len(), 1);
+    }
+}

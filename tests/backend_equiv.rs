@@ -78,6 +78,16 @@ struct Outcome {
 }
 
 fn image(backend: BackendChoice) -> BootImage {
+    image_smp(backend, 0)
+}
+
+/// Boots the standard equivalence image, then attaches `extra_vcpus`
+/// additional vCPUs to the boot VM — the SMP topology `--vcpus 2` runs
+/// on. Gate crossings address compartments by their *assigned* vCPU, so
+/// the extra ones must be observably inert (the property
+/// `extra_vcpus_are_invisible_to_every_backend` checks, cycles
+/// included).
+fn image_smp(backend: BackendChoice, extra_vcpus: usize) -> BootImage {
     let cfg = ImageConfig::new("equiv", backend)
         .with_library(LibraryConfig::new(
             LibSpec::verified_scheduler(),
@@ -88,7 +98,9 @@ fn image(backend: BackendChoice) -> BootImage {
             LibRole::NetStack,
         ))
         .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
-    instantiate(plan(cfg).expect("plans")).expect("boots")
+    let mut img = instantiate(plan(cfg).expect("plans")).expect("boots");
+    img.machine.add_vcpus(flexos_machine::VmId(0), extra_vcpus);
+    img
 }
 
 /// Deterministic per-call value so every backend must compute the same
@@ -106,7 +118,18 @@ fn run(
     chaos: Option<(u64, u64)>,
     batch: bool,
 ) -> (Outcome, u64) {
-    let mut img = image(backend);
+    run_smp(backend, ops, chaos, batch, 0)
+}
+
+/// [`run`], on an image with `extra_vcpus` additional vCPUs attached.
+fn run_smp(
+    backend: BackendChoice,
+    ops: &[CallOp],
+    chaos: Option<(u64, u64)>,
+    batch: bool,
+    extra_vcpus: usize,
+) -> (Outcome, u64) {
+    let mut img = image_smp(backend, extra_vcpus);
     if let Some((drop_nth, dup_nth)) = chaos {
         img.machine.set_chaos(ChaosPlan::new(ChaosConfig {
             seed: 11,
@@ -229,6 +252,28 @@ proptest! {
                     "backend {:?} diverged from MpkShared", backend
                 );
             }
+        }
+    }
+
+    /// The `--vcpus 2` machine topology: extra vCPUs attached to the
+    /// boot VM are observably inert for every backend — same returns,
+    /// faults, counters AND the same simulated cycle count. Gates
+    /// address compartments by their assigned vCPU, so an idle sibling
+    /// must never perturb a crossing (notably VM RPC, whose doorbells
+    /// target a vCPU's VM).
+    #[test]
+    fn extra_vcpus_are_invisible_to_every_backend(ops in arb_ops(), chaos in arb_chaos()) {
+        for &backend in BACKENDS {
+            let (base, base_cycles) = run_smp(backend, &ops, chaos, true, 0);
+            let (smp, smp_cycles) = run_smp(backend, &ops, chaos, true, 1);
+            prop_assert_eq!(
+                &base, &smp,
+                "{:?} outcome diverged with an extra vCPU", backend
+            );
+            prop_assert_eq!(
+                base_cycles, smp_cycles,
+                "{:?} cycles diverged with an extra vCPU", backend
+            );
         }
     }
 

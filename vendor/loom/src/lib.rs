@@ -1,0 +1,81 @@
+//! Vendored shim of the [loom](https://crates.io/crates/loom) concurrency
+//! model checker (the build environment has no crates.io access — see
+//! `vendor/README.md`).
+//!
+//! The real loom exhaustively enumerates interleavings of a bounded
+//! concurrent program under the C11 memory model. This shim keeps the
+//! *API* — `loom::model`, `loom::thread`, `loom::sync` — so the model
+//! tests in `crates/kernel/tests/loom.rs` compile unchanged, but checks
+//! by **stress iteration**: each `model` body runs many times on real
+//! host threads, relying on scheduler noise (plus explicit yields in the
+//! bodies) to vary interleavings. That is strictly weaker than loom's
+//! exhaustive search — it can miss rare orderings — which is why CI pairs
+//! the `--cfg loom` lane with a nightly ThreadSanitizer run: the shim
+//! checks protocol logic under concurrency, TSan checks the data-race
+//! freedom claims the protocol makes.
+//!
+//! Swapping in the real crate requires only restoring the registry
+//! dependency; the `loom::` paths used by the tests are identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// How many times each `model` body is stress-iterated.
+///
+/// Override with `LOOM_MAX_PREEMPTIONS`' sibling knob `LOOM_SHIM_ITERS`
+/// (the real loom's iteration knobs don't map onto stress runs).
+fn iterations() -> usize {
+    std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400)
+}
+
+/// Runs `f` under the (stress) model checker.
+///
+/// The real loom explores interleavings exhaustively; the shim re-runs
+/// the body [`iterations`] times. A panic in any iteration fails the
+/// test, like a failed loom branch.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+/// Mirror of `loom::thread` — real host threads in the shim.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Mirror of `loom::sync` — std primitives in the shim (loom's API is
+/// deliberately identical to std's, including lock poisoning).
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_bodies_with_threads() {
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h2 = std::sync::Arc::clone(&hits);
+        std::env::set_var("LOOM_SHIM_ITERS", "3");
+        super::model(move || {
+            let c = std::sync::Arc::clone(&h2);
+            let t = super::thread::spawn(move || {
+                c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            t.join().unwrap();
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 3);
+        std::env::remove_var("LOOM_SHIM_ITERS");
+    }
+}
