@@ -12,7 +12,7 @@
 
 use crate::client::{exchange, Client, SERVER_IP};
 use crate::os::Os;
-use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
+use crate::profiles::{backend_tag, evaluation_image, harden, CompartmentModel, SchedKind};
 use crate::smp::make_executor;
 use flexos::build::{plan, BackendChoice, Hypervisor};
 use flexos_kernel::exec::Step;
@@ -128,6 +128,8 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
         .alloc_shared_buf(recv_buf_len.max(64))
         .expect("app buffer");
     let c_app = os.roles.app;
+    let burst_backend = backend_tag(params.model, params.backend);
+    let burst_vcpu = os.img.gates.ctx(c_app).vcpu.0 as u16;
     let mut sid: Option<SocketId> = None;
     let task = move |os: &mut Os, tid| {
         // Accept phase.
@@ -153,6 +155,8 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
             let app_tax = os.tax.app;
             let app_work = os.img.machine.costs().app_request;
             let counter = &received_task;
+            let burst_t0 = os.img.machine.clock().cycles();
+            let burst_before = counter.get();
             let results = os.recv_batch(s, app_buf, recv_buf_len, budget, |m, _rt, r| {
                 Ok(match r {
                     Ok(n) if *n > 0 => {
@@ -163,6 +167,21 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
                     _ => None,
                 })
             })?;
+            // One request span per receive burst that moved bytes: the
+            // iperf "request" is a batched recv plus its app work.
+            if counter.get() > burst_before {
+                let t1 = os.img.machine.clock().cycles();
+                let span = os.img.machine.span_trace_mut().begin_request(
+                    "iperf",
+                    burst_backend,
+                    burst_vcpu,
+                    burst_t0,
+                );
+                os.img
+                    .machine
+                    .span_trace_mut()
+                    .end_request(span, burst_vcpu, t1);
+            }
             budget -= results.len();
             match results.last() {
                 Some(Ok(0)) => return Ok(Step::Done), // EOF

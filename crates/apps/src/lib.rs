@@ -30,4 +30,6 @@ pub mod resp;
 pub mod smp;
 
 pub use os::{Os, OsStats, Roles};
-pub use profiles::{evaluation_image, gcc_sh, harden, harden_all, CompartmentModel, SchedKind};
+pub use profiles::{
+    backend_tag, evaluation_image, gcc_sh, harden, harden_all, CompartmentModel, SchedKind,
+};

@@ -307,7 +307,24 @@ impl Os {
         reg.add_faults(self.img.machine.fault_trace(), |k| owners.get(&k).cloned());
         reg.add_tlb(self.img.machine.tlb_trace());
         reg.add_net(self.net.trace(), self.net.retransmits(), self.roles.net.0);
+        reg.add_spans(self.img.machine.span_trace());
         reg.finish()
+    }
+
+    /// Renders the machine's span trace as Chrome trace-event JSON
+    /// (Perfetto-loadable), naming each compartment track after the
+    /// image's compartments. Deterministic runs produce the identical
+    /// string at any `--vcpus` width.
+    pub fn trace_json(&self) -> String {
+        let names: Vec<(u16, String)> = (0..self.img.gates.len())
+            .map(|c| {
+                (
+                    c as u16,
+                    self.img.gates.ctx(CompartmentId(c as u16)).name.clone(),
+                )
+            })
+            .collect();
+        self.img.machine.span_trace().to_chrome_json(&names)
     }
 
     fn taxed(base: u64, pct: u64) -> u64 {

@@ -159,6 +159,23 @@ impl CompartmentModel {
     }
 }
 
+/// Short machine-readable tag for the backend an image was built with —
+/// the `backend` key of the request-latency rows. The baseline model
+/// always compiles to direct calls regardless of the requested backend
+/// (mirroring [`evaluation_image`]'s override).
+pub fn backend_tag(model: CompartmentModel, backend: BackendChoice) -> &'static str {
+    if model == CompartmentModel::Baseline {
+        return "direct";
+    }
+    match backend {
+        BackendChoice::None => "direct",
+        BackendChoice::MpkShared => "mpk-shared",
+        BackendChoice::MpkSwitched => "mpk-switched",
+        BackendChoice::VmRpc => "vmrpc",
+        BackendChoice::Cheri => "cheri",
+    }
+}
+
 /// Builds the six-library evaluation image for `app` under a
 /// compartment model and backend.
 ///

@@ -9,7 +9,7 @@
 
 use crate::client::{exchange, Client, ClientError, SERVER_IP};
 use crate::os::Os;
-use crate::profiles::{evaluation_image, harden, CompartmentModel, SchedKind};
+use crate::profiles::{backend_tag, evaluation_image, harden, CompartmentModel, SchedKind};
 use crate::resp::{encode, encode_command, RespParser, RespValue};
 use crate::smp::make_executor;
 use flexos::build::{plan, BackendChoice, Hypervisor};
@@ -19,9 +19,9 @@ use flexos_kernel::sched::ThreadId;
 use flexos_machine::{Addr, ChaosConfig, ChaosPlan};
 use flexos_net::nic::Link;
 use flexos_net::stack::{NetError, SocketId};
-use flexos_trace::StatsSnapshot;
+use flexos_trace::{SpanId, StatsSnapshot};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -165,6 +165,18 @@ struct RedisServer {
     io_buf_len: u64,
     /// Commands executed.
     ops: u64,
+    /// Backend tag for the request-latency key (`"mpk-shared"`, …).
+    backend: &'static str,
+    /// Plan-determined vCPU of the app compartment — the span shard key
+    /// (fixed at build time, hoisted out of the per-command hot path).
+    app_vcpu: u16,
+    /// Open request spans, each paired with the cumulative staged-output
+    /// offset at which its reply will have fully left the server.
+    pending_spans: VecDeque<(SpanId, u64)>,
+    /// Reply bytes ever staged into `out_host`.
+    staged_total: u64,
+    /// Reply bytes ever drained out of `out_host` by completed sends.
+    sent_total: u64,
 }
 
 impl RedisServer {
@@ -253,10 +265,28 @@ impl RedisServer {
                 .div_ceil(self.io_buf_len)
                 .max(1) as usize;
             let (tx_buf, io_buf_len) = (self.tx_buf, self.io_buf_len);
+            let app_vcpu = self.app_vcpu;
             let out_host = &mut self.out_host;
+            let pending_spans = &mut self.pending_spans;
+            let sent_total = &mut self.sent_total;
             let results = os.send_batch_with(sid, tx_buf, n, max, |m, rt, r| {
                 let Ok(sent) = r else { return Ok(None) };
                 out_host.drain(..*sent as usize);
+                // A request span ends when the last byte of its reply
+                // has left the server — end every span whose staged
+                // offset the cumulative sent count just covered.
+                *sent_total += sent;
+                // The clock cannot advance inside this drain (no work is
+                // charged), so every span completing here ends at the
+                // same instant — read it once.
+                let now = m.clock().cycles();
+                while pending_spans
+                    .front()
+                    .is_some_and(|&(_, end)| end <= *sent_total)
+                {
+                    let (span, _) = pending_spans.pop_front().expect("front checked");
+                    m.span_trace_mut().end_request(span, app_vcpu, now);
+                }
                 if out_host.is_empty() {
                     return Ok(None);
                 }
@@ -299,14 +329,24 @@ impl RedisServer {
                 })
             }
         }
-        // Execute everything parseable.
+        // Execute everything parseable. Each command opens a request
+        // span (ended later, when its reply's last byte is sent).
         while let Some(args) = self.parser.parse_command() {
+            let t0 = os.img.machine.clock().cycles();
+            let span = os.img.machine.span_trace_mut().begin_request(
+                "redis",
+                self.backend,
+                self.app_vcpu,
+                t0,
+            );
             let reply = if args.is_empty() {
                 RespValue::Error("ERR protocol error".into())
             } else {
                 self.execute(os, &args)
             };
             self.out_host.extend_from_slice(&encode(&reply));
+            self.staged_total = self.sent_total + self.out_host.len() as u64;
+            self.pending_spans.push_back((span, self.staged_total));
         }
         Ok(Step::Yield)
     }
@@ -402,6 +442,23 @@ pub fn run_redis(params: &RedisParams) -> Result<RedisResult, RedisRunError> {
 pub fn run_redis_with_stats(
     params: &RedisParams,
 ) -> Result<(RedisResult, StatsSnapshot), RedisRunError> {
+    run_redis_inner(params, false).map(|(r, s, _)| (r, s))
+}
+
+/// [`run_redis_with_stats`] plus the Chrome trace-event JSON of the
+/// run's span stream, for `reproduce --trace-out`. The trace string is
+/// byte-identical at any `--vcpus` width in deterministic mode.
+pub fn run_redis_traced(
+    params: &RedisParams,
+) -> Result<(RedisResult, StatsSnapshot, String), RedisRunError> {
+    run_redis_inner(params, true).map(|(r, s, t)| (r, s, t.expect("trace requested")))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_redis_inner(
+    params: &RedisParams,
+    want_trace: bool,
+) -> Result<(RedisResult, StatsSnapshot, Option<String>), RedisRunError> {
     let image = plan(redis_image(params)).expect("redis image plans");
     let mut os = Os::boot(image, SERVER_IP, 1).expect("redis image boots");
     if let Some(chaos) = params.machine_chaos {
@@ -432,6 +489,11 @@ pub fn run_redis_with_stats(
         tx_buf,
         io_buf_len,
         ops: 0,
+        backend: backend_tag(params.model, params.backend),
+        app_vcpu: os.img.gates.ctx(c_app).vcpu.0 as u16,
+        pending_spans: VecDeque::new(),
+        staged_total: 0,
+        sent_total: 0,
     }));
     let server_task = Rc::clone(&server);
     let mut sid: Option<SocketId> = None;
@@ -530,7 +592,8 @@ pub fn run_redis_with_stats(
         mreq_per_s: ops as f64 / (cycles as f64 / flexos_machine::CPU_FREQ_HZ as f64) / 1e6,
         crossings: os.img.gates.stats().crossings - start_crossings,
     };
-    Ok((result, os.stats_snapshot(Some(&exec))))
+    let trace = want_trace.then(|| os.trace_json());
+    Ok((result, os.stats_snapshot(Some(&exec)), trace))
 }
 
 #[cfg(test)]

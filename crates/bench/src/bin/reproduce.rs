@@ -3,7 +3,7 @@
 //! ```text
 //! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|all]
 //!                  [--quick] [--stats] [--chaos] [--bench] [--seed=S]
-//!                  [--vcpus=N] [--json[=PATH]]
+//!                  [--vcpus=N] [--json[=PATH]] [--trace-out=PATH]
 //! ```
 //!
 //! `--vcpus=N` (default 1) selects the run-queue topology for the
@@ -19,6 +19,12 @@
 //! mechanism, scheduler activity, allocator pressure, faults and the
 //! tail of the event rings. `--json[=PATH]` additionally writes the same
 //! numbers as a JSON document (default `flexos-stats.json`).
+//! `--trace-out=PATH` additionally records a causal span trace of the
+//! run — one slice per gate crossing, doorbell, context switch, mq hop
+//! and net poll, with flow arrows stitching each request across
+//! compartments — and writes it as Chrome trace-event JSON loadable in
+//! Perfetto (`ui.perfetto.dev`). Timestamps are simulated cycles, so the
+//! trace is byte-identical for every `--vcpus` value.
 //!
 //! `--chaos` (or the `chaos` experiment) runs the `flexos-inject`
 //! fault-injection sweeps — goodput vs. fault rate for TCP under frame
@@ -35,7 +41,7 @@
 //! every backend at batch sizes 1/8/32, and the free-running SMP matrix
 //! splitting iperf/Redis over 1/2/4 host threads) and compares against
 //! the recorded pre-optimization baseline; `--json[=PATH]` writes the
-//! report (default `BENCH_6.json`). Host time is machine-dependent and
+//! report (default `BENCH_7.json`). Host time is machine-dependent and
 //! not part of the reproducibility contract — see EXPERIMENTS.md E13,
 //! E14 and E15.
 //!
@@ -54,7 +60,7 @@ use flexos::spec::{print as print_spec, Analysis, FuncRef, LibSpec};
 use flexos_bench::experiments::{
     ctx_switch, ext_cheri, fig3, fig3_buffer_sizes, fig4, fig5, table1, Fig3Config, Fig4Config,
 };
-use flexos_bench::report::{fmt_mbps, fmt_slowdown, Table};
+use flexos_bench::report::{fmt_mbps, fmt_slowdown, JsonWriter, Table};
 use flexos_machine::CostTable;
 
 fn run_fig3(quick: bool) {
@@ -374,8 +380,8 @@ fn run_explore() {
     println!();
 }
 
-fn run_stats(quick: bool, vcpus: usize, json: Option<&str>) {
-    use flexos_apps::redis::{run_redis_with_stats, Mix, RedisParams};
+fn run_stats(quick: bool, vcpus: usize, json: Option<&str>, trace_out: Option<&str>) {
+    use flexos_apps::redis::{run_redis_traced, run_redis_with_stats, Mix, RedisParams};
     use flexos_machine::CPU_FREQ_HZ;
 
     println!("Running the telemetry report (Redis GET, MPK shared stacks, NW+sched/rest)...");
@@ -387,11 +393,21 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>) {
         vcpus,
         ..RedisParams::default()
     };
-    let (result, snap) = match run_redis_with_stats(&params) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("stats run failed: {e}");
-            std::process::exit(1);
+    let (result, snap, trace) = if trace_out.is_some() {
+        match run_redis_traced(&params) {
+            Ok((r, s, t)) => (r, s, Some(t)),
+            Err(e) => {
+                eprintln!("stats run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_redis_with_stats(&params) {
+            Ok((r, s)) => (r, s, None),
+            Err(e) => {
+                eprintln!("stats run failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
@@ -557,6 +573,40 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>) {
     ]);
     println!("{}", net.render());
 
+    if !snap.latency.is_empty() {
+        let mut lat = Table::new(
+            "Request latency percentiles (cycles, exact nearest-rank)",
+            &["app", "backend", "requests", "p50", "p99", "p999"],
+        );
+        for r in &snap.latency {
+            lat.row(vec![
+                r.app.to_string(),
+                r.backend.to_string(),
+                r.count.to_string(),
+                r.p50.to_string(),
+                r.p99.to_string(),
+                r.p999.to_string(),
+            ]);
+        }
+        println!("{}", lat.render());
+    }
+
+    if !snap.ring_drops.is_empty() {
+        let mut rd = Table::new(
+            "Bounded-ring occupancy (events pushed vs overwritten)",
+            &["subsystem", "owner", "pushed", "dropped"],
+        );
+        for r in &snap.ring_drops {
+            rd.row(vec![
+                r.subsystem.to_string(),
+                r.owner.to_string(),
+                r.pushed.to_string(),
+                r.dropped.to_string(),
+            ]);
+        }
+        println!("{}", rd.render());
+    }
+
     if !snap.events.is_empty() {
         let mut ev = Table::new(
             "Event-ring tail (most recent, all compartments)",
@@ -578,17 +628,31 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>) {
         );
     }
 
+    if let (Some(path), Some(trace)) = (trace_out, &trace) {
+        match std::fs::write(path, trace) {
+            Ok(()) => {
+                println!("\nWrote Chrome trace-event JSON to {path} (open in ui.perfetto.dev)")
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = json {
-        let doc = format!(
-            "{{\"workload\":{{\"experiment\":\"redis-get-mpk-shared\",\
-             \"ops\":{},\"cycles\":{},\"mreq_per_s\":{},\"crossings\":{}}},\
-             \"stats\":{}}}",
-            result.ops,
-            result.cycles,
-            result.mreq_per_s,
-            result.crossings,
-            snap.to_json()
-        );
+        let mut w = JsonWriter::new();
+        w.begin_obj(None)
+            .begin_obj(Some("workload"))
+            .str_field("experiment", "redis-get-mpk-shared")
+            .u64_field("ops", result.ops)
+            .u64_field("cycles", result.cycles)
+            .f64_field("mreq_per_s", result.mreq_per_s)
+            .u64_field("crossings", result.crossings)
+            .end_obj()
+            .raw_field("stats", &snap.to_json())
+            .end_obj();
+        let doc = w.finish();
         match std::fs::write(path, &doc) {
             Ok(()) => println!("\nWrote JSON stats to {path}"),
             Err(e) => {
@@ -706,8 +770,8 @@ fn run_chaos(quick: bool, seed: u64, vcpus: usize, json: Option<&str>) {
 
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
-        batch32_speedup, bench_json, run_bench as run_points, smp_speedup, speedup_vs_baseline,
-        BASELINE_NOTE,
+        batch32_speedup, bench_json, latency_points, run_bench as run_points, smp_speedup,
+        speedup_vs_baseline, BASELINE_NOTE,
     };
 
     println!(
@@ -789,8 +853,29 @@ fn run_bench(quick: bool, json: Option<&str>) {
          deterministic interleaver, exercised by --vcpus elsewhere)"
     );
 
+    let latency = latency_points(quick);
+    let mut lt = Table::new(
+        "Per-request latency across isolation backends (simulated cycles, exact)",
+        &["app", "backend", "requests", "p50", "p99", "p999"],
+    );
+    for r in &latency {
+        lt.row(vec![
+            r.app.to_string(),
+            r.backend.to_string(),
+            r.count.to_string(),
+            r.p50.to_string(),
+            r.p99.to_string(),
+            r.p999.to_string(),
+        ]);
+    }
+    println!("{}", lt.render());
+    println!(
+        "(span-tracer percentiles are simulated time and deterministic —\n\
+         the one bench section that IS byte-reproducible across hosts)"
+    );
+
     if let Some(path) = json {
-        let doc = bench_json(quick, &points);
+        let doc = bench_json(quick, &points, &latency);
         match std::fs::write(path, &doc) {
             Ok(()) => println!("\nWrote JSON bench report to {path}"),
             Err(e) => {
@@ -828,6 +913,9 @@ fn main() {
         })
         .unwrap_or(1)
         .max(1);
+    let trace_out: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--trace-out=").map(str::to_string));
     let json_explicit: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--json=").map(str::to_string));
@@ -840,7 +928,7 @@ fn main() {
         .clone()
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let bench_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "BENCH_6.json".to_string()));
+        json_explicit.or_else(|| json_bare.then(|| "BENCH_7.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -886,7 +974,7 @@ fn main() {
         run_cheri(quick);
     }
     if all || what == "stats" || stats_flag {
-        run_stats(quick, vcpus, json.as_deref());
+        run_stats(quick, vcpus, json.as_deref(), trace_out.as_deref());
     }
     if what == "chaos" || chaos_flag {
         run_chaos(quick, seed, vcpus, chaos_json_path.as_deref());

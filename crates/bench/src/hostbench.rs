@@ -17,10 +17,11 @@
 
 use crate::experiments::Fig3Config;
 use flexos_apps::iperf::{run_iperf, IperfParams};
-use flexos_apps::redis::{run_redis, Mix, RedisParams};
+use flexos_apps::redis::{run_redis, run_redis_with_stats, Mix, RedisParams};
 use flexos_apps::CompartmentModel;
 use flexos_kernel::smp::run_on_threads;
 use flexos_machine::{Machine, PageFlags, ProtKey, VcpuId, VmId};
+use flexos_trace::LatencyRow;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -515,6 +516,47 @@ pub fn run_bench(quick: bool) -> Vec<BenchPoint> {
     points
 }
 
+/// Backend matrix for the per-request latency block: the span tracer's
+/// exact nearest-rank percentiles for the same Redis GET workload run
+/// over three isolation dials. Simulated cycles, fully deterministic —
+/// the one section of the bench report that *is* byte-reproducible.
+const LATENCY_MATRIX: &[(CompartmentModel, flexos::build::BackendChoice)] = &[
+    (
+        CompartmentModel::Baseline,
+        flexos::build::BackendChoice::None,
+    ),
+    (
+        CompartmentModel::NwSchedRest,
+        flexos::build::BackendChoice::MpkShared,
+    ),
+    (
+        CompartmentModel::NwSchedRest,
+        flexos::build::BackendChoice::VmRpc,
+    ),
+];
+
+/// Runs the Redis GET workload across [`LATENCY_MATRIX`] and collects
+/// the per-(app, backend) request-latency percentile rows out of each
+/// run's span trace.
+pub fn latency_points(quick: bool) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for &(model, backend) in LATENCY_MATRIX {
+        let params = RedisParams {
+            model,
+            backend,
+            mix: Mix::Get,
+            ops: if quick { 500 } else { 2_000 },
+            ..RedisParams::default()
+        };
+        match run_redis_with_stats(&params) {
+            Ok((_, snap)) => rows.extend(snap.latency),
+            Err(e) => eprintln!("latency run ({model:?}, {backend:?}) failed: {e}"),
+        }
+    }
+    rows.sort_by_key(|r| (r.app, r.backend));
+    rows
+}
+
 /// Aggregate-throughput speedup of the `threads`-way run over the
 /// 1-thread run for SMP `workload` ("iperf" or "redis"), from a
 /// `run_bench` result set: `(work_N / wall_N) / (work_1 / wall_1)` where
@@ -570,13 +612,13 @@ pub fn speedup_vs_baseline(p: &BenchPoint) -> Option<f64> {
     Some(b.host_nanos as f64 / p.host_nanos as f64)
 }
 
-/// Serializes the bench report as `BENCH_6.json` (hand-rolled; the build
+/// Serializes the bench report as `BENCH_7.json` (hand-rolled; the build
 /// environment has no serde).
-pub fn bench_json(quick: bool, points: &[BenchPoint]) -> String {
+pub fn bench_json(quick: bool, points: &[BenchPoint], latency: &[LatencyRow]) -> String {
     let mut o = String::with_capacity(4096);
     o.push('{');
     o.push_str("\"schema\":\"flexos-bench-v1\",");
-    o.push_str("\"pr\":6,");
+    o.push_str("\"pr\":7,");
     let _ = write!(o, "\"quick\":{quick},");
     o.push_str("\"host_time\":true,");
     o.push_str("\"benches\":[");
@@ -644,6 +686,22 @@ pub fn bench_json(quick: bool, points: &[BenchPoint]) -> String {
             );
         }
     }
+    o.push_str(
+        "]},\"latency\":{\"note\":\"per-request simulated-cycle percentiles from \
+                the span tracer (exact nearest-rank), Redis GET across isolation \
+                backends; deterministic, byte-reproducible\",\"entries\":[",
+    );
+    for (i, r) in latency.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"app\":\"{}\",\"backend\":\"{}\",\"count\":{},\
+             \"p50\":{},\"p99\":{},\"p999\":{}}}",
+            r.app, r.backend, r.count, r.p50, r.p99, r.p999
+        );
+    }
     o.push_str("]},\"baseline\":{\"note\":\"");
     o.push_str(BASELINE_NOTE);
     o.push_str("\",\"entries\":[");
@@ -671,10 +729,23 @@ mod tests {
         let pts = vec![bench_rw_u64(true)];
         assert!(pts[0].sim_cycles > 0);
         assert!(pts[0].iters > 0);
-        let j = bench_json(true, &pts);
+        let lat = vec![LatencyRow {
+            app: "redis",
+            backend: "mpk-shared",
+            count: 500,
+            p50: 5_400,
+            p99: 8_300,
+            p999: 8_400,
+        }];
+        let j = bench_json(true, &pts, &lat);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"schema\":\"flexos-bench-v1\""));
         assert!(j.contains("\"rw-u64\""));
+        assert!(j.contains("\"latency\":{"));
+        assert!(j.contains(
+            "{\"app\":\"redis\",\"backend\":\"mpk-shared\",\"count\":500,\
+             \"p50\":5400,\"p99\":8300,\"p999\":8400}"
+        ));
         let depth = j.chars().fold(0i64, |d, c| match c {
             '{' | '[' => d + 1,
             '}' | ']' => d - 1,
@@ -713,8 +784,8 @@ mod tests {
         assert!(smp_speedup(&pts, "iperf", 2).is_none()); // t2 missing
         assert!(smp_speedup(&pts, "nope", 4).is_none());
         // The serialized report carries the ratios under the smp section.
-        let j = bench_json(true, &pts);
-        assert!(j.contains("\"pr\":6"));
+        let j = bench_json(true, &pts, &[]);
+        assert!(j.contains("\"pr\":7"));
         assert!(j.contains("\"smp\":{"));
         assert!(j.contains("\"workload\":\"iperf\",\"threads\":4,\"speedup_vs_t1\":4.000"));
         assert!(j.contains("\"workload\":\"redis\",\"threads\":4,\"speedup_vs_t1\":2.000"));
@@ -722,7 +793,7 @@ mod tests {
 
     #[test]
     fn smp_matrix_names_follow_the_thread_count() {
-        // bench-smoke greps these exact names out of BENCH_6.json; keep
+        // bench-smoke greps these exact names out of BENCH_7.json; keep
         // name, workload and thread count consistent.
         for &(name, workload, threads) in SMP_MATRIX {
             assert_eq!(name, format!("smp-{workload}-t{threads}"));

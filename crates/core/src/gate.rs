@@ -16,7 +16,7 @@
 
 use crate::spec::transform::ShSet;
 use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
-use flexos_trace::GateTrace;
+use flexos_trace::{GateTrace, SpanKind};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -485,15 +485,27 @@ impl GateRuntime {
             gate.exit(m, callee_ctx, caller_ctx, ret_bytes)?;
         }
         let exit_cycles = m.clock().cycles() - t1;
+        let label = gate.mechanism().label();
         self.stats.gate_cycles += exit_cycles;
         self.stats.crossings += 1;
         self.stats.bytes_marshalled += arg_bytes + ret_bytes;
         self.trace.record_crossing(
-            gate.mechanism().label(),
+            label,
             from.0,
             target.0,
             enter_cycles + exit_cycles,
             arg_bytes + ret_bytes,
+            t1 + exit_cycles,
+        );
+        // Span probe: the whole crossing window [enter, exit], sharded
+        // by the caller's plan-determined vCPU (run-queue-invisible).
+        m.span_trace_mut().record(
+            self.compartments[from.0 as usize].vcpu.0 as u16,
+            SpanKind::Gate,
+            label,
+            from.0,
+            target.0,
+            t0,
             t1 + exit_cycles,
         );
         result
@@ -666,6 +678,17 @@ impl GateRuntime {
                 target.0,
                 enter_cycles + exit_cycles,
                 arg_bytes + ret_bytes,
+                t1 + exit_cycles,
+            );
+            // Span probe mirroring `cross` exactly, so the batched fast
+            // path emits the byte-identical span stream.
+            m.span_trace_mut().record(
+                self.compartments[from.0 as usize].vcpu.0 as u16,
+                SpanKind::Gate,
+                label,
+                from.0,
+                target.0,
+                t0,
                 t1 + exit_cycles,
             );
             let r = match result {

@@ -13,7 +13,7 @@ use crate::sched::{RunQueue, ThreadId};
 use crate::sync::WaitChannel;
 use flexos::gate::CompartmentId;
 use flexos_machine::{Machine, Result};
-use flexos_trace::SchedTrace;
+use flexos_trace::{SchedTrace, SpanKind};
 use std::collections::BTreeMap;
 
 /// What a task reports after one scheduling quantum.
@@ -176,12 +176,26 @@ impl<C: KernelHal> Executor<C> {
 
             // Context switch: cost + compartment protection restore.
             if self.last_running != Some(tid) {
+                let t0 = ctx.machine_mut().clock().cycles();
                 let cost = self.rq.switch_cost(ctx.machine_mut().costs());
                 ctx.machine_mut().charge(cost);
                 ctx.resume_compartment(slot.compartment)?;
                 self.summary.switches += 1;
-                self.trace
-                    .record_switch(ctx.machine_mut().clock().cycles(), tid.0);
+                let t1 = ctx.machine_mut().clock().cycles();
+                self.trace.record_switch(t1, tid.0);
+                // Span probe: the switch window (cost charge + PKRU
+                // restore), attributed to the incoming thread and its
+                // compartment. Shard 0: the switch sequence is part of
+                // the canonical interleave, identical at any `--vcpus`.
+                ctx.machine_mut().span_trace_mut().record(
+                    0,
+                    SpanKind::Sched,
+                    "ctx-switch",
+                    tid.0 as u16,
+                    slot.compartment.0,
+                    t0,
+                    t1,
+                );
                 self.last_running = Some(tid);
             }
 

@@ -16,6 +16,7 @@
 //! ```
 
 use flexos_machine::{Addr, Fault, Machine, Result, VcpuId};
+use flexos_trace::SpanKind;
 
 const HDR: u64 = 16;
 
@@ -110,6 +111,7 @@ impl MsgQueue {
                 ),
             });
         }
+        let t0 = m.clock().cycles();
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
         if self.depth(head, tail)? == self.slots {
@@ -119,7 +121,23 @@ impl MsgQueue {
         m.write_u64(vcpu, slot, payload.len() as u64)?;
         m.write(vcpu, Addr(slot.0 + 8), payload)?;
         m.write_u64(vcpu, Addr(self.base.0 + 8), tail + 1)?;
+        self.record_hop(m, vcpu, "mq-send", t0);
         Ok(true)
+    }
+
+    /// Span probe for one queue hop: the window from op entry to now,
+    /// sharded by the (plan-determined) vCPU doing the copy.
+    fn record_hop(&self, m: &mut Machine, vcpu: VcpuId, label: &'static str, t0: u64) {
+        let t1 = m.clock().cycles();
+        m.span_trace_mut().record(
+            vcpu.0 as u16,
+            SpanKind::MqHop,
+            label,
+            vcpu.0 as u16,
+            vcpu.0 as u16,
+            t0,
+            t1,
+        );
     }
 
     /// Attempts to dequeue a message into `buf`; returns the payload
@@ -130,6 +148,7 @@ impl MsgQueue {
     /// header) or beyond `buf` (a too-short caller buffer) returns
     /// [`Fault::HardeningAbort`] without reading a single payload byte.
     pub fn try_recv(&self, m: &mut Machine, vcpu: VcpuId, buf: &mut [u8]) -> Result<Option<usize>> {
+        let t0 = m.clock().cycles();
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
         if self.depth(head, tail)? == 0 {
@@ -155,6 +174,7 @@ impl MsgQueue {
         }
         m.read(vcpu, Addr(slot.0 + 8), &mut buf[..len])?;
         m.write_u64(vcpu, self.base, head + 1)?;
+        self.record_hop(m, vcpu, "mq-recv", t0);
         Ok(Some(len))
     }
 
@@ -173,6 +193,7 @@ impl MsgQueue {
         if msgs.is_empty() {
             return Ok(0);
         }
+        let t0 = m.clock().cycles();
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
         let free = self.slots - self.depth(head, tail)?;
@@ -207,6 +228,7 @@ impl MsgQueue {
         }
         if written > 0 {
             m.write_u64(vcpu, Addr(self.base.0 + 8), tail + written)?;
+            self.record_hop(m, vcpu, "mq-send-batch", t0);
         }
         match err {
             Some(e) => Err(e),
@@ -232,6 +254,7 @@ impl MsgQueue {
         if max == 0 {
             return Ok(0);
         }
+        let t0 = m.clock().cycles();
         let head = m.read_u64(vcpu, self.base)?;
         let tail = m.read_u64(vcpu, Addr(self.base.0 + 8))?;
         let mut depth = self.depth(head, tail)?;
@@ -267,6 +290,7 @@ impl MsgQueue {
         }
         if taken > 0 {
             m.write_u64(vcpu, self.base, head + taken)?;
+            self.record_hop(m, vcpu, "mq-recv-batch", t0);
         }
         match err {
             Some(e) => Err(e),

@@ -28,7 +28,7 @@ use crate::page::{PageEntry, PageFlags};
 use crate::pkey::{Access, Pkru, ProtKey};
 use crate::tlb::Tlb;
 use crate::vm::{Notification, Vm, VmId};
-use flexos_trace::{FaultTrace, TlbTrace};
+use flexos_trace::{FaultTrace, SpanKind, SpanTrace, TlbTrace};
 
 /// First virtual page number of the shared window. Shared regions are
 /// mapped at identical addresses in every VM (paper §3: "mapped in all
@@ -168,6 +168,7 @@ pub struct Machine {
     shared_next_vpn: u64,
     gate_token: GateToken,
     faults: FaultTrace,
+    spans: SpanTrace,
     chaos: Option<ChaosPlan>,
     /// One software TLB per vCPU (parallel to `vcpus`).
     tlbs: Vec<Tlb>,
@@ -216,6 +217,7 @@ impl Machine {
             shared_next_vpn: SHARED_WINDOW_FIRST_VPN,
             gate_token: GateToken::fresh(),
             faults: FaultTrace::new(),
+            spans: SpanTrace::new(),
             chaos: None,
             tlbs: vec![Tlb::new()],
             tlb_enabled: cfg.tlb_enabled,
@@ -922,6 +924,24 @@ impl Machine {
         self.tlb_trace.reset();
     }
 
+    /// Request-span telemetry: causal per-request intervals and exact
+    /// end-to-end latency samples (PR 7).
+    #[inline]
+    pub fn span_trace(&self) -> &SpanTrace {
+        &self.spans
+    }
+
+    /// Mutable span tracer, for probes that hold `&mut Machine`.
+    #[inline]
+    pub fn span_trace_mut(&mut self) -> &mut SpanTrace {
+        &mut self.spans
+    }
+
+    /// Resets span telemetry (benchmark warm-up support).
+    pub fn reset_span_trace(&mut self) {
+        self.spans = SpanTrace::new();
+    }
+
     /// Executes `wrpkru` on `vcpu`. Under [`PkruGuard::GateCapability`],
     /// `token` must be the machine's gate token or the write faults —
     /// modelling FlexOS's defenses against unauthorized PKRU writes.
@@ -1002,7 +1022,36 @@ impl Machine {
                 self.vms[target.0 as usize].post(n);
             }
         }
+        self.record_doorbell_span(from, from_vm, target, fate);
         Ok(())
+    }
+
+    /// Span probe shared by [`Machine::notify`] and
+    /// [`Machine::notify_coalesced`]: both record the identical event
+    /// for the identical fate, preserving the coalescing equivalence
+    /// (PR 5) down to the span stream.
+    fn record_doorbell_span(
+        &mut self,
+        from: VcpuId,
+        from_vm: VmId,
+        target: VmId,
+        fate: NotifyFate,
+    ) {
+        let label = match fate {
+            NotifyFate::Deliver => "doorbell",
+            NotifyFate::Drop => "doorbell-drop",
+            NotifyFate::Duplicate => "doorbell-dup",
+        };
+        let t1 = self.clock.cycles();
+        self.spans.record(
+            from.0 as u16,
+            SpanKind::Doorbell,
+            label,
+            from_vm.0 as u16,
+            target.0 as u16,
+            t1 - self.costs.vm_notify,
+            t1,
+        );
     }
 
     /// Sends a notification that a batching gate has already proven
@@ -1025,7 +1074,7 @@ impl Machine {
     /// (queue unchanged again).
     pub fn notify_coalesced(&mut self, from: VcpuId, target: VmId) -> Result<NotifyFate> {
         assert!((target.0 as usize) < self.vms.len(), "unknown {target}");
-        let _from_vm = self.vcpus[from.0 as usize].vm;
+        let from_vm = self.vcpus[from.0 as usize].vm;
         self.clock.advance(self.costs.vm_notify);
         let fate = self
             .chaos
@@ -1042,6 +1091,7 @@ impl Machine {
                     .record_injected("injected-notify-dup", self.clock.cycles());
             }
         }
+        self.record_doorbell_span(from, from_vm, target, fate);
         Ok(fate)
     }
 
@@ -1059,6 +1109,7 @@ impl Machine {
     // ---- clock ------------------------------------------------------------
 
     /// The simulated clock.
+    #[inline]
     pub fn clock(&self) -> &Clock {
         &self.clock
     }

@@ -20,7 +20,7 @@ use crate::wire::{
     ETHERTYPE_IPV4, ETH_LEN, IPV4_LEN, PROTO_TCP, PROTO_UDP, UDP_LEN,
 };
 use flexos_machine::{Addr, Fault, Machine, VcpuId};
-use flexos_trace::NetTrace;
+use flexos_trace::{NetTrace, SpanKind};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -540,14 +540,31 @@ impl NetStack {
     /// bytes into socket receive rings. Costs are charged per packet and
     /// per byte on `m`'s clock.
     pub fn poll(&mut self, m: &mut Machine, vcpu: VcpuId) -> NetResult<()> {
-        // Receive path.
+        // Receive path. The span probe brackets the whole drain: one
+        // `net-rx` interval per poll that actually processed frames,
+        // sharded by the stack's plan-determined vCPU.
+        let rx_t0 = m.clock().cycles();
+        let mut rx_frames = false;
         while let Some(frame) = self.nic.pop_rx() {
+            rx_frames = true;
             m.charge(
                 m.costs().nic_per_packet
                     + m.costs().stack_per_packet
                     + self.packet_tax(frame.len() as u64),
             );
             self.handle_frame(m, &frame);
+        }
+        if rx_frames {
+            let t1 = m.clock().cycles();
+            m.span_trace_mut().record(
+                vcpu.0 as u16,
+                SpanKind::Net,
+                "net-rx",
+                vcpu.0 as u16,
+                vcpu.0 as u16,
+                rx_t0,
+                t1,
+            );
         }
         // Transmit + delivery path.
         let now = m.clock().cycles();
@@ -566,6 +583,7 @@ impl NetStack {
                 rx.push(m, vcpu, &data)?;
             }
             for seg in segs {
+                let t0 = m.clock().cycles();
                 m.charge(
                     m.costs().stack_per_packet
                         + m.costs().nic_per_packet
@@ -573,6 +591,16 @@ impl NetStack {
                         + m.costs().copy_cost(seg.payload.len() as u64),
                 );
                 self.emit_tcp(dst_ip, &seg);
+                let t1 = m.clock().cycles();
+                m.span_trace_mut().record(
+                    vcpu.0 as u16,
+                    SpanKind::Net,
+                    "net-tx",
+                    vcpu.0 as u16,
+                    vcpu.0 as u16,
+                    t0,
+                    t1,
+                );
             }
         }
         Ok(())

@@ -16,13 +16,18 @@ pub mod hist;
 pub mod ring;
 pub mod shard;
 pub mod snapshot;
+pub mod span;
 
 pub use hist::{CycleHist, HIST_BUCKETS};
 pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use shard::{MergeTrace, SchedSummaryShard, VcpuShards};
 pub use snapshot::{
-    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow, GatePairRow, MechanismRow,
-    NetSnapshot, SchedSnapshot, StatsSnapshot, TlbSnapshot,
+    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow, GatePairRow, LatencyRow,
+    MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot, StatsSnapshot, TlbSnapshot,
+};
+pub use span::{
+    SpanEvent, SpanId, SpanKind, SpanLatencyRow, SpanRing, SpanRingStats, SpanTrace,
+    DEFAULT_SPAN_RING_CAP,
 };
 
 use std::collections::BTreeMap;
@@ -749,8 +754,9 @@ impl TraceRegistry {
             .unwrap_or_else(|| format!("compartment{cpt}"))
     }
 
-    fn merge_ring(&mut self, cpt: u16, ring: &EventRing) {
+    fn merge_ring(&mut self, subsystem: &'static str, cpt: u16, ring: &EventRing) {
         self.snap.events_overwritten += ring.overwritten();
+        self.note_ring(subsystem, cpt, ring.pushed(), ring.overwritten());
         for e in ring.iter() {
             self.events.push(EventRow {
                 seq: e.seq,
@@ -760,6 +766,21 @@ impl TraceRegistry {
                 detail: e.detail,
             });
         }
+    }
+
+    /// Records one ring's push/drop accounting for the `--stats`
+    /// dropped-events report. Rings that never recorded are skipped so
+    /// the table stays workload-shaped.
+    fn note_ring(&mut self, subsystem: &'static str, owner: u16, pushed: u64, dropped: u64) {
+        if pushed == 0 {
+            return;
+        }
+        self.snap.ring_drops.push(RingDropRow {
+            subsystem,
+            owner,
+            pushed,
+            dropped,
+        });
     }
 
     /// Registers the gate runtime's trace. `names[i]` names compartment `i`.
@@ -799,7 +820,7 @@ impl TraceRegistry {
             });
         }
         for (i, ring) in gt.rings().iter().enumerate() {
-            self.merge_ring(i as u16, ring);
+            self.merge_ring("gates", i as u16, ring);
         }
     }
 
@@ -807,7 +828,7 @@ impl TraceRegistry {
     /// compartment `sched_cpt` (the compartment the scheduler lives in).
     pub fn add_sched(&mut self, st: &SchedTrace, sched_cpt: u16) {
         self.snap.sched = st.snapshot();
-        self.merge_ring(sched_cpt, st.ring());
+        self.merge_ring("sched", sched_cpt, st.ring());
     }
 
     /// Registers the heap service's trace. `names[i]` names compartment `i`.
@@ -827,7 +848,7 @@ impl TraceRegistry {
             });
         }
         // Failure events carry no compartment in the ring; attribute to 0.
-        self.merge_ring(0, at.ring());
+        self.merge_ring("allocs", 0, at.ring());
     }
 
     /// Registers the machine's fault trace. `key_owner` maps a protection
@@ -857,6 +878,7 @@ impl TraceRegistry {
         // Fault events are attributed to the owning compartment when the
         // key maps to one, else to compartment 0.
         self.snap.events_overwritten += ft.ring().overwritten();
+        self.note_ring("faults", 0, ft.ring().pushed(), ft.ring().overwritten());
         for e in ft.ring().iter() {
             let cpt = if e.detail == u64::MAX {
                 0
@@ -882,7 +904,27 @@ impl TraceRegistry {
     /// `net_cpt`. `retransmits` is summed over the stack's connections.
     pub fn add_net(&mut self, nt: &NetTrace, retransmits: u64, net_cpt: u16) {
         self.snap.net = nt.snapshot(retransmits);
-        self.merge_ring(net_cpt, nt.ring());
+        self.merge_ring("net", net_cpt, nt.ring());
+    }
+
+    /// Registers the machine's request-span tracer: exact per-
+    /// `(app, backend)` latency percentiles plus per-shard ring
+    /// accounting. Span events stay in their own shard rings (they are
+    /// exported via the Chrome trace, not the snapshot event tail).
+    pub fn add_spans(&mut self, sp: &SpanTrace) {
+        for row in sp.latency_rows() {
+            self.snap.latency.push(LatencyRow {
+                app: row.app,
+                backend: row.backend,
+                count: row.count,
+                p50: row.p50,
+                p99: row.p99,
+                p999: row.p999,
+            });
+        }
+        for s in sp.ring_stats() {
+            self.note_ring("spans", s.shard as u16, s.pushed, s.dropped);
+        }
     }
 
     /// Sorts rows (busiest first), merges the collected events into one
@@ -898,6 +940,8 @@ impl TraceRegistry {
         self.snap
             .gate_batch
             .sort_by_key(|r| std::cmp::Reverse(r.batches));
+        self.snap.latency.sort_by_key(|r| (r.app, r.backend));
+        self.snap.ring_drops.sort_by_key(|r| (r.subsystem, r.owner));
         self.events.sort_by_key(|e| e.cycles);
         if self.events.len() > SNAPSHOT_EVENT_CAP {
             let drop = self.events.len() - SNAPSHOT_EVENT_CAP;

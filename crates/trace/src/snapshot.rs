@@ -179,6 +179,42 @@ pub struct EventRow {
     pub detail: u64,
 }
 
+/// Exact end-to-end request latency percentiles for one
+/// `(app, backend)` pair, from the PR-7 span tracer. Unlike
+/// [`MechanismRow`] these are exact (every sample retained and sorted),
+/// not log2-bucket upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyRow {
+    /// Application that issued the requests (`"redis"`, `"iperf"`).
+    pub app: &'static str,
+    /// Isolation backend label the image was built with.
+    pub backend: &'static str,
+    /// Completed requests measured.
+    pub count: u64,
+    /// Median end-to-end latency, simulated cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, simulated cycles.
+    pub p99: u64,
+    /// 99.9th-percentile latency, simulated cycles.
+    pub p999: u64,
+}
+
+/// Push/overwrite accounting for one bounded event or span ring, so
+/// evidence lost to overwrite-oldest truncation is visible in `--stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingDropRow {
+    /// Which subsystem owns the ring (`"gates"`, `"sched"`, `"faults"`,
+    /// `"allocs"`, `"net"`, `"spans"`).
+    pub subsystem: &'static str,
+    /// Ring owner within the subsystem (compartment id, or shard index
+    /// for `"spans"`).
+    pub owner: u16,
+    /// Events ever pushed to the ring.
+    pub pushed: u64,
+    /// Events lost to overwrite.
+    pub dropped: u64,
+}
+
 /// Everything the telemetry layer knows about one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
@@ -204,6 +240,10 @@ pub struct StatsSnapshot {
     pub tlb: TlbSnapshot,
     /// Network stack counters.
     pub net: NetSnapshot,
+    /// Exact per-(app, backend) request latency percentiles.
+    pub latency: Vec<LatencyRow>,
+    /// Per-ring push/drop accounting (sorted by subsystem, owner).
+    pub ring_drops: Vec<RingDropRow>,
     /// Most recent events across all rings (time-ordered).
     pub events: Vec<EventRow>,
     /// Events lost to ring overwriting, summed over all rings.
@@ -355,6 +395,38 @@ impl StatsSnapshot {
             "\"net\":{{\"rx_segments\":{},\"tx_segments\":{},\"rx_datagrams\":{},\"drops\":{},\"retransmits\":{}}},",
             n.rx_segments, n.tx_segments, n.rx_datagrams, n.drops, n.retransmits
         );
+
+        o.push_str("\"latency\":[");
+        for (i, r) in self.latency.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"app\":");
+            esc(r.app, &mut o);
+            o.push_str(",\"backend\":");
+            esc(r.backend, &mut o);
+            let _ = write!(
+                o,
+                ",\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+                r.count, r.p50, r.p99, r.p999
+            );
+        }
+        o.push_str("],");
+
+        o.push_str("\"ring_drops\":[");
+        for (i, r) in self.ring_drops.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"subsystem\":");
+            esc(r.subsystem, &mut o);
+            let _ = write!(
+                o,
+                ",\"owner\":{},\"pushed\":{},\"dropped\":{}}}",
+                r.owner, r.pushed, r.dropped
+            );
+        }
+        o.push_str("],");
 
         o.push_str("\"events\":[");
         for (i, e) in self.events.iter().enumerate() {

@@ -1,0 +1,692 @@
+//! Causal, request-scoped span tracing (PR 7).
+//!
+//! A [`SpanId`] is allocated per request (one Redis command, one iperf
+//! receive burst) and every subsystem the request touches — gates,
+//! doorbells, the scheduler, kernel message queues, the net stack —
+//! records a `[t0, t1]` interval against the *current* span. Events land
+//! in per-vCPU shard rings ([`SpanRing`]) keyed by the plan-determined
+//! vCPU of the compartment doing the work, never by scheduler state, so
+//! a deterministic run produces the byte-identical event stream at any
+//! `--vcpus` width (the run-queue topology is invisible, see PR 6).
+//!
+//! Two consumers:
+//!
+//! * [`SpanTrace::to_chrome_json`] renders the merged stream as Chrome
+//!   trace-event JSON (Perfetto-loadable): one track per vCPU, one per
+//!   compartment, `s`/`f` flow arrows across gate crossings and
+//!   doorbells, async `b`/`e` pairs for whole requests.
+//! * [`SpanTrace::latency_rows`] folds completed requests into exact
+//!   per-`(app, backend)` p50/p99/p999 end-to-end latency — every sample
+//!   is kept and sorted on demand, so the percentiles are exact and
+//!   deterministic, not bucketed like the PR-2 histograms.
+//!
+//! Like every probe since PR 2, the whole module compiles to no-ops
+//! under the `trace-off` feature: probes never touch the machine clock,
+//! so simulated cycles are identical with tracing on or off by
+//! construction.
+
+/// A request-scoped trace identifier. `SpanId(0)` means "no span".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span (no request in flight, or tracing compiled out).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for any allocated (non-null) span.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// What kind of work a span interval covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole request, end to end (`begin_request`/`end_request`).
+    Request,
+    /// One gate crossing (enter + exit window).
+    Gate,
+    /// A VM-RPC doorbell ring (`Machine::notify`, coalesced or not).
+    Doorbell,
+    /// A scheduler context switch.
+    Sched,
+    /// A kernel message-queue hop (send or receive).
+    MqHop,
+    /// Net-stack work (segment rx/tx).
+    Net,
+    /// An injected fault attributed to the in-flight request.
+    Fault,
+}
+
+impl SpanKind {
+    /// Short machine-readable tag (also the Chrome trace category).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Gate => "gate",
+            SpanKind::Doorbell => "doorbell",
+            SpanKind::Sched => "sched",
+            SpanKind::MqHop => "mq",
+            SpanKind::Net => "net",
+            SpanKind::Fault => "fault",
+        }
+    }
+}
+
+/// One recorded interval, attributed to a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Sequence number within the shard ring.
+    pub seq: u64,
+    /// Owning request span (may be [`SpanId::NONE`] for unattributed
+    /// background work, e.g. scheduler switches between requests).
+    pub span: SpanId,
+    /// Work class.
+    pub kind: SpanKind,
+    /// Mechanism or subsystem label (`"MPK (shared stack)"`, …).
+    pub label: &'static str,
+    /// Source compartment / thread id (kind-specific).
+    pub src: u16,
+    /// Destination compartment id (kind-specific).
+    pub dst: u16,
+    /// Interval start, simulated cycles.
+    pub t0: u64,
+    /// Interval end, simulated cycles (`>= t0`).
+    pub t1: u64,
+}
+
+/// Default per-vCPU span ring capacity. Sized so a shard's buffer
+/// (~56 B/event) stays around 57 KiB — inside a typical L2 — because the
+/// overwrite path cycles through the whole buffer and every event write
+/// lands on a cold line once the ring outgrows the cache.
+pub const DEFAULT_SPAN_RING_CAP: usize = 1024;
+
+/// A bounded per-vCPU span ring with overwrite-oldest semantics,
+/// mirroring [`crate::EventRing`]: `pushed() - len()` events were lost.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    cap: usize,
+    next_seq: u64,
+    head: usize,
+    buf: Vec<SpanEvent>,
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_RING_CAP)
+    }
+}
+
+impl SpanRing {
+    /// A ring holding at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            next_seq: 0,
+            head: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Records an event, overwriting the oldest when full. No-op under
+    /// `trace-off` (the sequence counter does not advance either, so
+    /// `pushed()` stays 0 — same contract as [`crate::EventRing`]).
+    #[allow(unused_variables, unused_mut)]
+    #[inline]
+    pub fn push(&mut self, mut ev: SpanEvent) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            ev.seq = self.next_seq;
+            self.next_seq += 1;
+            if self.buf.len() < self.cap {
+                self.buf.push(ev);
+            } else {
+                self.buf[self.head] = ev;
+                self.head += 1;
+                if self.head == self.cap {
+                    self.head = 0;
+                }
+            }
+        }
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events lost to overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.buf.len() as u64
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// A completed-request latency sample set for one `(app, backend)` key.
+#[derive(Debug, Clone, Default)]
+struct LatencySamples {
+    cycles: Vec<u64>,
+}
+
+/// Exact percentile over a sorted slice: the smallest sample `x` such
+/// that at least `p` of the distribution is `<= x` (nearest-rank).
+fn percentile(sorted: &[u64], num: u64, den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * num).div_ceil(den).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Exact per-`(app, backend)` request-latency percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanLatencyRow {
+    /// Application that issued the requests (`"redis"`, `"iperf"`).
+    pub app: &'static str,
+    /// Isolation backend label the image was built with.
+    pub backend: &'static str,
+    /// Completed requests measured.
+    pub count: u64,
+    /// Median end-to-end latency, simulated cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, simulated cycles.
+    pub p99: u64,
+    /// 99.9th-percentile latency, simulated cycles.
+    pub p999: u64,
+}
+
+/// Per-shard ring accounting, for the `--stats` dropped-events report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRingStats {
+    /// Shard (vCPU) index.
+    pub shard: usize,
+    /// Events ever pushed to the shard.
+    pub pushed: u64,
+    /// Events lost to overwrite.
+    pub dropped: u64,
+}
+
+/// An open (begun, not yet ended) request span.
+#[derive(Debug, Clone, Copy)]
+struct OpenRequest {
+    span: SpanId,
+    app: &'static str,
+    backend: &'static str,
+    t0: u64,
+}
+
+/// The per-machine span tracer. Lives in `Machine` next to the fault and
+/// TLB traces so every subsystem holding `&mut Machine` can record.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTrace {
+    next_span: u64,
+    current: SpanId,
+    shards: Vec<SpanRing>,
+    open: Vec<OpenRequest>,
+    // A flat association list, not a map: one workload uses one or two
+    // `(app, backend)` keys, and the linear scan on the request-complete
+    // path is far cheaper than tree/hash lookups at that cardinality.
+    latency: Vec<((&'static str, &'static str), LatencySamples)>,
+}
+
+impl SpanTrace {
+    /// An empty tracer (shards grow on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, vcpu: u16) -> &mut SpanRing {
+        let idx = vcpu as usize;
+        while self.shards.len() <= idx {
+            self.shards.push(SpanRing::default());
+        }
+        &mut self.shards[idx]
+    }
+
+    /// The span currently attributed to new events ([`SpanId::NONE`]
+    /// when no request is in flight).
+    #[inline]
+    pub fn current(&self) -> SpanId {
+        self.current
+    }
+
+    /// Sets the span attributed to subsequent events.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn set_current(&mut self, span: SpanId) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.current = span;
+        }
+    }
+
+    /// Opens a request span at `t0` and makes it current. Returns
+    /// [`SpanId::NONE`] under `trace-off`.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn begin_request(
+        &mut self,
+        app: &'static str,
+        backend: &'static str,
+        vcpu: u16,
+        t0: u64,
+    ) -> SpanId {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.next_span += 1;
+            let span = SpanId(self.next_span);
+            self.open.push(OpenRequest {
+                span,
+                app,
+                backend,
+                t0,
+            });
+            self.current = span;
+            span
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            SpanId::NONE
+        }
+    }
+
+    /// Closes a request span at `t1`: records the end-to-end interval in
+    /// the vCPU's shard ring and folds `t1 - t0` into the exact latency
+    /// accumulator for the request's `(app, backend)` key.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn end_request(&mut self, span: SpanId, vcpu: u16, t1: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            let Some(pos) = self.open.iter().position(|o| o.span == span) else {
+                return;
+            };
+            let o = self.open.remove(pos);
+            let key = (o.app, o.backend);
+            let samples = match self.latency.iter_mut().position(|(k, _)| *k == key) {
+                Some(i) => &mut self.latency[i].1,
+                None => {
+                    self.latency.push((key, LatencySamples::default()));
+                    &mut self.latency.last_mut().expect("just pushed").1
+                }
+            };
+            samples.cycles.push(t1.saturating_sub(o.t0));
+            self.shard_mut(vcpu).push(SpanEvent {
+                seq: 0,
+                span,
+                kind: SpanKind::Request,
+                label: o.app,
+                src: vcpu,
+                dst: vcpu,
+                t0: o.t0,
+                t1,
+            });
+            if self.current == span {
+                self.current = SpanId::NONE;
+            }
+        }
+    }
+
+    /// Records a work interval against the current span on `vcpu`'s
+    /// shard. Never touches a clock — callers pass the timestamps they
+    /// already have, so the probe adds zero simulated cycles.
+    #[allow(unused_variables)]
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn record(
+        &mut self,
+        vcpu: u16,
+        kind: SpanKind,
+        label: &'static str,
+        src: u16,
+        dst: u16,
+        t0: u64,
+        t1: u64,
+    ) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            let span = self.current;
+            self.shard_mut(vcpu).push(SpanEvent {
+                seq: 0,
+                span,
+                kind,
+                label,
+                src,
+                dst,
+                t0,
+                t1,
+            });
+        }
+    }
+
+    /// Total events ever pushed across all shards.
+    pub fn pushed(&self) -> u64 {
+        self.shards.iter().map(SpanRing::pushed).sum()
+    }
+
+    /// Per-shard push/drop accounting, shard order (rows only for shards
+    /// that ever recorded, so the report stays workload-shaped).
+    pub fn ring_stats(&self) -> Vec<SpanRingStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.pushed() > 0)
+            .map(|(shard, r)| SpanRingStats {
+                shard,
+                pushed: r.pushed(),
+                dropped: r.dropped(),
+            })
+            .collect()
+    }
+
+    /// Exact latency percentiles per `(app, backend)`, key order.
+    pub fn latency_rows(&self) -> Vec<SpanLatencyRow> {
+        let mut rows: Vec<SpanLatencyRow> = self
+            .latency
+            .iter()
+            .filter(|(_, s)| !s.cycles.is_empty())
+            .map(|&((app, backend), ref s)| {
+                let mut sorted = s.cycles.clone();
+                sorted.sort_unstable();
+                SpanLatencyRow {
+                    app,
+                    backend,
+                    count: sorted.len() as u64,
+                    p50: percentile(&sorted, 50, 100),
+                    p99: percentile(&sorted, 99, 100),
+                    p999: percentile(&sorted, 999, 1000),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.app, r.backend));
+        rows
+    }
+
+    /// All retained events merged across shards in deterministic order:
+    /// stable-sorted by `(t0, t1, shard, seq)`. Shard assignment is
+    /// plan-determined, so this stream is byte-identical at any
+    /// `--vcpus` width in deterministic mode.
+    pub fn merged_events(&self) -> Vec<(usize, SpanEvent)> {
+        let mut all: Vec<(usize, SpanEvent)> = Vec::new();
+        for (shard, ring) in self.shards.iter().enumerate() {
+            for ev in ring.events() {
+                all.push((shard, ev));
+            }
+        }
+        all.sort_by_key(|(shard, ev)| (ev.t0, ev.t1, *shard, ev.seq));
+        all
+    }
+
+    /// Renders the merged stream as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`).
+    ///
+    /// Layout: pid 1 is the vCPU process (one thread track per shard),
+    /// pid 2 is the compartment process (one thread track per
+    /// compartment, named via `names`). Every interval is an `"X"`
+    /// complete slice on its vCPU track; gate and doorbell crossings
+    /// additionally draw an `"s"`→`"f"` flow arrow from the source to
+    /// the destination compartment track (always emitted as a pair, so
+    /// flow begin/end stay balanced); whole requests are async
+    /// `"b"`/`"e"` pairs on the owning compartment track. Timestamps are
+    /// raw simulated cycles.
+    pub fn to_chrome_json(&self, names: &[(u16, String)]) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&ev);
+        };
+        // Metadata: name the two processes and their threads.
+        push(
+            &mut out,
+            &mut first,
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"vCPUs\"}}"
+                .into(),
+        );
+        push(
+            &mut out,
+            &mut first,
+            "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"compartments\"}}"
+                .into(),
+        );
+        for shard in 0..self.shards.len() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{shard},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"vcpu{shard}\"}}}}"
+                ),
+            );
+        }
+        for (id, name) in names {
+            let mut esc = String::new();
+            json_escape(name, &mut esc);
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":2,\"tid\":{id},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{esc}\"}}}}"
+                ),
+            );
+        }
+        let mut flow_id = 0u64;
+        for (shard, ev) in self.merged_events() {
+            let cat = ev.kind.label();
+            let mut label = String::new();
+            json_escape(ev.label, &mut label);
+            match ev.kind {
+                SpanKind::Request => {
+                    // Async begin/end pair on the owning compartment
+                    // track, id'd by the span so nested requests nest.
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"b\",\"cat\":\"{cat}\",\"name\":\"{label}\",\
+                             \"id\":{},\"pid\":2,\"tid\":{},\"ts\":{}}}",
+                            ev.span.0, ev.src, ev.t0
+                        ),
+                    );
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"e\",\"cat\":\"{cat}\",\"name\":\"{label}\",\
+                             \"id\":{},\"pid\":2,\"tid\":{},\"ts\":{}}}",
+                            ev.span.0, ev.src, ev.t1
+                        ),
+                    );
+                }
+                _ => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"cat\":\"{cat}\",\"name\":\"{label}\",\
+                             \"pid\":1,\"tid\":{shard},\"ts\":{},\"dur\":{},\
+                             \"args\":{{\"span\":{},\"src\":{},\"dst\":{}}}}}",
+                            ev.t0,
+                            ev.t1.saturating_sub(ev.t0).max(1),
+                            ev.span.0,
+                            ev.src,
+                            ev.dst
+                        ),
+                    );
+                    if matches!(ev.kind, SpanKind::Gate | SpanKind::Doorbell) && ev.src != ev.dst {
+                        flow_id += 1;
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"ph\":\"s\",\"cat\":\"{cat}\",\"name\":\"{label}\",\
+                                 \"id\":{flow_id},\"pid\":2,\"tid\":{},\"ts\":{}}}",
+                                ev.src, ev.t0
+                            ),
+                        );
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"ph\":\"f\",\"cat\":\"{cat}\",\"name\":\"{label}\",\
+                                 \"bp\":\"e\",\"id\":{flow_id},\"pid\":2,\"tid\":{},\"ts\":{}}}",
+                                ev.dst, ev.t1
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escape (mirrors `snapshot::esc`).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "trace-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latency_is_exact() {
+        let mut t = SpanTrace::new();
+        for (i, lat) in [(0u64, 10u64), (1, 20), (2, 30), (3, 40)] {
+            let s = t.begin_request("redis", "direct", 0, i * 100);
+            t.end_request(s, 0, i * 100 + lat);
+        }
+        let rows = t.latency_rows();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!((r.app, r.backend, r.count), ("redis", "direct", 4));
+        assert_eq!(r.p50, 20);
+        assert_eq!(r.p99, 40);
+        assert_eq!(r.p999, 40);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50, 100), 50);
+        assert_eq!(percentile(&s, 99, 100), 99);
+        assert_eq!(percentile(&s, 999, 1000), 100);
+        assert_eq!(percentile(&[7], 50, 100), 7);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn rings_overwrite_oldest_and_count_drops() {
+        let mut r = SpanRing::with_capacity(2);
+        for i in 0..5u64 {
+            r.push(SpanEvent {
+                seq: 0,
+                span: SpanId::NONE,
+                kind: SpanKind::Net,
+                label: "net",
+                src: 0,
+                dst: 0,
+                t0: i,
+                t1: i + 1,
+            });
+        }
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.dropped(), 3);
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].t0, evs[1].t0), (3, 4));
+        assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn merged_events_are_time_ordered_across_shards() {
+        let mut t = SpanTrace::new();
+        t.record(1, SpanKind::Net, "net", 1, 1, 50, 60);
+        t.record(0, SpanKind::Gate, "g", 0, 1, 10, 20);
+        t.record(0, SpanKind::Gate, "g", 1, 0, 70, 80);
+        let m = t.merged_events();
+        let t0s: Vec<u64> = m.iter().map(|(_, e)| e.t0).collect();
+        assert_eq!(t0s, vec![10, 50, 70]);
+    }
+
+    #[test]
+    fn chrome_json_pairs_every_flow_start_with_a_finish() {
+        let mut t = SpanTrace::new();
+        let s = t.begin_request("redis", "mpk", 0, 0);
+        t.record(0, SpanKind::Gate, "MPK (shared stack)", 0, 2, 5, 9);
+        t.record(0, SpanKind::Doorbell, "doorbell", 0, 3, 12, 14);
+        t.end_request(s, 0, 20);
+        let j = t.to_chrome_json(&[(0, "app".into()), (2, "net".into())]);
+        assert!(j.starts_with("{\"displayTimeUnit\""));
+        assert!(j.ends_with("]}"));
+        let starts = j.matches("\"ph\":\"s\"").count();
+        let finishes = j.matches("\"ph\":\"f\"").count();
+        assert_eq!(starts, 2);
+        assert_eq!(starts, finishes);
+        assert_eq!(j.matches("\"ph\":\"b\"").count(), 1);
+        assert_eq!(j.matches("\"ph\":\"e\"").count(), 1);
+        assert!(j.contains("\"name\":\"vcpu0\""));
+        assert!(j.contains("\"name\":\"net\""));
+    }
+
+    #[test]
+    fn events_attribute_to_the_current_span() {
+        let mut t = SpanTrace::new();
+        t.record(0, SpanKind::Sched, "switch", 0, 0, 0, 1);
+        let s = t.begin_request("iperf", "vmrpc", 0, 2);
+        t.record(0, SpanKind::Gate, "VM RPC (EPT)", 0, 1, 3, 4);
+        t.end_request(s, 0, 5);
+        t.record(0, SpanKind::Sched, "switch", 0, 0, 6, 7);
+        let m = t.merged_events();
+        let spans: Vec<u64> = m.iter().map(|(_, e)| e.span.0).collect();
+        assert_eq!(spans, vec![0, 1, 1, 0]);
+    }
+}
+
+#[cfg(all(test, feature = "trace-off"))]
+mod off_tests {
+    use super::*;
+
+    /// Under `trace-off` every probe is a no-op: no spans allocated, no
+    /// events pushed, no latency samples — and the API never touches a
+    /// clock, so simulated cycles are unchanged by construction.
+    #[test]
+    fn probes_compile_to_no_ops() {
+        let mut t = SpanTrace::new();
+        let s = t.begin_request("redis", "direct", 0, 0);
+        assert_eq!(s, SpanId::NONE);
+        t.record(0, SpanKind::Gate, "g", 0, 1, 1, 2);
+        t.end_request(s, 0, 10);
+        assert_eq!(t.pushed(), 0);
+        assert!(t.ring_stats().is_empty());
+        assert!(t.latency_rows().is_empty());
+        assert_eq!(t.current(), SpanId::NONE);
+    }
+}

@@ -11,7 +11,7 @@
 
 use flexos::build::BackendChoice;
 use flexos_apps::iperf::{run_iperf, IperfParams};
-use flexos_apps::redis::{run_redis, run_redis_with_stats, Mix, RedisParams};
+use flexos_apps::redis::{run_redis, run_redis_traced, run_redis_with_stats, Mix, RedisParams};
 use flexos_apps::{CompartmentModel, SchedKind};
 use flexos_machine::{ChaosConfig, Schedule};
 use flexos_net::nic::LinkChaos;
@@ -144,6 +144,45 @@ proptest! {
         }
     }
 
+    /// The span tracer rides the same canonical interleave: the full
+    /// Chrome trace-event export (every slice, flow arrow and request
+    /// span, timestamped in simulated cycles) and the per-request
+    /// latency percentile block must be byte-identical at every vCPU
+    /// width. Span shards are keyed by plan-determined vCPU assignment,
+    /// never by which host queue ran the work.
+    #[test]
+    fn span_trace_is_byte_identical_across_vcpu_counts(
+        model_backend in arb_model_backend(),
+        mix in prop_oneof![Just(Mix::Get), Just(Mix::Set)],
+        ops in 50u64..150,
+    ) {
+        let (model, backend) = model_backend;
+        let params = RedisParams {
+            model,
+            backend,
+            mix,
+            ops,
+            vcpus: 1,
+            ..RedisParams::default()
+        };
+        let (r1, snap1, trace1) = run_redis_traced(&params).expect("reference run");
+        let latency1 = format!("{:?}", snap1.latency);
+        for &vcpus in WIDTHS {
+            let (rn, snapn, tracen) =
+                run_redis_traced(&RedisParams { vcpus, ..params.clone() })
+                    .expect("smp run");
+            prop_assert_eq!((rn.ops, rn.cycles), (r1.ops, r1.cycles));
+            prop_assert_eq!(
+                &format!("{:?}", snapn.latency), &latency1,
+                "latency percentiles diverged at vcpus={}", vcpus
+            );
+            prop_assert_eq!(
+                &tracen, &trace1,
+                "span trace diverged at vcpus={}", vcpus
+            );
+        }
+    }
+
     /// Injected machine chaos (doorbell loss on a VM RPC image) fails —
     /// or survives — identically at every vCPU count: same typed error
     /// or the same success numbers.
@@ -199,4 +238,35 @@ fn ci_profile_is_bit_identical_at_vcpus_4() {
         (r4.ops, r4.cycles, r4.crossings)
     );
     assert_eq!(s1.to_json(), s4.to_json());
+}
+
+/// With `trace-off`, every span probe compiles to a no-op: the workload
+/// still runs (same API, same results), but the trace export carries no
+/// slices, no requests and no flow arrows, and the snapshot's latency
+/// and ring-drop tables are empty. Paired with the normal-mode CI
+/// baseline (whose simulated cycle counts did not move when the probes
+/// landed), this is the "tracing is free when compiled out, and costs
+/// zero simulated cycles when compiled in" contract.
+#[cfg(feature = "trace-off")]
+#[test]
+fn trace_off_build_records_no_spans_and_still_runs() {
+    let params = RedisParams {
+        model: CompartmentModel::NwSchedRest,
+        backend: BackendChoice::MpkShared,
+        mix: Mix::Get,
+        ops: 200,
+        ..RedisParams::default()
+    };
+    let (result, snap, trace) = run_redis_traced(&params).expect("trace-off run");
+    assert!(result.ops > 0 && result.cycles > 0);
+    assert!(snap.latency.is_empty(), "latency rows under trace-off");
+    assert!(
+        !snap.ring_drops.iter().any(|r| r.subsystem == "spans"),
+        "span ring stats under trace-off"
+    );
+    // The export is still structurally valid JSON, just empty of spans:
+    // metadata only, no slices ("ph":"X"), requests ("b"/"e") or flows.
+    for ph in ["\"ph\":\"X\"", "\"ph\":\"b\"", "\"ph\":\"s\""] {
+        assert!(!trace.contains(ph), "{ph} present under trace-off");
+    }
 }
