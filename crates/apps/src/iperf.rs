@@ -146,10 +146,12 @@ pub fn run_iperf(params: &IperfParams) -> IperfResult {
             }
         }
         let s = sid.expect("accepted");
-        // Receive a bounded burst per quantum as one batched gate
-        // crossing, then yield. The `after` hook charges the per-recv
-        // application work (iperf's accounting) between two receives,
-        // exactly where the old sequential loop charged it.
+        // Receive a bounded burst per quantum by submitting the whole
+        // budget onto the app → libc gate ring and flushing once, then
+        // yield. The `after` hook charges the per-recv application work
+        // (iperf's accounting) between two receives, exactly where the
+        // old sequential loop charged it; completions the flush posted
+        // before an early stop stay delivered — the async payoff.
         let mut budget = 8usize;
         while budget > 0 {
             let app_tax = os.tax.app;

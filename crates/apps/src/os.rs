@@ -23,7 +23,7 @@
 use crate::profiles::SchedKind;
 use flexos::build::{ImagePlan, LibRole};
 use flexos::explore::sh_overhead_percent;
-use flexos::gate::{CallVec, CompartmentId, GateRuntime};
+use flexos::gate::{CompartmentId, GateRuntime, Sqe};
 use flexos_backends::{instantiate_with, BootImage, BootOptions};
 use flexos_kernel::alloc::AllocMode;
 use flexos_kernel::exec::{Executor, KernelHal};
@@ -35,8 +35,8 @@ use flexos_net::stack::{NetError, NetResult, NetStack, SocketId};
 use flexos_net::wire::Mac;
 use flexos_sh::runtime::ShRuntime;
 use flexos_sh::shadow::REDZONE;
-use flexos_trace::{StatsSnapshot, TraceRegistry};
-use std::cell::Cell;
+use flexos_trace::{AsyncGatesSnapshot, SpanId, StatsSnapshot, TraceRegistry};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 /// Compartment of each functional role (resolved from the image plan).
@@ -306,6 +306,15 @@ impl Os {
         reg.add_allocs(self.img.heaps.trace(), &names);
         reg.add_faults(self.img.machine.fault_trace(), |k| owners.get(&k).cloned());
         reg.add_tlb(self.img.machine.tlb_trace());
+        let ag = self.img.gates.async_stats();
+        reg.add_async_gates(AsyncGatesSnapshot {
+            submitted: ag.submitted,
+            completed: ag.completed,
+            flushes: ag.flushes,
+            cancelled: ag.cancelled,
+            sq_full: ag.sq_full,
+            cq_empty: ag.cq_empty,
+        });
         reg.add_net(self.net.trace(), self.net.retransmits(), self.roles.net.0);
         reg.add_spans(self.img.machine.span_trace());
         reg.finish()
@@ -543,11 +552,32 @@ impl Os {
         Ok(r)
     }
 
+    /// Encodes a socket-layer result as an io_uring-style CQE `res`
+    /// value: byte counts are non-negative, errors map to stable
+    /// negative codes (cf. `-errno`). The exact [`NetResult`] — faults
+    /// included — travels alongside the ring, so the code is a summary,
+    /// not the source of truth.
+    pub fn net_res_code(r: &NetResult<u64>) -> i64 {
+        match r {
+            Ok(n) => *n as i64,
+            Err(NetError::WouldBlock) => -1,
+            Err(NetError::Closed) => -2,
+            Err(NetError::AddrInUse) => -3,
+            Err(NetError::InvalidSocket) => -4,
+            Err(NetError::NoBuffers) => -5,
+            Err(NetError::MessageTooLong) => -6,
+            Err(NetError::Fault(_)) => -7,
+        }
+    }
+
     /// Batched [`Os::sock_data_op`]: up to `max` data operations on `sid`
-    /// issued through one [`GateRuntime::cross_batch_until`] on the outer
-    /// app → libc crossing, each call performing the exact nested inner
-    /// sequence (libc → stack → semaphore → scheduler) and each followed
-    /// by the same libc memcpy epilogue a sequential driver charges.
+    /// submitted as descriptors onto the app → libc async gate ring and
+    /// drained through one [`GateRuntime::flush_async_until`], each call
+    /// performing the exact nested inner sequence (libc → stack →
+    /// semaphore → scheduler) and each followed by the same libc memcpy
+    /// epilogue a sequential driver charges. Descriptor `i` is tagged
+    /// with `spans.get(i)` (untagged past the slice) and completes with
+    /// its result encoded via [`Os::net_res_code`].
     ///
     /// `after(m, rt, &r)` runs in the caller's compartment after each
     /// operation's result `r`: it applies the work a sequential loop does
@@ -557,9 +587,11 @@ impl Os {
     /// `WouldBlock`, EOF, or an emptied output buffer. Results of all
     /// issued operations, including the stopping one, are returned.
     ///
-    /// With batching disabled this degrades to the sequential loop it
+    /// With overlap disabled this degrades to the sequential loop it
     /// replaces; either way the simulated cycles, faults and trace are
-    /// bit-identical (see `tests/backend_equiv.rs`).
+    /// bit-identical (see `tests/backend_equiv.rs` and
+    /// `tests/async_gate.rs`).
+    #[allow(clippy::too_many_arguments)] // one private fn backs 3 public wrappers
     fn sock_data_op_batch(
         &mut self,
         sid: SocketId,
@@ -567,6 +599,7 @@ impl Os {
         first_len: u64,
         access: Access,
         max: usize,
+        spans: &[SpanId],
         mut after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
     ) -> Result<Vec<NetResult<u64>>> {
         let (c_libc, c_net, c_sched) = (self.roles.libc, self.roles.net, self.roles.sched);
@@ -574,6 +607,10 @@ impl Os {
         let (net_tax, libc_tax) = (self.tax.net, self.tax.libc);
         let sched_cycles = self.sched_peek_cycles();
         let cur_len = Cell::new(first_len);
+        // The exact results ride next to the ring: a CQE's i64 `res`
+        // cannot carry a full `Fault` payload, so the ring transports
+        // the io_uring-style code and this vec keeps the real value.
+        let out: RefCell<Vec<NetResult<u64>>> = RefCell::new(Vec::with_capacity(max));
         let Os {
             img,
             net,
@@ -582,13 +619,17 @@ impl Os {
             ..
         } = self;
         let BootImage { machine, gates, .. } = img;
-        gates.cross_batch_until(
+        gates.ensure_ring_depth(c_libc, max);
+        for i in 0..max {
+            let span = spans.get(i).copied().unwrap_or(SpanId::NONE);
+            gates.submit(c_libc, Sqe::new(32, 8, i as u64).with_span(span))?;
+        }
+        let flushed = gates.flush_async_until(
             machine,
             c_libc,
-            &CallVec::uniform(max, 32, 8),
-            |m, rt, _idx| {
+            |m, rt, _sqe| {
                 let len = cur_len.get();
-                rt.cross(m, c_net, 32, 8, |m, rt| {
+                let res = rt.cross(m, c_net, 32, 8, |m, rt| {
                     let vcpu = rt.current_ctx().vcpu;
                     if net_tax > 0 {
                         let extra = m.costs().socket_call * m.costs().sh_net_socket_pct * net_tax
@@ -611,9 +652,14 @@ impl Os {
                         })
                     })?;
                     Ok(res)
-                })
+                })?;
+                let code = Self::net_res_code(&res);
+                out.borrow_mut().push(res);
+                Ok(code)
             },
-            |m, rt, _idx, r| {
+            |m, rt, _sqe, _code| {
+                let held = out.borrow();
+                let r = held.last().expect("between hook follows its call");
                 if let Ok(n) = r {
                     // libc's user-space memcpy of the payload — charged
                     // after the crossing returns, exactly where the
@@ -623,7 +669,9 @@ impl Os {
                     let pct = costs.sh_asan_memcpy_pct * libc_tax / GCC_PCT;
                     m.charge(base + base * pct / 100);
                 }
-                match after(m, rt, r)? {
+                let next = after(m, rt, r)?;
+                drop(held);
+                match next {
                     Some(next) => {
                         cur_len.set(next);
                         Ok(true)
@@ -631,7 +679,23 @@ impl Os {
                     None => Ok(false),
                 }
             },
-        )
+        );
+        // A sequential driver has no notion of "still queued": whatever
+        // an early stop (or an enter fault) left unissued is cancelled,
+        // and the completions are drained — their payload already lives
+        // in `out`, the CQEs carry the summary codes.
+        gates.cancel_pending(c_libc);
+        let mut cqes = Vec::new();
+        gates.poll_completions(c_libc, &mut cqes);
+        let out = out.into_inner();
+        debug_assert!(
+            cqes.iter()
+                .zip(out.iter())
+                .all(|(c, r)| c.res == Self::net_res_code(r)),
+            "CQE codes diverged from the socket results"
+        );
+        flushed?;
+        Ok(out)
     }
 
     /// Batched `recv()`: up to `max` receives of `len` bytes into `dst`
@@ -645,7 +709,7 @@ impl Os {
         max: usize,
         after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
     ) -> Result<Vec<NetResult<u64>>> {
-        self.sock_data_op_batch(sid, dst, len, Access::Write, max, after)
+        self.sock_data_op_batch(sid, dst, len, Access::Write, max, &[], after)
     }
 
     /// Batched `send()`: up to `max` sends from `src`, the first of
@@ -661,7 +725,23 @@ impl Os {
         max: usize,
         after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
     ) -> Result<Vec<NetResult<u64>>> {
-        self.sock_data_op_batch(sid, src, first_len, Access::Read, max, after)
+        self.sock_data_op_batch(sid, src, first_len, Access::Read, max, &[], after)
+    }
+
+    /// [`Os::send_batch_with`] with request-span tagging: descriptor `i`
+    /// of the burst carries `spans[i]` (descriptors past the slice stay
+    /// untagged), so the causal trace links each ring entry to the
+    /// request whose reply it ships.
+    pub fn send_batch_spanned(
+        &mut self,
+        sid: SocketId,
+        src: Addr,
+        first_len: u64,
+        max: usize,
+        spans: &[SpanId],
+        after: impl FnMut(&mut Machine, &mut GateRuntime, &NetResult<u64>) -> Result<Option<u64>>,
+    ) -> Result<Vec<NetResult<u64>>> {
+        self.sock_data_op_batch(sid, src, first_len, Access::Read, max, spans, after)
     }
 
     /// `recv()`: see [`Os::sock_data_op`] for the crossing structure.

@@ -266,10 +266,20 @@ impl RedisServer {
                 .max(1) as usize;
             let (tx_buf, io_buf_len) = (self.tx_buf, self.io_buf_len);
             let app_vcpu = self.app_vcpu;
+            // Tag ring descriptor `i` with the span of the i-th pending
+            // request: the reply bytes a send ships belong to the oldest
+            // requests still awaiting their last byte, so the causal
+            // trace links each SQE to the command it answers.
+            let sqe_spans: Vec<SpanId> = self
+                .pending_spans
+                .iter()
+                .take(max)
+                .map(|&(span, _)| span)
+                .collect();
             let out_host = &mut self.out_host;
             let pending_spans = &mut self.pending_spans;
             let sent_total = &mut self.sent_total;
-            let results = os.send_batch_with(sid, tx_buf, n, max, |m, rt, r| {
+            let results = os.send_batch_spanned(sid, tx_buf, n, max, &sqe_spans, |m, rt, r| {
                 let Ok(sent) = r else { return Ok(None) };
                 out_host.drain(..*sent as usize);
                 // A request span ends when the last byte of its reply

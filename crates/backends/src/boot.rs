@@ -13,7 +13,9 @@
 use crate::mpk::{MpkSharedGate, MpkSwitchedGate};
 use crate::vmrpc::VmRpcGate;
 use flexos::build::{BackendChoice, ImagePlan, LibRole};
-use flexos::gate::{CallVec, CompartmentCtx, CompartmentId, DirectGate, Gate, GateRuntime};
+use flexos::gate::{
+    CallVec, CompartmentCtx, CompartmentId, Cqe, DirectGate, Gate, GateRuntime, Sqe,
+};
 use flexos_kernel::alloc::{Allocator, FreeListAllocator, HeapService};
 use flexos_machine::{
     Addr, Fault, Machine, MachineConfig, PageFlags, Pkru, ProtKey, Result, VcpuId, VmId,
@@ -188,6 +190,42 @@ impl BootImage {
                 reason: format!("unknown library `{lib}`"),
             })?;
         self.gates.cross_batch(&mut self.machine, target, calls, f)
+    }
+
+    fn lib_target(&self, lib: &str) -> Result<CompartmentId> {
+        self.compartment_of_lib(lib)
+            .ok_or_else(|| Fault::HardeningAbort {
+                mechanism: "gate",
+                reason: format!("unknown library `{lib}`"),
+            })
+    }
+
+    /// Queues one async gate-call descriptor against the compartment
+    /// hosting `lib` — the submission half of [`BootImage::call_lib_async`].
+    /// Host-side bookkeeping only; nothing simulated happens until a flush.
+    pub fn submit_lib(&mut self, lib: &str, sqe: Sqe) -> Result<()> {
+        let target = self.lib_target(lib)?;
+        self.gates.submit(target, sqe)
+    }
+
+    /// Flushes the submission ring against the compartment hosting `lib`,
+    /// running `f` inside it once per queued descriptor. Async analogue of
+    /// [`BootImage::call_lib_batch`]; completions land on the ring for
+    /// [`BootImage::reap_lib`] / [`GateRuntime::poll_completions`].
+    pub fn call_lib_async(
+        &mut self,
+        lib: &str,
+        f: impl FnMut(&mut Machine, &mut GateRuntime, &Sqe) -> Result<i64>,
+    ) -> Result<usize> {
+        let target = self.lib_target(lib)?;
+        self.gates.flush_async(&mut self.machine, target, f)
+    }
+
+    /// Pops the oldest completion from `lib`'s ring ([`Fault::RingEmpty`]
+    /// when none is ready).
+    pub fn reap_lib(&mut self, lib: &str) -> Result<Cqe> {
+        let target = self.lib_target(lib)?;
+        self.gates.reap(target)
     }
 }
 
@@ -459,6 +497,47 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.is_protection_fault());
+    }
+
+    #[test]
+    fn async_lib_calls_complete_across_backends() {
+        // Direct (same-compartment), MPK and VM-RPC all complete through
+        // the uniform submit/flush/reap API.
+        for backend in [
+            BackendChoice::None,
+            BackendChoice::MpkShared,
+            BackendChoice::VmRpc,
+        ] {
+            let mut img = instantiate(three_lib_plan(backend)).unwrap();
+            for i in 0..4u64 {
+                img.submit_lib("netstack", Sqe::new(16, 8, i)).unwrap();
+            }
+            let posted = img
+                .call_lib_async("netstack", |m, _, sqe| {
+                    m.charge(7);
+                    Ok(sqe.user_data as i64 + 1)
+                })
+                .unwrap();
+            assert_eq!(posted, 4, "{backend:?}");
+            for i in 0..4u64 {
+                let cqe = img.reap_lib("netstack").unwrap();
+                assert_eq!(cqe.user_data, i);
+                assert_eq!(cqe.res, i as i64 + 1);
+            }
+            assert!(matches!(
+                img.reap_lib("netstack").unwrap_err(),
+                Fault::RingEmpty { .. }
+            ));
+        }
+        let mut img = instantiate(three_lib_plan(BackendChoice::None)).unwrap();
+        assert!(matches!(
+            img.submit_lib("no-such-lib", Sqe::new(0, 0, 0))
+                .unwrap_err(),
+            Fault::HardeningAbort {
+                mechanism: "gate",
+                ..
+            }
+        ));
     }
 
     #[test]

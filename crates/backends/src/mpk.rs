@@ -208,6 +208,55 @@ mod tests {
         assert!(charged > m.costs().mpk_shared_gate());
     }
 
+    /// MPK gates have no doorbell to defer behind: an async ring flush
+    /// completes every descriptor *inline* — each CQE is posted the
+    /// moment its crossing returns, and the PKRU is already back in the
+    /// submitter's domain when the flush hands control to the between
+    /// hook. This is the uniform-API half of the ring contract (VM RPC
+    /// coalesces doorbells instead; the caller code is identical).
+    #[test]
+    fn async_ring_flush_completes_inline_over_mpk() {
+        use flexos::gate::{GateRuntime, Sqe};
+        use std::sync::Arc;
+
+        let mut m = Machine::with_defaults();
+        let a = ctx(0, 1, &mut m);
+        let b = ctx(1, 2, &mut m);
+        let caller_pkru = a.pkru;
+        let mut rt = GateRuntime::new(
+            vec![a, b],
+            Arc::new(MpkSharedGate::new(m.gate_token())),
+            CompartmentId(0),
+        );
+        for i in 0..3u64 {
+            rt.submit(CompartmentId(1), Sqe::new(16, 8, i)).unwrap();
+        }
+        let posted = rt
+            .flush_async_until(
+                &mut m,
+                CompartmentId(1),
+                |m, _rt, sqe| {
+                    m.charge(2);
+                    Ok(sqe.user_data as i64 + 100)
+                },
+                |m, _rt, _sqe, res| {
+                    // Inline delivery: by the time the between hook
+                    // runs, this descriptor's crossing has fully
+                    // retired — result in hand, PKRU already switched
+                    // back to the submitter's domain.
+                    assert!(res >= 100);
+                    assert_eq!(m.rdpkru(VcpuId(0)), caller_pkru);
+                    Ok(true)
+                },
+            )
+            .unwrap();
+        assert_eq!(posted, 3);
+        for i in 0..3u64 {
+            let cqe = rt.reap(CompartmentId(1)).unwrap();
+            assert_eq!((cqe.user_data, cqe.res), (i, i as i64 + 100));
+        }
+    }
+
     #[test]
     fn entered_compartment_cannot_touch_foreign_heap() {
         let mut m = Machine::with_defaults();

@@ -33,15 +33,39 @@ pub const RPC_INBOX_BYTES: u64 = 4096;
 /// Inter-VM interrupts can be lost (in the simulation, injected by the
 /// chaos layer; on real hardware, by a missed event-channel upcall). The
 /// gate re-rings the doorbell with bounded exponential backoff — attempt
-/// `k` sleeps `backoff_base_cycles << (k-1)` simulated cycles — and
-/// aborts with [`Fault::GateTimeout`] once `max_attempts` deliveries
-/// have all gone unanswered.
+/// `k` sleeps `backoff_base_cycles << (k-1)` simulated cycles, with the
+/// exponent capped at [`MAX_BACKOFF_SHIFT`] — and aborts with
+/// [`Fault::GateTimeout`] once `max_attempts` deliveries have all gone
+/// unanswered.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total delivery attempts before giving up (must be ≥ 1).
     pub max_attempts: u32,
     /// Backoff charged after the first failed attempt; doubles per retry.
     pub backoff_base_cycles: u64,
+}
+
+/// Ceiling on the backoff exponent. A `max_attempts` policy beyond 64
+/// used to shift `backoff_base_cycles` by ≥ 64 bits — a panic in debug
+/// builds and a wrap to a tiny (or zero) backoff in release. Capping at
+/// 2³² × base keeps late retries enormous but finite, so the simulated
+/// clock stays far from overflow no matter how large the retry budget
+/// is; policies within the cap charge bit-identical backoffs to before.
+pub const MAX_BACKOFF_SHIFT: u32 = 32;
+
+impl RetryPolicy {
+    /// The backoff charged after failed delivery attempt `attempt`
+    /// (1-based): `base << (attempt-1)`, exponent capped and the shift
+    /// checked so pathological policies saturate instead of overflowing.
+    fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        match self.backoff_base_cycles.checked_shl(shift) {
+            // `checked_shl` only guards the shift amount; detect bits
+            // shifted out of a huge base by shifting back.
+            Some(b) if b >> shift == self.backoff_base_cycles => b,
+            _ => u64::MAX >> 16,
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -156,7 +180,7 @@ impl VmRpcGate {
                             attempts: attempt,
                         });
                     }
-                    m.charge(self.retry.backoff_base_cycles << (attempt - 1));
+                    m.charge(self.retry.backoff_cycles(attempt));
                 }
             }
         }
@@ -222,7 +246,7 @@ impl VmRpcGate {
                             attempts: attempt,
                         });
                     }
-                    m.charge(self.retry.backoff_base_cycles << (attempt - 1));
+                    m.charge(self.retry.backoff_cycles(attempt));
                 }
             }
         }
@@ -441,6 +465,63 @@ mod tests {
                 attempts: RetryPolicy::default().max_attempts,
             }
         );
+    }
+
+    /// Regression: a retry budget past 64 attempts used to shift the
+    /// backoff base by ≥ 64 bits — a debug-build panic (and a wrapped,
+    /// near-zero backoff in release) — once 100% doorbell loss pushed
+    /// the exponent that far. Both the exact and the coalesced path must
+    /// now exhaust the whole budget and return the typed timeout.
+    #[test]
+    fn huge_retry_budget_under_total_loss_times_out_without_overflow() {
+        use flexos_machine::{ChaosConfig, ChaosPlan, Schedule};
+        let policy = RetryPolicy {
+            max_attempts: 80,
+            backoff_base_cycles: 2,
+        };
+        // idx 0 exercises `rpc`; idx > 0 exercises `rpc_coalesced`.
+        for idx in [0usize, 3] {
+            let (mut m, default_gate, c0, c1) = setup();
+            let gate = VmRpcGate::with_retry(default_gate.rpc_base, 2, policy);
+            m.set_chaos(ChaosPlan::new(ChaosConfig {
+                seed: 1,
+                notify_drop: Schedule::EveryNth(1), // 100% loss
+                ..Default::default()
+            }));
+            let err = gate.enter_nth(&mut m, &c0, &c1, 16, idx).unwrap_err();
+            assert_eq!(
+                err,
+                Fault::GateTimeout {
+                    mechanism: "vmrpc",
+                    attempts: 80,
+                },
+                "idx={idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped_and_value_saturates() {
+        let policy = RetryPolicy {
+            max_attempts: 200,
+            backoff_base_cycles: 2_000,
+        };
+        // Within the cap: bit-identical to the plain shift.
+        assert_eq!(policy.backoff_cycles(1), 2_000);
+        assert_eq!(policy.backoff_cycles(5), 2_000 << 4);
+        // Past the cap: frozen at base << MAX_BACKOFF_SHIFT.
+        assert_eq!(
+            policy.backoff_cycles(70),
+            2_000u64 << MAX_BACKOFF_SHIFT,
+            "exponent must stop growing at the cap"
+        );
+        // A base so large the capped shift itself would overflow: the
+        // backoff saturates instead of silently dropping high bits.
+        let huge = RetryPolicy {
+            max_attempts: 200,
+            backoff_base_cycles: u64::MAX / 2,
+        };
+        assert_eq!(huge.backoff_cycles(40), u64::MAX >> 16);
     }
 
     #[test]

@@ -38,10 +38,11 @@
 //! `--bench` (or the `bench` experiment) measures **host** wall-clock
 //! throughput of the simulator itself (memcpy, iperf, Redis,
 //! gate-crossing microbenches, including the batched-crossing matrix of
-//! every backend at batch sizes 1/8/32, and the free-running SMP matrix
-//! splitting iperf/Redis over 1/2/4 host threads) and compares against
+//! every backend at batch sizes 1/8/32, the async gate-ring matrix at
+//! ring depth 128, and the free-running SMP matrix splitting
+//! iperf/Redis over 1/2/4 host threads) and compares against
 //! the recorded pre-optimization baseline; `--json[=PATH]` writes the
-//! report (default `BENCH_7.json`). Host time is machine-dependent and
+//! report (default `BENCH_8.json`). Host time is machine-dependent and
 //! not part of the reproducibility contract — see EXPERIMENTS.md E13,
 //! E14 and E15.
 //!
@@ -770,8 +771,8 @@ fn run_chaos(quick: bool, seed: u64, vcpus: usize, json: Option<&str>) {
 
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
-        batch32_speedup, bench_json, latency_points, run_bench as run_points, smp_speedup,
-        speedup_vs_baseline, BASELINE_NOTE,
+        async_speedup, batch32_speedup, bench_json, latency_points, run_bench as run_points,
+        smp_speedup, speedup_vs_baseline, ASYNC_RING_DEPTH, BASELINE_NOTE,
     };
 
     println!(
@@ -830,6 +831,21 @@ fn run_bench(quick: bool, json: Option<&str>) {
         }
     }
     println!("{}", bt.render());
+
+    let mut at = Table::new(
+        "Async gate-ring speedup (per-call host ns, submit+flush+reap vs sync b1)",
+        &["backend", "speedup"],
+    );
+    for backend in ["direct", "mpk-shared", "vmrpc", "cheri"] {
+        if let Some(s) = async_speedup(&points, backend) {
+            at.row(vec![backend.to_string(), format!("{s:.2}x")]);
+        }
+    }
+    println!("{}", at.render());
+    println!(
+        "(submission ring depth {ASYNC_RING_DEPTH}: descriptors overlap with the\n\
+         crossing latency, so VM RPC pays one coalesced doorbell per flush)"
+    );
 
     let mut st = Table::new(
         "Free-running SMP scaling (identical per-shard workload per host thread)",
@@ -928,7 +944,7 @@ fn main() {
         .clone()
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let bench_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "BENCH_7.json".to_string()));
+        json_explicit.or_else(|| json_bare.then(|| "BENCH_8.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))

@@ -16,7 +16,8 @@
 
 use crate::spec::transform::ShSet;
 use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
-use flexos_trace::{GateTrace, SpanKind};
+use flexos_trace::{GateTrace, SpanId, SpanKind};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -81,16 +82,28 @@ impl GateMechanism {
 /// the differential suite compares against. Either way the *simulated*
 /// cycles, faults, and trace events are bit-identical: batching is a
 /// host-time optimisation only.
+///
+/// `overlap_enabled` does the same for the async gate rings: on, a
+/// [`GateRuntime::flush_async`] drains the submission ring through the
+/// vectored fast path (one hoisted gate + the backend's batch hooks, so
+/// VM-RPC posts a single coalesced doorbell per flush); off, the flush
+/// degrades to a loop of plain [`GateRuntime::cross`] — the reference
+/// path the sync-vs-async differential suite compares against. The same
+/// invariant holds: overlap is a host-time optimisation only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GateConfig {
     /// Use the vectored fast path in `cross_batch` (default: on).
     pub batch_enabled: bool,
+    /// Use the overlapped fast path when flushing async rings
+    /// (default: on).
+    pub overlap_enabled: bool,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
         Self {
             batch_enabled: true,
+            overlap_enabled: true,
         }
     }
 }
@@ -159,6 +172,129 @@ impl CallVec {
     /// All calls, in issue order.
     pub fn as_slice(&self) -> &[(u64, u64)] {
         &self.calls
+    }
+}
+
+/// Default slot capacity of one async gate ring pair.
+///
+/// Deep enough for every in-tree consumer's natural burst (redis drains
+/// its RESP pipeline in ≤ a few chunks, iperf bursts 8 segments); callers
+/// with bigger bursts raise it with [`GateRuntime::ensure_ring_depth`].
+pub const DEFAULT_RING_DEPTH: usize = 64;
+
+/// One submitted gate-call descriptor — the io_uring SQE analogue.
+///
+/// Carries the same `(arg_bytes, ret_bytes)` marshalling sizes a plain
+/// [`GateRuntime::cross`] takes, an opaque `user_data` cookie copied to
+/// the completion verbatim (io_uring convention), and the PR-7 request
+/// span the call belongs to, so latency attribution survives the
+/// submit/reap decoupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sqe {
+    /// Marshalled argument bytes the call moves into the target.
+    pub arg_bytes: u64,
+    /// Marshalled return bytes the call moves back out.
+    pub ret_bytes: u64,
+    /// Opaque caller cookie, echoed in the matching [`Cqe`].
+    pub user_data: u64,
+    /// Request span this call is attributed to ([`SpanId::NONE`] if
+    /// the caller isn't inside a traced request).
+    pub span: SpanId,
+}
+
+impl Sqe {
+    /// A descriptor with no span attribution.
+    pub fn new(arg_bytes: u64, ret_bytes: u64, user_data: u64) -> Self {
+        Self {
+            arg_bytes,
+            ret_bytes,
+            user_data,
+            span: SpanId::NONE,
+        }
+    }
+
+    /// Tags the descriptor with a request span.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+/// One completed gate call — the io_uring CQE analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// The cookie from the matching [`Sqe`].
+    pub user_data: u64,
+    /// The call's result value. io_uring-style: callers encode
+    /// application-level errors as negative values; machine faults abort
+    /// the flush instead and never produce a completion.
+    pub res: i64,
+    /// The span from the matching [`Sqe`].
+    pub span: SpanId,
+}
+
+/// Cumulative async-ring counters (additive `--stats` block since PR 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncGateStats {
+    /// Descriptors accepted by [`GateRuntime::submit`].
+    pub submitted: u64,
+    /// Completions delivered (CQEs produced by flushes).
+    pub completed: u64,
+    /// Flushes that drained at least one descriptor.
+    pub flushes: u64,
+    /// Pending submissions dropped by [`GateRuntime::cancel_pending`].
+    pub cancelled: u64,
+    /// Submissions rejected with [`Fault::RingFull`].
+    pub sq_full: u64,
+    /// Reaps rejected with [`Fault::RingEmpty`].
+    pub cq_empty: u64,
+}
+
+/// One (caller, target) pair's submission/completion ring state.
+///
+/// Host-side bookkeeping only: no simulated cycles are charged until a
+/// flush replays the queued calls through `cross_batch_until`, so the
+/// simulated instruction stream is exactly what a sequential driver
+/// would have issued.
+#[derive(Debug)]
+struct AsyncRing {
+    depth: usize,
+    /// Contiguous so a flush indexes descriptors straight off a slice
+    /// (a flush drains from the front; partial drains shift only the
+    /// rare fault-path survivors).
+    sq: Vec<Sqe>,
+    /// Completions, `cq[cq_head..]` ready to reap. A `Vec` plus head
+    /// index instead of a deque: posting and draining — the hot flush
+    /// ops — are straight appends/copies, and only the one-at-a-time
+    /// `reap` path pays the head bookkeeping.
+    cq: Vec<Cqe>,
+    cq_head: usize,
+}
+
+impl AsyncRing {
+    /// Completions ready to reap.
+    fn cq_ready(&self) -> usize {
+        self.cq.len() - self.cq_head
+    }
+
+    /// Resets the backing `Vec` once every ready completion is gone, so
+    /// reap-then-flush cycles reuse the buffer instead of growing it.
+    fn cq_compact(&mut self) {
+        if self.cq_head == self.cq.len() {
+            self.cq.clear();
+            self.cq_head = 0;
+        }
+    }
+}
+
+impl Default for AsyncRing {
+    fn default() -> Self {
+        Self {
+            depth: DEFAULT_RING_DEPTH,
+            sq: Vec::new(),
+            cq: Vec::new(),
+            cq_head: 0,
+        }
     }
 }
 
@@ -319,6 +455,8 @@ pub struct GateRuntime {
     stats: GateStats,
     trace: GateTrace,
     config: GateConfig,
+    rings: BTreeMap<(CompartmentId, CompartmentId), AsyncRing>,
+    async_stats: AsyncGateStats,
 }
 
 impl fmt::Debug for GateRuntime {
@@ -359,6 +497,8 @@ impl GateRuntime {
             stats: GateStats::default(),
             trace: GateTrace::new(),
             config: GateConfig::default(),
+            rings: BTreeMap::new(),
+            async_stats: AsyncGateStats::default(),
         }
     }
 
@@ -372,6 +512,13 @@ impl GateRuntime {
     /// the reference path for equivalence testing.
     pub fn set_batch_enabled(&mut self, on: bool) {
         self.config.batch_enabled = on;
+    }
+
+    /// Toggles the overlapped flush path for async gate rings. Off means
+    /// every flush degrades to a loop of plain [`GateRuntime::cross`] —
+    /// the reference path for the sync-vs-async differential suite.
+    pub fn set_overlap_enabled(&mut self, on: bool) {
+        self.config.overlap_enabled = on;
     }
 
     /// Overrides the gate used between `a` and `b` (both directions).
@@ -421,7 +568,13 @@ impl GateRuntime {
     /// Resets statistics (benchmark warm-up support).
     pub fn reset_stats(&mut self) {
         self.stats = GateStats::default();
+        self.async_stats = AsyncGateStats::default();
         self.trace.reset();
+    }
+
+    /// Cumulative async-ring counters.
+    pub fn async_stats(&self) -> AsyncGateStats {
+        self.async_stats
     }
 
     /// Per-pair/per-mechanism crossing telemetry.
@@ -554,8 +707,42 @@ impl GateRuntime {
         mut f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
         mut between: impl FnMut(&mut Machine, &mut GateRuntime, usize, &R) -> Result<bool>,
     ) -> Result<Vec<R>> {
-        if calls.is_empty() {
-            return Ok(Vec::new());
+        let mut out = Vec::with_capacity(calls.len());
+        self.cross_batch_core(
+            m,
+            target,
+            calls.len(),
+            |idx| calls.get(idx),
+            &mut f,
+            |m, rt, idx, r| {
+                let more = between(m, rt, idx, &r)?;
+                out.push(r);
+                Ok(more)
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// The batch loop behind [`GateRuntime::cross_batch_until`] and
+    /// [`GateRuntime::flush_async_until`], generic over where the
+    /// marshalling sizes live (`desc(idx)` returns call `idx`'s
+    /// `(arg_bytes, ret_bytes)`): a `CallVec` for the sync API, the
+    /// submission ring itself for a flush — which therefore never copies
+    /// descriptors into a side table. Each completed call's result is
+    /// handed to `sink` by value (the sync API collects, a flush posts a
+    /// CQE — neither pays for a result buffer it doesn't want); `sink`
+    /// returning `Ok(false)` stops the batch after the current call.
+    fn cross_batch_core<R>(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        len: usize,
+        desc: impl Fn(usize) -> (u64, u64),
+        mut f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
+        mut sink: impl FnMut(&mut Machine, &mut GateRuntime, usize, R) -> Result<bool>,
+    ) -> Result<()> {
+        if len == 0 {
+            return Ok(());
         }
         let from = self.current();
         let label = if from == target {
@@ -567,13 +754,12 @@ impl GateRuntime {
             );
             self.gate_for(from, target).mechanism().label()
         };
-        let mut out = Vec::with_capacity(calls.len());
         let mut issued: u64 = 0;
 
         if !self.config.batch_enabled {
             // Reference path: a plain loop of `cross` plus the hook.
-            for idx in 0..calls.len() {
-                let (arg_bytes, ret_bytes) = calls.get(idx);
+            for idx in 0..len {
+                let (arg_bytes, ret_bytes) = desc(idx);
                 issued += 1;
                 let r = match self.cross(m, target, arg_bytes, ret_bytes, |m, rt| f(m, rt, idx)) {
                     Ok(r) => r,
@@ -582,27 +768,26 @@ impl GateRuntime {
                         return Err(e);
                     }
                 };
-                let more = match between(m, self, idx, &r) {
+                let more = match sink(m, self, idx, r) {
                     Ok(more) => more,
                     Err(e) => {
                         self.trace.record_batch(label, issued);
                         return Err(e);
                     }
                 };
-                out.push(r);
                 if !more {
                     break;
                 }
             }
             self.trace.record_batch(label, issued);
-            return Ok(out);
+            return Ok(());
         }
 
         if from == target {
             // Direct-call loop: only the cost lookup is hoisted (the
             // cost table is immutable for the life of the machine).
             let func_call = m.costs().func_call;
-            for idx in 0..calls.len() {
+            for idx in 0..len {
                 issued += 1;
                 m.charge(func_call);
                 self.stats.direct_calls += 1;
@@ -614,20 +799,19 @@ impl GateRuntime {
                         return Err(e);
                     }
                 };
-                let more = match between(m, self, idx, &r) {
+                let more = match sink(m, self, idx, r) {
                     Ok(more) => more,
                     Err(e) => {
                         self.trace.record_batch(label, issued);
                         return Err(e);
                     }
                 };
-                out.push(r);
                 if !more {
                     break;
                 }
             }
             self.trace.record_batch(label, issued);
-            return Ok(out);
+            return Ok(());
         }
 
         // Fast path: the gate lookup (BTreeMap probe + `Arc` clone) is
@@ -636,8 +820,8 @@ impl GateRuntime {
         // including running the exit path and the stats/trace updates
         // when `f` fails, with the exit's own error taking precedence.
         let gate = self.gate_for(from, target);
-        for idx in 0..calls.len() {
-            let (arg_bytes, ret_bytes) = calls.get(idx);
+        for idx in 0..len {
+            let (arg_bytes, ret_bytes) = desc(idx);
             issued += 1;
             let t0 = m.clock().cycles();
             {
@@ -698,20 +882,260 @@ impl GateRuntime {
                     return Err(e);
                 }
             };
-            let more = match between(m, self, idx, &r) {
+            let more = match sink(m, self, idx, r) {
                 Ok(more) => more,
                 Err(e) => {
                     self.trace.record_batch(label, issued);
                     return Err(e);
                 }
             };
-            out.push(r);
             if !more {
                 break;
             }
         }
         self.trace.record_batch(label, issued);
-        Ok(out)
+        Ok(())
+    }
+
+    /// Queues one gate-call descriptor on the `(current → target)`
+    /// submission ring — the io_uring-style async entry point.
+    ///
+    /// Submission is host-side bookkeeping only: nothing is charged on
+    /// the simulated clock and no crossing happens until a flush drains
+    /// the ring, so the caller genuinely keeps computing while crossing
+    /// latency is pending. A full ring returns [`Fault::RingFull`] (the
+    /// caller must flush or cancel first) — never a panic.
+    pub fn submit(&mut self, target: CompartmentId, sqe: Sqe) -> Result<()> {
+        assert!(
+            (target.0 as usize) < self.compartments.len(),
+            "unknown {target}"
+        );
+        let from = self.current();
+        let ring = self.rings.entry((from, target)).or_default();
+        if ring.sq.len() >= ring.depth {
+            self.async_stats.sq_full += 1;
+            return Err(Fault::RingFull {
+                ring: "gate-sq",
+                depth: ring.depth,
+            });
+        }
+        ring.sq.push(sqe);
+        self.async_stats.submitted += 1;
+        Ok(())
+    }
+
+    /// Queues a whole burst of descriptors with one ring lookup — the
+    /// submission-side analogue of the kernel ring's single tail
+    /// publication. Descriptors are accepted in order until the ring is
+    /// full; the accepted count is returned (callers that must not drop
+    /// compare it against `sqes.len()`), so a partial burst is visible,
+    /// never silent.
+    pub fn submit_many(&mut self, target: CompartmentId, sqes: &[Sqe]) -> Result<usize> {
+        assert!(
+            (target.0 as usize) < self.compartments.len(),
+            "unknown {target}"
+        );
+        let from = self.current();
+        let ring = self.rings.entry((from, target)).or_default();
+        let room = ring.depth.saturating_sub(ring.sq.len());
+        let take = room.min(sqes.len());
+        ring.sq.extend_from_slice(&sqes[..take]);
+        self.async_stats.submitted += take as u64;
+        if take < sqes.len() {
+            self.async_stats.sq_full += 1;
+        }
+        Ok(take)
+    }
+
+    /// Raises (never lowers) the `(current → target)` ring's slot
+    /// capacity so a burst of `depth` submissions fits without flushing.
+    pub fn ensure_ring_depth(&mut self, target: CompartmentId, depth: usize) {
+        let from = self.current();
+        let ring = self.rings.entry((from, target)).or_default();
+        ring.depth = ring.depth.max(depth);
+    }
+
+    /// Number of descriptors queued but not yet flushed on the
+    /// `(current → target)` submission ring.
+    pub fn sq_pending(&self, target: CompartmentId) -> usize {
+        self.rings
+            .get(&(self.current(), target))
+            .map_or(0, |r| r.sq.len())
+    }
+
+    /// Number of completions ready to reap on the `(current → target)`
+    /// completion ring.
+    pub fn cq_ready(&self, target: CompartmentId) -> usize {
+        self.rings
+            .get(&(self.current(), target))
+            .map_or(0, AsyncRing::cq_ready)
+    }
+
+    /// Pops the oldest completion from the `(current → target)` ring.
+    ///
+    /// An empty ring returns [`Fault::RingEmpty`] (flush first) — never
+    /// a panic, matching io_uring's `-EAGAIN`.
+    pub fn reap(&mut self, target: CompartmentId) -> Result<Cqe> {
+        let from = self.current();
+        let cqe = self.rings.get_mut(&(from, target)).and_then(|r| {
+            let cqe = r.cq.get(r.cq_head).copied();
+            if cqe.is_some() {
+                r.cq_head += 1;
+                r.cq_compact();
+            }
+            cqe
+        });
+        match cqe {
+            Some(cqe) => Ok(cqe),
+            None => {
+                self.async_stats.cq_empty += 1;
+                Err(Fault::RingEmpty { ring: "gate-cq" })
+            }
+        }
+    }
+
+    /// Drains every ready completion into `out`, returning how many were
+    /// moved. Never fails: an empty ring is just a zero-length drain.
+    pub fn poll_completions(&mut self, target: CompartmentId, out: &mut Vec<Cqe>) -> usize {
+        let from = self.current();
+        let Some(ring) = self.rings.get_mut(&(from, target)) else {
+            return 0;
+        };
+        let n = ring.cq_ready();
+        out.extend_from_slice(&ring.cq[ring.cq_head..]);
+        ring.cq.clear();
+        ring.cq_head = 0;
+        n
+    }
+
+    /// Drops all not-yet-flushed submissions on the `(current → target)`
+    /// ring (descriptors a failed flush left pending), returning how many
+    /// were discarded. Ready completions are untouched.
+    pub fn cancel_pending(&mut self, target: CompartmentId) -> usize {
+        let from = self.current();
+        let Some(ring) = self.rings.get_mut(&(from, target)) else {
+            return 0;
+        };
+        let n = ring.sq.len();
+        ring.sq.clear();
+        self.async_stats.cancelled += n as u64;
+        n
+    }
+
+    /// Flushes the `(current → target)` submission ring:
+    /// [`GateRuntime::flush_async_until`] with no inter-call hook.
+    pub fn flush_async(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        f: impl FnMut(&mut Machine, &mut GateRuntime, &Sqe) -> Result<i64>,
+    ) -> Result<usize> {
+        self.flush_async_until(m, target, f, |_, _, _, _| Ok(true))
+    }
+
+    /// Flushes the `(current → target)` submission ring, running `f`
+    /// inside the target once per queued descriptor (oldest first) and
+    /// posting each successful result to the completion ring.
+    ///
+    /// The flush is [`GateRuntime::cross_batch_until`] over the queued
+    /// descriptors, so its simulated behaviour is *identical* to a
+    /// sequential driver issuing the same calls: cycles charged, chaos
+    /// decisions drawn, faults raised, span probes and batch histograms
+    /// recorded are all bit-for-bit the same, and with
+    /// [`GateConfig::overlap_enabled`] on the backend's batch hooks elide
+    /// repeated host-side work (VM-RPC posts one coalesced doorbell per
+    /// flush via the hot-page descriptor cache; direct/MPK complete
+    /// inline) — the overlap is host-time only.
+    ///
+    /// `between(m, rt, &sqe, res)` runs after each completion lands, in
+    /// the caller's compartment; returning `Ok(false)` stops the flush
+    /// early. Descriptor lifecycle on the three non-success paths:
+    ///
+    /// * **early stop** — descriptors not yet issued stay queued for the
+    ///   next flush (or [`GateRuntime::cancel_pending`]);
+    /// * **call fault** (e.g. a `HardeningAbort` inside `f`, or an exit
+    ///   fault after it) — the faulting descriptor is consumed *without*
+    ///   a completion, exactly like the sync path losing the return
+    ///   value; descriptors behind it stay queued;
+    /// * **enter fault** (e.g. a VM-RPC `GateTimeout` before `f` ran) —
+    ///   the descriptor never crossed and stays queued, so the caller
+    ///   can retry or cancel.
+    ///
+    /// Returns the number of completions posted by this flush.
+    pub fn flush_async_until(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        mut f: impl FnMut(&mut Machine, &mut GateRuntime, &Sqe) -> Result<i64>,
+        mut between: impl FnMut(&mut Machine, &mut GateRuntime, &Sqe, i64) -> Result<bool>,
+    ) -> Result<usize> {
+        let from = self.current();
+        // The ring leaves the map for the duration of the flush so `f`
+        // and `between` can borrow the runtime freely; the default ring
+        // left in its slot catches nested submits to the same pair,
+        // merged back below (`mem::take` instead of remove + insert —
+        // two tree probes per flush, no rebalancing).
+        let Some(slot) = self.rings.get_mut(&(from, target)) else {
+            return Ok(0);
+        };
+        if slot.sq.is_empty() {
+            return Ok(0);
+        }
+        let mut ring = std::mem::take(slot);
+        // Overlap-off maps onto the batch choice for this one internal
+        // call: the flush degrades to a loop of plain `cross`.
+        let saved_batch = self.config.batch_enabled;
+        self.config.batch_enabled = saved_batch && self.config.overlap_enabled;
+        // `idx + 1` descriptors have been issued once `f` runs for `idx`;
+        // a fault before `f` (enter path) leaves the descriptor queued.
+        let issued = Cell::new(0usize);
+        ring.cq_compact();
+        let cq_before = ring.cq.len();
+        ring.cq.reserve(ring.sq.len());
+        let result = {
+            let sq = ring.sq.as_slice();
+            let cq = &mut ring.cq;
+            self.cross_batch_core(
+                m,
+                target,
+                sq.len(),
+                |idx| {
+                    let s = &sq[idx];
+                    (s.arg_bytes, s.ret_bytes)
+                },
+                |m, rt, idx| {
+                    issued.set(idx + 1);
+                    f(m, rt, &sq[idx])
+                },
+                |m, rt, idx, res| {
+                    let sqe = &sq[idx];
+                    cq.push(Cqe {
+                        user_data: sqe.user_data,
+                        res,
+                        span: sqe.span,
+                    });
+                    between(m, rt, sqe, res)
+                },
+            )
+        };
+        self.config.batch_enabled = saved_batch;
+        // A faulting call is consumed only once it crossed (its `f` ran);
+        // keep everything from the first unissued descriptor onwards.
+        ring.sq.drain(..issued.get());
+        self.async_stats.flushes += 1;
+        // Completions that landed before a mid-flush fault stay reapable
+        // (the async payoff), so count CQ growth, not the success result.
+        let posted = ring.cq.len() - cq_before;
+        self.async_stats.completed += posted as u64;
+        let slot = self
+            .rings
+            .get_mut(&(from, target))
+            .expect("the flush leaves the ring's slot in place");
+        ring.depth = ring.depth.max(slot.depth);
+        ring.sq.append(&mut slot.sq);
+        ring.cq.extend_from_slice(&slot.cq[slot.cq_head..]);
+        *slot = ring;
+        result.map(|_| posted)
     }
 
     /// Restores the current compartment's protection view on the machine.
@@ -1022,5 +1446,244 @@ mod tests {
         .unwrap();
         assert_eq!(rt.current(), CompartmentId(0));
         assert_eq!(rt.stats().crossings, 8);
+    }
+
+    fn fresh_rt() -> (Machine, GateRuntime) {
+        let mut m = Machine::with_defaults();
+        let cpts = two_compartments(&mut m);
+        let rt = GateRuntime::new(cpts, Arc::new(DirectGate), CompartmentId(0));
+        (m, rt)
+    }
+
+    #[test]
+    fn async_submit_flush_reap_roundtrip() {
+        let (mut m, mut rt) = fresh_rt();
+        let t = CompartmentId(1);
+        for i in 0..3u64 {
+            rt.submit(t, Sqe::new(16, 8, 0xbeef + i).with_span(SpanId(7 + i)))
+                .unwrap();
+        }
+        assert_eq!(rt.sq_pending(t), 3);
+        assert_eq!(rt.cq_ready(t), 0);
+        // Nothing simulated happens at submit time.
+        assert_eq!(m.clock().cycles(), 0);
+
+        let posted = rt
+            .flush_async(&mut m, t, |m, _, sqe| {
+                m.charge(5);
+                Ok((sqe.user_data - 0xbeef) as i64 * 10)
+            })
+            .unwrap();
+        assert_eq!(posted, 3);
+        assert_eq!(rt.sq_pending(t), 0);
+        assert_eq!(rt.cq_ready(t), 3);
+
+        for i in 0..3u64 {
+            let cqe = rt.reap(t).unwrap();
+            assert_eq!(cqe.user_data, 0xbeef + i);
+            assert_eq!(cqe.res, i as i64 * 10);
+            assert_eq!(cqe.span, SpanId(7 + i));
+        }
+        let stats = rt.async_stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.flushes, 1);
+    }
+
+    /// The PR-5 invariant extended to async: a submit+flush must charge
+    /// the byte-identical simulated cycles (and gate stats) as the
+    /// sequential loop of `cross` it replaces — with overlap on or off.
+    #[test]
+    fn async_flush_is_cycle_identical_to_sync_loop() {
+        let run_sync = || {
+            let (mut m, mut rt) = fresh_rt();
+            let mut out = Vec::new();
+            for idx in 0..5u64 {
+                out.push(
+                    rt.cross(&mut m, CompartmentId(1), 32, 8, |m, _| {
+                        m.charge(10 + idx);
+                        Ok(idx as i64)
+                    })
+                    .unwrap(),
+                );
+            }
+            (m.clock().cycles(), rt.stats(), out)
+        };
+        let run_async = |overlap: bool| {
+            let (mut m, mut rt) = fresh_rt();
+            rt.set_overlap_enabled(overlap);
+            for idx in 0..5u64 {
+                rt.submit(CompartmentId(1), Sqe::new(32, 8, idx)).unwrap();
+            }
+            rt.flush_async(&mut m, CompartmentId(1), |m, _, sqe| {
+                m.charge(10 + sqe.user_data);
+                Ok(sqe.user_data as i64)
+            })
+            .unwrap();
+            let mut cqes = Vec::new();
+            rt.poll_completions(CompartmentId(1), &mut cqes);
+            let out: Vec<i64> = cqes.iter().map(|c| c.res).collect();
+            (m.clock().cycles(), rt.stats(), out)
+        };
+        let sync = run_sync();
+        assert_eq!(sync, run_async(true), "overlapped flush diverged");
+        assert_eq!(sync, run_async(false), "degraded flush diverged");
+    }
+
+    #[test]
+    fn async_submit_onto_full_sq_is_a_typed_error() {
+        let (_m, mut rt) = fresh_rt();
+        let t = CompartmentId(1);
+        for i in 0..DEFAULT_RING_DEPTH as u64 {
+            rt.submit(t, Sqe::new(0, 0, i)).unwrap();
+        }
+        let err = rt.submit(t, Sqe::new(0, 0, 99)).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::RingFull {
+                ring: "gate-sq",
+                depth: DEFAULT_RING_DEPTH
+            }
+        ));
+        assert_eq!(rt.async_stats().sq_full, 1);
+        // Raising the depth unblocks the caller.
+        rt.ensure_ring_depth(t, DEFAULT_RING_DEPTH + 1);
+        rt.submit(t, Sqe::new(0, 0, 99)).unwrap();
+    }
+
+    #[test]
+    fn async_submit_many_fills_to_capacity_and_reports_the_partial() {
+        let (mut m, mut rt) = fresh_rt();
+        let t = CompartmentId(1);
+        let burst: Vec<Sqe> = (0..DEFAULT_RING_DEPTH as u64 + 3)
+            .map(|i| Sqe::new(8, 8, i))
+            .collect();
+        // Three descriptors don't fit: the burst is truncated, visibly.
+        let accepted = rt.submit_many(t, &burst).unwrap();
+        assert_eq!(accepted, DEFAULT_RING_DEPTH);
+        assert_eq!(rt.sq_pending(t), DEFAULT_RING_DEPTH);
+        assert_eq!(rt.async_stats().submitted, DEFAULT_RING_DEPTH as u64);
+        assert_eq!(rt.async_stats().sq_full, 1);
+        // A full ring accepts nothing more, and an empty burst is a no-op.
+        assert_eq!(rt.submit_many(t, &burst[accepted..]).unwrap(), 0);
+        assert_eq!(rt.async_stats().sq_full, 2);
+        assert_eq!(rt.submit_many(t, &[]).unwrap(), 0);
+        assert_eq!(rt.async_stats().sq_full, 2);
+        // Submission order is the burst's order, as a flush observes it.
+        rt.flush_async(&mut m, t, |_, _, sqe| Ok(sqe.user_data as i64))
+            .unwrap();
+        let mut cqes = Vec::new();
+        rt.poll_completions(t, &mut cqes);
+        let order: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
+        assert_eq!(order, (0..DEFAULT_RING_DEPTH as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn async_reap_from_empty_cq_is_a_typed_error() {
+        let (_m, mut rt) = fresh_rt();
+        let err = rt.reap(CompartmentId(1)).unwrap_err();
+        assert!(matches!(err, Fault::RingEmpty { ring: "gate-cq" }));
+        assert_eq!(rt.async_stats().cq_empty, 1);
+        let mut out = Vec::new();
+        assert_eq!(rt.poll_completions(CompartmentId(1), &mut out), 0);
+    }
+
+    /// Satellite: completions that landed before a mid-flush
+    /// `HardeningAbort` stay reapable; the faulting descriptor is
+    /// consumed without a completion; descriptors behind it stay queued.
+    #[test]
+    fn async_fault_consumes_only_the_faulting_descriptor() {
+        for overlap in [true, false] {
+            let (mut m, mut rt) = fresh_rt();
+            rt.set_overlap_enabled(overlap);
+            let t = CompartmentId(1);
+            for i in 0..4u64 {
+                rt.submit(t, Sqe::new(8, 8, i)).unwrap();
+            }
+            let err = rt
+                .flush_async(&mut m, t, |_, _, sqe| {
+                    if sqe.user_data == 2 {
+                        Err(Fault::HardeningAbort {
+                            mechanism: "async-test",
+                            reason: "synthetic".into(),
+                        })
+                    } else {
+                        Ok(sqe.user_data as i64)
+                    }
+                })
+                .unwrap_err();
+            assert!(matches!(err, Fault::HardeningAbort { .. }));
+            assert_eq!(rt.current(), CompartmentId(0));
+            // Calls 0 and 1 completed; 2 was consumed by the fault; 3 is
+            // still pending and can be cancelled.
+            assert_eq!(rt.cq_ready(t), 2);
+            assert_eq!(rt.reap(t).unwrap().user_data, 0);
+            assert_eq!(rt.reap(t).unwrap().user_data, 1);
+            assert_eq!(rt.sq_pending(t), 1);
+            assert_eq!(rt.cancel_pending(t), 1);
+            assert_eq!(rt.sq_pending(t), 0);
+            assert_eq!(rt.async_stats().completed, 2);
+            assert_eq!(rt.async_stats().cancelled, 1);
+        }
+    }
+
+    #[test]
+    fn async_early_stop_keeps_remainder_pending() {
+        let (mut m, mut rt) = fresh_rt();
+        let t = CompartmentId(1);
+        for i in 0..8u64 {
+            rt.submit(t, Sqe::new(4, 4, i)).unwrap();
+        }
+        let posted = rt
+            .flush_async_until(
+                &mut m,
+                t,
+                |_, _, sqe| Ok(sqe.user_data as i64),
+                |_, _, sqe, _| Ok(sqe.user_data < 2),
+            )
+            .unwrap();
+        // The stopping call's completion is posted, like `cross_batch`.
+        assert_eq!(posted, 3);
+        assert_eq!(rt.sq_pending(t), 5);
+        // A second flush drains the survivors in order.
+        let posted = rt
+            .flush_async(&mut m, t, |_, _, sqe| Ok(sqe.user_data as i64))
+            .unwrap();
+        assert_eq!(posted, 5);
+        let mut cqes = Vec::new();
+        rt.poll_completions(t, &mut cqes);
+        let order: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn async_nested_submit_during_flush_is_merged_behind_survivors() {
+        let (mut m, mut rt) = fresh_rt();
+        let t = CompartmentId(1);
+        for i in 0..3u64 {
+            rt.submit(t, Sqe::new(0, 0, i)).unwrap();
+        }
+        // The between hook runs in the caller's compartment, so a submit
+        // there targets the same (caller → t) ring mid-flush.
+        rt.flush_async_until(
+            &mut m,
+            t,
+            |_, _, sqe| Ok(sqe.user_data as i64),
+            |_, rt, sqe, _| {
+                if sqe.user_data == 0 {
+                    rt.submit(t, Sqe::new(0, 0, 100))?;
+                }
+                Ok(sqe.user_data < 1)
+            },
+        )
+        .unwrap();
+        // Survivor (2) queues ahead of the nested submission (100).
+        assert_eq!(rt.sq_pending(t), 2);
+        rt.flush_async(&mut m, t, |_, _, sqe| Ok(sqe.user_data as i64))
+            .unwrap();
+        let mut cqes = Vec::new();
+        rt.poll_completions(t, &mut cqes);
+        let order: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
+        assert_eq!(order, vec![0, 1, 2, 100]);
     }
 }

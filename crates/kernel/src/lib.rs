@@ -44,7 +44,7 @@ pub use alloc::{
     AllocMode, Allocator, BuddyAllocator, BumpAllocator, FreeListAllocator, HeapService,
 };
 pub use exec::{ExecSummary, Executor, KernelHal, Step, Task};
-pub use mq::MsgQueue;
+pub use mq::{GateRing, MsgQueue, WireCqe, WireSqe, CQE_BYTES, SQE_BYTES};
 pub use sched::{CoopScheduler, RunQueue, SmpRunQueue, ThreadId, VerifiedScheduler};
 pub use smp::{Doorbell, SpscRing, WorkStealQueue};
 pub use sync::{Mutex, SemId, SemTable, Semaphore, WaitChannel, WaitQueue};

@@ -98,6 +98,22 @@ pub enum Fault {
         /// The payload word actually received.
         got: u64,
     },
+    /// An async-gate submission ring had no free slot (cf. io_uring's
+    /// `-EBUSY` on a full SQ): the caller must flush or reap before
+    /// submitting more. A resource error, not a protection fault.
+    RingFull {
+        /// The ring that was full (e.g. `"gate-sq"`).
+        ring: &'static str,
+        /// The ring's slot capacity.
+        depth: usize,
+    },
+    /// An async-gate completion ring had nothing to reap (cf. io_uring's
+    /// `-EAGAIN` on an empty CQ): the caller must flush submissions
+    /// first. A resource error, not a protection fault.
+    RingEmpty {
+        /// The ring that was empty (e.g. `"gate-cq"`).
+        ring: &'static str,
+    },
 }
 
 impl Fault {
@@ -115,6 +131,8 @@ impl Fault {
             Fault::ContractViolation { .. } => "contract-violation",
             Fault::GateTimeout { .. } => "gate-timeout",
             Fault::DoorbellMismatch { .. } => "doorbell-mismatch",
+            Fault::RingFull { .. } => "ring-full",
+            Fault::RingEmpty { .. } => "ring-empty",
         }
     }
 
@@ -187,6 +205,12 @@ impl fmt::Display for Fault {
                     "doorbell payload mismatch: expected {expected:#x}, got {got:#x}"
                 )
             }
+            Fault::RingFull { ring, depth } => {
+                write!(f, "{ring} ring full ({depth} slots)")
+            }
+            Fault::RingEmpty { ring } => {
+                write!(f, "{ring} ring empty")
+            }
         }
     }
 }
@@ -212,6 +236,22 @@ mod tests {
 
         let f = Fault::OutOfMemory { requested_pages: 4 };
         assert!(!f.is_protection_fault());
+    }
+
+    #[test]
+    fn ring_faults_are_resource_errors_not_protection_faults() {
+        let full = Fault::RingFull {
+            ring: "gate-sq",
+            depth: 64,
+        };
+        assert!(!full.is_protection_fault());
+        assert_eq!(full.kind(), "ring-full");
+        assert!(full.to_string().contains("64 slots"));
+
+        let empty = Fault::RingEmpty { ring: "gate-cq" };
+        assert!(!empty.is_protection_fault());
+        assert_eq!(empty.kind(), "ring-empty");
+        assert!(empty.to_string().contains("empty"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::ring::SimRing;
 use crate::tcp::{SegmentOut, TcpConfig, TcpConn};
 use crate::wire::{
     build_tcp_frame, build_udp_frame, EthHeader, Ipv4Header, Mac, TcpFlags, TcpHeader, UdpHeader,
-    ETHERTYPE_IPV4, ETH_LEN, IPV4_LEN, PROTO_TCP, PROTO_UDP, UDP_LEN,
+    WireError, ETHERTYPE_IPV4, ETH_LEN, IPV4_LEN, PROTO_TCP, PROTO_UDP, UDP_LEN,
 };
 use flexos_machine::{Addr, Fault, Machine, VcpuId};
 use flexos_trace::{NetTrace, SpanKind};
@@ -78,6 +78,9 @@ pub const SOCK_RX_RING: u64 = 64 * 1024;
 
 /// Maximum queued datagrams per UDP socket.
 pub const UDP_QUEUE_DEPTH: usize = 64;
+
+/// First port of the ephemeral (dynamic) range, per IANA.
+pub const EPHEMERAL_BASE: u16 = 49152;
 
 #[derive(Debug)]
 enum Sock {
@@ -179,7 +182,7 @@ impl NetStack {
                 next: 0,
             },
             tcp_cfg: TcpConfig::default(),
-            next_ephemeral: 49152,
+            next_ephemeral: EPHEMERAL_BASE,
             iss: 0x1000,
             ip_ident: 1,
             extra_per_packet: 0,
@@ -245,6 +248,31 @@ impl NetStack {
         self.iss
     }
 
+    /// Picks a free ephemeral port for a connection to `dst_ip:dst_port`.
+    ///
+    /// Linear probe from the rotor: a port is busy only if its full
+    /// `(local, remote-ip, remote-port)` 4-tuple is still bound to a live
+    /// connection (like a real stack, the same local port may serve two
+    /// different destinations). Once every port in the dynamic range has
+    /// been probed the allocation fails with `AddrInUse` — the simulated
+    /// `EADDRNOTAVAIL` — instead of silently reusing a live 4-tuple, which
+    /// the old `wrapping_add(1).max(49152)` rotor did after a wrap.
+    fn alloc_ephemeral(&mut self, dst_ip: u32, dst_port: u16) -> NetResult<u16> {
+        const RANGE: u32 = u16::MAX as u32 - EPHEMERAL_BASE as u32 + 1; // 16384 ports
+        for _ in 0..RANGE {
+            let port = self.next_ephemeral;
+            self.next_ephemeral = if port == u16::MAX {
+                EPHEMERAL_BASE
+            } else {
+                port + 1
+            };
+            if !self.conns.contains_key(&(port, dst_ip, dst_port)) {
+                return Ok(port);
+            }
+        }
+        Err(NetError::AddrInUse)
+    }
+
     // --- socket API ------------------------------------------------------------
 
     /// Opens a TCP listener on `port`.
@@ -272,8 +300,7 @@ impl NetStack {
     /// out on the next flush. Completion is reported by
     /// [`NetStack::tcp_is_established`].
     pub fn tcp_connect(&mut self, dst_ip: u32, dst_port: u16) -> NetResult<SocketId> {
-        let local_port = self.next_ephemeral;
-        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(49152);
+        let local_port = self.alloc_ephemeral(dst_ip, dst_port)?;
         let iss = self.next_iss();
         let (conn, syn) = TcpConn::connect(local_port, dst_port, iss, self.tcp_cfg.clone());
         let rx_base = self.pool.carve(SOCK_RX_RING).ok_or(NetError::NoBuffers)?;
@@ -453,12 +480,25 @@ impl NetStack {
             self.tx_scratch = buf;
             return Err(f.into());
         }
+        // Checked header construction: the pre-guard above already bounds
+        // the payload, but no `as u16` is allowed to silently truncate a
+        // wire length even if that guard drifts.
+        let Ok(udp_len) = u16::try_from(UDP_LEN + buf.len()) else {
+            self.tx_scratch = buf;
+            return Err(NetError::MessageTooLong);
+        };
         let udp = UdpHeader {
             src_port,
             dst_port,
-            len: (UDP_LEN + buf.len()) as u16,
+            len: udp_len,
         };
-        let ip = self.ip_header(dst_ip, PROTO_UDP, UDP_LEN + buf.len());
+        let ip = match self.ip_header(dst_ip, PROTO_UDP, UDP_LEN + buf.len()) {
+            Ok(ip) => ip,
+            Err(_) => {
+                self.tx_scratch = buf;
+                return Err(NetError::MessageTooLong);
+            }
+        };
         let eth = self.eth_header();
         m.charge(
             m.costs().stack_per_packet
@@ -505,24 +545,37 @@ impl NetStack {
         }
     }
 
-    fn ip_header(&mut self, dst: u32, proto: u8, l4_len: usize) -> Ipv4Header {
+    fn ip_header(&mut self, dst: u32, proto: u8, l4_len: usize) -> Result<Ipv4Header, WireError> {
+        // An IPv4 total length must fit in 16 bits; reject (rather than
+        // truncate via `as u16`) anything larger, and only consume an
+        // ident once the header is actually emittable.
+        let total_len =
+            u16::try_from(IPV4_LEN + l4_len).map_err(|_| WireError::PayloadTooLarge {
+                len: l4_len,
+                max: u16::MAX as usize - IPV4_LEN,
+            })?;
         self.ip_ident = self.ip_ident.wrapping_add(1);
-        Ipv4Header {
+        Ok(Ipv4Header {
             src: self.ip,
             dst,
             proto,
-            total_len: (IPV4_LEN + l4_len) as u16,
+            total_len,
             ttl: 64,
             ident: self.ip_ident,
-        }
+        })
     }
 
     fn emit_tcp(&mut self, dst_ip: u32, seg: &SegmentOut) {
-        let ip = self.ip_header(dst_ip, PROTO_TCP, crate::wire::TCP_LEN + seg.payload.len());
+        // TCP payloads are MSS-bounded by the state machine, so neither
+        // the header construction nor the builder can fail here; if they
+        // ever did, dropping the segment (and letting the RTO resend it)
+        // beats emitting a lying header.
+        let Ok(ip) = self.ip_header(dst_ip, PROTO_TCP, crate::wire::TCP_LEN + seg.payload.len())
+        else {
+            debug_assert!(false, "TCP segment exceeded wire limits");
+            return;
+        };
         let eth = self.eth_header();
-        // TCP payloads are MSS-bounded by the state machine, so the
-        // builder cannot fail here; if it ever did, dropping the segment
-        // (and letting the RTO resend it) beats emitting a lying header.
         match build_tcp_frame(&eth, &ip, &seg.hdr, &seg.payload) {
             Ok(frame) => {
                 self.nic.push_tx(frame);
@@ -1030,6 +1083,99 @@ mod tests {
         assert_eq!(w.server.tcp_listen(80).unwrap_err(), NetError::AddrInUse);
         w.server.udp_bind(53).unwrap();
         assert_eq!(w.server.udp_bind(53).unwrap_err(), NetError::AddrInUse);
+    }
+
+    #[test]
+    fn udp_payload_boundary_at_64k() {
+        // 65507 bytes is the largest UDP payload an IPv4 header can
+        // describe (total_len == 65535 exactly); one more byte must be
+        // rejected, never truncated into a lying header.
+        let mut w = world();
+        let c_sock = w.client.udp_bind(1234).unwrap();
+        let max = crate::wire::UDP_MAX_PAYLOAD as u64; // 65507
+        w.client
+            .udp_send_to(&mut w.m, VcpuId(0), c_sock, w.app_buf, max, SERVER_IP, 53)
+            .unwrap();
+        let frame = w.client.nic.pop_tx().expect("max-size datagram emitted");
+        let ip = Ipv4Header::parse(&frame[ETH_LEN..]).unwrap();
+        assert_eq!(ip.total_len, u16::MAX);
+
+        let idents_before = w.client.ip_ident;
+        assert_eq!(
+            w.client
+                .udp_send_to(
+                    &mut w.m,
+                    VcpuId(0),
+                    c_sock,
+                    w.app_buf,
+                    max + 1,
+                    SERVER_IP,
+                    53,
+                )
+                .unwrap_err(),
+            NetError::MessageTooLong
+        );
+        assert!(w.client.nic.pop_tx().is_none(), "rejected datagram leaked");
+        // A rejected datagram consumes no IP ident.
+        assert_eq!(w.client.ip_ident, idents_before);
+    }
+
+    #[test]
+    fn ip_header_rejects_oversize_instead_of_truncating() {
+        let mut w = world();
+        // 65515 bytes of L4 is the largest that fits (20-byte IP header).
+        let ip = w
+            .server
+            .ip_header(CLIENT_IP, PROTO_UDP, u16::MAX as usize - IPV4_LEN)
+            .unwrap();
+        assert_eq!(ip.total_len, u16::MAX);
+        let err = w
+            .server
+            .ip_header(CLIENT_IP, PROTO_UDP, u16::MAX as usize - IPV4_LEN + 1)
+            .unwrap_err();
+        assert!(matches!(err, WireError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn ephemeral_ports_never_collide_across_16k_connects() {
+        let mut w = world();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..16384u32 {
+            let p = w.client.alloc_ephemeral(SERVER_IP, 80).unwrap();
+            assert!(p >= EPHEMERAL_BASE);
+            assert!(seen.insert(p), "port {p} reused at connect {i}");
+            // Pin the 4-tuple as live, as tcp_connect would.
+            w.client.conns.insert((p, SERVER_IP, 80), SocketId(0));
+        }
+        // Every port in the dynamic range is now live: the next connect
+        // to the same destination fails cleanly instead of reusing one.
+        assert_eq!(
+            w.client.alloc_ephemeral(SERVER_IP, 80).unwrap_err(),
+            NetError::AddrInUse
+        );
+        // The 4-tuple, not the port, is the scarce resource: a different
+        // destination still gets a port.
+        assert!(w.client.alloc_ephemeral(SERVER_IP, 81).is_ok());
+    }
+
+    #[test]
+    fn tcp_connect_skips_live_ports_after_wrap() {
+        let mut w = world();
+        w.client.next_ephemeral = u16::MAX;
+        let a = w.client.tcp_connect(SERVER_IP, 80).unwrap();
+        let port_of = |w: &World, sid: SocketId| {
+            w.client
+                .conns
+                .iter()
+                .find_map(|(k, &v)| (v == sid).then_some(k.0))
+                .unwrap()
+        };
+        assert_eq!(port_of(&w, a), u16::MAX);
+        // The wrapped rotor lands on a port still bound to a live
+        // connection; the allocator must skip it.
+        w.client.conns.insert((EPHEMERAL_BASE, SERVER_IP, 80), a);
+        let b = w.client.tcp_connect(SERVER_IP, 80).unwrap();
+        assert_eq!(port_of(&w, b), EPHEMERAL_BASE + 1);
     }
 
     #[test]

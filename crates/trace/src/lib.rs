@@ -22,8 +22,9 @@ pub use hist::{CycleHist, HIST_BUCKETS};
 pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use shard::{MergeTrace, SchedSummaryShard, VcpuShards};
 pub use snapshot::{
-    AllocRow, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow, GatePairRow, LatencyRow,
-    MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot, StatsSnapshot, TlbSnapshot,
+    AllocRow, AsyncGatesSnapshot, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow,
+    GatePairRow, LatencyRow, MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot, StatsSnapshot,
+    TlbSnapshot,
 };
 pub use span::{
     SpanEvent, SpanId, SpanKind, SpanLatencyRow, SpanRing, SpanRingStats, SpanTrace,
@@ -898,6 +899,13 @@ impl TraceRegistry {
     /// Registers the machine's software-TLB counters.
     pub fn add_tlb(&mut self, tt: &TlbTrace) {
         self.snap.tlb = tt.snapshot();
+    }
+
+    /// Registers the gate runtime's async-ring counters. The caller
+    /// converts from its own stats type — this crate sits below the
+    /// gate layer in the dependency graph.
+    pub fn add_async_gates(&mut self, a: AsyncGatesSnapshot) {
+        self.snap.async_gates = a;
     }
 
     /// Registers the net stack's trace, attributed to compartment

@@ -64,6 +64,26 @@ pub struct GateBatchRow {
     pub max: u64,
 }
 
+/// Async gate-ring counters (the PR-8 submission/completion rings).
+/// All host-side bookkeeping totals — the simulated cycle stream is
+/// identical with the rings in or out of the path, so this block is
+/// purely additive to the baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncGatesSnapshot {
+    /// Descriptors accepted onto submission rings.
+    pub submitted: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Ring flushes that drained at least one descriptor.
+    pub flushes: u64,
+    /// Pending submissions cancelled.
+    pub cancelled: u64,
+    /// Submissions rejected on a full SQ.
+    pub sq_full: u64,
+    /// Reaps rejected on an empty CQ.
+    pub cq_empty: u64,
+}
+
 /// Scheduler summary.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchedSnapshot {
@@ -228,6 +248,8 @@ pub struct StatsSnapshot {
     pub mechanisms: Vec<MechanismRow>,
     /// Per-mechanism batched-crossing size summaries.
     pub gate_batch: Vec<GateBatchRow>,
+    /// Async gate-ring counters.
+    pub async_gates: AsyncGatesSnapshot,
     /// Scheduler summary.
     pub sched: SchedSnapshot,
     /// Per-compartment allocator rows.
@@ -324,6 +346,13 @@ impl StatsSnapshot {
             );
         }
         o.push_str("],");
+
+        let a = &self.async_gates;
+        let _ = write!(
+            o,
+            "\"async_gates\":{{\"submitted\":{},\"completed\":{},\"flushes\":{},\"cancelled\":{},\"sq_full\":{},\"cq_empty\":{}}},",
+            a.submitted, a.completed, a.flushes, a.cancelled, a.sq_full, a.cq_empty
+        );
 
         let s = &self.sched;
         let _ = write!(
