@@ -16,7 +16,11 @@
 //! * [`resp`] / [`redis`] — the RESP protocol and Redis-style server
 //!   (Figures 4 and 5);
 //! * [`client`] — the external load generator (its own machine and
-//!   clock, so client work never pollutes server-side throughput).
+//!   clock, so client work never pollutes server-side throughput);
+//! * [`serve`] — the million-connection serving tier: sharded Redis
+//!   behind an async cluster proxy, per-connection cooperative tasks
+//!   woken by readiness events, and an open-loop Poisson load
+//!   generator (the O(ready) scaling experiment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod os;
 pub mod profiles;
 pub mod redis;
 pub mod resp;
+pub mod serve;
 pub mod smp;
 
 pub use os::{Os, OsStats, Roles};

@@ -30,12 +30,13 @@ use flexos_kernel::exec::{Executor, KernelHal};
 use flexos_kernel::sched::ThreadId;
 use flexos_kernel::sync::{SemId, SemTable, WaitChannel};
 use flexos_machine::{Access, Addr, Machine, Result, VcpuId};
+use flexos_net::event::{Interest, ReadyEvent};
 use flexos_net::nic::Nic;
 use flexos_net::stack::{NetError, NetResult, NetStack, SocketId};
 use flexos_net::wire::Mac;
 use flexos_sh::runtime::ShRuntime;
 use flexos_sh::shadow::REDZONE;
-use flexos_trace::{AsyncGatesSnapshot, SpanId, StatsSnapshot, TraceRegistry};
+use flexos_trace::{AsyncGatesSnapshot, ExecutorTrace, SpanId, StatsSnapshot, TraceRegistry};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
@@ -107,10 +108,13 @@ pub struct Os {
     sock_sems: BTreeMap<SocketId, SemId>,
     wakes: Vec<ThreadId>,
     stats: OsStats,
+    /// Readiness events drained by the last [`Os::poll_net`] (reused
+    /// scratch; serve drivers read them via [`Os::ready_events`]).
+    ready_scratch: Vec<ReadyEvent>,
+    /// Aggregated cooperative-executor counters from serve runs,
+    /// surfaced in the `--stats` serving block.
+    serve_exec: ExecutorTrace,
 }
-
-/// Socket-ring pool carved from the network compartment's heap.
-const NET_POOL_BYTES: u64 = 1024 * 1024;
 
 /// `sh_overhead_percent` of the GCC hardening set
 /// (ASAN + stack protector + UBSAN): the reference point the cost
@@ -173,6 +177,7 @@ impl Os {
                 *p = *p * synergy / 100;
             }
         }
+        let net_pool_bytes = opts.net_pool_bytes;
         let mut img = instantiate_with(plan, opts)?;
         let n = img.gates.len();
         let fallback = CompartmentId(0);
@@ -217,11 +222,12 @@ impl Os {
                 .collect(),
         };
 
-        // The network stack: socket-ring pool from its compartment heap.
+        // The network stack: socket-ring pool from its compartment heap
+        // (sized by `BootOptions::net_pool_bytes`).
         let pool = img
             .heaps
-            .alloc(&mut img.machine, roles.net, NET_POOL_BYTES, 16)?;
-        let mut net = NetStack::new(ip, Nic::new(Mac::of_nic(nic_id)), pool, NET_POOL_BYTES);
+            .alloc(&mut img.machine, roles.net, net_pool_bytes, 16)?;
+        let mut net = NetStack::new(ip, Nic::new(Mac::of_nic(nic_id)), pool, net_pool_bytes);
         let costs = img.machine.costs().clone();
         if img.plan.config.hypervisor == flexos::build::Hypervisor::Xen {
             net.extra_per_packet = costs.xen_packet_tax;
@@ -257,6 +263,8 @@ impl Os {
             sock_sems: BTreeMap::new(),
             wakes: Vec::new(),
             stats: OsStats::default(),
+            ready_scratch: Vec::new(),
+            serve_exec: ExecutorTrace::new(),
         })
     }
 
@@ -316,6 +324,7 @@ impl Os {
             cq_empty: ag.cq_empty,
         });
         reg.add_net(self.net.trace(), self.net.retransmits(), self.roles.net.0);
+        reg.add_serving(self.net.events().trace(), &self.serve_exec);
         reg.add_spans(self.img.machine.span_trace());
         reg.finish()
     }
@@ -892,9 +901,20 @@ impl Os {
                 })
             })?;
         }
-        // Readiness wakeups.
+        // Readiness wakeups: drain the stack's event queue — O(ready),
+        // never a scan of every open socket. Level-triggered READ events
+        // are exactly the readable streams the old full scan found;
+        // processing them in ascending socket order with the identical
+        // skip conditions keeps the charge stream byte-identical.
         let sched_tax_cycles = self.sched_call_cycles();
-        for sid in self.net.tcp_stream_ids() {
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        self.net.poll_events(&mut ready);
+        ready.sort_unstable_by_key(|e| e.sid.0);
+        for ev in &ready {
+            if !ev.ready.contains(Interest::READ) {
+                continue; // ACCEPT/WRITE readiness wakes no sem waiters
+            }
+            let sid = ev.sid;
             let Some(&sem) = self.sock_sems.get(&sid) else {
                 continue;
             };
@@ -926,7 +946,22 @@ impl Os {
                 Ok(())
             })?;
         }
+        self.ready_scratch = ready;
         Ok(())
+    }
+
+    /// The readiness events drained by the most recent
+    /// [`Os::poll_net`]. Serve drivers translate these into
+    /// per-connection task wakes; level-triggered readiness that nobody
+    /// consumes simply reappears on the next poll.
+    pub fn ready_events(&self) -> &[ReadyEvent] {
+        &self.ready_scratch
+    }
+
+    /// Folds a serve run's cooperative-executor counters into the
+    /// instance totals surfaced by [`Os::stats_snapshot`].
+    pub fn record_serve_exec(&mut self, t: &ExecutorTrace) {
+        self.serve_exec.merge_counters(t);
     }
 }
 

@@ -1,0 +1,1327 @@
+//! The million-connection serving tier: a sharded Redis cluster behind
+//! an async proxy, driven by an open-loop Poisson load generator.
+//!
+//! This is the capstone of the O(ready) serving contract:
+//!
+//! * The **proxy** is a FlexOS application compartment that accepts up
+//!   to 10⁵ TCP connections, parses pipelined RESP off each one, hashes
+//!   every key to one of N **shard compartments** (extra `lib_app`
+//!   micro-libraries placed in their own protection domains), fans the
+//!   commands out over the PR-8 async gate rings, reassembles the
+//!   replies *in request order* and streams them back. Each hop carries
+//!   the request's span id, so `--trace-out` shows proxy → shard →
+//!   proxy flows per request.
+//! * Per-connection work is a [`CoTask`] on a [`CoExecutor`]: readiness
+//!   events from the net stack's `EventQueue` wake exactly the tasks
+//!   whose sockets changed state, and a scheduling round steps exactly
+//!   the woken tasks. Nothing ever scans the open-connection set, so
+//!   the per-request cost at 10⁵ mostly-idle connections stays within
+//!   a small factor of the 10³ figure (asserted by the bench-smoke CI
+//!   job on `BENCH_9.json`).
+//! * The **load generator** is open-loop: burst arrivals are paced by a
+//!   seeded Poisson process over *simulated* cycles (fixed-point
+//!   exponential sampling — no libm, no wall clock), and a burst whose
+//!   connection is still busy queues rather than back-pressuring the
+//!   arrival process. Reported latency therefore includes client-side
+//!   queueing, the honest open-loop number.
+//!
+//! Clients are frame-level simulations (`SimClients`), not full
+//! `NetStack` instances: 10⁵ stacks would dominate host memory, and the
+//! protocol side the server exercises — SYN/ACK handshake, in-order
+//! data, cumulative ACKs, window respect — needs only a few machine
+//! words per connection. Beyond the 64 Ki source-port limit, client `i`
+//! claims IP `CLIENT_IP_BASE + i / PORTS_PER_IP`.
+//!
+//! Everything is deterministic: one simulated machine, a canonical FIFO
+//! executor, seeded arrivals. A serve run's figures are byte-identical
+//! at any `--vcpus` width (the serve-smoke CI job compares the JSON of
+//! `--vcpus 1/2/4` runs); `run_serve_free` shards *sub-instances*
+//! across host threads via work stealing for a host-parallel mode whose
+//! per-shard figures remain deterministic.
+
+use crate::client::SERVER_IP;
+use crate::os::Os;
+use crate::profiles::{backend_tag, evaluation_image, lib_app, CompartmentModel, SchedKind};
+use crate::redis::Mix;
+use crate::resp::{encode, encode_command, RespParser, RespValue};
+use flexos::build::{plan, BackendChoice, ImageConfig};
+use flexos::gate::{CompartmentId, Sqe};
+use flexos_backends::BootOptions;
+use flexos_kernel::smp::run_on_threads;
+use flexos_kernel::{CoExecutor, CoPoll, CoTask, CoTaskId, WorkStealQueue};
+use flexos_machine::{Addr, Machine, PAGE_SIZE};
+use flexos_net::stack::{NetError, SocketId};
+use flexos_net::wire::{
+    build_tcp_frame, EthHeader, Ipv4Header, Mac, TcpFlags, TcpHeader, ETHERTYPE_IPV4, ETH_LEN,
+    IPV4_LEN, MSS, PROTO_TCP, TCP_LEN,
+};
+use flexos_net::Interest;
+use flexos_trace::{SpanId, SpanKind, StatsSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// The proxy's listening port.
+pub const SERVE_PORT: u16 = 7379;
+
+/// First client IP (10.0.1.0); client `i` uses `BASE + i / PORTS_PER_IP`.
+const CLIENT_IP_BASE: u32 = 0x0a00_0100;
+
+/// Source ports per client IP (stays far under the u16 limit).
+const PORTS_PER_IP: usize = 4096;
+
+/// First client source port.
+const CLIENT_PORT_BASE: u16 = 1024;
+
+/// Receive-ring bytes per serve connection. Tiny on purpose: the
+/// advertised window is `rcv_wnd`-based (see
+/// `NetStack::set_sock_ring_bytes`), so the ring only needs to stage one
+/// request burst, and 10⁵ rings must fit the stack's buffer pool.
+const CONN_RING_BYTES: u64 = 256;
+
+/// Distinct keys the load generator touches.
+const KEYSPACE: usize = 1024;
+
+/// Shard micro-library names (also the span hop labels).
+const SHARD_NAMES: [&str; 8] = [
+    "shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7",
+];
+
+/// Maximum shard compartments (bounded by the MPK key budget).
+pub const MAX_SHARDS: usize = SHARD_NAMES.len();
+
+/// Connections established per handshake wave (stays under the
+/// default accept-backlog cap so no SYN is shed during setup).
+const ESTABLISH_WAVE: usize = 512;
+
+/// Parameters of one serving-tier run.
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    /// Compartment model for the proxy-side image.
+    pub model: CompartmentModel,
+    /// Isolation backend.
+    pub backend: BackendChoice,
+    /// Scheduler implementation.
+    pub sched: SchedKind,
+    /// Shard compartments (1..=[`MAX_SHARDS`]).
+    pub shards: usize,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Requests to complete during measurement.
+    pub ops: u64,
+    /// Value payload bytes.
+    pub payload: usize,
+    /// Commands per burst (RESP pipeline depth).
+    pub pipeline: usize,
+    /// Request mix.
+    pub mix: Mix,
+    /// Mean inter-arrival gap between bursts, in simulated cycles.
+    pub arrival_gap_cycles: u64,
+    /// Seed for the Poisson arrival process.
+    pub seed: u64,
+}
+
+impl Default for ServeParams {
+    fn default() -> Self {
+        Self {
+            model: CompartmentModel::NwSchedRest,
+            backend: BackendChoice::MpkShared,
+            sched: SchedKind::Coop,
+            shards: 4,
+            conns: 1_000,
+            ops: 2_000,
+            payload: 64,
+            pipeline: 4,
+            mix: Mix::Get,
+            arrival_gap_cycles: 50_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one serving-tier run.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Concurrent connections held open.
+    pub conns: usize,
+    /// Requests completed (measured phase).
+    pub ops: u64,
+    /// Server cycles spent (measured phase).
+    pub cycles: u64,
+    /// Cycles per completed request — the scaling figure the bench
+    /// asserts stays flat from 10³ to 10⁵ connections.
+    pub cycles_per_op: u64,
+    /// Throughput in mega-requests per second.
+    pub mreq_per_s: f64,
+    /// Gate crossings during measurement.
+    pub crossings: u64,
+    /// Burst latency percentiles in cycles (arrival → last reply byte
+    /// consumed; includes open-loop client-side queueing).
+    pub p50_cycles: u64,
+    /// 99th percentile burst latency in cycles.
+    pub p99_cycles: u64,
+    /// 99.9th percentile burst latency in cycles.
+    pub p999_cycles: u64,
+    /// Commands executed per shard compartment.
+    pub shard_ops: Vec<u64>,
+    /// SYNs shed by the bounded accept backlog.
+    pub backlog_overflows: u64,
+    /// Work-steal count (free-running mode only; 0 in deterministic).
+    pub steals: u64,
+}
+
+/// A failure during a serve run, propagated rather than panicked so a
+/// bench sweep records a degraded point instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRunError {
+    /// A shard or the proxy answered with a RESP error.
+    Reply(String),
+    /// The server image failed outside a reply.
+    Server(String),
+}
+
+impl ServeRunError {
+    fn server(e: impl fmt::Display) -> Self {
+        ServeRunError::Server(e.to_string())
+    }
+}
+
+impl fmt::Display for ServeRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeRunError::Reply(e) => write!(f, "serve reply error: {e}"),
+            ServeRunError::Server(e) => write!(f, "serve server failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeRunError {}
+
+/// FNV-1a over a key — the proxy's shard hash.
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the image config: the evaluation image for the proxy, plus
+/// one `shardK` application micro-library per shard. Under the
+/// multi-compartment models each shard gets its own protection domain
+/// (compartments after the model's own); the baseline co-locates them.
+pub fn serve_image(params: &ServeParams) -> ImageConfig {
+    let mut cfg = evaluation_image("proxy", params.model, params.backend, params.sched);
+    let base = match params.model {
+        CompartmentModel::Baseline => 0,
+        CompartmentModel::NwOnly => 2,
+        CompartmentModel::NwSchedRest => 3,
+        CompartmentModel::NwAndSchedRest => 2,
+    };
+    let names = SHARD_NAMES.iter().take(params.shards.min(MAX_SHARDS));
+    for (k, &name) in names.enumerate() {
+        let c = if params.model == CompartmentModel::Baseline {
+            0
+        } else {
+            base + k
+        };
+        cfg = cfg.with_library(lib_app(name).in_compartment(c));
+    }
+    cfg
+}
+
+// --- the proxy world -------------------------------------------------------------
+
+/// One routed command awaiting its shard's reply.
+struct ShardOp {
+    span: SpanId,
+    shard: usize,
+    args: Vec<Vec<u8>>,
+}
+
+/// The context every [`ConnTask`] steps with: the OS image plus the
+/// shard stores and the scratch the fan-out path reuses.
+struct ServeWorld {
+    os: Os,
+    /// Per-shard key-value stores (host-side; the simulated cost of an
+    /// access is charged inside the shard's compartment).
+    shards: Vec<HashMap<Vec<u8>, Vec<u8>>>,
+    /// Commands executed per shard.
+    shard_ops: Vec<u64>,
+    shard_comps: Vec<CompartmentId>,
+    shard_vcpus: Vec<u16>,
+    rx_buf: Addr,
+    tx_buf: Addr,
+    io_buf_len: u64,
+    backend: &'static str,
+    app_vcpu: u16,
+    /// Fan-out scratch: parsed ops of the burst being served.
+    ops_scratch: Vec<ShardOp>,
+    /// Fan-out scratch: replies indexed by op, reassembled in order.
+    replies: Vec<Option<RespValue>>,
+    /// Host copy scratch for recv.
+    host_buf: Vec<u8>,
+    /// Fatal task errors (drained by the driver after each round).
+    errors: Vec<String>,
+}
+
+/// Executes one command inside shard compartment code: the simulated
+/// cost (dispatch + value copy) is charged on `m` while the host-side
+/// store does the bookkeeping.
+fn exec_shard_cmd(
+    m: &mut Machine,
+    store: &mut HashMap<Vec<u8>, Vec<u8>>,
+    args: &[Vec<u8>],
+) -> RespValue {
+    let dispatch = m.costs().app_request;
+    m.charge(dispatch);
+    let cmd = args
+        .first()
+        .map(|c| c.to_ascii_uppercase())
+        .unwrap_or_default();
+    match (cmd.as_slice(), args.len()) {
+        (b"PING", 1) => RespValue::Simple("PONG".into()),
+        (b"SET", 3) => {
+            let cost = m.costs().copy_cost(args[2].len() as u64);
+            m.charge(cost);
+            store.insert(args[1].clone(), args[2].clone());
+            RespValue::Simple("OK".into())
+        }
+        (b"GET", 2) => match store.get(&args[1]) {
+            Some(v) => {
+                let cost = m.costs().copy_cost(v.len() as u64);
+                m.charge(cost);
+                RespValue::Bulk(Some(v.clone()))
+            }
+            None => RespValue::Bulk(None),
+        },
+        (b"DEL", 2) => RespValue::Integer(i64::from(store.remove(&args[1]).is_some())),
+        _ => RespValue::Error(format!(
+            "ERR unknown command '{}'",
+            String::from_utf8_lossy(&cmd)
+        )),
+    }
+}
+
+/// What a flush attempt left behind.
+enum FlushState {
+    /// Everything staged went out.
+    Clean,
+    /// The transmit buffer filled; park until WRITE readiness.
+    Parked,
+    /// The peer is gone.
+    Closed,
+}
+
+/// The per-connection cooperative task: drain requests, fan out to
+/// shards, stream replies — parking on readiness whenever the socket
+/// has nothing for it.
+struct ConnTask {
+    sid: SocketId,
+    parser: RespParser,
+    out_host: Vec<u8>,
+    /// Open request spans with the staged-output offset at which each
+    /// reply will have fully left the server.
+    pending_spans: VecDeque<(SpanId, u64)>,
+    staged_total: u64,
+    sent_total: u64,
+    /// WRITE interest is armed (restored to READ-only once drained, so
+    /// an idle writable socket does not wake the task forever).
+    write_armed: bool,
+}
+
+impl ConnTask {
+    fn new(sid: SocketId) -> Self {
+        Self {
+            sid,
+            parser: RespParser::new(),
+            out_host: Vec::new(),
+            pending_spans: VecDeque::new(),
+            staged_total: 0,
+            sent_total: 0,
+            write_armed: false,
+        }
+    }
+
+    /// Flushes `out_host` as batched spanned sends (the redis service
+    /// idiom: each request span ends when the cumulative sent count
+    /// covers its staged offset).
+    fn flush(&mut self, w: &mut ServeWorld) -> Result<FlushState, String> {
+        while !self.out_host.is_empty() {
+            let n = (self.out_host.len() as u64).min(w.io_buf_len);
+            w.os.img
+                .write(w.tx_buf, &self.out_host[..n as usize])
+                .map_err(|f| f.to_string())?;
+            let max = (self.out_host.len() as u64).div_ceil(w.io_buf_len).max(1) as usize;
+            let (tx_buf, io_buf_len) = (w.tx_buf, w.io_buf_len);
+            let app_vcpu = w.app_vcpu;
+            let sqe_spans: Vec<SpanId> = self
+                .pending_spans
+                .iter()
+                .take(max)
+                .map(|&(span, _)| span)
+                .collect();
+            let out_host = &mut self.out_host;
+            let pending_spans = &mut self.pending_spans;
+            let sent_total = &mut self.sent_total;
+            let results =
+                w.os.send_batch_spanned(self.sid, tx_buf, n, max, &sqe_spans, |m, rt, r| {
+                    let Ok(sent) = r else { return Ok(None) };
+                    out_host.drain(..*sent as usize);
+                    *sent_total += sent;
+                    let now = m.clock().cycles();
+                    while pending_spans
+                        .front()
+                        .is_some_and(|&(_, end)| end <= *sent_total)
+                    {
+                        let (span, _) = pending_spans.pop_front().expect("front checked");
+                        m.span_trace_mut().end_request(span, app_vcpu, now);
+                    }
+                    if out_host.is_empty() {
+                        return Ok(None);
+                    }
+                    let next = (out_host.len() as u64).min(io_buf_len);
+                    m.write(rt.current_ctx().vcpu, tx_buf, &out_host[..next as usize])?;
+                    Ok(Some(next))
+                })
+                .map_err(|f| f.to_string())?;
+            match results.last() {
+                Some(Err(NetError::WouldBlock)) => return Ok(FlushState::Parked),
+                Some(Err(NetError::Closed)) => return Ok(FlushState::Closed),
+                Some(Err(e)) => return Err(format!("send failed: {e}")),
+                _ => {}
+            }
+        }
+        Ok(FlushState::Clean)
+    }
+
+    /// Parses everything buffered, routes each command to its shard over
+    /// the async gate rings, and reassembles replies in request order.
+    fn fan_out(&mut self, w: &mut ServeWorld) -> Result<(), String> {
+        let nshards = w.shards.len();
+        w.ops_scratch.clear();
+        while let Some(args) = self.parser.parse_command() {
+            // Proxy-side routing work (dispatch + key hash).
+            let work = w.os.img.machine.costs().app_request;
+            let t0 = w.os.img.machine.clock().cycles();
+            let span =
+                w.os.img
+                    .machine
+                    .span_trace_mut()
+                    .begin_request("serve", w.backend, w.app_vcpu, t0);
+            w.os.app_compute(work);
+            let shard = args
+                .get(1)
+                .map(|k| (fnv1a(k) % nshards as u64) as usize)
+                .unwrap_or(0);
+            w.ops_scratch.push(ShardOp { span, shard, args });
+        }
+        if w.ops_scratch.is_empty() {
+            return Ok(());
+        }
+        let nops = w.ops_scratch.len();
+        w.replies.clear();
+        w.replies.resize(nops, None);
+        for k in 0..nshards {
+            let count = w.ops_scratch.iter().filter(|o| o.shard == k).count();
+            if count == 0 {
+                continue;
+            }
+            w.os.img.gates.ensure_ring_depth(w.shard_comps[k], count);
+            for (idx, op) in w.ops_scratch.iter().enumerate() {
+                if op.shard != k {
+                    continue;
+                }
+                w.os.img
+                    .submit_lib(
+                        SHARD_NAMES[k],
+                        Sqe::new(32, 8, idx as u64).with_span(op.span),
+                    )
+                    .map_err(|f| f.to_string())?;
+            }
+            let ServeWorld {
+                os,
+                shards,
+                shard_ops,
+                shard_vcpus,
+                ops_scratch,
+                replies,
+                app_vcpu,
+                ..
+            } = w;
+            let store = &mut shards[k];
+            let sops = &mut shard_ops[k];
+            let (shard_vcpu, proxy_vcpu) = (shard_vcpus[k], *app_vcpu);
+            os.img
+                .call_lib_async(SHARD_NAMES[k], |m, _rt, sqe| {
+                    let idx = sqe.user_data as usize;
+                    let t0 = m.clock().cycles();
+                    let reply = exec_shard_cmd(m, store, &ops_scratch[idx].args);
+                    *sops += 1;
+                    let t1 = m.clock().cycles();
+                    // The hop probe: attributed to the request span the
+                    // SQE carries, labeled with the shard it crossed to.
+                    m.span_trace_mut().record(
+                        shard_vcpu,
+                        SpanKind::MqHop,
+                        SHARD_NAMES[k],
+                        proxy_vcpu,
+                        shard_vcpu,
+                        t0,
+                        t1,
+                    );
+                    let code = i64::from(!matches!(reply, RespValue::Error(_)));
+                    replies[idx] = Some(reply);
+                    Ok(code)
+                })
+                .map_err(|f| f.to_string())?;
+            // Drain the completions; the replies already live host-side.
+            while os.img.reap_lib(SHARD_NAMES[k]).is_ok() {}
+        }
+        // Reassemble in request order, ending each span only when its
+        // reply's last byte leaves the server (in `flush`).
+        for idx in 0..nops {
+            let reply = w.replies[idx]
+                .take()
+                .unwrap_or_else(|| RespValue::Error("ERR shard reply lost".into()));
+            self.out_host.extend_from_slice(&encode(&reply));
+            self.staged_total = self.sent_total + self.out_host.len() as u64;
+            self.pending_spans
+                .push_back((w.ops_scratch[idx].span, self.staged_total));
+        }
+        Ok(())
+    }
+
+    fn drive(&mut self, w: &mut ServeWorld) -> Result<CoPoll, String> {
+        loop {
+            match self.flush(w)? {
+                FlushState::Parked => {
+                    w.os.net
+                        .events_mut()
+                        .set_interest(self.sid, Interest::READ | Interest::WRITE);
+                    self.write_armed = true;
+                    return Ok(CoPoll::Pending);
+                }
+                FlushState::Closed => {
+                    let _ = w.os.sock_close(self.sid);
+                    return Ok(CoPoll::Ready);
+                }
+                FlushState::Clean => {}
+            }
+            if self.write_armed {
+                w.os.net.events_mut().set_interest(self.sid, Interest::READ);
+                self.write_armed = false;
+            }
+            match w.os.recv(self.sid, w.rx_buf, w.io_buf_len) {
+                Ok(0) => {
+                    let _ = w.os.sock_close(self.sid);
+                    return Ok(CoPoll::Ready);
+                }
+                Ok(n) => {
+                    let rx_buf = w.rx_buf;
+                    w.host_buf.resize(n as usize, 0);
+                    let ServeWorld { os, host_buf, .. } = w;
+                    os.img.read(rx_buf, host_buf).map_err(|f| f.to_string())?;
+                    self.parser.feed(host_buf);
+                }
+                Err(NetError::WouldBlock) => {
+                    if self.parser.pending() == 0 {
+                        return Ok(CoPoll::Pending);
+                    }
+                }
+                Err(NetError::Closed) => {
+                    let _ = w.os.sock_close(self.sid);
+                    return Ok(CoPoll::Ready);
+                }
+                Err(e) => return Err(format!("recv failed: {e}")),
+            }
+            self.fan_out(w)?;
+            if self.out_host.is_empty() {
+                return Ok(CoPoll::Pending);
+            }
+        }
+    }
+}
+
+impl CoTask<ServeWorld> for ConnTask {
+    fn step(&mut self, w: &mut ServeWorld, _id: CoTaskId) -> CoPoll {
+        match self.drive(w) {
+            Ok(p) => p,
+            Err(e) => {
+                w.errors.push(e);
+                let _ = w.os.sock_close(self.sid);
+                CoPoll::Ready
+            }
+        }
+    }
+}
+
+// --- the frame-level client fleet ------------------------------------------------
+
+struct SimConn {
+    ip: u32,
+    port: u16,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    established: bool,
+    parser: RespParser,
+    /// Replies awaited for the in-flight burst (0 = idle).
+    expected: u32,
+    /// Scheduled arrival cycle of the in-flight burst.
+    t_arrival: u64,
+    /// Arrivals that landed while a burst was in flight (open-loop
+    /// queueing; their latency clocks started at their scheduled time).
+    queued: VecDeque<u64>,
+    need_ack: bool,
+}
+
+/// The frame-level simulation of up to 10⁵ clients.
+struct SimClients {
+    conns: Vec<SimConn>,
+    by_addr: HashMap<(u32, u16), usize>,
+    server_mac: Mac,
+    client_mac: Mac,
+    ident: u16,
+    payload: Vec<u8>,
+    pipeline: usize,
+    mix: Mix,
+    /// Completed burst latencies in cycles.
+    latencies: Vec<u64>,
+    completed_bursts: u64,
+    completed_reqs: u64,
+    bursts_started: u64,
+    established_count: usize,
+    /// Connections whose `need_ack` went high since the last emit.
+    ack_pending: Vec<usize>,
+    /// Connections whose burst completed with arrivals still queued.
+    pending_starts: Vec<usize>,
+    reply_errors: Vec<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_frame(
+    server_mac: Mac,
+    client_mac: Mac,
+    ident: &mut u16,
+    ip: u32,
+    port: u16,
+    rcv_nxt: u32,
+    flags: TcpFlags,
+    seq: u32,
+    payload: &[u8],
+) -> Vec<u8> {
+    *ident = ident.wrapping_add(1);
+    let eth = EthHeader {
+        dst: server_mac,
+        src: client_mac,
+        ethertype: ETHERTYPE_IPV4,
+    };
+    let iph = Ipv4Header {
+        src: ip,
+        dst: SERVER_IP,
+        proto: PROTO_TCP,
+        total_len: (IPV4_LEN + TCP_LEN + payload.len()) as u16,
+        ttl: 64,
+        ident: *ident,
+    };
+    let tcp = TcpHeader {
+        src_port: port,
+        dst_port: SERVE_PORT,
+        seq,
+        ack: rcv_nxt,
+        flags,
+        window: 65_535,
+    };
+    build_tcp_frame(&eth, &iph, &tcp, payload).expect("client frame within wire limits")
+}
+
+impl SimClients {
+    fn new(conns: usize, payload: usize, mix: Mix, pipeline: usize, nic_id: u8) -> Self {
+        let mut list = Vec::with_capacity(conns);
+        let mut by_addr = HashMap::with_capacity(conns);
+        for i in 0..conns {
+            let ip = CLIENT_IP_BASE + (i / PORTS_PER_IP) as u32;
+            let port = CLIENT_PORT_BASE + (i % PORTS_PER_IP) as u16;
+            by_addr.insert((ip, port), i);
+            list.push(SimConn {
+                ip,
+                port,
+                snd_nxt: 0,
+                rcv_nxt: 0,
+                established: false,
+                parser: RespParser::new(),
+                expected: 0,
+                t_arrival: 0,
+                queued: VecDeque::new(),
+                need_ack: false,
+            });
+        }
+        Self {
+            conns: list,
+            by_addr,
+            server_mac: Mac::of_nic(nic_id),
+            client_mac: Mac::of_nic(200),
+            ident: 0,
+            payload: vec![b'v'; payload.max(1)],
+            pipeline: pipeline.max(1),
+            mix,
+            latencies: Vec::new(),
+            completed_bursts: 0,
+            completed_reqs: 0,
+            bursts_started: 0,
+            established_count: 0,
+            ack_pending: Vec::new(),
+            pending_starts: Vec::new(),
+            reply_errors: Vec::new(),
+        }
+    }
+
+    /// Deterministic per-connection initial sequence number.
+    fn iss(i: usize) -> u32 {
+        0x1000_0000u32.wrapping_add((i as u32).wrapping_mul(0x1001))
+    }
+
+    fn syn_frame(&mut self, i: usize) -> Vec<u8> {
+        let iss = Self::iss(i);
+        let c = &mut self.conns[i];
+        c.snd_nxt = iss.wrapping_add(1);
+        client_frame(
+            self.server_mac,
+            self.client_mac,
+            &mut self.ident,
+            c.ip,
+            c.port,
+            0,
+            TcpFlags::SYN,
+            iss,
+            &[],
+        )
+    }
+
+    fn mark_ack(&mut self, i: usize) {
+        let c = &mut self.conns[i];
+        if !c.need_ack {
+            c.need_ack = true;
+            self.ack_pending.push(i);
+        }
+    }
+
+    /// Consumes one server frame at simulated time `now`.
+    fn on_frame(&mut self, now: u64, frame: &[u8]) {
+        let Some(eth) = EthHeader::parse(frame) else {
+            return;
+        };
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return;
+        }
+        let Some(ip) = Ipv4Header::parse(&frame[ETH_LEN..]) else {
+            return;
+        };
+        if ip.proto != PROTO_TCP || frame.len() < ETH_LEN + ip.total_len as usize {
+            return;
+        }
+        let l4 = &frame[ETH_LEN + IPV4_LEN..ETH_LEN + ip.total_len as usize];
+        let Some((hdr, off)) = TcpHeader::parse(&ip, l4) else {
+            return;
+        };
+        let payload = &l4[off..];
+        let Some(&i) = self.by_addr.get(&(ip.dst, hdr.dst_port)) else {
+            return;
+        };
+        if hdr.flags.rst {
+            self.reply_errors
+                .push(format!("connection {i} reset by server"));
+            return;
+        }
+        if hdr.flags.syn && hdr.flags.ack {
+            let c = &mut self.conns[i];
+            if !c.established {
+                c.established = true;
+                c.rcv_nxt = hdr.seq.wrapping_add(1);
+                self.established_count += 1;
+                self.mark_ack(i);
+            }
+            return;
+        }
+        if payload.is_empty() {
+            return; // pure ACK / window update
+        }
+        let c = &mut self.conns[i];
+        if hdr.seq != c.rcv_nxt {
+            // Duplicate (retransmit) or out-of-order: re-ack, drop.
+            self.mark_ack(i);
+            return;
+        }
+        c.rcv_nxt = c.rcv_nxt.wrapping_add(payload.len() as u32);
+        c.parser.feed(payload);
+        let mut finished_burst = false;
+        while let Some(v) = c.parser.parse_value() {
+            if let RespValue::Error(e) = &v {
+                self.reply_errors.push(e.clone());
+            }
+            self.completed_reqs += 1;
+            if c.expected > 0 {
+                c.expected -= 1;
+                if c.expected == 0 {
+                    finished_burst = true;
+                }
+            }
+        }
+        if finished_burst {
+            self.latencies.push(now.saturating_sub(c.t_arrival));
+            self.completed_bursts += 1;
+            if !c.queued.is_empty() {
+                self.pending_starts.push(i);
+            }
+        }
+        self.mark_ack(i);
+    }
+
+    /// Starts a burst on idle connection `i`; its latency clock starts
+    /// at the burst's *scheduled* arrival.
+    fn start_burst(&mut self, i: usize, t_arrival: u64, out: &mut Vec<Vec<u8>>) {
+        let b = self.bursts_started;
+        self.bursts_started += 1;
+        let mut req = Vec::new();
+        for j in 0..self.pipeline {
+            let k = (b as usize)
+                .wrapping_mul(7)
+                .wrapping_add(j.wrapping_mul(3))
+                .wrapping_add(i)
+                % KEYSPACE;
+            let key = format!("key:{k:04}").into_bytes();
+            match self.mix {
+                Mix::Set => {
+                    req.extend_from_slice(&encode_command(&[b"SET", &key, &self.payload]));
+                }
+                Mix::Get => req.extend_from_slice(&encode_command(&[b"GET", &key])),
+            }
+        }
+        let c = &mut self.conns[i];
+        c.expected = self.pipeline as u32;
+        c.t_arrival = t_arrival;
+        c.need_ack = false; // data frames carry the cumulative ack
+        for chunk in req.chunks(MSS) {
+            let f = client_frame(
+                self.server_mac,
+                self.client_mac,
+                &mut self.ident,
+                c.ip,
+                c.port,
+                c.rcv_nxt,
+                TcpFlags::ACK,
+                c.snd_nxt,
+                chunk,
+            );
+            c.snd_nxt = c.snd_nxt.wrapping_add(chunk.len() as u32);
+            out.push(f);
+        }
+    }
+
+    /// Records an arrival: starts the burst if the connection is idle,
+    /// queues it (open-loop) otherwise.
+    fn arrival(&mut self, i: usize, t: u64, out: &mut Vec<Vec<u8>>) {
+        let c = &mut self.conns[i];
+        if c.expected == 0 && c.queued.is_empty() {
+            self.start_burst(i, t, out);
+        } else {
+            c.queued.push_back(t);
+        }
+    }
+
+    /// Emits queued burst starts and batched ACKs.
+    fn emit(&mut self, out: &mut Vec<Vec<u8>>) {
+        let starts = std::mem::take(&mut self.pending_starts);
+        for i in starts {
+            if self.conns[i].expected == 0 {
+                if let Some(t) = self.conns[i].queued.pop_front() {
+                    self.start_burst(i, t, out);
+                }
+                if !self.conns[i].queued.is_empty() {
+                    self.pending_starts.push(i);
+                }
+            }
+        }
+        let acks = std::mem::take(&mut self.ack_pending);
+        for i in acks {
+            let c = &mut self.conns[i];
+            if !c.need_ack {
+                continue;
+            }
+            c.need_ack = false;
+            out.push(client_frame(
+                self.server_mac,
+                self.client_mac,
+                &mut self.ident,
+                c.ip,
+                c.port,
+                c.rcv_nxt,
+                TcpFlags::ACK,
+                c.snd_nxt,
+                &[],
+            ));
+        }
+    }
+}
+
+// --- the seeded Poisson arrival process ------------------------------------------
+
+fn xorshift64(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+/// ln 2 in Q32 fixed point.
+const LN2_Q32: u64 = 2_977_044_472;
+
+/// `-ln(U) * mean` with `U` uniform in (0, 1], computed entirely in
+/// integer fixed point (atanh series) so the arrival schedule is
+/// bit-identical on every platform — no libm, no floats.
+fn exp_gap(s: &mut u64, mean: u64) -> u64 {
+    // U = r / 2^53 with r in [1, 2^53).
+    let r = (xorshift64(s) >> 11) | 1;
+    let bits = 64 - r.leading_zeros() as u64; // b: r in [2^(b-1), 2^b)
+                                              // -ln(U) = 53·ln2 - ln(r) = (54 - b)·ln2 - ln(m), m = r / 2^(b-1).
+    let m_q32 = ((r as u128) << 32) >> (bits - 1); // m in [1, 2) as Q32
+    let one = 1u128 << 32;
+    // ln(m) = 2·atanh(z), z = (m-1)/(m+1) in [0, 1/3): three series
+    // terms give ~1e-6 relative error, far below load-gen needs.
+    let z = ((m_q32 - one) << 32) / (m_q32 + one);
+    let z2 = (z * z) >> 32;
+    let z3 = (z * z2) >> 32;
+    let z5 = (z3 * z2) >> 32;
+    let ln_m = 2 * (z + z3 / 3 + z5 / 5);
+    let neg_ln_u = ((54 - bits) as u128 * LN2_Q32 as u128).saturating_sub(ln_m);
+    ((neg_ln_u * mean as u128) >> 32) as u64
+}
+
+/// Pre-generates the whole arrival schedule: `(cycle, connection)`
+/// pairs, non-decreasing in time.
+fn gen_arrivals(bursts: u64, conns: usize, mean_gap: u64, seed: u64) -> Vec<(u64, usize)> {
+    let mut s = seed | 1;
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(bursts as usize);
+    for _ in 0..bursts {
+        t = t.saturating_add(exp_gap(&mut s, mean_gap.max(1)));
+        let conn = (xorshift64(&mut s) % conns as u64) as usize;
+        out.push((t, conn));
+    }
+    out
+}
+
+// --- the driver ------------------------------------------------------------------
+
+/// Runs the serving tier and reports scaling figures.
+///
+/// # Errors
+///
+/// Returns [`ServeRunError`] when a shard answers with a RESP error or
+/// the server image fails, so sweeps degrade instead of aborting.
+pub fn run_serve(params: &ServeParams) -> Result<ServeResult, ServeRunError> {
+    run_serve_inner(params, false).map(|(r, _, _)| r)
+}
+
+/// [`run_serve`] plus the full telemetry snapshot (including the
+/// serving block: event-queue and executor counters).
+pub fn run_serve_with_stats(
+    params: &ServeParams,
+) -> Result<(ServeResult, StatsSnapshot), ServeRunError> {
+    run_serve_inner(params, false).map(|(r, s, _)| (r, s))
+}
+
+/// [`run_serve_with_stats`] plus the Chrome trace-event JSON of the
+/// span stream (proxy → shard → proxy hops per request).
+pub fn run_serve_traced(
+    params: &ServeParams,
+) -> Result<(ServeResult, StatsSnapshot, String), ServeRunError> {
+    run_serve_inner(params, true).map(|(r, s, t)| (r, s, t.expect("trace requested")))
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[allow(clippy::type_complexity)]
+fn run_serve_inner(
+    params: &ServeParams,
+    want_trace: bool,
+) -> Result<(ServeResult, StatsSnapshot, Option<String>), ServeRunError> {
+    let shards = params.shards.clamp(1, MAX_SHARDS);
+    let conns = params.conns.max(1);
+    let nic_id = 1u8;
+    let image = plan(serve_image(params)).expect("serve image plans");
+    let ncomp = image.num_compartments as u64;
+
+    // Boot sizing: the socket-ring pool must hold every connection's
+    // ring; heaps and physical frames scale with it.
+    let net_pool_bytes = (conns as u64 + 64) * CONN_RING_BYTES + (1 << 20);
+    let heap_per_compartment = net_pool_bytes + (2 << 20);
+    let phys_frames = ((ncomp + 1) * heap_per_compartment + (16 << 20)).div_ceil(PAGE_SIZE);
+    let opts = BootOptions {
+        phys_frames,
+        heap_per_compartment,
+        shared_heap: 1 << 20,
+        stack_size: 64 * 1024,
+        net_pool_bytes,
+    };
+    let mut os = Os::boot_with(image, SERVER_IP, nic_id, opts).map_err(ServeRunError::server)?;
+    os.net.set_sock_ring_bytes(CONN_RING_BYTES);
+
+    let io_buf_len = 16 * 1024u64;
+    let rx_buf = os
+        .alloc_shared_buf(io_buf_len)
+        .map_err(ServeRunError::server)?;
+    let tx_buf = os
+        .alloc_shared_buf(io_buf_len)
+        .map_err(ServeRunError::server)?;
+    let listener = os
+        .listen(SERVE_PORT)
+        .map_err(|e| ServeRunError::server(format!("listen failed: {e}")))?;
+    let backend = backend_tag(params.model, params.backend);
+    let app_vcpu = os.img.gates.ctx(os.roles.app).vcpu.0 as u16;
+    let shard_comps: Vec<CompartmentId> = (0..shards)
+        .map(|k| {
+            os.img
+                .compartment_of_lib(SHARD_NAMES[k])
+                .expect("shard library placed")
+        })
+        .collect();
+    let shard_vcpus: Vec<u16> = shard_comps
+        .iter()
+        .map(|&c| os.img.gates.ctx(c).vcpu.0 as u16)
+        .collect();
+
+    let mut world = ServeWorld {
+        os,
+        shards: vec![HashMap::new(); shards],
+        shard_ops: vec![0; shards],
+        shard_comps,
+        shard_vcpus,
+        rx_buf,
+        tx_buf,
+        io_buf_len,
+        backend,
+        app_vcpu,
+        ops_scratch: Vec::new(),
+        replies: Vec::new(),
+        host_buf: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    // Preload the keyspace host-side so GET mixes hit (the measured
+    // phase then exercises only the serving path).
+    if params.mix == Mix::Get {
+        let value = vec![b'v'; params.payload.max(1)];
+        for k in 0..KEYSPACE {
+            let key = format!("key:{k:04}").into_bytes();
+            let shard = (fnv1a(&key) % shards as u64) as usize;
+            world.shards[shard].insert(key, value.clone());
+        }
+    }
+
+    let mut exec: CoExecutor<ServeWorld> = CoExecutor::new();
+    let mut clients = SimClients::new(conns, params.payload, params.mix, params.pipeline, nic_id);
+    let mut task_of: Vec<Option<CoTaskId>> = Vec::new();
+    let mut accepted = 0usize;
+
+    // Establishment, in waves that stay under the accept-backlog cap.
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for start in (0..conns).step_by(ESTABLISH_WAVE) {
+        let end = (start + ESTABLISH_WAVE).min(conns);
+        for i in start..end {
+            let syn = clients.syn_frame(i);
+            world.os.net.nic.push_rx(syn);
+        }
+        let mut spins = 0u32;
+        while clients.established_count < end || accepted < end {
+            world.os.poll_net().map_err(ServeRunError::server)?;
+            let now = world.os.img.machine.clock().cycles();
+            while let Some(f) = world.os.net.nic.pop_tx() {
+                clients.on_frame(now, &f);
+            }
+            frames.clear();
+            clients.emit(&mut frames);
+            for f in frames.drain(..) {
+                world.os.net.nic.push_rx(f);
+            }
+            world.os.poll_net().map_err(ServeRunError::server)?;
+            loop {
+                match world.os.accept(listener) {
+                    Ok(Some(sid)) => {
+                        let tid = exec.spawn(Box::new(ConnTask::new(sid)));
+                        if task_of.len() <= sid.0 {
+                            task_of.resize(sid.0 + 1, None);
+                        }
+                        task_of[sid.0] = Some(tid);
+                        accepted += 1;
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(ServeRunError::server(format!("accept failed: {e}"))),
+                }
+            }
+            exec.run_until_idle(&mut world, 1_000_000);
+            spins += 1;
+            assert!(spins < 10_000, "serve handshake wave stalled");
+        }
+    }
+    if !clients.reply_errors.is_empty() {
+        return Err(ServeRunError::Server(clients.reply_errors.remove(0)));
+    }
+
+    // Measured phase: open-loop Poisson arrivals over simulated cycles.
+    let bursts = (params.ops / params.pipeline.max(1) as u64).max(1);
+    let t_base = world.os.img.machine.clock().cycles();
+    let arrivals: Vec<(u64, usize)> =
+        gen_arrivals(bursts, conns, params.arrival_gap_cycles, params.seed)
+            .into_iter()
+            .map(|(t, c)| (t_base + t, c))
+            .collect();
+    let start_cycles = t_base;
+    let start_crossings = world.os.img.gates.stats().crossings;
+    let mut arr_idx = 0usize;
+    let mut idle = 0u32;
+    while clients.completed_bursts < bursts {
+        let now = world.os.img.machine.clock().cycles();
+        frames.clear();
+        while arr_idx < arrivals.len() && arrivals[arr_idx].0 <= now {
+            let (t, ci) = arrivals[arr_idx];
+            clients.arrival(ci, t, &mut frames);
+            arr_idx += 1;
+        }
+        let mut moved = !frames.is_empty();
+        for f in frames.drain(..) {
+            world.os.net.nic.push_rx(f);
+        }
+        world.os.poll_net().map_err(ServeRunError::server)?;
+        for ev in world.os.ready_events() {
+            if ev.ready.contains(Interest::READ) || ev.ready.contains(Interest::WRITE) {
+                if let Some(Some(tid)) = task_of.get(ev.sid.0) {
+                    exec.wake(*tid);
+                }
+            }
+        }
+        exec.run_until_idle(&mut world, 10_000_000);
+        world.os.poll_net().map_err(ServeRunError::server)?;
+        let now = world.os.img.machine.clock().cycles();
+        let before = clients.completed_bursts;
+        while let Some(f) = world.os.net.nic.pop_tx() {
+            moved = true;
+            clients.on_frame(now, &f);
+        }
+        frames.clear();
+        clients.emit(&mut frames);
+        for f in frames.drain(..) {
+            moved = true;
+            world.os.net.nic.push_rx(f);
+        }
+        if let Some(e) = world.errors.first() {
+            return Err(ServeRunError::Server(e.clone()));
+        }
+        if let Some(e) = clients.reply_errors.first() {
+            return Err(ServeRunError::Reply(e.clone()));
+        }
+        if moved || clients.completed_bursts > before {
+            idle = 0;
+            continue;
+        }
+        // Quiescent: jump the clock toward the next arrival. Jumps are
+        // bounded well under the RTO, and every in-flight byte has been
+        // delivered and acked before a jump, so nothing retransmits.
+        idle += 1;
+        if arr_idx < arrivals.len() && arrivals[arr_idx].0 > now {
+            let jump = (arrivals[arr_idx].0 - now).min(5_000_000);
+            world.os.img.machine.charge(jump);
+        } else {
+            world.os.img.machine.charge(10_000);
+        }
+        assert!(idle < 10_000, "serve made no progress");
+    }
+
+    let cycles = world.os.img.machine.clock().cycles() - start_cycles;
+    let crossings = world.os.img.gates.stats().crossings - start_crossings;
+    let ops_done = clients.completed_reqs;
+    let mut lat = std::mem::take(&mut clients.latencies);
+    lat.sort_unstable();
+    world.os.record_serve_exec(exec.trace());
+    let result = ServeResult {
+        conns,
+        ops: ops_done,
+        cycles,
+        cycles_per_op: cycles / ops_done.max(1),
+        mreq_per_s: ops_done as f64 / (cycles as f64 / flexos_machine::CPU_FREQ_HZ as f64) / 1e6,
+        crossings,
+        p50_cycles: nearest_rank(&lat, 0.50),
+        p99_cycles: nearest_rank(&lat, 0.99),
+        p999_cycles: nearest_rank(&lat, 0.999),
+        shard_ops: world.shard_ops.clone(),
+        backlog_overflows: world.os.net.stats().backlog_overflows,
+        steals: 0,
+    };
+    let trace = want_trace.then(|| world.os.trace_json());
+    Ok((result, world.os.stats_snapshot(None), trace))
+}
+
+/// Free-running mode: shards the run into `2 × threads` independent
+/// sub-instances (connections and ops split evenly) distributed over
+/// host threads through a work-stealing queue, the repo's established
+/// SMP idiom. Each sub-instance is itself deterministic; the
+/// distribution (and the steal count) is host-dependent, so figures
+/// from this mode are informational, never baselines.
+pub fn run_serve_free(
+    params: &ServeParams,
+    threads: usize,
+) -> Result<Vec<ServeResult>, ServeRunError> {
+    let threads = threads.max(1);
+    let chunks = threads * 2;
+    let q: WorkStealQueue<ServeParams> = WorkStealQueue::new(threads);
+    for c in 0..chunks {
+        let sub = ServeParams {
+            conns: (params.conns / chunks).max(1),
+            ops: (params.ops / chunks as u64).max(params.pipeline as u64),
+            seed: params.seed.wrapping_add(c as u64),
+            ..params.clone()
+        };
+        q.push(c % threads, sub);
+    }
+    let q = &q;
+    let results: Vec<Vec<Result<ServeResult, ServeRunError>>> = run_on_threads(threads, |w| {
+        let mut out = Vec::new();
+        while let Some(p) = q.pop(w) {
+            out.push(run_serve(&p));
+        }
+        out
+    });
+    let steals = q.steals();
+    let mut flat = Vec::new();
+    for r in results.into_iter().flatten() {
+        let mut r = r?;
+        r.steals = steals;
+        flat.push(r);
+    }
+    Ok(flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(params: ServeParams) -> ServeResult {
+        run_serve(&params).expect("serve run succeeds")
+    }
+
+    #[test]
+    fn small_serve_run_completes_and_spreads_shards() {
+        let r = quick(ServeParams {
+            conns: 64,
+            ops: 400,
+            ..ServeParams::default()
+        });
+        assert_eq!(r.ops, 400);
+        assert!(r.mreq_per_s > 0.0);
+        assert!(r.p50_cycles > 0 && r.p99_cycles >= r.p50_cycles);
+        assert!(r.p999_cycles >= r.p99_cycles);
+        let active = r.shard_ops.iter().filter(|&&n| n > 0).count();
+        assert!(active > 1, "keys hashed to one shard: {:?}", r.shard_ops);
+        assert_eq!(r.shard_ops.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn set_mix_round_trips_through_shards() {
+        let r = quick(ServeParams {
+            conns: 32,
+            ops: 200,
+            mix: Mix::Set,
+            ..ServeParams::default()
+        });
+        assert_eq!(r.ops, 200);
+        assert_eq!(r.shard_ops.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn serve_runs_are_deterministic() {
+        let params = ServeParams {
+            conns: 48,
+            ops: 240,
+            ..ServeParams::default()
+        };
+        let a = quick(params.clone());
+        let b = quick(params);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.crossings, b.crossings);
+        assert_eq!(
+            (a.p50_cycles, a.p99_cycles, a.p999_cycles),
+            (b.p50_cycles, b.p99_cycles, b.p999_cycles)
+        );
+        assert_eq!(a.shard_ops, b.shard_ops);
+    }
+
+    #[test]
+    fn baseline_model_colocates_and_still_serves() {
+        let r = quick(ServeParams {
+            model: CompartmentModel::Baseline,
+            backend: BackendChoice::None,
+            conns: 16,
+            ops: 120,
+            ..ServeParams::default()
+        });
+        assert_eq!(r.ops, 120);
+    }
+
+    #[test]
+    fn isolation_costs_crossings() {
+        let base = quick(ServeParams {
+            model: CompartmentModel::Baseline,
+            backend: BackendChoice::None,
+            conns: 16,
+            ops: 120,
+            ..ServeParams::default()
+        });
+        let mpk = quick(ServeParams {
+            conns: 16,
+            ops: 120,
+            ..ServeParams::default()
+        });
+        assert!(mpk.crossings > base.crossings);
+        assert!(mpk.mreq_per_s < base.mreq_per_s);
+    }
+
+    #[test]
+    fn free_running_mode_serves_all_chunks() {
+        let rs = run_serve_free(
+            &ServeParams {
+                conns: 64,
+                ops: 320,
+                ..ServeParams::default()
+            },
+            2,
+        )
+        .expect("free-running serve succeeds");
+        assert_eq!(rs.len(), 4);
+        let total: u64 = rs.iter().map(|r| r.ops).sum();
+        assert_eq!(total, 320);
+    }
+
+    #[test]
+    fn arrival_process_is_seeded_and_exponential_ish() {
+        let a = gen_arrivals(1000, 10, 30_000, 7);
+        let b = gen_arrivals(1000, 10, 30_000, 7);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = gen_arrivals(1000, 10, 30_000, 8);
+        assert_ne!(a, c, "different seeds must differ");
+        // Mean inter-arrival ≈ the configured gap (within 15%).
+        let mean = a.last().unwrap().0 / 1000;
+        assert!(
+            (25_000..=35_000).contains(&mean),
+            "mean gap {mean} not ≈ 30000"
+        );
+    }
+}

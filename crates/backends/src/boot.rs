@@ -33,6 +33,10 @@ pub struct BootOptions {
     pub shared_heap: u64,
     /// Per-thread stack bytes (default 64 KiB).
     pub stack_size: u64,
+    /// Socket-ring pool bytes the OS assembly layer carves out of the
+    /// network compartment's heap (default 1 MiB). Serving-tier boots
+    /// with 10⁵ connections raise this so `conns × ring_bytes` fits.
+    pub net_pool_bytes: u64,
 }
 
 impl Default for BootOptions {
@@ -42,6 +46,7 @@ impl Default for BootOptions {
             heap_per_compartment: 2 * 1024 * 1024,
             shared_heap: 1024 * 1024,
             stack_size: 64 * 1024,
+            net_pool_bytes: 1024 * 1024,
         }
     }
 }

@@ -1,9 +1,9 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|all]
-//!                  [--quick] [--stats] [--chaos] [--bench] [--seed=S]
-//!                  [--vcpus=N] [--json[=PATH]] [--trace-out=PATH]
+//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|serve|all]
+//!                  [--quick] [--stats] [--chaos] [--bench] [--serve] [--seed=S]
+//!                  [--vcpus=N] [--conns=N] [--json[=PATH]] [--trace-out=PATH]
 //! ```
 //!
 //! `--vcpus=N` (default 1) selects the run-queue topology for the
@@ -42,9 +42,25 @@
 //! ring depth 128, and the free-running SMP matrix splitting
 //! iperf/Redis over 1/2/4 host threads) and compares against
 //! the recorded pre-optimization baseline; `--json[=PATH]` writes the
-//! report (default `BENCH_8.json`). Host time is machine-dependent and
+//! report (default `BENCH_9.json`). Host time is machine-dependent and
 //! not part of the reproducibility contract — see EXPERIMENTS.md E13,
-//! E14 and E15.
+//! E14 and E15. The report's `serving` block is the exception: it runs
+//! the serving-tier scaling matrix (same offered load at 10³/10⁴/10⁵
+//! open connections through the sharded cluster proxy) in simulated
+//! cycles, fully deterministic, and carries the flat-ratio figure CI
+//! asserts on (per-request cost at 10⁵ idle connections must stay
+//! within 1.3x of 10³ — the O(ready) contract; see EXPERIMENTS.md E18).
+//!
+//! `--serve` (or the `serve` experiment) runs one serving-tier workload
+//! — N established connections (default 10 000, `--conns=N` overrides)
+//! served by the sharded Redis cluster proxy under open-loop Poisson
+//! load — and prints its throughput, burst-latency percentiles,
+//! per-shard request counts and the readiness/executor counters.
+//! `--json[=PATH]` writes the figures (default `flexos-serve.json`).
+//! Everything is simulated cycles: the JSON is byte-identical for every
+//! `--vcpus` value (the serve-smoke CI job diffs 1/2/4) and across
+//! hosts. `--trace-out=PATH` records the span trace, showing each
+//! request's proxy → shard → proxy hops.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -562,6 +578,7 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>, trace_out: Option<&s
             "tx segments",
             "rx datagrams",
             "demux drops",
+            "backlog drops",
             "retransmits",
         ],
     );
@@ -570,9 +587,12 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>, trace_out: Option<&s
         snap.net.tx_segments.to_string(),
         snap.net.rx_datagrams.to_string(),
         snap.net.drops.to_string(),
+        snap.net.backlog_overflows.to_string(),
         snap.net.retransmits.to_string(),
     ]);
     println!("{}", net.render());
+
+    print_serving_counters(&snap);
 
     if !snap.latency.is_empty() {
         let mut lat = Table::new(
@@ -656,6 +676,154 @@ fn run_stats(quick: bool, vcpus: usize, json: Option<&str>, trace_out: Option<&s
         let doc = w.finish();
         match std::fs::write(path, &doc) {
             Ok(()) => println!("\nWrote JSON stats to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Prints the readiness-layer + cooperative-executor counters (the
+/// `--stats` serving block), when the run exercised them.
+fn print_serving_counters(snap: &flexos_trace::StatsSnapshot) {
+    let sv = &snap.serving;
+    if *sv == flexos_trace::ServingSnapshot::default() {
+        return;
+    }
+    let mut t = Table::new(
+        "Serving tier: readiness layer + cooperative executor",
+        &[
+            "events posted",
+            "coalesced",
+            "polls",
+            "delivered",
+            "tasks spawned",
+            "task steps",
+            "wakeups",
+            "steals",
+        ],
+    );
+    t.row(vec![
+        sv.events_posted.to_string(),
+        sv.events_coalesced.to_string(),
+        sv.polls.to_string(),
+        sv.events_delivered.to_string(),
+        sv.tasks_spawned.to_string(),
+        sv.tasks_run.to_string(),
+        sv.wakeups.to_string(),
+        sv.steals.to_string(),
+    ]);
+    println!("{}", t.render());
+}
+
+fn run_serve_exp(quick: bool, conns: Option<usize>, json: Option<&str>, trace_out: Option<&str>) {
+    use flexos_apps::serve::{run_serve_traced, run_serve_with_stats, ServeParams};
+    use flexos_machine::CPU_FREQ_HZ;
+
+    let params = ServeParams {
+        conns: conns.unwrap_or(if quick { 2_000 } else { 10_000 }),
+        ops: if quick { 2_000 } else { 10_000 },
+        ..ServeParams::default()
+    };
+    println!(
+        "Running the serving tier ({} connections, {} requests, {} shards, \
+         open-loop Poisson arrivals)...",
+        params.conns, params.ops, params.shards
+    );
+    let (result, snap, trace) = if trace_out.is_some() {
+        match run_serve_traced(&params) {
+            Ok((r, s, t)) => (r, s, Some(t)),
+            Err(e) => {
+                eprintln!("serve run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_serve_with_stats(&params) {
+            Ok((r, s)) => (r, s, None),
+            Err(e) => {
+                eprintln!("serve run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let secs = result.cycles as f64 / CPU_FREQ_HZ as f64;
+    let mut t = Table::new(
+        "Serving tier: sharded Redis behind the async cluster proxy",
+        &[
+            "conns",
+            "requests",
+            "MTps",
+            "cycles/req",
+            "crossings",
+            "p50",
+            "p99",
+            "p999",
+            "backlog drops",
+        ],
+    );
+    t.row(vec![
+        result.conns.to_string(),
+        result.ops.to_string(),
+        format!("{:.3}", result.mreq_per_s),
+        result.cycles_per_op.to_string(),
+        result.crossings.to_string(),
+        result.p50_cycles.to_string(),
+        result.p99_cycles.to_string(),
+        result.p999_cycles.to_string(),
+        result.backlog_overflows.to_string(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "({} cycles measured, {:.3} ms simulated; burst percentiles are \
+         arrival-to-last-reply, open-loop)",
+        result.cycles,
+        secs * 1e3
+    );
+
+    let mut st = Table::new("Requests per shard compartment", &["shard", "requests"]);
+    for (k, n) in result.shard_ops.iter().enumerate() {
+        st.row(vec![format!("shard{k}"), n.to_string()]);
+    }
+    println!("{}", st.render());
+
+    print_serving_counters(&snap);
+
+    if let (Some(path), Some(trace)) = (trace_out, &trace) {
+        match std::fs::write(path, trace) {
+            Ok(()) => {
+                println!("\nWrote Chrome trace-event JSON to {path} (open in ui.perfetto.dev)")
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = json {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None)
+            .begin_obj(Some("workload"))
+            .str_field("experiment", "serve-sharded-proxy")
+            .u64_field("conns", result.conns as u64)
+            .u64_field("ops", result.ops)
+            .u64_field("cycles", result.cycles)
+            .u64_field("cycles_per_op", result.cycles_per_op)
+            .f64_field("mreq_per_s", result.mreq_per_s)
+            .u64_field("crossings", result.crossings)
+            .u64_field("p50_cycles", result.p50_cycles)
+            .u64_field("p99_cycles", result.p99_cycles)
+            .u64_field("p999_cycles", result.p999_cycles)
+            .u64_field("backlog_overflows", result.backlog_overflows)
+            .end_obj()
+            .raw_field("stats", &snap.to_json())
+            .end_obj();
+        let doc = w.finish();
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nWrote JSON serve report to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
@@ -772,7 +940,8 @@ fn run_chaos(quick: bool, seed: u64, vcpus: usize, json: Option<&str>) {
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
         async_speedup, batch32_speedup, bench_json, latency_points, run_bench as run_points,
-        smp_speedup, speedup_vs_baseline, ASYNC_RING_DEPTH, BASELINE_NOTE,
+        serving_flat_ratio, serving_free_points, serving_points, smp_speedup, speedup_vs_baseline,
+        ASYNC_RING_DEPTH, BASELINE_NOTE,
     };
 
     println!(
@@ -890,8 +1059,47 @@ fn run_bench(quick: bool, json: Option<&str>) {
          the one bench section that IS byte-reproducible across hosts)"
     );
 
+    let mut serving = serving_points(quick);
+    serving.extend(serving_free_points(quick));
+    let mut sv = Table::new(
+        "Serving-tier scaling (same offered load, growing open-connection count)",
+        &[
+            "point",
+            "conns",
+            "requests",
+            "cycles/req",
+            "MTps",
+            "p50",
+            "p99",
+            "p999",
+            "steals",
+        ],
+    );
+    for p in &serving {
+        let r = &p.result;
+        sv.row(vec![
+            p.name.to_string(),
+            r.conns.to_string(),
+            r.ops.to_string(),
+            r.cycles_per_op.to_string(),
+            format!("{:.3}", r.mreq_per_s),
+            r.p50_cycles.to_string(),
+            r.p99_cycles.to_string(),
+            r.p999_cycles.to_string(),
+            r.steals.to_string(),
+        ]);
+    }
+    println!("{}", sv.render());
+    match serving_flat_ratio(&serving) {
+        Some(r) => println!(
+            "Per-request cost at 100k idle conns vs 1k: {r:.3}x (O(ready) \
+             contract: CI asserts <= 1.3x; simulated cycles, deterministic)"
+        ),
+        None => println!("(serving flat ratio unavailable: a scaling point failed)"),
+    }
+
     if let Some(path) = json {
-        let doc = bench_json(quick, &points, &latency);
+        let doc = bench_json(quick, &points, &latency, &serving);
         match std::fs::write(path, &doc) {
             Ok(()) => println!("\nWrote JSON bench report to {path}"),
             Err(e) => {
@@ -908,6 +1116,16 @@ fn main() {
     let stats_flag = args.iter().any(|a| a == "--stats");
     let chaos_flag = args.iter().any(|a| a == "--chaos");
     let bench_flag = args.iter().any(|a| a == "--bench");
+    let serve_flag = args.iter().any(|a| a == "--serve");
+    let conns: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--conns="))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--conns must be a positive integer, got `{s}`");
+                std::process::exit(2);
+            })
+        });
     let seed: u64 = args
         .iter()
         .find_map(|a| a.strip_prefix("--seed="))
@@ -943,8 +1161,11 @@ fn main() {
     let chaos_json_path: Option<String> = json_explicit
         .clone()
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
-    let bench_json_path: Option<String> =
-        json_explicit.or_else(|| json_bare.then(|| "BENCH_8.json".to_string()));
+    let bench_json_path: Option<String> = json_explicit
+        .clone()
+        .or_else(|| json_bare.then(|| "BENCH_9.json".to_string()));
+    let serve_json_path: Option<String> =
+        json_explicit.or_else(|| json_bare.then(|| "flexos-serve.json".to_string()));
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -956,6 +1177,8 @@ fn main() {
                 "chaos".into()
             } else if bench_flag {
                 "bench".into()
+            } else if serve_flag {
+                "serve".into()
             } else {
                 "all".into()
             }
@@ -998,6 +1221,14 @@ fn main() {
     if what == "bench" || bench_flag {
         run_bench(quick, bench_json_path.as_deref());
     }
+    if what == "serve" || serve_flag {
+        run_serve_exp(
+            quick,
+            conns,
+            serve_json_path.as_deref(),
+            trace_out.as_deref(),
+        );
+    }
     if !all
         && ![
             "fig3",
@@ -1011,12 +1242,13 @@ fn main() {
             "stats",
             "chaos",
             "bench",
+            "serve",
         ]
         .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \
-             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|bench|all"
+             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|bench|serve|all"
         );
         std::process::exit(2);
     }

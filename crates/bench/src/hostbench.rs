@@ -18,6 +18,7 @@
 use crate::experiments::Fig3Config;
 use flexos_apps::iperf::{run_iperf, IperfParams};
 use flexos_apps::redis::{run_redis, run_redis_with_stats, Mix, RedisParams};
+use flexos_apps::serve::{run_serve, run_serve_free, ServeParams, ServeResult};
 use flexos_apps::CompartmentModel;
 use flexos_kernel::smp::run_on_threads;
 use flexos_machine::{Machine, PageFlags, ProtKey, VcpuId, VmId};
@@ -678,6 +679,110 @@ pub fn latency_points(quick: bool) -> Vec<LatencyRow> {
     rows
 }
 
+/// The serving-tier scaling matrix: the same open-loop workload (same
+/// arrival schedule, same request count) served while holding 10³, 10⁴
+/// and 10⁵ established connections. The scaling axis is the *open*
+/// connection count with the offered load fixed, so `cycles_per_op`
+/// directly measures whether per-request cost depends on how many idle
+/// connections exist — the O(ready) contract. Simulated cycles,
+/// deterministic, byte-reproducible. Entries are `(name, connections)`.
+pub const SERVING_MATRIX: &[(&str, usize)] = &[
+    ("serve-c1k", 1_000),
+    ("serve-c10k", 10_000),
+    ("serve-c100k", 100_000),
+];
+
+/// One serving-tier scaling point.
+#[derive(Debug, Clone)]
+pub struct ServingPoint {
+    /// Stable point name (`serve-c1k` … / `serve-free-tN`).
+    pub name: &'static str,
+    /// The serve run's figures (aggregated for free-running points).
+    pub result: ServeResult,
+}
+
+fn serve_workload(conns: usize, quick: bool) -> ServeParams {
+    ServeParams {
+        conns,
+        ops: if quick { 2_000 } else { 10_000 },
+        ..ServeParams::default()
+    }
+}
+
+/// Runs the [`SERVING_MATRIX`]: identical offered load at 10³/10⁴/10⁵
+/// open connections. One sample each — the figures are simulated cycles
+/// and therefore exact; there is no host noise to filter.
+pub fn serving_points(quick: bool) -> Vec<ServingPoint> {
+    SERVING_MATRIX
+        .iter()
+        .filter_map(
+            |&(name, conns)| match run_serve(&serve_workload(conns, quick)) {
+                Ok(result) => Some(ServingPoint { name, result }),
+                Err(e) => {
+                    eprintln!("serving point {name} failed: {e}");
+                    None
+                }
+            },
+        )
+        .collect()
+}
+
+/// The free-running serving matrix: `(name, host threads)`. Each run
+/// splits into `2 × threads` deterministic sub-instances distributed
+/// over host threads by work stealing; figures are aggregated and
+/// host-dependent (informational, like the smp-* points).
+pub const SERVING_FREE_MATRIX: &[(&str, usize)] = &[("serve-free-t2", 2), ("serve-free-t4", 4)];
+
+/// Runs [`SERVING_FREE_MATRIX`], aggregating each run's sub-instances:
+/// ops/cycles/crossings/shard_ops sum, percentiles take the worst
+/// sub-instance, and the work-steal count rides along.
+pub fn serving_free_points(quick: bool) -> Vec<ServingPoint> {
+    SERVING_FREE_MATRIX
+        .iter()
+        .filter_map(|&(name, threads)| {
+            let params = serve_workload(2_000, quick);
+            match run_serve_free(&params, threads) {
+                Ok(rs) if !rs.is_empty() => {
+                    let mut agg = rs[0].clone();
+                    for r in &rs[1..] {
+                        agg.conns += r.conns;
+                        agg.ops += r.ops;
+                        agg.cycles += r.cycles;
+                        agg.crossings += r.crossings;
+                        agg.p50_cycles = agg.p50_cycles.max(r.p50_cycles);
+                        agg.p99_cycles = agg.p99_cycles.max(r.p99_cycles);
+                        agg.p999_cycles = agg.p999_cycles.max(r.p999_cycles);
+                        agg.backlog_overflows += r.backlog_overflows;
+                        for (a, b) in agg.shard_ops.iter_mut().zip(&r.shard_ops) {
+                            *a += b;
+                        }
+                    }
+                    agg.cycles_per_op = agg.cycles / agg.ops.max(1);
+                    agg.mreq_per_s = rs.iter().map(|r| r.mreq_per_s).sum();
+                    Some(ServingPoint { name, result: agg })
+                }
+                Ok(_) => None,
+                Err(e) => {
+                    eprintln!("serving free point {name} failed: {e}");
+                    None
+                }
+            }
+        })
+        .collect()
+}
+
+/// Per-request cost ratio of the 10⁵-connection point over the
+/// 10³-connection point — the number the bench-smoke CI job asserts
+/// stays under 1.3 (O(ready): idle connections must be free).
+pub fn serving_flat_ratio(points: &[ServingPoint]) -> Option<f64> {
+    let base = points.iter().find(|p| p.name == "serve-c1k")?;
+    let big = points.iter().find(|p| p.name == "serve-c100k")?;
+    if base.result.cycles_per_op == 0 {
+        return None;
+    }
+    Some(big.result.cycles_per_op as f64 / base.result.cycles_per_op as f64)
+}
+
 /// Aggregate-throughput speedup of the `threads`-way run over the
 /// 1-thread run for SMP `workload` ("iperf" or "redis"), from a
 /// `run_bench` result set: `(work_N / wall_N) / (work_1 / wall_1)` where
@@ -749,13 +854,18 @@ pub fn speedup_vs_baseline(p: &BenchPoint) -> Option<f64> {
     Some(b.host_nanos as f64 / p.host_nanos as f64)
 }
 
-/// Serializes the bench report as `BENCH_8.json` (hand-rolled; the build
+/// Serializes the bench report as `BENCH_9.json` (hand-rolled; the build
 /// environment has no serde).
-pub fn bench_json(quick: bool, points: &[BenchPoint], latency: &[LatencyRow]) -> String {
+pub fn bench_json(
+    quick: bool,
+    points: &[BenchPoint],
+    latency: &[LatencyRow],
+    serving: &[ServingPoint],
+) -> String {
     let mut o = String::with_capacity(4096);
     o.push('{');
     o.push_str("\"schema\":\"flexos-bench-v1\",");
-    o.push_str("\"pr\":8,");
+    o.push_str("\"pr\":9,");
     let _ = write!(o, "\"quick\":{quick},");
     o.push_str("\"host_time\":true,");
     o.push_str("\"benches\":[");
@@ -859,6 +969,52 @@ pub fn bench_json(quick: bool, points: &[BenchPoint], latency: &[LatencyRow]) ->
             r.app, r.backend, r.count, r.p50, r.p99, r.p999
         );
     }
+    o.push_str(
+        "]},\"serving\":{\"note\":\"open-loop sharded-proxy serving tier: same \
+                offered load at 1k/10k/100k open connections, simulated cycles, \
+                deterministic (serve-free-* points are host-parallel aggregates, \
+                informational)\",",
+    );
+    match serving_flat_ratio(serving) {
+        Some(r) => {
+            let _ = write!(o, "\"flat_ratio_c100k_vs_c1k\":{r:.3},");
+        }
+        None => o.push_str("\"flat_ratio_c100k_vs_c1k\":null,"),
+    }
+    o.push_str("\"points\":[");
+    for (i, p) in serving.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let r = &p.result;
+        let _ = write!(
+            o,
+            "{{\"name\":\"{}\",\"conns\":{},\"ops\":{},\"cycles\":{},\
+             \"cycles_per_op\":{},\"mreq_per_s\":{:.3},\"crossings\":{},\
+             \"p50\":{},\"p99\":{},\"p999\":{},\"shard_ops\":[",
+            p.name,
+            r.conns,
+            r.ops,
+            r.cycles,
+            r.cycles_per_op,
+            r.mreq_per_s,
+            r.crossings,
+            r.p50_cycles,
+            r.p99_cycles,
+            r.p999_cycles
+        );
+        for (j, s) in r.shard_ops.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{s}");
+        }
+        let _ = write!(
+            o,
+            "],\"backlog_overflows\":{},\"steals\":{}}}",
+            r.backlog_overflows, r.steals
+        );
+    }
     o.push_str("]},\"baseline\":{\"note\":\"");
     o.push_str(BASELINE_NOTE);
     o.push_str("\",\"entries\":[");
@@ -915,7 +1071,7 @@ mod tests {
             p99: 8_300,
             p999: 8_400,
         }];
-        let j = bench_json(true, &pts, &lat);
+        let j = bench_json(true, &pts, &lat, &[]);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"schema\":\"flexos-bench-v1\""));
         assert!(j.contains("\"rw-u64\""));
@@ -962,8 +1118,8 @@ mod tests {
         assert!(smp_speedup(&pts, "iperf", 2).is_none()); // t2 missing
         assert!(smp_speedup(&pts, "nope", 4).is_none());
         // The serialized report carries the ratios under the smp section.
-        let j = bench_json(true, &pts, &[]);
-        assert!(j.contains("\"pr\":8"));
+        let j = bench_json(true, &pts, &[], &[]);
+        assert!(j.contains("\"pr\":9"));
         assert!(j.contains("\"smp\":{"));
         assert!(j.contains("\"workload\":\"iperf\",\"threads\":4,\"speedup_vs_t1\":4.000"));
         assert!(j.contains("\"workload\":\"redis\",\"threads\":4,\"speedup_vs_t1\":2.000"));
@@ -987,14 +1143,14 @@ mod tests {
         assert!(async_speedup(&pts, "direct").is_none());
         assert!(async_speedup(&pts, "nope").is_none());
         // The serialized report carries the ratios under gate_async.
-        let j = bench_json(true, &pts, &[]);
+        let j = bench_json(true, &pts, &[], &[]);
         assert!(j.contains("\"gate_async\":{"));
         assert!(j.contains("{\"backend\":\"vmrpc\",\"speedup_async_vs_sync\":4.000}"));
     }
 
     #[test]
     fn gate_async_matrix_names_follow_the_backend_label() {
-        // bench-smoke greps these exact names out of BENCH_8.json; keep
+        // bench-smoke greps these exact names out of BENCH_9.json; keep
         // name and backend label consistent.
         for &(name, label, _) in GATE_ASYNC_MATRIX {
             assert_eq!(name, format!("gate-async-{label}"));
@@ -1002,8 +1158,49 @@ mod tests {
     }
 
     #[test]
+    fn serving_block_carries_the_flat_ratio_and_points() {
+        let mk = |name: &'static str, conns: usize, cycles_per_op: u64| ServingPoint {
+            name,
+            result: ServeResult {
+                conns,
+                ops: 2_000,
+                cycles: cycles_per_op * 2_000,
+                cycles_per_op,
+                mreq_per_s: 0.1,
+                crossings: 9_000,
+                p50_cycles: 40_000,
+                p99_cycles: 90_000,
+                p999_cycles: 120_000,
+                shard_ops: vec![600, 500, 400, 500],
+                backlog_overflows: 0,
+                steals: 0,
+            },
+        };
+        let serving = vec![
+            mk("serve-c1k", 1_000, 10_000),
+            mk("serve-c10k", 10_000, 10_400),
+            mk("serve-c100k", 100_000, 11_000),
+        ];
+        assert_eq!(serving_flat_ratio(&serving), Some(1.1));
+        let j = bench_json(true, &[], &[], &serving);
+        assert!(j.contains("\"serving\":{"));
+        assert!(j.contains("\"flat_ratio_c100k_vs_c1k\":1.100"));
+        assert!(j.contains("\"name\":\"serve-c100k\",\"conns\":100000"));
+        assert!(j.contains("\"shard_ops\":[600,500,400,500]"));
+        let depth = j.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+        // Without both endpoints the ratio degrades to null, not a panic.
+        let j = bench_json(true, &[], &[], &serving[..1]);
+        assert!(j.contains("\"flat_ratio_c100k_vs_c1k\":null"));
+    }
+
+    #[test]
     fn smp_matrix_names_follow_the_thread_count() {
-        // bench-smoke greps these exact names out of BENCH_8.json; keep
+        // bench-smoke greps these exact names out of BENCH_9.json; keep
         // name, workload and thread count consistent.
         for &(name, workload, threads) in SMP_MATRIX {
             assert_eq!(name, format!("smp-{workload}-t{threads}"));

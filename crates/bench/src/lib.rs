@@ -12,6 +12,11 @@
 //!
 //! `cargo run -p flexos-bench --bin reproduce -- all` prints the
 //! paper-style tables; `--quick` shrinks workload sizes.
+//!
+//! Beyond the paper: `reproduce -- --serve` drives the sharded-proxy
+//! serving tier (open-loop Poisson load, p50/p99/p999 latency), and
+//! `reproduce -- --bench` records the host-time + serving scaling
+//! matrices ([`hostbench`]) into `BENCH_9.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

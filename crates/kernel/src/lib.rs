@@ -15,6 +15,9 @@
 //! * [`exec`] — the cooperative executor driving [`exec::Task`] state
 //!   machines over either scheduler, restoring per-thread compartment
 //!   protection (saved PKRU) on every switch.
+//! * [`cotask`] — per-connection cooperative tasks for the serving
+//!   tier: a slab + FIFO run queue stepped only for *woken* tasks, the
+//!   executor half of the O(ready) serving contract.
 //! * [`sync`] — semaphores, wait queues, mutexes. These live in the LibC
 //!   compartment in the evaluation images, reproducing the paper's
 //!   finding that merging the network stack and scheduler compartments
@@ -33,6 +36,7 @@
 
 pub mod alloc;
 pub mod contract;
+pub mod cotask;
 pub mod exec;
 pub mod mq;
 pub mod sched;
@@ -43,6 +47,7 @@ pub mod timer;
 pub use alloc::{
     AllocMode, Allocator, BuddyAllocator, BumpAllocator, FreeListAllocator, HeapService,
 };
+pub use cotask::{CoExecutor, CoPoll, CoTask, CoTaskId};
 pub use exec::{ExecSummary, Executor, KernelHal, Step, Task};
 pub use mq::{GateRing, MsgQueue, WireCqe, WireSqe, CQE_BYTES, SQE_BYTES};
 pub use sched::{CoopScheduler, RunQueue, SmpRunQueue, ThreadId, VerifiedScheduler};

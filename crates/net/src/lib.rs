@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod nic;
 pub mod ring;
 pub mod stack;
 pub mod tcp;
 pub mod wire;
 
+pub use event::{EventQueue, Interest, ReadyEvent, Trigger};
 pub use nic::{Link, LinkChaos, LinkFaults, Nic, NicStats};
 pub use ring::SimRing;
 pub use stack::{NetError, NetResult, NetStack, SocketId, StackStats};

@@ -12,6 +12,7 @@
 //! movement in/out of socket rings runs through the simulated machine and
 //! is charged (and protection-checked) there.
 
+use crate::event::{EventQueue, Interest, ReadyEvent, Trigger};
 use crate::nic::Nic;
 use crate::ring::SimRing;
 use crate::tcp::{SegmentOut, TcpConfig, TcpConn};
@@ -21,7 +22,7 @@ use crate::wire::{
 };
 use flexos_machine::{Addr, Fault, Machine, VcpuId};
 use flexos_trace::{NetTrace, SpanKind};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Socket-layer errors.
@@ -73,8 +74,12 @@ pub type NetResult<T> = Result<T, NetError>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SocketId(pub usize);
 
-/// Receive-ring capacity per TCP socket.
+/// Receive-ring capacity per TCP socket (default; tunable via
+/// [`NetStack::set_sock_ring_bytes`] for high-connection-count serving).
 pub const SOCK_RX_RING: u64 = 64 * 1024;
+
+/// Default accept-backlog bound per listener (cf. `somaxconn`).
+pub const DEFAULT_BACKLOG_CAP: usize = 1024;
 
 /// Maximum queued datagrams per UDP socket.
 pub const UDP_QUEUE_DEPTH: usize = 64;
@@ -110,25 +115,50 @@ pub struct StackStats {
     pub demux_drops: u64,
     /// UDP datagrams received.
     pub rx_datagrams: u64,
+    /// SYNs shed because a listener's accept backlog was full.
+    pub backlog_overflows: u64,
 }
 
-/// A simple bump pool for socket receive rings, carved out of the
-/// stack compartment's memory.
+/// A bump pool for socket receive rings, carved out of the stack
+/// compartment's memory, with a size-bucketed free list so reaped
+/// connections return their ring for reuse (connection churn does not
+/// exhaust the pool).
 #[derive(Debug, Clone)]
 struct BufPool {
     base: Addr,
     len: u64,
     next: u64,
+    free: BTreeMap<u64, Vec<Addr>>,
 }
 
 impl BufPool {
     fn carve(&mut self, bytes: u64) -> Option<Addr> {
+        if let Some(list) = self.free.get_mut(&bytes) {
+            if let Some(a) = list.pop() {
+                return Some(a);
+            }
+        }
         if self.next + bytes > self.len {
             return None;
         }
         let a = Addr(self.base.0 + self.next);
         self.next += bytes;
         Some(a)
+    }
+
+    fn release(&mut self, a: Addr, bytes: u64) {
+        self.free.entry(bytes).or_default().push(a);
+    }
+
+    /// Bytes neither carved-and-live nor on the free list.
+    #[cfg(test)]
+    fn outstanding(&self) -> u64 {
+        let freed: u64 = self
+            .free
+            .iter()
+            .map(|(sz, list)| sz * list.len() as u64)
+            .sum();
+        self.next - freed
     }
 }
 
@@ -141,6 +171,23 @@ pub struct NetStack {
     /// The owned NIC.
     pub nic: Nic,
     socks: Vec<Option<Sock>>,
+    /// Freed socket slots, reused lowest-first (matching the old
+    /// first-`None` scan) so slot assignment stays deterministic.
+    free_slots: BTreeSet<usize>,
+    /// Stream sockets that may produce output or deliverable bytes on
+    /// the next pump. Everything outside this set is guaranteed idle
+    /// ([`TcpConn::needs_pump`] false, nothing staged for its ring), so
+    /// the pump is O(active), never O(open).
+    active: BTreeSet<usize>,
+    /// Readiness index fed by O(1) hooks at state transitions.
+    events: EventQueue,
+    /// Accept-backlog bound; SYNs beyond it are shed.
+    backlog_cap: usize,
+    /// Receive-ring bytes carved per new TCP socket.
+    sock_ring_bytes: u64,
+    /// Retransmit count carried over from reaped connections, so
+    /// [`NetStack::retransmits`] is stable across churn.
+    closed_retransmits: u64,
     listeners: BTreeMap<u16, SocketId>,
     conns: BTreeMap<(u16, u32, u16), SocketId>,
     udp_ports: BTreeMap<u16, SocketId>,
@@ -162,6 +209,11 @@ pub struct NetStack {
     /// Reusable bounce buffer for send paths that must stage payload
     /// bytes from simulated memory before framing (no per-call alloc).
     tx_scratch: Vec<u8>,
+    /// Reusable segment scratch for the pump and demux paths (the
+    /// PR-4 zero-alloc doctrine applied to `TcpConn::poll_into`).
+    seg_scratch: Vec<SegmentOut>,
+    /// Reusable active-set snapshot for the pump.
+    active_scratch: Vec<usize>,
 }
 
 impl NetStack {
@@ -173,6 +225,12 @@ impl NetStack {
             mac: nic.mac,
             nic,
             socks: Vec::new(),
+            free_slots: BTreeSet::new(),
+            active: BTreeSet::new(),
+            events: EventQueue::new(),
+            backlog_cap: DEFAULT_BACKLOG_CAP,
+            sock_ring_bytes: SOCK_RX_RING,
+            closed_retransmits: 0,
             listeners: BTreeMap::new(),
             conns: BTreeMap::new(),
             udp_ports: BTreeMap::new(),
@@ -180,6 +238,7 @@ impl NetStack {
                 base: pool_base,
                 len: pool_len,
                 next: 0,
+                free: BTreeMap::new(),
             },
             tcp_cfg: TcpConfig::default(),
             next_ephemeral: EPHEMERAL_BASE,
@@ -191,7 +250,42 @@ impl NetStack {
             stats: StackStats::default(),
             trace: NetTrace::new(),
             tx_scratch: Vec::new(),
+            seg_scratch: Vec::new(),
+            active_scratch: Vec::new(),
         }
+    }
+
+    /// Bounds the accept backlog of every listener; SYNs arriving while
+    /// a backlog is full are shed (counted in
+    /// [`StackStats::backlog_overflows`]) and left to the client's RTO.
+    pub fn set_backlog_cap(&mut self, cap: usize) {
+        self.backlog_cap = cap.max(1);
+    }
+
+    /// Sets the receive-ring bytes carved per new TCP socket. Serving
+    /// tiers holding 10⁵ sockets shrink this so the pool holds them all.
+    /// Sub-MSS rings are fine: the advertised TCP window is derived from
+    /// `TcpConfig::rcv_wnd` minus undrained app bytes, not from the ring
+    /// — the ring only stages payload between `poll` and `recv`, so a
+    /// small ring bounds per-poll staging, never the window.
+    pub fn set_sock_ring_bytes(&mut self, bytes: u64) {
+        self.sock_ring_bytes = bytes.max(64);
+    }
+
+    /// The readiness index (registrations, counters).
+    pub fn events(&self) -> &EventQueue {
+        &self.events
+    }
+
+    /// Mutable readiness index (interest changes, e.g. opting a stream
+    /// into WRITE readiness).
+    pub fn events_mut(&mut self) -> &mut EventQueue {
+        &mut self.events
+    }
+
+    /// Drains ready sockets into `out` — O(ready), never O(open).
+    pub fn poll_events(&mut self, out: &mut Vec<ReadyEvent>) {
+        self.events.poll(out);
     }
 
     #[inline]
@@ -214,26 +308,34 @@ impl NetStack {
         &self.trace
     }
 
-    /// Total TCP retransmissions across live connections.
+    /// Total TCP retransmissions across live and reaped connections.
     pub fn retransmits(&self) -> u64 {
-        self.socks
-            .iter()
-            .filter_map(|s| match s {
-                Some(Sock::TcpStream { conn, .. }) => Some(conn.retransmits),
-                _ => None,
-            })
-            .sum()
+        self.closed_retransmits
+            + self
+                .socks
+                .iter()
+                .filter_map(|s| match s {
+                    Some(Sock::TcpStream { conn, .. }) => Some(conn.retransmits),
+                    _ => None,
+                })
+                .sum::<u64>()
     }
 
     fn insert(&mut self, s: Sock) -> SocketId {
-        for (i, slot) in self.socks.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(s);
-                return SocketId(i);
-            }
+        // Lowest freed slot first (same assignment the old first-`None`
+        // scan produced), but O(log n) instead of O(open).
+        if let Some(i) = self.free_slots.pop_first() {
+            self.socks[i] = Some(s);
+            return SocketId(i);
         }
         self.socks.push(Some(s));
         SocketId(self.socks.len() - 1)
+    }
+
+    /// Marks a stream as needing pump attention on the next poll.
+    #[inline]
+    fn mark_active(&mut self, idx: usize) {
+        self.active.insert(idx);
     }
 
     fn sock(&mut self, id: SocketId) -> NetResult<&mut Sock> {
@@ -285,15 +387,24 @@ impl NetStack {
             backlog: VecDeque::new(),
         });
         self.listeners.insert(port, id);
+        self.events.register(id, Interest::ACCEPT, Trigger::Level);
         Ok(id)
     }
 
     /// Accepts a pending connection, if any.
     pub fn tcp_accept(&mut self, listener: SocketId) -> NetResult<Option<SocketId>> {
-        match self.sock(listener)? {
-            Sock::TcpListen { backlog, .. } => Ok(backlog.pop_front()),
-            _ => Err(NetError::InvalidSocket),
+        let got = match self.sock(listener)? {
+            Sock::TcpListen { backlog, .. } => {
+                let got = backlog.pop_front();
+                let empty = backlog.is_empty();
+                (got, empty)
+            }
+            _ => return Err(NetError::InvalidSocket),
+        };
+        if got.1 {
+            self.events.clear(listener, Interest::ACCEPT);
         }
+        Ok(got.0)
     }
 
     /// Initiates an active connection to `dst_ip:dst_port`; the SYN goes
@@ -303,13 +414,16 @@ impl NetStack {
         let local_port = self.alloc_ephemeral(dst_ip, dst_port)?;
         let iss = self.next_iss();
         let (conn, syn) = TcpConn::connect(local_port, dst_port, iss, self.tcp_cfg.clone());
-        let rx_base = self.pool.carve(SOCK_RX_RING).ok_or(NetError::NoBuffers)?;
+        let ring = self.sock_ring_bytes;
+        let rx_base = self.pool.carve(ring).ok_or(NetError::NoBuffers)?;
         let id = self.insert(Sock::TcpStream {
             conn,
-            rx: SimRing::new(rx_base, SOCK_RX_RING),
+            rx: SimRing::new(rx_base, ring),
             remote: (dst_ip, dst_port),
         });
         self.conns.insert((local_port, dst_ip, dst_port), id);
+        self.events.register(id, Interest::READ, Trigger::Level);
+        self.mark_active(id.0);
         self.emit_tcp(dst_ip, &syn);
         Ok(id)
     }
@@ -388,6 +502,10 @@ impl NetStack {
             },
         };
         self.tx_scratch = buf;
+        if out.is_ok() {
+            // Queued bytes need segmentation on the next pump.
+            self.mark_active(id.0);
+        }
         out
     }
 
@@ -402,7 +520,7 @@ impl NetStack {
         len: u64,
     ) -> NetResult<u64> {
         m.charge(m.costs().socket_call);
-        match self.sock(id)? {
+        let (n, still_readable) = match self.sock(id)? {
             Sock::TcpStream { conn, rx, .. } => {
                 if rx.is_empty() {
                     if conn.at_eof() || conn.is_closed() {
@@ -410,10 +528,21 @@ impl NetStack {
                     }
                     return Err(NetError::WouldBlock);
                 }
-                Ok(rx.pop_to(m, vcpu, dst, len)?)
+                let n = rx.pop_to(m, vcpu, dst, len)?;
+                (n, !rx.is_empty() || conn.at_eof() || conn.is_closed())
             }
-            _ => Err(NetError::InvalidSocket),
+            _ => return Err(NetError::InvalidSocket),
+        };
+        if !still_readable {
+            // Level-triggered disarm: the ring drained with no EOF
+            // pending, so the socket stops reporting READ until the
+            // pump refills it.
+            self.events.clear(id, Interest::READ);
         }
+        // Freed ring room may admit bytes parked in the TCP machine
+        // (and the window update that re-opens the peer).
+        self.mark_active(id.0);
+        Ok(n)
     }
 
     /// Closes the sending direction of a stream (FIN) or tears down a
@@ -422,18 +551,24 @@ impl NetStack {
         match self.sock(id)? {
             Sock::TcpStream { conn, .. } => {
                 conn.close();
+                // The FIN (and eventual reap) happens on the pump.
+                self.mark_active(id.0);
                 Ok(())
             }
             Sock::TcpListen { port, .. } => {
                 let port = *port;
                 self.listeners.remove(&port);
                 self.socks[id.0] = None;
+                self.free_slots.insert(id.0);
+                self.events.deregister(id);
                 Ok(())
             }
             Sock::Udp { port, .. } => {
                 let port = *port;
                 self.udp_ports.remove(&port);
                 self.socks[id.0] = None;
+                self.free_slots.insert(id.0);
+                self.events.deregister(id);
                 Ok(())
             }
         }
@@ -619,23 +754,42 @@ impl NetStack {
                 t1,
             );
         }
-        // Transmit + delivery path.
+        // Transmit + delivery path: pump only the active set, in
+        // ascending slot order (the order the old full scan visited
+        // sockets). A socket outside the set is guaranteed idle —
+        // `TcpConn::needs_pump` false and nothing staged for its ring —
+        // so the old scan would have charged nothing for it, and
+        // skipping it keeps the cycle stream byte-identical while the
+        // pump drops from O(open) to O(active).
         let now = m.clock().cycles();
-        let ids: Vec<usize> = (0..self.socks.len()).collect();
-        for i in ids {
-            let Some(Sock::TcpStream { conn, rx, remote }) = self.socks[i].as_mut() else {
-                continue;
+        let mut act = std::mem::take(&mut self.active_scratch);
+        act.clear();
+        act.extend(self.active.iter().copied());
+        for k in 0..act.len() {
+            let i = act[k];
+            let mut segs = std::mem::take(&mut self.seg_scratch);
+            segs.clear();
+            let dst_ip = {
+                let Some(Sock::TcpStream { conn, rx, remote }) = self.socks[i].as_mut() else {
+                    self.active.remove(&i);
+                    self.seg_scratch = segs;
+                    continue;
+                };
+                // Pump protocol output into the reusable scratch.
+                conn.poll_into(now, &mut segs);
+                // Move in-order payload into the socket's receive ring.
+                let room = rx.free();
+                if room > 0 && conn.ready_len() > 0 {
+                    let data = conn.take_ready(room as usize);
+                    if let Err(f) = rx.push(m, vcpu, &data) {
+                        self.seg_scratch = segs;
+                        self.active_scratch = act;
+                        return Err(f.into());
+                    }
+                }
+                remote.0
             };
-            let dst_ip = remote.0;
-            // Pump protocol output.
-            let segs = conn.poll(now);
-            // Move in-order payload into the socket's receive ring.
-            let room = rx.free();
-            if room > 0 && conn.ready_len() > 0 {
-                let data = conn.take_ready(room as usize);
-                rx.push(m, vcpu, &data)?;
-            }
-            for seg in segs {
+            for seg in &segs {
                 let t0 = m.clock().cycles();
                 m.charge(
                     m.costs().stack_per_packet
@@ -643,7 +797,7 @@ impl NetStack {
                         + self.packet_tax(seg.payload.len() as u64)
                         + m.costs().copy_cost(seg.payload.len() as u64),
                 );
-                self.emit_tcp(dst_ip, &seg);
+                self.emit_tcp(dst_ip, seg);
                 let t1 = m.clock().cycles();
                 m.span_trace_mut().record(
                     vcpu.0 as u16,
@@ -655,8 +809,55 @@ impl NetStack {
                     t1,
                 );
             }
+            segs.clear();
+            self.seg_scratch = segs;
+            // Readiness sync at the exact transition, then retain or
+            // retire the socket from the active set.
+            let mut reap = None;
+            if let Some(Sock::TcpStream { conn, rx, remote }) = self.socks[i].as_mut() {
+                let readable = !rx.is_empty() || conn.at_eof() || conn.is_closed();
+                let writable = conn.is_established() && !conn.app_closed() && conn.tx_room() > 0;
+                if readable {
+                    self.events.post(SocketId(i), Interest::READ);
+                } else {
+                    self.events.clear(SocketId(i), Interest::READ);
+                }
+                if writable {
+                    self.events.post(SocketId(i), Interest::WRITE);
+                } else {
+                    self.events.clear(SocketId(i), Interest::WRITE);
+                }
+                if conn.app_closed() && conn.is_closed() && rx.is_empty() && conn.ready_len() == 0 {
+                    // App closed, handshake torn down, ring drained:
+                    // nothing can ever touch this socket again.
+                    reap = Some((conn.local_port, *remote));
+                } else if !conn.needs_pump() && conn.ready_len() == 0 {
+                    self.active.remove(&i);
+                }
+            }
+            if let Some((local_port, (rip, rport))) = reap {
+                self.reap_stream(i, local_port, rip, rport);
+            }
         }
+        self.active_scratch = act;
         Ok(())
+    }
+
+    /// Tears down a fully-quiesced stream: table entries out, ring back
+    /// to the pool, slot onto the free list, readiness registration
+    /// dropped (queued stale events die by generation), retransmit count
+    /// folded into the stable total.
+    fn reap_stream(&mut self, i: usize, local_port: u16, rip: u32, rport: u16) {
+        let Some(Sock::TcpStream { conn, rx, .. }) = self.socks[i].take() else {
+            return;
+        };
+        self.conns.remove(&(local_port, rip, rport));
+        let (base, cap) = rx.region();
+        self.pool.release(base, cap);
+        self.closed_retransmits += conn.retransmits;
+        self.events.deregister(SocketId(i));
+        self.active.remove(&i);
+        self.free_slots.insert(i);
     }
 
     fn handle_frame(&mut self, m: &mut Machine, frame: &[u8]) {
@@ -705,27 +906,50 @@ impl NetStack {
         let payload = &l4[off..];
         let key = (hdr.dst_port, ip.src, hdr.src_port);
         if let Some(&sid) = self.conns.get(&key) {
-            let Some(Sock::TcpStream { conn, .. }) = self.socks[sid.0].as_mut() else {
-                return;
-            };
-            self.stats.rx_segments += 1;
-            self.trace.on_rx_segment();
-            let responses = conn.on_segment(&hdr, payload, now);
+            let mut segs = std::mem::take(&mut self.seg_scratch);
+            segs.clear();
+            {
+                let Some(Sock::TcpStream { conn, .. }) = self.socks[sid.0].as_mut() else {
+                    self.seg_scratch = segs;
+                    return;
+                };
+                self.stats.rx_segments += 1;
+                self.trace.on_rx_segment();
+                conn.on_segment_into(&hdr, payload, now, &mut segs);
+            }
             let dst_ip = ip.src;
-            for seg in responses {
+            for seg in &segs {
                 m.charge(
                     m.costs().stack_per_packet + m.costs().nic_per_packet + self.packet_tax(0),
                 );
-                self.emit_tcp(dst_ip, &seg);
+                self.emit_tcp(dst_ip, seg);
             }
+            segs.clear();
+            self.seg_scratch = segs;
+            // Whatever the segment did (ack, data, FIN), the pump must
+            // look at this socket once before it can go idle again.
+            self.mark_active(sid.0);
             return;
         }
         if hdr.flags.syn && !hdr.flags.ack {
             if let Some(&lid) = self.listeners.get(&hdr.dst_port) {
+                // Bounded accept backlog: shed the SYN before carving a
+                // ring — no RST, the client's RTO retries, matching the
+                // SYN-drop a real stack does under somaxconn pressure.
+                let full = matches!(
+                    self.socks[lid.0].as_ref(),
+                    Some(Sock::TcpListen { backlog, .. }) if backlog.len() >= self.backlog_cap
+                );
+                if full {
+                    self.stats.backlog_overflows += 1;
+                    self.trace.on_backlog_overflow(now);
+                    return;
+                }
                 // Passive open.
                 let iss = self.next_iss();
                 let cfg = self.tcp_cfg.clone();
-                let Some(rx_base) = self.pool.carve(SOCK_RX_RING) else {
+                let ring = self.sock_ring_bytes;
+                let Some(rx_base) = self.pool.carve(ring) else {
                     self.stats.demux_drops += 1;
                     self.trace.on_drop(now);
                     return;
@@ -733,13 +957,16 @@ impl NetStack {
                 let (conn, syn_ack) = TcpConn::accept(hdr.dst_port, hdr.src_port, iss, &hdr, cfg);
                 let sid = self.insert(Sock::TcpStream {
                     conn,
-                    rx: SimRing::new(rx_base, SOCK_RX_RING),
+                    rx: SimRing::new(rx_base, ring),
                     remote: (ip.src, hdr.src_port),
                 });
                 self.conns.insert(key, sid);
                 if let Some(Sock::TcpListen { backlog, .. }) = self.socks[lid.0].as_mut() {
                     backlog.push_back(sid);
                 }
+                self.events.register(sid, Interest::READ, Trigger::Level);
+                self.events.post(lid, Interest::ACCEPT);
+                self.mark_active(sid.0);
                 self.stats.rx_segments += 1;
                 self.trace.on_rx_segment();
                 m.charge(
@@ -1176,6 +1403,119 @@ mod tests {
         w.client.conns.insert((EPHEMERAL_BASE, SERVER_IP, 80), a);
         let b = w.client.tcp_connect(SERVER_IP, 80).unwrap();
         assert_eq!(port_of(&w, b), EPHEMERAL_BASE + 1);
+    }
+
+    #[test]
+    fn idle_established_connections_charge_nothing_per_poll() {
+        // The O(ready) contract: once a connection quiesces it leaves
+        // the active set, and a poll with no frames and no active
+        // sockets advances the clock by exactly zero cycles — service
+        // cost tracks *active* connections, never *open* ones.
+        let mut w = world();
+        let _ = w.establish(5201);
+        for _ in 0..4 {
+            w.step();
+        }
+        let before = w.m.clock().cycles();
+        for _ in 0..100 {
+            w.server.poll(&mut w.m, VcpuId(0)).unwrap();
+        }
+        assert_eq!(w.m.clock().cycles(), before, "idle connections were pumped");
+        assert!(w.server.active.is_empty());
+    }
+
+    #[test]
+    fn readiness_events_fire_on_data_and_clear_on_drain() {
+        let mut w = world();
+        let (cs, ss) = w.establish(5201);
+        let mut ev = Vec::new();
+        w.server.poll_events(&mut ev);
+        assert!(ev.is_empty(), "no data yet, but events: {ev:?}");
+        w.m.write(VcpuId(0), w.app_buf, b"ping").unwrap();
+        w.client
+            .tcp_send(&mut w.m, VcpuId(0), cs, w.app_buf, 4)
+            .unwrap();
+        for _ in 0..2 {
+            w.step();
+        }
+        w.server.poll_events(&mut ev);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].sid, ss);
+        assert!(ev[0].ready.contains(Interest::READ));
+        // Level-triggered: still reported until drained.
+        w.server.poll_events(&mut ev);
+        assert_eq!(ev.len(), 1);
+        let dst = Addr(w.app_buf.0 + 4096);
+        w.server.tcp_recv(&mut w.m, VcpuId(0), ss, dst, 64).unwrap();
+        w.server.poll_events(&mut ev);
+        assert!(ev.is_empty(), "drained socket still reported: {ev:?}");
+    }
+
+    #[test]
+    fn full_backlog_sheds_syns_with_a_counter() {
+        let mut w = world();
+        w.server.set_backlog_cap(2);
+        let l = w.server.tcp_listen(80).unwrap();
+        for _ in 0..4 {
+            w.client.tcp_connect(SERVER_IP, 80).unwrap();
+        }
+        w.step();
+        assert_eq!(w.server.stats().backlog_overflows, 2);
+        assert_eq!(w.server.trace().backlog_overflows(), 2);
+        // Exactly the capped number of connections got through.
+        assert!(w.server.tcp_accept(l).unwrap().is_some());
+        assert!(w.server.tcp_accept(l).unwrap().is_some());
+        assert!(w.server.tcp_accept(l).unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_churn_leaks_nothing() {
+        // Open and close 10⁴ connections: every table, the readiness
+        // index, the buffer pool, and the ephemeral-port allocator must
+        // come back to their initial sizes (guards the port-allocator
+        // fix and the readiness index against stale-entry leaks).
+        let mut w = world();
+        let l = w.server.tcp_listen(5201).unwrap();
+        let pool_before = w.server.pool.outstanding();
+        for round in 0..10_000u32 {
+            let cs = w.client.tcp_connect(SERVER_IP, 5201).unwrap();
+            for _ in 0..4 {
+                w.step();
+            }
+            let ss = w
+                .server
+                .tcp_accept(l)
+                .unwrap()
+                .unwrap_or_else(|| panic!("round {round}: not accepted"));
+            w.client.close(cs).unwrap();
+            w.server.close(ss).unwrap();
+            let mut spins = 0;
+            while !(w.client.conns.is_empty() && w.server.conns.is_empty()) {
+                w.step();
+                spins += 1;
+                assert!(spins < 64, "round {round}: teardown never quiesced");
+            }
+        }
+        assert!(w.client.conns.is_empty());
+        assert!(w.server.conns.is_empty());
+        assert!(w.client.active.is_empty());
+        assert!(w.server.active.is_empty());
+        assert_eq!(w.client.pool.outstanding(), 0);
+        assert_eq!(w.server.pool.outstanding(), pool_before);
+        // Churn left no readiness behind: one drain and the queue is
+        // empty (stale entries were compacted, not accumulated).
+        assert!(w.server.events.ready_count() < 8);
+        let mut ev = Vec::new();
+        w.server.poll_events(&mut ev);
+        assert!(ev.is_empty(), "stale readiness after churn: {ev:?}");
+        assert_eq!(w.server.events.ready_count(), 0);
+        // Every stream slot was returned: only the listener survives.
+        let live = |s: &NetStack| s.socks.iter().filter(|s| s.is_some()).count();
+        assert_eq!(live(&w.client), 0);
+        assert_eq!(live(&w.server), 1);
+        // The port allocator still has its full range: nothing pinned.
+        assert!(w.client.alloc_ephemeral(SERVER_IP, 5201).is_ok());
+        assert!(w.client.udp_ports.is_empty() && w.server.udp_ports.is_empty());
     }
 
     #[test]

@@ -333,13 +333,40 @@ impl TcpConn {
         self.app_closed = true;
     }
 
+    /// Whether the application has closed its sending direction.
+    pub fn app_closed(&self) -> bool {
+        self.app_closed
+    }
+
+    /// Transmit-buffer room available to `send` (the write-readiness
+    /// condition the event queue reports).
+    pub fn tx_room(&self) -> usize {
+        self.cfg.max_tx_buf - self.tx.len().min(self.cfg.max_tx_buf)
+    }
+
     /// Processes a received segment; returns any immediate responses
-    /// (further output comes from [`TcpConn::poll`]).
+    /// (further output comes from [`TcpConn::poll`]). Allocating
+    /// convenience wrapper around [`TcpConn::on_segment_into`].
     pub fn on_segment(&mut self, hdr: &TcpHeader, payload: &[u8], now: u64) -> Vec<SegmentOut> {
         let mut out = Vec::new();
+        self.on_segment_into(hdr, payload, now, &mut out);
+        out
+    }
+
+    /// [`TcpConn::on_segment`] with a caller-owned output vector:
+    /// responses are appended to `out` (existing entries untouched), so
+    /// the per-segment hot path reuses one scratch allocation.
+    pub fn on_segment_into(
+        &mut self,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        now: u64,
+        out: &mut Vec<SegmentOut>,
+    ) {
+        let start = out.len();
         if hdr.flags.rst {
             self.state = TcpState::Closed;
-            return out;
+            return;
         }
         self.snd_wnd = u32::from(hdr.window);
 
@@ -353,7 +380,8 @@ impl TcpConn {
                     self.state = TcpState::Established;
                     self.need_ack = true;
                 }
-                return self.flush_ack(out);
+                self.flush_ack_into(out, start);
+                return;
             }
             TcpState::SynRcvd => {
                 if hdr.flags.ack && hdr.ack == self.snd_nxt {
@@ -367,11 +395,11 @@ impl TcpConn {
                         hdr: self.hdr(TcpFlags::SYN_ACK, self.snd_una),
                         payload: Vec::new(),
                     });
-                    return out;
+                    return;
                 }
             }
             TcpState::Closed | TcpState::TimeWait => {
-                return out;
+                return;
             }
             _ => {}
         }
@@ -450,10 +478,13 @@ impl TcpConn {
         }
 
         let _ = now;
-        self.flush_ack(out)
+        self.flush_ack_into(out, start);
     }
 
-    fn flush_ack(&mut self, mut out: Vec<SegmentOut>) -> Vec<SegmentOut> {
+    /// Appends a pending pure ACK and records the window advertised by
+    /// the last segment this call appended (entries before `start`
+    /// belong to earlier calls sharing the scratch vector).
+    fn flush_ack_into(&mut self, out: &mut Vec<SegmentOut>, start: usize) {
         if self.need_ack {
             self.need_ack = false;
             out.push(SegmentOut {
@@ -461,17 +492,45 @@ impl TcpConn {
                 payload: Vec::new(),
             });
         }
-        if let Some(last) = out.last() {
-            self.last_adv_wnd = last.hdr.window;
+        if out.len() > start {
+            self.last_adv_wnd = out[out.len() - 1].hdr.window;
         }
-        out
+    }
+
+    /// Whether [`TcpConn::poll`] could emit output or change state right
+    /// now: a pending ACK, unacked segments (RTO may fire), queued data
+    /// or a deferred FIN in a sending state, or a receive window that
+    /// reopened by at least one MSS. When this is `false`, `poll` is a
+    /// guaranteed no-op — the readiness pump uses that to skip idle
+    /// connections without perturbing the simulated cycle stream.
+    pub fn needs_pump(&self) -> bool {
+        if self.need_ack || !self.retx.is_empty() {
+            return true;
+        }
+        let sending = matches!(self.state, TcpState::Established | TcpState::CloseWait);
+        if sending && (!self.tx.is_empty() || (self.app_closed && !self.fin_queued)) {
+            return true;
+        }
+        self.is_established()
+            && u32::from(self.window()) >= u32::from(self.last_adv_wnd) + self.cfg.mss as u32
     }
 
     /// Pumps output: new segments within the peer's window, the FIN once
     /// the queue drains, retransmissions past the RTO, and any pending
-    /// pure ACK.
+    /// pure ACK. Allocating convenience wrapper around
+    /// [`TcpConn::poll_into`].
     pub fn poll(&mut self, now: u64) -> Vec<SegmentOut> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`TcpConn::poll`] with a caller-owned output vector: segments are
+    /// appended to `out` (existing entries untouched), so the per-tick
+    /// hot path reuses one scratch allocation instead of allocating a
+    /// fresh `Vec` per connection per poll.
+    pub fn poll_into(&mut self, now: u64, out: &mut Vec<SegmentOut>) {
+        let start = out.len();
 
         // Window update: if the application drained the receive buffer
         // enough to reopen a closed-down window by at least one MSS,
@@ -545,7 +604,7 @@ impl TcpConn {
                 self.retransmits += 1;
                 if front.retries > self.cfg.max_retries {
                     self.state = TcpState::Closed;
-                    return out;
+                    return;
                 }
                 let flags = if front.fin {
                     TcpFlags::FIN_ACK
@@ -568,7 +627,7 @@ impl TcpConn {
             }
         }
 
-        self.flush_ack(out)
+        self.flush_ack_into(out, start);
     }
 }
 
@@ -853,6 +912,40 @@ mod tests {
         assert!(seq_lt(u32::MAX - 5, 5));
         assert!(!seq_lt(5, u32::MAX - 5));
         assert!(seq_le(7, 7));
+    }
+
+    #[test]
+    fn quiesced_connection_reports_no_pump_and_poll_appends_nothing() {
+        let (mut c, mut s, mut now) = handshake();
+        c.send(b"ping");
+        pump(&mut c, &mut s, &mut now, |_, _| true);
+        assert_eq!(s.take_ready(16), b"ping");
+        // Fully acked and drained: poll must be a guaranteed no-op, and
+        // a reused scratch vector's existing entries must survive.
+        assert!(!c.needs_pump());
+        let mut scratch = vec![SegmentOut {
+            hdr: TcpHeader {
+                src_port: 0,
+                dst_port: 0,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 0,
+            },
+            payload: Vec::new(),
+        }];
+        c.poll_into(now, &mut scratch);
+        assert_eq!(scratch.len(), 1);
+    }
+
+    #[test]
+    fn pending_work_flags_needs_pump() {
+        let (mut c, _s, _) = handshake();
+        assert!(!c.needs_pump());
+        c.send(b"queued");
+        assert!(c.needs_pump(), "queued tx data requires a pump");
+        c.poll(0);
+        assert!(c.needs_pump(), "unacked segment keeps the RTO armed");
     }
 
     #[test]

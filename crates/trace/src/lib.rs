@@ -23,8 +23,8 @@ pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use shard::{MergeTrace, SchedSummaryShard, VcpuShards};
 pub use snapshot::{
     AllocRow, AsyncGatesSnapshot, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow,
-    GatePairRow, LatencyRow, MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot, StatsSnapshot,
-    TlbSnapshot,
+    GatePairRow, LatencyRow, MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot,
+    ServingSnapshot, StatsSnapshot, TlbSnapshot,
 };
 pub use span::{
     SpanEvent, SpanId, SpanKind, SpanLatencyRow, SpanRing, SpanRingStats, SpanTrace,
@@ -637,6 +637,7 @@ pub struct NetTrace {
     tx_segments: u64,
     rx_datagrams: u64,
     drops: u64,
+    backlog_overflows: u64,
     ring: EventRing,
 }
 
@@ -687,9 +688,29 @@ impl NetTrace {
         }
     }
 
+    /// Records a SYN dropped because the listener's accept backlog was
+    /// at capacity (the connection storm the serving tier must survive).
+    #[inline]
+    pub fn on_backlog_overflow(&mut self, now: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.backlog_overflows += 1;
+            self.ring.push(EventKind::PacketDrop, now, 1);
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = now;
+        }
+    }
+
     /// Drops recorded.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Backlog-overflow SYN drops recorded.
+    pub fn backlog_overflows(&self) -> u64 {
+        self.backlog_overflows
     }
 
     /// Adds `other`'s packet counters into `self` (per-vCPU shard
@@ -700,6 +721,7 @@ impl NetTrace {
         self.tx_segments += other.tx_segments;
         self.rx_datagrams += other.rx_datagrams;
         self.drops += other.drops;
+        self.backlog_overflows += other.backlog_overflows;
     }
 
     /// The drop-event ring.
@@ -715,8 +737,182 @@ impl NetTrace {
             tx_segments: self.tx_segments,
             rx_datagrams: self.rx_datagrams,
             drops: self.drops,
+            backlog_overflows: self.backlog_overflows,
             retransmits,
         }
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Telemetry owned by the readiness layer (`EventQueue` in
+/// `flexos-net`): event posting, coalescing and delivery counters.
+///
+/// Host-side bookkeeping only — posting an event charges no simulated
+/// cycles, so the counters are purely additive to the baseline figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventQueueTrace {
+    posted: u64,
+    coalesced: u64,
+    polls: u64,
+    delivered: u64,
+}
+
+impl EventQueueTrace {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one readiness event posted (socket newly enqueued).
+    #[inline]
+    pub fn on_post(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.posted += 1;
+        }
+    }
+
+    /// Counts an event merged into an already-queued socket entry.
+    #[inline]
+    pub fn on_coalesce(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.coalesced += 1;
+        }
+    }
+
+    /// Counts one `poll()` that delivered `n` ready sockets.
+    #[inline]
+    pub fn on_poll(&mut self, n: u64) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.polls += 1;
+            self.delivered += n;
+        }
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = n;
+        }
+    }
+
+    /// Events posted (new queue entries).
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Events coalesced into pending entries.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Polls issued.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Ready sockets delivered across all polls.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Adds `other`'s counters into `self` (per-vCPU shard aggregation).
+    pub fn merge_counters(&mut self, other: &Self) {
+        self.posted += other.posted;
+        self.coalesced += other.coalesced;
+        self.polls += other.polls;
+        self.delivered += other.delivered;
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Telemetry owned by the cooperative per-connection executor
+/// (`CoExecutor` in `flexos-kernel`): task spawn/run/wake/steal
+/// counters. Same additive, host-side-only contract as
+/// [`EventQueueTrace`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorTrace {
+    spawned: u64,
+    tasks_run: u64,
+    wakeups: u64,
+    steals: u64,
+}
+
+impl ExecutorTrace {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a task spawned.
+    #[inline]
+    pub fn on_spawn(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.spawned += 1;
+        }
+    }
+
+    /// Counts one task step run.
+    #[inline]
+    pub fn on_run(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.tasks_run += 1;
+        }
+    }
+
+    /// Counts a wakeup (task moved from waiting to the run queue).
+    #[inline]
+    pub fn on_wake(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.wakeups += 1;
+        }
+    }
+
+    /// Counts a task stolen across shards in free-running mode.
+    #[inline]
+    pub fn on_steal(&mut self) {
+        #[cfg(not(feature = "trace-off"))]
+        {
+            self.steals += 1;
+        }
+    }
+
+    /// Tasks spawned.
+    pub fn spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Task steps run.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run
+    }
+
+    /// Wakeups delivered.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Cross-shard steals.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Adds `other`'s counters into `self` (per-vCPU shard aggregation).
+    pub fn merge_counters(&mut self, other: &Self) {
+        self.spawned += other.spawned;
+        self.tasks_run += other.tasks_run;
+        self.wakeups += other.wakeups;
+        self.steals += other.steals;
     }
 
     /// Clears everything.
@@ -913,6 +1109,23 @@ impl TraceRegistry {
     pub fn add_net(&mut self, nt: &NetTrace, retransmits: u64, net_cpt: u16) {
         self.snap.net = nt.snapshot(retransmits);
         self.merge_ring("net", net_cpt, nt.ring());
+    }
+
+    /// Registers the serving tier's counters: the readiness layer's
+    /// [`EventQueueTrace`] plus the cooperative executor's
+    /// [`ExecutorTrace`] (pre-aggregated across vCPU shards by the
+    /// caller — see [`crate::shard`]).
+    pub fn add_serving(&mut self, eq: &EventQueueTrace, ex: &ExecutorTrace) {
+        self.snap.serving = ServingSnapshot {
+            events_posted: eq.posted(),
+            events_coalesced: eq.coalesced(),
+            polls: eq.polls(),
+            events_delivered: eq.delivered(),
+            tasks_spawned: ex.spawned(),
+            tasks_run: ex.tasks_run(),
+            wakeups: ex.wakeups(),
+            steals: ex.steals(),
+        };
     }
 
     /// Registers the machine's request-span tracer: exact per-

@@ -14,7 +14,7 @@
 //! so the `--stats` JSON shape is untouched and stays byte-identical
 //! across `--vcpus 1/2/4` — which the `smp-determinism` CI job enforces.
 
-use crate::{NetTrace, SchedTrace, TlbTrace};
+use crate::{EventQueueTrace, ExecutorTrace, NetTrace, SchedTrace, TlbTrace};
 
 /// One `T` per vCPU, indexed by vCPU number.
 #[derive(Debug, Clone, Default)]
@@ -92,6 +92,18 @@ impl MergeTrace for TlbTrace {
 }
 
 impl MergeTrace for NetTrace {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_counters(other);
+    }
+}
+
+impl MergeTrace for EventQueueTrace {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_counters(other);
+    }
+}
+
+impl MergeTrace for ExecutorTrace {
     fn merge_from(&mut self, other: &Self) {
         self.merge_counters(other);
     }
@@ -193,6 +205,31 @@ mod tests {
         assert_eq!(t.rx_segments, 2);
         assert_eq!(t.tx_segments, 1);
         assert_eq!(t.drops, 1);
+    }
+
+    #[test]
+    fn serving_shards_aggregate() {
+        let mut eqs: VcpuShards<EventQueueTrace> = VcpuShards::new(2);
+        eqs.shard_mut(0).on_post();
+        eqs.shard_mut(1).on_post();
+        eqs.shard_mut(1).on_coalesce();
+        eqs.shard_mut(0).on_poll(2);
+        let eq = eqs.aggregate();
+        assert_eq!(eq.posted(), 2);
+        assert_eq!(eq.coalesced(), 1);
+        assert_eq!(eq.polls(), 1);
+        assert_eq!(eq.delivered(), 2);
+
+        let mut exs: VcpuShards<ExecutorTrace> = VcpuShards::new(2);
+        exs.shard_mut(0).on_spawn();
+        exs.shard_mut(1).on_run();
+        exs.shard_mut(1).on_wake();
+        exs.shard_mut(0).on_steal();
+        let ex = exs.aggregate();
+        assert_eq!(
+            (ex.spawned(), ex.tasks_run(), ex.wakeups(), ex.steals()),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]

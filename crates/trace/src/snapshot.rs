@@ -180,8 +180,35 @@ pub struct NetSnapshot {
     pub rx_datagrams: u64,
     /// Frames/segments dropped at demux.
     pub drops: u64,
+    /// SYNs dropped because the accept backlog was full.
+    pub backlog_overflows: u64,
     /// TCP retransmissions.
     pub retransmits: u64,
+}
+
+/// Serving-tier counters: the readiness layer (`EventQueue`) plus the
+/// cooperative per-connection executor. All host-side bookkeeping —
+/// posting an event or running a task step charges no simulated cycles
+/// beyond the work the task itself performs, so this block is purely
+/// additive to the baseline figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingSnapshot {
+    /// Readiness events posted (socket newly enqueued as ready).
+    pub events_posted: u64,
+    /// Events merged into an already-queued socket entry.
+    pub events_coalesced: u64,
+    /// `EventQueue::poll` calls issued.
+    pub polls: u64,
+    /// Ready sockets delivered across all polls.
+    pub events_delivered: u64,
+    /// Executor tasks spawned.
+    pub tasks_spawned: u64,
+    /// Executor task steps run.
+    pub tasks_run: u64,
+    /// Task wakeups delivered.
+    pub wakeups: u64,
+    /// Cross-shard task steals (free-running mode only).
+    pub steals: u64,
 }
 
 /// One event row, merged across all rings.
@@ -262,6 +289,8 @@ pub struct StatsSnapshot {
     pub tlb: TlbSnapshot,
     /// Network stack counters.
     pub net: NetSnapshot,
+    /// Serving-tier counters (readiness layer + cooperative executor).
+    pub serving: ServingSnapshot,
     /// Exact per-(app, backend) request latency percentiles.
     pub latency: Vec<LatencyRow>,
     /// Per-ring push/drop accounting (sorted by subsystem, owner).
@@ -421,8 +450,22 @@ impl StatsSnapshot {
         let n = &self.net;
         let _ = write!(
             o,
-            "\"net\":{{\"rx_segments\":{},\"tx_segments\":{},\"rx_datagrams\":{},\"drops\":{},\"retransmits\":{}}},",
-            n.rx_segments, n.tx_segments, n.rx_datagrams, n.drops, n.retransmits
+            "\"net\":{{\"rx_segments\":{},\"tx_segments\":{},\"rx_datagrams\":{},\"drops\":{},\"backlog_overflows\":{},\"retransmits\":{}}},",
+            n.rx_segments, n.tx_segments, n.rx_datagrams, n.drops, n.backlog_overflows, n.retransmits
+        );
+
+        let sv = &self.serving;
+        let _ = write!(
+            o,
+            "\"serving\":{{\"events_posted\":{},\"events_coalesced\":{},\"polls\":{},\"events_delivered\":{},\"tasks_spawned\":{},\"tasks_run\":{},\"wakeups\":{},\"steals\":{}}},",
+            sv.events_posted,
+            sv.events_coalesced,
+            sv.polls,
+            sv.events_delivered,
+            sv.tasks_spawned,
+            sv.tasks_run,
+            sv.wakeups,
+            sv.steals
         );
 
         o.push_str("\"latency\":[");
