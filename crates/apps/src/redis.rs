@@ -79,6 +79,11 @@ pub struct RedisParams {
     /// the deterministic SMP queue, which schedules in the identical
     /// canonical order — see `crate::smp`).
     pub vcpus: usize,
+    /// Live-migrate every gate pair to the given backend once the
+    /// measured phase has completed this many requests. The swap runs
+    /// the full quiescence protocol between scheduler steps, so it is
+    /// deterministic and identical at every vCPU width.
+    pub migrate_to: Option<(u64, BackendChoice)>,
 }
 
 impl Default for RedisParams {
@@ -96,6 +101,7 @@ impl Default for RedisParams {
             pipeline: 16,
             machine_chaos: None,
             vcpus: 1,
+            migrate_to: None,
         }
     }
 }
@@ -583,9 +589,24 @@ fn run_redis_inner(
         drive(&mut os, &mut exec, &mut client, &mut link, &mut preload, 16)?;
     }
 
-    // Measured phase.
+    // Measured phase. A live migration, if requested, splits it in
+    // two: drive to the trigger point, run the quiescence protocol and
+    // swap every pair, then finish on the new backend.
     let start_cycles = os.img.machine.clock().cycles();
     let start_crossings = os.img.gates.stats().crossings;
+    if let Some((after, to)) = params.migrate_to {
+        let mid = after.min(params.ops);
+        drive(&mut os, &mut exec, &mut client, &mut link, &mut load, mid)?;
+        let (_, deferred) =
+            flexos_backends::migrate_all(&mut os.img, to, flexos::gate::MigrationReason::Manual)
+                .map_err(RedisRunError::server)?;
+        if deferred > 0 {
+            os.img
+                .gates
+                .poll_migrations(&mut os.img.machine)
+                .map_err(RedisRunError::server)?;
+        }
+    }
     drive(
         &mut os,
         &mut exec,

@@ -17,7 +17,7 @@
 //!   the woken tasks. Nothing ever scans the open-connection set, so
 //!   the per-request cost at 10⁵ mostly-idle connections stays within
 //!   a small factor of the 10³ figure (asserted by the bench-smoke CI
-//!   job on `BENCH_9.json`).
+//!   job on `BENCH_10.json`).
 //! * The **load generator** is open-loop: burst arrivals are paced by a
 //!   seeded Poisson process over *simulated* cycles (fixed-point
 //!   exponential sampling — no libm, no wall clock), and a burst whose
@@ -118,6 +118,12 @@ pub struct ServeParams {
     pub arrival_gap_cycles: u64,
     /// Seed for the Poisson arrival process.
     pub seed: u64,
+    /// Mid-serve live migration: after this many completed bursts,
+    /// swap every compartment pair's gate backend to the target
+    /// (`None` = never migrate). The swap uses the quiescence
+    /// protocol, so in-flight crossings finish on the old gate and
+    /// the pair drains before the new mechanism takes over.
+    pub migrate_to: Option<(u64, BackendChoice)>,
 }
 
 impl Default for ServeParams {
@@ -134,6 +140,7 @@ impl Default for ServeParams {
             mix: Mix::Get,
             arrival_gap_cycles: 50_000,
             seed: 42,
+            migrate_to: None,
         }
     }
 }
@@ -1089,7 +1096,28 @@ fn run_serve_inner(
     let start_crossings = world.os.img.gates.stats().crossings;
     let mut arr_idx = 0usize;
     let mut idle = 0u32;
+    let mut pending_migration = params.migrate_to;
     while clients.completed_bursts < bursts {
+        // Live migration: once enough bursts completed, swap every
+        // compartment pair to the target backend while traffic is
+        // still in flight. `migrate_all` requests the swaps; pairs
+        // that are quiescent right now swap immediately, busy ones
+        // defer to their next safe point, which `poll_migrations`
+        // below keeps pumping between executor slices.
+        if let Some((after, to)) = pending_migration {
+            if clients.completed_bursts >= after {
+                let img = &mut world.os.img;
+                flexos_backends::migrate_all(img, to, flexos::gate::MigrationReason::Manual)
+                    .map_err(|e| ServeRunError::server(format!("live migration failed: {e}")))?;
+                pending_migration = None;
+            }
+        }
+        if params.migrate_to.is_some() {
+            let img = &mut world.os.img;
+            img.gates
+                .poll_migrations(&mut img.machine)
+                .map_err(|e| ServeRunError::server(format!("migration drain failed: {e}")))?;
+        }
         let now = world.os.img.machine.clock().cycles();
         frames.clear();
         while arr_idx < arrivals.len() && arrivals[arr_idx].0 <= now {
@@ -1308,6 +1336,60 @@ mod tests {
         assert_eq!(rs.len(), 4);
         let total: u64 = rs.iter().map(|r| r.ops).sum();
         assert_eq!(total, 320);
+    }
+
+    #[test]
+    fn mid_serve_migration_completes_and_is_deterministic() {
+        let params = ServeParams {
+            conns: 48,
+            ops: 240,
+            migrate_to: Some((30, BackendChoice::VmRpc)),
+            ..ServeParams::default()
+        };
+        let (a, sa) = run_serve_with_stats(&params).expect("migrating serve run succeeds");
+        let (b, sb) = run_serve_with_stats(&params).expect("migrating serve run succeeds");
+        assert_eq!(a.ops, 240);
+        assert!(
+            sa.migrations.completed >= 1,
+            "the mid-serve swap never landed: {:?}",
+            sa.migrations
+        );
+        // Traffic was in flight, so at least the request had to wait for
+        // a safe point or refuse a submission at some pair.
+        assert_eq!(
+            a.cycles, b.cycles,
+            "migrating serve must stay deterministic"
+        );
+        assert_eq!(a.crossings, b.crossings);
+        assert_eq!(a.shard_ops, b.shard_ops);
+        assert_eq!(sa.migrations, sb.migrations);
+        // And the run still serves every burst through the new backend.
+        assert_eq!(a.shard_ops.iter().sum::<u64>(), 240);
+    }
+
+    #[test]
+    fn migrating_serve_escalates_isolation_without_losing_requests() {
+        // Start on MPK shared stacks, escalate to VM-RPC early in the
+        // run: every request is still answered, and the post-swap
+        // crossings pay VM-RPC costs an un-migrated run never sees.
+        let migrated = quick(ServeParams {
+            conns: 16,
+            ops: 120,
+            migrate_to: Some((5, BackendChoice::VmRpc)),
+            ..ServeParams::default()
+        });
+        assert_eq!(migrated.ops, 120);
+        let stayed = quick(ServeParams {
+            conns: 16,
+            ops: 120,
+            ..ServeParams::default()
+        });
+        assert!(
+            migrated.cycles > stayed.cycles,
+            "post-migration crossings should cost more: {} vs {}",
+            migrated.cycles,
+            stayed.cycles
+        );
     }
 
     #[test]

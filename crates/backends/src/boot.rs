@@ -72,6 +72,11 @@ pub struct BootImage {
     /// they are allocated in shared areas").
     shared_alloc: FreeListAllocator,
     stack_size: u64,
+    /// Base of the VM-RPC inbox area, when one was reserved at boot.
+    /// Migratable images always reserve it (so a later swap to the
+    /// VM-RPC backend needs no layout change); others get it lazily via
+    /// [`crate::migrate::ensure_rpc_base`].
+    pub(crate) rpc_base: Option<Addr>,
 }
 
 impl BootImage {
@@ -365,6 +370,129 @@ pub fn instantiate_with(plan: ImagePlan, opts: BootOptions) -> Result<BootImage>
         plan,
         shared_alloc,
         stack_size: opts.stack_size,
+        rpc_base: (backend == BackendChoice::VmRpc).then_some(rpc_base),
+    })
+}
+
+/// Boots `plan` on the *migratable superset topology* with default
+/// sizing — see [`instantiate_migratable_with`].
+pub fn instantiate_migratable(plan: ImagePlan, from: BackendChoice) -> Result<BootImage> {
+    instantiate_migratable_with(plan, from, BootOptions::default())
+}
+
+/// Boots `plan` so that any compartment pair can later swap its gate
+/// backend live (ptr ↔ MPK ↔ CHERI ↔ VM-RPC) via the quiescence
+/// protocol, starting from `from`.
+///
+/// Unlike [`instantiate_with`] — which carves protection domains for
+/// exactly one backend — this boot reserves the superset every backend
+/// needs, laid out **identically regardless of `from`**:
+///
+/// * every compartment lives in VM 0 on vCPU 0 (the VM-RPC gate's inbox
+///   protocol works intra-VM: self-notifications are permitted);
+/// * every compartment always owns a protection key, and every heap is
+///   a dedicated allocator region so an MPK-family backend can be
+///   retagged in without moving memory;
+/// * the VM-RPC inbox area is always reserved next to the shared window.
+///
+/// Only the page *tags* and PKRU views differ by `from`, and those are
+/// exactly what [`crate::migrate`]'s re-establishment step rewrites at
+/// swap time (through the generation-counter TLB invalidation). This is
+/// what makes the migrate-differential suite's 5×5 claim meaningful:
+/// two migratable images differing only in `from` allocate byte-for-byte
+/// identical layouts.
+///
+/// `plan` should be colored with an *isolating* backend (a
+/// `BackendChoice::None` plan merges everything into one compartment,
+/// leaving nothing to migrate); the stored plan's backend is overridden
+/// to `from`.
+pub fn instantiate_migratable_with(
+    mut plan: ImagePlan,
+    from: BackendChoice,
+    opts: BootOptions,
+) -> Result<BootImage> {
+    let mut machine = Machine::new(MachineConfig {
+        phys_frames: opts.phys_frames,
+        ..MachineConfig::default()
+    });
+    let n = plan.num_compartments;
+    let from_mpk = matches!(
+        from,
+        BackendChoice::MpkShared | BackendChoice::MpkSwitched | BackendChoice::Cheri
+    );
+
+    // Protection domains: single VM, per-compartment keys, PKRU views
+    // only as strict as the boot backend requires.
+    let mut keys: Vec<Vec<ProtKey>> = vec![Vec::new(); n];
+    let mut pkrus = vec![Pkru::ALLOW_ALL; n];
+    for (c, slot) in keys.iter_mut().enumerate() {
+        let key = ProtKey::new((c + 1) as u8).ok_or(Fault::HardeningAbort {
+            mechanism: "mpk",
+            reason: "compartment count exceeds the MPK key budget".into(),
+        })?;
+        *slot = vec![key];
+        if from_mpk {
+            pkrus[c] = Pkru::deny_all_except(&[ProtKey(0), key], &[]);
+        }
+    }
+
+    // Memory: shared window + VM-RPC inbox area (always), dedicated
+    // per-compartment heaps (always), tags per the boot backend.
+    let rpc_area = VmRpcGate::area_bytes(n as u16);
+    let shared_base = machine.alloc_shared_region(opts.shared_heap + rpc_area, ProtKey(0))?;
+    let rpc_base = Addr(shared_base.0 + opts.shared_heap);
+    let shared_alloc = FreeListAllocator::new(shared_base, opts.shared_heap);
+
+    let mut compartments = Vec::with_capacity(n);
+    let mut allocators: Vec<Box<dyn Allocator>> = Vec::new();
+    for ckeys in keys.iter().take(n) {
+        let tag = if from_mpk { ckeys[0] } else { ProtKey(0) };
+        let base = machine.alloc_region(VmId(0), opts.heap_per_compartment, tag, PageFlags::RW)?;
+        allocators.push(Box::new(FreeListAllocator::new(
+            base,
+            opts.heap_per_compartment,
+        )));
+    }
+    for c in 0..n {
+        let (heap_base, heap_size) = allocators[c].region();
+        compartments.push(CompartmentCtx {
+            id: CompartmentId(c as u16),
+            name: plan.compartment_names[c].clone(),
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            pkru: pkrus[c],
+            keys: keys[c].clone(),
+            sh: plan.compartment_sh[c].clone(),
+            heap_base,
+            heap_size,
+        });
+    }
+    let heaps = HeapService::per_compartment(allocators);
+
+    let token = machine.gate_token();
+    let gate: Arc<dyn Gate> = match from {
+        BackendChoice::None => Arc::new(DirectGate),
+        BackendChoice::MpkShared => Arc::new(MpkSharedGate::new(token)),
+        BackendChoice::MpkSwitched => Arc::new(MpkSwitchedGate::new(token)),
+        BackendChoice::VmRpc => Arc::new(VmRpcGate::new(rpc_base, n as u16)),
+        BackendChoice::Cheri => Arc::new(crate::cheri::CheriGate::new(token)),
+    };
+    plan.config.backend = from;
+    let initial = plan
+        .compartment_of_role(LibRole::App)
+        .map(|c| CompartmentId(c as u16))
+        .unwrap_or(CompartmentId(0));
+    let mut gates = GateRuntime::new(compartments, gate, initial);
+    gates.resume_in(&mut machine, initial)?;
+
+    Ok(BootImage {
+        machine,
+        gates,
+        heaps,
+        plan,
+        shared_alloc,
+        stack_size: opts.stack_size,
+        rpc_base: Some(rpc_base),
     })
 }
 

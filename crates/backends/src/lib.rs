@@ -18,10 +18,15 @@
 
 pub mod boot;
 pub mod cheri;
+pub mod migrate;
 pub mod mpk;
 pub mod vmrpc;
 
-pub use boot::{instantiate, instantiate_with, BootImage, BootOptions};
+pub use boot::{
+    instantiate, instantiate_migratable, instantiate_migratable_with, instantiate_with, BootImage,
+    BootOptions,
+};
 pub use cheri::CheriGate;
+pub use migrate::{ensure_rpc_base, migrate_all, migrate_pair, prepare_pair_migration};
 pub use mpk::{MpkSharedGate, MpkSwitchedGate};
 pub use vmrpc::VmRpcGate;

@@ -1,9 +1,10 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|serve|all]
-//!                  [--quick] [--stats] [--chaos] [--bench] [--serve] [--seed=S]
-//!                  [--vcpus=N] [--conns=N] [--json[=PATH]] [--trace-out=PATH]
+//! Usage: reproduce [fig3|table1|fig4|fig5|ctxswitch|coloring|explore|stats|chaos|bench|serve|migrate|all]
+//!                  [--quick] [--stats] [--chaos] [--bench] [--serve] [--migrate] [--seed=S]
+//!                  [--vcpus=N] [--conns=N] [--migrate-at=BURSTS[:backend]]
+//!                  [--json[=PATH]] [--trace-out=PATH]
 //! ```
 //!
 //! `--vcpus=N` (default 1) selects the run-queue topology for the
@@ -42,7 +43,7 @@
 //! ring depth 128, and the free-running SMP matrix splitting
 //! iperf/Redis over 1/2/4 host threads) and compares against
 //! the recorded pre-optimization baseline; `--json[=PATH]` writes the
-//! report (default `BENCH_9.json`). Host time is machine-dependent and
+//! report (default `BENCH_10.json`). Host time is machine-dependent and
 //! not part of the reproducibility contract — see EXPERIMENTS.md E13,
 //! E14 and E15. The report's `serving` block is the exception: it runs
 //! the serving-tier scaling matrix (same offered load at 10³/10⁴/10⁵
@@ -60,7 +61,24 @@
 //! Everything is simulated cycles: the JSON is byte-identical for every
 //! `--vcpus` value (the serve-smoke CI job diffs 1/2/4) and across
 //! hosts. `--trace-out=PATH` records the span trace, showing each
-//! request's proxy → shard → proxy hops.
+//! request's proxy → shard → proxy hops. `--migrate-at=BURSTS[:backend]`
+//! arms a live migration: after that many completed request bursts,
+//! every gate pair swaps to the named backend (default `vmrpc`) through
+//! the quiescence protocol while traffic keeps flowing; the report's
+//! `stats.migrations` block records the swap and the JSON stays
+//! byte-identical across repeats (the serve-smoke CI job diffs two
+//! migrating runs).
+//!
+//! `--migrate` (or the `migrate` experiment) sweeps the live
+//! gate-backend migration protocol over every ordered (from, to)
+//! backend pair: boot on `from`, swap every compartment pair to `to`
+//! at runtime through the quiescence protocol, and report steady
+//! crossing cost before/after plus the async descriptors the drain
+//! carried across the swap. A second table walks the kernel's
+//! migration-policy ladder (escalate on hostile windows, relax after
+//! a benign streak). `--json[=PATH]` writes the figures (default
+//! `flexos-migrate.json`); everything is simulated cycles,
+//! bit-identical across hosts.
 //!
 //! Every number is derived from the deterministic simulated machine, so
 //! repeated runs are bit-identical. Absolute values differ from the
@@ -717,13 +735,20 @@ fn print_serving_counters(snap: &flexos_trace::StatsSnapshot) {
     println!("{}", t.render());
 }
 
-fn run_serve_exp(quick: bool, conns: Option<usize>, json: Option<&str>, trace_out: Option<&str>) {
+fn run_serve_exp(
+    quick: bool,
+    conns: Option<usize>,
+    json: Option<&str>,
+    trace_out: Option<&str>,
+    migrate_at: Option<(u64, flexos::build::BackendChoice)>,
+) {
     use flexos_apps::serve::{run_serve_traced, run_serve_with_stats, ServeParams};
     use flexos_machine::CPU_FREQ_HZ;
 
     let params = ServeParams {
         conns: conns.unwrap_or(if quick { 2_000 } else { 10_000 }),
         ops: if quick { 2_000 } else { 10_000 },
+        migrate_to: migrate_at,
         ..ServeParams::default()
     };
     println!(
@@ -731,6 +756,12 @@ fn run_serve_exp(quick: bool, conns: Option<usize>, json: Option<&str>, trace_ou
          open-loop Poisson arrivals)...",
         params.conns, params.ops, params.shards
     );
+    if let Some((after, to)) = migrate_at {
+        println!(
+            "Live migration armed: every gate pair swaps to {to:?} after \
+             {after} completed bursts (quiescence protocol, mid-traffic)."
+        );
+    }
     let (result, snap, trace) = if trace_out.is_some() {
         match run_serve_traced(&params) {
             Ok((r, s, t)) => (r, s, Some(t)),
@@ -939,9 +970,9 @@ fn run_chaos(quick: bool, seed: u64, vcpus: usize, json: Option<&str>) {
 
 fn run_bench(quick: bool, json: Option<&str>) {
     use flexos_bench::hostbench::{
-        async_speedup, batch32_speedup, bench_json, latency_points, run_bench as run_points,
-        serving_flat_ratio, serving_free_points, serving_points, smp_speedup, speedup_vs_baseline,
-        ASYNC_RING_DEPTH, BASELINE_NOTE,
+        async_speedup, batch32_speedup, bench_json, latency_points, migration_points,
+        run_bench as run_points, serving_flat_ratio, serving_free_points, serving_points,
+        smp_speedup, speedup_vs_baseline, ASYNC_RING_DEPTH, BASELINE_NOTE,
     };
 
     println!(
@@ -1098,14 +1129,311 @@ fn run_bench(quick: bool, json: Option<&str>) {
         None => println!("(serving flat ratio unavailable: a scaling point failed)"),
     }
 
+    let migration = migration_points(quick);
+    let mut mt = Table::new(
+        "Live migration under load (swap requested mid-crossing; simulated cycles)",
+        &[
+            "point",
+            "pairs",
+            "drain max",
+            "first cross",
+            "steady cross",
+            "SQEs requeued",
+            "host ms",
+        ],
+    );
+    for p in &migration {
+        mt.row(vec![
+            p.name.to_string(),
+            p.pairs.to_string(),
+            p.drain_cycles_max.to_string(),
+            p.first_cross_cycles.to_string(),
+            p.steady_cross_cycles.to_string(),
+            p.requeued_sqes.to_string(),
+            format!("{:.2}", p.host_nanos as f64 / 1e6),
+        ]);
+    }
+    println!("{}", mt.render());
+    println!(
+        "(the swap is requested inside a crossing, so the drain waits out\n\
+         the in-flight call and carries the parked ring descriptors across)"
+    );
+
     if let Some(path) = json {
-        let doc = bench_json(quick, &points, &latency, &serving);
+        let doc = bench_json(quick, &points, &latency, &serving, &migration);
         match std::fs::write(path, &doc) {
             Ok(()) => println!("\nWrote JSON bench report to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// `--migrate`: the live gate-backend migration sweep. Boots a
+/// migratable image on every source backend, swaps every compartment
+/// pair to every target backend at runtime (5×5 ordered pairs), and
+/// reports the first post-swap crossing cost against the steady-state
+/// cost on either side — plus what the drain carried across the swap
+/// (requeued SQEs). A second table demonstrates the kernel's
+/// [`MigrationPolicy`] ladder: escalate one rung per hostile window,
+/// relax after sustained benign load.
+fn run_migrate(quick: bool, json: Option<&str>) {
+    use flexos::gate::{GateMechanism, MigrationReason, Sqe};
+    use flexos::spec::LibSpec;
+    use flexos_backends::{instantiate_migratable, migrate_all, BootImage};
+    use flexos_kernel::{MigrationPolicy, PolicyDecision, PolicySignals};
+
+    const ALL: [BackendChoice; 5] = [
+        BackendChoice::None,
+        BackendChoice::MpkShared,
+        BackendChoice::MpkSwitched,
+        BackendChoice::VmRpc,
+        BackendChoice::Cheri,
+    ];
+    fn tag(b: BackendChoice) -> &'static str {
+        match b {
+            BackendChoice::None => "direct",
+            BackendChoice::MpkShared => "mpk-shared",
+            BackendChoice::MpkSwitched => "mpk-switched",
+            BackendChoice::VmRpc => "vm-rpc",
+            BackendChoice::Cheri => "cheri",
+        }
+    }
+    fn backend_of(mech: GateMechanism) -> BackendChoice {
+        match mech {
+            GateMechanism::DirectCall => BackendChoice::None,
+            GateMechanism::MpkSharedStack => BackendChoice::MpkShared,
+            GateMechanism::MpkSwitchedStack => BackendChoice::MpkSwitched,
+            GateMechanism::VmRpc => BackendChoice::VmRpc,
+            GateMechanism::Cheri => BackendChoice::Cheri,
+        }
+    }
+    fn migratable(from: BackendChoice) -> BootImage {
+        let cfg = ImageConfig::new("migrate-sweep", BackendChoice::MpkShared)
+            .with_library(LibraryConfig::new(
+                LibSpec::verified_scheduler(),
+                LibRole::Scheduler,
+            ))
+            .with_library(LibraryConfig::new(
+                LibSpec::unsafe_c("netstack"),
+                LibRole::NetStack,
+            ))
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+        instantiate_migratable(plan(cfg).expect("sweep plan colors"), from)
+            .expect("migratable boot succeeds")
+    }
+    fn steady(img: &mut BootImage, calls: u64) -> u64 {
+        let t0 = img.machine.clock().cycles();
+        for _ in 0..calls {
+            img.call_lib("uksched_verified", 64, 16, |m, _| {
+                m.charge(100);
+                Ok(0)
+            })
+            .expect("sweep crossing succeeds");
+        }
+        (img.machine.clock().cycles() - t0) / calls
+    }
+
+    println!("Running the live gate-backend migration sweep (5x5 ordered pairs)...");
+    let calls = if quick { 4 } else { 16 };
+    let mut t = Table::new(
+        "Live migration: runtime backend swap, per ordered (from, to) pair",
+        &[
+            "from \\ to",
+            "pairs",
+            "steady before",
+            "first after",
+            "steady after",
+            "SQEs requeued",
+        ],
+    );
+    let mut rows: Vec<(String, String, u64, u64, u64, u64, u64)> = Vec::new();
+    for from in ALL {
+        for to in ALL {
+            let mut img = migratable(from);
+            let before = steady(&mut img, calls);
+            // Park async work on the ring so the swap has something to
+            // carry: pending SQEs must re-issue through the new gate.
+            for ud in 0..3u64 {
+                img.submit_lib("uksched_verified", Sqe::new(32, 8, ud))
+                    .expect("submission before the drain is admitted");
+            }
+            let (applied, deferred) = migrate_all(&mut img, to, MigrationReason::Manual)
+                .expect("quiescent sweep image migrates");
+            assert_eq!(deferred, 0, "sweep image is quiescent between calls");
+            let t0 = img.machine.clock().cycles();
+            img.call_lib("uksched_verified", 64, 16, |m, _| {
+                m.charge(100);
+                Ok(0)
+            })
+            .expect("first post-swap crossing succeeds");
+            let first = img.machine.clock().cycles() - t0;
+            let after = steady(&mut img, calls);
+            // The requeued descriptors complete through the new backend.
+            let flushed = img
+                .call_lib_async("uksched_verified", |m, _, _| {
+                    m.charge(50);
+                    Ok(1)
+                })
+                .expect("requeued SQEs flush");
+            assert_eq!(flushed, 3, "{from:?}->{to:?} lost a requeued SQE");
+            let st = img.gates.migration_stats();
+            t.row(vec![
+                format!("{} -> {}", tag(from), tag(to)),
+                applied.to_string(),
+                format!("{before}"),
+                format!("{first}"),
+                format!("{after}"),
+                st.requeued_sqes.to_string(),
+            ]);
+            rows.push((
+                tag(from).to_string(),
+                tag(to).to_string(),
+                applied as u64,
+                before,
+                first,
+                after,
+                st.requeued_sqes,
+            ));
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape: swaps toward VM RPC multiply the steady crossing cost, swaps\n\
+         toward direct collapse it; the first post-swap crossing equals the\n\
+         steady cost (re-establishment is charged at swap time, not lazily).\n"
+    );
+
+    // Policy ladder demo: hostile windows escalate one rung at a time,
+    // sustained benign load relaxes after a streak.
+    let mut pol = MigrationPolicy::new(GateMechanism::MpkSharedStack);
+    let windows: &[(&str, PolicySignals)] = &[
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "chaos event",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 2,
+                window_ops: 512,
+            },
+        ),
+        (
+            "hardening abort",
+            PolicySignals {
+                hardening_aborts: 1,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+        (
+            "benign, loaded",
+            PolicySignals {
+                hardening_aborts: 0,
+                chaos_events: 0,
+                window_ops: 512,
+            },
+        ),
+    ];
+    let mut pt = Table::new(
+        "MigrationPolicy ladder (escalate on hostile window, relax after a benign streak)",
+        &["window", "signals", "decision", "mechanism after"],
+    );
+    let mut pol_rows: Vec<(String, String)> = Vec::new();
+    for (what, s) in windows {
+        let decision = pol.observe(*s);
+        let d = match decision {
+            PolicyDecision::Hold => "hold".to_string(),
+            PolicyDecision::Escalate { to } => {
+                pol.applied(to);
+                format!("escalate -> {}", tag(backend_of(to)))
+            }
+            PolicyDecision::Relax { to } => {
+                pol.applied(to);
+                format!("relax -> {}", tag(backend_of(to)))
+            }
+        };
+        pt.row(vec![
+            (*what).to_string(),
+            format!(
+                "aborts={} chaos={} ops={}",
+                s.hardening_aborts, s.chaos_events, s.window_ops
+            ),
+            d.clone(),
+            tag(backend_of(pol.current())).to_string(),
+        ]);
+        pol_rows.push(((*what).to_string(), d));
+    }
+    println!("{}", pt.render());
+
+    if let Some(path) = json {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None)
+            .str_field("experiment", "live-migration-sweep")
+            .u64_field("steady_calls", calls)
+            .begin_arr(Some("pairs"));
+        for (from, to, applied, before, first, after, requeued) in &rows {
+            w.begin_obj(None)
+                .str_field("from", from)
+                .str_field("to", to)
+                .u64_field("applied", *applied)
+                .u64_field("steady_before", *before)
+                .u64_field("first_after", *first)
+                .u64_field("steady_after", *after)
+                .u64_field("requeued_sqes", *requeued)
+                .end_obj();
+        }
+        w.end_arr().begin_arr(Some("policy"));
+        for (window, decision) in &pol_rows {
+            w.begin_obj(None)
+                .str_field("window", window)
+                .str_field("decision", decision)
+                .end_obj();
+        }
+        w.end_arr().end_obj();
+        match std::fs::write(path, w.finish()) {
+            Ok(()) => println!("Wrote JSON migration report to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 }
@@ -1117,6 +1445,7 @@ fn main() {
     let chaos_flag = args.iter().any(|a| a == "--chaos");
     let bench_flag = args.iter().any(|a| a == "--bench");
     let serve_flag = args.iter().any(|a| a == "--serve");
+    let migrate_flag = args.iter().any(|a| a == "--migrate");
     let conns: Option<usize> = args
         .iter()
         .find_map(|a| a.strip_prefix("--conns="))
@@ -1147,6 +1476,32 @@ fn main() {
         })
         .unwrap_or(1)
         .max(1);
+    let migrate_at: Option<(u64, flexos::build::BackendChoice)> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--migrate-at="))
+        .map(|s| {
+            use flexos::build::BackendChoice;
+            let (n, b) = s.split_once(':').unwrap_or((s, "vmrpc"));
+            let after: u64 = n.parse().unwrap_or_else(|_| {
+                eprintln!("--migrate-at must be BURSTS[:backend], got `{s}`");
+                std::process::exit(2);
+            });
+            let to = match b {
+                "direct" | "none" => BackendChoice::None,
+                "mpk-shared" => BackendChoice::MpkShared,
+                "mpk-switched" => BackendChoice::MpkSwitched,
+                "vmrpc" => BackendChoice::VmRpc,
+                "cheri" => BackendChoice::Cheri,
+                _ => {
+                    eprintln!(
+                        "--migrate-at backend must be \
+                         direct|mpk-shared|mpk-switched|vmrpc|cheri, got `{b}`"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            (after, to)
+        });
     let trace_out: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--trace-out=").map(str::to_string));
@@ -1163,7 +1518,10 @@ fn main() {
         .or_else(|| json_bare.then(|| "flexos-chaos.json".to_string()));
     let bench_json_path: Option<String> = json_explicit
         .clone()
-        .or_else(|| json_bare.then(|| "BENCH_9.json".to_string()));
+        .or_else(|| json_bare.then(|| "BENCH_10.json".to_string()));
+    let migrate_json_path: Option<String> = json_explicit
+        .clone()
+        .or_else(|| json_bare.then(|| "flexos-migrate.json".to_string()));
     let serve_json_path: Option<String> =
         json_explicit.or_else(|| json_bare.then(|| "flexos-serve.json".to_string()));
     let what = args
@@ -1179,6 +1537,8 @@ fn main() {
                 "bench".into()
             } else if serve_flag {
                 "serve".into()
+            } else if migrate_flag {
+                "migrate".into()
             } else {
                 "all".into()
             }
@@ -1227,7 +1587,11 @@ fn main() {
             conns,
             serve_json_path.as_deref(),
             trace_out.as_deref(),
+            migrate_at,
         );
+    }
+    if what == "migrate" || migrate_flag {
+        run_migrate(quick, migrate_json_path.as_deref());
     }
     if !all
         && ![
@@ -1243,12 +1607,13 @@ fn main() {
             "chaos",
             "bench",
             "serve",
+            "migrate",
         ]
         .contains(&what.as_str())
     {
         eprintln!(
             "unknown experiment `{what}`; expected \
-             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|bench|serve|all"
+             fig3|table1|fig4|fig5|cheri|ctxswitch|coloring|explore|stats|chaos|bench|serve|migrate|all"
         );
         std::process::exit(2);
     }

@@ -16,6 +16,7 @@
 //! container, seeding the perf trajectory (see EXPERIMENTS.md E13).
 
 use crate::experiments::Fig3Config;
+use flexos::build::BackendChoice;
 use flexos_apps::iperf::{run_iperf, IperfParams};
 use flexos_apps::redis::{run_redis, run_redis_with_stats, Mix, RedisParams};
 use flexos_apps::serve::{run_serve, run_serve_free, ServeParams, ServeResult};
@@ -771,6 +772,165 @@ pub fn serving_free_points(quick: bool) -> Vec<ServingPoint> {
         .collect()
 }
 
+/// The live-migration matrix: `(name, from, to)` backend swaps timed
+/// end to end. Covers a relax (VM RPC → direct), the matching escalate,
+/// an intra-MPK stack-discipline change and a heterogeneous-hardware
+/// hop (MPK → CHERI).
+pub const MIGRATION_MATRIX: &[(&str, BackendChoice, BackendChoice)] = &[
+    (
+        "migrate-direct-to-vmrpc",
+        BackendChoice::None,
+        BackendChoice::VmRpc,
+    ),
+    (
+        "migrate-vmrpc-to-direct",
+        BackendChoice::VmRpc,
+        BackendChoice::None,
+    ),
+    (
+        "migrate-mpk-shared-to-mpk-switched",
+        BackendChoice::MpkShared,
+        BackendChoice::MpkSwitched,
+    ),
+    (
+        "migrate-mpk-shared-to-cheri",
+        BackendChoice::MpkShared,
+        BackendChoice::Cheri,
+    ),
+];
+
+/// One live-migration bench row: the quiescence drain and the crossing
+/// cost around a runtime backend swap. Cycle fields are simulated
+/// (deterministic, byte-reproducible); `host_nanos` is wall clock
+/// (informational).
+#[derive(Debug, Clone)]
+pub struct MigrationPoint {
+    /// Stable row name (`migrate-<from>-to-<to>`).
+    pub name: &'static str,
+    /// Compartment pairs the swap covered.
+    pub pairs: u64,
+    /// Worst request→swap drain latency in simulated cycles. The
+    /// request is issued from *inside* a crossing, so the pair is busy
+    /// and the swap defers to the crossing's end — a real drain.
+    pub drain_cycles_max: u64,
+    /// Simulated cycles of the first crossing through the new backend.
+    pub first_cross_cycles: u64,
+    /// Steady per-crossing simulated cycles after the swap.
+    pub steady_cross_cycles: u64,
+    /// Pending async descriptors the drain carried across the swap.
+    pub requeued_sqes: u64,
+    /// Host wall-clock nanoseconds for the whole boot+swap+measure run.
+    pub host_nanos: u64,
+}
+
+fn migration_image(from: BackendChoice) -> flexos_machine::Result<flexos_backends::BootImage> {
+    use flexos::build::{ImageConfig, LibRole, LibraryConfig};
+    use flexos::spec::LibSpec;
+    let cfg = ImageConfig::new("migrate-bench", BackendChoice::MpkShared)
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
+        .with_library(LibraryConfig::new(
+            LibSpec::unsafe_c("netstack"),
+            LibRole::NetStack,
+        ))
+        .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+    let plan = flexos::build::plan(cfg).expect("the migration bench plan colors");
+    flexos_backends::instantiate_migratable(plan, from)
+}
+
+fn one_migration(
+    name: &'static str,
+    from: BackendChoice,
+    to: BackendChoice,
+    quick: bool,
+) -> flexos_machine::Result<MigrationPoint> {
+    use flexos::gate::{MigrationReason, Sqe};
+    let t_host = Instant::now();
+    let mut img = migration_image(from)?;
+    let calls = if quick { 8u64 } else { 64 };
+    let cross = |img: &mut flexos_backends::BootImage| {
+        img.call_lib("uksched_verified", 64, 16, |m, _| {
+            m.charge(100);
+            Ok(0i64)
+        })
+    };
+    for _ in 0..calls {
+        cross(&mut img)?;
+    }
+    // Park async work on the pair so the drain has descriptors to carry.
+    for ud in 0..4u64 {
+        img.submit_lib("uksched_verified", Sqe::new(32, 8, ud))?;
+    }
+    // Prepare the swap for the crossed pair, then request it from
+    // *inside* a crossing: the pair is mid-call, so the protocol must
+    // actually drain instead of swapping on the spot.
+    let caller = img.gates.current();
+    let target = img
+        .compartment_of_lib("uksched_verified")
+        .expect("scheduler lib exists");
+    let pair = if caller.0 <= target.0 {
+        (caller, target)
+    } else {
+        (target, caller)
+    };
+    let mut planned = std::collections::BTreeMap::new();
+    planned.insert(pair, to.mechanism());
+    let (gate, re) =
+        flexos_backends::prepare_pair_migration(&mut img, pair.0, pair.1, to, &planned)?;
+    img.call_lib("uksched_verified", 64, 16, move |m, rt| {
+        let applied =
+            rt.request_migration(m, pair.0, pair.1, gate, MigrationReason::Manual, Some(re))?;
+        assert!(!applied, "the crossed pair is busy; the swap must defer");
+        m.charge(200); // in-flight work the drain waits out
+        Ok(0i64)
+    })?;
+    let t0 = img.machine.clock().cycles();
+    cross(&mut img)?;
+    let first = img.machine.clock().cycles() - t0;
+    let t0 = img.machine.clock().cycles();
+    for _ in 0..calls {
+        cross(&mut img)?;
+    }
+    let steady = (img.machine.clock().cycles() - t0) / calls;
+    // The requeued descriptors must complete through the new backend.
+    let flushed = img.call_lib_async("uksched_verified", |m, _, _| {
+        m.charge(50);
+        Ok(1)
+    })?;
+    assert_eq!(flushed, 4, "{name}: a requeued SQE was lost");
+    let st = img.gates.migration_stats();
+    assert_eq!(st.completed, 1, "{name}: the deferred swap never landed");
+    Ok(MigrationPoint {
+        name,
+        pairs: st.completed,
+        drain_cycles_max: st.drain_cycles_max,
+        first_cross_cycles: first,
+        steady_cross_cycles: steady,
+        requeued_sqes: st.requeued_sqes,
+        host_nanos: t_host.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Runs the [`MIGRATION_MATRIX`]: one live backend swap per row,
+/// requested while the pair is mid-crossing. One sample each — every
+/// figure except `host_nanos` is simulated cycles and therefore exact.
+pub fn migration_points(quick: bool) -> Vec<MigrationPoint> {
+    MIGRATION_MATRIX
+        .iter()
+        .filter_map(
+            |&(name, from, to)| match one_migration(name, from, to, quick) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("migration point {name} failed: {e}");
+                    None
+                }
+            },
+        )
+        .collect()
+}
+
 /// Per-request cost ratio of the 10⁵-connection point over the
 /// 10³-connection point — the number the bench-smoke CI job asserts
 /// stays under 1.3 (O(ready): idle connections must be free).
@@ -854,18 +1014,19 @@ pub fn speedup_vs_baseline(p: &BenchPoint) -> Option<f64> {
     Some(b.host_nanos as f64 / p.host_nanos as f64)
 }
 
-/// Serializes the bench report as `BENCH_9.json` (hand-rolled; the build
-/// environment has no serde).
+/// Serializes the bench report as `BENCH_10.json` (hand-rolled; the
+/// build environment has no serde).
 pub fn bench_json(
     quick: bool,
     points: &[BenchPoint],
     latency: &[LatencyRow],
     serving: &[ServingPoint],
+    migration: &[MigrationPoint],
 ) -> String {
     let mut o = String::with_capacity(4096);
     o.push('{');
     o.push_str("\"schema\":\"flexos-bench-v1\",");
-    o.push_str("\"pr\":9,");
+    o.push_str("\"pr\":10,");
     let _ = write!(o, "\"quick\":{quick},");
     o.push_str("\"host_time\":true,");
     o.push_str("\"benches\":[");
@@ -1015,6 +1176,30 @@ pub fn bench_json(
             r.backlog_overflows, r.steals
         );
     }
+    o.push_str(
+        "]},\"migration\":{\"note\":\"live gate-backend swap through the \
+                quiescence protocol, requested while the pair is mid-crossing; \
+                drain/first/steady are simulated cycles (deterministic), \
+                host_nanos is wall clock (informational)\",\"points\":[",
+    );
+    for (i, p) in migration.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"name\":\"{}\",\"pairs\":{},\"drain_cycles_max\":{},\
+             \"first_cross_cycles\":{},\"steady_cross_cycles\":{},\
+             \"requeued_sqes\":{},\"host_nanos\":{}}}",
+            p.name,
+            p.pairs,
+            p.drain_cycles_max,
+            p.first_cross_cycles,
+            p.steady_cross_cycles,
+            p.requeued_sqes,
+            p.host_nanos
+        );
+    }
     o.push_str("]},\"baseline\":{\"note\":\"");
     o.push_str(BASELINE_NOTE);
     o.push_str("\",\"entries\":[");
@@ -1071,9 +1256,25 @@ mod tests {
             p99: 8_300,
             p999: 8_400,
         }];
-        let j = bench_json(true, &pts, &lat, &[]);
+        let mg = vec![MigrationPoint {
+            name: "migrate-direct-to-vmrpc",
+            pairs: 1,
+            drain_cycles_max: 340,
+            first_cross_cycles: 7_384,
+            steady_cross_cycles: 7_384,
+            requeued_sqes: 4,
+            host_nanos: 120_000,
+        }];
+        let j = bench_json(true, &pts, &lat, &[], &mg);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"schema\":\"flexos-bench-v1\""));
+        assert!(j.contains("\"pr\":10,"));
+        assert!(j.contains(
+            "{\"name\":\"migrate-direct-to-vmrpc\",\"pairs\":1,\
+             \"drain_cycles_max\":340,\"first_cross_cycles\":7384,\
+             \"steady_cross_cycles\":7384,\"requeued_sqes\":4,\
+             \"host_nanos\":120000}"
+        ));
         assert!(j.contains("\"rw-u64\""));
         assert!(j.contains("\"latency\":{"));
         assert!(j.contains(
@@ -1118,8 +1319,8 @@ mod tests {
         assert!(smp_speedup(&pts, "iperf", 2).is_none()); // t2 missing
         assert!(smp_speedup(&pts, "nope", 4).is_none());
         // The serialized report carries the ratios under the smp section.
-        let j = bench_json(true, &pts, &[], &[]);
-        assert!(j.contains("\"pr\":9"));
+        let j = bench_json(true, &pts, &[], &[], &[]);
+        assert!(j.contains("\"pr\":10"));
         assert!(j.contains("\"smp\":{"));
         assert!(j.contains("\"workload\":\"iperf\",\"threads\":4,\"speedup_vs_t1\":4.000"));
         assert!(j.contains("\"workload\":\"redis\",\"threads\":4,\"speedup_vs_t1\":2.000"));
@@ -1143,14 +1344,14 @@ mod tests {
         assert!(async_speedup(&pts, "direct").is_none());
         assert!(async_speedup(&pts, "nope").is_none());
         // The serialized report carries the ratios under gate_async.
-        let j = bench_json(true, &pts, &[], &[]);
+        let j = bench_json(true, &pts, &[], &[], &[]);
         assert!(j.contains("\"gate_async\":{"));
         assert!(j.contains("{\"backend\":\"vmrpc\",\"speedup_async_vs_sync\":4.000}"));
     }
 
     #[test]
     fn gate_async_matrix_names_follow_the_backend_label() {
-        // bench-smoke greps these exact names out of BENCH_9.json; keep
+        // bench-smoke greps these exact names out of BENCH_10.json; keep
         // name and backend label consistent.
         for &(name, label, _) in GATE_ASYNC_MATRIX {
             assert_eq!(name, format!("gate-async-{label}"));
@@ -1182,7 +1383,7 @@ mod tests {
             mk("serve-c100k", 100_000, 11_000),
         ];
         assert_eq!(serving_flat_ratio(&serving), Some(1.1));
-        let j = bench_json(true, &[], &[], &serving);
+        let j = bench_json(true, &[], &[], &serving, &[]);
         assert!(j.contains("\"serving\":{"));
         assert!(j.contains("\"flat_ratio_c100k_vs_c1k\":1.100"));
         assert!(j.contains("\"name\":\"serve-c100k\",\"conns\":100000"));
@@ -1194,13 +1395,38 @@ mod tests {
         });
         assert_eq!(depth, 0);
         // Without both endpoints the ratio degrades to null, not a panic.
-        let j = bench_json(true, &[], &[], &serving[..1]);
+        let j = bench_json(true, &[], &[], &serving[..1], &[]);
         assert!(j.contains("\"flat_ratio_c100k_vs_c1k\":null"));
     }
 
     #[test]
+    fn migration_points_defer_through_a_busy_pair_and_carry_the_ring() {
+        let pts = migration_points(true);
+        assert_eq!(pts.len(), MIGRATION_MATRIX.len());
+        for p in &pts {
+            // The request fires mid-crossing, so every row saw a real
+            // drain; the four parked descriptors crossed the swap.
+            assert!(p.drain_cycles_max > 0, "{} never drained", p.name);
+            assert_eq!(p.requeued_sqes, 4, "{} lost ring work", p.name);
+            assert_eq!(p.pairs, 1);
+            assert!(p.steady_cross_cycles > 0);
+        }
+        let esc = pts
+            .iter()
+            .find(|p| p.name == "migrate-direct-to-vmrpc")
+            .unwrap();
+        let rel = pts
+            .iter()
+            .find(|p| p.name == "migrate-vmrpc-to-direct")
+            .unwrap();
+        // Escalating to VM RPC multiplies the steady crossing cost;
+        // relaxing to direct collapses it.
+        assert!(esc.steady_cross_cycles > 10 * rel.steady_cross_cycles);
+    }
+
+    #[test]
     fn smp_matrix_names_follow_the_thread_count() {
-        // bench-smoke greps these exact names out of BENCH_9.json; keep
+        // bench-smoke greps these exact names out of BENCH_10.json; keep
         // name, workload and thread count consistent.
         for &(name, workload, threads) in SMP_MATRIX {
             assert_eq!(name, format!("smp-{workload}-t{threads}"));

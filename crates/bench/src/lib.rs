@@ -16,7 +16,7 @@
 //! Beyond the paper: `reproduce -- --serve` drives the sharded-proxy
 //! serving tier (open-loop Poisson load, p50/p99/p999 latency), and
 //! `reproduce -- --bench` records the host-time + serving scaling
-//! matrices ([`hostbench`]) into `BENCH_9.json`.
+//! matrices ([`hostbench`]) into `BENCH_10.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

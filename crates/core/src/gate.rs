@@ -18,7 +18,7 @@ use crate::spec::transform::ShSet;
 use flexos_machine::{Addr, Fault, Machine, Pkru, ProtKey, Result, VcpuId, VmId};
 use flexos_trace::{GateTrace, SpanId, SpanKind};
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -70,6 +70,92 @@ impl GateMechanism {
             GateMechanism::DirectCall | GateMechanism::MpkSharedStack
         )
     }
+
+    /// Position on the isolation-strength ladder the migration policy
+    /// climbs: function call (0) → MPK shared stack → MPK switched
+    /// stack → CHERI → VM RPC (4). A live migration to a higher rank
+    /// escalates isolation; to a lower rank relaxes it.
+    pub fn isolation_rank(self) -> u8 {
+        match self {
+            GateMechanism::DirectCall => 0,
+            GateMechanism::MpkSharedStack => 1,
+            GateMechanism::MpkSwitchedStack => 2,
+            GateMechanism::Cheri => 3,
+            GateMechanism::VmRpc => 4,
+        }
+    }
+}
+
+/// Why a live backend migration was requested — the policy intent,
+/// tallied in [`MigrationStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationReason {
+    /// Operator- or test-driven switch.
+    Manual,
+    /// Policy raised isolation (flexos-inject chaos or a
+    /// `HardeningAbort` fired).
+    Escalate,
+    /// Policy lowered isolation under sustained load.
+    Relax,
+}
+
+impl MigrationReason {
+    /// Short machine-readable tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationReason::Manual => "manual",
+            MigrationReason::Escalate => "escalate",
+            MigrationReason::Relax => "relax",
+        }
+    }
+}
+
+/// Cumulative live-migration counters (additive `--stats` block since
+/// PR 10). Host-side bookkeeping: the drain/swap machinery charges no
+/// simulated cycles of its own, so a run in which no migration triggers
+/// is bit-identical to one without the machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Migrations requested (applied immediately or deferred).
+    pub requested: u64,
+    /// Migrations whose backend swap completed.
+    pub completed: u64,
+    /// Requests that had to wait for in-flight work to drain.
+    pub deferred: u64,
+    /// SQE submissions refused with [`Fault::GateDraining`] while the
+    /// pair was draining (the admission stop that bounds the drain).
+    pub rejected_submits: u64,
+    /// Pending SQEs carried across a swap — they re-issue through the
+    /// incoming backend on the next flush.
+    pub requeued_sqes: u64,
+    /// Ready CQEs preserved (still reapable) across a swap.
+    pub preserved_cqes: u64,
+    /// Total drain latency (request → swap), simulated cycles.
+    pub drain_cycles_total: u64,
+    /// Worst single drain latency, simulated cycles.
+    pub drain_cycles_max: u64,
+    /// Completed migrations requested as [`MigrationReason::Escalate`].
+    pub escalations: u64,
+    /// Completed migrations requested as [`MigrationReason::Relax`].
+    pub relaxations: u64,
+}
+
+/// Backend-state re-establishment hook a migration runs at swap time,
+/// once the pair is quiescent: pkey retags (driving the machine's
+/// generation-counter TLB invalidation), PKRU view updates, VM-RPC
+/// inbox/doorbell hygiene. Runs with the machine, every compartment
+/// context, and the currently-executing compartment; the backend layer
+/// builds it (`flexos-backends::migrate`), the gate runtime only
+/// schedules it.
+pub type ReestablishFn =
+    Arc<dyn Fn(&mut Machine, &mut [CompartmentCtx], CompartmentId) -> Result<()> + Send + Sync>;
+
+/// One draining pair: the backend swap waiting for quiescence.
+struct PendingMigration {
+    gate: Arc<dyn Gate>,
+    reason: MigrationReason,
+    reestablish: Option<ReestablishFn>,
+    requested_at: u64,
 }
 
 /// Tunable gate-runtime behaviour (per image).
@@ -457,6 +543,18 @@ pub struct GateRuntime {
     config: GateConfig,
     rings: BTreeMap<(CompartmentId, CompartmentId), AsyncRing>,
     async_stats: AsyncGateStats,
+    /// Pairs (normalized `a <= b`) whose backend swap is waiting for
+    /// quiescence. Admission onto the pair's submission rings is
+    /// stopped while an entry is present.
+    draining: BTreeMap<(CompartmentId, CompartmentId), PendingMigration>,
+    /// Stack of pairs with a `cross_batch`/flush in progress — those
+    /// pairs are not quiescent even when no call is on the compartment
+    /// stack (between two calls of a batch).
+    active_batches: Vec<(CompartmentId, CompartmentId)>,
+    /// Pairs that swapped but have not crossed since: the next crossing
+    /// records the post-swap span probe.
+    post_swap: BTreeSet<(CompartmentId, CompartmentId)>,
+    migration_stats: MigrationStats,
 }
 
 impl fmt::Debug for GateRuntime {
@@ -499,6 +597,10 @@ impl GateRuntime {
             config: GateConfig::default(),
             rings: BTreeMap::new(),
             async_stats: AsyncGateStats::default(),
+            draining: BTreeMap::new(),
+            active_batches: Vec::new(),
+            post_swap: BTreeSet::new(),
+            migration_stats: MigrationStats::default(),
         }
     }
 
@@ -521,18 +623,30 @@ impl GateRuntime {
         self.config.overlap_enabled = on;
     }
 
+    /// Normalized (both-directions) key for a compartment pair.
+    fn pair_key(a: CompartmentId, b: CompartmentId) -> (CompartmentId, CompartmentId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
     /// Overrides the gate used between `a` and `b` (both directions).
     pub fn set_pair_gate(&mut self, a: CompartmentId, b: CompartmentId, gate: Arc<dyn Gate>) {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.pair_gates.insert(key, gate);
+        self.pair_gates.insert(Self::pair_key(a, b), gate);
     }
 
     fn gate_for(&self, a: CompartmentId, b: CompartmentId) -> Arc<dyn Gate> {
-        let key = if a <= b { (a, b) } else { (b, a) };
         self.pair_gates
-            .get(&key)
+            .get(&Self::pair_key(a, b))
             .cloned()
             .unwrap_or_else(|| Arc::clone(&self.default_gate))
+    }
+
+    /// The mechanism currently serving the `(a, b)` pair.
+    pub fn pair_mechanism(&self, a: CompartmentId, b: CompartmentId) -> GateMechanism {
+        self.gate_for(a, b).mechanism()
     }
 
     /// The compartment currently executing.
@@ -569,12 +683,194 @@ impl GateRuntime {
     pub fn reset_stats(&mut self) {
         self.stats = GateStats::default();
         self.async_stats = AsyncGateStats::default();
+        self.migration_stats = MigrationStats::default();
         self.trace.reset();
     }
 
     /// Cumulative async-ring counters.
     pub fn async_stats(&self) -> AsyncGateStats {
         self.async_stats
+    }
+
+    /// Cumulative live-migration counters.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration_stats
+    }
+
+    /// Whether the `(a, b)` pair is draining towards a backend swap.
+    pub fn migration_pending(&self, a: CompartmentId, b: CompartmentId) -> bool {
+        self.draining.contains_key(&Self::pair_key(a, b))
+    }
+
+    /// Requests a live backend swap for the `(a, b)` pair — the
+    /// quiescence protocol's entry point.
+    ///
+    /// If the pair is quiescent (no in-flight sync call has the pair on
+    /// the compartment stack, no `cross_batch` or async-ring flush over
+    /// the pair is mid-loop), the swap applies immediately and `Ok(true)`
+    /// is returned. Otherwise the pair is marked *draining* — SQE
+    /// admission onto its rings is refused with [`Fault::GateDraining`]
+    /// so a continuous submitter cannot stall quiescence — and the swap
+    /// is deferred to the next safe point (end of the in-flight call,
+    /// batch, flush, or a [`GateRuntime::resume_in`] context switch);
+    /// `Ok(false)` is returned. Either way the pair's queued SQEs are
+    /// carried across the swap (they re-issue through the new backend on
+    /// the next flush) and ready CQEs stay reapable — the same
+    /// completed-prefix machinery a mid-flush `HardeningAbort` uses.
+    ///
+    /// `reestablish`, when present, runs at swap time to re-establish
+    /// backend state (pkey retags via the generation-counter TLB
+    /// invalidation, PKRU views, VM-RPC inbox hygiene); the
+    /// `flexos-backends` migration layer builds it.
+    ///
+    /// Span probes: `drain-start` at the request, `drain-end` spanning
+    /// the drain window, `swap` at the switch, and `first-crossing` on
+    /// the pair's next crossing — all [`SpanKind::Migrate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is unknown or `a == b`.
+    pub fn request_migration(
+        &mut self,
+        m: &mut Machine,
+        a: CompartmentId,
+        b: CompartmentId,
+        gate: Arc<dyn Gate>,
+        reason: MigrationReason,
+        reestablish: Option<ReestablishFn>,
+    ) -> Result<bool> {
+        assert!((a.0 as usize) < self.compartments.len(), "unknown {a}");
+        assert!((b.0 as usize) < self.compartments.len(), "unknown {b}");
+        assert_ne!(a, b, "a gate pair has two distinct compartments");
+        let key = Self::pair_key(a, b);
+        let now = m.clock().cycles();
+        m.span_trace_mut().record(
+            self.compartments[key.0 .0 as usize].vcpu.0 as u16,
+            SpanKind::Migrate,
+            "drain-start",
+            key.0 .0,
+            key.1 .0,
+            now,
+            now,
+        );
+        self.migration_stats.requested += 1;
+        let pending = PendingMigration {
+            gate,
+            reason,
+            reestablish,
+            requested_at: now,
+        };
+        if self.migration_safe(key) {
+            self.complete_migration(m, key, pending)?;
+            Ok(true)
+        } else {
+            self.migration_stats.deferred += 1;
+            // Latest request wins if the pair was already draining; the
+            // admission stop carries over either way.
+            self.draining.insert(key, pending);
+            Ok(false)
+        }
+    }
+
+    /// Applies every pending migration whose pair became quiescent —
+    /// the pump drivers call from their idle loop so a drain completes
+    /// even when no further crossings occur. Returns how many swaps
+    /// were applied.
+    pub fn poll_migrations(&mut self, m: &mut Machine) -> Result<usize> {
+        let before = self.migration_stats.completed;
+        self.apply_ready_migrations(m)?;
+        Ok((self.migration_stats.completed - before) as usize)
+    }
+
+    /// A pair is quiescent when no in-flight sync call crosses it (no
+    /// adjacent window of the compartment stack is the pair) and no
+    /// batch or flush over it is mid-loop.
+    fn migration_safe(&self, key: (CompartmentId, CompartmentId)) -> bool {
+        !self.active_batches.contains(&key)
+            && !self
+                .stack
+                .windows(2)
+                .any(|w| Self::pair_key(w[0], w[1]) == key)
+    }
+
+    /// Completes every ready pending migration, in normalized pair
+    /// order (deterministic). Invoked from the quiescence safe points:
+    /// end of a crossing, each batched call, batch/flush epilogues, and
+    /// context switches.
+    fn apply_ready_migrations(&mut self, m: &mut Machine) -> Result<()> {
+        if self.draining.is_empty() {
+            return Ok(());
+        }
+        let ready: Vec<_> = self
+            .draining
+            .keys()
+            .copied()
+            .filter(|k| self.migration_safe(*k))
+            .collect();
+        for key in ready {
+            let pending = self.draining.remove(&key).expect("collected above");
+            self.complete_migration(m, key, pending)?;
+        }
+        Ok(())
+    }
+
+    /// The swap itself, run at quiescence: count the descriptors
+    /// carried across, re-establish backend state, install the new
+    /// gate, and record the migration span probes and counters.
+    fn complete_migration(
+        &mut self,
+        m: &mut Machine,
+        key: (CompartmentId, CompartmentId),
+        pending: PendingMigration,
+    ) -> Result<()> {
+        let (a, b) = key;
+        // Quiesced rings: pending SQEs stay queued and re-issue through
+        // the incoming backend on the next flush; ready CQEs stay
+        // reapable (the completed prefix is preserved, like a mid-flush
+        // HardeningAbort).
+        let mut requeued = 0u64;
+        let mut preserved = 0u64;
+        for dir in [(a, b), (b, a)] {
+            if let Some(r) = self.rings.get(&dir) {
+                requeued += r.sq.len() as u64;
+                preserved += r.cq_ready() as u64;
+            }
+        }
+        // Re-establish backend state before the swap becomes visible;
+        // the pair is quiescent, so nothing simulated interleaves. A
+        // failure here aborts the migration (the old gate stays).
+        if let Some(re) = &pending.reestablish {
+            let cur = self.current();
+            re(m, &mut self.compartments, cur)?;
+        }
+        let now = m.clock().cycles();
+        let shard = self.compartments[a.0 as usize].vcpu.0 as u16;
+        m.span_trace_mut().record(
+            shard,
+            SpanKind::Migrate,
+            "drain-end",
+            a.0,
+            b.0,
+            pending.requested_at,
+            now,
+        );
+        m.span_trace_mut()
+            .record(shard, SpanKind::Migrate, "swap", a.0, b.0, now, now);
+        self.pair_gates.insert(key, pending.gate);
+        self.post_swap.insert(key);
+        let st = &mut self.migration_stats;
+        st.completed += 1;
+        st.requeued_sqes += requeued;
+        st.preserved_cqes += preserved;
+        let drain = now - pending.requested_at;
+        st.drain_cycles_total += drain;
+        st.drain_cycles_max = st.drain_cycles_max.max(drain);
+        match pending.reason {
+            MigrationReason::Escalate => st.escalations += 1,
+            MigrationReason::Relax => st.relaxations += 1,
+            MigrationReason::Manual => {}
+        }
+        Ok(())
     }
 
     /// Per-pair/per-mechanism crossing telemetry.
@@ -661,7 +957,36 @@ impl GateRuntime {
             t0,
             t1 + exit_cycles,
         );
+        self.record_post_swap(m, from, target, t0, t1 + exit_cycles);
+        self.apply_ready_migrations(m)?;
         result
+    }
+
+    /// Records the `first-crossing` migration span probe if this was the
+    /// pair's first crossing since a backend swap.
+    fn record_post_swap(
+        &mut self,
+        m: &mut Machine,
+        from: CompartmentId,
+        target: CompartmentId,
+        t0: u64,
+        t1: u64,
+    ) {
+        if self.post_swap.is_empty() {
+            return;
+        }
+        let key = Self::pair_key(from, target);
+        if self.post_swap.remove(&key) {
+            m.span_trace_mut().record(
+                self.compartments[from.0 as usize].vcpu.0 as u16,
+                SpanKind::Migrate,
+                "first-crossing",
+                from.0,
+                target.0,
+                t0,
+                t1,
+            );
+        }
     }
 
     /// Vectored gate crossing: runs `calls.len()` calls into `target`,
@@ -733,6 +1058,36 @@ impl GateRuntime {
     /// CQE — neither pays for a result buffer it doesn't want); `sink`
     /// returning `Ok(false)` stops the batch after the current call.
     fn cross_batch_core<R>(
+        &mut self,
+        m: &mut Machine,
+        target: CompartmentId,
+        len: usize,
+        desc: impl Fn(usize) -> (u64, u64),
+        f: impl FnMut(&mut Machine, &mut GateRuntime, usize) -> Result<R>,
+        sink: impl FnMut(&mut Machine, &mut GateRuntime, usize, R) -> Result<bool>,
+    ) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let from = self.current();
+        if from == target {
+            return self.cross_batch_core_inner(m, target, len, desc, f, sink);
+        }
+        // The whole batch holds the pair non-quiescent — a migration
+        // requested from inside any call (reference or fast path alike)
+        // defers to the batch's end, keeping batch on/off bit-identical.
+        self.active_batches.push(Self::pair_key(from, target));
+        let result = self.cross_batch_core_inner(m, target, len, desc, f, sink);
+        self.active_batches.pop();
+        // The batch boundary is a safe point, even when the batch
+        // itself errored out.
+        let mig = self.apply_ready_migrations(m);
+        result.and(mig)
+    }
+
+    /// The batch loop proper; `cross_batch_core` wraps it with the
+    /// active-batch quiescence guard.
+    fn cross_batch_core_inner<R>(
         &mut self,
         m: &mut Machine,
         target: CompartmentId,
@@ -875,6 +1230,13 @@ impl GateRuntime {
                 t0,
                 t1 + exit_cycles,
             );
+            // Migration safe point mirroring `cross` (the batch's own
+            // pair stays guarded by `active_batches`).
+            self.record_post_swap(m, from, target, t0, t1 + exit_cycles);
+            if let Err(e) = self.apply_ready_migrations(m) {
+                self.trace.record_batch(label, issued);
+                return Err(e);
+            }
             let r = match result {
                 Ok(r) => r,
                 Err(e) => {
@@ -911,6 +1273,7 @@ impl GateRuntime {
             "unknown {target}"
         );
         let from = self.current();
+        self.check_admission(from, target)?;
         let ring = self.rings.entry((from, target)).or_default();
         if ring.sq.len() >= ring.depth {
             self.async_stats.sq_full += 1;
@@ -936,6 +1299,7 @@ impl GateRuntime {
             "unknown {target}"
         );
         let from = self.current();
+        self.check_admission(from, target)?;
         let ring = self.rings.entry((from, target)).or_default();
         let room = ring.depth.saturating_sub(ring.sq.len());
         let take = room.min(sqes.len());
@@ -945,6 +1309,20 @@ impl GateRuntime {
             self.async_stats.sq_full += 1;
         }
         Ok(take)
+    }
+
+    /// The quiescence protocol's admission stop: submissions onto a
+    /// draining pair's rings are refused so continuous submitters
+    /// cannot stall the drain — queued work only ever shrinks while a
+    /// migration is pending.
+    fn check_admission(&mut self, from: CompartmentId, target: CompartmentId) -> Result<()> {
+        if self.draining.is_empty() || !self.draining.contains_key(&Self::pair_key(from, target)) {
+            return Ok(());
+        }
+        self.migration_stats.rejected_submits += 1;
+        Err(Fault::GateDraining {
+            mechanism: self.gate_for(from, target).mechanism().label(),
+        })
     }
 
     /// Raises (never lowers) the `(current → target)` ring's slot
@@ -1081,6 +1459,18 @@ impl GateRuntime {
         if slot.sq.is_empty() {
             return Ok(0);
         }
+        // The pair stays non-quiescent until the ring is merged back:
+        // a migration completed mid-flush would otherwise count (and
+        // requeue) the placeholder ring instead of the real one. The
+        // inner `cross_batch_core` pushes and pops its own guard; this
+        // outer one outlives it.
+        let flush_guard = if from == target {
+            None
+        } else {
+            let key = Self::pair_key(from, target);
+            self.active_batches.push(key);
+            Some(key)
+        };
         let mut ring = std::mem::take(slot);
         // Overlap-off maps onto the batch choice for this one internal
         // call: the flush degrades to a loop of plain `cross`.
@@ -1135,6 +1525,13 @@ impl GateRuntime {
         ring.sq.append(&mut slot.sq);
         ring.cq.extend_from_slice(&slot.cq[slot.cq_head..]);
         *slot = ring;
+        if flush_guard.is_some() {
+            self.active_batches.pop();
+            // With the ring back in place the flush boundary is a safe
+            // point: a swap here carries the leftover descriptors.
+            let mig = self.apply_ready_migrations(m);
+            return result.and(mig).map(|_| posted);
+        }
         result.map(|_| posted)
     }
 
@@ -1157,6 +1554,8 @@ impl GateRuntime {
         }
         self.stack.clear();
         self.stack.push(id);
+        // A context switch is a quiescent point for every pair.
+        self.apply_ready_migrations(m)?;
         Ok(())
     }
 }
@@ -1685,5 +2084,228 @@ mod tests {
         rt.poll_completions(t, &mut cqes);
         let order: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
         assert_eq!(order, vec![0, 1, 2, 100]);
+    }
+
+    /// A distinguishable gate for migration tests: flat per-leg cost,
+    /// advertised as the MPK shared-stack mechanism.
+    #[derive(Debug)]
+    struct CostedGate {
+        mech: GateMechanism,
+        cost: u64,
+    }
+
+    impl Gate for CostedGate {
+        fn mechanism(&self) -> GateMechanism {
+            self.mech
+        }
+        fn enter(
+            &self,
+            m: &mut Machine,
+            _from: &CompartmentCtx,
+            _to: &CompartmentCtx,
+            _arg_bytes: u64,
+        ) -> Result<()> {
+            m.charge(self.cost);
+            Ok(())
+        }
+        fn exit(
+            &self,
+            m: &mut Machine,
+            _callee: &CompartmentCtx,
+            _caller: &CompartmentCtx,
+            _ret_bytes: u64,
+        ) -> Result<()> {
+            m.charge(self.cost);
+            Ok(())
+        }
+    }
+
+    fn mpk_gate() -> Arc<dyn Gate> {
+        Arc::new(CostedGate {
+            mech: GateMechanism::MpkSharedStack,
+            cost: 30,
+        })
+    }
+
+    #[test]
+    fn isolation_rank_orders_the_ladder() {
+        use GateMechanism::*;
+        let ladder = [DirectCall, MpkSharedStack, MpkSwitchedStack, Cheri, VmRpc];
+        for w in ladder.windows(2) {
+            assert!(w[0].isolation_rank() < w[1].isolation_rank());
+        }
+    }
+
+    #[test]
+    fn quiescent_migration_applies_immediately() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        assert_eq!(rt.pair_mechanism(a, b), GateMechanism::DirectCall);
+        let applied = rt
+            .request_migration(&mut m, a, b, mpk_gate(), MigrationReason::Manual, None)
+            .unwrap();
+        assert!(applied);
+        assert!(!rt.migration_pending(a, b));
+        assert_eq!(rt.pair_mechanism(a, b), GateMechanism::MpkSharedStack);
+        let st = rt.migration_stats();
+        assert_eq!((st.requested, st.completed, st.deferred), (1, 1, 0));
+
+        // The next crossing runs through the new backend and records the
+        // first-crossing probe.
+        rt.cross(&mut m, b, 8, 8, |_, _| Ok(())).unwrap();
+        let labels: Vec<&str> = m
+            .span_trace()
+            .merged_events()
+            .iter()
+            .filter(|(_, ev)| ev.kind == SpanKind::Migrate)
+            .map(|(_, ev)| ev.label)
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["drain-start", "drain-end", "swap", "first-crossing"]
+        );
+    }
+
+    #[test]
+    fn migration_mid_call_defers_to_the_crossing_end() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        rt.cross(&mut m, b, 0, 0, |m, rt| {
+            let applied =
+                rt.request_migration(m, a, b, mpk_gate(), MigrationReason::Escalate, None)?;
+            assert!(!applied, "pair is on the call stack; must defer");
+            assert!(rt.migration_pending(a, b));
+            // The swap stays invisible while the call is in flight.
+            assert_eq!(rt.pair_mechanism(a, b), GateMechanism::DirectCall);
+            // Simulated work between the request and the safe point makes
+            // the drain window observable in the counters.
+            m.charge(100);
+            Ok(())
+        })
+        .unwrap();
+        // The crossing's epilogue was the safe point.
+        assert!(!rt.migration_pending(a, b));
+        assert_eq!(rt.pair_mechanism(a, b), GateMechanism::MpkSharedStack);
+        let st = rt.migration_stats();
+        assert_eq!((st.deferred, st.completed, st.escalations), (1, 1, 1));
+        assert!(st.drain_cycles_max > 0);
+    }
+
+    #[test]
+    fn migration_mid_batch_defers_in_both_batch_modes() {
+        for on in [true, false] {
+            let (mut m, mut rt) = fresh_rt();
+            rt.set_batch_enabled(on);
+            let (a, b) = (CompartmentId(0), CompartmentId(1));
+            rt.cross_batch(&mut m, b, &CallVec::uniform(3, 4, 4), |m, rt, idx| {
+                if idx == 1 {
+                    let applied =
+                        rt.request_migration(m, a, b, mpk_gate(), MigrationReason::Relax, None)?;
+                    assert!(!applied, "mid-batch request must defer (batch on={on})");
+                }
+                Ok(())
+            })
+            .unwrap();
+            assert!(!rt.migration_pending(a, b));
+            assert_eq!(rt.pair_mechanism(a, b), GateMechanism::MpkSharedStack);
+            assert_eq!(rt.migration_stats().relaxations, 1);
+        }
+    }
+
+    #[test]
+    fn submissions_onto_a_draining_pair_are_refused() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        rt.cross(&mut m, b, 0, 0, |m, rt| {
+            rt.request_migration(m, a, b, mpk_gate(), MigrationReason::Manual, None)?;
+            // Admission stop: the drain only ever shrinks queued work.
+            let err = rt.submit(a, Sqe::new(4, 4, 7)).unwrap_err();
+            assert!(matches!(
+                err,
+                Fault::GateDraining {
+                    mechanism: "function call"
+                }
+            ));
+            assert!(!err.is_protection_fault());
+            let err = rt.submit_many(a, &[Sqe::new(4, 4, 8)]).unwrap_err();
+            assert!(matches!(err, Fault::GateDraining { .. }));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rt.migration_stats().rejected_submits, 2);
+        // Post-swap the pair admits again.
+        rt.cross(&mut m, b, 0, 0, |_, rt| {
+            rt.submit(a, Sqe::new(4, 4, 9))?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn swap_requeues_pending_sqes_and_preserves_ready_cqes() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        for i in 0..4u64 {
+            rt.submit(b, Sqe::new(4, 4, i)).unwrap();
+        }
+        // Complete the first two, keep two queued.
+        rt.flush_async_until(
+            &mut m,
+            b,
+            |_, _, sqe| Ok(sqe.user_data as i64),
+            |_, _, sqe, _| Ok(sqe.user_data < 1),
+        )
+        .unwrap();
+        assert_eq!((rt.sq_pending(b), rt.cq_ready(b)), (2, 2));
+
+        let applied = rt
+            .request_migration(&mut m, a, b, mpk_gate(), MigrationReason::Manual, None)
+            .unwrap();
+        assert!(applied);
+        let st = rt.migration_stats();
+        assert_eq!((st.requeued_sqes, st.preserved_cqes), (2, 2));
+        // Completed prefix reaps; survivors re-issue via the new backend.
+        assert_eq!(rt.reap(b).unwrap().user_data, 0);
+        assert_eq!(rt.reap(b).unwrap().user_data, 1);
+        let before = m.clock().cycles();
+        rt.flush_async(&mut m, b, |_, _, sqe| Ok(sqe.user_data as i64))
+            .unwrap();
+        assert!(m.clock().cycles() > before, "new gate charges crossings");
+        let mut cqes = Vec::new();
+        rt.poll_completions(b, &mut cqes);
+        let order: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
+        assert_eq!(order, vec![2, 3]);
+    }
+
+    #[test]
+    fn reestablish_failure_aborts_the_swap() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        let re: ReestablishFn = Arc::new(|_, _, _| Err(Fault::OutOfMemory { requested_pages: 1 }));
+        let err = rt
+            .request_migration(&mut m, a, b, mpk_gate(), MigrationReason::Manual, Some(re))
+            .unwrap_err();
+        assert!(matches!(err, Fault::OutOfMemory { .. }));
+        // The old gate stays installed and the pair is not stuck draining.
+        assert_eq!(rt.pair_mechanism(a, b), GateMechanism::DirectCall);
+        assert!(!rt.migration_pending(a, b));
+        assert_eq!(rt.migration_stats().completed, 0);
+    }
+
+    #[test]
+    fn context_switch_is_a_quiescent_point() {
+        let (mut m, mut rt) = fresh_rt();
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        // Defer a swap, then resume instead of crossing again.
+        rt.cross(&mut m, b, 0, 0, |m, rt| {
+            rt.request_migration(m, a, b, mpk_gate(), MigrationReason::Manual, None)?;
+            Ok(())
+        })
+        .unwrap();
+        // Already applied at the crossing end; poll is then a no-op.
+        assert_eq!(rt.poll_migrations(&mut m).unwrap(), 0);
+        assert_eq!(rt.pair_mechanism(a, b), GateMechanism::MpkSharedStack);
+        rt.resume_in(&mut m, a).unwrap();
+        assert_eq!(rt.current(), a);
     }
 }

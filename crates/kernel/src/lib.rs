@@ -22,6 +22,9 @@
 //!   compartment in the evaluation images, reproducing the paper's
 //!   finding that merging the network stack and scheduler compartments
 //!   does not help while semaphores sit elsewhere.
+//! * [`migrate`] — the live gate-backend migration policy (escalate on
+//!   threat evidence, relax under sustained load) driving the core
+//!   quiescence protocol from the reproduce and serve harnesses.
 //! * [`mq`] — a message-queue micro-library in simulated shared memory.
 //! * [`smp`] — host-side SMP primitives (work-stealing deques, SPSC
 //!   doorbell rings) for the free-running bench mode; the deterministic
@@ -38,6 +41,7 @@ pub mod alloc;
 pub mod contract;
 pub mod cotask;
 pub mod exec;
+pub mod migrate;
 pub mod mq;
 pub mod sched;
 pub mod smp;
@@ -49,8 +53,9 @@ pub use alloc::{
 };
 pub use cotask::{CoExecutor, CoPoll, CoTask, CoTaskId};
 pub use exec::{ExecSummary, Executor, KernelHal, Step, Task};
+pub use migrate::{MigrationPolicy, PolicyDecision, PolicySignals};
 pub use mq::{GateRing, MsgQueue, WireCqe, WireSqe, CQE_BYTES, SQE_BYTES};
 pub use sched::{CoopScheduler, RunQueue, SmpRunQueue, ThreadId, VerifiedScheduler};
-pub use smp::{Doorbell, SpscRing, WorkStealQueue};
+pub use smp::{Doorbell, DrainBarrier, SpscRing, WorkStealQueue};
 pub use sync::{Mutex, SemId, SemTable, Semaphore, WaitChannel, WaitQueue};
 pub use timer::{TimerAction, TimerId, TimerWheel};

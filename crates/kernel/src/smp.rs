@@ -239,6 +239,74 @@ impl<T> WorkStealQueue<T> {
     }
 }
 
+/// The host-side admission barrier behind live gate-backend migration.
+///
+/// Free-running serve shards call [`DrainBarrier::try_enter`] before each
+/// burst of gate work and [`DrainBarrier::exit`] after; the migration
+/// driver calls [`DrainBarrier::begin_drain`], after which `try_enter`
+/// fails (the shard backs off and retries post-swap) and the driver spins
+/// on [`DrainBarrier::quiesced`] until the last in-flight burst exits.
+/// Because admission stops *before* the wait begins, a shard that submits
+/// continuously cannot stall quiescence: `in_flight` only ever shrinks
+/// once `closed` is set — the same argument the simulated gate runtime
+/// makes with [`Fault::GateDraining`](flexos_machine::Fault).
+///
+/// Orderings: `closed` uses SeqCst on both sides so a `try_enter` that
+/// saw `closed == 0` and its increment cannot be reordered past a
+/// `begin_drain`; in-flight entry/exit use Acquire/Release so the work
+/// done inside the section happens-before `quiesced()` observing zero.
+/// The loom model in `tests/loom.rs` checks exactly this protocol.
+#[derive(Debug, Default)]
+pub struct DrainBarrier {
+    closed: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl DrainBarrier {
+    /// An open barrier with nothing in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to enter the gated section. Fails while draining.
+    pub fn try_enter(&self) -> bool {
+        self.in_flight.fetch_add(1, Ordering::Acquire);
+        if self.closed.load(Ordering::SeqCst) != 0 {
+            // Raced with begin_drain: undo and refuse admission.
+            self.in_flight.fetch_sub(1, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// Leaves the gated section (pairs with a successful `try_enter`).
+    pub fn exit(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Stops admission; subsequent `try_enter` calls fail until
+    /// [`DrainBarrier::reopen`].
+    pub fn begin_drain(&self) {
+        self.closed.store(1, Ordering::SeqCst);
+    }
+
+    /// Whether admission is currently stopped.
+    pub fn draining(&self) -> bool {
+        self.closed.load(Ordering::SeqCst) != 0
+    }
+
+    /// Whether the section is drained: admission stopped and no entrant
+    /// still inside. Only meaningful after [`DrainBarrier::begin_drain`].
+    pub fn quiesced(&self) -> bool {
+        self.closed.load(Ordering::SeqCst) != 0 && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Reopens admission after the swap.
+    pub fn reopen(&self) {
+        self.closed.store(0, Ordering::SeqCst);
+    }
+}
+
 /// Runs `f(worker_index)` on `n` host threads and collects the results in
 /// worker order. The scoped-thread helper every free-running bench uses.
 #[cfg(not(loom))]
@@ -318,6 +386,53 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn drain_barrier_stops_admission_and_quiesces() {
+        let b = DrainBarrier::new();
+        assert!(b.try_enter());
+        assert!(!b.quiesced(), "open barrier is never quiesced");
+        b.begin_drain();
+        assert!(b.draining());
+        assert!(!b.try_enter(), "drain stops admission");
+        assert!(!b.quiesced(), "one entrant still inside");
+        b.exit();
+        assert!(b.quiesced());
+        b.reopen();
+        assert!(!b.draining());
+        assert!(b.try_enter());
+        b.exit();
+    }
+
+    #[test]
+    fn drain_barrier_quiesces_under_a_continuous_submitter() {
+        let b = Arc::new(DrainBarrier::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (b2, stop2) = (Arc::clone(&b), Arc::clone(&stop));
+        // A shard that never stops trying to enter.
+        let submitter = std::thread::spawn(move || {
+            let mut refused = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                if b2.try_enter() {
+                    b2.exit();
+                } else {
+                    refused += 1;
+                }
+                std::thread::yield_now();
+            }
+            refused
+        });
+        b.begin_drain();
+        // Bounded wait: admission is stopped, so in-flight only shrinks.
+        let mut spins = 0u64;
+        while !b.quiesced() {
+            spins += 1;
+            assert!(spins < 100_000_000, "drain starved by a submitter");
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        submitter.join().unwrap();
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub enum Fault {
         /// The ring that was empty (e.g. `"gate-cq"`).
         ring: &'static str,
     },
+    /// A gate-call submission was refused because the compartment pair's
+    /// backend is mid-migration: the quiescence protocol stops admission
+    /// so a continuous submitter cannot stall the drain forever. A
+    /// transient resource error, not a protection fault — resubmit once
+    /// the swap completes.
+    GateDraining {
+        /// The mechanism being drained out (the pair's outgoing backend).
+        mechanism: &'static str,
+    },
 }
 
 impl Fault {
@@ -133,6 +142,7 @@ impl Fault {
             Fault::DoorbellMismatch { .. } => "doorbell-mismatch",
             Fault::RingFull { .. } => "ring-full",
             Fault::RingEmpty { .. } => "ring-empty",
+            Fault::GateDraining { .. } => "gate-draining",
         }
     }
 
@@ -210,6 +220,12 @@ impl fmt::Display for Fault {
             }
             Fault::RingEmpty { ring } => {
                 write!(f, "{ring} ring empty")
+            }
+            Fault::GateDraining { mechanism } => {
+                write!(
+                    f,
+                    "{mechanism} gate draining for migration; admission stopped"
+                )
             }
         }
     }

@@ -23,8 +23,8 @@ pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAP};
 pub use shard::{MergeTrace, SchedSummaryShard, VcpuShards};
 pub use snapshot::{
     AllocRow, AsyncGatesSnapshot, EventRow, FaultCompartmentRow, FaultKindRow, GateBatchRow,
-    GatePairRow, LatencyRow, MechanismRow, NetSnapshot, RingDropRow, SchedSnapshot,
-    ServingSnapshot, StatsSnapshot, TlbSnapshot,
+    GatePairRow, LatencyRow, MechanismRow, MigrationsSnapshot, NetSnapshot, RingDropRow,
+    SchedSnapshot, ServingSnapshot, StatsSnapshot, TlbSnapshot,
 };
 pub use span::{
     SpanEvent, SpanId, SpanKind, SpanLatencyRow, SpanRing, SpanRingStats, SpanTrace,
@@ -1102,6 +1102,13 @@ impl TraceRegistry {
     /// gate layer in the dependency graph.
     pub fn add_async_gates(&mut self, a: AsyncGatesSnapshot) {
         self.snap.async_gates = a;
+    }
+
+    /// Registers the gate runtime's live-migration counters. Same
+    /// layering as [`TraceRegistry::add_async_gates`]: the caller
+    /// converts from the gate layer's stats type.
+    pub fn add_migrations(&mut self, mg: MigrationsSnapshot) {
+        self.snap.migrations = mg;
     }
 
     /// Registers the net stack's trace, attributed to compartment

@@ -84,6 +84,33 @@ pub struct AsyncGatesSnapshot {
     pub cq_empty: u64,
 }
 
+/// Live gate-backend migration counters (the quiescence protocol).
+/// The block is all-zero — and therefore byte-stable against the CI
+/// baseline — on any run that never requests a migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationsSnapshot {
+    /// Migrations requested (immediate or deferred).
+    pub requested: u64,
+    /// Backend swaps completed.
+    pub completed: u64,
+    /// Requests that had to wait for quiescence.
+    pub deferred: u64,
+    /// SQE submissions refused by the admission stop while draining.
+    pub rejected_submits: u64,
+    /// Pending SQEs carried across swaps (re-issued via the new backend).
+    pub requeued_sqes: u64,
+    /// Ready CQEs preserved across swaps.
+    pub preserved_cqes: u64,
+    /// Simulated cycles spent draining, summed over completed swaps.
+    pub drain_cycles_total: u64,
+    /// Longest single drain window.
+    pub drain_cycles_max: u64,
+    /// Swaps that raised the isolation rank (policy escalations).
+    pub escalations: u64,
+    /// Swaps that lowered it (policy relaxations).
+    pub relaxations: u64,
+}
+
 /// Scheduler summary.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchedSnapshot {
@@ -277,6 +304,8 @@ pub struct StatsSnapshot {
     pub gate_batch: Vec<GateBatchRow>,
     /// Async gate-ring counters.
     pub async_gates: AsyncGatesSnapshot,
+    /// Live gate-backend migration counters.
+    pub migrations: MigrationsSnapshot,
     /// Scheduler summary.
     pub sched: SchedSnapshot,
     /// Per-compartment allocator rows.
@@ -381,6 +410,22 @@ impl StatsSnapshot {
             o,
             "\"async_gates\":{{\"submitted\":{},\"completed\":{},\"flushes\":{},\"cancelled\":{},\"sq_full\":{},\"cq_empty\":{}}},",
             a.submitted, a.completed, a.flushes, a.cancelled, a.sq_full, a.cq_empty
+        );
+
+        let mg = &self.migrations;
+        let _ = write!(
+            o,
+            "\"migrations\":{{\"requested\":{},\"completed\":{},\"deferred\":{},\"rejected_submits\":{},\"requeued_sqes\":{},\"preserved_cqes\":{},\"drain_cycles_total\":{},\"drain_cycles_max\":{},\"escalations\":{},\"relaxations\":{}}},",
+            mg.requested,
+            mg.completed,
+            mg.deferred,
+            mg.rejected_submits,
+            mg.requeued_sqes,
+            mg.preserved_cqes,
+            mg.drain_cycles_total,
+            mg.drain_cycles_max,
+            mg.escalations,
+            mg.relaxations
         );
 
         let s = &self.sched;

@@ -56,6 +56,9 @@ pub enum SpanKind {
     Net,
     /// An injected fault attributed to the in-flight request.
     Fault,
+    /// A live gate-backend migration phase (drain start/end, swap,
+    /// first post-swap crossing).
+    Migrate,
 }
 
 impl SpanKind {
@@ -69,6 +72,7 @@ impl SpanKind {
             SpanKind::MqHop => "mq",
             SpanKind::Net => "net",
             SpanKind::Fault => "fault",
+            SpanKind::Migrate => "migrate",
         }
     }
 }

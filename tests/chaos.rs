@@ -161,3 +161,155 @@ fn disabling_chaos_restores_the_exact_baseline() {
     };
     assert_eq!(run(false), run(true));
 }
+
+/// A live backend migration under active chaos is still a pure function
+/// of the seed: two same-seed runs that escalate MPK → VM RPC mid-way
+/// through a chaos-injected call sequence produce byte-identical stats
+/// JSON — migrations block included.
+#[test]
+fn migration_under_chaos_is_byte_identical_for_the_same_seed() {
+    use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+    use flexos::gate::{MigrationReason, Sqe};
+    use flexos::spec::LibSpec;
+    use flexos_backends::{instantiate_migratable, migrate_all};
+    use flexos_trace::MigrationsSnapshot;
+
+    let run = |seed: u64| -> String {
+        let cfg = ImageConfig::new("chaos-mig", BackendChoice::MpkShared)
+            .with_library(LibraryConfig::new(
+                LibSpec::verified_scheduler(),
+                LibRole::Scheduler,
+            ))
+            .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+        let mut img = instantiate_migratable(plan(cfg).unwrap(), BackendChoice::MpkShared).unwrap();
+        img.machine.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed,
+            notify_drop: Schedule::PerMille(300),
+            spurious_pkey: Schedule::PerMille(20),
+            ..Default::default()
+        }));
+        let cross = |img: &mut flexos_backends::BootImage| {
+            let _ = img.call_lib("uksched_verified", 16, 8, |m, _| {
+                m.charge(10);
+                Ok(0i64)
+            });
+        };
+        for _ in 0..20 {
+            cross(&mut img);
+        }
+        for ud in 0..3u64 {
+            img.submit_lib("uksched_verified", Sqe::new(8, 8, ud))
+                .unwrap();
+        }
+        migrate_all(&mut img, BackendChoice::VmRpc, MigrationReason::Escalate).unwrap();
+        for _ in 0..20 {
+            cross(&mut img);
+        }
+        let _ = img.call_lib_async("uksched_verified", |m, _, _| {
+            m.charge(5);
+            Ok(1)
+        });
+        let mut reg = TraceRegistry::new();
+        reg.set_elapsed(img.machine.clock().cycles());
+        reg.add_faults(img.machine.fault_trace(), |_| None);
+        let mg = img.gates.migration_stats();
+        reg.add_migrations(MigrationsSnapshot {
+            requested: mg.requested,
+            completed: mg.completed,
+            deferred: mg.deferred,
+            rejected_submits: mg.rejected_submits,
+            requeued_sqes: mg.requeued_sqes,
+            preserved_cqes: mg.preserved_cqes,
+            drain_cycles_total: mg.drain_cycles_total,
+            drain_cycles_max: mg.drain_cycles_max,
+            escalations: mg.escalations,
+            relaxations: mg.relaxations,
+        });
+        reg.finish().to_json()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(
+        a, b,
+        "same seed + same migration must replay byte-identically"
+    );
+    assert!(a.contains("\"migrations\":{"));
+    assert!(a.contains("\"escalations\":1"));
+    let c = run(5678);
+    assert_ne!(a, c, "different seeds should diverge");
+}
+
+/// Doorbell loss injected *while a pair drains* neither loses nor
+/// duplicates a descriptor: pending submissions re-issue through the
+/// new backend, already-posted completions stay reapable, and every
+/// cookie comes back exactly once, in order.
+#[test]
+fn doorbell_loss_during_drain_loses_no_descriptor() {
+    use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+    use flexos::gate::{MigrationReason, Sqe};
+    use flexos::spec::LibSpec;
+    use flexos_backends::{instantiate_migratable, migrate_all};
+
+    let cfg = ImageConfig::new("chaos-drain", BackendChoice::VmRpc)
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
+        .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+    let mut img = instantiate_migratable(plan(cfg).unwrap(), BackendChoice::VmRpc).unwrap();
+    // Lossy, duplicating doorbells for the entire drain window. Loss
+    // stays under the retry budget so crossings recover.
+    img.machine.set_chaos(ChaosPlan::new(ChaosConfig {
+        seed: 7,
+        notify_drop: Schedule::EveryNth(2),
+        notify_dup: Schedule::EveryNth(3),
+        ..Default::default()
+    }));
+    for ud in 0..6u64 {
+        img.submit_lib("uksched_verified", Sqe::new(8, 8, ud))
+            .unwrap();
+    }
+    // Flush half under chaos, leaving three descriptors pending.
+    let target = img.compartment_of_lib("uksched_verified").unwrap();
+    let mut seen = 0;
+    img.gates
+        .flush_async_until(
+            &mut img.machine,
+            target,
+            |m, _, sqe| {
+                m.charge(1);
+                Ok(sqe.user_data as i64)
+            },
+            |_, _, _, _| {
+                seen += 1;
+                Ok(seen < 3)
+            },
+        )
+        .unwrap();
+    // The swap away from VM RPC drains the doorbell backlog (including
+    // chaos-duplicated rings) and carries the ring across.
+    migrate_all(
+        &mut img,
+        BackendChoice::MpkShared,
+        MigrationReason::Escalate,
+    )
+    .unwrap();
+    let st = img.gates.migration_stats();
+    assert_eq!((st.requeued_sqes, st.preserved_cqes), (3, 3));
+    let flushed = img
+        .call_lib_async("uksched_verified", |m, _, sqe| {
+            m.charge(1);
+            Ok(sqe.user_data as i64)
+        })
+        .unwrap();
+    assert_eq!(flushed, 3, "a pending descriptor was lost in the drain");
+    let mut got = Vec::new();
+    while let Ok(cqe) = img.reap_lib("uksched_verified") {
+        got.push(cqe.user_data);
+    }
+    assert_eq!(
+        got,
+        vec![0, 1, 2, 3, 4, 5],
+        "loss or duplication across the swap"
+    );
+}

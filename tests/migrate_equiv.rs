@@ -1,0 +1,421 @@
+//! Differential suite for live gate-backend migration.
+//!
+//! The contract under test: a run that *migrates* to a backend at
+//! runtime is observably equivalent to a run *built* with that backend
+//! from the start. Concretely, for every ordered (from, to) pair of the
+//! five mechanisms, a random call sequence split at a random point —
+//! head on `from`, `migrate_all`, tail on `to` — must produce
+//!
+//! * the same per-call returns and fault kinds as the same sequence on
+//!   a never-migrated image (results never depend on the backend), and
+//! * a tail whose crossing/direct-call/marshalled-byte deltas are
+//!   *identical* to the tail of a `to`-built run split at the same
+//!   point (the migrated pair is indistinguishable from a booted one).
+//!
+//! Cycle costs legitimately differ across backends, so the cross-pair
+//! claims exclude them; within one (from, to) pair, batching on vs off
+//! must stay bit-identical — cycles included — across the mid-sequence
+//! swap, and the async ring must carry its queued descriptors through
+//! the swap without loss, duplication or reordering. A drain-starvation
+//! regression test pins the admission stop: a continuous submitter
+//! hammering a draining pair is refused with `GateDraining` and cannot
+//! stall the swap.
+//!
+//! All images boot through `instantiate_migratable`, whose superset
+//! topology (keys, VM-RPC inbox area, dedicated allocators) is
+//! byte-identical regardless of the boot backend — which is what makes
+//! the head/tail stat comparison exact rather than approximate.
+
+use flexos::build::{plan, BackendChoice, ImageConfig, LibRole, LibraryConfig};
+use flexos::gate::{CallVec, MigrationReason, Sqe};
+use flexos::spec::LibSpec;
+use flexos_backends::{instantiate_migratable, migrate_all, prepare_pair_migration, BootImage};
+use flexos_machine::{ChaosConfig, ChaosPlan, Fault, Schedule};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Every gate mechanism the build system can target.
+const BACKENDS: &[BackendChoice] = &[
+    BackendChoice::None,
+    BackendChoice::MpkShared,
+    BackendChoice::MpkSwitched,
+    BackendChoice::VmRpc,
+    BackendChoice::Cheri,
+];
+
+/// One call in a generated sequence (see `tests/backend_equiv.rs`).
+#[derive(Debug, Clone)]
+struct CallOp {
+    /// Cross into the scheduler compartment (a real gate crossing) or
+    /// into the netstack lib colocated with the app (a direct call).
+    sched: bool,
+    arg: u64,
+    ret: u64,
+    /// The call body returns a synthetic typed fault.
+    fail: bool,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<CallOp>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..48, 0u64..24, 0u32..6).prop_map(|(sched, arg, ret, fail)| CallOp {
+            sched,
+            arg,
+            ret,
+            fail: fail == 0,
+        }),
+        1..10,
+    )
+}
+
+/// Optional chaos: doorbell loss `EveryNth(2..=4)` and/or duplication
+/// `EveryNth(2..=3)`, seeded so every compared run draws the same
+/// schedule. Loss stays under 100% so the retry budget recovers.
+fn arb_chaos() -> impl Strategy<Value = Option<(u64, u64)>> {
+    prop::option::of((2u64..=4, 0u64..=3))
+}
+
+/// What one segment (head or tail) of a run observably did, minus
+/// cycles: per-chunk results/fault kinds plus the stat *deltas* the
+/// segment produced.
+#[derive(Debug, Clone, PartialEq)]
+struct SegOutcome {
+    chunks: Vec<Result<Vec<i64>, &'static str>>,
+    crossings: u64,
+    direct_calls: u64,
+    bytes_marshalled: u64,
+}
+
+/// The migratable equivalence image: identical layout for every boot
+/// backend (single VM, keys and the VM-RPC inbox always present).
+fn image(from: BackendChoice, chaos: Option<(u64, u64)>, batch: bool) -> BootImage {
+    let cfg = ImageConfig::new("migrate-equiv", BackendChoice::MpkShared)
+        .with_library(LibraryConfig::new(
+            LibSpec::verified_scheduler(),
+            LibRole::Scheduler,
+        ))
+        .with_library(LibraryConfig::new(
+            LibSpec::unsafe_c("lwip"),
+            LibRole::NetStack,
+        ))
+        .with_library(LibraryConfig::new(LibSpec::unsafe_c("app"), LibRole::App));
+    let mut img = instantiate_migratable(plan(cfg).expect("plans"), from).expect("boots");
+    if let Some((drop_nth, dup_nth)) = chaos {
+        img.machine.set_chaos(ChaosPlan::new(ChaosConfig {
+            seed: 11,
+            notify_drop: Schedule::EveryNth(drop_nth),
+            notify_dup: if dup_nth >= 2 {
+                Schedule::EveryNth(dup_nth)
+            } else {
+                Schedule::Off
+            },
+            ..Default::default()
+        }));
+    }
+    img.gates.set_batch_enabled(batch);
+    img
+}
+
+/// Deterministic per-call value so every configuration must compute the
+/// same answer from the same inputs.
+fn call_value(op: &CallOp, idx: usize) -> i64 {
+    (op.arg * 31 + op.ret * 7) as i64 + idx as i64
+}
+
+/// Runs `ops` through `img` (batching maximal same-target runs, the
+/// shape RESP pipelining produces) and returns the segment's outcome.
+fn run_segment(img: &mut BootImage, ops: &[CallOp]) -> SegOutcome {
+    let s0 = img.gates.stats();
+    let mut chunks = Vec::new();
+    let mut i = 0usize;
+    while i < ops.len() {
+        let sched = ops[i].sched;
+        let mut end = i + 1;
+        while end < ops.len() && ops[end].sched == sched {
+            end += 1;
+        }
+        let chunk = &ops[i..end];
+        let mut calls = CallVec::new();
+        for op in chunk {
+            calls.push(op.arg, op.ret);
+        }
+        let lib = if sched { "uksched_verified" } else { "lwip" };
+        let r = img.call_lib_batch(lib, &calls, |m, _, idx| {
+            let op = &chunk[idx];
+            if op.fail {
+                return Err(Fault::HardeningAbort {
+                    mechanism: "migrate-equiv",
+                    reason: format!("synthetic fault at call {idx}"),
+                });
+            }
+            m.charge(op.arg + 1);
+            Ok(call_value(op, idx))
+        });
+        chunks.push(r.map_err(|e| e.kind()));
+        i = end;
+    }
+    let s1 = img.gates.stats();
+    SegOutcome {
+        chunks,
+        crossings: s1.crossings - s0.crossings,
+        direct_calls: s1.direct_calls - s0.direct_calls,
+        bytes_marshalled: s1.bytes_marshalled - s0.bytes_marshalled,
+    }
+}
+
+/// Boots on `from`, runs `ops[..k]`, live-migrates every pair to `to`,
+/// runs `ops[k..]`. Returns (head, tail, total cycles). The `to == from`
+/// case still performs the swap, so reference runs share the exact
+/// migration machinery (and its — zero — cycle cost) with migrated
+/// runs.
+fn run_migrated(
+    from: BackendChoice,
+    to: BackendChoice,
+    ops: &[CallOp],
+    k: usize,
+    chaos: Option<(u64, u64)>,
+    batch: bool,
+) -> (SegOutcome, SegOutcome, u64) {
+    let mut img = image(from, chaos, batch);
+    let t0 = img.machine.clock().cycles();
+    let head = run_segment(&mut img, &ops[..k]);
+    let (_, deferred) = migrate_all(&mut img, to, MigrationReason::Manual).expect("migrates");
+    assert_eq!(deferred, 0, "quiescent between chunks: swaps are immediate");
+    let tail = run_segment(&mut img, &ops[k..]);
+    let cycles = img.machine.clock().cycles() - t0;
+    (head, tail, cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole claim, all 5×5 ordered pairs, ± chaos: a run
+    /// migrated at a random point returns the same values and faults as
+    /// an un-migrated run, its head is stat-identical to a `from`-built
+    /// run, and its tail is stat-identical to a `to`-built run split at
+    /// the same point.
+    #[test]
+    fn migrated_runs_match_runs_built_with_the_target(
+        ops in arb_ops(),
+        split in 0usize..10,
+        chaos in arb_chaos(),
+    ) {
+        for &from in BACKENDS {
+            for &to in BACKENDS {
+                let k = split.min(ops.len());
+                let (head, tail, _) = run_migrated(from, to, &ops, k, chaos, true);
+                // Reference runs: never actually change backend, but go
+                // through the same (self-)migration at the same point.
+                let (from_head, _, _) = run_migrated(from, from, &ops, k, chaos, true);
+                let (_, to_tail, _) = run_migrated(to, to, &ops, k, chaos, true);
+                prop_assert_eq!(
+                    &head, &from_head,
+                    "{:?}->{:?}: pre-swap head diverged from a {:?}-built run",
+                    from, to, from
+                );
+                prop_assert_eq!(
+                    &tail, &to_tail,
+                    "{:?}->{:?}: post-swap tail diverged from a {:?}-built run",
+                    from, to, to
+                );
+            }
+        }
+    }
+
+    /// Batching on vs off stays bit-identical — cycles included —
+    /// across a mid-sequence backend swap, for every ordered pair.
+    #[test]
+    fn batching_stays_cycle_identical_across_a_swap(
+        ops in arb_ops(),
+        split in 0usize..10,
+        chaos in arb_chaos(),
+    ) {
+        for &from in BACKENDS {
+            for &to in BACKENDS {
+                let k = split.min(ops.len());
+                let (h_on, t_on, c_on) = run_migrated(from, to, &ops, k, chaos, true);
+                let (h_off, t_off, c_off) = run_migrated(from, to, &ops, k, chaos, false);
+                prop_assert_eq!(&h_on, &h_off, "{:?}->{:?} head diverged", from, to);
+                prop_assert_eq!(&t_on, &t_off, "{:?}->{:?} tail diverged", from, to);
+                prop_assert_eq!(
+                    c_on, c_off,
+                    "{:?}->{:?} cycles diverged between batch on/off", from, to
+                );
+            }
+        }
+    }
+
+    /// The async ring survives a mid-sequence swap: descriptors queued
+    /// before the migration complete through the *new* backend without
+    /// loss, duplication or reordering, and the completion values match
+    /// a run built with the target from the start.
+    #[test]
+    fn queued_descriptors_survive_the_swap_in_order(
+        uds in prop::collection::vec(0u64..1000, 1..6),
+        chaos in arb_chaos(),
+    ) {
+        for &from in BACKENDS {
+            for &to in BACKENDS {
+                let run_async = |boot: BackendChoice, migrate: bool| {
+                    let mut img = image(boot, chaos, true);
+                    for (i, &ud) in uds.iter().enumerate() {
+                        img.submit_lib("uksched_verified", Sqe::new(16, 8, ud))
+                            .expect("pre-swap submission admitted");
+                        let _ = i;
+                    }
+                    if migrate {
+                        migrate_all(&mut img, to, MigrationReason::Manual).expect("migrates");
+                    }
+                    let flushed = img
+                        .call_lib_async("uksched_verified", |m, _, sqe| {
+                            m.charge(sqe.arg_bytes + 1);
+                            Ok(sqe.user_data as i64 * 3)
+                        })
+                        .expect("flush completes");
+                    let mut got = Vec::new();
+                    while let Ok(cqe) = img.reap_lib("uksched_verified") {
+                        got.push((cqe.user_data, cqe.res));
+                    }
+                    (flushed, got)
+                };
+                let (flushed, got) = run_async(from, true);
+                let (ref_flushed, ref_got) = run_async(to, false);
+                prop_assert_eq!(
+                    flushed, ref_flushed,
+                    "{:?}->{:?}: flush count diverged", from, to
+                );
+                prop_assert_eq!(
+                    &got, &ref_got,
+                    "{:?}->{:?}: completions diverged after the swap", from, to
+                );
+                prop_assert_eq!(got.len(), uds.len(), "a descriptor was lost or duplicated");
+            }
+        }
+    }
+}
+
+/// Drain-starvation regression: a continuous submitter hammering a
+/// draining pair is refused (`GateDraining`) on every attempt, cannot
+/// delay the swap past the in-flight call it was waiting for, and the
+/// drain's cycle cost stays bounded by that call's work — not by the
+/// submission storm.
+#[test]
+fn continuous_submission_cannot_stall_quiescence() {
+    let mut img = image(BackendChoice::MpkShared, None, true);
+    let caller = img.gates.current();
+    let target = img.compartment_of_lib("uksched_verified").expect("sched");
+    let pair = if caller.0 <= target.0 {
+        (caller, target)
+    } else {
+        (target, caller)
+    };
+    let mut planned = BTreeMap::new();
+    planned.insert(pair, BackendChoice::VmRpc.mechanism());
+    let (gate, re) =
+        prepare_pair_migration(&mut img, pair.0, pair.1, BackendChoice::VmRpc, &planned)
+            .expect("prepares");
+    const STORM: u64 = 1_000;
+    img.call_lib("uksched_verified", 8, 8, move |m, rt| {
+        let applied =
+            rt.request_migration(m, pair.0, pair.1, gate, MigrationReason::Escalate, Some(re))?;
+        assert!(!applied, "the pair is mid-call; the swap must defer");
+        // The storm: every submission onto the draining pair must be
+        // refused — admission is what bounds the drain.
+        let mut rejected = 0u64;
+        for ud in 0..STORM {
+            match rt.submit(pair.1, Sqe::new(8, 8, ud)) {
+                Err(Fault::GateDraining { .. }) => rejected += 1,
+                Ok(()) => panic!("submission {ud} slipped past the admission stop"),
+                Err(e) => panic!("unexpected fault: {e}"),
+            }
+        }
+        assert_eq!(rejected, STORM);
+        m.charge(50);
+        Ok(0i64)
+    })
+    .expect("the draining call itself completes");
+    let st = img.gates.migration_stats();
+    assert_eq!(st.completed, 1, "the storm stalled the swap");
+    assert_eq!(st.rejected_submits, STORM);
+    // Bounded drain: request → swap covers the in-flight call's own
+    // work (charge + return leg), not anything proportional to STORM.
+    assert!(
+        st.drain_cycles_max > 0 && st.drain_cycles_max < 10_000,
+        "drain latency {} not bounded by the in-flight call",
+        st.drain_cycles_max
+    );
+    // The refused submitter can proceed after the swap.
+    img.submit_lib("uksched_verified", Sqe::new(8, 8, 7))
+        .expect("post-swap submission admitted");
+    let flushed = img
+        .call_lib_async("uksched_verified", |m, _, _| {
+            m.charge(5);
+            Ok(1)
+        })
+        .expect("post-swap flush completes");
+    assert_eq!(flushed, 1);
+}
+
+/// Migration is exact about what it carries: completions already posted
+/// stay reapable, pending submissions re-issue through the new gate —
+/// across every ordered pair.
+#[test]
+fn every_pair_preserves_ready_cqes_and_requeues_pending_sqes() {
+    for &from in BACKENDS {
+        for &to in BACKENDS {
+            let mut img = image(from, None, true);
+            for ud in 0..4u64 {
+                img.submit_lib("uksched_verified", Sqe::new(8, 8, ud))
+                    .expect("submits");
+            }
+            // Flush the first two, keep two pending.
+            let target = img.compartment_of_lib("uksched_verified").expect("sched");
+            let mut seen = 0;
+            img.gates
+                .flush_async_until(
+                    &mut img.machine,
+                    target,
+                    |m, _, sqe| {
+                        m.charge(1);
+                        Ok(sqe.user_data as i64)
+                    },
+                    |_, _, _, _| {
+                        seen += 1;
+                        Ok(seen < 2)
+                    },
+                )
+                .expect("partial flush");
+            migrate_all(&mut img, to, MigrationReason::Manual).expect("migrates");
+            let st = img.gates.migration_stats();
+            assert_eq!(
+                (st.requeued_sqes, st.preserved_cqes),
+                (2, 2),
+                "{from:?}->{to:?}"
+            );
+            // Ready completions reap in order; pending ones complete
+            // through the new gate.
+            assert_eq!(
+                img.reap_lib("uksched_verified").expect("cqe 0").user_data,
+                0
+            );
+            assert_eq!(
+                img.reap_lib("uksched_verified").expect("cqe 1").user_data,
+                1
+            );
+            let flushed = img
+                .call_lib_async("uksched_verified", |m, _, sqe| {
+                    m.charge(1);
+                    Ok(sqe.user_data as i64)
+                })
+                .expect("post-swap flush");
+            assert_eq!(flushed, 2, "{from:?}->{to:?}");
+            assert_eq!(
+                img.reap_lib("uksched_verified").expect("cqe 2").user_data,
+                2
+            );
+            assert_eq!(
+                img.reap_lib("uksched_verified").expect("cqe 3").user_data,
+                3
+            );
+        }
+    }
+}

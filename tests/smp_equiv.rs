@@ -219,6 +219,101 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A live backend migration fired mid-run (PR 10's quiescence
+    /// protocol) runs between executor steps, so it is part of the
+    /// canonical interleave: the result tuple, the full telemetry
+    /// snapshot — including the new `migrations` block — and the span
+    /// trace must all be byte-identical at every vCPU width, for any
+    /// target backend and any trigger point.
+    #[test]
+    fn live_migration_is_byte_identical_across_vcpu_counts(
+        to in prop_oneof![
+            Just(BackendChoice::VmRpc),
+            Just(BackendChoice::MpkSwitched),
+            Just(BackendChoice::None),
+        ],
+        after in 20u64..80,
+        ops in 100u64..160,
+    ) {
+        let params = RedisParams {
+            model: CompartmentModel::NwSchedRest,
+            backend: BackendChoice::MpkShared,
+            mix: Mix::Get,
+            ops,
+            migrate_to: Some((after, to)),
+            vcpus: 1,
+            ..RedisParams::default()
+        };
+        let (r1, snap1, trace1) = run_redis_traced(&params).expect("reference run");
+        prop_assert!(
+            snap1.migrations.completed >= 1,
+            "migration never fired (after {}, ops {})", after, ops
+        );
+        let json1 = snap1.to_json();
+        for &vcpus in WIDTHS {
+            let (rn, snapn, tracen) =
+                run_redis_traced(&RedisParams { vcpus, ..params.clone() })
+                    .expect("smp run");
+            prop_assert_eq!(
+                (rn.ops, rn.cycles, rn.crossings, rn.mreq_per_s.to_bits()),
+                (r1.ops, r1.cycles, r1.crossings, r1.mreq_per_s.to_bits()),
+                "migrating redis result diverged at vcpus={} (to {:?}, after {})",
+                vcpus, to, after
+            );
+            prop_assert_eq!(
+                &snapn.to_json(), &json1,
+                "telemetry snapshot diverged at vcpus={}", vcpus
+            );
+            prop_assert_eq!(
+                &tracen, &trace1,
+                "span trace diverged at vcpus={}", vcpus
+            );
+        }
+    }
+}
+
+/// The migrating profile at unit-test speed, vcpus 1 vs 4: the MPK →
+/// VM-RPC escalation lands between the same two scheduler steps at both
+/// widths (bit-identical results and snapshot JSON), and the escalated
+/// tail is visibly more expensive than a run that stays on MPK.
+#[test]
+fn ci_migration_profile_is_bit_identical_at_vcpus_4() {
+    let params = RedisParams {
+        model: CompartmentModel::NwSchedRest,
+        backend: BackendChoice::MpkShared,
+        mix: Mix::Get,
+        ops: 600,
+        migrate_to: Some((300, BackendChoice::VmRpc)),
+        ..RedisParams::default()
+    };
+    let (r1, s1) = run_redis_with_stats(&params).expect("vcpus=1");
+    let (r4, s4) = run_redis_with_stats(&RedisParams {
+        vcpus: 4,
+        ..params.clone()
+    })
+    .expect("vcpus=4");
+    assert!(s1.migrations.completed >= 1, "migration never fired");
+    assert_eq!(
+        (r1.ops, r1.cycles, r1.crossings),
+        (r4.ops, r4.cycles, r4.crossings)
+    );
+    assert_eq!(s1.to_json(), s4.to_json());
+    let (stay, _) = run_redis_with_stats(&RedisParams {
+        migrate_to: None,
+        ..params
+    })
+    .expect("no migration");
+    assert!(
+        r1.cycles > stay.cycles,
+        "VM-RPC tail should cost more: {} vs {}",
+        r1.cycles,
+        stay.cycles
+    );
+}
+
 /// The exact profile the `smp-determinism` CI job pins with its recorded
 /// baseline, asserted here at unit-test speed so a violation is caught
 /// before CI: Redis GET / MPK shared / NW+sched-vs-rest, vcpus 1 vs 4.
